@@ -1,0 +1,254 @@
+//! A learned cost model guiding the evolutionary search.
+//!
+//! TVM's MetaSchedule uses an XGBoost model over program features; ATiM-RS
+//! substitutes a ridge-regression model over hand-crafted schedule features.
+//! The model predicts the log-latency of a candidate and is retrained from
+//! all measured candidates after every search round, which is enough to
+//! steer the search away from obviously bad regions (too few DPUs, tiny
+//! caching tiles, WRAM-thrashing configurations) without measuring them.
+
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+
+use crate::space::ScheduleConfig;
+
+/// Number of features extracted per candidate.
+pub const NUM_FEATURES: usize = 10;
+
+/// Extracts the feature vector of a candidate.
+///
+/// Features are dimensionless logs/ratios so one model generalizes across
+/// workload sizes reasonably well within a single tuning session.
+pub fn featurize(config: &ScheduleConfig, def: &ComputeDef, hw: &UpmemConfig) -> [f64; NUM_FEATURES] {
+    let total_work = def.total_flops().max(1) as f64;
+    let dpus = config.num_dpus() as f64;
+    let tasklets = config.tasklets.max(1) as f64;
+    let per_dpu = total_work / dpus;
+    let per_tasklet = per_dpu / tasklets;
+    let bytes = def.total_bytes() as f64;
+    let reduce_len: i64 = def
+        .reduce_axes()
+        .iter()
+        .map(|&a| def.axes[a].extent)
+        .product();
+    let out_len = def.output_len() as f64;
+    [
+        (dpus).ln(),
+        (tasklets).ln(),
+        (config.cache_elems.max(1) as f64).ln(),
+        if config.uses_rfactor() { 1.0 } else { 0.0 },
+        per_dpu.ln(),
+        per_tasklet.ln(),
+        (bytes / dpus).ln(),
+        (out_len * config.reduce_dpus as f64).max(1.0).ln(),
+        if config.use_cache { 1.0 } else { 0.0 },
+        (dpus / hw.total_dpus() as f64).min(1.0) * (reduce_len.max(1) as f64).ln(),
+    ]
+}
+
+/// Ridge-regression cost model over schedule features.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    weights: Vec<f64>,
+    bias: f64,
+    trained: bool,
+    lambda: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostModel {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        CostModel {
+            weights: vec![0.0; NUM_FEATURES],
+            bias: 0.0,
+            trained: false,
+            lambda: 1e-2,
+        }
+    }
+
+    /// Whether the model has been trained at least once.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Trains the model on `(features, latency_seconds)` pairs.  Latencies
+    /// are modelled in log space.
+    pub fn train(&mut self, samples: &[([f64; NUM_FEATURES], f64)]) {
+        if samples.len() < 4 {
+            return;
+        }
+        let n = NUM_FEATURES + 1; // + bias column
+        // Normal equations with ridge regularization: (XᵀX + λI) w = Xᵀy.
+        let mut xtx = vec![vec![0.0f64; n]; n];
+        let mut xty = vec![0.0f64; n];
+        for (f, y) in samples {
+            let y = y.max(1e-12).ln();
+            let mut row = [0.0f64; NUM_FEATURES + 1];
+            row[..NUM_FEATURES].copy_from_slice(f);
+            row[NUM_FEATURES] = 1.0;
+            for i in 0..n {
+                xty[i] += row[i] * y;
+                for j in 0..n {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate().take(NUM_FEATURES) {
+            row[i] += self.lambda * samples.len() as f64;
+        }
+        if let Some(w) = solve(xtx, xty) {
+            self.weights = w[..NUM_FEATURES].to_vec();
+            self.bias = w[NUM_FEATURES];
+            self.trained = true;
+        }
+    }
+
+    /// Predicts the latency (seconds) of a candidate from its features.
+    /// Untrained models return a neutral constant so all candidates tie.
+    pub fn predict(&self, features: &[f64; NUM_FEATURES]) -> f64 {
+        if !self.trained {
+            return 1.0;
+        }
+        let mut log_y = self.bias;
+        for (w, f) in self.weights.iter().zip(features) {
+            log_y += w * f;
+        }
+        log_y.clamp(-50.0, 50.0).exp()
+    }
+}
+
+/// Solves a dense linear system with partial-pivot Gaussian elimination.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config(dpus: i64, tasklets: i64, cache: i64) -> ScheduleConfig {
+        ScheduleConfig {
+            spatial_dpus: vec![dpus],
+            reduce_dpus: 1,
+            tasklets,
+            cache_elems: cache,
+            use_cache: true,
+            unroll: false,
+            host_threads: 8,
+            parallel_transfer: true,
+        }
+    }
+
+    #[test]
+    fn untrained_model_is_neutral() {
+        let model = CostModel::new();
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let f = featurize(&sample_config(64, 8, 64), &def, &hw);
+        assert_eq!(model.predict(&f), 1.0);
+        assert!(!model.is_trained());
+    }
+
+    #[test]
+    fn learns_that_more_dpus_is_faster() {
+        let def = ComputeDef::mtv("mtv", 4096, 4096);
+        let hw = UpmemConfig::default();
+        // Synthetic ground truth: latency inversely proportional to DPUs.
+        let mut samples = Vec::new();
+        for &d in &[4i64, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            for &t in &[1i64, 4, 16] {
+                let cfg = sample_config(d, t, 64);
+                let latency = 1.0 / (d as f64 * t as f64).sqrt();
+                samples.push((featurize(&cfg, &def, &hw), latency));
+            }
+        }
+        let mut model = CostModel::new();
+        model.train(&samples);
+        assert!(model.is_trained());
+        let slow = model.predict(&featurize(&sample_config(4, 1, 64), &def, &hw));
+        let fast = model.predict(&featurize(&sample_config(1024, 16, 64), &def, &hw));
+        assert!(
+            fast < slow,
+            "model must rank 1024 DPUs ({fast}) faster than 4 DPUs ({slow})"
+        );
+    }
+
+    #[test]
+    fn training_needs_enough_samples() {
+        let mut model = CostModel::new();
+        model.train(&[([0.0; NUM_FEATURES], 1.0)]);
+        assert!(!model.is_trained());
+    }
+
+    #[test]
+    fn solver_handles_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0]];
+        let b = vec![3.0, 8.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_detects_singular_matrices() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![1.0, 2.0];
+        assert!(solve(a, b).is_none());
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let def = ComputeDef::red("red", 1_000_000);
+        let hw = UpmemConfig::default();
+        let cfg = ScheduleConfig {
+            spatial_dpus: vec![],
+            reduce_dpus: 64,
+            tasklets: 16,
+            cache_elems: 128,
+            use_cache: true,
+            unroll: true,
+            host_threads: 16,
+            parallel_transfer: true,
+        };
+        let f = featurize(&cfg, &def, &hw);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,33 @@
+//! # atim-autotune — search-based code generation for UPMEM
+//!
+//! The autotuning framework of the ATiM paper (§5.2): it explores the
+//! **joint search space** of host-side decisions (how tensors are tiled and
+//! distributed across DPUs, whether reduction is hierarchical, how the host
+//! post-processes) and kernel-side decisions (tasklet parallelism, WRAM
+//! caching tile sizes and locations, unrolling).
+//!
+//! * [`space`] — the design space: [`space::ScheduleConfig`] decision
+//!   vectors, ATiM-extended sketch instantiation (Fig. 6) and random
+//!   sampling.
+//! * [`verifier`] — the UPMEM code verifier (§5.2.4): rejects candidates
+//!   that exceed WRAM/MRAM capacity, the tasklet limit or the DPU count
+//!   before they are ever measured.
+//! * [`cost_model`] — a learned cost model (ridge regression over schedule
+//!   features) standing in for TVM's XGBoost model; retrained from measured
+//!   candidates each round.
+//! * [`search`] — the balanced evolutionary search (§5.2.3): mutation from a
+//!   best-candidate database, balanced sampling of `rfactor`/non-`rfactor`
+//!   design spaces in the early trials, and an adaptive ε-greedy schedule.
+//! * [`tuner`] — the driver loop tying it all together, generic over a
+//!   [`tuner::Measurer`] so the caller decides how candidates are timed
+//!   (the `atim-core` crate measures them on the simulated UPMEM machine).
+
+pub mod cost_model;
+pub mod search;
+pub mod space;
+pub mod tuner;
+pub mod verifier;
+
+pub use space::{ScheduleConfig, SearchSpace};
+pub use tuner::{tune, Measurer, TuningOptions, TuningRecord, TuningResult};
+pub use verifier::{verify, VerifyError};

@@ -1,0 +1,240 @@
+//! Balanced evolutionary search components (§5.2.3).
+//!
+//! The UPMEM joint search space is strongly biased toward inter-DPU
+//! parallelism: there are orders of magnitude more DPUs than tasklets, so a
+//! naive evolutionary search floods its best-candidate database with
+//! `rfactor` candidates early and prematurely drops the non-`rfactor` design
+//! space.  The paper counters this with two techniques reproduced here:
+//!
+//! * **Balanced sampling** — during the first 40% of trials, parents are
+//!   drawn half from `rfactor` and half from non-`rfactor` candidates in the
+//!   database.
+//! * **Adaptive ε-greedy** — the exploration probability starts at 0.5 and
+//!   decays linearly to 0.05 over the same window, after which exploitation
+//!   dominates to accelerate convergence.
+
+use crate::space::ScheduleConfig;
+
+/// Knobs of the evolutionary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStrategy {
+    /// Enable balanced sampling of the two design spaces during exploration.
+    pub balanced_sampling: bool,
+    /// Enable the adaptive ε schedule (otherwise ε stays at `final_epsilon`).
+    pub adaptive_epsilon: bool,
+    /// ε at the start of tuning (probability of sampling a fresh random
+    /// candidate instead of mutating a database parent).
+    pub initial_epsilon: f64,
+    /// ε after the exploration window.
+    pub final_epsilon: f64,
+    /// Fraction of total trials considered "early" for both techniques.
+    pub exploration_fraction: f64,
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy {
+            balanced_sampling: true,
+            adaptive_epsilon: true,
+            initial_epsilon: 0.5,
+            final_epsilon: 0.05,
+            exploration_fraction: 0.4,
+        }
+    }
+}
+
+impl SearchStrategy {
+    /// TVM's default strategy: no balancing, fixed ε.
+    pub fn tvm_default() -> Self {
+        SearchStrategy {
+            balanced_sampling: false,
+            adaptive_epsilon: false,
+            ..Self::default()
+        }
+    }
+
+    /// The exploration probability at the given tuning progress (0..1).
+    pub fn epsilon_at(&self, progress: f64) -> f64 {
+        if !self.adaptive_epsilon {
+            return self.final_epsilon;
+        }
+        let p = progress.clamp(0.0, 1.0);
+        if p >= self.exploration_fraction {
+            self.final_epsilon
+        } else {
+            let t = p / self.exploration_fraction;
+            self.initial_epsilon + t * (self.final_epsilon - self.initial_epsilon)
+        }
+    }
+
+    /// Whether balanced parent selection applies at the given progress.
+    pub fn balanced_at(&self, progress: f64) -> bool {
+        self.balanced_sampling && progress < self.exploration_fraction
+    }
+}
+
+/// One measured candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbEntry {
+    /// The measured configuration.
+    pub config: ScheduleConfig,
+    /// Measured latency in seconds.
+    pub latency_s: f64,
+}
+
+/// The best-candidate database shared by all search rounds.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateDb {
+    entries: Vec<DbEntry>,
+}
+
+impl CandidateDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of measured candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a configuration has already been measured.
+    pub fn contains(&self, config: &ScheduleConfig) -> bool {
+        self.entries.iter().any(|e| &e.config == config)
+    }
+
+    /// Records a measurement.
+    pub fn insert(&mut self, config: ScheduleConfig, latency_s: f64) {
+        self.entries.push(DbEntry { config, latency_s });
+        self.entries
+            .sort_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// The best entry so far.
+    pub fn best(&self) -> Option<&DbEntry> {
+        self.entries.first()
+    }
+
+    /// Selects up to `k` parent candidates.  With `balanced` set, half the
+    /// slots are reserved for `rfactor` candidates and half for
+    /// non-`rfactor` candidates (§5.2.3's balanced sampler); otherwise the
+    /// plain top-k by latency is returned.
+    pub fn top_k(&self, k: usize, balanced: bool) -> Vec<&DbEntry> {
+        if !balanced {
+            return self.entries.iter().take(k).collect();
+        }
+        let half = k.div_ceil(2);
+        let with: Vec<&DbEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.config.uses_rfactor())
+            .take(half)
+            .collect();
+        let without: Vec<&DbEntry> = self
+            .entries
+            .iter()
+            .filter(|e| !e.config.uses_rfactor())
+            .take(half)
+            .collect();
+        let mut out = Vec::with_capacity(k);
+        out.extend(with);
+        out.extend(without);
+        // Fill up with remaining best entries if one side is short.
+        if out.len() < k {
+            for e in &self.entries {
+                if out.len() >= k {
+                    break;
+                }
+                if !out.iter().any(|x| std::ptr::eq(*x, e)) {
+                    out.push(e);
+                }
+            }
+        }
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(dpus: i64, rfactor: i64) -> ScheduleConfig {
+        ScheduleConfig {
+            spatial_dpus: vec![dpus],
+            reduce_dpus: rfactor,
+            tasklets: 8,
+            cache_elems: 64,
+            use_cache: true,
+            unroll: false,
+            host_threads: 4,
+            parallel_transfer: true,
+        }
+    }
+
+    #[test]
+    fn epsilon_schedule_decays_linearly() {
+        let s = SearchStrategy::default();
+        assert!((s.epsilon_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((s.epsilon_at(0.2) - 0.275).abs() < 1e-12);
+        assert!((s.epsilon_at(0.4) - 0.05).abs() < 1e-12);
+        assert!((s.epsilon_at(0.9) - 0.05).abs() < 1e-12);
+        let fixed = SearchStrategy::tvm_default();
+        assert!((fixed.epsilon_at(0.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_window_follows_exploration_fraction() {
+        let s = SearchStrategy::default();
+        assert!(s.balanced_at(0.1));
+        assert!(!s.balanced_at(0.5));
+        let off = SearchStrategy::tvm_default();
+        assert!(!off.balanced_at(0.1));
+    }
+
+    #[test]
+    fn db_orders_by_latency() {
+        let mut db = CandidateDb::new();
+        db.insert(cfg(64, 1), 3.0);
+        db.insert(cfg(128, 1), 1.0);
+        db.insert(cfg(256, 2), 2.0);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.best().unwrap().latency_s, 1.0);
+        assert!(db.contains(&cfg(64, 1)));
+        assert!(!db.contains(&cfg(999, 1)));
+    }
+
+    #[test]
+    fn balanced_top_k_keeps_both_design_spaces() {
+        let mut db = CandidateDb::new();
+        // rfactor candidates dominate the top of the database.
+        for (i, lat) in (0..6).zip([1.0, 1.1, 1.2, 1.3, 1.4, 1.5]) {
+            db.insert(cfg(64 + i, 4), lat);
+        }
+        db.insert(cfg(32, 1), 9.0);
+        db.insert(cfg(16, 1), 10.0);
+
+        let plain = db.top_k(4, false);
+        assert!(plain.iter().all(|e| e.config.uses_rfactor()));
+
+        let balanced = db.top_k(4, true);
+        let non_rfactor = balanced.iter().filter(|e| !e.config.uses_rfactor()).count();
+        assert_eq!(non_rfactor, 2, "balanced sampling must keep non-rfactor parents");
+    }
+
+    #[test]
+    fn balanced_top_k_fills_when_one_side_is_short() {
+        let mut db = CandidateDb::new();
+        db.insert(cfg(64, 4), 1.0);
+        db.insert(cfg(128, 4), 2.0);
+        db.insert(cfg(256, 4), 3.0);
+        let picked = db.top_k(3, true);
+        assert_eq!(picked.len(), 3);
+    }
+}

@@ -1,0 +1,309 @@
+//! The autotuning driver: design-space generation → verification → cost-model
+//! ranking → measurement → database/model update (Fig. 6's loop).
+
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost_model::{featurize, CostModel};
+use crate::search::{CandidateDb, SearchStrategy};
+use crate::space::{ScheduleConfig, SearchSpace};
+use crate::verifier::verify;
+
+/// How a candidate's latency is obtained.  `atim-core` implements this by
+/// compiling the candidate (PIM-aware passes included) and running it on the
+/// simulated UPMEM machine; tests may use analytic stand-ins.
+pub trait Measurer {
+    /// Measures one candidate, returning its latency in seconds, or `None`
+    /// if the candidate failed to build or run.
+    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64>;
+}
+
+impl<F> Measurer for F
+where
+    F: FnMut(&ScheduleConfig) -> Option<f64>,
+{
+    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
+        self(config)
+    }
+}
+
+/// Tuning options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningOptions {
+    /// Total number of hardware measurements (the paper uses 1000 trials).
+    pub trials: usize,
+    /// Candidates generated per search round.
+    pub population: usize,
+    /// Candidates measured per round (the top of the cost-model ranking).
+    pub measure_per_round: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Search strategy (balanced sampling + adaptive ε by default).
+    pub strategy: SearchStrategy,
+}
+
+impl Default for TuningOptions {
+    fn default() -> Self {
+        TuningOptions {
+            trials: 128,
+            population: 64,
+            measure_per_round: 16,
+            seed: 0xA71B,
+            strategy: SearchStrategy::default(),
+        }
+    }
+}
+
+impl TuningOptions {
+    /// A small budget suitable for tests and quick demos.
+    pub fn quick() -> Self {
+        TuningOptions {
+            trials: 24,
+            population: 24,
+            measure_per_round: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningRecord {
+    /// Trial index (0-based, in measurement order).
+    pub trial: usize,
+    /// The measured configuration.
+    pub config: ScheduleConfig,
+    /// Measured latency in seconds.
+    pub latency_s: f64,
+    /// Best latency observed up to and including this trial.
+    pub best_so_far_s: f64,
+}
+
+/// Result of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The best configuration found, with its latency (absent only if every
+    /// measurement failed).
+    pub best: Option<(ScheduleConfig, f64)>,
+    /// Per-trial history (for convergence plots like the paper's Fig. 14).
+    pub history: Vec<TuningRecord>,
+    /// Number of measurements performed.
+    pub measured: usize,
+    /// Number of candidates rejected by the UPMEM verifier before
+    /// measurement.
+    pub rejected: usize,
+}
+
+impl TuningResult {
+    /// Best latency in seconds (infinity if nothing was measured).
+    pub fn best_latency(&self) -> f64 {
+        self.best.as_ref().map(|(_, l)| *l).unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Runs the full autotuning loop for one workload.
+///
+/// Candidates are generated from the two design spaces (with and without
+/// `rfactor`), filtered by the UPMEM verifier, ranked by the cost model and
+/// measured by `measurer`; measurements feed the best-candidate database and
+/// retrain the cost model every round.
+pub fn tune(
+    def: &ComputeDef,
+    hw: &UpmemConfig,
+    options: &TuningOptions,
+    measurer: &mut dyn Measurer,
+) -> TuningResult {
+    let space = SearchSpace::new(def, hw);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut db = CandidateDb::new();
+    let mut model = CostModel::new();
+    let mut history = Vec::new();
+    let mut measured = 0usize;
+    let mut rejected = 0usize;
+    let mut samples: Vec<([f64; crate::cost_model::NUM_FEATURES], f64)> = Vec::new();
+
+    let max_rounds = options.trials * 8 / options.measure_per_round.max(1) + 8;
+    for _round in 0..max_rounds {
+        if measured >= options.trials {
+            break;
+        }
+        let progress = measured as f64 / options.trials.max(1) as f64;
+        let epsilon = options.strategy.epsilon_at(progress);
+        let balanced = options.strategy.balanced_at(progress);
+
+        // --- Design space generation + evolution -----------------------------
+        let mut candidates: Vec<ScheduleConfig> = Vec::with_capacity(options.population);
+        let parents = db.top_k(16, balanced);
+        for i in 0..options.population {
+            let with_rfactor = space.supports_rfactor() && i % 2 == 0;
+            let explore = parents.is_empty() || rng.gen_bool(epsilon);
+            let cand = if explore {
+                space.sample(&mut rng, with_rfactor)
+            } else {
+                let parent = parents[rng.gen_range(0..parents.len())];
+                space.mutate(&mut rng, &parent.config)
+            };
+            candidates.push(cand);
+        }
+
+        // --- Verification ------------------------------------------------------
+        let mut verified: Vec<ScheduleConfig> = Vec::new();
+        for cand in candidates {
+            if verified.contains(&cand) || db.contains(&cand) {
+                continue;
+            }
+            match verify(&cand, def, hw) {
+                Ok(_) => verified.push(cand),
+                Err(_) => rejected += 1,
+            }
+        }
+        if verified.is_empty() {
+            continue;
+        }
+
+        // --- Cost-model ranking -------------------------------------------------
+        let mut ranked: Vec<(f64, ScheduleConfig)> = verified
+            .into_iter()
+            .map(|c| (model.predict(&featurize(&c, def, hw)), c))
+            .collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // --- Measurement -----------------------------------------------------------
+        for (_, cand) in ranked.into_iter().take(options.measure_per_round) {
+            if measured >= options.trials {
+                break;
+            }
+            let Some(latency) = measurer.measure(&cand) else {
+                measured += 1;
+                continue;
+            };
+            samples.push((featurize(&cand, def, hw), latency));
+            db.insert(cand.clone(), latency);
+            history.push(TuningRecord {
+                trial: measured,
+                config: cand,
+                latency_s: latency,
+                best_so_far_s: db.best().map(|e| e.latency_s).unwrap_or(latency),
+            });
+            measured += 1;
+        }
+
+        // --- Cost-model update -------------------------------------------------------
+        model.train(&samples);
+    }
+
+    TuningResult {
+        best: db.best().map(|e| (e.config.clone(), e.latency_s)),
+        history,
+        measured,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An analytic measurer with a known optimum: latency is minimized by
+    /// using many DPUs, many tasklets and a mid-sized caching tile, with a
+    /// penalty for skipping rfactor on reduction-heavy shapes.
+    fn analytic_measure(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+        let work = def.total_flops() as f64;
+        move |cfg: &ScheduleConfig| {
+            let dpus = cfg.num_dpus() as f64;
+            let tasklets = cfg.tasklets.min(11) as f64;
+            let kernel = work / (dpus * tasklets);
+            let cache_penalty = if cfg.use_cache {
+                1.0 + (64.0 - cfg.cache_elems as f64).abs() / 256.0
+            } else {
+                20.0
+            };
+            let reduce_bonus = if cfg.uses_rfactor() { 0.7 } else { 1.0 };
+            let transfer = work.sqrt() / 50.0 + dpus * 0.001;
+            Some((kernel * cache_penalty * reduce_bonus + transfer) * 1e-6)
+        }
+    }
+
+    #[test]
+    fn tuner_converges_toward_good_configurations() {
+        let def = ComputeDef::mtv("mtv", 4096, 4096);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 64,
+            population: 32,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut measurer = analytic_measure(&def);
+        let result = tune(&def, &hw, &opts, &mut measurer);
+        assert_eq!(result.measured, 64);
+        let (best, best_lat) = result.best.clone().unwrap();
+        assert!(best_lat.is_finite());
+        // The analytic optimum wants lots of DPUs and tasklets and caching.
+        assert!(best.num_dpus() >= 256, "best used {} DPUs", best.num_dpus());
+        assert!(best.tasklets >= 8);
+        assert!(best.use_cache);
+        // Convergence: the best at the end is no worse than the first trial.
+        let first = result.history.first().unwrap().latency_s;
+        assert!(result.best_latency() <= first);
+        // History is monotone in best_so_far.
+        let mut prev = f64::INFINITY;
+        for rec in &result.history {
+            assert!(rec.best_so_far_s <= prev + 1e-15);
+            prev = rec.best_so_far_s;
+        }
+    }
+
+    #[test]
+    fn verifier_rejections_are_counted() {
+        let def = ComputeDef::mtv("mtv", 8192, 8192);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut measurer = analytic_measure(&def);
+        let result = tune(&def, &hw, &opts, &mut measurer);
+        // Some random candidates will exceed WRAM or DPU limits for this
+        // shape; the exact number is seed-dependent but must be tracked.
+        assert!(result.measured > 0);
+        assert!(result.history.len() <= result.measured);
+        let _ = result.rejected;
+    }
+
+    #[test]
+    fn failed_measurements_do_not_poison_the_database() {
+        let def = ComputeDef::va("va", 1 << 20);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut calls = 0usize;
+        let mut measurer = |_: &ScheduleConfig| -> Option<f64> {
+            calls += 1;
+            if calls % 2 == 0 {
+                None
+            } else {
+                Some(calls as f64 * 1e-6)
+            }
+        };
+        let result = tune(&def, &hw, &opts, &mut measurer);
+        assert!(result.best.is_some());
+        assert!(result.history.len() < result.measured);
+    }
+
+    #[test]
+    fn strategies_affect_the_search_but_all_converge() {
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let hw = UpmemConfig::default();
+        for strategy in [SearchStrategy::default(), SearchStrategy::tvm_default()] {
+            let opts = TuningOptions {
+                trials: 40,
+                population: 24,
+                measure_per_round: 8,
+                strategy,
+                ..TuningOptions::default()
+            };
+            let mut measurer = analytic_measure(&def);
+            let result = tune(&def, &hw, &opts, &mut measurer);
+            assert!(result.best_latency().is_finite());
+        }
+    }
+}

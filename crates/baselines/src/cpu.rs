@@ -1,0 +1,41 @@
+//! CPU-autotuned baseline.
+//!
+//! Thin wrapper over the host-CPU roofline model in `atim-sim`, exposed in
+//! terms of [`Workload`]s so benchmark harnesses can ask for "the CPU time of
+//! this preset" directly.
+
+use atim_sim::cpu::{cpu_autotuned, CpuEstimate};
+use atim_sim::UpmemConfig;
+use atim_workloads::Workload;
+
+/// Estimated latency of the autotuned CPU implementation of a workload.
+pub fn cpu_latency(workload: &Workload, hw: &UpmemConfig) -> CpuEstimate {
+    cpu_autotuned(&workload.compute_def(), hw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_workloads::WorkloadKind;
+
+    #[test]
+    fn cpu_latency_grows_with_size() {
+        let hw = UpmemConfig::default();
+        let small = Workload::new(WorkloadKind::Mtv, vec![1024, 1024]);
+        let big = Workload::new(WorkloadKind::Mtv, vec![8192, 8192]);
+        let a = cpu_latency(&small, &hw);
+        let b = cpu_latency(&big, &hw);
+        assert!(b.time_s > a.time_s * 10.0);
+    }
+
+    #[test]
+    fn all_presets_have_finite_estimates() {
+        let hw = UpmemConfig::default();
+        for kind in WorkloadKind::ALL {
+            for (_, w) in atim_workloads::ops::presets_for(kind) {
+                let e = cpu_latency(&w, &hw);
+                assert!(e.time_s.is_finite() && e.time_s > 0.0);
+            }
+        }
+    }
+}

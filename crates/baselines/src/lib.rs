@@ -1,0 +1,23 @@
+//! # atim-baselines — the comparison points of the paper's evaluation
+//!
+//! The paper compares ATiM against four configurations (§6):
+//!
+//! * [`prim`] — **PrIM / PrIM(E) / PrIM+search**: hand-tuned kernels
+//!   following the PrIM programming guide (1-D row tiling, fixed 1024-byte
+//!   caching tiles, 16 tasklets, no hierarchical reduction), optionally with
+//!   a grid search over the DPU count (PrIM(E)) or over DPU count, tasklets
+//!   and caching tile size (PrIM+search).
+//! * [`simplepim`] — **SimplePIM**: a 1-D map/reduce framework whose
+//!   convenience costs it whole-tensor DPU→host copies and barrier-heavy
+//!   partial reductions.
+//! * [`cpu`] — **CPU-autotuned**: a multi-threaded, vectorized CPU
+//!   implementation modelled with a bandwidth/compute roofline.
+//!
+//! All PIM baselines are expressed as [`atim_autotune::ScheduleConfig`]
+//! points so they run through exactly the same compilation and simulation
+//! pipeline as ATiM's autotuned schedules; only the schedule decisions
+//! differ, which is precisely the comparison the paper makes.
+
+pub mod cpu;
+pub mod prim;
+pub mod simplepim;

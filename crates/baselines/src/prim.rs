@@ -1,0 +1,182 @@
+//! PrIM-style baselines.
+//!
+//! PrIM (Gómez-Luna et al.) is the hand-optimized UPMEM benchmark suite the
+//! paper uses as its primary baseline.  Its kernels share a common recipe:
+//!
+//! * tensors are tiled along the **outermost spatial dimension only** (1-D
+//!   tiling) and distributed across DPUs,
+//! * 16 tasklets per DPU,
+//! * a fixed WRAM caching tile of 1024 bytes (256 `f32` elements), the value
+//!   recommended by the UPMEM programming guide,
+//! * no hierarchical reduction for matrix/vector kernels (only RED reduces
+//!   per-DPU partials on the host).
+//!
+//! Three variants are evaluated in the paper:
+//!
+//! * **PrIM** — the defaults above with the DPU count from the benchmark's
+//!   default parameters,
+//! * **PrIM(E)** — the DPU count selected by grid search (powers of two),
+//! * **PrIM+search** — DPU count, tasklet count and caching tile size all
+//!   selected by grid search over independent axes (contrasted in §7.1 with
+//!   ATiM's joint search space).
+
+use atim_autotune::ScheduleConfig;
+use atim_sim::UpmemConfig;
+use atim_workloads::{Workload, WorkloadKind};
+
+/// The PrIM programming-guide caching tile: 1024 bytes of 4-byte elements.
+pub const PRIM_CACHE_ELEMS: i64 = 256;
+
+/// The PrIM default tasklet count.
+pub const PRIM_TASKLETS: i64 = 16;
+
+/// The default (non-searched) PrIM configuration for a workload.
+pub fn prim_default(workload: &Workload, hw: &UpmemConfig) -> ScheduleConfig {
+    let total = hw.total_dpus() as i64;
+    let shape = &workload.shape;
+    let (spatial_dpus, reduce_dpus) = match workload.kind {
+        // Element-wise kernels spread over every available DPU.
+        WorkloadKind::Va | WorkloadKind::Geva => (vec![shape[0].min(total)], 1),
+        // RED: per-DPU partial reduction, host final reduction.
+        WorkloadKind::Red => (vec![], default_red_dpus(shape[0], total)),
+        // MTV/GEMV: 1-D tiling over rows only.
+        WorkloadKind::Mtv | WorkloadKind::Gemv => (vec![shape[0].min(512.min(total))], 1),
+        // TTV: flatten the outer spatial dimensions over DPUs.
+        WorkloadKind::Ttv | WorkloadKind::Mmtv => {
+            let d0 = shape[0].min(total);
+            let d1 = shape[1].min((total / d0).max(1));
+            (vec![d0, d1], 1)
+        }
+    };
+    ScheduleConfig {
+        spatial_dpus,
+        reduce_dpus,
+        tasklets: PRIM_TASKLETS,
+        cache_elems: PRIM_CACHE_ELEMS,
+        use_cache: true,
+        unroll: false,
+        host_threads: 1,
+        parallel_transfer: true,
+    }
+}
+
+fn default_red_dpus(n: i64, total: i64) -> i64 {
+    // PrIM's RED defaults use 256-1024 DPUs depending on the input size.
+    let per_dpu = 64 * 1024;
+    (n / per_dpu).clamp(256.min(total), 1024.min(total))
+}
+
+/// The DPU-count grid searched by PrIM(E): powers of two, `2^5..2^11` for
+/// MMTV and `2^8..2^11` for the other kernels (§6).
+pub fn prim_e_candidates(workload: &Workload, hw: &UpmemConfig) -> Vec<ScheduleConfig> {
+    let range: Vec<i64> = match workload.kind {
+        WorkloadKind::Mmtv => (5..=11).map(|p| 1i64 << p).collect(),
+        _ => (8..=11).map(|p| 1i64 << p).collect(),
+    };
+    let base = prim_default(workload, hw);
+    range
+        .into_iter()
+        .filter(|&d| d <= hw.total_dpus() as i64)
+        .map(|dpus| with_dpus(&base, workload, dpus))
+        .collect()
+}
+
+/// The independent-axis grid searched by PrIM+search: DPU count × tasklets ×
+/// caching tile size (still 1-D tiling, still no hierarchical reduction).
+pub fn prim_search_candidates(workload: &Workload, hw: &UpmemConfig) -> Vec<ScheduleConfig> {
+    let mut out = Vec::new();
+    let tasklet_grid = [8i64, 16, 24];
+    let cache_grid = [8i64, 16, 32, 64, 128, 256];
+    for base in prim_e_candidates(workload, hw) {
+        for &t in &tasklet_grid {
+            for &c in &cache_grid {
+                let mut cfg = base.clone();
+                cfg.tasklets = t.min(hw.max_tasklets as i64);
+                cfg.cache_elems = c;
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites the DPU-count decision of a PrIM configuration while keeping its
+/// 1-D tiling discipline.
+fn with_dpus(base: &ScheduleConfig, workload: &Workload, dpus: i64) -> ScheduleConfig {
+    let mut cfg = base.clone();
+    let shape = &workload.shape;
+    match workload.kind {
+        WorkloadKind::Red => cfg.reduce_dpus = dpus.min(shape[0]),
+        WorkloadKind::Va | WorkloadKind::Geva | WorkloadKind::Mtv | WorkloadKind::Gemv => {
+            cfg.spatial_dpus = vec![dpus.min(shape[0])];
+        }
+        WorkloadKind::Ttv | WorkloadKind::Mmtv => {
+            let d0 = shape[0].min(dpus);
+            let d1 = (dpus / d0).max(1).min(shape[1]);
+            cfg.spatial_dpus = vec![d0, d1];
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_autotune::verify;
+
+    fn hw() -> UpmemConfig {
+        UpmemConfig::default()
+    }
+
+    #[test]
+    fn prim_defaults_follow_the_programming_guide() {
+        let w = Workload::new(WorkloadKind::Mtv, vec![4096, 4096]);
+        let cfg = prim_default(&w, &hw());
+        assert_eq!(cfg.tasklets, 16);
+        assert_eq!(cfg.cache_elems, 256);
+        assert!(!cfg.uses_rfactor(), "PrIM MTV uses 1-D tiling only");
+        assert_eq!(cfg.spatial_dpus, vec![512]);
+    }
+
+    #[test]
+    fn prim_defaults_verify_for_all_presets() {
+        for kind in WorkloadKind::ALL {
+            for (label, w) in atim_workloads::ops::presets_for(kind) {
+                let cfg = prim_default(&w, &hw());
+                let def = w.compute_def();
+                assert!(
+                    verify(&cfg, &def, &hw()).is_ok(),
+                    "{kind} {label}: {cfg:?} rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prim_e_grid_matches_paper_ranges() {
+        let mmtv = Workload::new(WorkloadKind::Mmtv, vec![256, 512, 512]);
+        let cands = prim_e_candidates(&mmtv, &hw());
+        assert_eq!(cands.len(), 7); // 2^5..2^11
+        let mtv = Workload::new(WorkloadKind::Mtv, vec![8192, 8192]);
+        let cands = prim_e_candidates(&mtv, &hw());
+        assert_eq!(cands.len(), 4); // 2^8..2^11
+        assert!(cands.iter().all(|c| !c.uses_rfactor()));
+    }
+
+    #[test]
+    fn prim_search_grid_is_the_cartesian_product() {
+        let w = Workload::new(WorkloadKind::Va, vec![1 << 24]);
+        let cands = prim_search_candidates(&w, &hw());
+        assert_eq!(cands.len(), 4 * 3 * 6);
+        // Still no joint-space decisions: reduction tiling never appears.
+        assert!(cands.iter().all(|c| !c.uses_rfactor()));
+    }
+
+    #[test]
+    fn red_uses_hierarchical_reduction_by_construction() {
+        let w = Workload::new(WorkloadKind::Red, vec![1 << 24]);
+        let cfg = prim_default(&w, &hw());
+        assert!(cfg.uses_rfactor());
+        assert!(cfg.spatial_dpus.is_empty());
+    }
+}

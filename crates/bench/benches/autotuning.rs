@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the autotuning loop itself: candidate generation,
+//! verification, cost-model ranking and measurement (the machinery behind
+//! Fig. 14/15).
+
+use atim_autotune::{tune, ScheduleConfig, TuningOptions};
+use atim_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_verifier(c: &mut Criterion) {
+    let def = ComputeDef::gemv("gemv", 4096, 4096, 1.0);
+    let hw = UpmemConfig::default();
+    let cfg = ScheduleConfig {
+        spatial_dpus: vec![256],
+        reduce_dpus: 8,
+        tasklets: 16,
+        cache_elems: 64,
+        use_cache: true,
+        unroll: true,
+        host_threads: 16,
+        parallel_transfer: true,
+    };
+    c.bench_function("verify_candidate", |b| {
+        b.iter(|| atim_autotune::verify(&cfg, &def, &hw).unwrap())
+    });
+}
+
+fn bench_small_tuning_session(c: &mut Criterion) {
+    let atim = Atim::default();
+    let def = ComputeDef::mtv("mtv", 1024, 1024);
+    let options = TuningOptions {
+        trials: 16,
+        population: 16,
+        measure_per_round: 8,
+        ..TuningOptions::default()
+    };
+    let mut group = c.benchmark_group("tuning_session");
+    // A full (if small) tuning session per iteration: keep the sample count
+    // low so `cargo bench` stays quick.
+    group.sample_size(10);
+    group.bench_function("tune_16_trials_mtv_1k", |b| {
+        b.iter(|| {
+            let mut measurer = |cfg: &ScheduleConfig| atim.measure_config(cfg, &def);
+            tune(&def, atim.hardware(), &options, &mut measurer)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier, bench_small_tuning_session);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the compile + simulate pipeline for
+//! representative kernels (the machinery behind Fig. 9/10's measurements).
+//!
+//! These are *harness* benchmarks: they measure how fast ATiM-RS itself can
+//! evaluate one schedule candidate (compile, optimize, simulate), which is
+//! the unit of work every experiment binary repeats thousands of times.
+
+use atim_autotune::ScheduleConfig;
+use atim_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn config_2d(spatial: i64, reduce: i64) -> ScheduleConfig {
+    ScheduleConfig {
+        spatial_dpus: vec![spatial],
+        reduce_dpus: reduce,
+        tasklets: 16,
+        cache_elems: 64,
+        use_cache: true,
+        unroll: true,
+        host_threads: 16,
+        parallel_transfer: true,
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let atim = Atim::default();
+    let def = ComputeDef::gemv("gemv", 1024, 1024, 1.0);
+    let cfg = config_2d(64, 4);
+    c.bench_function("compile_gemv_1k", |b| {
+        b.iter(|| atim.compile_config(&cfg, &def).unwrap())
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let atim = Atim::default();
+    let mut group = c.benchmark_group("simulate_timing_only");
+    for (name, def, cfg) in [
+        ("va_1m", ComputeDef::va("va", 1 << 20), config_2d(1024, 1)),
+        (
+            "gemv_1k",
+            ComputeDef::gemv("gemv", 1024, 1024, 1.0),
+            config_2d(64, 4),
+        ),
+        (
+            "mmtv_small",
+            ComputeDef::mmtv("mmtv", 16, 64, 256),
+            config_2d(16, 1),
+        ),
+    ] {
+        let module = atim.compile_config(&cfg, &def).unwrap();
+        group.bench_function(name, |b| b.iter(|| atim.runtime().time(&module).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_full_execution(c: &mut Criterion) {
+    let atim = Atim::default();
+    let def = ComputeDef::mtv("mtv", 256, 256);
+    let cfg = config_2d(16, 2);
+    let module = atim.compile_config(&cfg, &def).unwrap();
+    let inputs = atim_workloads::data::generate_inputs(&def, 3);
+    c.bench_function("execute_functional_mtv_256", |b| {
+        b.iter(|| atim.execute(&module, &inputs).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_simulate, bench_full_execution);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the PIM-aware optimization passes and their
+//! effect on simulated kernel latency (the machinery behind Fig. 12/13).
+
+use atim_autotune::ScheduleConfig;
+use atim_core::prelude::*;
+use atim_core::{compile_config, CompileOptions};
+use atim_passes::optimize_kernel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn misaligned_gemv() -> (ComputeDef, ScheduleConfig) {
+    let def = ComputeDef::gemv("gemv", 245, 245, 1.0);
+    let cfg = ScheduleConfig {
+        spatial_dpus: vec![8],
+        reduce_dpus: 1,
+        tasklets: 8,
+        cache_elems: 64,
+        use_cache: true,
+        unroll: false,
+        host_threads: 1,
+        parallel_transfer: true,
+    };
+    (def, cfg)
+}
+
+fn bench_pass_pipeline(c: &mut Criterion) {
+    let (def, cfg) = misaligned_gemv();
+    let sch = cfg.instantiate(&def).unwrap();
+    let lowered = sch.lower().unwrap();
+    let mut group = c.benchmark_group("pass_pipeline");
+    for level in OptLevel::ALL {
+        group.bench_function(level.label(), |b| {
+            b.iter(|| optimize_kernel(lowered.kernel.body.clone(), level))
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_level_latency(c: &mut Criterion) {
+    // Measures the simulated kernel, demonstrating that higher optimization
+    // levels also *simulate* faster (fewer interpreted events), which is what
+    // keeps the experiment harness tractable.
+    let atim = Atim::default();
+    let (def, cfg) = misaligned_gemv();
+    let mut group = c.benchmark_group("simulate_by_opt_level");
+    for level in OptLevel::ALL {
+        let module = compile_config(
+            &cfg,
+            &def,
+            CompileOptions {
+                opt_level: level,
+                parallel_transfer: true,
+            },
+            atim.hardware(),
+        )
+        .unwrap();
+        group.bench_function(level.label(), |b| {
+            b.iter(|| atim.runtime().time(&module).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pass_pipeline, bench_opt_level_latency);
+criterion_main!(benches);

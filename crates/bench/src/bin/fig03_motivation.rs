@@ -1,0 +1,87 @@
+//! Fig. 3 — motivation sweeps: performance impact of caching tile sizes,
+//! 2-D tiling schemes and the number of DPUs (§3).
+//!
+//! Output: three CSV blocks matching Fig. 3(a), (b) and (c).
+
+use atim_autotune::ScheduleConfig;
+use atim_bench::time_config;
+use atim_core::prelude::*;
+
+fn gemv(m: i64, k: i64) -> Workload {
+    Workload::new(WorkloadKind::Gemv, vec![m, k])
+}
+
+fn config(spatial: i64, reduce: i64, tasklets: i64, cache: i64) -> ScheduleConfig {
+    ScheduleConfig {
+        spatial_dpus: vec![spatial],
+        reduce_dpus: reduce,
+        tasklets,
+        cache_elems: cache,
+        use_cache: true,
+        unroll: false,
+        host_threads: 16,
+        parallel_transfer: true,
+    }
+}
+
+fn main() {
+    let atim = Atim::default();
+
+    // (a) Kernel latency vs caching tile size: 512x512 GEMV on a single DPU.
+    println!("# Fig 3(a): 512x512 GEMV on 1 DPU, kernel latency vs caching tile size");
+    println!("cache_elems,kernel_ms");
+    let w = gemv(512, 512);
+    for cache in [4i64, 8, 16, 32, 64, 128, 256] {
+        let cfg = config(1, 1, 16, cache);
+        if let Some(r) = time_config(&atim, &w, &cfg) {
+            println!("{cache},{:.4}", r.kernel_ms());
+        }
+    }
+    println!();
+
+    // (b) Total latency vs 2-D tiling scheme: 8192x8192 GEMV on 2048 DPUs.
+    println!("# Fig 3(b): 8192x8192 GEMV on 2048 DPUs, latency vs tiling scheme (rows x reduce)");
+    println!("tile_scheme,h2d_ms,kernel_ms,d2h_reduce_ms,total_ms");
+    let w = gemv(8192, 8192);
+    for (rows, reduce) in [
+        (2048, 1),
+        (1024, 2),
+        (512, 4),
+        (256, 8),
+        (128, 16),
+        (64, 32),
+        (32, 64),
+        (16, 128),
+    ] {
+        let cfg = config(rows, reduce, 16, 64);
+        if let Some(r) = time_config(&atim, &w, &cfg) {
+            println!(
+                "{rows}x{reduce},{:.3},{:.3},{:.3},{:.3}",
+                r.h2d_s * 1e3,
+                r.kernel_ms(),
+                (r.d2h_s + r.reduce_s) * 1e3,
+                r.total_ms()
+            );
+        }
+    }
+    println!();
+
+    // (c) Total latency vs tile shape and the number of DPUs.
+    for (m, k) in [(512, 512), (8192, 8192)] {
+        println!("# Fig 3(c): {m}x{k} GEMV, latency vs #DPUs (rows-only tiling vs 2-D tiling)");
+        println!("num_dpus,rows_only_ms,two_d_ms");
+        let w = gemv(m, k);
+        for total in [64i64, 128, 256, 512, 1024, 2048] {
+            let rows_only = config(total.min(m), 1, 16, 64);
+            let two_d = config((total / 8).clamp(1, m), 8.min(k), 16, 64);
+            let a = time_config(&atim, &w, &rows_only).map(|r| r.total_ms());
+            let b = time_config(&atim, &w, &two_d).map(|r| r.total_ms());
+            println!(
+                "{total},{},{}",
+                a.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+                b.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 9 — autotuned performance of the seven tensor operations against
+//! PrIM, PrIM(E), PrIM+search, SimplePIM and the autotuned CPU baseline
+//! (§7.1).
+//!
+//! Prints one normalized-latency table per workload and size, in the same
+//! structure as the paper's stacked bars (H2D / kernel / D2H+reduction) with
+//! the CPU-speedup line.
+//!
+//! Set `ATIM_FULL=1` to include the 256/512 MB presets and `ATIM_TRIALS` to
+//! change the autotuning budget (default 48, paper uses 1000).
+
+use atim_bench::{evaluate_workload, print_normalized_table, select_sizes, trials_from_env};
+use atim_core::prelude::*;
+use atim_workloads::ops::presets_for;
+
+fn main() {
+    let atim = Atim::default();
+    let trials = trials_from_env();
+    for kind in WorkloadKind::ALL {
+        for (label, workload) in select_sizes(presets_for(kind)) {
+            let rows = evaluate_workload(&atim, &workload, trials);
+            print_normalized_table(&format!("Fig 9 ({kind}, {label})"), &workload, &rows);
+        }
+    }
+}

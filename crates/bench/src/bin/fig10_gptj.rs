@@ -1,0 +1,53 @@
+//! Fig. 10 — performance of the FC (MTV) and MHA (MMTV) operations of
+//! GPT-J 6B and 30B (§7.2).
+//!
+//! By default a representative subset of batch sizes and token counts is
+//! evaluated; set `ATIM_FULL=1` for the paper's full grid (batch ∈ {1,4,16},
+//! tokens ∈ {64,128,256,512}).
+
+use atim_bench::{evaluate_workload, full_from_env, print_normalized_table, trials_from_env};
+use atim_core::prelude::*;
+use atim_workloads::gptj::{fc_layers, fc_workload, mha_workload, GptJModel, BATCH_SIZES, TOKEN_COUNTS};
+
+fn main() {
+    let atim = Atim::default();
+    let trials = trials_from_env();
+    let full = full_from_env();
+    let batches: Vec<i64> = if full {
+        BATCH_SIZES.to_vec()
+    } else {
+        vec![1, 16]
+    };
+    let tokens: Vec<i64> = if full {
+        TOKEN_COUNTS.to_vec()
+    } else {
+        vec![64, 256]
+    };
+
+    for model in [GptJModel::B6, GptJModel::B30] {
+        println!("## {} — MMTV (multi-head attention)", model.label());
+        for &b in &batches {
+            for &t in &tokens {
+                let w = mha_workload(model, b, t);
+                let rows = evaluate_workload(&atim, &w, trials);
+                print_normalized_table(
+                    &format!("Fig 10 MMTV {} batch={b} tokens={t}", model.label()),
+                    &w,
+                    &rows,
+                );
+            }
+        }
+        println!("## {} — MTV (fully-connected layers)", model.label());
+        let layers = fc_layers(model);
+        let selected = if full { layers.clone() } else { layers[..2].to_vec() };
+        for layer in selected {
+            let w = fc_workload(&layer);
+            let rows = evaluate_workload(&atim, &w, trials);
+            print_normalized_table(
+                &format!("Fig 10 MTV {} {} ({}x{})", model.label(), layer.name, layer.m, layer.k),
+                &w,
+                &rows,
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 11 — ATiM's speedup over PrIM and PrIM+search for MMTV as a function
+//! of the spatial-dimension size (#batches × #heads × #tokens), with the
+//! reduction dimension fixed at 256 (§7.2).
+
+use atim_bench::{atim_report, prim_report, prim_search_report, trials_from_env};
+use atim_core::prelude::*;
+
+fn main() {
+    let atim = Atim::default();
+    let trials = trials_from_env();
+    println!("# Fig 11: MMTV speedup vs spatial dimension size (reduction = 256)");
+    println!("spatial_size,atim_ms,speedup_vs_prim,speedup_vs_prim_search");
+    // (heads*batch, tokens) pairs spanning ~1k to ~125k spatial elements.
+    for (outer, tokens) in [
+        (16i64, 64i64),
+        (16, 128),
+        (64, 64),
+        (64, 128),
+        (64, 256),
+        (256, 128),
+        (256, 256),
+        (448, 256),
+    ] {
+        let spatial = outer * tokens;
+        let w = Workload::new(WorkloadKind::Mmtv, vec![outer, tokens, 256]);
+        let prim = prim_report(&atim, &w).map(|r| r.total_ms());
+        let prim_search = prim_search_report(&atim, &w).map(|r| r.total_ms());
+        let (_, atim_r) = atim_report(&atim, &w, trials);
+        let atim_ms = atim_r.total_ms();
+        println!(
+            "{spatial},{atim_ms:.3},{},{}",
+            prim.map(|p| format!("{:.3}", p / atim_ms)).unwrap_or_else(|| "-".into()),
+            prim_search
+                .map(|p| format!("{:.3}", p / atim_ms))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 13 — single-DPU runtime breakdown (issuable / idle-memory /
+//! idle-core cycles) and normalized instruction count under the PIM-aware
+//! optimization ablation, as the paper measures with uPIMulator (§7.3).
+
+use atim_autotune::ScheduleConfig;
+use atim_core::prelude::*;
+use atim_core::{compile_config, CompileOptions};
+
+fn single_dpu_config(tasklets: i64, cache: i64) -> ScheduleConfig {
+    ScheduleConfig {
+        spatial_dpus: vec![1],
+        reduce_dpus: 1,
+        tasklets,
+        cache_elems: cache,
+        use_cache: true,
+        unroll: false,
+        host_threads: 1,
+        parallel_transfer: true,
+    }
+}
+
+fn breakdown(atim: &Atim, title: &str, def: &ComputeDef, cfg: &ScheduleConfig) {
+    println!("# Fig 13: {title}");
+    println!("opt_level,issuable_pct,idle_memory_pct,idle_core_pct,instructions_norm");
+    let mut base_instr = None;
+    for level in OptLevel::ALL {
+        let module = compile_config(
+            cfg,
+            def,
+            CompileOptions {
+                opt_level: level,
+                parallel_transfer: true,
+            },
+            atim.hardware(),
+        )
+        .expect("compile");
+        let report = atim.runtime().time(&module).expect("run");
+        let (a, m, c) = report.breakdown.fractions();
+        let base = *base_instr.get_or_insert(report.instructions.max(1));
+        println!(
+            "{},{:.1},{:.1},{:.1},{:.3}",
+            level.label(),
+            a * 100.0,
+            m * 100.0,
+            c * 100.0,
+            report.instructions as f64 / base as f64
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let atim = Atim::default();
+
+    let gemv = ComputeDef::gemv("gemv", 245, 245, 1.0);
+    breakdown(
+        &atim,
+        "GEMV (245x245), single DPU, 8 tasklets",
+        &gemv,
+        &single_dpu_config(8, 64),
+    );
+
+    let va = ComputeDef::va("va", 25_000);
+    breakdown(
+        &atim,
+        "VA (25000), single DPU, 8 tasklets",
+        &va,
+        &single_dpu_config(8, 64),
+    );
+}

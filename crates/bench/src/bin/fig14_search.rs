@@ -1,0 +1,75 @@
+//! Fig. 14 — autotuning efficiency of the balanced sampling and adaptive
+//! ε-greedy strategies, individually and combined, against TVM's default
+//! evolutionary search (§7.4).
+//!
+//! Prints the best-so-far throughput (GFLOPS) every few trials for the four
+//! strategies.  Use `ATIM_TRIALS` to change the budget (default 200; the
+//! paper uses 1000).
+
+use atim_autotune::search::SearchStrategy;
+use atim_autotune::{tune, Measurer, ScheduleConfig, TuningOptions};
+use atim_core::prelude::*;
+
+struct SimMeasurer<'a> {
+    atim: &'a Atim,
+    def: &'a ComputeDef,
+}
+
+impl Measurer for SimMeasurer<'_> {
+    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
+        self.atim.measure_config(config, self.def)
+    }
+}
+
+fn main() {
+    let atim = Atim::default();
+    let trials = std::env::var("ATIM_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200usize);
+    let def = ComputeDef::gemv("gemv", 4096, 4096, 1.0);
+    let flops = def.total_flops() as f64;
+
+    let strategies = [
+        ("None (default TVM)", SearchStrategy::tvm_default()),
+        (
+            "Balanced sampling",
+            SearchStrategy {
+                balanced_sampling: true,
+                adaptive_epsilon: false,
+                ..SearchStrategy::default()
+            },
+        ),
+        (
+            "Adaptive epsilon-greedy",
+            SearchStrategy {
+                balanced_sampling: false,
+                adaptive_epsilon: true,
+                ..SearchStrategy::default()
+            },
+        ),
+        ("All (ATiM)", SearchStrategy::default()),
+    ];
+
+    println!("# Fig 14: best-so-far GFLOPS vs number of trials (GEMV 4096x4096)");
+    println!("strategy,trial,best_gflops");
+    for (name, strategy) in strategies {
+        let options = TuningOptions {
+            trials,
+            population: 64,
+            measure_per_round: 16,
+            seed: 0xF19,
+            strategy,
+        };
+        let mut measurer = SimMeasurer { atim: &atim, def: &def };
+        let result = tune(&def, atim.hardware(), &options, &mut measurer);
+        let step = (trials / 20).max(1);
+        for record in result.history.iter().filter(|r| r.trial % step == 0) {
+            let gflops = flops / record.best_so_far_s / 1e9;
+            println!("{name},{},{:.2}", record.trial, gflops);
+        }
+        if let Some(last) = result.history.last() {
+            println!("{name},{},{:.2}", last.trial, flops / last.best_so_far_s / 1e9);
+        }
+    }
+}

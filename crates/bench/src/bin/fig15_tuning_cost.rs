@@ -1,0 +1,70 @@
+//! Fig. 15 — autotuning overheads: per-iteration tuning time and the spread
+//! of candidate execution times, UPMEM (ATiM) vs CPU autotuning (§8).
+//!
+//! Tuning wall-clock here is the real time spent by this harness per
+//! 64-trial iteration (dominated by candidate simulation), mirroring how the
+//! paper's measurement is dominated by on-hardware runs; the CPU column uses
+//! the host roofline model as the candidate execution time.
+
+use atim_autotune::{tune, Measurer, ScheduleConfig, TuningOptions};
+use atim_core::prelude::*;
+use std::time::Instant;
+
+struct RecordingMeasurer<'a> {
+    atim: &'a Atim,
+    def: &'a ComputeDef,
+    candidate_ms: Vec<f64>,
+}
+
+impl Measurer for RecordingMeasurer<'_> {
+    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
+        let latency = self.atim.measure_config(config, self.def)?;
+        self.candidate_ms.push(latency * 1e3);
+        Some(latency)
+    }
+}
+
+fn main() {
+    let atim = Atim::default();
+    let def = ComputeDef::mtv("mtv", 4096, 4096);
+    let iterations = 8usize;
+    let per_iter = 64usize;
+
+    println!("# Fig 15 (left): per-iteration tuning wall-clock (seconds)");
+    println!("iteration,upmem_tuning_s,cpu_tuning_s");
+    let mut all_candidates: Vec<f64> = Vec::new();
+    for it in 0..iterations {
+        let options = TuningOptions {
+            trials: per_iter,
+            population: 64,
+            measure_per_round: 16,
+            seed: 0x100 + it as u64,
+            ..TuningOptions::default()
+        };
+        let mut measurer = RecordingMeasurer {
+            atim: &atim,
+            def: &def,
+            candidate_ms: Vec::new(),
+        };
+        let start = Instant::now();
+        let _ = tune(&def, atim.hardware(), &options, &mut measurer);
+        let upmem_s = start.elapsed().as_secs_f64();
+        // CPU autotuning iteration: measuring 64 CPU candidates, each costing
+        // roughly the roofline latency of the kernel.
+        let cpu_candidate = atim_sim::cpu::cpu_autotuned(&def, atim.hardware()).time_s;
+        let cpu_s = cpu_candidate * per_iter as f64;
+        println!("{it},{upmem_s:.3},{cpu_s:.3}");
+        all_candidates.extend(measurer.candidate_ms);
+    }
+
+    println!();
+    println!("# Fig 15 (right): candidate kernel execution times (ms, log-scale in the paper)");
+    println!("candidate,upmem_candidate_ms");
+    for (i, ms) in all_candidates.iter().enumerate() {
+        println!("{i},{ms:.4}");
+    }
+    let min = all_candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all_candidates.iter().cloned().fold(0.0f64, f64::max);
+    println!();
+    println!("# candidate spread: min={min:.3} ms, max={max:.3} ms, ratio={:.1}x", max / min);
+}

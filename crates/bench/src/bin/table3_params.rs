@@ -1,0 +1,51 @@
+//! Table 3 — autotuned parameters (number of DPUs, tasklets, caching tile
+//! size) selected by PrIM, PrIM+search and ATiM for every workload and size
+//! (§7.1).
+
+use atim_autotune::ScheduleConfig;
+use atim_baselines::prim::{prim_default, prim_search_candidates};
+use atim_bench::{atim_report, select_sizes, time_config, trials_from_env};
+use atim_core::prelude::*;
+use atim_workloads::ops::presets_for;
+
+fn describe(cfg: &ScheduleConfig) -> String {
+    let spatial: Vec<String> = cfg.spatial_dpus.iter().map(|d| d.to_string()).collect();
+    format!(
+        "dpus=({}{}{}) tasklets={} cache={}",
+        spatial.join("x"),
+        if cfg.uses_rfactor() { "," } else { "" },
+        if cfg.uses_rfactor() {
+            format!("r{}", cfg.reduce_dpus)
+        } else {
+            String::new()
+        },
+        cfg.tasklets,
+        cfg.cache_elems
+    )
+}
+
+fn main() {
+    let atim = Atim::default();
+    let trials = trials_from_env();
+    println!("# Table 3: selected parameters per workload and size");
+    println!("workload,size,prim,prim_search,atim");
+    for kind in WorkloadKind::ALL {
+        for (label, workload) in select_sizes(presets_for(kind)) {
+            let prim = prim_default(&workload, atim.hardware());
+            let prim_search = prim_search_candidates(&workload, atim.hardware())
+                .into_iter()
+                .filter_map(|c| time_config(&atim, &workload, &c).map(|r| (c, r.total_s())))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c);
+            let (atim_cfg, _) = atim_report(&atim, &workload, trials);
+            println!(
+                "{kind},{label},{},{},{}",
+                describe(&prim),
+                prim_search
+                    .map(|c| describe(&c))
+                    .unwrap_or_else(|| "-".into()),
+                describe(&atim_cfg)
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! # atim-bench — experiment harnesses for every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the full index and `EXPERIMENTS.md` for
+//! recorded results):
+//!
+//! | Binary              | Paper artifact |
+//! |----------------------|----------------|
+//! | `fig03_motivation`   | Fig. 3 (caching tile / tiling scheme / #DPUs sweeps) |
+//! | `fig04_boundary`     | Fig. 4 (boundary-check impact, CPU vs UPMEM) |
+//! | `fig09_tensor_ops`   | Fig. 9 (7 tensor ops × sizes × 5 configurations) |
+//! | `table3_params`      | Table 3 (autotuned parameters) |
+//! | `fig10_gptj`         | Fig. 10 (GPT-J 6B/30B MTV + MMTV) |
+//! | `fig11_mmtv_sweep`   | Fig. 11 (MMTV speedup vs spatial size) |
+//! | `fig12_pim_opts`     | Fig. 12 (PIM-aware optimization ablation) |
+//! | `fig13_breakdown`    | Fig. 13 (DPU cycle breakdown under the ablation) |
+//! | `fig14_search`       | Fig. 14 (balanced search convergence) |
+//! | `fig15_tuning_cost`  | Fig. 15 (per-iteration tuning cost) |
+//!
+//! The library part provides the shared measurement helpers: running every
+//! baseline configuration and ATiM's autotuned configuration through the
+//! same compile + simulate pipeline.
+//!
+//! Harness knobs (environment variables):
+//!
+//! * `ATIM_TRIALS` — autotuning trials per workload (default 48; the paper
+//!   uses 1000, which also works but takes correspondingly longer).
+//! * `ATIM_FULL` — set to `1` to run every paper size; by default the larger
+//!   256/512 MB presets are skipped to keep a full harness sweep short.
+
+use atim_autotune::{ScheduleConfig, TuningOptions};
+use atim_baselines::prim::{prim_default, prim_e_candidates, prim_search_candidates};
+use atim_baselines::simplepim::{adjust_report, simplepim_config, SimplePimOverheads};
+use atim_core::prelude::*;
+use atim_sim::ExecutionReport;
+use atim_workloads::Workload;
+
+/// Number of autotuning trials used by the harnesses.
+pub fn trials_from_env() -> usize {
+    std::env::var("ATIM_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Whether the harness should run every paper-sized preset.
+pub fn full_from_env() -> bool {
+    std::env::var("ATIM_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Filters size presets according to `ATIM_FULL`.
+pub fn select_sizes(all: Vec<(String, Workload)>) -> Vec<(String, Workload)> {
+    if full_from_env() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(label, _)| label == "4MB" || label == "64MB")
+            .collect()
+    }
+}
+
+/// One evaluated configuration of one workload.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Configuration label (`PrIM`, `PrIM(E)`, `PrIM+search`, `SimplePIM`,
+    /// `ATiM`, `CPU`).
+    pub config: String,
+    /// Timing report (empty for the CPU baseline except `kernel_s`).
+    pub report: ExecutionReport,
+}
+
+impl Measurement {
+    /// Total latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.report.total_ms()
+    }
+}
+
+/// Times one schedule configuration of a workload (timing-only simulation).
+/// Returns `None` when the configuration cannot run on the machine.
+pub fn time_config(atim: &Atim, workload: &Workload, cfg: &ScheduleConfig) -> Option<ExecutionReport> {
+    let def = workload.compute_def();
+    let module = atim.compile_config(cfg, &def).ok()?;
+    atim.runtime().time(&module).ok()
+}
+
+/// Times the PrIM default configuration.
+pub fn prim_report(atim: &Atim, workload: &Workload) -> Option<ExecutionReport> {
+    time_config(atim, workload, &prim_default(workload, atim.hardware()))
+}
+
+/// Times the best configuration of the PrIM(E) DPU-count grid.
+pub fn prim_e_report(atim: &Atim, workload: &Workload) -> Option<ExecutionReport> {
+    best_of(atim, workload, prim_e_candidates(workload, atim.hardware()))
+}
+
+/// Times the best configuration of the PrIM+search grid (DPU count ×
+/// tasklets × caching tile).
+pub fn prim_search_report(atim: &Atim, workload: &Workload) -> Option<ExecutionReport> {
+    best_of(
+        atim,
+        workload,
+        prim_search_candidates(workload, atim.hardware()),
+    )
+}
+
+/// Times the SimplePIM framework (1-D workloads only).
+pub fn simplepim_report(atim: &Atim, workload: &Workload) -> Option<ExecutionReport> {
+    if !atim_baselines::simplepim::supports(workload.kind) {
+        return None;
+    }
+    let cfg = simplepim_config(workload, atim.hardware());
+    let base = time_config(atim, workload, &cfg)?;
+    Some(adjust_report(workload, &base, &SimplePimOverheads::default()))
+}
+
+/// CPU-autotuned latency wrapped in a report (kernel time only: there is no
+/// offload, so every transfer component is zero).
+pub fn cpu_report(workload: &Workload, hw: &UpmemConfig) -> ExecutionReport {
+    let est = atim_baselines::cpu::cpu_latency(workload, hw);
+    ExecutionReport {
+        kernel_s: est.time_s,
+        ..Default::default()
+    }
+}
+
+/// Autotunes ATiM for a workload and times the best configuration.
+pub fn atim_report(atim: &Atim, workload: &Workload, trials: usize) -> (ScheduleConfig, ExecutionReport) {
+    let def = workload.compute_def();
+    let options = TuningOptions {
+        trials,
+        population: (trials * 2).clamp(16, 128),
+        measure_per_round: (trials / 4).clamp(4, 16),
+        ..TuningOptions::default()
+    };
+    let tuned = atim.autotune(&def, &options);
+    let cfg = tuned.best_config().clone();
+    let report = time_config(atim, workload, &cfg).unwrap_or_default();
+    (cfg, report)
+}
+
+fn best_of(
+    atim: &Atim,
+    workload: &Workload,
+    candidates: Vec<ScheduleConfig>,
+) -> Option<ExecutionReport> {
+    candidates
+        .into_iter()
+        .filter_map(|c| time_config(atim, workload, &c))
+        .min_by(|a, b| {
+            a.total_s()
+                .partial_cmp(&b.total_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Runs every configuration of Fig. 9/10 for one workload.
+pub fn evaluate_workload(atim: &Atim, workload: &Workload, trials: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    if let Some(r) = prim_report(atim, workload) {
+        out.push(Measurement {
+            config: "PrIM".into(),
+            report: r,
+        });
+    }
+    if let Some(r) = prim_e_report(atim, workload) {
+        out.push(Measurement {
+            config: "PrIM(E)".into(),
+            report: r,
+        });
+    }
+    if let Some(r) = prim_search_report(atim, workload) {
+        out.push(Measurement {
+            config: "PrIM+search".into(),
+            report: r,
+        });
+    }
+    if let Some(r) = simplepim_report(atim, workload) {
+        out.push(Measurement {
+            config: "SimplePIM".into(),
+            report: r,
+        });
+    }
+    let (_, r) = atim_report(atim, workload, trials);
+    out.push(Measurement {
+        config: "ATiM".into(),
+        report: r,
+    });
+    out.push(Measurement {
+        config: "CPU".into(),
+        report: cpu_report(workload, atim.hardware()),
+    });
+    out
+}
+
+/// Prints a CSV-style results table normalized to the first PIM entry
+/// (PrIM), in the style of the paper's Fig. 9/10 bars plus the CPU-speedup
+/// line.
+pub fn print_normalized_table(title: &str, workload: &Workload, rows: &[Measurement]) {
+    println!("# {title} — {}", workload.label());
+    println!("config,h2d_ms,kernel_ms,d2h_reduce_ms,total_ms,normalized_to_prim,speedup_over_cpu");
+    let prim_total = rows
+        .iter()
+        .find(|m| m.config == "PrIM")
+        .map(|m| m.total_ms())
+        .unwrap_or(f64::NAN);
+    let cpu_total = rows
+        .iter()
+        .find(|m| m.config == "CPU")
+        .map(|m| m.total_ms())
+        .unwrap_or(f64::NAN);
+    for m in rows {
+        let r = &m.report;
+        println!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.3},{:.2}",
+            m.config,
+            r.h2d_s * 1e3,
+            r.kernel_s * 1e3,
+            (r.d2h_s + r.reduce_s) * 1e3,
+            m.total_ms(),
+            m.total_ms() / prim_total,
+            cpu_total / m.total_ms(),
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_workloads::WorkloadKind;
+
+    #[test]
+    fn evaluate_small_workload_produces_all_configs() {
+        let atim = Atim::new(UpmemConfig::default());
+        let w = Workload::new(WorkloadKind::Va, vec![1 << 16]);
+        let rows = evaluate_workload(&atim, &w, 8);
+        let names: Vec<&str> = rows.iter().map(|m| m.config.as_str()).collect();
+        assert!(names.contains(&"PrIM"));
+        assert!(names.contains(&"PrIM+search"));
+        assert!(names.contains(&"SimplePIM"));
+        assert!(names.contains(&"ATiM"));
+        assert!(names.contains(&"CPU"));
+        assert!(rows.iter().all(|m| m.total_ms() > 0.0));
+    }
+
+    #[test]
+    fn simplepim_is_skipped_for_matrix_workloads() {
+        let atim = Atim::new(UpmemConfig::default());
+        let w = Workload::new(WorkloadKind::Mtv, vec![512, 512]);
+        assert!(simplepim_report(&atim, &w).is_none());
+        assert!(prim_report(&atim, &w).is_some());
+    }
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(trials_from_env() > 0);
+        let sizes = select_sizes(atim_workloads::ops::presets_for(WorkloadKind::Mtv));
+        assert!(!sizes.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! The top-level ATiM facade.
+
+use atim_autotune::{tune, Measurer, ScheduleConfig, TuningOptions};
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+use atim_tir::error::Result;
+
+use crate::compiler::{compile_config, CompileOptions, CompiledModule};
+use crate::runtime::{ExecutedRun, Runtime};
+use crate::tuned::TunedModule;
+
+/// The ATiM compiler + autotuner + runtime for a (simulated) UPMEM system.
+///
+/// This is the entry point downstream users interact with: give it a
+/// [`ComputeDef`] and it will search the joint host/kernel schedule space,
+/// compile the winner with the PIM-aware passes, and execute it.
+#[derive(Debug, Clone, Default)]
+pub struct Atim {
+    hw: UpmemConfig,
+    compile_options: CompileOptions,
+    runtime: Runtime,
+}
+
+impl Atim {
+    /// Creates an ATiM instance targeting the given machine.
+    pub fn new(hw: UpmemConfig) -> Self {
+        Atim {
+            runtime: Runtime::new(hw.clone()),
+            hw,
+            compile_options: CompileOptions::default(),
+        }
+    }
+
+    /// Creates an ATiM instance with explicit compile options (used by the
+    /// ablation benchmarks).
+    pub fn with_options(hw: UpmemConfig, compile_options: CompileOptions) -> Self {
+        Atim {
+            runtime: Runtime::new(hw.clone()),
+            hw,
+            compile_options,
+        }
+    }
+
+    /// The target machine configuration.
+    pub fn hardware(&self) -> &UpmemConfig {
+        &self.hw
+    }
+
+    /// The compile options applied to every module.
+    pub fn compile_options(&self) -> CompileOptions {
+        self.compile_options
+    }
+
+    /// The runtime (and its simulated machine).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Compiles a schedule configuration for a computation.
+    ///
+    /// # Errors
+    /// Propagates schedule instantiation and lowering errors.
+    pub fn compile_config(
+        &self,
+        config: &ScheduleConfig,
+        def: &ComputeDef,
+    ) -> Result<CompiledModule> {
+        compile_config(config, def, self.compile_options, &self.hw)
+    }
+
+    /// Executes a compiled module with real data.
+    ///
+    /// # Errors
+    /// Propagates runtime errors (resource limits, bad input shapes).
+    pub fn execute(&self, module: &CompiledModule, inputs: &[Vec<f32>]) -> Result<ExecutedRun> {
+        self.runtime.execute(module, inputs)
+    }
+
+    /// Measures the end-to-end latency of a schedule configuration without
+    /// moving tensor data.  Returns `None` for configurations that fail to
+    /// compile or exceed machine resources — exactly the signal the
+    /// autotuner expects for bad candidates.
+    pub fn measure_config(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
+        let module = self.compile_config(config, def).ok()?;
+        let report = self.runtime.time(&module).ok()?;
+        Some(report.total_s())
+    }
+
+    /// Runs the full autotuning flow for a computation: joint-space search
+    /// with the UPMEM verifier and cost model, measuring candidates on the
+    /// simulated machine.
+    pub fn autotune(&self, def: &ComputeDef, options: &TuningOptions) -> TunedModule {
+        let mut measurer = AtimMeasurer { atim: self, def };
+        let result = tune(def, &self.hw, options, &mut measurer);
+        TunedModule::new(def.clone(), result, &self.hw)
+    }
+
+    /// Convenience: autotune, compile the best schedule and return both.
+    ///
+    /// # Errors
+    /// Propagates compilation errors for the winning configuration.
+    pub fn autotune_and_compile(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+    ) -> Result<(TunedModule, CompiledModule)> {
+        let tuned = self.autotune(def, options);
+        let module = self.compile_config(tuned.best_config(), def)?;
+        Ok((tuned, module))
+    }
+}
+
+struct AtimMeasurer<'a> {
+    atim: &'a Atim,
+    def: &'a ComputeDef,
+}
+
+impl Measurer for AtimMeasurer<'_> {
+    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
+        self.atim.measure_config(config, self.def)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_workloads::data::{generate_inputs, results_match};
+
+    #[test]
+    fn end_to_end_autotune_compile_execute() {
+        let atim = Atim::new(UpmemConfig::small());
+        let def = ComputeDef::mtv("mtv", 120, 96);
+        let options = TuningOptions {
+            trials: 12,
+            population: 12,
+            measure_per_round: 6,
+            ..TuningOptions::default()
+        };
+        let (tuned, module) = atim.autotune_and_compile(&def, &options).unwrap();
+        assert!(tuned.best_latency_s().is_finite());
+        assert!(tuned.measured() > 0);
+        let inputs = generate_inputs(&def, 5);
+        let run = atim.execute(&module, &inputs).unwrap();
+        let expect = def.reference(&inputs);
+        assert!(results_match(run.output.as_ref().unwrap(), &expect, 96));
+        assert!(run.report.total_s() > 0.0);
+    }
+
+    #[test]
+    fn measure_config_rejects_impossible_candidates() {
+        let atim = Atim::new(UpmemConfig::small()); // 16 DPUs
+        let def = ComputeDef::va("va", 1 << 16);
+        let cfg = ScheduleConfig {
+            spatial_dpus: vec![2048],
+            reduce_dpus: 1,
+            tasklets: 8,
+            cache_elems: 64,
+            use_cache: true,
+            unroll: false,
+            host_threads: 1,
+            parallel_transfer: true,
+        };
+        assert!(atim.measure_config(&cfg, &def).is_none());
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let atim = Atim::default();
+        assert_eq!(atim.hardware().total_dpus(), 2048);
+        assert_eq!(
+            atim.compile_options().opt_level,
+            atim_passes::OptLevel::DmaLtBh
+        );
+        assert_eq!(atim.runtime().config().total_dpus(), 2048);
+    }
+}

@@ -1,0 +1,173 @@
+//! Compilation of schedules into executable modules.
+//!
+//! "Executable" here means a fully lowered and optimized program that the
+//! simulated UPMEM machine can run: the per-DPU kernel with PIM-aware
+//! optimizations applied, optimized host transfer programs, and the host
+//! final-reduction loop.  On real hardware this is the stage that would emit
+//! C for `dpu-upmem-dpurte-clang`; in ATiM-RS the optimized TIR itself is the
+//! binary format.
+
+use atim_autotune::ScheduleConfig;
+use atim_passes::pipeline::{optimize_kernel, optimize_transfers, OptLevel, PipelineStats};
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+use atim_tir::error::Result;
+use atim_tir::schedule::{Lowered, Schedule};
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// PIM-aware optimization level for the DPU kernel (the paper's default
+    /// is all three passes).
+    pub opt_level: OptLevel,
+    /// Whether host transfers are rewritten to the rank-parallel push path.
+    pub parallel_transfer: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            opt_level: OptLevel::DmaLtBh,
+            parallel_transfer: true,
+        }
+    }
+}
+
+/// A compiled module: the optimized lowered program plus compilation
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The optimized program (kernel + transfer + reduction code).
+    pub lowered: Lowered,
+    /// Statistics of the PIM-aware kernel passes.
+    pub kernel_stats: PipelineStats,
+    /// Number of transfer loops coalesced into bulk transfers.
+    pub transfer_loops_coalesced: usize,
+    /// Options the module was compiled with.
+    pub options: CompileOptions,
+}
+
+impl CompiledModule {
+    /// The computation this module implements.
+    pub fn def(&self) -> &ComputeDef {
+        &self.lowered.def
+    }
+
+    /// Number of DPUs the module launches.
+    pub fn num_dpus(&self) -> i64 {
+        self.lowered.grid.num_dpus()
+    }
+}
+
+/// Compiles an explicit schedule.
+///
+/// # Errors
+/// Propagates lowering errors (invalid schedules).
+pub fn compile_schedule(schedule: &Schedule, options: CompileOptions) -> Result<CompiledModule> {
+    let mut lowered = schedule.lower()?;
+    let (kernel, kernel_stats) = optimize_kernel(lowered.kernel.body.clone(), options.opt_level);
+    lowered.kernel.body = kernel;
+    let (h2d, h2d_stats) = optimize_transfers(lowered.h2d.clone(), options.parallel_transfer);
+    let (d2h, d2h_stats) = optimize_transfers(lowered.d2h.clone(), options.parallel_transfer);
+    lowered.h2d = h2d;
+    lowered.d2h = d2h;
+    Ok(CompiledModule {
+        lowered,
+        kernel_stats,
+        transfer_loops_coalesced: h2d_stats.loops_coalesced + d2h_stats.loops_coalesced,
+        options,
+    })
+}
+
+/// Instantiates a [`ScheduleConfig`] for a computation and compiles it.
+///
+/// # Errors
+/// Propagates instantiation and lowering errors.
+pub fn compile_config(
+    config: &ScheduleConfig,
+    def: &ComputeDef,
+    options: CompileOptions,
+    _hw: &UpmemConfig,
+) -> Result<CompiledModule> {
+    let schedule = config.instantiate(def)?;
+    compile_schedule(&schedule, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::schedule::execute_functional;
+    use atim_workloads::data::{generate_inputs, results_match};
+
+    fn sample_config() -> ScheduleConfig {
+        ScheduleConfig {
+            spatial_dpus: vec![8],
+            reduce_dpus: 2,
+            tasklets: 4,
+            cache_elems: 16,
+            use_cache: true,
+            unroll: true,
+            host_threads: 4,
+            parallel_transfer: true,
+        }
+    }
+
+    #[test]
+    fn compiled_module_is_functionally_correct_at_every_opt_level() {
+        let def = ComputeDef::mtv("mtv", 70, 90);
+        let inputs = generate_inputs(&def, 3);
+        let expect = def.reference(&inputs);
+        for level in OptLevel::ALL {
+            let options = CompileOptions {
+                opt_level: level,
+                parallel_transfer: true,
+            };
+            let module =
+                compile_config(&sample_config(), &def, options, &UpmemConfig::default()).unwrap();
+            let got = execute_functional(&module.lowered, &inputs).unwrap();
+            assert!(
+                results_match(&got, &expect, 90),
+                "mismatch at opt level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_opt_levels_convert_copies_to_dma() {
+        let def = ComputeDef::mtv("mtv", 70, 90);
+        let no_opt = compile_config(
+            &sample_config(),
+            &def,
+            CompileOptions {
+                opt_level: OptLevel::NoOpt,
+                parallel_transfer: true,
+            },
+            &UpmemConfig::default(),
+        )
+        .unwrap();
+        let full = compile_config(
+            &sample_config(),
+            &def,
+            CompileOptions::default(),
+            &UpmemConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(no_opt.kernel_stats.dma.loops_converted, 0);
+        assert!(full.kernel_stats.dma.loops_converted > 0);
+        assert!(full.lowered.kernel.body.count_nodes().dmas > 0);
+    }
+
+    #[test]
+    fn module_reports_shape_metadata() {
+        let def = ComputeDef::mtv("mtv", 64, 64);
+        let module = compile_config(
+            &sample_config(),
+            &def,
+            CompileOptions::default(),
+            &UpmemConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(module.num_dpus(), 16);
+        assert_eq!(module.def().name, "mtv");
+    }
+}

@@ -1,0 +1,49 @@
+//! # atim-core — the ATiM compiler and runtime for (simulated) UPMEM
+//!
+//! This crate ties the ATiM-RS pieces into the end-to-end flow of the
+//! paper's Fig. 5: design-space generation and evolutionary search
+//! (`atim-autotune`), TIR lowering (`atim-tir`), PIM-aware optimization
+//! (`atim-passes`), and execution/measurement on the simulated UPMEM machine
+//! (`atim-sim`).
+//!
+//! The central type is [`Atim`]:
+//!
+//! ```
+//! use atim_core::Atim;
+//! use atim_tir::compute::ComputeDef;
+//! use atim_autotune::TuningOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let atim = Atim::default();
+//! let def = ComputeDef::mtv("mtv", 256, 256);
+//!
+//! // One-shot: autotune, compile the best schedule, and execute it.
+//! let tuned = atim.autotune(&def, &TuningOptions::quick());
+//! let module = atim.compile_config(tuned.best_config(), &def)?;
+//! let inputs = atim_workloads::data::generate_inputs(&def, 1);
+//! let run = atim.execute(&module, &inputs)?;
+//! assert!(run.report.total_ms() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compiler;
+pub mod runtime;
+pub mod tuned;
+
+mod atim;
+
+pub use atim::Atim;
+pub use compiler::{compile_config, compile_schedule, CompileOptions, CompiledModule};
+pub use runtime::{ExecutedRun, Runtime};
+pub use tuned::TunedModule;
+
+/// Commonly used re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::{Atim, CompileOptions, CompiledModule, ExecutedRun, TunedModule};
+    pub use atim_autotune::{ScheduleConfig, TuningOptions};
+    pub use atim_passes::OptLevel;
+    pub use atim_sim::{SimMode, UpmemConfig};
+    pub use atim_tir::compute::ComputeDef;
+    pub use atim_workloads::{Workload, WorkloadKind};
+}

@@ -1,0 +1,109 @@
+//! Execution of compiled modules on the simulated UPMEM machine.
+//!
+//! On a real system this layer corresponds to the TVM runtime extended with
+//! UPMEM host APIs (DPU allocation, `dpu_copy_*`/`dpu_push_xfer`, kernel
+//! launch and synchronization).  Here it owns a [`UpmemMachine`] and drives
+//! the machine's transfer/launch/reduce sequence.
+
+use atim_sim::{ExecutionReport, SimMode, UpmemConfig, UpmemMachine};
+use atim_tir::error::Result;
+
+use crate::compiler::CompiledModule;
+
+/// Result of executing a compiled module.
+#[derive(Debug, Clone)]
+pub struct ExecutedRun {
+    /// The output tensor (present when executed in [`SimMode::Full`]).
+    pub output: Option<Vec<f32>>,
+    /// Timing and profiling report.
+    pub report: ExecutionReport,
+}
+
+/// The UPMEM runtime: owns the simulated machine.
+#[derive(Debug, Clone, Default)]
+pub struct Runtime {
+    machine: UpmemMachine,
+}
+
+impl Runtime {
+    /// Creates a runtime for a machine configuration.
+    pub fn new(config: UpmemConfig) -> Self {
+        Runtime {
+            machine: UpmemMachine::new(config),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &UpmemConfig {
+        self.machine.config()
+    }
+
+    /// Executes a module with real data, returning the output tensor and the
+    /// timing report.
+    ///
+    /// # Errors
+    /// Fails if the module exceeds the machine's resources or the inputs do
+    /// not match the computation definition.
+    pub fn execute(&self, module: &CompiledModule, inputs: &[Vec<f32>]) -> Result<ExecutedRun> {
+        let result = self.machine.run(&module.lowered, inputs, SimMode::Full)?;
+        Ok(ExecutedRun {
+            output: result.output,
+            report: result.report,
+        })
+    }
+
+    /// Times a module without moving tensor data (used for large benchmark
+    /// shapes and autotuning measurements).
+    ///
+    /// # Errors
+    /// Fails if the module exceeds the machine's resources.
+    pub fn time(&self, module: &CompiledModule) -> Result<ExecutionReport> {
+        let result = self.machine.run(&module.lowered, &[], SimMode::TimingOnly)?;
+        Ok(result.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_config, CompileOptions};
+    use atim_autotune::ScheduleConfig;
+    use atim_tir::compute::ComputeDef;
+    use atim_workloads::data::{generate_inputs, results_match};
+
+    #[test]
+    fn execute_and_time_agree_on_structure() {
+        let def = ComputeDef::gemv("gemv", 96, 128, 1.5);
+        let cfg = ScheduleConfig {
+            spatial_dpus: vec![4],
+            reduce_dpus: 2,
+            tasklets: 4,
+            cache_elems: 32,
+            use_cache: true,
+            unroll: false,
+            host_threads: 2,
+            parallel_transfer: true,
+        };
+        let module = compile_config(
+            &cfg,
+            &def,
+            CompileOptions::default(),
+            &UpmemConfig::default(),
+        )
+        .unwrap();
+        let rt = Runtime::new(UpmemConfig::small());
+        let inputs = generate_inputs(&def, 11);
+        let run = rt.execute(&module, &inputs).unwrap();
+        let expect = def.reference(&inputs);
+        assert!(results_match(run.output.as_ref().unwrap(), &expect, 128));
+        let timed = rt.time(&module).unwrap();
+        assert_eq!(timed.num_dpus, run.report.num_dpus);
+        assert!((timed.kernel_s - run.report.kernel_s).abs() / run.report.kernel_s < 1e-6);
+    }
+
+    #[test]
+    fn runtime_exposes_its_configuration() {
+        let rt = Runtime::new(UpmemConfig::small());
+        assert_eq!(rt.config().total_dpus(), 16);
+    }
+}

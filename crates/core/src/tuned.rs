@@ -1,0 +1,114 @@
+//! Results of an autotuning session, packaged for downstream use.
+
+use atim_autotune::{ScheduleConfig, TuningRecord, TuningResult};
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+
+/// The outcome of [`crate::Atim::autotune`]: the tuned configuration plus the
+/// full search history.
+#[derive(Debug, Clone)]
+pub struct TunedModule {
+    def: ComputeDef,
+    result: TuningResult,
+    fallback: ScheduleConfig,
+}
+
+impl TunedModule {
+    /// Wraps a tuning result, providing a sensible fallback configuration in
+    /// case every measurement failed.
+    pub fn new(def: ComputeDef, result: TuningResult, hw: &UpmemConfig) -> Self {
+        let fallback = ScheduleConfig::default_for(&def, hw);
+        TunedModule {
+            def,
+            result,
+            fallback,
+        }
+    }
+
+    /// The computation this module was tuned for.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The best configuration found (or the fallback if tuning failed).
+    pub fn best_config(&self) -> &ScheduleConfig {
+        self.result
+            .best
+            .as_ref()
+            .map(|(c, _)| c)
+            .unwrap_or(&self.fallback)
+    }
+
+    /// Best measured latency in seconds (infinity if nothing was measured).
+    pub fn best_latency_s(&self) -> f64 {
+        self.result.best_latency()
+    }
+
+    /// Measured throughput of the best candidate in GFLOP/s.
+    pub fn best_gflops(&self) -> f64 {
+        let lat = self.best_latency_s();
+        if !lat.is_finite() || lat <= 0.0 {
+            return 0.0;
+        }
+        self.def.total_flops() as f64 / lat / 1e9
+    }
+
+    /// Full per-trial history (for convergence plots).
+    pub fn history(&self) -> &[TuningRecord] {
+        &self.result.history
+    }
+
+    /// Number of candidates rejected by the UPMEM verifier.
+    pub fn rejected(&self) -> usize {
+        self.result.rejected
+    }
+
+    /// Number of measurements performed.
+    pub fn measured(&self) -> usize {
+        self.result.measured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_autotune::TuningResult;
+
+    fn empty_result() -> TuningResult {
+        TuningResult {
+            best: None,
+            history: Vec::new(),
+            measured: 0,
+            rejected: 3,
+        }
+    }
+
+    #[test]
+    fn falls_back_when_tuning_failed() {
+        let def = ComputeDef::va("va", 1024);
+        let hw = UpmemConfig::default();
+        let tuned = TunedModule::new(def, empty_result(), &hw);
+        assert_eq!(tuned.best_latency_s(), f64::INFINITY);
+        assert_eq!(tuned.best_gflops(), 0.0);
+        assert_eq!(tuned.rejected(), 3);
+        assert!(tuned.best_config().num_dpus() >= 1);
+    }
+
+    #[test]
+    fn reports_best_when_present() {
+        let def = ComputeDef::va("va", 1 << 20);
+        let hw = UpmemConfig::default();
+        let cfg = ScheduleConfig::default_for(&def, &hw);
+        let result = TuningResult {
+            best: Some((cfg.clone(), 1e-3)),
+            history: Vec::new(),
+            measured: 1,
+            rejected: 0,
+        };
+        let tuned = TunedModule::new(def.clone(), result, &hw);
+        assert_eq!(tuned.best_config(), &cfg);
+        assert!((tuned.best_latency_s() - 1e-3).abs() < 1e-12);
+        let expected_gflops = def.total_flops() as f64 / 1e-3 / 1e9;
+        assert!((tuned.best_gflops() - expected_gflops).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,316 @@
+//! DMA-aware boundary-check elimination (§5.3.1).
+//!
+//! The ATiM lowering stages WRAM caching tiles with element-wise copy loops
+//! of the form
+//!
+//! ```text
+//! for r in range(N):
+//!     if boundary(r) and boundary(i):
+//!         AL[r] = A_m[base + r]
+//! ```
+//!
+//! Because per-DPU MRAM tiles are *locally padded* (allocated in multiples of
+//! the tile size) and the boundary checks guarding the actual computation and
+//! the host read-out are preserved, the checks on these copies are redundant:
+//! over-fetching into the padded region cannot corrupt meaningful data.  Once
+//! the check is gone the copy loop is a contiguous transfer and can be
+//! replaced by a single DMA instruction (`mram_read`/`mram_write`), which is
+//! dramatically cheaper than `N` scalar accesses on the DPU.
+
+use std::sync::Arc;
+
+use atim_tir::affine::{as_linear, as_upper_bound, split_conjunction};
+use atim_tir::buffer::{Buffer, MemScope, Var};
+use atim_tir::expr::Expr;
+use atim_tir::stmt::{ForKind, Stmt};
+use atim_tir::visit::{mutate_children, StmtMutator};
+
+/// Statistics reported by [`eliminate_boundary_checks`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Number of copy loops converted into DMA statements.
+    pub loops_converted: usize,
+    /// Number of boundary checks removed in the process.
+    pub checks_removed: usize,
+}
+
+/// Applies DMA-aware boundary-check elimination to a kernel body.
+///
+/// Returns the rewritten statement and conversion statistics.
+pub fn eliminate_boundary_checks(stmt: Stmt) -> (Stmt, DmaStats) {
+    let mut pass = DmaPass {
+        stats: DmaStats::default(),
+    };
+    let out = pass.mutate_stmt(stmt);
+    (out, pass.stats)
+}
+
+struct DmaPass {
+    stats: DmaStats,
+}
+
+impl StmtMutator for DmaPass {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        // Rewrite children first so inner copy loops are converted before the
+        // enclosing loops are considered.
+        let stmt = mutate_children(self, stmt);
+        match try_convert_copy_loop(&stmt) {
+            Some((dma, removed_checks)) => {
+                self.stats.loops_converted += 1;
+                self.stats.checks_removed += removed_checks;
+                dma
+            }
+            None => stmt,
+        }
+    }
+}
+
+/// A recognized element-wise copy: `dst[dst_idx] = src[src_idx]`.
+struct CopyBody {
+    dst: Arc<Buffer>,
+    dst_idx: Expr,
+    src: Arc<Buffer>,
+    src_idx: Expr,
+    removed_checks: usize,
+}
+
+/// Tries to convert `for v in 0..n { [if guard] dst[..] = src[..] }` into a
+/// DMA statement.
+fn try_convert_copy_loop(stmt: &Stmt) -> Option<(Stmt, usize)> {
+    let Stmt::For {
+        var,
+        extent,
+        kind,
+        body,
+    } = stmt
+    else {
+        return None;
+    };
+    if !matches!(kind, ForKind::Serial | ForKind::Unrolled) {
+        return None;
+    }
+    let n = extent.as_int()?;
+    let copy = match_copy_body(body)?;
+    // The transfer must be between WRAM and MRAM (either direction).
+    let scopes = (copy.src.scope, copy.dst.scope);
+    let is_wram_mram = matches!(
+        scopes,
+        (MemScope::Mram, MemScope::Wram) | (MemScope::Wram, MemScope::Mram)
+    );
+    if !is_wram_mram {
+        return None;
+    }
+    // Both indices must be affine with unit stride in the loop variable, so
+    // consecutive iterations access consecutive elements.
+    let dst_lin = as_linear(&copy.dst_idx)?;
+    let src_lin = as_linear(&copy.src_idx)?;
+    if dst_lin.coeff(var) != 1 || src_lin.coeff(var) != 1 {
+        return None;
+    }
+    // Base offsets are the indices evaluated at v = 0.
+    let dst_off = copy.dst_idx.substitute(var, &Expr::Int(0));
+    let src_off = copy.src_idx.substitute(var, &Expr::Int(0));
+    let dma = Stmt::Dma {
+        dst: copy.dst,
+        dst_off: atim_tir::simplify::simplify_expr(&dst_off),
+        src: copy.src,
+        src_off: atim_tir::simplify::simplify_expr(&src_off),
+        elems: Expr::Int(n),
+    };
+    Some((dma, copy.removed_checks))
+}
+
+/// Matches the body of a candidate copy loop: an optional affine boundary
+/// guard around a single store whose value is a single load.
+fn match_copy_body(body: &Stmt) -> Option<CopyBody> {
+    match body {
+        Stmt::Store { buf, index, value } => {
+            let Expr::Load {
+                buf: src,
+                index: src_idx,
+            } = value
+            else {
+                return None;
+            };
+            Some(CopyBody {
+                dst: Arc::clone(buf),
+                dst_idx: index.clone(),
+                src: Arc::clone(src),
+                src_idx: (**src_idx).clone(),
+                removed_checks: 0,
+            })
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch: None,
+        } => {
+            // Every conjunct must be a recognizable affine upper-bound check;
+            // anything else is not a boundary check and must not be dropped.
+            let conjuncts = split_conjunction(cond);
+            if !conjuncts.iter().all(|c| as_upper_bound(c).is_some()) {
+                return None;
+            }
+            let mut inner = match_copy_body(then_branch)?;
+            inner.removed_checks += conjuncts.len();
+            Some(inner)
+        }
+        _ => None,
+    }
+}
+
+/// Returns true if the statement still contains an element-wise WRAM↔MRAM
+/// copy loop (used by tests and diagnostics).
+pub fn has_elementwise_copy(stmt: &Stmt) -> bool {
+    let mut found = false;
+    atim_tir::visit::walk_stmt(stmt, &mut |s| {
+        if let Stmt::For { body, .. } = s {
+            if match_copy_body(body).is_some() && try_convert_copy_loop(s).is_some() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Helper used by tests of this crate: builds the Fig. 8(a)-style caching
+/// loop for a 1-D tile.
+#[doc(hidden)]
+pub fn example_copy_loop(
+    wram: &Arc<Buffer>,
+    mram: &Arc<Buffer>,
+    n: i64,
+    guard_bound: Option<(Var, i64)>,
+) -> Stmt {
+    let r = Var::new("r");
+    let store = Stmt::store(
+        wram,
+        Expr::var(&r),
+        Expr::load(mram, Expr::var(&r).add(Expr::Int(4))),
+    );
+    let body = match guard_bound {
+        Some((outer, bound)) => Stmt::if_then(
+            Expr::var(&outer)
+                .mul(Expr::Int(n))
+                .add(Expr::var(&r))
+                .lt(Expr::Int(bound)),
+            store,
+        ),
+        None => store,
+    };
+    Stmt::for_serial(r, n, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::buffer::Buffer;
+    use atim_tir::dtype::DType;
+    use atim_tir::stmt::StmtCounts;
+
+    fn bufs() -> (Arc<Buffer>, Arc<Buffer>) {
+        let w = Buffer::new("AL", DType::F32, vec![16], MemScope::Wram);
+        let m = Buffer::new("Am", DType::F32, vec![64], MemScope::Mram);
+        (w, m)
+    }
+
+    #[test]
+    fn converts_guarded_copy_loop_to_dma() {
+        let (w, m) = bufs();
+        let outer = Var::new("j");
+        let loop_ = example_copy_loop(&w, &m, 16, Some((outer, 40)));
+        let (out, stats) = eliminate_boundary_checks(loop_);
+        assert_eq!(stats.loops_converted, 1);
+        assert_eq!(stats.checks_removed, 1);
+        match out {
+            Stmt::Dma { elems, src_off, .. } => {
+                assert_eq!(elems, Expr::Int(16));
+                assert_eq!(src_off, Expr::Int(4));
+            }
+            other => panic!("expected DMA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn converts_unguarded_copy_loop() {
+        let (w, m) = bufs();
+        let loop_ = example_copy_loop(&w, &m, 8, None);
+        let (out, stats) = eliminate_boundary_checks(loop_);
+        assert_eq!(stats.loops_converted, 1);
+        assert_eq!(stats.checks_removed, 0);
+        assert!(matches!(out, Stmt::Dma { .. }));
+    }
+
+    #[test]
+    fn leaves_non_copy_loops_alone() {
+        let (w, _) = bufs();
+        let i = Var::new("i");
+        // Not a copy: the value is a computation, not a plain load.
+        let body = Stmt::store(&w, Expr::var(&i), Expr::var(&i).add(Expr::Int(1)));
+        let loop_ = Stmt::for_serial(i, 8i64, body);
+        let (out, stats) = eliminate_boundary_checks(loop_.clone());
+        assert_eq!(stats.loops_converted, 0);
+        assert_eq!(out, loop_);
+    }
+
+    #[test]
+    fn leaves_wram_to_wram_copies_alone() {
+        let a = Buffer::new("X", DType::F32, vec![8], MemScope::Wram);
+        let b = Buffer::new("Y", DType::F32, vec![8], MemScope::Wram);
+        let i = Var::new("i");
+        let loop_ = Stmt::for_serial(
+            i.clone(),
+            8i64,
+            Stmt::store(&a, Expr::var(&i), Expr::load(&b, Expr::var(&i))),
+        );
+        let (out, stats) = eliminate_boundary_checks(loop_.clone());
+        assert_eq!(stats.loops_converted, 0);
+        assert_eq!(out, loop_);
+    }
+
+    #[test]
+    fn rejects_non_unit_stride() {
+        let (w, m) = bufs();
+        let i = Var::new("i");
+        let loop_ = Stmt::for_serial(
+            i.clone(),
+            8i64,
+            Stmt::store(
+                &w,
+                Expr::var(&i),
+                Expr::load(&m, Expr::var(&i).mul(Expr::Int(2))),
+            ),
+        );
+        let (_, stats) = eliminate_boundary_checks(loop_);
+        assert_eq!(stats.loops_converted, 0);
+    }
+
+    #[test]
+    fn rejects_non_boundary_guards() {
+        // A guard that is not an affine upper bound (equality) must not be
+        // dropped.
+        let (w, m) = bufs();
+        let r = Var::new("r");
+        let body = Stmt::if_then(
+            Expr::var(&r).eq_expr(Expr::Int(3)),
+            Stmt::store(&w, Expr::var(&r), Expr::load(&m, Expr::var(&r))),
+        );
+        let loop_ = Stmt::for_serial(r, 8i64, body);
+        let (_, stats) = eliminate_boundary_checks(loop_);
+        assert_eq!(stats.loops_converted, 0);
+    }
+
+    #[test]
+    fn nested_loops_convert_inner_only() {
+        let (w, m) = bufs();
+        let outer = Var::new("j");
+        let inner = example_copy_loop(&w, &m, 16, Some((outer.clone(), 40)));
+        let nest = Stmt::for_serial(outer, 3i64, inner);
+        let (out, stats) = eliminate_boundary_checks(nest);
+        assert_eq!(stats.loops_converted, 1);
+        let counts: StmtCounts = out.count_nodes();
+        assert_eq!(counts.dmas, 1);
+        assert_eq!(counts.loops, 1, "outer loop remains");
+        assert_eq!(counts.branches, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Invariant branch hoisting with partial dead code elimination (§5.3.3).
+//!
+//! After loop-bound tightening, the remaining boundary checks are invariant
+//! with respect to the enclosing loop (e.g. a row check `i < M` inside the
+//! column loop).  This pass:
+//!
+//! 1. hoists an invariant branch out of a loop
+//!    (`for k { if c { body } }` → `if c { for k { body } }`),
+//! 2. applies partial dead code elimination (PDCE) to *sink* DMA statements
+//!    whose results are only consumed inside an invariant branch under that
+//!    branch, so the branch can be hoisted past them and further out
+//!    (`for j { dma; dma; if c { ... } }` →
+//!    `if c { for j { dma; dma; ... } }`),
+//!
+//! which turns per-iteration checks into a single check per kernel (the
+//! paper's example reduces dynamic branch instances by 40×).
+
+use atim_tir::affine::{as_upper_bound, split_conjunction};
+use atim_tir::buffer::MemScope;
+use atim_tir::stmt::{ForKind, Stmt};
+use atim_tir::visit::{mutate_children, StmtMutator};
+
+/// Statistics reported by [`hoist_invariant_branches`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HoistStats {
+    /// Number of branches hoisted out of loops.
+    pub branches_hoisted: usize,
+    /// Number of statements sunk under a branch by PDCE.
+    pub stmts_sunk: usize,
+}
+
+/// Applies invariant branch hoisting (with PDCE) until a fixpoint is reached.
+pub fn hoist_invariant_branches(stmt: Stmt) -> (Stmt, HoistStats) {
+    let mut stats = HoistStats::default();
+    let mut current = stmt;
+    // The transformation enables itself (hoisting out of one loop exposes the
+    // next), so iterate to a fixpoint with a small safety bound.
+    for _ in 0..16 {
+        let mut pass = HoistPass {
+            stats: HoistStats::default(),
+        };
+        current = pass.mutate_stmt(current);
+        if pass.stats == HoistStats::default() {
+            break;
+        }
+        stats.branches_hoisted += pass.stats.branches_hoisted;
+        stats.stmts_sunk += pass.stats.stmts_sunk;
+    }
+    (current, stats)
+}
+
+struct HoistPass {
+    stats: HoistStats,
+}
+
+impl StmtMutator for HoistPass {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        let stmt = mutate_children(self, stmt);
+        let Stmt::For {
+            var,
+            extent,
+            kind,
+            body,
+        } = stmt
+        else {
+            return stmt;
+        };
+        if !matches!(kind, ForKind::Serial | ForKind::Unrolled) {
+            return Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            };
+        }
+
+        let rebuilt = |body: Stmt| Stmt::For {
+            var: var.clone(),
+            extent: extent.clone(),
+            kind,
+            body: Box::new(body),
+        };
+
+        match *body {
+            // Case 1: the body is exactly an invariant guard.
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch: None,
+            } if !cond.uses_var(&var) && is_boundary_cond(&cond) && !extent.uses_var(&var) => {
+                self.stats.branches_hoisted += 1;
+                Stmt::if_then(cond, rebuilt(*then_branch))
+            }
+            // Case 2 (PDCE): the body is a sequence of sinkable statements
+            // (DMA loads / WRAM initialization) followed by an invariant
+            // guard.  Sink the statements under the guard, then hoist.
+            Stmt::Seq(stmts) => {
+                let invariant_guard_at = stmts.iter().position(|s| {
+                    matches!(s, Stmt::If { cond, else_branch: None, .. }
+                             if !cond.uses_var(&var) && is_boundary_cond(cond))
+                });
+                let Some(pos) = invariant_guard_at else {
+                    return rebuilt(Stmt::Seq(stmts));
+                };
+                let prefix_sinkable = stmts[..pos].iter().all(is_sinkable);
+                let suffix_empty = pos + 1 == stmts.len();
+                if !prefix_sinkable || !suffix_empty {
+                    return rebuilt(Stmt::Seq(stmts));
+                }
+                let mut stmts = stmts;
+                let Stmt::If {
+                    cond, then_branch, ..
+                } = stmts.remove(pos)
+                else {
+                    unreachable!("position found above");
+                };
+                self.stats.stmts_sunk += stmts.len();
+                self.stats.branches_hoisted += 1;
+                stmts.push(*then_branch);
+                Stmt::if_then(cond, rebuilt(Stmt::seq(stmts)))
+            }
+            other => rebuilt(other),
+        }
+    }
+}
+
+/// Whether a condition is a conjunction of affine boundary checks (only those
+/// may be hoisted; arbitrary data-dependent conditions are left alone).
+fn is_boundary_cond(cond: &atim_tir::expr::Expr) -> bool {
+    split_conjunction(cond)
+        .iter()
+        .all(|c| as_upper_bound(c).is_some())
+}
+
+/// Whether a statement may be sunk under a boundary check by PDCE: its only
+/// effect is to stage data into WRAM, which is consumed exclusively inside
+/// the guarded computation (guaranteed by the lowering's `compute_at`
+/// semantics).
+fn is_sinkable(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Dma { dst, .. } => dst.scope == MemScope::Wram,
+        Stmt::Store { buf, .. } => buf.scope == MemScope::Wram,
+        Stmt::For { body, .. } => is_sinkable(body),
+        Stmt::Seq(stmts) => stmts.iter().all(is_sinkable),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            is_sinkable(then_branch)
+                && else_branch.as_ref().map(|e| is_sinkable(e)).unwrap_or(true)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::buffer::{Buffer, Var};
+    use atim_tir::dtype::DType;
+    use atim_tir::eval::{CountingTracer, ExecMode, Interpreter, MemoryStore};
+    use atim_tir::expr::Expr;
+    use std::sync::Arc;
+
+    /// Builds the Fig. 8(c)→(d) situation: an outer loop containing DMA loads
+    /// and an invariant-guarded compute loop.
+    fn fig8_program() -> (Stmt, Arc<Buffer>, Arc<Buffer>, Arc<Buffer>, Var) {
+        let al = Buffer::new("AL", DType::F32, vec![16], MemScope::Wram);
+        let am = Buffer::new("Am", DType::F32, vec![64], MemScope::Mram);
+        let cl = Buffer::new("CL", DType::F32, vec![16], MemScope::Wram);
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let k = Var::new("k");
+        let dma = Stmt::Dma {
+            dst: Arc::clone(&al),
+            dst_off: Expr::Int(0),
+            src: Arc::clone(&am),
+            src_off: Expr::var(&j).mul(Expr::Int(16)),
+            elems: Expr::Int(16),
+        };
+        let compute = Stmt::for_serial(
+            k.clone(),
+            16i64,
+            Stmt::store(
+                &cl,
+                Expr::var(&i),
+                Expr::load(&cl, Expr::var(&i)).add(Expr::load(&al, Expr::var(&k))),
+            ),
+        );
+        let guarded = Stmt::if_then(Expr::var(&i).lt(Expr::Int(7)), compute);
+        let body = Stmt::seq(vec![dma, guarded]);
+        let prog = Stmt::for_serial(j, 3i64, body);
+        (prog, al, am, cl, i)
+    }
+
+    fn run(stmt: &Stmt, i: &Var, iv: i64, bufs: &[&Arc<Buffer>]) -> (Vec<f32>, CountingTracer) {
+        let mut store = MemoryStore::new();
+        for b in bufs {
+            store.alloc(b, 0);
+        }
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        interp.bind(i, iv);
+        interp.run(stmt).unwrap();
+        (store.read_all(bufs[2], 0).unwrap().to_vec(), tracer)
+    }
+
+    #[test]
+    fn hoists_branch_above_outer_loop_with_pdce() {
+        let (prog, al, am, cl, i) = fig8_program();
+        let (opt, stats) = hoist_invariant_branches(prog.clone());
+        assert!(stats.branches_hoisted >= 1);
+        assert!(stats.stmts_sunk >= 1);
+        // The outermost statement is now the branch.
+        assert!(matches!(opt, Stmt::If { .. }), "got {opt:?}");
+
+        // Semantics preserved for both sides of the boundary, and the
+        // optimized version executes strictly fewer branches when the check
+        // fails.
+        for iv in [0, 6, 7, 9] {
+            let (a, ta) = run(&prog, &i, iv, &[&al, &am, &cl]);
+            let (b, tb) = run(&opt, &i, iv, &[&al, &am, &cl]);
+            assert_eq!(a, b, "iv={iv}");
+            assert!(tb.branches <= ta.branches);
+            if iv >= 7 {
+                assert_eq!(tb.branches, 1, "single hoisted check when out of range");
+                assert_eq!(tb.dma_requests, 0, "PDCE skips dead DMA transfers");
+                assert!(ta.dma_requests > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn does_not_hoist_variant_conditions() {
+        let cl = Buffer::new("CL", DType::F32, vec![8], MemScope::Wram);
+        let k = Var::new("k");
+        let body = Stmt::if_then(
+            Expr::var(&k).lt(Expr::Int(4)),
+            Stmt::store(&cl, Expr::var(&k), Expr::Float(1.0)),
+        );
+        let prog = Stmt::for_serial(k, 8i64, body);
+        let (out, stats) = hoist_invariant_branches(prog.clone());
+        assert_eq!(stats.branches_hoisted, 0);
+        assert_eq!(out, prog);
+    }
+
+    #[test]
+    fn does_not_sink_global_stores() {
+        // A store to MRAM before the guard is an observable effect and must
+        // not be sunk (so no hoisting happens either).
+        let cm = Buffer::new("Cm", DType::F32, vec![8], MemScope::Mram);
+        let cl = Buffer::new("CL", DType::F32, vec![8], MemScope::Wram);
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let side_effect = Stmt::store(&cm, Expr::var(&j), Expr::Float(1.0));
+        let guarded = Stmt::if_then(
+            Expr::var(&i).lt(Expr::Int(4)),
+            Stmt::store(&cl, Expr::Int(0), Expr::Float(2.0)),
+        );
+        let prog = Stmt::for_serial(j, 4i64, Stmt::seq(vec![side_effect, guarded]));
+        let (_, stats) = hoist_invariant_branches(prog);
+        assert_eq!(stats.branches_hoisted, 0);
+    }
+
+    #[test]
+    fn hoists_simple_invariant_guard() {
+        let cl = Buffer::new("CL", DType::F32, vec![8], MemScope::Wram);
+        let i = Var::new("i");
+        let k = Var::new("k");
+        let prog = Stmt::for_serial(
+            k.clone(),
+            8i64,
+            Stmt::if_then(
+                Expr::var(&i).lt(Expr::Int(4)),
+                Stmt::store(&cl, Expr::var(&k), Expr::Float(1.0)),
+            ),
+        );
+        let (out, stats) = hoist_invariant_branches(prog);
+        assert_eq!(stats.branches_hoisted, 1);
+        match out {
+            Stmt::If { then_branch, .. } => {
+                assert!(matches!(*then_branch, Stmt::For { .. }));
+            }
+            other => panic!("expected hoisted if, got {other:?}"),
+        }
+    }
+}

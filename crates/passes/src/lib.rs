@@ -1,0 +1,33 @@
+//! # atim-passes — PIM-aware TIR optimization passes
+//!
+//! Implementations of the tensor-level optimizations from §5.3 of the ATiM
+//! paper, plus the data-transfer optimizations of §5.2.2 (Fig. 7):
+//!
+//! * [`dma`] — **DMA-aware boundary-check elimination** (§5.3.1): removes
+//!   boundary checks guarding element-wise WRAM↔MRAM copies and replaces the
+//!   copy loop with a single DMA instruction.
+//! * [`tighten`] — **loop-bound tightening** (§5.3.2): intersects a loop's
+//!   extent with an affine boundary condition, skipping iterations that are
+//!   statically known to fail the check.
+//! * [`hoist`] — **invariant branch hoisting** (§5.3.3): moves
+//!   loop-invariant boundary checks out of loops, using partial-dead-code
+//!   elimination to sink DMA statements under the branch so it can be hoisted
+//!   further.
+//! * [`unroll`] — expansion of loops annotated for unrolling.
+//! * [`transfer`] — bulk and rank-parallel host transfer rewriting (Fig. 7(c)
+//!   and (d)).
+//! * [`pipeline`] — the optimization levels used in the paper's Fig. 12/13
+//!   ablation (`No-OPT`, `DMA`, `DMA+LT`, `DMA+LT+BH`).
+//!
+//! All passes are semantics-preserving given the structural guarantees of the
+//! ATiM lowering (see `atim-tir`'s schedule lowering); each module's tests
+//! verify this by differential execution against unoptimized programs.
+
+pub mod dma;
+pub mod hoist;
+pub mod pipeline;
+pub mod tighten;
+pub mod transfer;
+pub mod unroll;
+
+pub use pipeline::{optimize_kernel, optimize_transfers, OptLevel};

@@ -1,0 +1,217 @@
+//! Optimization pipelines: the `No-OPT` / `DMA` / `DMA+LT` / `DMA+LT+BH`
+//! levels used throughout the paper's §7.3 ablation (Figs. 12 and 13).
+
+use atim_tir::simplify::simplify_stmt;
+use atim_tir::stmt::Stmt;
+
+use crate::dma::{eliminate_boundary_checks, DmaStats};
+use crate::hoist::{hoist_invariant_branches, HoistStats};
+use crate::tighten::{tighten_loop_bounds, TightenStats};
+use crate::transfer::{bulk_transfers, parallelize_transfers, BulkStats};
+use crate::unroll::{unroll_loops, UnrollStats};
+
+/// PIM-aware optimization level for DPU kernel code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// O0: no PIM-aware optimization (element-wise caching, all boundary
+    /// checks in place).
+    NoOpt,
+    /// O1: DMA-aware boundary-check elimination (§5.3.1).
+    Dma,
+    /// O2: O1 + loop-bound tightening (§5.3.2).
+    DmaLt,
+    /// O3: O1 + O2 + invariant branch hoisting (§5.3.3).  This is ATiM's
+    /// default.
+    #[default]
+    DmaLtBh,
+}
+
+impl OptLevel {
+    /// All levels in ascending order (useful for ablation sweeps).
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::NoOpt,
+        OptLevel::Dma,
+        OptLevel::DmaLt,
+        OptLevel::DmaLtBh,
+    ];
+
+    /// Short label used in reports (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::NoOpt => "No OPT",
+            OptLevel::Dma => "DMA",
+            OptLevel::DmaLt => "DMA+LT",
+            OptLevel::DmaLtBh => "DMA+LT+BH",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Aggregated statistics from one run of the kernel pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// DMA-aware boundary-check elimination results.
+    pub dma: DmaStats,
+    /// Loop-bound tightening results.
+    pub tighten: TightenStats,
+    /// Invariant branch hoisting results.
+    pub hoist: HoistStats,
+    /// Unrolling results.
+    pub unroll: UnrollStats,
+}
+
+/// Applies the kernel-side PIM-aware optimizations at the given level.
+///
+/// Unrolling of annotated loops is performed at every level (it corresponds
+/// to the `-O2` backend compilation the paper always uses), while the three
+/// PIM-aware passes are applied cumulatively per [`OptLevel`].
+pub fn optimize_kernel(kernel: Stmt, level: OptLevel) -> (Stmt, PipelineStats) {
+    let mut stats = PipelineStats::default();
+    let mut body = kernel;
+
+    if level >= OptLevel::Dma {
+        let (b, s) = eliminate_boundary_checks(body);
+        body = b;
+        stats.dma = s;
+    }
+    if level >= OptLevel::DmaLt {
+        let (b, s) = tighten_loop_bounds(body);
+        body = b;
+        stats.tighten = s;
+    }
+    if level >= OptLevel::DmaLtBh {
+        let (b, s) = hoist_invariant_branches(body);
+        body = b;
+        stats.hoist = s;
+    }
+    let (b, s) = unroll_loops(body);
+    body = b;
+    stats.unroll = s;
+
+    (simplify_stmt(body), stats)
+}
+
+/// Applies the host transfer optimizations: bulk coalescing (Fig. 7(c)) and
+/// optionally the rank-parallel push path (Fig. 7(d)).
+pub fn optimize_transfers(transfer_prog: Stmt, parallel: bool) -> (Stmt, BulkStats) {
+    let (out, stats) = bulk_transfers(transfer_prog);
+    let out = if parallel {
+        parallelize_transfers(out)
+    } else {
+        out
+    };
+    (simplify_stmt(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::compute::ComputeDef;
+    use atim_tir::schedule::{execute_functional, Attach, Binding, Lowered, Schedule};
+
+    /// Builds the misaligned MTV schedule from the paper's Fig. 8 (7×40
+    /// matrix, 2×16 caching tile, 4 "tasklets").
+    fn fig8_lowered() -> (ComputeDef, Lowered) {
+        let def = ComputeDef::mtv("mtv", 7, 40);
+        let mut sch = Schedule::new(def.clone());
+        let i = sch.loops_of_axis(0)[0];
+        let k = sch.loops_of_axis(1)[0];
+        let (i_t, i_c) = sch.split(i, 2).unwrap();
+        sch.bind(i_t, Binding::Tasklet).unwrap();
+        let (k_o, k_i) = sch.split(k, 16).unwrap();
+        sch.reorder(&[i_t, i_c, k_o, k_i]).unwrap();
+        sch.cache_read(0, Attach::At(k_o)).unwrap();
+        sch.cache_read(1, Attach::At(k_o)).unwrap();
+        sch.cache_write(Attach::At(i_c)).unwrap();
+        (def, sch.lower().unwrap())
+    }
+
+    fn inputs(def: &ComputeDef) -> Vec<Vec<f32>> {
+        (0..def.inputs.len())
+            .map(|t| {
+                (0..def.input_len(t))
+                    .map(|i| ((i + t * 3) % 7) as f32 - 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_level_preserves_semantics() {
+        let (def, lowered) = fig8_lowered();
+        let ins = inputs(&def);
+        let expect = def.reference(&ins);
+        for level in OptLevel::ALL {
+            let (body, _) = optimize_kernel(lowered.kernel.body.clone(), level);
+            let mut opt = lowered.clone();
+            opt.kernel.body = body;
+            let got = execute_functional(&opt, &ins).unwrap();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-3, "{level}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn opt_levels_progressively_remove_branches() {
+        let (def, lowered) = fig8_lowered();
+        let ins = inputs(&def);
+        let mut prev_branches = usize::MAX;
+        for level in OptLevel::ALL {
+            let (body, _) = optimize_kernel(lowered.kernel.body.clone(), level);
+            let mut opt = lowered.clone();
+            opt.kernel.body = body;
+            // Count dynamic branch executions with the counting tracer.
+            let mut store = atim_tir::eval::MemoryStore::new();
+            for (buf, data) in opt.global_inputs.iter().zip(&ins) {
+                store.alloc_with(buf, 0, data);
+            }
+            store.alloc(&opt.global_output, 0);
+            for tile in &opt.mram_inputs {
+                store.alloc(&tile.buf, 0);
+            }
+            store.alloc(&opt.mram_output.buf, 0);
+            let mut h2d_tracer = atim_tir::eval::NoTrace;
+            let mut interp = atim_tir::eval::Interpreter::new(
+                &mut store,
+                &mut h2d_tracer,
+                atim_tir::eval::ExecMode::Functional,
+            );
+            interp.run(&opt.h2d).unwrap();
+            let mut tracer = atim_tir::eval::CountingTracer::default();
+            let mut interp = atim_tir::eval::Interpreter::new(
+                &mut store,
+                &mut tracer,
+                atim_tir::eval::ExecMode::Functional,
+            );
+            interp.run(&opt.kernel.body).unwrap();
+            assert!(
+                tracer.branches <= prev_branches,
+                "{level}: dynamic branches increased ({} > {prev_branches})",
+                tracer.branches
+            );
+            prev_branches = tracer.branches;
+        }
+        assert!(prev_branches < 50, "final level should have few branches");
+    }
+
+    #[test]
+    fn dma_level_produces_dma_statements() {
+        let (_, lowered) = fig8_lowered();
+        let (body, stats) = optimize_kernel(lowered.kernel.body.clone(), OptLevel::Dma);
+        assert!(stats.dma.loops_converted > 0);
+        assert!(body.count_nodes().dmas > 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OptLevel::NoOpt.label(), "No OPT");
+        assert_eq!(OptLevel::DmaLtBh.to_string(), "DMA+LT+BH");
+        assert!(OptLevel::Dma < OptLevel::DmaLt);
+    }
+}

@@ -1,0 +1,244 @@
+//! Loop-bound tightening (§5.3.2).
+//!
+//! When a loop's body is a single `if` whose condition is a conjunction of
+//! affine upper bounds and at least one conjunct involves the loop variable
+//! with a positive coefficient, the loop's upper bound can be intersected
+//! with the condition:
+//!
+//! ```text
+//! for k in range(16):                  for k in range(min(16, K - j*16)):
+//!     if j*16 + k < K and i < M:   =>      if i < M:
+//!         body                                 body
+//! ```
+//!
+//! Iterations that would fail the check are simply never executed, removing
+//! both the wasted loop iterations and the per-iteration branch.  General-
+//! purpose compilers cannot do this without the structural guarantee (no
+//! statements outside the guard) that the ATiM lowering provides.
+
+use atim_tir::affine::{as_upper_bound, rebuild_conjunction, split_conjunction};
+use atim_tir::expr::Expr;
+use atim_tir::simplify::simplify_expr;
+use atim_tir::stmt::{ForKind, Stmt};
+use atim_tir::visit::{mutate_children, StmtMutator};
+
+/// Statistics reported by [`tighten_loop_bounds`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TightenStats {
+    /// Number of loops whose bounds were tightened.
+    pub loops_tightened: usize,
+    /// Number of boundary conjuncts folded into loop bounds.
+    pub conds_folded: usize,
+}
+
+/// Applies loop-bound tightening to a kernel body.
+pub fn tighten_loop_bounds(stmt: Stmt) -> (Stmt, TightenStats) {
+    let mut pass = TightenPass {
+        stats: TightenStats::default(),
+    };
+    let out = pass.mutate_stmt(stmt);
+    (out, pass.stats)
+}
+
+struct TightenPass {
+    stats: TightenStats,
+}
+
+impl StmtMutator for TightenPass {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        let stmt = mutate_children(self, stmt);
+        let Stmt::For {
+            var,
+            extent,
+            kind,
+            body,
+        } = stmt
+        else {
+            return stmt;
+        };
+        if !matches!(kind, ForKind::Serial | ForKind::Unrolled) {
+            return Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            };
+        }
+        // The body must be exactly one guarded statement.
+        let Stmt::If {
+            cond,
+            then_branch,
+            else_branch: None,
+        } = *body
+        else {
+            return Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            };
+        };
+
+        let mut kept = Vec::new();
+        let mut new_extent = extent.clone();
+        let mut folded = 0usize;
+        for conjunct in split_conjunction(&cond) {
+            let Some(bound) = as_upper_bound(&conjunct) else {
+                kept.push(conjunct);
+                continue;
+            };
+            let coeff = bound.lhs.coeff(&var);
+            if coeff <= 0 {
+                kept.push(conjunct);
+                continue;
+            }
+            // lhs_rest + coeff*var < bound  =>  var < ceil((bound - lhs_rest)/coeff)
+            let mut rest = bound.lhs.clone();
+            rest.coeffs.remove(&var);
+            let rest_expr = rest.to_expr();
+            let numer = Expr::Int(bound.bound)
+                .sub(rest_expr)
+                .add(Expr::Int(coeff - 1));
+            let limit = numer.floordiv(Expr::Int(coeff));
+            new_extent = new_extent.min(limit);
+            folded += 1;
+        }
+        if folded == 0 {
+            // Nothing foldable: reconstruct the original loop.
+            return Stmt::For {
+                var,
+                extent,
+                kind,
+                body: Box::new(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch: None,
+                }),
+            };
+        }
+        self.stats.loops_tightened += 1;
+        self.stats.conds_folded += folded;
+        let inner = if kept.is_empty() {
+            *then_branch
+        } else {
+            Stmt::if_then(rebuild_conjunction(kept), *then_branch)
+        };
+        Stmt::For {
+            var,
+            extent: simplify_expr(&new_extent),
+            kind,
+            body: Box::new(inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::buffer::{Buffer, MemScope, Var};
+    use atim_tir::dtype::DType;
+    use atim_tir::eval::{CountingTracer, ExecMode, Interpreter, MemoryStore};
+
+    /// Builds Fig. 8(c)'s shape: for k in 0..16 { if j*16+k < kmax && i < imax { C[i] += 1 } }
+    fn guarded_loop(imax: i64, kmax: i64) -> (Stmt, std::sync::Arc<Buffer>, Var, Var) {
+        let c = Buffer::new("C", DType::F32, vec![8], MemScope::Wram);
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let k = Var::new("k");
+        let cond = Expr::var(&j)
+            .mul(Expr::Int(16))
+            .add(Expr::var(&k))
+            .lt(Expr::Int(kmax))
+            .and(Expr::var(&i).lt(Expr::Int(imax)));
+        let body = Stmt::if_then(
+            cond,
+            Stmt::store(
+                &c,
+                Expr::var(&i),
+                Expr::load(&c, Expr::var(&i)).add(Expr::Float(1.0)),
+            ),
+        );
+        (Stmt::for_serial(k, 16i64, body), c, i, j)
+    }
+
+    fn run_counting(stmt: &Stmt, binds: &[(&Var, i64)], c: &std::sync::Arc<Buffer>) -> (Vec<f32>, CountingTracer) {
+        let mut store = MemoryStore::new();
+        store.alloc(c, 0);
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        for (v, x) in binds {
+            interp.bind(v, *x);
+        }
+        interp.run(stmt).unwrap();
+        (store.read_all(c, 0).unwrap().to_vec(), tracer)
+    }
+
+    #[test]
+    fn tightens_and_preserves_semantics() {
+        let (orig, c, i, j) = guarded_loop(7, 40);
+        let (opt, stats) = tighten_loop_bounds(orig.clone());
+        assert_eq!(stats.loops_tightened, 1);
+        assert_eq!(stats.conds_folded, 1);
+
+        for (iv, jv) in [(0, 0), (3, 1), (6, 2), (7, 2)] {
+            let (a, ta) = run_counting(&orig, &[(&i, iv), (&j, jv)], &c);
+            let (b, tb) = run_counting(&opt, &[(&i, iv), (&j, jv)], &c);
+            assert_eq!(a, b, "results differ at i={iv}, j={jv}");
+            assert!(
+                tb.loop_iters <= ta.loop_iters,
+                "tightened loop must not run more iterations"
+            );
+        }
+        // For j=2 only 40 - 32 = 8 of the 16 iterations survive.
+        let (_, t_opt) = run_counting(&opt, &[(&i, 0), (&j, 2)], &c);
+        assert_eq!(t_opt.loop_iters, 8);
+    }
+
+    #[test]
+    fn keeps_invariant_conjunct() {
+        let (orig, _, _, _) = guarded_loop(7, 40);
+        let (opt, _) = tighten_loop_bounds(orig);
+        // The i < 7 conjunct must survive inside the loop.
+        let counts = opt.count_nodes();
+        assert_eq!(counts.branches, 1);
+    }
+
+    #[test]
+    fn leaves_loops_without_guard_alone() {
+        let c = Buffer::new("C", DType::F32, vec![8], MemScope::Wram);
+        let k = Var::new("k");
+        let loop_ = Stmt::for_serial(
+            k.clone(),
+            8i64,
+            Stmt::store(&c, Expr::var(&k), Expr::Float(1.0)),
+        );
+        let (out, stats) = tighten_loop_bounds(loop_.clone());
+        assert_eq!(stats.loops_tightened, 0);
+        assert_eq!(out, loop_);
+    }
+
+    #[test]
+    fn leaves_non_affine_guards_alone() {
+        let c = Buffer::new("C", DType::F32, vec![8], MemScope::Wram);
+        let k = Var::new("k");
+        let cond = Expr::var(&k).floormod(Expr::Int(2)).eq_expr(Expr::Int(0));
+        let loop_ = Stmt::for_serial(
+            k.clone(),
+            8i64,
+            Stmt::if_then(cond, Stmt::store(&c, Expr::var(&k), Expr::Float(1.0))),
+        );
+        let (_, stats) = tighten_loop_bounds(loop_);
+        assert_eq!(stats.loops_tightened, 0);
+    }
+
+    #[test]
+    fn negative_tightened_bound_runs_zero_iterations() {
+        // j so large that no iteration is valid: extent becomes negative and
+        // the loop simply runs zero times.
+        let (orig, c, i, j) = guarded_loop(7, 40);
+        let (opt, _) = tighten_loop_bounds(orig);
+        let (vals, tracer) = run_counting(&opt, &[(&i, 0), (&j, 5)], &c);
+        assert_eq!(tracer.loop_iters, 0);
+        assert!(vals.iter().all(|v| *v == 0.0));
+    }
+}

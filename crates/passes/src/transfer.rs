@@ -1,0 +1,267 @@
+//! Host data-transfer optimizations (Fig. 7(c) and (d)).
+//!
+//! The baseline transfer code generated from a kernel's caching structure is
+//! a loop of single-element `h2d`/`d2h` intrinsics.  Two rewrites improve it:
+//!
+//! * **Bulk transfer**: a loop of unit transfers whose global and MRAM
+//!   offsets both advance by one element per iteration is coalesced into one
+//!   transfer of the whole contiguous run (the call overhead of UPMEM's
+//!   `dpu_copy_to`/`dpu_copy_from` dominates for small sizes, so this is the
+//!   difference between thousands of SDK calls and one per tile row).
+//! * **Bank-parallel transfer**: transfers are marked for the
+//!   `dpu_prepare_xfer` + `dpu_push_xfer` rank-parallel path, letting all 64
+//!   banks of a rank move data simultaneously.
+
+use atim_tir::affine::{as_linear, as_upper_bound, split_conjunction};
+use atim_tir::expr::Expr;
+use atim_tir::simplify::simplify_expr;
+use atim_tir::stmt::{ForKind, Stmt};
+use atim_tir::visit::{mutate_children, StmtMutator};
+
+/// Statistics reported by [`bulk_transfers`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BulkStats {
+    /// Number of transfer loops coalesced.
+    pub loops_coalesced: usize,
+}
+
+/// Coalesces loops of unit-element transfers into bulk transfers.
+pub fn bulk_transfers(stmt: Stmt) -> (Stmt, BulkStats) {
+    let mut pass = BulkPass {
+        stats: BulkStats::default(),
+    };
+    let out = pass.mutate_stmt(stmt);
+    (out, pass.stats)
+}
+
+/// Marks every host transfer for the rank-parallel push path.
+pub fn parallelize_transfers(stmt: Stmt) -> Stmt {
+    struct ParallelPass;
+    impl StmtMutator for ParallelPass {
+        fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+            let stmt = mutate_children(self, stmt);
+            match stmt {
+                Stmt::HostTransfer {
+                    dir,
+                    dpu,
+                    global,
+                    global_off,
+                    mram,
+                    mram_off,
+                    elems,
+                    parallel: _,
+                } => Stmt::HostTransfer {
+                    dir,
+                    dpu,
+                    global,
+                    global_off,
+                    mram,
+                    mram_off,
+                    elems,
+                    parallel: true,
+                },
+                other => other,
+            }
+        }
+    }
+    ParallelPass.mutate_stmt(stmt)
+}
+
+struct BulkPass {
+    stats: BulkStats,
+}
+
+impl StmtMutator for BulkPass {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        let stmt = mutate_children(self, stmt);
+        match try_coalesce(&stmt) {
+            Some(new) => {
+                self.stats.loops_coalesced += 1;
+                new
+            }
+            None => stmt,
+        }
+    }
+}
+
+/// Tries to turn `for e in 0..n { [if bound(e)] transfer(elems=1, off+e) }`
+/// into a single clamped bulk transfer.
+fn try_coalesce(stmt: &Stmt) -> Option<Stmt> {
+    let Stmt::For {
+        var,
+        extent,
+        kind: ForKind::Serial,
+        body,
+    } = stmt
+    else {
+        return None;
+    };
+    let n = extent.as_int()?;
+
+    // Peel an optional boundary guard; it becomes a clamp on the length.
+    let (inner, clamp): (&Stmt, Option<Expr>) = match &**body {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch: None,
+        } => {
+            let conjuncts = split_conjunction(cond);
+            if conjuncts.len() != 1 {
+                return None;
+            }
+            let bound = as_upper_bound(&conjuncts[0])?;
+            if bound.lhs.coeff(var) != 1 {
+                return None;
+            }
+            // lhs_rest + e < bound  =>  valid length = bound - lhs_rest
+            let mut rest = bound.lhs.clone();
+            rest.coeffs.remove(var);
+            let limit = Expr::Int(bound.bound).sub(rest.to_expr());
+            (then_branch, Some(limit))
+        }
+        other => (other, None),
+    };
+
+    let Stmt::HostTransfer {
+        dir,
+        dpu,
+        global,
+        global_off,
+        mram,
+        mram_off,
+        elems,
+        parallel,
+    } = inner
+    else {
+        return None;
+    };
+    if elems.as_int() != Some(1) {
+        return None;
+    }
+    if dpu.uses_var(var) {
+        return None;
+    }
+    // Both offsets must advance by exactly one element per iteration.
+    let g_lin = as_linear(global_off)?;
+    let m_lin = as_linear(mram_off)?;
+    if g_lin.coeff(var) != 1 || m_lin.coeff(var) != 1 {
+        return None;
+    }
+    let g_base = global_off.substitute(var, &Expr::Int(0));
+    let m_base = mram_off.substitute(var, &Expr::Int(0));
+    let length = match clamp {
+        Some(limit) => Expr::Int(0).max(Expr::Int(n).min(limit)),
+        None => Expr::Int(n),
+    };
+    Some(Stmt::HostTransfer {
+        dir: *dir,
+        dpu: dpu.clone(),
+        global: global.clone(),
+        global_off: simplify_expr(&g_base),
+        mram: mram.clone(),
+        mram_off: simplify_expr(&m_base),
+        elems: simplify_expr(&length),
+        parallel: *parallel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::buffer::{Buffer, MemScope, Var};
+    use atim_tir::dtype::DType;
+    use atim_tir::eval::{CountingTracer, ExecMode, Interpreter, MemoryStore};
+    use atim_tir::stmt::TransferDir;
+    use std::sync::Arc;
+
+    fn unit_transfer_loop(n: i64, guard: Option<i64>) -> (Stmt, Arc<Buffer>, Arc<Buffer>) {
+        let g = Buffer::new("A", DType::F32, vec![64], MemScope::Global);
+        let m = Buffer::new("Am", DType::F32, vec![32], MemScope::Mram);
+        let e = Var::new("e");
+        let xfer = Stmt::HostTransfer {
+            dir: TransferDir::H2D,
+            dpu: Expr::Int(0),
+            global: Arc::clone(&g),
+            global_off: Expr::Int(8).add(Expr::var(&e)),
+            mram: Arc::clone(&m),
+            mram_off: Expr::var(&e),
+            elems: Expr::Int(1),
+            parallel: false,
+        };
+        let body = match guard {
+            Some(bound) => Stmt::if_then(Expr::var(&e).add(Expr::Int(8)).lt(Expr::Int(bound)), xfer),
+            None => xfer,
+        };
+        (Stmt::for_serial(e, n, body), g, m)
+    }
+
+    fn run(stmt: &Stmt, g: &Arc<Buffer>, m: &Arc<Buffer>) -> (Vec<f32>, CountingTracer) {
+        let mut store = MemoryStore::new();
+        store.alloc_with(g, 0, &(0..64).map(|x| x as f32).collect::<Vec<_>>());
+        store.alloc(m, 0);
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        interp.run(stmt).unwrap();
+        (store.read_all(m, 0).unwrap().to_vec(), tracer)
+    }
+
+    #[test]
+    fn coalesces_plain_unit_loop() {
+        let (prog, g, m) = unit_transfer_loop(16, None);
+        let (opt, stats) = bulk_transfers(prog.clone());
+        assert_eq!(stats.loops_coalesced, 1);
+        let (a, ta) = run(&prog, &g, &m);
+        let (b, tb) = run(&opt, &g, &m);
+        assert_eq!(a, b);
+        assert_eq!(ta.transfers, 16);
+        assert_eq!(tb.transfers, 1);
+        assert_eq!(ta.transfer_bytes, tb.transfer_bytes);
+    }
+
+    #[test]
+    fn coalesces_guarded_loop_with_clamp() {
+        // Guard: 8 + e < 20 → only 12 of the 16 elements are valid.
+        let (prog, g, m) = unit_transfer_loop(16, Some(20));
+        let (opt, stats) = bulk_transfers(prog.clone());
+        assert_eq!(stats.loops_coalesced, 1);
+        let (a, ta) = run(&prog, &g, &m);
+        let (b, tb) = run(&opt, &g, &m);
+        assert_eq!(a, b);
+        assert_eq!(ta.transfer_bytes, 12 * 4);
+        assert_eq!(tb.transfer_bytes, 12 * 4);
+        assert_eq!(tb.transfers, 1);
+    }
+
+    #[test]
+    fn leaves_strided_transfers_alone() {
+        let g = Buffer::new("A", DType::F32, vec![64], MemScope::Global);
+        let m = Buffer::new("Am", DType::F32, vec![32], MemScope::Mram);
+        let e = Var::new("e");
+        let xfer = Stmt::HostTransfer {
+            dir: TransferDir::H2D,
+            dpu: Expr::Int(0),
+            global: g,
+            global_off: Expr::var(&e).mul(Expr::Int(2)),
+            mram: m,
+            mram_off: Expr::var(&e),
+            elems: Expr::Int(1),
+            parallel: false,
+        };
+        let prog = Stmt::for_serial(e, 8i64, xfer);
+        let (_, stats) = bulk_transfers(prog);
+        assert_eq!(stats.loops_coalesced, 0);
+    }
+
+    #[test]
+    fn parallelize_marks_all_transfers() {
+        let (prog, _, _) = unit_transfer_loop(4, None);
+        let out = parallelize_transfers(prog);
+        let mut all_parallel = true;
+        atim_tir::visit::walk_stmt(&out, &mut |s| {
+            if let Stmt::HostTransfer { parallel, .. } = s {
+                all_parallel &= parallel;
+            }
+        });
+        assert!(all_parallel);
+    }
+}

@@ -1,0 +1,123 @@
+//! Loop unrolling for loops annotated with [`ForKind::Unrolled`].
+//!
+//! The autotuner samples unroll annotations for innermost kernel loops; this
+//! pass expands them so the DPU timing model sees the reduced loop-management
+//! overhead (the UPMEM DPU has no zero-overhead-loop hardware, so every
+//! iteration otherwise pays an increment + compare + branch).
+
+use atim_tir::expr::Expr;
+use atim_tir::stmt::{ForKind, Stmt};
+use atim_tir::visit::{mutate_children, StmtMutator};
+
+/// Maximum extent this pass will fully unroll; larger annotated loops are
+/// left intact (matching TVM's `max_unroll` style limits).
+pub const MAX_UNROLL: i64 = 128;
+
+/// Statistics reported by [`unroll_loops`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// Number of loops expanded.
+    pub loops_unrolled: usize,
+    /// Total statements produced by expansion.
+    pub copies_emitted: usize,
+}
+
+/// Fully unrolls annotated loops with small constant extents.
+pub fn unroll_loops(stmt: Stmt) -> (Stmt, UnrollStats) {
+    let mut pass = UnrollPass {
+        stats: UnrollStats::default(),
+    };
+    let out = pass.mutate_stmt(stmt);
+    (out, pass.stats)
+}
+
+struct UnrollPass {
+    stats: UnrollStats,
+}
+
+impl StmtMutator for UnrollPass {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        let stmt = mutate_children(self, stmt);
+        let Stmt::For {
+            var,
+            extent,
+            kind: ForKind::Unrolled,
+            body,
+        } = stmt
+        else {
+            return stmt;
+        };
+        let Some(n) = extent.as_int() else {
+            return Stmt::For {
+                var,
+                extent,
+                kind: ForKind::Unrolled,
+                body,
+            };
+        };
+        if n > MAX_UNROLL || n < 0 {
+            return Stmt::For {
+                var,
+                extent,
+                kind: ForKind::Unrolled,
+                body,
+            };
+        }
+        self.stats.loops_unrolled += 1;
+        let mut copies = Vec::with_capacity(n as usize);
+        for it in 0..n {
+            copies.push(body.substitute(&var, &Expr::Int(it)));
+        }
+        self.stats.copies_emitted += copies.len();
+        Stmt::seq(copies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::buffer::{Buffer, MemScope, Var};
+    use atim_tir::dtype::DType;
+    use atim_tir::eval::run_simple;
+
+    #[test]
+    fn unrolls_annotated_loop() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let i = Var::new("i");
+        let body = Stmt::store(&a, Expr::var(&i), Expr::var(&i).add(Expr::Int(1)));
+        let loop_ = Stmt::for_kind(i, 4i64, ForKind::Unrolled, body);
+        let (out, stats) = unroll_loops(loop_.clone());
+        assert_eq!(stats.loops_unrolled, 1);
+        assert_eq!(stats.copies_emitted, 4);
+        assert_eq!(out.count_nodes().loops, 0);
+        // Same results.
+        let base = run_simple(&loop_, &[], &a).unwrap();
+        let opt = run_simple(&out, &[], &a).unwrap();
+        assert_eq!(base, opt);
+    }
+
+    #[test]
+    fn serial_loops_untouched() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let i = Var::new("i");
+        let loop_ = Stmt::for_serial(i.clone(), 4i64, Stmt::store(&a, Expr::var(&i), Expr::Float(0.0)));
+        let (out, stats) = unroll_loops(loop_.clone());
+        assert_eq!(stats.loops_unrolled, 0);
+        assert_eq!(out, loop_);
+    }
+
+    #[test]
+    fn huge_unroll_annotations_ignored() {
+        let a = Buffer::new("A", DType::F32, vec![100000], MemScope::Wram);
+        let i = Var::new("i");
+        let loop_ = Stmt::for_kind(
+            i.clone(),
+            100000i64,
+            ForKind::Unrolled,
+            Stmt::store(&a, Expr::var(&i), Expr::Float(0.0)),
+        );
+        let (out, stats) = unroll_loops(loop_);
+        assert_eq!(stats.loops_unrolled, 0);
+        assert_eq!(out.count_nodes().loops, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests: the PIM-aware passes must preserve program
+//! semantics for arbitrary boundary geometries, and must never add dynamic
+//! branches.
+
+use atim_passes::pipeline::{optimize_kernel, OptLevel};
+use atim_tir::compute::ComputeDef;
+use atim_tir::eval::{CountingTracer, ExecMode, Interpreter, MemoryStore};
+use atim_tir::schedule::{execute_functional, Attach, Binding, Schedule};
+use proptest::prelude::*;
+
+/// Builds a misaligned MTV schedule with the given tile geometry.
+fn build_lowered(
+    m: i64,
+    k: i64,
+    tasklets: i64,
+    rows_per_iter: i64,
+    cache: i64,
+) -> (ComputeDef, atim_tir::schedule::Lowered) {
+    let def = ComputeDef::mtv("mtv", m, k);
+    let mut sch = Schedule::new(def.clone());
+    let i = sch.loops_of_axis(0)[0];
+    let kk = sch.loops_of_axis(1)[0];
+    let (i_t, i_c) = sch.split(i, rows_per_iter.max(1)).unwrap();
+    if tasklets > 1 {
+        sch.bind(i_t, Binding::Tasklet).unwrap();
+    }
+    let (k_o, _k_i) = sch.split(kk, cache.max(1)).unwrap();
+    sch.reorder(&[i_t, i_c, k_o]).unwrap();
+    sch.cache_read(0, Attach::At(k_o)).unwrap();
+    sch.cache_read(1, Attach::At(k_o)).unwrap();
+    sch.cache_write(Attach::At(i_c)).unwrap();
+    (def, sch.lower().unwrap())
+}
+
+fn inputs_for(def: &ComputeDef) -> Vec<Vec<f32>> {
+    (0..def.inputs.len())
+        .map(|t| {
+            (0..def.input_len(t))
+                .map(|i| ((i * 3 + t * 5) % 11) as f32 - 5.0)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn passes_preserve_results_for_arbitrary_boundary_geometries(
+        m in 2i64..24,
+        k in 2i64..48,
+        tasklets in 1i64..5,
+        rows in 1i64..5,
+        cache in 2i64..20,
+        level_idx in 0usize..4,
+    ) {
+        let (def, mut lowered) = build_lowered(m, k, tasklets, rows, cache);
+        let level = OptLevel::ALL[level_idx];
+        let (optimized, _) = optimize_kernel(lowered.kernel.body.clone(), level);
+        lowered.kernel.body = optimized;
+        let inputs = inputs_for(&def);
+        let got = execute_functional(&lowered, &inputs).unwrap();
+        let expect = def.reference(&inputs);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-2, "{level}: {} vs {}", g, e);
+        }
+    }
+
+    #[test]
+    fn full_optimization_never_adds_branches_or_loop_iterations(
+        m in 2i64..24,
+        k in 2i64..48,
+        rows in 1i64..5,
+        cache in 2i64..20,
+    ) {
+        let (_, lowered) = build_lowered(m, k, 2, rows, cache);
+        let count_events = |body: &atim_tir::Stmt| {
+            let mut store = MemoryStore::new();
+            let mut tracer = CountingTracer::default();
+            let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::TimingOnly);
+            interp.run(body).unwrap();
+            tracer
+        };
+        let before = count_events(&lowered.kernel.body);
+        let (optimized, _) = optimize_kernel(lowered.kernel.body.clone(), OptLevel::DmaLtBh);
+        let after = count_events(&optimized);
+        prop_assert!(after.branches <= before.branches,
+            "branches increased: {} -> {}", before.branches, after.branches);
+        prop_assert!(after.loop_iters <= before.loop_iters,
+            "loop iterations increased: {} -> {}", before.loop_iters, after.loop_iters);
+    }
+}

@@ -1,0 +1,143 @@
+//! Hardware configuration of the simulated UPMEM system.
+
+/// The DRAM-PIM target family.
+///
+/// Only [`PimTarget::Upmem`] is implemented; the enum is the extension point
+/// discussed in the paper's §8 for MAC-based DRAM-PIM (e.g. HBM-PIM), which
+/// would replace the per-bank RISC core model with per-PU vector intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PimTarget {
+    /// UPMEM DDR4 PIM: one general-purpose DPU per 64 MB bank.
+    #[default]
+    Upmem,
+}
+
+/// Configuration of the simulated UPMEM server and its host.
+///
+/// Defaults follow the paper's evaluation platform: a dual-socket Xeon Gold
+/// 5220R host with 32 ranks of DDR4-2400 PIM DIMMs (64 DPUs per rank, 2048
+/// DPUs total) running at 350 MHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpmemConfig {
+    /// PIM family being simulated.
+    pub target: PimTarget,
+    /// Number of PIM-enabled ranks.
+    pub ranks: usize,
+    /// DPUs (banks) per rank.
+    pub dpus_per_rank: usize,
+    /// Maximum tasklets (hardware threads) per DPU.
+    pub max_tasklets: usize,
+    /// WRAM scratchpad size per DPU in bytes.
+    pub wram_bytes: usize,
+    /// IRAM size per DPU in bytes (used only by the verifier's kernel-size
+    /// estimate).
+    pub iram_bytes: usize,
+    /// MRAM bank size per DPU in bytes.
+    pub mram_bytes: usize,
+    /// DPU clock frequency in Hz.
+    pub dpu_freq_hz: f64,
+    /// Minimum cycles between two instructions of the same tasklet (pipeline
+    /// revolve interval).
+    pub issue_interval: u64,
+    /// Fixed cycles charged per MRAM↔WRAM DMA request (instruction sequence +
+    /// engine startup).
+    pub dma_setup_cycles: u64,
+    /// DMA streaming throughput in bytes per DPU cycle once started.
+    pub dma_bytes_per_cycle: f64,
+    /// Extra instructions charged per conditional branch (compare + jump).
+    pub branch_instrs: u64,
+    /// Instructions charged per loop iteration (increment + back-edge).
+    pub loop_iter_instrs: u64,
+    /// Fixed host-side overhead per transfer SDK call, in seconds.
+    pub transfer_call_overhead_s: f64,
+    /// Host→DPU bandwidth per rank for parallel (push) transfers, bytes/s.
+    pub h2d_rank_bw: f64,
+    /// DPU→host bandwidth per rank for parallel (push) transfers, bytes/s.
+    pub d2h_rank_bw: f64,
+    /// Bandwidth of serial (single-DPU-at-a-time) transfers, bytes/s.
+    pub serial_transfer_bw: f64,
+    /// Host CPU physical cores (both sockets).
+    pub host_cores: usize,
+    /// Aggregate host DRAM bandwidth, bytes/s.
+    pub host_mem_bw: f64,
+    /// Per-thread sustainable host memory bandwidth, bytes/s.
+    pub host_thread_bw: f64,
+    /// Host scalar throughput per core, FLOP/s (used when a host loop is
+    /// compute-bound rather than memory-bound).
+    pub host_core_flops: f64,
+    /// Fixed overhead per kernel launch (host→DPU control), seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl Default for UpmemConfig {
+    fn default() -> Self {
+        UpmemConfig {
+            target: PimTarget::Upmem,
+            ranks: 32,
+            dpus_per_rank: 64,
+            max_tasklets: 24,
+            wram_bytes: 64 * 1024,
+            iram_bytes: 24 * 1024,
+            mram_bytes: 64 * 1024 * 1024,
+            dpu_freq_hz: 350.0e6,
+            issue_interval: 11,
+            dma_setup_cycles: 77,
+            dma_bytes_per_cycle: 2.0,
+            branch_instrs: 2,
+            loop_iter_instrs: 2,
+            transfer_call_overhead_s: 2.0e-6,
+            h2d_rank_bw: 0.30e9,
+            d2h_rank_bw: 0.16e9,
+            serial_transfer_bw: 0.30e9,
+            host_cores: 48,
+            host_mem_bw: 110.0e9,
+            host_thread_bw: 9.0e9,
+            host_core_flops: 6.0e9,
+            launch_overhead_s: 15.0e-6,
+        }
+    }
+}
+
+impl UpmemConfig {
+    /// Total number of DPUs in the system.
+    pub fn total_dpus(&self) -> usize {
+        self.ranks * self.dpus_per_rank
+    }
+
+    /// A smaller configuration that is convenient for unit tests (fewer DPUs,
+    /// same per-DPU characteristics).
+    pub fn small() -> Self {
+        UpmemConfig {
+            ranks: 2,
+            dpus_per_rank: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Seconds per DPU cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.dpu_freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = UpmemConfig::default();
+        assert_eq!(c.total_dpus(), 2048);
+        assert_eq!(c.max_tasklets, 24);
+        assert_eq!(c.wram_bytes, 64 * 1024);
+        assert_eq!(c.mram_bytes, 64 * 1024 * 1024);
+        assert!(c.cycle_time() > 0.0);
+    }
+
+    #[test]
+    fn small_config_shrinks_dpu_count_only() {
+        let c = UpmemConfig::small();
+        assert_eq!(c.total_dpus(), 16);
+        assert_eq!(c.wram_bytes, UpmemConfig::default().wram_bytes);
+    }
+}

@@ -1,0 +1,95 @@
+//! Host-CPU execution model used by the CPU-autotuned baseline.
+//!
+//! The tensor operations the paper evaluates (VA, RED, MTV, TTV, MMTV, GEVA,
+//! GEMV) all have arithmetic intensity well below one FLOP per byte, so an
+//! autotuned CPU implementation is DRAM-bandwidth bound for every size the
+//! paper studies; for tiny tensors the kernel-launch/threading overhead
+//! dominates instead.  A roofline model with a parallel-overhead term
+//! captures both regimes, which is what produces the crossover the paper
+//! reports (CPU wins at 4 MB, UPMEM wins at ≥64 MB, Fig. 9/10).
+
+use atim_tir::compute::ComputeDef;
+
+use crate::config::UpmemConfig;
+
+/// Parameters of the modelled CPU execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuEstimate {
+    /// Modelled execution time in seconds.
+    pub time_s: f64,
+    /// Whether the memory roofline (rather than compute) was the binding
+    /// constraint.
+    pub memory_bound: bool,
+    /// Threads assumed.
+    pub threads: usize,
+}
+
+/// Estimates the runtime of an autotuned multi-threaded CPU implementation of
+/// `def` on the host described by `cfg`.
+pub fn cpu_time(def: &ComputeDef, threads: usize, cfg: &UpmemConfig) -> CpuEstimate {
+    let threads = threads.clamp(1, cfg.host_cores);
+    let bytes = def.total_bytes() as f64;
+    let flops = def.total_flops() as f64;
+    let bw = (threads as f64 * cfg.host_thread_bw).min(cfg.host_mem_bw);
+    let mem_time = bytes / bw;
+    // Autotuned CPU code vectorizes well: assume 8-wide FMA per core.
+    let compute_time = flops / (threads as f64 * cfg.host_core_flops * 8.0);
+    // Thread fork/join and first-touch overhead.
+    let overhead = 8.0e-6 + threads as f64 * 0.7e-6;
+    let time = mem_time.max(compute_time) + overhead;
+    CpuEstimate {
+        time_s: time,
+        memory_bound: mem_time >= compute_time,
+        threads,
+    }
+}
+
+/// Picks the best thread count for the workload (the "CPU-autotuned"
+/// configuration): small workloads prefer fewer threads because of the
+/// parallel overhead.
+pub fn cpu_autotuned(def: &ComputeDef, cfg: &UpmemConfig) -> CpuEstimate {
+    let mut best = cpu_time(def, 1, cfg);
+    let mut t = 2;
+    while t <= cfg.host_cores {
+        let e = cpu_time(def, t, cfg);
+        if e.time_s < best.time_s {
+            best = e;
+        }
+        t *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_kernels_are_memory_bound() {
+        let cfg = UpmemConfig::default();
+        let def = ComputeDef::mtv("mtv", 4096, 4096);
+        let e = cpu_autotuned(&def, &cfg);
+        assert!(e.memory_bound);
+        assert!(e.time_s > 0.0);
+    }
+
+    #[test]
+    fn autotuned_uses_many_threads_for_large_tensors() {
+        let cfg = UpmemConfig::default();
+        let big = ComputeDef::va("va", 64 * 1024 * 1024);
+        let small = ComputeDef::va("va", 1024);
+        let eb = cpu_autotuned(&big, &cfg);
+        let es = cpu_autotuned(&small, &cfg);
+        assert!(eb.threads > es.threads);
+        assert!(eb.time_s > es.time_s);
+    }
+
+    #[test]
+    fn more_threads_never_help_beyond_socket_bandwidth() {
+        let cfg = UpmemConfig::default();
+        let def = ComputeDef::red("red", 16 * 1024 * 1024);
+        let a = cpu_time(&def, cfg.host_cores, &cfg);
+        let b = cpu_time(&def, cfg.host_cores * 4, &cfg);
+        assert!((a.time_s - b.time_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-DPU kernel execution and the DPU cycle model.
+
+use atim_tir::error::Result;
+use atim_tir::eval::{ExecMode, Interpreter, MemoryStore};
+use atim_tir::schedule::Lowered;
+
+use crate::config::UpmemConfig;
+use crate::stats::{CycleBreakdown, DpuCounters};
+
+/// Result of running one DPU's kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DpuRun {
+    /// Event counters collected during interpretation.
+    pub counters: DpuCounters,
+    /// Modelled execution cycles.
+    pub cycles: f64,
+    /// Cycle breakdown (issuable / idle-memory / idle-core).
+    pub breakdown: CycleBreakdown,
+    /// Dynamic instruction count used by the model.
+    pub instructions: u64,
+}
+
+/// Total dynamic instructions implied by a counter set.
+///
+/// Every scalar ALU operation, WRAM access and DMA launch sequence costs
+/// issue slots; branches and loop back-edges cost
+/// [`UpmemConfig::branch_instrs`] / [`UpmemConfig::loop_iter_instrs`]
+/// instructions because the in-order DPU has no branch prediction or
+/// zero-overhead loops.
+pub fn instruction_count(c: &DpuCounters, cfg: &UpmemConfig) -> u64 {
+    c.alu_ops
+        + c.wram_loads
+        + c.wram_stores
+        + c.mram_scalar_accesses
+        + cfg.branch_instrs * c.branches
+        + cfg.loop_iter_instrs * c.loop_iters
+        + c.loop_enters
+        + 4 * c.dma_requests
+        + 2 * c.barriers
+}
+
+/// Cycles spent by the DMA engine serving this kernel's requests.
+///
+/// Direct scalar accesses to MRAM are charged as 8-byte DMA requests: the
+/// DPU has no load path to MRAM, so un-cached schedules pay the full setup
+/// cost per element — which is exactly why WRAM caching tile size matters so
+/// much in Fig. 3(a).
+pub fn dma_cycles(c: &DpuCounters, cfg: &UpmemConfig) -> f64 {
+    let requests = c.dma_requests + c.mram_scalar_accesses;
+    let bytes = c.dma_bytes + 8 * c.mram_scalar_accesses;
+    requests as f64 * cfg.dma_setup_cycles as f64 + bytes as f64 / cfg.dma_bytes_per_cycle
+}
+
+/// Applies the DPU cycle model to a counter set.
+///
+/// The kernel time is bounded below by three resources:
+///
+/// * the single issue port (one instruction per cycle across all tasklets),
+/// * the per-tasklet revolve interval (a tasklet issues at most once every
+///   `issue_interval` cycles, so fewer than ~11 tasklets leave issue slots
+///   empty — "idle core"),
+/// * the DMA engine ("idle memory").
+pub fn model_cycles(c: &DpuCounters, tasklets: i64, cfg: &UpmemConfig) -> DpuRun {
+    let instructions = instruction_count(c, cfg);
+    let issue = instructions as f64;
+    let tasklets = tasklets.max(1) as f64;
+    let revolve = (instructions as f64 / tasklets).ceil() * cfg.issue_interval as f64;
+    let dma = dma_cycles(c, cfg);
+    let cycles = issue.max(revolve).max(dma);
+    let idle_memory = (dma - issue).clamp(0.0, cycles - issue);
+    let idle_core = (cycles - issue - idle_memory).max(0.0);
+    DpuRun {
+        counters: *c,
+        cycles,
+        breakdown: CycleBreakdown {
+            issuable: issue,
+            idle_memory,
+            idle_core,
+        },
+        instructions,
+    }
+}
+
+/// Interprets one DPU's kernel (functionally or timing-only) and applies the
+/// cycle model.
+///
+/// `coords` are the DPU's grid coordinates; `linear` its linear index used to
+/// select MRAM/WRAM buffer instances.
+///
+/// # Errors
+/// Propagates interpreter errors (which indicate lowering bugs).
+pub fn run_dpu(
+    store: &mut MemoryStore,
+    lowered: &Lowered,
+    linear: i64,
+    coords: &[i64],
+    mode: ExecMode,
+    cfg: &UpmemConfig,
+) -> Result<DpuRun> {
+    let mut counters = DpuCounters::default();
+    {
+        let mut interp = Interpreter::new(store, &mut counters, mode);
+        interp.set_dpu(linear);
+        for (dim, coord) in lowered.grid.dims.iter().zip(coords) {
+            interp.bind(&dim.var, *coord);
+        }
+        interp.run(&lowered.kernel.body)?;
+    }
+    Ok(model_cycles(&counters, lowered.kernel.tasklets, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_counters() -> DpuCounters {
+        DpuCounters {
+            alu_ops: 1000,
+            wram_loads: 500,
+            wram_stores: 200,
+            branches: 0,
+            loop_iters: 100,
+            loop_enters: 10,
+            dma_requests: 4,
+            dma_bytes: 4096,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn instruction_count_includes_branch_and_loop_overheads() {
+        let cfg = UpmemConfig::default();
+        let mut c = base_counters();
+        let base = instruction_count(&c, &cfg);
+        c.branches += 10;
+        assert_eq!(instruction_count(&c, &cfg), base + 10 * cfg.branch_instrs);
+    }
+
+    #[test]
+    fn more_tasklets_reduce_cycles_until_issue_bound() {
+        let cfg = UpmemConfig::default();
+        let c = base_counters();
+        let one = model_cycles(&c, 1, &cfg);
+        let eight = model_cycles(&c, 8, &cfg);
+        let sixteen = model_cycles(&c, 16, &cfg);
+        assert!(one.cycles > eight.cycles);
+        assert!(eight.cycles >= sixteen.cycles);
+        // With one tasklet the core is mostly idle.
+        assert!(one.breakdown.idle_core > 0.0);
+        // With >= issue_interval tasklets, the kernel becomes issue- or
+        // DMA-bound.
+        assert!(sixteen.breakdown.idle_core < one.breakdown.idle_core);
+    }
+
+    #[test]
+    fn dma_heavy_kernels_show_memory_idle() {
+        let cfg = UpmemConfig::default();
+        let c = DpuCounters {
+            alu_ops: 10,
+            dma_requests: 1000,
+            dma_bytes: 8 * 1000,
+            ..Default::default()
+        };
+        let run = model_cycles(&c, 16, &cfg);
+        assert!(run.breakdown.idle_memory > run.breakdown.issuable);
+    }
+
+    #[test]
+    fn scalar_mram_access_is_expensive() {
+        let cfg = UpmemConfig::default();
+        let cached = DpuCounters {
+            wram_loads: 1024,
+            dma_requests: 4,
+            dma_bytes: 4096,
+            ..Default::default()
+        };
+        let uncached = DpuCounters {
+            mram_scalar_accesses: 1024,
+            ..Default::default()
+        };
+        let a = model_cycles(&cached, 16, &cfg);
+        let b = model_cycles(&uncached, 16, &cfg);
+        assert!(
+            b.cycles > 5.0 * a.cycles,
+            "element-wise MRAM access must be far slower than DMA + WRAM"
+        );
+    }
+
+    #[test]
+    fn breakdown_total_equals_cycles() {
+        let cfg = UpmemConfig::default();
+        let run = model_cycles(&base_counters(), 4, &cfg);
+        assert!((run.breakdown.total() - run.cycles).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Host-side timing models: host↔DPU transfers and host loops.
+
+use crate::config::UpmemConfig;
+use crate::stats::{HostCounters, TransferCounters};
+use atim_tir::stmt::TransferDir;
+
+/// Models the latency of one direction of host↔DPU data movement.
+///
+/// * **Parallel (push) transfers**: the UPMEM SDK's `dpu_push_xfer` moves
+///   data to all banks of every rank concurrently.  Latency is the data time
+///   at the aggregate per-rank bandwidth plus one SDK call per transfer
+///   *round* (a round services every DPU once).
+/// * **Serial transfers**: `dpu_copy_to`/`from` one DPU at a time; latency is
+///   data time at single-channel bandwidth plus per-call overhead, which is
+///   what makes many small transfers so expensive.
+pub fn transfer_time(
+    dir: TransferDir,
+    t: &TransferCounters,
+    num_dpus: i64,
+    cfg: &UpmemConfig,
+) -> f64 {
+    let (calls, bytes) = match dir {
+        TransferDir::H2D => (t.h2d_calls, t.h2d_bytes),
+        TransferDir::D2H => (t.d2h_calls, t.d2h_bytes),
+    };
+    if calls == 0 {
+        return 0.0;
+    }
+    let rank_bw = match dir {
+        TransferDir::H2D => cfg.h2d_rank_bw,
+        TransferDir::D2H => cfg.d2h_rank_bw,
+    };
+    if t.all_parallel {
+        let ranks_used = ((num_dpus as usize).div_ceil(cfg.dpus_per_rank)).max(1);
+        let aggregate_bw = ranks_used as f64 * rank_bw;
+        let rounds = (calls as f64 / num_dpus.max(1) as f64).ceil();
+        bytes as f64 / aggregate_bw + rounds * cfg.transfer_call_overhead_s
+    } else {
+        bytes as f64 / cfg.serial_transfer_bw + calls as f64 * cfg.transfer_call_overhead_s
+    }
+}
+
+/// Models the latency of a host-side loop (the final reduction of
+/// hierarchical reductions).
+///
+/// The loop is memory-bandwidth bound for the streaming access pattern the
+/// lowering generates; bandwidth scales with threads up to the socket limit.
+pub fn host_loop_time(h: &HostCounters, threads: usize, cfg: &UpmemConfig) -> f64 {
+    if h.loads + h.stores + h.ops == 0 {
+        return 0.0;
+    }
+    let threads = threads.clamp(1, cfg.host_cores);
+    let bytes = (h.loads + h.stores) as f64 * 4.0;
+    let bw = (threads as f64 * cfg.host_thread_bw).min(cfg.host_mem_bw);
+    let mem_time = bytes / bw;
+    let compute_time = h.ops as f64 / (threads as f64 * cfg.host_core_flops);
+    mem_time.max(compute_time) + 2.0e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_tir::eval::Tracer;
+
+    fn counters(calls: u64, bytes_per_call: u64, parallel: bool, dpus: i64) -> TransferCounters {
+        let mut t = TransferCounters::default();
+        for i in 0..calls {
+            Tracer::host_transfer(
+                &mut t,
+                TransferDir::H2D,
+                (i as i64) % dpus,
+                bytes_per_call as usize,
+                parallel,
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_beats_serial_for_many_dpus() {
+        let cfg = UpmemConfig::default();
+        let dpus = 2048;
+        let par = counters(2048, 64 * 1024, true, dpus);
+        let ser = counters(2048, 64 * 1024, false, dpus);
+        let tp = transfer_time(TransferDir::H2D, &par, dpus, &cfg);
+        let ts = transfer_time(TransferDir::H2D, &ser, dpus, &cfg);
+        assert!(tp < ts / 5.0, "parallel {tp} should be much faster than serial {ts}");
+    }
+
+    #[test]
+    fn d2h_is_slower_than_h2d() {
+        let cfg = UpmemConfig::default();
+        let mut t = TransferCounters::default();
+        Tracer::host_transfer(&mut t, TransferDir::H2D, 0, 1 << 20, true);
+        Tracer::host_transfer(&mut t, TransferDir::D2H, 0, 1 << 20, true);
+        let h2d = transfer_time(TransferDir::H2D, &t, 64, &cfg);
+        let d2h = transfer_time(TransferDir::D2H, &t, 64, &cfg);
+        assert!(d2h > h2d);
+    }
+
+    #[test]
+    fn many_small_calls_are_overhead_dominated() {
+        let cfg = UpmemConfig::default();
+        let dpus = 64;
+        let few_big = counters(64, 8 * 1024, true, dpus);
+        let many_small = counters(64 * 1024, 8, true, dpus);
+        let a = transfer_time(TransferDir::H2D, &few_big, dpus, &cfg);
+        let b = transfer_time(TransferDir::H2D, &many_small, dpus, &cfg);
+        assert!(
+            b > a * 2.0,
+            "per-call overhead must dominate for tiny transfers ({b} vs {a})"
+        );
+    }
+
+    #[test]
+    fn zero_transfers_take_zero_time() {
+        let cfg = UpmemConfig::default();
+        let t = TransferCounters::default();
+        assert_eq!(transfer_time(TransferDir::H2D, &t, 64, &cfg), 0.0);
+        assert_eq!(host_loop_time(&HostCounters::default(), 4, &cfg), 0.0);
+    }
+
+    #[test]
+    fn host_loop_scales_with_threads() {
+        let cfg = UpmemConfig::default();
+        let h = HostCounters {
+            ops: 1_000_000,
+            loads: 2_000_000,
+            stores: 1_000_000,
+            loop_iters: 1_000_000,
+        };
+        let one = host_loop_time(&h, 1, &cfg);
+        let eight = host_loop_time(&h, 8, &cfg);
+        assert!(eight < one);
+        // Far beyond the socket there is no further speedup.
+        let huge = host_loop_time(&h, 10_000, &cfg);
+        let cores = host_loop_time(&h, cfg.host_cores, &cfg);
+        assert!((huge - cores).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Affine (linear) expression analysis.
+//!
+//! The PIM-aware passes of the paper (§5.3) rely on the fact that boundary
+//! checks produced by the TIR lowering are *linear inequalities* over loop
+//! variables with statically known extents.  This module recovers the linear
+//! form `c0 + Σ ci·vi` of an expression so passes can:
+//!
+//! * solve `linear < bound` for the innermost loop variable
+//!   (loop-bound tightening, §5.3.2),
+//! * decide whether a condition is invariant with respect to a loop variable
+//!   (invariant branch hoisting, §5.3.3),
+//! * prove that consecutive loop iterations access contiguous memory
+//!   (DMA-aware boundary-check elimination, §5.3.1 and bulk transfers).
+
+use std::collections::HashMap;
+
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::buffer::Var;
+
+/// A linear expression `constant + Σ coeff(var) · var`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearExpr {
+    /// Constant term.
+    pub constant: i64,
+    /// Per-variable coefficients (vars with coefficient 0 are omitted).
+    pub coeffs: HashMap<Var, i64>,
+}
+
+impl LinearExpr {
+    /// The constant linear expression.
+    pub fn constant(c: i64) -> Self {
+        LinearExpr {
+            constant: c,
+            coeffs: HashMap::new(),
+        }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(v: &Var) -> Self {
+        let mut coeffs = HashMap::new();
+        coeffs.insert(v.clone(), 1);
+        LinearExpr { constant: 0, coeffs }
+    }
+
+    /// Coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: &Var) -> i64 {
+        self.coeffs.get(v).copied().unwrap_or(0)
+    }
+
+    /// Whether the expression mentions `v` with a non-zero coefficient.
+    pub fn uses(&self, v: &Var) -> bool {
+        self.coeff(v) != 0
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.values().all(|&c| c == 0)
+    }
+
+    fn add(mut self, other: &LinearExpr) -> Self {
+        self.constant += other.constant;
+        for (v, c) in &other.coeffs {
+            *self.coeffs.entry(v.clone()).or_insert(0) += c;
+        }
+        self.prune();
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        self.constant *= k;
+        for c in self.coeffs.values_mut() {
+            *c *= k;
+        }
+        self.prune();
+        self
+    }
+
+    fn prune(&mut self) {
+        self.coeffs.retain(|_, c| *c != 0);
+    }
+
+    /// Rebuilds a TIR expression from the linear form (for round-tripping in
+    /// rewrites).  Terms are emitted in an arbitrary but deterministic order
+    /// (sorted by variable id).
+    pub fn to_expr(&self) -> Expr {
+        let mut terms: Vec<(&Var, &i64)> = self.coeffs.iter().collect();
+        terms.sort_by_key(|(v, _)| v.id);
+        let mut expr: Option<Expr> = if self.constant != 0 || terms.is_empty() {
+            Some(Expr::Int(self.constant))
+        } else {
+            None
+        };
+        for (v, c) in terms {
+            let term = if *c == 1 {
+                Expr::var(v)
+            } else {
+                Expr::var(v).mul(Expr::Int(*c))
+            };
+            expr = Some(match expr {
+                Some(e) => e.add(term),
+                None => term,
+            });
+        }
+        expr.unwrap_or(Expr::Int(0))
+    }
+}
+
+/// Attempts to recover the linear form of an integer expression.
+///
+/// Returns `None` if the expression contains loads, floats, non-affine
+/// operations (division, modulo, min/max), or products of two non-constant
+/// sub-expressions.
+pub fn as_linear(expr: &Expr) -> Option<LinearExpr> {
+    match expr {
+        Expr::Int(v) => Some(LinearExpr::constant(*v)),
+        Expr::Var(v) => Some(LinearExpr::var(v)),
+        Expr::Binary(BinOp::Add, a, b) => Some(as_linear(a)?.add(&as_linear(b)?)),
+        Expr::Binary(BinOp::Sub, a, b) => Some(as_linear(a)?.add(&as_linear(b)?.scale(-1))),
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let la = as_linear(a)?;
+            let lb = as_linear(b)?;
+            if la.is_constant() {
+                Some(lb.scale(la.constant))
+            } else if lb.is_constant() {
+                Some(la.scale(lb.constant))
+            } else {
+                None
+            }
+        }
+        Expr::Cast(dt, a) if dt.is_int() => as_linear(a),
+        _ => None,
+    }
+}
+
+/// A boundary condition in the canonical form `linear < bound` (strict less
+/// than, with `bound` folded into the linear constant as `linear - bound < 0`
+/// being avoided for readability: we keep `lhs < rhs_const`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCond {
+    /// Left-hand side in linear form.
+    pub lhs: LinearExpr,
+    /// Right-hand constant bound.
+    pub bound: i64,
+}
+
+impl BoundCond {
+    /// Whether the condition does not involve `v` (is invariant to it).
+    pub fn invariant_to(&self, v: &Var) -> bool {
+        !self.lhs.uses(v)
+    }
+}
+
+/// Recognizes conditions of the form `affine < constant` or
+/// `affine <= constant` (normalized to strict `<`).
+pub fn as_upper_bound(cond: &Expr) -> Option<BoundCond> {
+    match cond {
+        Expr::Cmp(CmpOp::Lt, a, b) => {
+            let lhs = as_linear(a)?;
+            let rhs = as_linear(b)?;
+            combine(lhs, rhs, 0)
+        }
+        Expr::Cmp(CmpOp::Le, a, b) => {
+            let lhs = as_linear(a)?;
+            let rhs = as_linear(b)?;
+            combine(lhs, rhs, 1)
+        }
+        Expr::Cmp(CmpOp::Gt, a, b) => {
+            // a > b  <=>  b < a
+            let lhs = as_linear(b)?;
+            let rhs = as_linear(a)?;
+            combine(lhs, rhs, 0)
+        }
+        Expr::Cmp(CmpOp::Ge, a, b) => {
+            let lhs = as_linear(b)?;
+            let rhs = as_linear(a)?;
+            combine(lhs, rhs, 1)
+        }
+        _ => None,
+    }
+}
+
+/// `lhs < rhs + slack` where the *variable parts* of rhs are moved to the lhs.
+fn combine(lhs: LinearExpr, rhs: LinearExpr, slack: i64) -> Option<BoundCond> {
+    let mut l = lhs.add(&rhs.clone().scale(-1));
+    let bound = -l.constant + slack;
+    l.constant = 0;
+    // Reconstruct: lhs_vars < bound  where bound absorbs all constants.
+    Some(BoundCond { lhs: l, bound })
+}
+
+/// Splits a conjunction `a && b && c` into its conjuncts.
+pub fn split_conjunction(cond: &Expr) -> Vec<Expr> {
+    match cond {
+        Expr::And(a, b) => {
+            let mut out = split_conjunction(a);
+            out.extend(split_conjunction(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Rebuilds a conjunction from conjuncts (empty input becomes `true`).
+pub fn rebuild_conjunction(conds: Vec<Expr>) -> Expr {
+    let mut it = conds.into_iter();
+    match it.next() {
+        None => Expr::Int(1),
+        Some(first) => it.fold(first, |acc, c| acc.and(c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovery() {
+        let i = Var::new("i");
+        let j = Var::new("j");
+        // 16*i + j + 3
+        let e = Expr::var(&i).mul(Expr::int(16)).add(Expr::var(&j)).add(Expr::int(3));
+        let l = as_linear(&e).unwrap();
+        assert_eq!(l.constant, 3);
+        assert_eq!(l.coeff(&i), 16);
+        assert_eq!(l.coeff(&j), 1);
+        assert!(!l.is_constant());
+    }
+
+    #[test]
+    fn non_linear_rejected() {
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let e = Expr::var(&i).mul(Expr::var(&j));
+        assert!(as_linear(&e).is_none());
+        let e = Expr::var(&i).floordiv(Expr::int(2));
+        assert!(as_linear(&e).is_none());
+    }
+
+    #[test]
+    fn upper_bound_normalization() {
+        let k = Var::new("k");
+        let j = Var::new("j");
+        // j*16 + k < 40
+        let cond = Expr::var(&j).mul(Expr::int(16)).add(Expr::var(&k)).lt(Expr::int(40));
+        let b = as_upper_bound(&cond).unwrap();
+        assert_eq!(b.bound, 40);
+        assert_eq!(b.lhs.coeff(&k), 1);
+        assert_eq!(b.lhs.coeff(&j), 16);
+        assert!(!b.invariant_to(&k));
+
+        // i <= 7  =>  i < 8
+        let i = Var::new("i");
+        let cond = Expr::var(&i).le(Expr::int(7));
+        let b = as_upper_bound(&cond).unwrap();
+        assert_eq!(b.bound, 8);
+    }
+
+    #[test]
+    fn upper_bound_with_vars_on_rhs() {
+        let i = Var::new("i");
+        let n = Var::new("n");
+        // i < n  =>  i - n < 0
+        let cond = Expr::var(&i).lt(Expr::var(&n));
+        let b = as_upper_bound(&cond).unwrap();
+        assert_eq!(b.bound, 0);
+        assert_eq!(b.lhs.coeff(&i), 1);
+        assert_eq!(b.lhs.coeff(&n), -1);
+    }
+
+    #[test]
+    fn conjunction_roundtrip() {
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let c1 = Expr::var(&i).lt(Expr::int(4));
+        let c2 = Expr::var(&j).lt(Expr::int(8));
+        let conj = c1.clone().and(c2.clone());
+        let parts = split_conjunction(&conj);
+        assert_eq!(parts, vec![c1, c2]);
+        let back = rebuild_conjunction(parts);
+        assert_eq!(back, conj);
+        assert_eq!(rebuild_conjunction(vec![]), Expr::Int(1));
+    }
+
+    #[test]
+    fn to_expr_roundtrip() {
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let e = Expr::var(&i).mul(Expr::int(4)).add(Expr::var(&j)).add(Expr::int(2));
+        let l = as_linear(&e).unwrap();
+        let back = l.to_expr();
+        let l2 = as_linear(&back).unwrap();
+        assert_eq!(l, l2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Buffers, memory scopes, and loop/index variables.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::dtype::DType;
+
+/// Monotonically increasing id generator shared by variables and buffers.
+static NEXT_ID: AtomicU32 = AtomicU32::new(0);
+
+fn next_id() -> u32 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Memory scope of a buffer on the UPMEM system.
+///
+/// The paper's Fig. 1: each DPU owns a 64 MB MRAM bank and a 64 KB WRAM
+/// scratchpad; tensors initially live in the host's main DRAM and must be
+/// explicitly transferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemScope {
+    /// Host main memory (global tensors).
+    Global,
+    /// Per-DPU main RAM (the DRAM bank the DPU sits next to).
+    Mram,
+    /// Per-DPU working RAM (64 KB scratchpad, explicit caching target).
+    Wram,
+    /// Host-side scratch memory used by the final-reduction loop.
+    HostLocal,
+}
+
+impl fmt::Display for MemScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemScope::Global => "global",
+            MemScope::Mram => "mram",
+            MemScope::Wram => "wram",
+            MemScope::HostLocal => "host_local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unique identifier of a [`Buffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u32);
+
+/// A multi-dimensional buffer.
+///
+/// Indices in [`Expr::Load`](crate::Expr::Load) and
+/// [`Stmt::Store`](crate::Stmt::Store) are *flattened* row-major offsets; the
+/// shape is retained for allocation sizing, printing and bounds checks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    /// Unique id (used for identity comparisons during rewrites).
+    pub id: BufferId,
+    /// Human-readable name (used by the printer).
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Row-major shape.
+    pub shape: Vec<i64>,
+    /// Memory scope.
+    pub scope: MemScope,
+}
+
+impl Buffer {
+    /// Creates a new buffer with a fresh id.
+    pub fn new(name: impl Into<String>, dtype: DType, shape: Vec<i64>, scope: MemScope) -> Arc<Self> {
+        Arc::new(Buffer {
+            id: BufferId(next_id()),
+            name: name.into(),
+            dtype,
+            shape,
+            scope,
+        })
+    }
+
+    /// Total number of elements.
+    ///
+    /// ```
+    /// use atim_tir::{Buffer, DType, MemScope};
+    /// let b = Buffer::new("A", DType::F32, vec![4, 8], MemScope::Global);
+    /// assert_eq!(b.len(), 32);
+    /// ```
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<i64>().max(0) as usize
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len() * self.dtype.bytes()
+    }
+
+    /// Row-major strides for this buffer's shape.
+    pub fn strides(&self) -> Vec<i64> {
+        row_major_strides(&self.shape)
+    }
+}
+
+/// Computes row-major strides for a shape.
+pub fn row_major_strides(shape: &[i64]) -> Vec<i64> {
+    let mut strides = vec![1i64; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// A scalar variable (loop index, DPU coordinate, tasklet id, ...).
+///
+/// Variables compare equal when their ids are equal; the name is only for
+/// printing.
+#[derive(Debug, Clone)]
+pub struct Var {
+    /// Unique id.
+    pub id: u32,
+    /// Human-readable name.
+    pub name: Arc<str>,
+}
+
+impl Var {
+    /// Creates a new variable with a fresh id.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var {
+            id: next_id(),
+            name: Arc::from(name.as_ref()),
+        }
+    }
+}
+
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Var {}
+
+impl std::hash::Hash for Var {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_len_and_bytes() {
+        let b = Buffer::new("A", DType::F32, vec![16, 32], MemScope::Mram);
+        assert_eq!(b.len(), 512);
+        assert_eq!(b.bytes(), 2048);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = Buffer::new("Z", DType::I32, vec![0, 8], MemScope::Global);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(row_major_strides(&[7]), vec![1]);
+        assert_eq!(row_major_strides(&[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn var_identity() {
+        let a = Var::new("i");
+        let b = Var::new("i");
+        assert_ne!(a, b, "fresh vars with the same name must differ");
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn fresh_buffer_ids() {
+        let a = Buffer::new("A", DType::F32, vec![1], MemScope::Global);
+        let b = Buffer::new("A", DType::F32, vec![1], MemScope::Global);
+        assert_ne!(a.id, b.id);
+    }
+}

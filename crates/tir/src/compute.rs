@@ -1,0 +1,480 @@
+//! High-level computation definitions ("TIR templates").
+//!
+//! A [`ComputeDef`] describes *what* to compute — tensor shapes, iteration
+//! axes, and the per-point expression — without fixing *how* (loop order,
+//! tiling, DPU distribution).  Schedules ([`crate::schedule::Schedule`])
+//! supply the "how"; the autotuner explores that space.
+//!
+//! Constructors are provided for the seven tensor-algebra operations the
+//! paper evaluates (§6): VA, RED, MTV, TTV, MMTV, GEVA and GEMV.
+
+use crate::dtype::DType;
+
+/// Kind of an iteration axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxisKind {
+    /// Spatial (parallelizable, indexes the output).
+    Spatial,
+    /// Reduction (accumulated into the output).
+    Reduce,
+}
+
+/// One iteration axis of a computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisDef {
+    /// Axis name (used for loop variable names).
+    pub name: String,
+    /// Static extent.
+    pub extent: i64,
+    /// Spatial or reduction.
+    pub kind: AxisKind,
+}
+
+impl AxisDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, extent: i64, kind: AxisKind) -> Self {
+        AxisDef {
+            name: name.into(),
+            extent,
+            kind,
+        }
+    }
+}
+
+/// Declaration of an input or output tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorDecl {
+    /// Tensor name.
+    pub name: String,
+    /// Axes (by index into [`ComputeDef::axes`]) that index this tensor, in
+    /// storage order (row-major).
+    pub axes: Vec<usize>,
+    /// Element type.
+    pub dtype: DType,
+    /// Whether the tensor is constant across invocations (e.g. a weight
+    /// matrix).  Constant tensors are transferred to the DPUs once at setup
+    /// time rather than on every launch, as §5.4 of the paper describes.
+    pub constant: bool,
+}
+
+impl TensorDecl {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, axes: Vec<usize>) -> Self {
+        TensorDecl {
+            name: name.into(),
+            axes,
+            dtype: DType::F32,
+            constant: false,
+        }
+    }
+
+    /// Marks the tensor as constant (resident in PIM memory).
+    pub fn constant(mut self) -> Self {
+        self.constant = true;
+        self
+    }
+}
+
+/// The per-point value expression of a computation, in terms of input tensors
+/// indexed by the iteration axes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessExpr {
+    /// Load `inputs[input]` at its declared axes.
+    Input {
+        /// Index into [`ComputeDef::inputs`].
+        input: usize,
+    },
+    /// A scalar constant.
+    Const(f32),
+    /// Sum of two sub-expressions.
+    Add(Box<AccessExpr>, Box<AccessExpr>),
+    /// Product of two sub-expressions.
+    Mul(Box<AccessExpr>, Box<AccessExpr>),
+}
+
+impl AccessExpr {
+    /// `inputs[i]`
+    pub fn input(i: usize) -> Self {
+        AccessExpr::Input { input: i }
+    }
+
+    /// Scalar constant.
+    pub fn constant(v: f32) -> Self {
+        AccessExpr::Const(v)
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: AccessExpr) -> Self {
+        AccessExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: AccessExpr) -> Self {
+        AccessExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates the expression numerically given a resolver for input loads.
+    pub fn eval(&self, load: &impl Fn(usize) -> f32) -> f32 {
+        match self {
+            AccessExpr::Input { input } => load(*input),
+            AccessExpr::Const(v) => *v,
+            AccessExpr::Add(a, b) => a.eval(load) + b.eval(load),
+            AccessExpr::Mul(a, b) => a.eval(load) * b.eval(load),
+        }
+    }
+
+    /// Builds a TIR expression given a resolver that produces the load
+    /// expression for each referenced input.
+    pub fn to_expr(&self, load: &impl Fn(usize) -> crate::Expr) -> crate::Expr {
+        match self {
+            AccessExpr::Input { input } => load(*input),
+            AccessExpr::Const(v) => crate::Expr::Float(*v),
+            AccessExpr::Add(a, b) => a.to_expr(load).add(b.to_expr(load)),
+            AccessExpr::Mul(a, b) => a.to_expr(load).mul(b.to_expr(load)),
+        }
+    }
+
+    /// Number of scalar arithmetic operations per evaluation (for FLOP
+    /// accounting).
+    pub fn flops(&self) -> usize {
+        match self {
+            AccessExpr::Input { .. } | AccessExpr::Const(_) => 0,
+            AccessExpr::Add(a, b) | AccessExpr::Mul(a, b) => 1 + a.flops() + b.flops(),
+        }
+    }
+}
+
+/// A complete high-level tensor computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeDef {
+    /// Operation name (used for buffer naming and reports).
+    pub name: String,
+    /// Iteration axes.
+    pub axes: Vec<AxisDef>,
+    /// Input tensor declarations.
+    pub inputs: Vec<TensorDecl>,
+    /// Output tensor declaration (its `axes` must all be spatial).
+    pub output: TensorDecl,
+    /// The per-point term.  For reductions the term is accumulated with `+`
+    /// over the reduce axes; otherwise it is assigned.
+    pub term: AccessExpr,
+}
+
+impl ComputeDef {
+    /// Whether the computation has a reduction axis.
+    pub fn has_reduce(&self) -> bool {
+        self.axes.iter().any(|a| a.kind == AxisKind::Reduce)
+    }
+
+    /// Indices of the reduction axes.
+    pub fn reduce_axes(&self) -> Vec<usize> {
+        self.axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AxisKind::Reduce)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the spatial axes.
+    pub fn spatial_axes(&self) -> Vec<usize> {
+        self.axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AxisKind::Spatial)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Shape of a tensor declaration (extents of its axes).
+    pub fn tensor_shape(&self, decl: &TensorDecl) -> Vec<i64> {
+        decl.axes.iter().map(|&a| self.axes[a].extent).collect()
+    }
+
+    /// Number of output elements.
+    pub fn output_len(&self) -> usize {
+        self.tensor_shape(&self.output)
+            .iter()
+            .product::<i64>()
+            .max(1) as usize
+    }
+
+    /// Number of elements of input `i`.
+    pub fn input_len(&self, i: usize) -> usize {
+        self.tensor_shape(&self.inputs[i])
+            .iter()
+            .product::<i64>()
+            .max(1) as usize
+    }
+
+    /// Total floating point operations of the whole computation.
+    pub fn total_flops(&self) -> usize {
+        let points: usize = self.axes.iter().map(|a| a.extent.max(1) as usize).product();
+        let per_point = self.term.flops() + usize::from(self.has_reduce());
+        points * per_point
+    }
+
+    /// Total bytes of all inputs plus the output (for memory-boundedness
+    /// estimates).
+    pub fn total_bytes(&self) -> usize {
+        let mut b = self.output_len() * self.output.dtype.bytes();
+        for (i, t) in self.inputs.iter().enumerate() {
+            b += self.input_len(i) * t.dtype.bytes();
+        }
+        b
+    }
+
+    /// Straightforward reference implementation, used as the correctness
+    /// oracle in tests and examples.
+    ///
+    /// # Panics
+    /// Panics if `inputs` does not match the declared input count or lengths.
+    pub fn reference(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(inputs.len(), self.inputs.len(), "input count mismatch");
+        for (i, t) in self.inputs.iter().enumerate() {
+            assert_eq!(inputs[i].len(), self.input_len(i), "input {} length", t.name);
+        }
+        let mut out = vec![0.0f32; self.output_len()];
+        let extents: Vec<i64> = self.axes.iter().map(|a| a.extent).collect();
+        let mut idx = vec![0i64; extents.len()];
+        let out_strides = strides_for(&self.tensor_shape(&self.output));
+        let in_strides: Vec<Vec<i64>> = self
+            .inputs
+            .iter()
+            .map(|t| strides_for(&self.tensor_shape(t)))
+            .collect();
+        loop {
+            let load = |input: usize| -> f32 {
+                let decl = &self.inputs[input];
+                let mut off = 0i64;
+                for (d, &a) in decl.axes.iter().enumerate() {
+                    off += idx[a] * in_strides[input][d];
+                }
+                inputs[input][off as usize]
+            };
+            let v = self.term.eval(&load);
+            let mut out_off = 0i64;
+            for (d, &a) in self.output.axes.iter().enumerate() {
+                out_off += idx[a] * out_strides[d];
+            }
+            if self.has_reduce() {
+                out[out_off as usize] += v;
+            } else {
+                out[out_off as usize] = v;
+            }
+            // Advance the multi-index.
+            let mut dim = extents.len();
+            loop {
+                if dim == 0 {
+                    return out;
+                }
+                dim -= 1;
+                idx[dim] += 1;
+                if idx[dim] < extents[dim] {
+                    break;
+                }
+                idx[dim] = 0;
+            }
+        }
+    }
+
+    // --- Constructors for the paper's benchmark operations -----------------
+
+    /// Vector addition: `C(i) = A(i) + B(i)`.
+    pub fn va(name: &str, n: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![AxisDef::new("i", n, AxisKind::Spatial)],
+            inputs: vec![TensorDecl::new("A", vec![0]), TensorDecl::new("B", vec![0])],
+            output: TensorDecl::new("C", vec![0]),
+            term: AccessExpr::input(0).add(AccessExpr::input(1)),
+        }
+    }
+
+    /// General vector addition: `C(i) = c·A(i) + d·B(i)`.
+    pub fn geva(name: &str, n: i64, c: f32, d: f32) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![AxisDef::new("i", n, AxisKind::Spatial)],
+            inputs: vec![TensorDecl::new("A", vec![0]), TensorDecl::new("B", vec![0])],
+            output: TensorDecl::new("C", vec![0]),
+            term: AccessExpr::constant(c)
+                .mul(AccessExpr::input(0))
+                .add(AccessExpr::constant(d).mul(AccessExpr::input(1))),
+        }
+    }
+
+    /// Reduction: `b = Σ_i A(i)` (output is a length-1 tensor).
+    pub fn red(name: &str, n: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![AxisDef::new("i", n, AxisKind::Reduce)],
+            inputs: vec![TensorDecl::new("A", vec![0])],
+            output: TensorDecl::new("b", vec![]),
+            term: AccessExpr::input(0),
+        }
+    }
+
+    /// Matrix-times-vector: `C(i) = Σ_k A(i,k)·B(k)`.
+    pub fn mtv(name: &str, m: i64, k: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![
+                AxisDef::new("i", m, AxisKind::Spatial),
+                AxisDef::new("k", k, AxisKind::Reduce),
+            ],
+            inputs: vec![
+                TensorDecl::new("A", vec![0, 1]).constant(),
+                TensorDecl::new("B", vec![1]),
+            ],
+            output: TensorDecl::new("C", vec![0]),
+            term: AccessExpr::input(0).mul(AccessExpr::input(1)),
+        }
+    }
+
+    /// General matrix-vector multiplication: `C(i) = c·Σ_k A(i,k)·B(k)`.
+    ///
+    /// The constant factor is folded into the reduction term (equivalent
+    /// algebraically and matching how the paper extends PrIM's MTV).
+    pub fn gemv(name: &str, m: i64, k: i64, c: f32) -> Self {
+        let mut def = Self::mtv(name, m, k);
+        def.term = AccessExpr::constant(c).mul(def.term);
+        def
+    }
+
+    /// Tensor-times-vector: `C(i,j) = Σ_k A(i,j,k)·B(k)`.
+    pub fn ttv(name: &str, m: i64, n: i64, k: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![
+                AxisDef::new("i", m, AxisKind::Spatial),
+                AxisDef::new("j", n, AxisKind::Spatial),
+                AxisDef::new("k", k, AxisKind::Reduce),
+            ],
+            inputs: vec![
+                TensorDecl::new("A", vec![0, 1, 2]).constant(),
+                TensorDecl::new("B", vec![2]),
+            ],
+            output: TensorDecl::new("C", vec![0, 1]),
+            term: AccessExpr::input(0).mul(AccessExpr::input(1)),
+        }
+    }
+
+    /// Multiple matrix-times-vector (batched): `C(i,j) = Σ_k A(i,j,k)·B(i,k)`.
+    pub fn mmtv(name: &str, m: i64, n: i64, k: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![
+                AxisDef::new("i", m, AxisKind::Spatial),
+                AxisDef::new("j", n, AxisKind::Spatial),
+                AxisDef::new("k", k, AxisKind::Reduce),
+            ],
+            inputs: vec![
+                TensorDecl::new("A", vec![0, 1, 2]).constant(),
+                TensorDecl::new("B", vec![0, 2]),
+            ],
+            output: TensorDecl::new("C", vec![0, 1]),
+            term: AccessExpr::input(0).mul(AccessExpr::input(1)),
+        }
+    }
+}
+
+fn strides_for(shape: &[i64]) -> Vec<i64> {
+    crate::buffer::row_major_strides(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: usize) -> Vec<f32> {
+        (0..n).map(|x| (x % 13) as f32 - 5.0).collect()
+    }
+
+    #[test]
+    fn va_reference() {
+        let def = ComputeDef::va("va", 16);
+        let a = iota(16);
+        let b: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let out = def.reference(&[a.clone(), b.clone()]);
+        for i in 0..16 {
+            assert_eq!(out[i], a[i] + b[i]);
+        }
+        assert!(!def.has_reduce());
+        assert_eq!(def.output_len(), 16);
+    }
+
+    #[test]
+    fn red_reference() {
+        let def = ComputeDef::red("red", 100);
+        let a = iota(100);
+        let out = def.reference(&[a.clone()]);
+        assert_eq!(out.len(), 1);
+        let expect: f32 = a.iter().sum();
+        assert!((out[0] - expect).abs() < 1e-3);
+        assert_eq!(def.reduce_axes(), vec![0]);
+        assert!(def.spatial_axes().is_empty());
+    }
+
+    #[test]
+    fn mtv_reference() {
+        let (m, k) = (5, 7);
+        let def = ComputeDef::mtv("mtv", m, k);
+        let a = iota((m * k) as usize);
+        let b = iota(k as usize);
+        let out = def.reference(&[a.clone(), b.clone()]);
+        for i in 0..m as usize {
+            let mut acc = 0.0;
+            for kk in 0..k as usize {
+                acc += a[i * k as usize + kk] * b[kk];
+            }
+            assert!((out[i] - acc).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemv_scales_term() {
+        let def = ComputeDef::gemv("gemv", 3, 4, 2.0);
+        let a = vec![1.0; 12];
+        let b = vec![1.0; 4];
+        let out = def.reference(&[a, b]);
+        assert_eq!(out, vec![8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn geva_constants() {
+        let def = ComputeDef::geva("geva", 4, 2.0, 3.0);
+        let out = def.reference(&[vec![1.0; 4], vec![1.0; 4]]);
+        assert_eq!(out, vec![5.0; 4]);
+        assert_eq!(def.term.flops(), 3);
+    }
+
+    #[test]
+    fn mmtv_reference() {
+        let (m, n, k) = (2, 3, 4);
+        let def = ComputeDef::mmtv("mmtv", m, n, k);
+        let a = iota((m * n * k) as usize);
+        let b = iota((m * k) as usize);
+        let out = def.reference(&[a.clone(), b.clone()]);
+        for i in 0..m as usize {
+            for j in 0..n as usize {
+                let mut acc = 0.0;
+                for kk in 0..k as usize {
+                    acc += a[(i * n as usize + j) * k as usize + kk] * b[i * k as usize + kk];
+                }
+                let got = out[i * n as usize + j];
+                assert!((got - acc).abs() < 1e-4, "({i},{j}): {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn ttv_shapes_and_flops() {
+        let def = ComputeDef::ttv("ttv", 2, 3, 8);
+        assert_eq!(def.tensor_shape(&def.inputs[0]), vec![2, 3, 8]);
+        assert_eq!(def.tensor_shape(&def.inputs[1]), vec![8]);
+        assert_eq!(def.output_len(), 6);
+        assert_eq!(def.total_flops(), 2 * 3 * 8 * 2);
+        assert!(def.total_bytes() > 0);
+    }
+}

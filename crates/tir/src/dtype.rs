@@ -1,0 +1,87 @@
+//! Scalar data types supported by the tensor IR.
+
+use std::fmt;
+
+/// Scalar element type of a tensor or expression.
+///
+/// The UPMEM DPU is a 32-bit integer core; floating point is emulated in
+/// software, which is why the PrIM suite (and the paper's evaluation) uses
+/// 32-bit types throughout.  ATiM-RS follows the same convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (the evaluation's default element type).
+    #[default]
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (used for index arithmetic).
+    I64,
+    /// Boolean (result of comparisons).
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use atim_tir::DType;
+    /// assert_eq!(DType::F32.bytes(), 4);
+    /// assert_eq!(DType::I64.bytes(), 8);
+    /// ```
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+
+    /// Whether the type is an integer (or boolean) type.
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I32.bytes(), 4);
+        assert_eq!(DType::I64.bytes(), 8);
+        assert_eq!(DType::Bool.bytes(), 1);
+    }
+
+    #[test]
+    fn float_predicate() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::I32.is_float());
+        assert!(DType::I64.is_int());
+        assert!(DType::Bool.is_int());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+}

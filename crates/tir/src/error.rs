@@ -1,0 +1,72 @@
+//! Error types for the tensor IR.
+
+use std::fmt;
+
+/// Result alias used throughout `atim-tir`.
+pub type Result<T> = std::result::Result<T, TirError>;
+
+/// Errors produced while building, scheduling, lowering or interpreting TIR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TirError {
+    /// A schedule primitive was applied to a loop that does not exist.
+    UnknownLoop(String),
+    /// A schedule primitive received an invalid argument (e.g. a non-positive
+    /// split factor).
+    InvalidSchedule(String),
+    /// Lowering failed because the schedule violates a structural assumption
+    /// (for example a tasklet binding outside the kernel scope).
+    LoweringError(String),
+    /// The interpreter encountered an out-of-bounds buffer access.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// Offending flattened index.
+        index: i64,
+        /// Number of elements in the buffer.
+        len: usize,
+    },
+    /// The interpreter encountered an unbound variable.
+    UnboundVar(String),
+    /// The interpreter encountered a buffer that was never allocated.
+    UnknownBuffer(String),
+    /// A type mismatch at evaluation time (e.g. float where an index was
+    /// expected).
+    TypeError(String),
+    /// Generic invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for TirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TirError::UnknownLoop(name) => write!(f, "unknown loop: {name}"),
+            TirError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            TirError::LoweringError(msg) => write!(f, "lowering error: {msg}"),
+            TirError::OutOfBounds { buffer, index, len } => {
+                write!(f, "out-of-bounds access to {buffer}[{index}] (len {len})")
+            }
+            TirError::UnboundVar(name) => write!(f, "unbound variable: {name}"),
+            TirError::UnknownBuffer(name) => write!(f, "unknown buffer: {name}"),
+            TirError::TypeError(msg) => write!(f, "type error: {msg}"),
+            TirError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TirError::OutOfBounds {
+            buffer: "A".into(),
+            index: 12,
+            len: 8,
+        };
+        assert!(e.to_string().contains("A[12]"));
+        assert!(TirError::UnboundVar("i".into()).to_string().contains('i'));
+    }
+}

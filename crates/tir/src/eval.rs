@@ -1,0 +1,800 @@
+//! Reference interpreter for loop-based TIR.
+//!
+//! The interpreter serves two purposes:
+//!
+//! 1. **Functional execution** — lowered host and kernel programs are run
+//!    against real buffer contents, so integration tests can compare results
+//!    with a straightforward reference implementation of each workload.
+//! 2. **Instrumentation** — every step reports to a [`Tracer`].  The UPMEM
+//!    simulator in `atim-sim` implements `Tracer` to derive instruction,
+//!    branch, DMA and transfer counts from the very same execution, so the
+//!    timing model always measures the program that actually ran.
+//!
+//! Buffers are instantiated per *DPU context*: `Global`/`HostLocal` buffers
+//! have a single instance, while `Mram`/`Wram` buffers have one instance per
+//! DPU (selected by [`Interpreter::set_dpu`]).
+
+use std::collections::HashMap;
+
+use crate::buffer::{Buffer, BufferId, MemScope, Var};
+use crate::error::{Result, TirError};
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::stmt::{Stmt, TransferDir};
+use std::sync::Arc;
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer (indices, booleans).
+    Int(i64),
+    /// 32-bit float (tensor data).
+    Float(f32),
+}
+
+impl Value {
+    /// Interprets the value as an integer, truncating floats.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => v as i64,
+        }
+    }
+
+    /// Interprets the value as a float.
+    pub fn as_float(self) -> f32 {
+        match self {
+            Value::Int(v) => v as f32,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// Whether the value is "true" (non-zero).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+        }
+    }
+}
+
+/// Observer of interpreter execution events.
+///
+/// All methods have empty default implementations so tracers only override
+/// what they care about.
+pub trait Tracer {
+    /// `n` scalar ALU operations executed (adds, muls, compares, casts, ...).
+    fn alu(&mut self, n: usize) {
+        let _ = n;
+    }
+    /// A scalar load of `bytes` bytes from a buffer in `scope`.
+    fn load(&mut self, scope: MemScope, bytes: usize) {
+        let _ = (scope, bytes);
+    }
+    /// A scalar store of `bytes` bytes to a buffer in `scope`.
+    fn store(&mut self, scope: MemScope, bytes: usize) {
+        let _ = (scope, bytes);
+    }
+    /// A conditional branch was evaluated (taken or not).
+    fn branch(&mut self, taken: bool) {
+        let _ = taken;
+    }
+    /// A loop was entered (header setup).
+    fn loop_enter(&mut self) {}
+    /// One loop iteration (back-edge bookkeeping).
+    fn loop_iter(&mut self) {}
+    /// A DPU-local DMA transfer between MRAM and WRAM of `bytes` bytes.
+    fn dma(&mut self, bytes: usize) {
+        let _ = bytes;
+    }
+    /// A host<->DPU transfer.
+    fn host_transfer(&mut self, dir: TransferDir, dpu: i64, bytes: usize, parallel: bool) {
+        let _ = (dir, dpu, bytes, parallel);
+    }
+    /// A tasklet barrier.
+    fn barrier(&mut self) {}
+}
+
+/// A tracer that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl Tracer for NoTrace {}
+
+/// A simple tracer that tallies event counts; handy for tests and static
+/// reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingTracer {
+    /// Number of scalar ALU operations.
+    pub alu_ops: usize,
+    /// Number of scalar loads.
+    pub loads: usize,
+    /// Number of scalar stores.
+    pub stores: usize,
+    /// Number of conditional branches evaluated.
+    pub branches: usize,
+    /// Number of loop iterations executed.
+    pub loop_iters: usize,
+    /// Number of DMA requests.
+    pub dma_requests: usize,
+    /// Total DMA bytes.
+    pub dma_bytes: usize,
+    /// Number of host<->DPU transfer calls.
+    pub transfers: usize,
+    /// Total host<->DPU bytes.
+    pub transfer_bytes: usize,
+    /// Number of barriers.
+    pub barriers: usize,
+}
+
+impl Tracer for CountingTracer {
+    fn alu(&mut self, n: usize) {
+        self.alu_ops += n;
+    }
+    fn load(&mut self, _scope: MemScope, _bytes: usize) {
+        self.loads += 1;
+    }
+    fn store(&mut self, _scope: MemScope, _bytes: usize) {
+        self.stores += 1;
+    }
+    fn branch(&mut self, _taken: bool) {
+        self.branches += 1;
+    }
+    fn loop_iter(&mut self) {
+        self.loop_iters += 1;
+    }
+    fn dma(&mut self, bytes: usize) {
+        self.dma_requests += 1;
+        self.dma_bytes += bytes;
+    }
+    fn host_transfer(&mut self, _dir: TransferDir, _dpu: i64, bytes: usize, _parallel: bool) {
+        self.transfers += 1;
+        self.transfer_bytes += bytes;
+    }
+    fn barrier(&mut self) {
+        self.barriers += 1;
+    }
+}
+
+/// Key identifying one instance of a buffer (per DPU for MRAM/WRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct InstanceKey {
+    buf: BufferId,
+    dpu: i64,
+}
+
+/// Backing storage for every buffer instance touched during interpretation.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    data: HashMap<InstanceKey, Vec<f32>>,
+    meta: HashMap<BufferId, Arc<Buffer>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(buf: &Arc<Buffer>, dpu: i64) -> InstanceKey {
+        let dpu = match buf.scope {
+            MemScope::Global | MemScope::HostLocal => 0,
+            MemScope::Mram | MemScope::Wram => dpu,
+        };
+        InstanceKey { buf: buf.id, dpu }
+    }
+
+    /// Allocates (or re-initializes) an instance of `buf` for DPU context
+    /// `dpu`, zero-filled.
+    pub fn alloc(&mut self, buf: &Arc<Buffer>, dpu: i64) {
+        self.meta.insert(buf.id, Arc::clone(buf));
+        self.data
+            .insert(Self::key(buf, dpu), vec![0.0; buf.len()]);
+    }
+
+    /// Allocates an instance and copies `init` into it.
+    ///
+    /// # Panics
+    /// Panics if `init.len()` exceeds the buffer length.
+    pub fn alloc_with(&mut self, buf: &Arc<Buffer>, dpu: i64, init: &[f32]) {
+        assert!(init.len() <= buf.len(), "initializer larger than buffer");
+        let mut v = vec![0.0; buf.len()];
+        v[..init.len()].copy_from_slice(init);
+        self.meta.insert(buf.id, Arc::clone(buf));
+        self.data.insert(Self::key(buf, dpu), v);
+    }
+
+    /// Whether an instance exists.
+    pub fn contains(&self, buf: &Arc<Buffer>, dpu: i64) -> bool {
+        self.data.contains_key(&Self::key(buf, dpu))
+    }
+
+    /// Returns a copy of the contents of a buffer instance.
+    pub fn read_all(&self, buf: &Arc<Buffer>, dpu: i64) -> Option<&[f32]> {
+        self.data.get(&Self::key(buf, dpu)).map(|v| v.as_slice())
+    }
+
+    /// Mutable access to a buffer instance.
+    pub fn write_all(&mut self, buf: &Arc<Buffer>, dpu: i64) -> Option<&mut Vec<f32>> {
+        self.data.get_mut(&Self::key(buf, dpu))
+    }
+
+    fn read_elem(&self, buf: &Arc<Buffer>, dpu: i64, idx: i64) -> Result<f32> {
+        let key = Self::key(buf, dpu);
+        let v = self
+            .data
+            .get(&key)
+            .ok_or_else(|| TirError::UnknownBuffer(buf.name.clone()))?;
+        if idx < 0 || idx as usize >= v.len() {
+            return Err(TirError::OutOfBounds {
+                buffer: buf.name.clone(),
+                index: idx,
+                len: v.len(),
+            });
+        }
+        Ok(v[idx as usize])
+    }
+
+    fn write_elem(&mut self, buf: &Arc<Buffer>, dpu: i64, idx: i64, value: f32) -> Result<()> {
+        let key = Self::key(buf, dpu);
+        let v = self
+            .data
+            .get_mut(&key)
+            .ok_or_else(|| TirError::UnknownBuffer(buf.name.clone()))?;
+        if idx < 0 || idx as usize >= v.len() {
+            return Err(TirError::OutOfBounds {
+                buffer: buf.name.clone(),
+                index: idx,
+                len: v.len(),
+            });
+        }
+        v[idx as usize] = value;
+        Ok(())
+    }
+
+    /// Copies `elems` elements between two buffer instances.
+    fn copy(
+        &mut self,
+        dst: &Arc<Buffer>,
+        dst_dpu: i64,
+        dst_off: i64,
+        src: &Arc<Buffer>,
+        src_dpu: i64,
+        src_off: i64,
+        elems: i64,
+    ) -> Result<()> {
+        if elems <= 0 {
+            return Ok(());
+        }
+        let src_key = Self::key(src, src_dpu);
+        let dst_key = Self::key(dst, dst_dpu);
+        let src_vec = self
+            .data
+            .get(&src_key)
+            .ok_or_else(|| TirError::UnknownBuffer(src.name.clone()))?;
+        let (s0, s1) = (src_off, src_off + elems);
+        if s0 < 0 || s1 as usize > src_vec.len() {
+            return Err(TirError::OutOfBounds {
+                buffer: src.name.clone(),
+                index: s1 - 1,
+                len: src_vec.len(),
+            });
+        }
+        let chunk: Vec<f32> = src_vec[s0 as usize..s1 as usize].to_vec();
+        let dst_vec = self
+            .data
+            .get_mut(&dst_key)
+            .ok_or_else(|| TirError::UnknownBuffer(dst.name.clone()))?;
+        let (d0, d1) = (dst_off, dst_off + elems);
+        if d0 < 0 || d1 as usize > dst_vec.len() {
+            return Err(TirError::OutOfBounds {
+                buffer: dst.name.clone(),
+                index: d1 - 1,
+                len: dst_vec.len(),
+            });
+        }
+        dst_vec[d0 as usize..d1 as usize].copy_from_slice(&chunk);
+        Ok(())
+    }
+}
+
+/// Execution mode of the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Move real data: loads return actual buffer contents, stores/DMAs/
+    /// transfers update them.  Used for correctness testing.
+    #[default]
+    Functional,
+    /// Skip data movement but evaluate all control flow and trace every
+    /// event.  Index arithmetic is still exact, so instruction/DMA/transfer
+    /// counts are identical to functional mode; only the tensor contents are
+    /// not produced.  Used by the simulator for large benchmark shapes.
+    TimingOnly,
+}
+
+/// The TIR interpreter.
+pub struct Interpreter<'a, T: Tracer> {
+    store: &'a mut MemoryStore,
+    tracer: &'a mut T,
+    mode: ExecMode,
+    dpu: i64,
+    env: HashMap<u32, i64>,
+}
+
+impl<'a, T: Tracer> Interpreter<'a, T> {
+    /// Creates an interpreter over `store`, reporting events to `tracer`.
+    pub fn new(store: &'a mut MemoryStore, tracer: &'a mut T, mode: ExecMode) -> Self {
+        Interpreter {
+            store,
+            tracer,
+            mode,
+            dpu: 0,
+            env: HashMap::new(),
+        }
+    }
+
+    /// Selects the DPU context used to resolve MRAM/WRAM buffer instances.
+    pub fn set_dpu(&mut self, dpu: i64) {
+        self.dpu = dpu;
+    }
+
+    /// Binds a free variable (e.g. DPU grid coordinates or the tasklet id)
+    /// before running a kernel.
+    pub fn bind(&mut self, var: &Var, value: i64) {
+        self.env.insert(var.id, value);
+    }
+
+    /// Runs a statement tree.
+    ///
+    /// # Errors
+    /// Returns an error on out-of-bounds accesses, unbound variables or
+    /// unallocated buffers.
+    pub fn run(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    self.run(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Nop => Ok(()),
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            } => {
+                let n = self.eval(extent)?.as_int();
+                self.tracer.loop_enter();
+                // Tasklet / DPU / host-parallel loops are still executed
+                // sequentially here; parallelism is accounted for by the
+                // simulator's timing model, not the functional semantics.
+                let _ = kind;
+                let prev = self.env.get(&var.id).copied();
+                for it in 0..n {
+                    self.tracer.loop_iter();
+                    self.env.insert(var.id, it);
+                    self.run(body)?;
+                }
+                match prev {
+                    Some(v) => {
+                        self.env.insert(var.id, v);
+                    }
+                    None => {
+                        self.env.remove(&var.id);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval(cond)?.is_true();
+                self.tracer.branch(c);
+                if c {
+                    self.run(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.run(e)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Store { buf, index, value } => {
+                let idx = self.eval(index)?.as_int();
+                let v = self.eval(value)?.as_float();
+                self.tracer.store(buf.scope, buf.dtype.bytes());
+                if self.mode == ExecMode::Functional {
+                    self.store.write_elem(buf, self.dpu, idx, v)?;
+                }
+                Ok(())
+            }
+            Stmt::Alloc { buf, body } => {
+                if self.mode == ExecMode::Functional && !self.store.contains(buf, self.dpu) {
+                    self.store.alloc(buf, self.dpu);
+                }
+                self.run(body)
+            }
+            Stmt::Dma {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                elems,
+            } => {
+                let d_off = self.eval(dst_off)?.as_int();
+                let s_off = self.eval(src_off)?.as_int();
+                let n = self.eval(elems)?.as_int();
+                let bytes = (n.max(0) as usize) * dst.dtype.bytes();
+                self.tracer.dma(bytes);
+                if self.mode == ExecMode::Functional {
+                    self.store
+                        .copy(dst, self.dpu, d_off, src, self.dpu, s_off, n)?;
+                }
+                Ok(())
+            }
+            Stmt::HostTransfer {
+                dir,
+                dpu,
+                global,
+                global_off,
+                mram,
+                mram_off,
+                elems,
+                parallel,
+            } => {
+                let dpu_idx = self.eval(dpu)?.as_int();
+                let g_off = self.eval(global_off)?.as_int();
+                let m_off = self.eval(mram_off)?.as_int();
+                let n = self.eval(elems)?.as_int();
+                let bytes = (n.max(0) as usize) * global.dtype.bytes();
+                self.tracer.host_transfer(*dir, dpu_idx, bytes, *parallel);
+                if self.mode == ExecMode::Functional {
+                    match dir {
+                        TransferDir::H2D => {
+                            if !self.store.contains(mram, dpu_idx) {
+                                self.store.alloc(mram, dpu_idx);
+                            }
+                            self.store
+                                .copy(mram, dpu_idx, m_off, global, 0, g_off, n)?;
+                        }
+                        TransferDir::D2H => {
+                            self.store
+                                .copy(global, 0, g_off, mram, dpu_idx, m_off, n)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Barrier => {
+                self.tracer.barrier();
+                Ok(())
+            }
+            Stmt::Evaluate(e) => {
+                self.eval(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates an expression in the current environment.
+    ///
+    /// # Errors
+    /// Returns an error on unbound variables or out-of-bounds loads.
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Var(v) => self
+                .env
+                .get(&v.id)
+                .map(|x| Value::Int(*x))
+                .ok_or_else(|| TirError::UnboundVar(v.name.to_string())),
+            Expr::Binary(op, a, b) => {
+                let x = self.eval(a)?;
+                let y = self.eval(b)?;
+                self.tracer.alu(1);
+                Ok(eval_binary(*op, x, y))
+            }
+            Expr::Cmp(op, a, b) => {
+                let x = self.eval(a)?;
+                let y = self.eval(b)?;
+                self.tracer.alu(1);
+                Ok(Value::Int(eval_cmp(*op, x, y) as i64))
+            }
+            Expr::And(a, b) => {
+                let x = self.eval(a)?;
+                self.tracer.alu(1);
+                if !x.is_true() {
+                    return Ok(Value::Int(0));
+                }
+                let y = self.eval(b)?;
+                Ok(Value::Int(y.is_true() as i64))
+            }
+            Expr::Or(a, b) => {
+                let x = self.eval(a)?;
+                self.tracer.alu(1);
+                if x.is_true() {
+                    return Ok(Value::Int(1));
+                }
+                let y = self.eval(b)?;
+                Ok(Value::Int(y.is_true() as i64))
+            }
+            Expr::Not(a) => {
+                let x = self.eval(a)?;
+                self.tracer.alu(1);
+                Ok(Value::Int(!x.is_true() as i64))
+            }
+            Expr::Select(c, a, b) => {
+                let cv = self.eval(c)?;
+                self.tracer.alu(1);
+                if cv.is_true() {
+                    self.eval(a)
+                } else {
+                    self.eval(b)
+                }
+            }
+            Expr::Load { buf, index } => {
+                let idx = self.eval(index)?.as_int();
+                self.tracer.load(buf.scope, buf.dtype.bytes());
+                if self.mode == ExecMode::Functional {
+                    let v = self.store.read_elem(buf, self.dpu, idx)?;
+                    if buf.dtype.is_float() {
+                        Ok(Value::Float(v))
+                    } else {
+                        Ok(Value::Int(v as i64))
+                    }
+                } else {
+                    Ok(Value::Float(0.0))
+                }
+            }
+            Expr::Cast(dt, a) => {
+                let x = self.eval(a)?;
+                self.tracer.alu(1);
+                if dt.is_float() {
+                    Ok(Value::Float(x.as_float()))
+                } else {
+                    Ok(Value::Int(x.as_int()))
+                }
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::FloorDiv => {
+                if y == 0 {
+                    0
+                } else {
+                    x.div_euclid(y)
+                }
+            }
+            BinOp::FloorMod => {
+                if y == 0 {
+                    0
+                } else {
+                    x.rem_euclid(y)
+                }
+            }
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        }),
+        _ => {
+            let x = a.as_float();
+            let y = b.as_float();
+            Value::Float(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::FloorDiv => (x / y).floor(),
+                BinOp::FloorMod => x - (x / y).floor() * y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            })
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        },
+        _ => {
+            let x = a.as_float();
+            let y = b.as_float();
+            match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+            }
+        }
+    }
+}
+
+/// Convenience function: allocate a buffer, run a statement with no free
+/// variables and return the contents of `out`.
+///
+/// Primarily intended for unit tests of individual passes.
+///
+/// # Errors
+/// Propagates interpreter errors.
+pub fn run_simple(stmt: &Stmt, buffers: &[(&Arc<Buffer>, Vec<f32>)], out: &Arc<Buffer>) -> Result<Vec<f32>> {
+    let mut store = MemoryStore::new();
+    for (buf, init) in buffers {
+        store.alloc_with(buf, 0, init);
+    }
+    if !store.contains(out, 0) {
+        store.alloc(out, 0);
+    }
+    let mut tracer = NoTrace;
+    let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+    interp.run(stmt)?;
+    Ok(store
+        .read_all(out, 0)
+        .map(|s| s.to_vec())
+        .unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    fn vec_add_program(n: i64) -> (Arc<Buffer>, Arc<Buffer>, Arc<Buffer>, Stmt) {
+        let a = Buffer::new("A", DType::F32, vec![n], MemScope::Global);
+        let b = Buffer::new("B", DType::F32, vec![n], MemScope::Global);
+        let c = Buffer::new("C", DType::F32, vec![n], MemScope::Global);
+        let i = Var::new("i");
+        let body = Stmt::store(
+            &c,
+            Expr::var(&i),
+            Expr::load(&a, Expr::var(&i)).add(Expr::load(&b, Expr::var(&i))),
+        );
+        (a, b, c.clone(), Stmt::for_serial(i, n, body))
+    }
+
+    #[test]
+    fn vector_add_executes() {
+        let (a, b, c, prog) = vec_add_program(8);
+        let av: Vec<f32> = (0..8).map(|x| x as f32).collect();
+        let bv: Vec<f32> = (0..8).map(|x| (x * 10) as f32).collect();
+        let out = run_simple(&prog, &[(&a, av.clone()), (&b, bv.clone())], &c).unwrap();
+        for i in 0..8 {
+            assert_eq!(out[i], av[i] + bv[i]);
+        }
+    }
+
+    #[test]
+    fn counting_tracer_counts() {
+        let (a, b, c, prog) = vec_add_program(8);
+        let mut store = MemoryStore::new();
+        store.alloc(&a, 0);
+        store.alloc(&b, 0);
+        store.alloc(&c, 0);
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        interp.run(&prog).unwrap();
+        assert_eq!(tracer.loop_iters, 8);
+        assert_eq!(tracer.loads, 16);
+        assert_eq!(tracer.stores, 8);
+        assert_eq!(tracer.alu_ops, 8);
+    }
+
+    #[test]
+    fn timing_only_mode_counts_without_data() {
+        let (a, b, c, prog) = vec_add_program(4);
+        let mut store = MemoryStore::new();
+        // No allocations at all: timing mode must not touch data.
+        let _ = (a, b, c);
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::TimingOnly);
+        interp.run(&prog).unwrap();
+        assert_eq!(tracer.loop_iters, 4);
+        assert_eq!(tracer.stores, 4);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Global);
+        let s = Stmt::store(&a, Expr::int(7), Expr::float(1.0));
+        let err = run_simple(&s, &[], &a).unwrap_err();
+        assert!(matches!(err, TirError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Global);
+        let i = Var::new("i");
+        let s = Stmt::store(&a, Expr::var(&i), Expr::float(1.0));
+        let err = run_simple(&s, &[], &a).unwrap_err();
+        assert!(matches!(err, TirError::UnboundVar(_)));
+    }
+
+    #[test]
+    fn dma_copies_between_scopes() {
+        let mram = Buffer::new("Am", DType::F32, vec![16], MemScope::Mram);
+        let wram = Buffer::new("AL", DType::F32, vec![4], MemScope::Wram);
+        let mut store = MemoryStore::new();
+        store.alloc_with(&mram, 2, &(0..16).map(|x| x as f32).collect::<Vec<_>>());
+        store.alloc(&wram, 2);
+        let dma = Stmt::Dma {
+            dst: wram.clone(),
+            dst_off: Expr::int(0),
+            src: mram.clone(),
+            src_off: Expr::int(4),
+            elems: Expr::int(4),
+        };
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        interp.set_dpu(2);
+        interp.run(&dma).unwrap();
+        assert_eq!(tracer.dma_requests, 1);
+        assert_eq!(tracer.dma_bytes, 16);
+        assert_eq!(store.read_all(&wram, 2).unwrap(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn host_transfer_moves_tiles() {
+        let global = Buffer::new("A", DType::F32, vec![8], MemScope::Global);
+        let mram = Buffer::new("Am", DType::F32, vec![4], MemScope::Mram);
+        let mut store = MemoryStore::new();
+        store.alloc_with(&global, 0, &(0..8).map(|x| x as f32).collect::<Vec<_>>());
+        let xfer = Stmt::HostTransfer {
+            dir: TransferDir::H2D,
+            dpu: Expr::int(1),
+            global: global.clone(),
+            global_off: Expr::int(4),
+            mram: mram.clone(),
+            mram_off: Expr::int(0),
+            elems: Expr::int(4),
+            parallel: false,
+        };
+        let mut tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
+        interp.run(&xfer).unwrap();
+        assert_eq!(store.read_all(&mram, 1).unwrap(), &[4.0, 5.0, 6.0, 7.0]);
+        // And back.
+        let back = Stmt::HostTransfer {
+            dir: TransferDir::D2H,
+            dpu: Expr::int(1),
+            global: global.clone(),
+            global_off: Expr::int(0),
+            mram: mram.clone(),
+            mram_off: Expr::int(0),
+            elems: Expr::int(4),
+            parallel: true,
+        };
+        let mut tracer2 = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut store, &mut tracer2, ExecMode::Functional);
+        interp.run(&back).unwrap();
+        assert_eq!(&store.read_all(&global, 0).unwrap()[..4], &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(tracer2.transfer_bytes, 16);
+    }
+
+    #[test]
+    fn guarded_store_respects_condition() {
+        let a = Buffer::new("A", DType::F32, vec![8], MemScope::Global);
+        let i = Var::new("i");
+        let body = Stmt::if_then(
+            Expr::var(&i).lt(Expr::int(5)),
+            Stmt::store(&a, Expr::var(&i), Expr::float(1.0)),
+        );
+        let prog = Stmt::for_serial(i, 8i64, body);
+        let out = run_simple(&prog, &[], &a).unwrap();
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+}

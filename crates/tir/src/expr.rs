@@ -1,0 +1,353 @@
+//! TIR expressions.
+
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, Var};
+use crate::dtype::DType;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Floor division (Euclidean, toward negative infinity for integers).
+    FloorDiv,
+    /// Floor modulo.
+    FloorMod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A TIR expression.
+///
+/// Buffer loads use flattened row-major indices; the schedule lowering is
+/// responsible for computing the flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer immediate.
+    Int(i64),
+    /// Float immediate.
+    Float(f32),
+    /// Scalar variable reference.
+    Var(Var),
+    /// Binary arithmetic.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical and.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Ternary select: `cond ? a : b`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Buffer load at a flattened index.
+    Load {
+        /// The buffer being read.
+        buf: Arc<Buffer>,
+        /// Flattened row-major element offset.
+        index: Box<Expr>,
+    },
+    /// Type cast.
+    Cast(DType, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer constant helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Float constant helper.
+    pub fn float(v: f32) -> Expr {
+        Expr::Float(v)
+    }
+
+    /// Variable reference helper.
+    pub fn var(v: &Var) -> Expr {
+        Expr::Var(v.clone())
+    }
+
+    /// Buffer load helper.
+    pub fn load(buf: &Arc<Buffer>, index: Expr) -> Expr {
+        Expr::Load {
+            buf: Arc::clone(buf),
+            index: Box::new(index),
+        }
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs` (floor division)
+    pub fn floordiv(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::FloorDiv, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs` (floor modulo)
+    pub fn floormod(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::FloorMod, Box::new(self), Box::new(rhs))
+    }
+
+    /// `min(self, rhs)`
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`
+    pub fn eq_expr(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Returns the constant integer value if the expression is an [`Expr::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the expression is the boolean/integer constant `true`/`1`.
+    pub fn is_const_true(&self) -> bool {
+        matches!(self, Expr::Int(v) if *v != 0)
+    }
+
+    /// Collects all distinct variables referenced by the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(a) | Expr::Cast(_, a) => a.collect_vars(out),
+            Expr::Select(c, a, b) => {
+                c.collect_vars(out);
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Load { index, .. } => index.collect_vars(out),
+        }
+    }
+
+    /// Whether the expression references the given variable.
+    pub fn uses_var(&self, var: &Var) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => false,
+            Expr::Var(v) => v == var,
+            Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.uses_var(var) || b.uses_var(var)
+            }
+            Expr::Not(a) | Expr::Cast(_, a) => a.uses_var(var),
+            Expr::Select(c, a, b) => c.uses_var(var) || a.uses_var(var) || b.uses_var(var),
+            Expr::Load { index, .. } => index.uses_var(var),
+        }
+    }
+
+    /// Substitutes every occurrence of `var` with `value`.
+    pub fn substitute(&self, var: &Var, value: &Expr) -> Expr {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == var {
+                    value.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+            Expr::Not(a) => Expr::Not(Box::new(a.substitute(var, value))),
+            Expr::Select(c, a, b) => Expr::Select(
+                Box::new(c.substitute(var, value)),
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+            Expr::Load { buf, index } => Expr::Load {
+                buf: Arc::clone(buf),
+                index: Box::new(index.substitute(var, value)),
+            },
+            Expr::Cast(dt, a) => Expr::Cast(*dt, Box::new(a.substitute(var, value))),
+        }
+    }
+
+    /// Counts the number of scalar operations (ALU ops, loads, selects) in the
+    /// expression.  Used by the cost model for static instruction estimates.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => 0,
+            Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+            Expr::Not(a) | Expr::Cast(_, a) => 1 + a.op_count(),
+            Expr::Select(c, a, b) => 1 + c.op_count() + a.op_count() + b.op_count(),
+            Expr::Load { index, .. } => 1 + index.op_count(),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Int(v)
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Self {
+        Expr::Float(v)
+    }
+}
+
+impl From<&Var> for Expr {
+    fn from(v: &Var) -> Self {
+        Expr::Var(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemScope;
+
+    #[test]
+    fn builders_and_vars() {
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let e = Expr::var(&i).mul(Expr::int(16)).add(Expr::var(&j));
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(e.uses_var(&i));
+        assert!(e.uses_var(&j));
+        assert!(!e.uses_var(&Var::new("k")));
+    }
+
+    #[test]
+    fn substitution() {
+        let i = Var::new("i");
+        let e = Expr::var(&i).add(Expr::int(1));
+        let s = e.substitute(&i, &Expr::int(41));
+        assert_eq!(s, Expr::int(41).add(Expr::int(1)));
+    }
+
+    #[test]
+    fn substitution_in_load() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![8], MemScope::Wram);
+        let e = Expr::load(&a, Expr::var(&i));
+        let s = e.substitute(&i, &Expr::int(3));
+        match s {
+            Expr::Load { index, .. } => assert_eq!(*index, Expr::int(3)),
+            _ => panic!("expected load"),
+        }
+    }
+
+    #[test]
+    fn op_count_counts_loads_and_alu() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![8], MemScope::Wram);
+        // A[i*2] + 1.0 : mul, load, add = 3 ops
+        let e = Expr::load(&a, Expr::var(&i).mul(Expr::int(2))).add(Expr::float(1.0));
+        assert_eq!(e.op_count(), 3);
+    }
+
+    #[test]
+    fn const_predicates() {
+        assert!(Expr::int(1).is_const_true());
+        assert!(!Expr::int(0).is_const_true());
+        assert_eq!(Expr::int(7).as_int(), Some(7));
+        assert_eq!(Expr::float(1.0).as_int(), None);
+    }
+}

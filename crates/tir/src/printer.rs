@@ -1,0 +1,299 @@
+//! Human-readable pretty printer for TIR programs.
+//!
+//! The output intentionally resembles the simplified TIR listings in the
+//! paper's Fig. 2 and Fig. 8, which makes golden tests on generated programs
+//! readable.
+
+use std::fmt::Write;
+
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::stmt::{ForKind, Stmt, TransferDir};
+
+/// Renders an expression as a compact string.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, expr);
+    s
+}
+
+/// Renders a statement tree as an indented multi-line listing.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut s = String::new();
+    write_stmt(&mut s, stmt, 0);
+    s
+}
+
+fn write_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Float(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        Expr::Var(v) => {
+            let _ = write!(out, "{}", v.name);
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::FloorDiv => "//",
+                BinOp::FloorMod => "%",
+                BinOp::Min => return write_call(out, "min", &[a, b]),
+                BinOp::Max => return write_call(out, "max", &[a, b]),
+            };
+            out.push('(');
+            write_expr(out, a);
+            let _ = write!(out, " {sym} ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            out.push('(');
+            write_expr(out, a);
+            let _ = write!(out, " {sym} ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::And(a, b) => {
+            out.push('(');
+            write_expr(out, a);
+            out.push_str(" and ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Or(a, b) => {
+            out.push('(');
+            write_expr(out, a);
+            out.push_str(" or ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Not(a) => {
+            out.push_str("not ");
+            write_expr(out, a);
+        }
+        Expr::Select(c, a, b) => {
+            out.push_str("select(");
+            write_expr(out, c);
+            out.push_str(", ");
+            write_expr(out, a);
+            out.push_str(", ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Load { buf, index } => {
+            let _ = write!(out, "{}[", buf.name);
+            write_expr(out, index);
+            out.push(']');
+        }
+        Expr::Cast(dt, a) => {
+            let _ = write!(out, "{dt}(");
+            write_expr(out, a);
+            out.push(')');
+        }
+    }
+}
+
+fn write_call(out: &mut String, name: &str, args: &[&Expr]) {
+    let _ = write!(out, "{name}(");
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, a);
+    }
+    out.push(')');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    match stmt {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            body,
+        } => {
+            indent(out, level);
+            let ann = match kind {
+                ForKind::Serial => "",
+                ForKind::Unrolled => " [unroll]",
+                ForKind::DpuX => " [bind=blockIdx.x]",
+                ForKind::DpuY => " [bind=blockIdx.y]",
+                ForKind::Tasklet => " [bind=threadIdx.x]",
+                ForKind::HostParallel => " [parallel]",
+            };
+            let _ = write!(out, "for {} in range({}){ann}:\n", var.name, print_expr(extent));
+            write_stmt(out, body, level + 1);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if {}:", print_expr(cond));
+            write_stmt(out, then_branch, level + 1);
+            if let Some(e) = else_branch {
+                indent(out, level);
+                out.push_str("else:\n");
+                write_stmt(out, e, level + 1);
+            }
+        }
+        Stmt::Store { buf, index, value } => {
+            indent(out, level);
+            let _ = writeln!(out, "{}[{}] = {}", buf.name, print_expr(index), print_expr(value));
+        }
+        Stmt::Seq(stmts) => {
+            for s in stmts {
+                write_stmt(out, s, level);
+            }
+        }
+        Stmt::Alloc { buf, body } => {
+            indent(out, level);
+            let shape: Vec<String> = buf.shape.iter().map(|d| d.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "alloc {}: {}[{}] @ {}",
+                buf.name,
+                buf.dtype,
+                shape.join(", "),
+                buf.scope
+            );
+            write_stmt(out, body, level);
+        }
+        Stmt::Dma {
+            dst,
+            dst_off,
+            src,
+            src_off,
+            elems,
+        } => {
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "dma {}[{}] <- {}[{}], elems={}",
+                dst.name,
+                print_expr(dst_off),
+                src.name,
+                print_expr(src_off),
+                print_expr(elems)
+            );
+        }
+        Stmt::HostTransfer {
+            dir,
+            dpu,
+            global,
+            global_off,
+            mram,
+            mram_off,
+            elems,
+            parallel,
+        } => {
+            indent(out, level);
+            let name = match (dir, parallel) {
+                (TransferDir::H2D, false) => "h2d",
+                (TransferDir::H2D, true) => "parallel_h2d",
+                (TransferDir::D2H, false) => "d2h",
+                (TransferDir::D2H, true) => "parallel_d2h",
+            };
+            let _ = writeln!(
+                out,
+                "{name}(dpu={}, {}[{}], {}[{}], elems={})",
+                print_expr(dpu),
+                mram.name,
+                print_expr(mram_off),
+                global.name,
+                print_expr(global_off),
+                print_expr(elems)
+            );
+        }
+        Stmt::Barrier => {
+            indent(out, level);
+            out.push_str("barrier()\n");
+        }
+        Stmt::Evaluate(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "eval {}", print_expr(e));
+        }
+        Stmt::Nop => {
+            indent(out, level);
+            out.push_str("pass\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, MemScope, Var};
+    use crate::dtype::DType;
+
+    #[test]
+    fn prints_loop_nest() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![16], MemScope::Wram);
+        let s = Stmt::for_kind(
+            i.clone(),
+            16i64,
+            ForKind::Tasklet,
+            Stmt::if_then(
+                Expr::var(&i).lt(Expr::int(10)),
+                Stmt::store(&a, Expr::var(&i), Expr::float(1.0)),
+            ),
+        );
+        let text = print_stmt(&s);
+        assert!(text.contains("for i in range(16) [bind=threadIdx.x]:"));
+        assert!(text.contains("if (i < 10):"));
+        assert!(text.contains("A[i] = 1.0"));
+    }
+
+    #[test]
+    fn prints_min_and_mod() {
+        let i = Var::new("i");
+        let e = Expr::var(&i).min(Expr::int(4)).floormod(Expr::int(3));
+        assert_eq!(print_expr(&e), "(min(i, 4) % 3)");
+    }
+
+    #[test]
+    fn prints_dma_and_transfer() {
+        let w = Buffer::new("AL", DType::F32, vec![64], MemScope::Wram);
+        let m = Buffer::new("Am", DType::F32, vec![1024], MemScope::Mram);
+        let g = Buffer::new("A", DType::F32, vec![4096], MemScope::Global);
+        let dma = Stmt::Dma {
+            dst: w.clone(),
+            dst_off: Expr::int(0),
+            src: m.clone(),
+            src_off: Expr::int(64),
+            elems: Expr::int(64),
+        };
+        assert!(print_stmt(&dma).contains("dma AL[0] <- Am[64], elems=64"));
+        let xfer = Stmt::HostTransfer {
+            dir: TransferDir::H2D,
+            dpu: Expr::int(3),
+            global: g,
+            global_off: Expr::int(128),
+            mram: m,
+            mram_off: Expr::int(0),
+            elems: Expr::int(64),
+            parallel: true,
+        };
+        assert!(print_stmt(&xfer).starts_with("parallel_h2d(dpu=3"));
+    }
+}

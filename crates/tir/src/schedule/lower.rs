@@ -1,0 +1,1174 @@
+//! Lowering of a [`Schedule`] to loop-based TIR.
+//!
+//! The lowering mirrors §5.2.2 of the paper:
+//!
+//! * loops bound to `blockIdx.*` become the **DPU grid**; their loop
+//!   variables become free kernel parameters (the "DPU binding"),
+//! * the remaining loops become the per-DPU **kernel** loop nest, with the
+//!   tasklet-bound loop marked for intra-DPU parallelism,
+//! * **address calculation**: every global tensor is tiled into a per-DPU
+//!   MRAM buffer whose extent along each axis is the span covered by the
+//!   kernel loops of that axis ("local padding"); WRAM caching tiles are
+//!   indexed by inner-loop offsets only,
+//! * **data transfer code generation**: host→DPU and DPU→host programs are
+//!   derived from the same tiling, as loops of transfer intrinsics
+//!   (element-wise or bulk, serial or rank-parallel — Fig. 7),
+//! * **reduction code generation**: when `rfactor` distributes a reduction
+//!   axis across DPUs, each DPU writes a partial result and a host
+//!   final-reduction loop (optionally tiled across host threads) combines
+//!   them,
+//! * **boundary checks** are inserted wherever a tile may extend past its
+//!   tensor's extent — exactly the checks the PIM-aware passes in
+//!   `atim-passes` then eliminate, tighten or hoist.
+//!
+//! # Structural assumptions
+//!
+//! * DPU-bound loops must precede all other loops (the sketch generation
+//!   rules always produce such schedules).
+//! * DPU tiles must be contiguous per axis: the stride of a DPU-bound loop
+//!   must be at least the span of the kernel loops of the same axis.
+//! * If the output is cached (`cache_write`), all reduction loops must be
+//!   nested inside the attach point.
+
+use std::sync::Arc;
+
+use crate::buffer::{row_major_strides, Buffer, MemScope, Var};
+use crate::compute::AxisKind;
+use crate::error::{Result, TirError};
+use crate::expr::Expr;
+use crate::simplify::{simplify_expr, simplify_stmt};
+use crate::stmt::{ForKind, Stmt, TransferDir};
+
+use super::lowered::{GridDim, GridSpec, KernelProgram, Lowered, MramTile};
+use super::{div_ceil, Attach, Binding, LoopInfo, Schedule};
+
+/// Lowers a schedule.  See the module docs for the rules.
+pub(crate) fn lower_schedule(sch: &Schedule) -> Result<Lowered> {
+    Lowerer::new(sch)?.run()
+}
+
+struct CacheReadInfo {
+    input: usize,
+    /// Kernel-loop position of the attach point; `None` means root (outside
+    /// all kernel loops).
+    attach_pos: Option<usize>,
+    wbuf: Arc<Buffer>,
+    foot_shape: Vec<i64>,
+}
+
+struct CacheWriteInfo {
+    attach_pos: Option<usize>,
+    wbuf: Arc<Buffer>,
+    foot_shape: Vec<i64>,
+}
+
+struct Lowerer<'a> {
+    sch: &'a Schedule,
+    grid_loops: Vec<LoopInfo>,
+    kernel_loops: Vec<LoopInfo>,
+    grid_vars: Vec<Var>,
+    kernel_vars: Vec<Var>,
+    global_inputs: Vec<Arc<Buffer>>,
+    global_output: Arc<Buffer>,
+    mram_inputs: Vec<MramTile>,
+    mram_output: MramTile,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(sch: &'a Schedule) -> Result<Self> {
+        let def = sch.def();
+        // Partition loops into the DPU-grid prefix and the kernel suffix.
+        let loops = sch.loops();
+        let mut grid_loops = Vec::new();
+        let mut kernel_loops = Vec::new();
+        let mut seen_kernel = false;
+        for l in loops {
+            if matches!(l.binding, Binding::DpuX | Binding::DpuY) {
+                if seen_kernel {
+                    return Err(TirError::LoweringError(format!(
+                        "DPU-bound loop {} appears after a kernel loop; DPU loops must be outermost",
+                        l.name
+                    )));
+                }
+                grid_loops.push(l.clone());
+            } else {
+                seen_kernel = true;
+                kernel_loops.push(l.clone());
+            }
+        }
+        // Reduction axes may only be DPU-bound under rfactor.
+        for l in &grid_loops {
+            if def.axes[l.axis].kind == AxisKind::Reduce && !sch.has_rfactor() {
+                return Err(TirError::LoweringError(
+                    "reduction loop bound to the DPU grid without rfactor".into(),
+                ));
+            }
+        }
+
+        let grid_vars: Vec<Var> = grid_loops.iter().map(|l| Var::new(&l.name)).collect();
+        let kernel_vars: Vec<Var> = kernel_loops.iter().map(|l| Var::new(&l.name)).collect();
+
+        // Global buffers.
+        let global_inputs: Vec<Arc<Buffer>> = def
+            .inputs
+            .iter()
+            .map(|t| Buffer::new(&t.name, t.dtype, def.tensor_shape(t), MemScope::Global))
+            .collect();
+        let global_output = Buffer::new(
+            &def.output.name,
+            def.output.dtype,
+            def.tensor_shape(&def.output),
+            MemScope::Global,
+        );
+
+        let me = Lowerer {
+            sch,
+            grid_loops,
+            kernel_loops,
+            grid_vars,
+            kernel_vars,
+            global_inputs,
+            global_output,
+            mram_inputs: Vec::new(),
+            mram_output: MramTile {
+                buf: Buffer::new("uninit", def.output.dtype, vec![1], MemScope::Mram),
+                tile_shape: vec![1],
+            },
+        };
+        Ok(me)
+    }
+
+    // --- Geometry helpers ---------------------------------------------------
+
+    fn axis_extent(&self, axis: usize) -> i64 {
+        self.sch.def().axes[axis].extent
+    }
+
+    /// Span of the given loops along `axis` (1 if none iterate it).
+    fn span(loops: &[LoopInfo], axis: usize) -> i64 {
+        let mut span = 0;
+        let mut any = false;
+        for l in loops.iter().filter(|l| l.axis == axis) {
+            any = true;
+            span += (l.extent - 1) * l.stride;
+        }
+        if any {
+            span + 1
+        } else {
+            1
+        }
+    }
+
+    /// Span covered within a single DPU (kernel loops only).
+    fn kernel_span(&self, axis: usize) -> i64 {
+        Self::span(&self.kernel_loops, axis)
+    }
+
+    /// Maximum reconstructed index + 1 over all loops of an axis.
+    fn coverage(&self, axis: usize) -> i64 {
+        let mut cov = 0i64;
+        let mut any = false;
+        for l in self
+            .grid_loops
+            .iter()
+            .chain(self.kernel_loops.iter())
+            .filter(|l| l.axis == axis)
+        {
+            any = true;
+            cov += (l.extent - 1) * l.stride;
+        }
+        if any {
+            cov + 1
+        } else {
+            self.axis_extent(axis)
+        }
+    }
+
+    /// Whether tiles along the axis may run past the tensor extent, i.e.
+    /// boundary checks are required.
+    fn misaligned(&self, axis: usize) -> bool {
+        self.coverage(axis) > self.axis_extent(axis)
+    }
+
+    /// Offset contributed by the DPU-grid loops of an axis (uses grid vars).
+    fn dpu_offset(&self, axis: usize) -> Expr {
+        let mut e = Expr::Int(0);
+        for (l, v) in self.grid_loops.iter().zip(&self.grid_vars) {
+            if l.axis == axis {
+                e = e.add(Expr::var(v).mul(Expr::Int(l.stride)));
+            }
+        }
+        simplify_expr(&e)
+    }
+
+    /// Offset contributed by kernel loops of an axis whose position satisfies
+    /// `keep(pos)`.
+    fn kernel_offset(&self, axis: usize, keep: impl Fn(usize) -> bool) -> Expr {
+        let mut e = Expr::Int(0);
+        for (pos, (l, v)) in self.kernel_loops.iter().zip(&self.kernel_vars).enumerate() {
+            if l.axis == axis && keep(pos) {
+                e = e.add(Expr::var(v).mul(Expr::Int(l.stride)));
+            }
+        }
+        simplify_expr(&e)
+    }
+
+    fn local_off(&self, axis: usize) -> Expr {
+        self.kernel_offset(axis, |_| true)
+    }
+
+    fn inner_off(&self, axis: usize, attach_pos: Option<usize>) -> Expr {
+        let threshold = attach_pos.map(|p| p as i64).unwrap_or(-1);
+        self.kernel_offset(axis, |pos| (pos as i64) > threshold)
+    }
+
+    fn outer_off(&self, axis: usize, attach_pos: Option<usize>) -> Expr {
+        let threshold = attach_pos.map(|p| p as i64).unwrap_or(-1);
+        self.kernel_offset(axis, |pos| (pos as i64) <= threshold)
+    }
+
+    /// Footprint span of kernel loops of `axis` strictly inside the attach
+    /// point.
+    fn inner_span(&self, axis: usize, attach_pos: Option<usize>) -> i64 {
+        let threshold = attach_pos.map(|p| p as i64).unwrap_or(-1);
+        let subset: Vec<LoopInfo> = self
+            .kernel_loops
+            .iter()
+            .enumerate()
+            .filter(|(pos, l)| (*pos as i64) > threshold && l.axis == axis)
+            .map(|(_, l)| l.clone())
+            .collect();
+        Self::span(&subset, axis)
+    }
+
+    /// Linear DPU index expression (row-major over the grid dims).
+    fn dpu_linear(&self) -> Expr {
+        let mut e = Expr::Int(0);
+        for (l, v) in self.grid_loops.iter().zip(&self.grid_vars) {
+            e = e.mul(Expr::Int(l.extent)).add(Expr::var(v));
+        }
+        simplify_expr(&e)
+    }
+
+    fn attach_pos(&self, at: Attach) -> Result<Option<usize>> {
+        match at {
+            Attach::Root => Ok(None),
+            Attach::At(r) => {
+                let pos = self
+                    .kernel_loops
+                    .iter()
+                    .position(|l| l.id == r.0)
+                    .ok_or_else(|| {
+                        TirError::LoweringError(format!(
+                            "cache attach target loop#{} is not a kernel loop",
+                            r.0
+                        ))
+                    })?;
+                Ok(Some(pos))
+            }
+        }
+    }
+
+    // --- Main driver ---------------------------------------------------------
+
+    fn run(mut self) -> Result<Lowered> {
+        let def = self.sch.def().clone();
+
+        // Tile-geometry validation.  Each DPU's MRAM tile along an axis is the
+        // contiguous window `[dpu_offset, dpu_offset + kernel_span)`.  Windows
+        // of adjacent DPUs may overlap (misaligned splits); that is harmless
+        // because overlapping elements are recomputed with identical values
+        // (spatial axes) or claimed by exactly one DPU via the ownership
+        // guard (reduction axes).  What must NOT happen is a *hole* inside a
+        // DPU's own window: the DPU-to-host copy transfers the whole window,
+        // so uncomputed padding would overwrite other DPUs' results.  Holes
+        // only arise from non-nested (interleaved) splits, which standard
+        // sketches never produce; reject them here.
+        for (a, ax) in def.axes.iter().enumerate() {
+            let kernel_points: i64 = self
+                .kernel_loops
+                .iter()
+                .filter(|l| l.axis == a)
+                .map(|l| l.extent)
+                .product();
+            if kernel_points < self.kernel_span(a) {
+                return Err(TirError::LoweringError(format!(
+                    "kernel loops of axis {} leave holes in the per-DPU tile \
+                     ({} iteration points for a span of {})",
+                    ax.name,
+                    kernel_points,
+                    self.kernel_span(a)
+                )));
+            }
+            let total_points: i64 = self
+                .grid_loops
+                .iter()
+                .chain(self.kernel_loops.iter())
+                .filter(|l| l.axis == a)
+                .map(|l| l.extent)
+                .product();
+            if total_points < ax.extent {
+                return Err(TirError::LoweringError(format!(
+                    "loops of axis {} cover only {} of {} elements",
+                    ax.name, total_points, ax.extent
+                )));
+            }
+        }
+
+        // MRAM tiles.
+        self.mram_inputs = def
+            .inputs
+            .iter()
+            .map(|t| {
+                let shape: Vec<i64> = t.axes.iter().map(|&a| self.kernel_span(a)).collect();
+                let shape = if shape.is_empty() { vec![1] } else { shape };
+                MramTile {
+                    buf: Buffer::new(format!("{}_m", t.name), t.dtype, shape.clone(), MemScope::Mram),
+                    tile_shape: shape,
+                }
+            })
+            .collect();
+        {
+            let t = &def.output;
+            let shape: Vec<i64> = t.axes.iter().map(|&a| self.kernel_span(a)).collect();
+            let shape = if shape.is_empty() { vec![1] } else { shape };
+            self.mram_output = MramTile {
+                buf: Buffer::new(format!("{}_m", t.name), t.dtype, shape.clone(), MemScope::Mram),
+                tile_shape: shape,
+            };
+        }
+
+        // Grid spec.
+        let grid = GridSpec {
+            dims: self
+                .grid_loops
+                .iter()
+                .zip(&self.grid_vars)
+                .map(|(l, v)| GridDim {
+                    var: v.clone(),
+                    extent: l.extent,
+                    loop_id: l.id,
+                    reduce: def.axes[l.axis].kind == AxisKind::Reduce,
+                })
+                .collect(),
+        };
+        let effective_rfactor = grid.dims.iter().any(|d| d.reduce);
+
+        // Partial-results buffer for hierarchical reduction.
+        let partial_output = if effective_rfactor {
+            let mut shape = vec![grid.reduce_dpus()];
+            shape.extend(def.tensor_shape(&def.output));
+            Some(Buffer::new(
+                format!("{}_partial", def.output.name),
+                def.output.dtype,
+                shape,
+                MemScope::Global,
+            ))
+        } else {
+            None
+        };
+
+        let kernel = self.build_kernel()?;
+        let (h2d_setup, h2d) = self.build_h2d()?;
+        let d2h = self.build_d2h(&grid, partial_output.as_ref())?;
+        let host_reduce = if effective_rfactor {
+            Some(self.build_host_reduce(
+                &grid,
+                partial_output.as_ref().expect("rfactor implies partial"),
+            ))
+        } else {
+            None
+        };
+
+        Ok(Lowered {
+            def,
+            grid,
+            kernel,
+            h2d_setup,
+            h2d,
+            d2h,
+            host_reduce,
+            host_threads: self.sch.host_threads(),
+            global_inputs: self.global_inputs.clone(),
+            global_output: self.global_output.clone(),
+            partial_output,
+            mram_inputs: self.mram_inputs.clone(),
+            mram_output: self.mram_output.clone(),
+        })
+    }
+
+    // --- Kernel construction --------------------------------------------------
+
+    fn build_kernel(&self) -> Result<KernelProgram> {
+        let def = self.sch.def();
+
+        // Resolve cache directives.
+        let mut reads = Vec::new();
+        for cr in self.sch.cache_reads() {
+            let attach_pos = self.attach_pos(cr.at)?;
+            let decl = &def.inputs[cr.input];
+            let foot_shape: Vec<i64> = decl
+                .axes
+                .iter()
+                .map(|&a| self.inner_span(a, attach_pos))
+                .collect();
+            let foot_shape = if foot_shape.is_empty() { vec![1] } else { foot_shape };
+            let wbuf = Buffer::new(
+                format!("{}_w", decl.name),
+                decl.dtype,
+                foot_shape.clone(),
+                MemScope::Wram,
+            );
+            reads.push(CacheReadInfo {
+                input: cr.input,
+                attach_pos,
+                wbuf,
+                foot_shape,
+            });
+        }
+        let write = match self.sch.cache_write_spec() {
+            Some(cw) => {
+                let attach_pos = self.attach_pos(cw.at)?;
+                // All reduction kernel loops must be nested inside the attach
+                // point, otherwise re-initializing the accumulator would lose
+                // partial sums.
+                let threshold = attach_pos.map(|p| p as i64).unwrap_or(-1);
+                for (pos, l) in self.kernel_loops.iter().enumerate() {
+                    if def.axes[l.axis].kind == AxisKind::Reduce && (pos as i64) <= threshold {
+                        return Err(TirError::LoweringError(format!(
+                            "cache_write attach point must enclose all reduction loops (loop {} is outside)",
+                            l.name
+                        )));
+                    }
+                }
+                let decl = &def.output;
+                let foot_shape: Vec<i64> = decl
+                    .axes
+                    .iter()
+                    .map(|&a| self.inner_span(a, attach_pos))
+                    .collect();
+                let foot_shape = if foot_shape.is_empty() { vec![1] } else { foot_shape };
+                let wbuf = Buffer::new(
+                    format!("{}_w", decl.name),
+                    decl.dtype,
+                    foot_shape.clone(),
+                    MemScope::Wram,
+                );
+                Some(CacheWriteInfo {
+                    attach_pos,
+                    wbuf,
+                    foot_shape,
+                })
+            }
+            None => None,
+        };
+
+        let compute = self.compute_stmt(&reads, &write);
+        let mut body = self.build_kernel_loops(0, &compute, &reads, &write);
+
+        // Root-attached caching.
+        let mut parts = Vec::new();
+        for r in &reads {
+            if r.attach_pos.is_none() {
+                parts.push(self.cache_read_copy(r));
+            }
+        }
+        if let Some(w) = &write {
+            if w.attach_pos.is_none() {
+                if def.has_reduce() {
+                    parts.push(self.cache_write_init(w));
+                }
+            }
+        }
+        parts.push(body);
+        if let Some(w) = &write {
+            if w.attach_pos.is_none() {
+                parts.push(self.cache_write_back(w));
+            }
+        }
+        body = Stmt::seq(parts);
+
+        // Wrap WRAM allocations.
+        for r in reads.iter().rev() {
+            body = Stmt::Alloc {
+                buf: Arc::clone(&r.wbuf),
+                body: Box::new(body),
+            };
+        }
+        if let Some(w) = &write {
+            body = Stmt::Alloc {
+                buf: Arc::clone(&w.wbuf),
+                body: Box::new(body),
+            };
+        }
+
+        let body = simplify_stmt(body);
+
+        // Tasklet count and WRAM usage estimate.
+        let tasklet_pos = self
+            .kernel_loops
+            .iter()
+            .position(|l| l.binding == Binding::Tasklet);
+        let tasklets: i64 = self
+            .kernel_loops
+            .iter()
+            .filter(|l| l.binding == Binding::Tasklet)
+            .map(|l| l.extent)
+            .product::<i64>()
+            .max(1);
+        let multiplier = |attach_pos: Option<usize>| -> usize {
+            match (attach_pos, tasklet_pos) {
+                (Some(p), Some(tp)) if p >= tp => tasklets as usize,
+                _ => 1,
+            }
+        };
+        let mut wram_bytes = 0usize;
+        for r in &reads {
+            wram_bytes += r.wbuf.bytes() * multiplier(r.attach_pos);
+        }
+        if let Some(w) = &write {
+            wram_bytes += w.wbuf.bytes() * multiplier(w.attach_pos);
+        }
+
+        Ok(KernelProgram {
+            body,
+            tasklets,
+            wram_bytes,
+        })
+    }
+
+    fn build_kernel_loops(
+        &self,
+        pos: usize,
+        compute: &Stmt,
+        reads: &[CacheReadInfo],
+        write: &Option<CacheWriteInfo>,
+    ) -> Stmt {
+        if pos == self.kernel_loops.len() {
+            return compute.clone();
+        }
+        let inner = self.build_kernel_loops(pos + 1, compute, reads, write);
+        let mut parts = Vec::new();
+        for r in reads {
+            if r.attach_pos == Some(pos) {
+                parts.push(self.cache_read_copy(r));
+            }
+        }
+        if let Some(w) = write {
+            if w.attach_pos == Some(pos) && self.sch.def().has_reduce() {
+                parts.push(self.cache_write_init(w));
+            }
+        }
+        parts.push(inner);
+        if let Some(w) = write {
+            if w.attach_pos == Some(pos) {
+                parts.push(self.cache_write_back(w));
+            }
+        }
+        let body = Stmt::seq(parts);
+        let l = &self.kernel_loops[pos];
+        let kind = match l.binding {
+            Binding::Tasklet => ForKind::Tasklet,
+            Binding::Unroll => ForKind::Unrolled,
+            _ => ForKind::Serial,
+        };
+        Stmt::for_kind(self.kernel_vars[pos].clone(), l.extent, kind, body)
+    }
+
+    /// The innermost compute statement, guarded by boundary checks on every
+    /// misaligned axis.
+    fn compute_stmt(&self, reads: &[CacheReadInfo], write: &Option<CacheWriteInfo>) -> Stmt {
+        let def = self.sch.def();
+        let term = def.term.to_expr(&|input| {
+            if let Some(r) = reads.iter().find(|r| r.input == input) {
+                // WRAM load at inner offsets.
+                let decl = &def.inputs[input];
+                let strides = row_major_strides(&r.foot_shape);
+                let mut idx = Expr::Int(0);
+                for (d, &a) in decl.axes.iter().enumerate() {
+                    idx = idx.add(self.inner_off(a, r.attach_pos).mul(Expr::Int(strides[d])));
+                }
+                Expr::load(&r.wbuf, simplify_expr(&idx))
+            } else {
+                // Direct MRAM-tile load at local offsets.
+                let decl = &def.inputs[input];
+                let tile = &self.mram_inputs[input];
+                let strides = row_major_strides(&tile.tile_shape);
+                let mut idx = Expr::Int(0);
+                for (d, &a) in decl.axes.iter().enumerate() {
+                    idx = idx.add(self.local_off(a).mul(Expr::Int(strides[d])));
+                }
+                Expr::load(&tile.buf, simplify_expr(&idx))
+            }
+        });
+
+        let (target, target_idx) = match write {
+            Some(w) => {
+                let strides = row_major_strides(&w.foot_shape);
+                let mut idx = Expr::Int(0);
+                for (d, &a) in def.output.axes.iter().enumerate() {
+                    idx = idx.add(self.inner_off(a, w.attach_pos).mul(Expr::Int(strides[d])));
+                }
+                (Arc::clone(&w.wbuf), simplify_expr(&idx))
+            }
+            None => {
+                let strides = row_major_strides(&self.mram_output.tile_shape);
+                let mut idx = Expr::Int(0);
+                for (d, &a) in def.output.axes.iter().enumerate() {
+                    idx = idx.add(self.local_off(a).mul(Expr::Int(strides[d])));
+                }
+                (Arc::clone(&self.mram_output.buf), simplify_expr(&idx))
+            }
+        };
+
+        let value = if def.has_reduce() {
+            Expr::load(&target, target_idx.clone()).add(term)
+        } else {
+            term
+        };
+        let stmt = Stmt::store(&target, target_idx, value);
+
+        // Boundary guards over every misaligned axis.
+        let mut guards = Vec::new();
+        for (a, ax) in def.axes.iter().enumerate() {
+            if self.misaligned(a) {
+                let recon = self.dpu_offset(a).add(self.local_off(a));
+                guards.push(simplify_expr(&recon).lt(Expr::Int(ax.extent)));
+            }
+            // Ownership (injectivity) guards for reduction axes: when a
+            // misaligned split makes the loops nested inside some level span
+            // further than that level's stride, the overrun elements would be
+            // accumulated twice (once by the overrunning chunk and once by
+            // the next chunk's owner).  Guard each level so every element is
+            // claimed exactly once.  Spatial overlaps are idempotent
+            // recomputation and need no such guard.
+            if ax.kind == AxisKind::Reduce {
+                // Every loop of this axis: (stride, extent, index expression).
+                let mut levels: Vec<(i64, i64, Expr)> = Vec::new();
+                for (l, v) in self.grid_loops.iter().zip(&self.grid_vars) {
+                    if l.axis == a {
+                        levels.push((l.stride, l.extent, Expr::var(v)));
+                    }
+                }
+                for (l, v) in self.kernel_loops.iter().zip(&self.kernel_vars) {
+                    if l.axis == a {
+                        levels.push((l.stride, l.extent, Expr::var(v)));
+                    }
+                }
+                levels.sort_by_key(|(stride, _, _)| std::cmp::Reverse(*stride));
+                for (i, (stride, _, _)) in levels.iter().enumerate() {
+                    let suffix: Vec<&(i64, i64, Expr)> =
+                        levels[i + 1..].iter().filter(|(s, _, _)| s < stride).collect();
+                    if suffix.is_empty() {
+                        continue;
+                    }
+                    let span: i64 = suffix.iter().map(|(s, e, _)| (e - 1) * s).sum::<i64>() + 1;
+                    if span > *stride {
+                        let mut off = Expr::Int(0);
+                        for (s, _, v) in &suffix {
+                            off = off.add(v.clone().mul(Expr::Int(*s)));
+                        }
+                        guards.push(simplify_expr(&off).lt(Expr::Int(*stride)));
+                    }
+                }
+            }
+        }
+        wrap_guards(guards, stmt)
+    }
+
+    /// Element-wise MRAM→WRAM copy loops for a cache-read tile (the loops the
+    /// DMA-aware boundary-check elimination pass later vectorizes).
+    fn cache_read_copy(&self, r: &CacheReadInfo) -> Stmt {
+        let def = self.sch.def();
+        let decl = &def.inputs[r.input];
+        let tile = &self.mram_inputs[r.input];
+        let wstrides = row_major_strides(&r.foot_shape);
+        let mstrides = row_major_strides(&tile.tile_shape);
+
+        let copy_vars: Vec<Var> = (0..r.foot_shape.len().max(1))
+            .map(|d| Var::new(format!("{}_c{}", decl.name.to_lowercase(), d)))
+            .collect();
+
+        let mut widx = Expr::Int(0);
+        let mut midx = Expr::Int(0);
+        let mut guards = Vec::new();
+        for (d, &a) in decl.axes.iter().enumerate() {
+            let rv = Expr::var(&copy_vars[d]);
+            widx = widx.add(rv.clone().mul(Expr::Int(wstrides[d])));
+            let outer = self.outer_off(a, r.attach_pos);
+            midx = midx.add(outer.clone().add(rv.clone()).mul(Expr::Int(mstrides[d])));
+            if self.misaligned(a) {
+                let recon = self.dpu_offset(a).add(outer).add(rv);
+                guards.push(simplify_expr(&recon).lt(Expr::Int(self.axis_extent(a))));
+            }
+        }
+        let body = Stmt::store(
+            &r.wbuf,
+            simplify_expr(&widx),
+            Expr::load(&tile.buf, simplify_expr(&midx)),
+        );
+        let body = wrap_guards(guards, body);
+        wrap_copy_loops(&copy_vars, &r.foot_shape, body)
+    }
+
+    fn cache_write_init(&self, w: &CacheWriteInfo) -> Stmt {
+        let copy_vars: Vec<Var> = (0..w.foot_shape.len().max(1))
+            .map(|d| Var::new(format!("cw_init{d}")))
+            .collect();
+        let strides = row_major_strides(&w.foot_shape);
+        let mut idx = Expr::Int(0);
+        for (d, v) in copy_vars.iter().enumerate() {
+            if d < strides.len() {
+                idx = idx.add(Expr::var(v).mul(Expr::Int(strides[d])));
+            }
+        }
+        let body = Stmt::store(&w.wbuf, simplify_expr(&idx), Expr::Float(0.0));
+        wrap_copy_loops(&copy_vars, &w.foot_shape, body)
+    }
+
+    /// WRAM→MRAM write-back loops for the cached output.
+    fn cache_write_back(&self, w: &CacheWriteInfo) -> Stmt {
+        let def = self.sch.def();
+        let decl = &def.output;
+        let wstrides = row_major_strides(&w.foot_shape);
+        let mstrides = row_major_strides(&self.mram_output.tile_shape);
+        let copy_vars: Vec<Var> = (0..w.foot_shape.len().max(1))
+            .map(|d| Var::new(format!("cw_wb{d}")))
+            .collect();
+        let mut widx = Expr::Int(0);
+        let mut midx = Expr::Int(0);
+        let mut guards = Vec::new();
+        for (d, &a) in decl.axes.iter().enumerate() {
+            let rv = Expr::var(&copy_vars[d]);
+            widx = widx.add(rv.clone().mul(Expr::Int(wstrides[d])));
+            let outer = self.outer_off(a, w.attach_pos);
+            midx = midx.add(outer.clone().add(rv.clone()).mul(Expr::Int(mstrides[d])));
+            if self.misaligned(a) {
+                let recon = self.dpu_offset(a).add(outer).add(rv);
+                guards.push(simplify_expr(&recon).lt(Expr::Int(self.axis_extent(a))));
+            }
+        }
+        let body = Stmt::store(
+            &self.mram_output.buf,
+            simplify_expr(&midx),
+            Expr::load(&w.wbuf, simplify_expr(&widx)),
+        );
+        let body = wrap_guards(guards, body);
+        wrap_copy_loops(&copy_vars, &w.foot_shape, body)
+    }
+
+    // --- Host transfer programs -----------------------------------------------
+
+    /// Builds the host-to-DPU transfer programs: `(setup, per_launch)`.
+    /// Constant tensors (weights) go into the setup program, which the
+    /// runtime executes once before kernel launches (§5.4); everything else
+    /// is transferred on every launch.
+    fn build_h2d(&self) -> Result<(Stmt, Stmt)> {
+        let def = self.sch.def();
+        let mut setup = Vec::new();
+        let mut per_launch = Vec::new();
+        for (t, decl) in def.inputs.iter().enumerate() {
+            let tile = &self.mram_inputs[t];
+            let stmt = self.transfer_for_tensor(
+                TransferDir::H2D,
+                &self.global_inputs[t],
+                &def.tensor_shape(decl),
+                &decl.axes,
+                &tile.buf,
+                &tile.tile_shape,
+                None,
+            );
+            if decl.constant {
+                setup.push(stmt);
+            } else {
+                per_launch.push(stmt);
+            }
+        }
+        Ok((
+            simplify_stmt(Stmt::seq(setup)),
+            simplify_stmt(Stmt::seq(per_launch)),
+        ))
+    }
+
+    fn build_d2h(&self, grid: &GridSpec, partial: Option<&Arc<Buffer>>) -> Result<Stmt> {
+        let def = self.sch.def();
+        let decl = &def.output;
+        let stmt = match partial {
+            None => self.transfer_for_tensor(
+                TransferDir::D2H,
+                &self.global_output,
+                &def.tensor_shape(decl),
+                &decl.axes,
+                &self.mram_output.buf,
+                &self.mram_output.tile_shape,
+                None,
+            ),
+            Some(p) => {
+                // Destination is P[r, spatial...]: offset the global index by
+                // r_index * output_len.
+                let out_len = def.output_len() as i64;
+                let mut r_index = Expr::Int(0);
+                for (dim, var) in grid.dims.iter().zip(&self.grid_vars) {
+                    if dim.reduce {
+                        r_index = r_index.mul(Expr::Int(dim.extent)).add(Expr::var(var));
+                    }
+                }
+                let base = simplify_expr(&r_index.mul(Expr::Int(out_len)));
+                self.transfer_for_tensor(
+                    TransferDir::D2H,
+                    p,
+                    &def.tensor_shape(decl),
+                    &decl.axes,
+                    &self.mram_output.buf,
+                    &self.mram_output.tile_shape,
+                    Some(base),
+                )
+            }
+        };
+        Ok(simplify_stmt(stmt))
+    }
+
+    /// Generates the transfer loop nest for one tensor: loops over the DPU
+    /// grid, then over the tile rows, with a transfer intrinsic for the
+    /// innermost contiguous run (bulk) or per element.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_for_tensor(
+        &self,
+        dir: TransferDir,
+        global: &Arc<Buffer>,
+        global_shape: &[i64],
+        axes: &[usize],
+        mram: &Arc<Buffer>,
+        tile_shape: &[i64],
+        global_base: Option<Expr>,
+    ) -> Stmt {
+        let gstrides = row_major_strides(global_shape);
+        let mstrides = row_major_strides(tile_shape);
+        let parallel = self.sch.parallel_transfer();
+        let bulk = self.sch.bulk_transfer();
+        let ndim = axes.len();
+
+        // Row loops over all dims except the last.
+        let row_vars: Vec<Var> = (0..ndim.saturating_sub(1))
+            .map(|d| Var::new(format!("{}_r{}", global.name.to_lowercase(), d)))
+            .collect();
+
+        let mut global_off = global_base.unwrap_or(Expr::Int(0));
+        let mut mram_off = Expr::Int(0);
+        let mut guards = Vec::new();
+        for d in 0..ndim.saturating_sub(1) {
+            let a = axes[d];
+            let rv = Expr::var(&row_vars[d]);
+            let origin = self.dpu_offset(a);
+            global_off = global_off.add(origin.clone().add(rv.clone()).mul(Expr::Int(gstrides[d])));
+            mram_off = mram_off.add(rv.clone().mul(Expr::Int(mstrides[d])));
+            if self.misaligned(a) {
+                guards.push(simplify_expr(&origin.add(rv)).lt(Expr::Int(self.axis_extent(a))));
+            }
+        }
+
+        let inner: Stmt = if ndim == 0 {
+            // Scalar tensor: a single one-element transfer.
+            Stmt::HostTransfer {
+                dir,
+                dpu: self.dpu_linear(),
+                global: Arc::clone(global),
+                global_off: simplify_expr(&global_off),
+                mram: Arc::clone(mram),
+                mram_off: Expr::Int(0),
+                elems: Expr::Int(1),
+                parallel,
+            }
+        } else {
+            let last = ndim - 1;
+            let a = axes[last];
+            let origin = self.dpu_offset(a);
+            let chunk = tile_shape[last];
+            let g_last = global_off
+                .clone()
+                .add(origin.clone().mul(Expr::Int(gstrides[last])));
+            if bulk {
+                let elems = if self.misaligned(a) {
+                    Expr::Int(0).max(Expr::Int(chunk).min(Expr::Int(self.axis_extent(a)).sub(origin)))
+                } else {
+                    Expr::Int(chunk)
+                };
+                Stmt::HostTransfer {
+                    dir,
+                    dpu: self.dpu_linear(),
+                    global: Arc::clone(global),
+                    global_off: simplify_expr(&g_last),
+                    mram: Arc::clone(mram),
+                    mram_off: simplify_expr(&mram_off),
+                    elems: simplify_expr(&elems),
+                    parallel,
+                }
+            } else {
+                // Element-wise transfers (Fig. 7(b)): one intrinsic per element.
+                let ev = Var::new(format!("{}_e", global.name.to_lowercase()));
+                let e_expr = Expr::var(&ev);
+                let g_off = g_last.add(e_expr.clone().mul(Expr::Int(gstrides[last])));
+                let m_off = mram_off.clone().add(e_expr.clone().mul(Expr::Int(mstrides[last])));
+                let xfer = Stmt::HostTransfer {
+                    dir,
+                    dpu: self.dpu_linear(),
+                    global: Arc::clone(global),
+                    global_off: simplify_expr(&g_off),
+                    mram: Arc::clone(mram),
+                    mram_off: simplify_expr(&m_off),
+                    elems: Expr::Int(1),
+                    parallel,
+                };
+                let body = if self.misaligned(a) {
+                    Stmt::if_then(
+                        simplify_expr(&origin.add(e_expr)).lt(Expr::Int(self.axis_extent(a))),
+                        xfer,
+                    )
+                } else {
+                    xfer
+                };
+                Stmt::for_serial(ev, chunk, body)
+            }
+        };
+
+        let inner = wrap_guards(guards, inner);
+
+        // Row loops.
+        let mut body = inner;
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            body = Stmt::for_serial(row_vars[d].clone(), tile_shape[d], body);
+        }
+        // Grid loops (outermost).
+        for (l, v) in self.grid_loops.iter().zip(&self.grid_vars).rev() {
+            body = Stmt::for_serial(v.clone(), l.extent, body);
+        }
+        body
+    }
+
+    // --- Host final reduction --------------------------------------------------
+
+    fn build_host_reduce(&self, grid: &GridSpec, partial: &Arc<Buffer>) -> Stmt {
+        let def = self.sch.def();
+        let out_len = def.output_len() as i64;
+        let r_total = grid.reduce_dpus();
+        let threads = self.sch.host_threads().max(1) as i64;
+
+        let rvar = Var::new("r");
+        let accumulate = |idx: Expr| -> Stmt {
+            let c_load = Expr::load(&self.global_output, idx.clone());
+            let p_load = Expr::load(
+                partial,
+                Expr::var(&rvar).mul(Expr::Int(out_len)).add(idx.clone()),
+            );
+            Stmt::for_serial(
+                rvar.clone(),
+                r_total,
+                Stmt::store(&self.global_output, idx, c_load.add(p_load)),
+            )
+        };
+
+        let stmt = if threads <= 1 {
+            let o = Var::new("o");
+            Stmt::for_serial(o.clone(), out_len, accumulate(Expr::var(&o)))
+        } else {
+            let chunk = div_ceil(out_len, threads);
+            let t = Var::new("t");
+            let o = Var::new("o");
+            let idx = Expr::var(&t).mul(Expr::Int(chunk)).add(Expr::var(&o));
+            let mut body = accumulate(idx.clone());
+            if chunk * threads > out_len {
+                body = Stmt::if_then(idx.lt(Expr::Int(out_len)), body);
+            }
+            Stmt::for_kind(
+                t,
+                threads,
+                ForKind::HostParallel,
+                Stmt::for_serial(o, chunk, body),
+            )
+        };
+        simplify_stmt(stmt)
+    }
+}
+
+/// Wraps a statement in a conjunction of guards (no-op for an empty list).
+fn wrap_guards(guards: Vec<Expr>, stmt: Stmt) -> Stmt {
+    if guards.is_empty() {
+        return stmt;
+    }
+    let cond = crate::affine::rebuild_conjunction(guards);
+    Stmt::if_then(cond, stmt)
+}
+
+/// Wraps a body in copy loops (outermost dim first).
+fn wrap_copy_loops(vars: &[Var], shape: &[i64], body: Stmt) -> Stmt {
+    if shape.is_empty() {
+        // Scalar footprint: bind the single helper var to 0.
+        return body.substitute(&vars[0], &Expr::Int(0));
+    }
+    let mut out = body;
+    for d in (0..shape.len()).rev() {
+        out = Stmt::for_serial(vars[d].clone(), shape[d], out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeDef;
+    use crate::schedule::{Attach, Binding, Schedule};
+    use crate::stmt::StmtCounts;
+
+    fn count(stmt: &Stmt) -> StmtCounts {
+        stmt.count_nodes()
+    }
+
+    #[test]
+    fn lower_va_aligned_has_no_boundary_checks() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 64));
+        let i = sch.loop_refs()[0];
+        let (i_dpu, i_in) = sch.split(i, 16).unwrap();
+        sch.bind(i_dpu, Binding::DpuX).unwrap();
+        let (i_t, _i_c) = sch.split(i_in, 4).unwrap();
+        sch.bind(i_t, Binding::Tasklet).unwrap();
+        let lowered = sch.lower().unwrap();
+        assert_eq!(lowered.grid.num_dpus(), 4);
+        assert_eq!(lowered.kernel.tasklets, 4);
+        assert_eq!(count(&lowered.kernel.body).branches, 0);
+        assert!(lowered.host_reduce.is_none());
+        assert!(lowered.partial_output.is_none());
+    }
+
+    #[test]
+    fn lower_va_misaligned_has_boundary_checks() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 100));
+        let i = sch.loop_refs()[0];
+        let (i_dpu, _) = sch.split(i, 16).unwrap();
+        sch.bind(i_dpu, Binding::DpuX).unwrap();
+        let lowered = sch.lower().unwrap();
+        assert_eq!(lowered.grid.num_dpus(), 7);
+        assert!(count(&lowered.kernel.body).branches >= 1);
+    }
+
+    #[test]
+    fn lower_mtv_with_rfactor_produces_partial_and_host_reduce() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 64, 128));
+        let i = sch.loops_of_axis(0)[0];
+        let k = sch.loops_of_axis(1)[0];
+        let (i_dpu, i_in) = sch.split(i, 16).unwrap();
+        let (k_dpu, k_in) = sch.split(k, 32).unwrap();
+        sch.rfactor(k_dpu).unwrap();
+        sch.bind(i_dpu, Binding::DpuX).unwrap();
+        sch.bind(k_dpu, Binding::DpuY).unwrap();
+        sch.reorder(&[i_dpu, k_dpu, i_in, k_in]).unwrap();
+        sch.cache_read(1, Attach::At(i_in)).unwrap();
+        sch.cache_write(Attach::At(i_in)).unwrap();
+        sch.parallel_host(4);
+        let lowered = sch.lower().unwrap();
+        assert_eq!(lowered.grid.num_dpus(), 4 * 4);
+        assert_eq!(lowered.grid.reduce_dpus(), 4);
+        assert!(lowered.partial_output.is_some());
+        assert!(lowered.host_reduce.is_some());
+        let p = lowered.partial_output.as_ref().unwrap();
+        assert_eq!(p.shape, vec![4, 64]);
+        // MRAM tiles: A tile is 16x32, B tile is 32, C tile is 16.
+        assert_eq!(lowered.mram_inputs[0].tile_shape, vec![16, 32]);
+        assert_eq!(lowered.mram_inputs[1].tile_shape, vec![32]);
+        assert_eq!(lowered.mram_output.tile_shape, vec![16]);
+        assert!(lowered.kernel.wram_bytes > 0);
+        assert!(lowered.mram_bytes_per_dpu() > 0);
+    }
+
+    #[test]
+    fn dpu_loop_after_kernel_loop_rejected() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 64, 128));
+        let i = sch.loops_of_axis(0)[0];
+        let k = sch.loops_of_axis(1)[0];
+        // Put the DPU-bound loop after the serial k loop.
+        sch.bind(i, Binding::DpuX).unwrap();
+        sch.reorder(&[k, i]).unwrap();
+        assert!(sch.lower().is_err());
+    }
+
+    #[test]
+    fn cache_write_outside_reduce_loops_rejected() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 8, 8));
+        let i = sch.loops_of_axis(0)[0];
+        let k = sch.loops_of_axis(1)[0];
+        // Order: k (reduce) outermost, then i; attaching the cache write at i
+        // leaves the reduce loop outside the attach point.
+        sch.reorder(&[k, i]).unwrap();
+        sch.cache_write(Attach::At(i)).unwrap();
+        assert!(sch.lower().is_err());
+    }
+
+    #[test]
+    fn interleaved_dpu_binding_is_rejected() {
+        // Binding the *inner* loop of a split to the DPU grid gives each DPU
+        // a strided element set, leaving holes inside its contiguous MRAM
+        // window; the lowering rejects this (standard sketches never produce
+        // it).
+        let def = ComputeDef::va("va", 64);
+        let mut sch = Schedule::new(def);
+        let i = sch.loop_refs()[0];
+        let (outer, inner) = sch.split(i, 16).unwrap();
+        sch.bind(inner, Binding::DpuX).unwrap();
+        sch.reorder(&[inner, outer]).unwrap();
+        let err = sch.lower().unwrap_err();
+        assert!(err.to_string().contains("holes"), "{err}");
+    }
+
+    #[test]
+    fn misaligned_reduce_distribution_is_not_double_counted() {
+        // A reduction axis of 90 split across 2 DPUs (45 each) with a further
+        // tasklet split of 12 makes the per-DPU span 48 > 45; the ownership
+        // guard must prevent elements 45..47 from being accumulated twice.
+        let def = ComputeDef::red("red", 90);
+        let mut sch = Schedule::new(def.clone());
+        let k = sch.loops_of_axis(0)[0];
+        let (k_dpu, k_in) = sch.split(k, 45).unwrap();
+        sch.rfactor(k_dpu).unwrap();
+        sch.bind(k_dpu, Binding::DpuX).unwrap();
+        let (k_t, _) = sch.split(k_in, 12).unwrap();
+        sch.bind(k_t, Binding::Tasklet).unwrap();
+        let lowered = sch.lower().unwrap();
+        let inputs = vec![(0..90).map(|x| x as f32).collect::<Vec<_>>()];
+        let got = crate::schedule::execute_functional(&lowered, &inputs).unwrap();
+        let expect = def.reference(&inputs);
+        assert!((got[0] - expect[0]).abs() < 1e-2, "{} vs {}", got[0], expect[0]);
+    }
+
+    #[test]
+    fn h2d_contains_transfers_for_each_input() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 16, 16));
+        let i = sch.loops_of_axis(0)[0];
+        let (i_dpu, _) = sch.split(i, 4).unwrap();
+        sch.bind(i_dpu, Binding::DpuX).unwrap();
+        let lowered = sch.lower().unwrap();
+        // The constant matrix A is transferred by the setup program, the
+        // vector B by the per-launch program.
+        assert!(count(&lowered.h2d_setup).host_transfers >= 1, "A goes to setup");
+        assert!(count(&lowered.h2d).host_transfers >= 1, "B per launch");
+        let d2h_counts = count(&lowered.d2h);
+        assert_eq!(d2h_counts.host_transfers, 1);
+    }
+
+    #[test]
+    fn element_wise_transfers_when_bulk_disabled() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 32));
+        let i = sch.loop_refs()[0];
+        let (i_dpu, _) = sch.split(i, 8).unwrap();
+        sch.bind(i_dpu, Binding::DpuX).unwrap();
+        sch.set_bulk_transfer(false);
+        let lowered = sch.lower().unwrap();
+        // With element-wise transfers there is an extra loop per tensor.
+        let bulk_sch = {
+            let mut s = Schedule::new(ComputeDef::va("va", 32));
+            let i = s.loop_refs()[0];
+            let (d, _) = s.split(i, 8).unwrap();
+            s.bind(d, Binding::DpuX).unwrap();
+            s.lower().unwrap()
+        };
+        assert!(count(&lowered.h2d).loops > count(&bulk_sch.h2d).loops);
+    }
+}

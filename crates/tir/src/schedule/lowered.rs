@@ -1,0 +1,178 @@
+//! Output types of schedule lowering.
+
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, Var};
+use crate::compute::ComputeDef;
+use crate::stmt::Stmt;
+
+/// One dimension of the DPU grid (one DPU-bound loop).
+#[derive(Debug, Clone)]
+pub struct GridDim {
+    /// The kernel-visible variable carrying this DPU coordinate.
+    pub var: Var,
+    /// Number of DPUs along this dimension.
+    pub extent: i64,
+    /// Id of the schedule loop this dimension came from.
+    pub loop_id: usize,
+    /// Whether the bound loop iterates a reduction axis (i.e. this dimension
+    /// exists because of `rfactor`).
+    pub reduce: bool,
+}
+
+/// The DPU grid: how many DPUs are used and which kernel variables carry the
+/// per-DPU coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct GridSpec {
+    /// Grid dimensions in row-major (outermost-first) order.
+    pub dims: Vec<GridDim>,
+}
+
+impl GridSpec {
+    /// Total number of DPUs used by the schedule.
+    pub fn num_dpus(&self) -> i64 {
+        self.dims.iter().map(|d| d.extent).product::<i64>().max(1)
+    }
+
+    /// Number of DPUs along reduction dimensions (1 when `rfactor` is not
+    /// used).
+    pub fn reduce_dpus(&self) -> i64 {
+        self.dims
+            .iter()
+            .filter(|d| d.reduce)
+            .map(|d| d.extent)
+            .product::<i64>()
+            .max(1)
+    }
+
+    /// Number of DPUs along spatial dimensions.
+    pub fn spatial_dpus(&self) -> i64 {
+        self.num_dpus() / self.reduce_dpus()
+    }
+
+    /// Enumerates all DPU coordinates in row-major order, pairing each with
+    /// its linear index.
+    pub fn enumerate(&self) -> Vec<(i64, Vec<i64>)> {
+        let mut out = Vec::with_capacity(self.num_dpus() as usize);
+        let extents: Vec<i64> = self.dims.iter().map(|d| d.extent).collect();
+        let n = self.num_dpus();
+        for linear in 0..n {
+            let mut rem = linear;
+            let mut coords = vec![0i64; extents.len()];
+            for (i, &e) in extents.iter().enumerate().rev() {
+                coords[i] = rem % e;
+                rem /= e;
+            }
+            out.push((linear, coords));
+        }
+        out
+    }
+}
+
+/// A per-DPU MRAM tile of one global tensor.
+#[derive(Debug, Clone)]
+pub struct MramTile {
+    /// The MRAM buffer (its shape is the padded tile shape).
+    pub buf: Arc<Buffer>,
+    /// Per-dimension tile extents (same as `buf.shape`).
+    pub tile_shape: Vec<i64>,
+}
+
+/// The per-DPU kernel produced by lowering.
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    /// Kernel body.  Free variables: the grid coordinate variables in
+    /// [`Lowered::grid`]; everything else is bound by the kernel's own loops.
+    pub body: Stmt,
+    /// Number of tasklets the kernel uses (extent of the tasklet-bound loop,
+    /// or 1 if none).
+    pub tasklets: i64,
+    /// Estimated WRAM bytes required per DPU (caching tiles × tasklets when
+    /// tiles are private to a tasklet).
+    pub wram_bytes: usize,
+}
+
+/// A fully lowered schedule: everything the runtime needs to execute the
+/// computation on the (simulated) UPMEM system.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The computation this program implements.
+    pub def: ComputeDef,
+    /// DPU grid.
+    pub grid: GridSpec,
+    /// Per-DPU kernel.
+    pub kernel: KernelProgram,
+    /// One-time host-to-DPU transfer program for constant tensors (weights),
+    /// executed once before kernel launches (§5.4 of the paper).
+    pub h2d_setup: Stmt,
+    /// Per-launch host-to-DPU transfer program (no free variables).
+    pub h2d: Stmt,
+    /// DPU-to-host transfer program (no free variables).
+    pub d2h: Stmt,
+    /// Host final-reduction program (present when `rfactor` was applied).
+    pub host_reduce: Option<Stmt>,
+    /// Host threads used by the final reduction.
+    pub host_threads: usize,
+    /// Global input buffers, in the order of [`ComputeDef::inputs`].
+    pub global_inputs: Vec<Arc<Buffer>>,
+    /// Global output buffer.
+    pub global_output: Arc<Buffer>,
+    /// Per-DPU-partial-results buffer (present when `rfactor` was applied);
+    /// shape `[reduce_dpus, output...]`.
+    pub partial_output: Option<Arc<Buffer>>,
+    /// MRAM tiles of each input, in input order.
+    pub mram_inputs: Vec<MramTile>,
+    /// MRAM tile of the output.
+    pub mram_output: MramTile,
+}
+
+impl Lowered {
+    /// Per-DPU MRAM footprint in bytes (input tiles + output tile).
+    pub fn mram_bytes_per_dpu(&self) -> usize {
+        self.mram_inputs
+            .iter()
+            .map(|t| t.buf.bytes())
+            .sum::<usize>()
+            + self.mram_output.buf.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration() {
+        let grid = GridSpec {
+            dims: vec![
+                GridDim {
+                    var: Var::new("bx"),
+                    extent: 2,
+                    loop_id: 0,
+                    reduce: false,
+                },
+                GridDim {
+                    var: Var::new("by"),
+                    extent: 3,
+                    loop_id: 1,
+                    reduce: true,
+                },
+            ],
+        };
+        assert_eq!(grid.num_dpus(), 6);
+        assert_eq!(grid.reduce_dpus(), 3);
+        assert_eq!(grid.spatial_dpus(), 2);
+        let all = grid.enumerate();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], (0, vec![0, 0]));
+        assert_eq!(all[4], (4, vec![1, 1]));
+        assert_eq!(all[5], (5, vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_grid_is_one_dpu() {
+        let grid = GridSpec::default();
+        assert_eq!(grid.num_dpus(), 1);
+        assert_eq!(grid.enumerate(), vec![(0, vec![])]);
+    }
+}

@@ -1,0 +1,487 @@
+//! Schedules: the "how" of a computation.
+//!
+//! A [`Schedule`] starts from a [`ComputeDef`] with one loop per axis and is
+//! transformed by the primitives the paper repurposes for UPMEM (Table 2):
+//!
+//! * [`Schedule::split`] / [`Schedule::reorder`] — loop tiling,
+//! * [`Schedule::bind`] — DPU-grid binding (`blockIdx.*`), tasklet binding
+//!   (`threadIdx.x`),
+//! * [`Schedule::rfactor`] — hierarchical (partial-on-DPU, final-on-host)
+//!   reduction,
+//! * [`Schedule::cache_read`] / [`Schedule::cache_write`] +
+//!   [`Schedule::compute_at`] — WRAM caching tiles and their locations,
+//! * [`Schedule::unroll`] — innermost-loop unrolling,
+//! * [`Schedule::parallel_host`] — host post-processing parallelism.
+//!
+//! [`Schedule::lower`] translates the scheduled computation into loop-based
+//! TIR: a per-DPU kernel, host↔DPU transfer programs and (for `rfactor`) a
+//! host final-reduction loop.  See [`lower`] for the lowering rules.
+
+mod exec;
+mod lower;
+mod lowered;
+
+pub use exec::execute_functional;
+pub use lowered::{GridDim, GridSpec, KernelProgram, Lowered, MramTile};
+
+use crate::compute::{AxisKind, ComputeDef};
+use crate::error::{Result, TirError};
+
+/// Stable reference to a loop in a schedule (survives `reorder`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopRef(pub usize);
+
+/// Binding of a loop to a hardware resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Binding {
+    /// No binding: a plain sequential loop.
+    #[default]
+    None,
+    /// DPU grid X dimension (`blockIdx.x`).
+    DpuX,
+    /// DPU grid Y dimension (`blockIdx.y`).
+    DpuY,
+    /// Tasklets within a DPU (`threadIdx.x`).
+    Tasklet,
+    /// Annotated for unrolling.
+    Unroll,
+}
+
+/// One loop of the schedule's loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Stable id ([`LoopRef`] refers to this).
+    pub id: usize,
+    /// The original axis this loop iterates a part of.
+    pub axis: usize,
+    /// Static extent.
+    pub extent: i64,
+    /// Contribution stride: the original axis index receives
+    /// `loop_var * stride` from this loop.
+    pub stride: i64,
+    /// Hardware binding.
+    pub binding: Binding,
+    /// Loop name (used for TIR variable names).
+    pub name: String,
+}
+
+/// Where a caching tile is attached (`compute_at` /
+/// `reverse_compute_at` target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attach {
+    /// Outside every kernel loop: the whole per-DPU tile is cached once.
+    Root,
+    /// Inside the body of the given loop.
+    At(LoopRef),
+}
+
+/// A `cache_read` directive: stage one input into WRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheRead {
+    /// Index of the input tensor being cached.
+    pub input: usize,
+    /// Caching location.
+    pub at: Attach,
+}
+
+/// A `cache_write` directive: accumulate the output in WRAM and write it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheWrite {
+    /// Caching location (write-back happens when this loop's body finishes).
+    pub at: Attach,
+}
+
+/// A scheduled computation.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    def: ComputeDef,
+    loops: Vec<LoopInfo>,
+    next_id: usize,
+    cache_reads: Vec<CacheRead>,
+    cache_write: Option<CacheWrite>,
+    rfactor: bool,
+    host_threads: usize,
+    bulk_transfer: bool,
+    parallel_transfer: bool,
+}
+
+impl Schedule {
+    /// Creates the default schedule: one serial loop per axis, in definition
+    /// order, no caching, no DPU distribution.
+    pub fn new(def: ComputeDef) -> Self {
+        let loops = def
+            .axes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| LoopInfo {
+                id: i,
+                axis: i,
+                extent: a.extent,
+                stride: 1,
+                binding: Binding::None,
+                name: a.name.clone(),
+            })
+            .collect::<Vec<_>>();
+        let next_id = loops.len();
+        Schedule {
+            def,
+            loops,
+            next_id,
+            cache_reads: Vec::new(),
+            cache_write: None,
+            rfactor: false,
+            host_threads: 1,
+            bulk_transfer: true,
+            parallel_transfer: true,
+        }
+    }
+
+    /// The underlying computation definition.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// Current loops in execution order (outermost first).
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// References to the current loops in execution order.
+    pub fn loop_refs(&self) -> Vec<LoopRef> {
+        self.loops.iter().map(|l| LoopRef(l.id)).collect()
+    }
+
+    /// Loops that iterate (parts of) the given axis, in execution order.
+    pub fn loops_of_axis(&self, axis: usize) -> Vec<LoopRef> {
+        self.loops
+            .iter()
+            .filter(|l| l.axis == axis)
+            .map(|l| LoopRef(l.id))
+            .collect()
+    }
+
+    /// Looks up a loop by reference.
+    pub fn loop_info(&self, r: LoopRef) -> Result<&LoopInfo> {
+        self.loops
+            .iter()
+            .find(|l| l.id == r.0)
+            .ok_or_else(|| TirError::UnknownLoop(format!("loop#{}", r.0)))
+    }
+
+    fn loop_pos(&self, r: LoopRef) -> Result<usize> {
+        self.loops
+            .iter()
+            .position(|l| l.id == r.0)
+            .ok_or_else(|| TirError::UnknownLoop(format!("loop#{}", r.0)))
+    }
+
+    /// Whether `rfactor` has been applied.
+    pub fn has_rfactor(&self) -> bool {
+        self.rfactor
+    }
+
+    /// Host post-processing thread count.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// Whether host↔DPU transfers are generated chunk-wise (bulk) rather than
+    /// element-wise (Fig. 7(b) vs (c)).
+    pub fn bulk_transfer(&self) -> bool {
+        self.bulk_transfer
+    }
+
+    /// Whether host↔DPU transfers use the rank-parallel push API
+    /// (Fig. 7(d)).
+    pub fn parallel_transfer(&self) -> bool {
+        self.parallel_transfer
+    }
+
+    /// Cache-read directives.
+    pub fn cache_reads(&self) -> &[CacheRead] {
+        &self.cache_reads
+    }
+
+    /// Cache-write directive.
+    pub fn cache_write_spec(&self) -> Option<&CacheWrite> {
+        self.cache_write.as_ref()
+    }
+
+    // --- Primitives ---------------------------------------------------------
+
+    /// Splits a loop into `(outer, inner)` where the inner loop has extent
+    /// `factor` and the outer loop has extent `ceil(extent / factor)`.
+    ///
+    /// Mirrors `sch.split(loop, factors=[None, factor])` in TVM.  Misaligned
+    /// splits (extent not divisible by `factor`) are allowed; the lowering
+    /// inserts the boundary checks the PIM-aware passes later optimize.
+    ///
+    /// # Errors
+    /// Fails if the loop does not exist or `factor < 1`.
+    pub fn split(&mut self, r: LoopRef, factor: i64) -> Result<(LoopRef, LoopRef)> {
+        if factor < 1 {
+            return Err(TirError::InvalidSchedule(format!(
+                "split factor must be >= 1, got {factor}"
+            )));
+        }
+        let pos = self.loop_pos(r)?;
+        let old = self.loops[pos].clone();
+        let outer_extent = div_ceil(old.extent, factor);
+        let outer = LoopInfo {
+            id: self.next_id,
+            axis: old.axis,
+            extent: outer_extent,
+            stride: old.stride * factor,
+            binding: old.binding,
+            name: format!("{}_o", old.name),
+        };
+        let inner = LoopInfo {
+            id: self.next_id + 1,
+            axis: old.axis,
+            extent: factor,
+            stride: old.stride,
+            binding: Binding::None,
+            name: format!("{}_i", old.name),
+        };
+        self.next_id += 2;
+        let (outer_id, inner_id) = (outer.id, inner.id);
+        self.loops.splice(pos..=pos, [outer, inner]);
+        Ok((LoopRef(outer_id), LoopRef(inner_id)))
+    }
+
+    /// Reorders the listed loops into the given relative order.  Loops not
+    /// listed keep their positions.
+    ///
+    /// # Errors
+    /// Fails if any referenced loop does not exist or a loop is listed twice.
+    pub fn reorder(&mut self, order: &[LoopRef]) -> Result<()> {
+        let mut positions = Vec::with_capacity(order.len());
+        for r in order {
+            let p = self.loop_pos(*r)?;
+            if positions.contains(&p) {
+                return Err(TirError::InvalidSchedule(format!(
+                    "loop#{} listed twice in reorder",
+                    r.0
+                )));
+            }
+            positions.push(p);
+        }
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        let picked: Vec<LoopInfo> = order
+            .iter()
+            .map(|r| self.loop_info(*r).expect("checked above").clone())
+            .collect();
+        for (slot, li) in sorted.into_iter().zip(picked) {
+            self.loops[slot] = li;
+        }
+        Ok(())
+    }
+
+    /// Binds a loop to a DPU grid dimension, the tasklet dimension, or marks
+    /// it for unrolling.
+    ///
+    /// # Errors
+    /// Fails if the loop does not exist, or a reduce-axis loop is bound to a
+    /// DPU dimension without a preceding [`Schedule::rfactor`].
+    pub fn bind(&mut self, r: LoopRef, binding: Binding) -> Result<()> {
+        let pos = self.loop_pos(r)?;
+        if matches!(binding, Binding::DpuX | Binding::DpuY)
+            && self.def.axes[self.loops[pos].axis].kind == AxisKind::Reduce
+            && !self.rfactor
+        {
+            return Err(TirError::InvalidSchedule(
+                "binding a reduction loop to the DPU grid requires rfactor".into(),
+            ));
+        }
+        self.loops[pos].binding = binding;
+        Ok(())
+    }
+
+    /// Declares hierarchical reduction: the given reduce-axis loop may be
+    /// distributed across DPUs, each DPU produces a partial result, and the
+    /// host performs the final reduction.
+    ///
+    /// # Errors
+    /// Fails if the loop does not iterate a reduction axis.
+    pub fn rfactor(&mut self, r: LoopRef) -> Result<()> {
+        let info = self.loop_info(r)?;
+        if self.def.axes[info.axis].kind != AxisKind::Reduce {
+            return Err(TirError::InvalidSchedule(
+                "rfactor target must iterate a reduction axis".into(),
+            ));
+        }
+        self.rfactor = true;
+        Ok(())
+    }
+
+    /// Marks a loop for unrolling (sugar for `bind(r, Binding::Unroll)`).
+    ///
+    /// # Errors
+    /// Fails if the loop does not exist.
+    pub fn unroll(&mut self, r: LoopRef) -> Result<()> {
+        self.bind(r, Binding::Unroll)
+    }
+
+    /// Stages input `input` into a WRAM tile loaded at `at`
+    /// (`cache_read` + `compute_at`).
+    ///
+    /// # Errors
+    /// Fails if the input index is out of range or a directive for the same
+    /// input already exists.
+    pub fn cache_read(&mut self, input: usize, at: Attach) -> Result<()> {
+        if input >= self.def.inputs.len() {
+            return Err(TirError::InvalidSchedule(format!(
+                "cache_read input {input} out of range"
+            )));
+        }
+        if self.cache_reads.iter().any(|c| c.input == input) {
+            return Err(TirError::InvalidSchedule(format!(
+                "cache_read already declared for input {input}"
+            )));
+        }
+        if let Attach::At(r) = at {
+            self.loop_pos(r)?;
+        }
+        self.cache_reads.push(CacheRead { input, at });
+        Ok(())
+    }
+
+    /// Accumulates the output in a WRAM tile written back at `at`
+    /// (`cache_write` + `reverse_compute_at`).
+    ///
+    /// # Errors
+    /// Fails if a cache-write directive already exists.
+    pub fn cache_write(&mut self, at: Attach) -> Result<()> {
+        if self.cache_write.is_some() {
+            return Err(TirError::InvalidSchedule(
+                "cache_write already declared".into(),
+            ));
+        }
+        if let Attach::At(r) = at {
+            self.loop_pos(r)?;
+        }
+        self.cache_write = Some(CacheWrite { at });
+        Ok(())
+    }
+
+    /// Sets the number of host CPU threads used for post-processing (the
+    /// `split` + `parallel` primitives of Table 2's post-processing row).
+    pub fn parallel_host(&mut self, threads: usize) {
+        self.host_threads = threads.max(1);
+    }
+
+    /// Selects element-wise (`false`) or chunk-wise (`true`) host transfer
+    /// code generation (Fig. 7(b) vs (c)).
+    pub fn set_bulk_transfer(&mut self, bulk: bool) {
+        self.bulk_transfer = bulk;
+    }
+
+    /// Selects rank-parallel host transfers (Fig. 7(d)).
+    pub fn set_parallel_transfer(&mut self, parallel: bool) {
+        self.parallel_transfer = parallel;
+    }
+
+    /// Lowers the schedule to loop-based TIR.  See [`lower`].
+    ///
+    /// # Errors
+    /// Fails if the schedule violates the structural assumptions documented
+    /// on [`lower::lower_schedule`].
+    pub fn lower(&self) -> Result<Lowered> {
+        lower::lower_schedule(self)
+    }
+}
+
+/// Ceiling division for positive extents.
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    (a + b - 1) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeDef;
+
+    #[test]
+    fn split_creates_outer_inner() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 100));
+        let loops = sch.loop_refs();
+        let (o, i) = sch.split(loops[0], 16).unwrap();
+        assert_eq!(sch.loop_info(o).unwrap().extent, 7); // ceil(100/16)
+        assert_eq!(sch.loop_info(o).unwrap().stride, 16);
+        assert_eq!(sch.loop_info(i).unwrap().extent, 16);
+        assert_eq!(sch.loop_info(i).unwrap().stride, 1);
+        assert_eq!(sch.loops().len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_bad_factor() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 100));
+        let loops = sch.loop_refs();
+        assert!(sch.split(loops[0], 0).is_err());
+        assert!(sch.split(LoopRef(999), 4).is_err());
+    }
+
+    #[test]
+    fn reorder_permutes() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 32, 64));
+        let loops = sch.loop_refs();
+        let (i_o, i_i) = sch.split(loops[0], 8).unwrap();
+        let k = sch.loops_of_axis(1)[0];
+        sch.reorder(&[i_o, k, i_i]).unwrap();
+        let names: Vec<usize> = sch.loops().iter().map(|l| l.id).collect();
+        assert_eq!(names, vec![i_o.0, k.0, i_i.0]);
+    }
+
+    #[test]
+    fn reorder_rejects_duplicates() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 32, 64));
+        let loops = sch.loop_refs();
+        assert!(sch.reorder(&[loops[0], loops[0]]).is_err());
+    }
+
+    #[test]
+    fn bind_reduce_axis_requires_rfactor() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 32, 64));
+        let k = sch.loops_of_axis(1)[0];
+        assert!(sch.bind(k, Binding::DpuY).is_err());
+        sch.rfactor(k).unwrap();
+        assert!(sch.bind(k, Binding::DpuY).is_ok());
+        assert!(sch.has_rfactor());
+    }
+
+    #[test]
+    fn rfactor_rejects_spatial_axis() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 32, 64));
+        let i = sch.loops_of_axis(0)[0];
+        assert!(sch.rfactor(i).is_err());
+    }
+
+    #[test]
+    fn cache_directives_validate() {
+        let mut sch = Schedule::new(ComputeDef::mtv("mtv", 32, 64));
+        let k = sch.loops_of_axis(1)[0];
+        sch.cache_read(0, Attach::At(k)).unwrap();
+        assert!(sch.cache_read(0, Attach::Root).is_err(), "duplicate input");
+        assert!(sch.cache_read(9, Attach::Root).is_err(), "bad input index");
+        sch.cache_write(Attach::Root).unwrap();
+        assert!(sch.cache_write(Attach::Root).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn host_threads_clamped() {
+        let mut sch = Schedule::new(ComputeDef::va("va", 8));
+        sch.parallel_host(0);
+        assert_eq!(sch.host_threads(), 1);
+        sch.parallel_host(16);
+        assert_eq!(sch.host_threads(), 16);
+    }
+
+    #[test]
+    fn div_ceil_works() {
+        assert_eq!(div_ceil(100, 16), 7);
+        assert_eq!(div_ceil(96, 16), 6);
+        assert_eq!(div_ceil(1, 16), 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Constant folding and algebraic simplification for TIR expressions and
+//! statements.
+//!
+//! The simplifier is deliberately conservative: it only performs rewrites
+//! that are valid for all integer/float inputs.  It is run after lowering and
+//! after every PIM-aware pass so later passes see canonical forms
+//! (e.g. `if 1 { s }` is replaced by `s`, `x * 1` by `x`).
+
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::stmt::Stmt;
+use crate::visit::{mutate_children, StmtMutator};
+
+/// Simplifies an expression: constant folding plus basic identities.
+pub fn simplify_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => expr.clone(),
+        Expr::Binary(op, a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            fold_binary(*op, a, b)
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+                let v = match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                };
+                return Expr::Int(v as i64);
+            }
+            Expr::Cmp(*op, Box::new(a), Box::new(b))
+        }
+        Expr::And(a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            match (a.as_int(), b.as_int()) {
+                (Some(0), _) | (_, Some(0)) => Expr::Int(0),
+                (Some(x), Some(y)) => Expr::Int(((x != 0) && (y != 0)) as i64),
+                (Some(x), None) if x != 0 => b,
+                (None, Some(y)) if y != 0 => a,
+                _ => Expr::And(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Or(a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            match (a.as_int(), b.as_int()) {
+                (Some(x), _) if x != 0 => Expr::Int(1),
+                (_, Some(y)) if y != 0 => Expr::Int(1),
+                (Some(0), Some(0)) => Expr::Int(0),
+                (Some(0), None) => b,
+                (None, Some(0)) => a,
+                _ => Expr::Or(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Not(a) => {
+            let a = simplify_expr(a);
+            match a.as_int() {
+                Some(x) => Expr::Int((x == 0) as i64),
+                None => Expr::Not(Box::new(a)),
+            }
+        }
+        Expr::Select(c, a, b) => {
+            let c = simplify_expr(c);
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            match c.as_int() {
+                Some(x) if x != 0 => a,
+                Some(_) => b,
+                None => Expr::Select(Box::new(c), Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Load { buf, index } => Expr::Load {
+            buf: buf.clone(),
+            index: Box::new(simplify_expr(index)),
+        },
+        Expr::Cast(dt, a) => {
+            let a = simplify_expr(a);
+            match (&a, dt) {
+                (Expr::Int(v), d) if d.is_float() => Expr::Float(*v as f32),
+                (Expr::Int(v), _) => Expr::Int(*v),
+                (Expr::Float(v), d) if d.is_int() => Expr::Int(*v as i64),
+                _ => Expr::Cast(*dt, Box::new(a)),
+            }
+        }
+    }
+}
+
+fn fold_binary(op: BinOp, a: Expr, b: Expr) -> Expr {
+    // Integer constant folding.
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        let v = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::FloorDiv => {
+                if y == 0 {
+                    return Expr::Binary(op, Box::new(a), Box::new(b));
+                }
+                x.div_euclid(y)
+            }
+            BinOp::FloorMod => {
+                if y == 0 {
+                    return Expr::Binary(op, Box::new(a), Box::new(b));
+                }
+                x.rem_euclid(y)
+            }
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        };
+        return Expr::Int(v);
+    }
+    // Float constant folding.
+    if let (Expr::Float(x), Expr::Float(y)) = (&a, &b) {
+        let v = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::FloorDiv => (x / y).floor(),
+            BinOp::FloorMod => x - (x / y).floor() * y,
+            BinOp::Min => x.min(*y),
+            BinOp::Max => x.max(*y),
+        };
+        return Expr::Float(v);
+    }
+    // Identities.
+    match op {
+        BinOp::Add => {
+            if a.as_int() == Some(0) {
+                return b;
+            }
+            if b.as_int() == Some(0) {
+                return a;
+            }
+        }
+        BinOp::Sub => {
+            if b.as_int() == Some(0) {
+                return a;
+            }
+        }
+        BinOp::Mul => {
+            if a.as_int() == Some(1) {
+                return b;
+            }
+            if b.as_int() == Some(1) {
+                return a;
+            }
+            if a.as_int() == Some(0) || b.as_int() == Some(0) {
+                return Expr::Int(0);
+            }
+        }
+        BinOp::FloorDiv => {
+            if b.as_int() == Some(1) {
+                return a;
+            }
+        }
+        BinOp::FloorMod => {
+            if b.as_int() == Some(1) {
+                return Expr::Int(0);
+            }
+        }
+        BinOp::Min | BinOp::Max => {
+            if a == b {
+                return a;
+            }
+        }
+    }
+    Expr::Binary(op, Box::new(a), Box::new(b))
+}
+
+struct Simplifier;
+
+impl StmtMutator for Simplifier {
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        let stmt = mutate_children(self, stmt);
+        match stmt {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                match cond.as_int() {
+                    Some(c) if c != 0 => *then_branch,
+                    Some(_) => else_branch.map(|e| *e).unwrap_or(Stmt::Nop),
+                    None => Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                }
+            }
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            } => {
+                if extent.as_int() == Some(0) {
+                    Stmt::Nop
+                } else if extent.as_int() == Some(1) && kind == crate::stmt::ForKind::Serial {
+                    // A single-iteration serial loop is the loop body with the
+                    // variable pinned to zero.
+                    body.substitute(&var, &Expr::Int(0))
+                } else {
+                    Stmt::For {
+                        var,
+                        extent,
+                        kind,
+                        body,
+                    }
+                }
+            }
+            Stmt::Seq(stmts) => Stmt::seq(stmts),
+            other => other,
+        }
+    }
+
+    fn mutate_expr(&mut self, expr: Expr) -> Expr {
+        simplify_expr(&expr)
+    }
+}
+
+/// Simplifies a statement tree (expressions and trivially-dead control flow).
+pub fn simplify_stmt(stmt: Stmt) -> Stmt {
+    Simplifier.mutate_stmt(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, MemScope, Var};
+    use crate::dtype::DType;
+
+    #[test]
+    fn folds_constants() {
+        let e = Expr::int(3).add(Expr::int(4)).mul(Expr::int(2));
+        assert_eq!(simplify_expr(&e), Expr::Int(14));
+        let e = Expr::int(7).floordiv(Expr::int(2));
+        assert_eq!(simplify_expr(&e), Expr::Int(3));
+        let e = Expr::int(-7).floormod(Expr::int(4));
+        assert_eq!(simplify_expr(&e), Expr::Int(1));
+    }
+
+    #[test]
+    fn identities() {
+        let i = Var::new("i");
+        let e = Expr::var(&i).mul(Expr::int(1)).add(Expr::int(0));
+        assert_eq!(simplify_expr(&e), Expr::var(&i));
+        let e = Expr::var(&i).mul(Expr::int(0));
+        assert_eq!(simplify_expr(&e), Expr::Int(0));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = Expr::int(3).lt(Expr::int(5)).and(Expr::int(1));
+        assert_eq!(simplify_expr(&e), Expr::Int(1));
+        let i = Var::new("i");
+        let cond = Expr::var(&i).lt(Expr::int(8));
+        let e = cond.clone().and(Expr::int(1));
+        assert_eq!(simplify_expr(&e), cond);
+    }
+
+    #[test]
+    fn dead_branch_elimination() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let st = Stmt::store(&a, Expr::int(0), Expr::float(1.0));
+        let s = Stmt::if_then(Expr::int(0).lt(Expr::int(1)), st.clone());
+        assert_eq!(simplify_stmt(s), st);
+        let s = Stmt::if_then(Expr::int(5).lt(Expr::int(1)), st);
+        assert_eq!(simplify_stmt(s), Stmt::Nop);
+    }
+
+    #[test]
+    fn unit_loop_is_inlined() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let s = Stmt::for_serial(i.clone(), 1i64, Stmt::store(&a, Expr::var(&i), Expr::float(2.0)));
+        match simplify_stmt(s) {
+            Stmt::Store { index, .. } => assert_eq!(index, Expr::Int(0)),
+            other => panic!("expected inlined store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_extent_loop_removed() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let s = Stmt::for_serial(i.clone(), 0i64, Stmt::store(&a, Expr::var(&i), Expr::float(2.0)));
+        assert_eq!(simplify_stmt(s), Stmt::Nop);
+    }
+
+    #[test]
+    fn select_folding() {
+        let e = Expr::Select(
+            Box::new(Expr::int(1)),
+            Box::new(Expr::float(2.0)),
+            Box::new(Expr::float(3.0)),
+        );
+        assert_eq!(simplify_expr(&e), Expr::Float(2.0));
+    }
+}

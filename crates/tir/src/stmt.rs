@@ -1,0 +1,414 @@
+//! TIR statements (loop-based TIR).
+
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, Var};
+use crate::expr::Expr;
+
+/// The kind of a `for` loop, including thread/DPU bindings.
+///
+/// Bindings follow the paper's repurposed schedule primitives: loops bound to
+/// `blockIdx.*` select the DPU grid (inter-DPU parallelism), loops bound to
+/// `threadIdx.x` select tasklets (intra-DPU parallelism), and host
+/// post-processing loops may be bound to host CPU threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForKind {
+    /// Plain sequential loop.
+    Serial,
+    /// Loop annotated for full unrolling.
+    Unrolled,
+    /// Loop bound to the DPU grid X dimension (`blockIdx.x`).
+    DpuX,
+    /// Loop bound to the DPU grid Y dimension (`blockIdx.y`).
+    DpuY,
+    /// Loop bound to tasklets within a DPU (`threadIdx.x`).
+    Tasklet,
+    /// Host-side loop executed by parallel CPU threads.
+    HostParallel,
+}
+
+impl ForKind {
+    /// Whether this loop selects a DPU grid dimension.
+    pub fn is_dpu(self) -> bool {
+        matches!(self, ForKind::DpuX | ForKind::DpuY)
+    }
+}
+
+/// Direction of a host<->DPU data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Host to DPU (MRAM write from the host's point of view).
+    H2D,
+    /// DPU to host (MRAM read from the host's point of view).
+    D2H,
+}
+
+/// A TIR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var in 0..extent { body }`
+    For {
+        /// Loop variable.
+        var: Var,
+        /// Loop extent (exclusive upper bound); evaluated once at entry.
+        extent: Expr,
+        /// Loop kind / binding.
+        kind: ForKind,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `if cond { then_branch } else { else_branch }`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Optional fallthrough branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `buf[index] = value`
+    Store {
+        /// Destination buffer.
+        buf: Arc<Buffer>,
+        /// Flattened row-major element offset.
+        index: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Statement sequence.
+    Seq(Vec<Stmt>),
+    /// Scoped allocation of a buffer (WRAM tiles, host scratch).
+    Alloc {
+        /// Buffer being allocated.
+        buf: Arc<Buffer>,
+        /// Scope in which the buffer is live.
+        body: Box<Stmt>,
+    },
+    /// DMA transfer between MRAM and WRAM executed by the DPU's DMA engine
+    /// (`mram_read` / `mram_write` in the UPMEM SDK).
+    Dma {
+        /// Destination buffer.
+        dst: Arc<Buffer>,
+        /// Destination element offset.
+        dst_off: Expr,
+        /// Source buffer.
+        src: Arc<Buffer>,
+        /// Source element offset.
+        src_off: Expr,
+        /// Number of elements transferred.
+        elems: Expr,
+    },
+    /// Host<->DPU transfer intrinsic (the paper's `h2d_intrinsic` /
+    /// `d2h_intrinsic`, Fig. 7).
+    HostTransfer {
+        /// Transfer direction.
+        dir: TransferDir,
+        /// DPU index expression (linearized bank index).
+        dpu: Expr,
+        /// Global (host) buffer.
+        global: Arc<Buffer>,
+        /// Element offset in the global buffer.
+        global_off: Expr,
+        /// Per-DPU MRAM buffer.
+        mram: Arc<Buffer>,
+        /// Element offset within the DPU's MRAM buffer.
+        mram_off: Expr,
+        /// Number of elements transferred.
+        elems: Expr,
+        /// Whether this transfer participates in a rank-parallel push
+        /// (`dpu_push_xfer`), i.e. transfers for all DPUs proceed in parallel.
+        parallel: bool,
+    },
+    /// Tasklet barrier within a DPU kernel.
+    Barrier,
+    /// Evaluate an expression for its side effects (rare; kept for
+    /// completeness).
+    Evaluate(Expr),
+    /// No-op.
+    Nop,
+}
+
+impl Stmt {
+    /// Wraps a list of statements, flattening nested sequences and dropping
+    /// no-ops.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        let mut flat = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Nop => {}
+                Stmt::Seq(inner) => {
+                    flat.extend(inner.into_iter().filter(|s| !matches!(s, Stmt::Nop)))
+                }
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Stmt::Nop,
+            1 => flat.pop().expect("len checked"),
+            _ => Stmt::Seq(flat),
+        }
+    }
+
+    /// Serial `for` helper.
+    pub fn for_serial(var: Var, extent: impl Into<Expr>, body: Stmt) -> Stmt {
+        Stmt::For {
+            var,
+            extent: extent.into(),
+            kind: ForKind::Serial,
+            body: Box::new(body),
+        }
+    }
+
+    /// `for` helper with an explicit kind.
+    pub fn for_kind(var: Var, extent: impl Into<Expr>, kind: ForKind, body: Stmt) -> Stmt {
+        Stmt::For {
+            var,
+            extent: extent.into(),
+            kind,
+            body: Box::new(body),
+        }
+    }
+
+    /// `if` helper without an else branch.
+    pub fn if_then(cond: Expr, then_branch: Stmt) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: None,
+        }
+    }
+
+    /// Store helper.
+    pub fn store(buf: &Arc<Buffer>, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store {
+            buf: Arc::clone(buf),
+            index,
+            value,
+        }
+    }
+
+    /// Counts statements of each structural kind; useful in tests and for
+    /// static cost estimation.
+    pub fn count_nodes(&self) -> StmtCounts {
+        let mut counts = StmtCounts::default();
+        self.count_into(&mut counts);
+        counts
+    }
+
+    fn count_into(&self, counts: &mut StmtCounts) {
+        match self {
+            Stmt::For { body, .. } => {
+                counts.loops += 1;
+                body.count_into(counts);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                counts.branches += 1;
+                then_branch.count_into(counts);
+                if let Some(e) = else_branch {
+                    e.count_into(counts);
+                }
+            }
+            Stmt::Store { .. } => counts.stores += 1,
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.count_into(counts);
+                }
+            }
+            Stmt::Alloc { body, .. } => {
+                counts.allocs += 1;
+                body.count_into(counts);
+            }
+            Stmt::Dma { .. } => counts.dmas += 1,
+            Stmt::HostTransfer { .. } => counts.host_transfers += 1,
+            Stmt::Barrier => counts.barriers += 1,
+            Stmt::Evaluate(_) | Stmt::Nop => {}
+        }
+    }
+
+    /// Substitutes a variable throughout the statement tree.
+    pub fn substitute(&self, var: &Var, value: &Expr) -> Stmt {
+        match self {
+            Stmt::For {
+                var: lv,
+                extent,
+                kind,
+                body,
+            } => Stmt::For {
+                var: lv.clone(),
+                extent: extent.substitute(var, value),
+                kind: *kind,
+                body: Box::new(body.substitute(var, value)),
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
+                cond: cond.substitute(var, value),
+                then_branch: Box::new(then_branch.substitute(var, value)),
+                else_branch: else_branch
+                    .as_ref()
+                    .map(|e| Box::new(e.substitute(var, value))),
+            },
+            Stmt::Store {
+                buf,
+                index,
+                value: v,
+            } => Stmt::Store {
+                buf: Arc::clone(buf),
+                index: index.substitute(var, value),
+                value: v.substitute(var, value),
+            },
+            Stmt::Seq(stmts) => Stmt::Seq(stmts.iter().map(|s| s.substitute(var, value)).collect()),
+            Stmt::Alloc { buf, body } => Stmt::Alloc {
+                buf: Arc::clone(buf),
+                body: Box::new(body.substitute(var, value)),
+            },
+            Stmt::Dma {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                elems,
+            } => Stmt::Dma {
+                dst: Arc::clone(dst),
+                dst_off: dst_off.substitute(var, value),
+                src: Arc::clone(src),
+                src_off: src_off.substitute(var, value),
+                elems: elems.substitute(var, value),
+            },
+            Stmt::HostTransfer {
+                dir,
+                dpu,
+                global,
+                global_off,
+                mram,
+                mram_off,
+                elems,
+                parallel,
+            } => Stmt::HostTransfer {
+                dir: *dir,
+                dpu: dpu.substitute(var, value),
+                global: Arc::clone(global),
+                global_off: global_off.substitute(var, value),
+                mram: Arc::clone(mram),
+                mram_off: mram_off.substitute(var, value),
+                elems: elems.substitute(var, value),
+                parallel: *parallel,
+            },
+            Stmt::Barrier => Stmt::Barrier,
+            Stmt::Evaluate(e) => Stmt::Evaluate(e.substitute(var, value)),
+            Stmt::Nop => Stmt::Nop,
+        }
+    }
+
+    /// Whether any sub-expression of this statement references `var`.
+    pub fn uses_var(&self, var: &Var) -> bool {
+        match self {
+            Stmt::For { extent, body, .. } => extent.uses_var(var) || body.uses_var(var),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.uses_var(var)
+                    || then_branch.uses_var(var)
+                    || else_branch.as_ref().is_some_and(|e| e.uses_var(var))
+            }
+            Stmt::Store { index, value, .. } => index.uses_var(var) || value.uses_var(var),
+            Stmt::Seq(stmts) => stmts.iter().any(|s| s.uses_var(var)),
+            Stmt::Alloc { body, .. } => body.uses_var(var),
+            Stmt::Dma {
+                dst_off,
+                src_off,
+                elems,
+                ..
+            } => dst_off.uses_var(var) || src_off.uses_var(var) || elems.uses_var(var),
+            Stmt::HostTransfer {
+                dpu,
+                global_off,
+                mram_off,
+                elems,
+                ..
+            } => {
+                dpu.uses_var(var)
+                    || global_off.uses_var(var)
+                    || mram_off.uses_var(var)
+                    || elems.uses_var(var)
+            }
+            Stmt::Barrier | Stmt::Nop => false,
+            Stmt::Evaluate(e) => e.uses_var(var),
+        }
+    }
+}
+
+/// Structural statement counts returned by [`Stmt::count_nodes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmtCounts {
+    /// Number of `for` loops.
+    pub loops: usize,
+    /// Number of `if` statements.
+    pub branches: usize,
+    /// Number of stores.
+    pub stores: usize,
+    /// Number of allocations.
+    pub allocs: usize,
+    /// Number of MRAM<->WRAM DMA statements.
+    pub dmas: usize,
+    /// Number of host<->DPU transfer intrinsics.
+    pub host_transfers: usize,
+    /// Number of barriers.
+    pub barriers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemScope;
+    use crate::dtype::DType;
+
+    fn simple_loop() -> (Var, Stmt) {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![16], MemScope::Wram);
+        let body = Stmt::store(&a, Expr::var(&i), Expr::float(1.0));
+        (i.clone(), Stmt::for_serial(i, 16i64, body))
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_nops() {
+        let (_, l) = simple_loop();
+        let s = Stmt::seq(vec![Stmt::Nop, Stmt::Seq(vec![l.clone(), Stmt::Nop]), l.clone()]);
+        match s {
+            Stmt::Seq(v) => assert_eq!(v.len(), 2),
+            _ => panic!("expected seq"),
+        }
+        assert_eq!(Stmt::seq(vec![]), Stmt::Nop);
+        assert_eq!(Stmt::seq(vec![Stmt::Nop]), Stmt::Nop);
+    }
+
+    #[test]
+    fn count_nodes() {
+        let (_, l) = simple_loop();
+        let guarded = Stmt::if_then(Expr::int(1), l);
+        let counts = guarded.count_nodes();
+        assert_eq!(counts.loops, 1);
+        assert_eq!(counts.branches, 1);
+        assert_eq!(counts.stores, 1);
+    }
+
+    #[test]
+    fn substitute_and_uses_var() {
+        let (i, l) = simple_loop();
+        // The loop variable is rebound inside, but substitution is purely
+        // syntactic here; callers only substitute free variables.
+        assert!(l.uses_var(&i));
+        let j = Var::new("j");
+        assert!(!l.uses_var(&j));
+        let l2 = l.substitute(&i, &Expr::int(0));
+        assert!(!l2.uses_var(&i));
+    }
+}

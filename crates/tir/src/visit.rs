@@ -1,0 +1,213 @@
+//! Generic statement/expression traversal and rewriting helpers.
+//!
+//! The PIM-aware passes in `atim-passes` are written as [`StmtMutator`]s and
+//! analyses as read-only walks via [`walk_stmt`].
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+/// Visits every statement in a tree (pre-order), calling `f` on each.
+pub fn walk_stmt(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(stmt);
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Alloc { body, .. } => walk_stmt(body, f),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_stmt(then_branch, f);
+            if let Some(e) = else_branch {
+                walk_stmt(e, f);
+            }
+        }
+        Stmt::Seq(stmts) => {
+            for s in stmts {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::Store { .. }
+        | Stmt::Dma { .. }
+        | Stmt::HostTransfer { .. }
+        | Stmt::Barrier
+        | Stmt::Evaluate(_)
+        | Stmt::Nop => {}
+    }
+}
+
+/// Visits every expression appearing in a statement tree.
+pub fn walk_exprs(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
+    walk_stmt(stmt, &mut |s| match s {
+        Stmt::For { extent, .. } => f(extent),
+        Stmt::If { cond, .. } => f(cond),
+        Stmt::Store { index, value, .. } => {
+            f(index);
+            f(value);
+        }
+        Stmt::Dma {
+            dst_off,
+            src_off,
+            elems,
+            ..
+        } => {
+            f(dst_off);
+            f(src_off);
+            f(elems);
+        }
+        Stmt::HostTransfer {
+            dpu,
+            global_off,
+            mram_off,
+            elems,
+            ..
+        } => {
+            f(dpu);
+            f(global_off);
+            f(mram_off);
+            f(elems);
+        }
+        Stmt::Evaluate(e) => f(e),
+        Stmt::Seq(_) | Stmt::Alloc { .. } | Stmt::Barrier | Stmt::Nop => {}
+    });
+}
+
+/// A statement rewriter.  Implementors override [`StmtMutator::mutate_stmt`]
+/// and call [`mutate_children`] for the default recursive behaviour.
+pub trait StmtMutator {
+    /// Rewrites a single statement.  The default implementation recurses.
+    fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+        mutate_children(self, stmt)
+    }
+
+    /// Rewrites an expression.  The default implementation returns it
+    /// unchanged; passes that rewrite expressions override this.
+    fn mutate_expr(&mut self, expr: Expr) -> Expr {
+        expr
+    }
+}
+
+/// Applies `m` to the children of `stmt`, rebuilding the node.
+pub fn mutate_children<M: StmtMutator + ?Sized>(m: &mut M, stmt: Stmt) -> Stmt {
+    match stmt {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            body,
+        } => Stmt::For {
+            var,
+            extent: m.mutate_expr(extent),
+            kind,
+            body: Box::new(m.mutate_stmt(*body)),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: m.mutate_expr(cond),
+            then_branch: Box::new(m.mutate_stmt(*then_branch)),
+            else_branch: else_branch.map(|e| Box::new(m.mutate_stmt(*e))),
+        },
+        Stmt::Store { buf, index, value } => Stmt::Store {
+            buf,
+            index: m.mutate_expr(index),
+            value: m.mutate_expr(value),
+        },
+        Stmt::Seq(stmts) => Stmt::seq(stmts.into_iter().map(|s| m.mutate_stmt(s)).collect()),
+        Stmt::Alloc { buf, body } => Stmt::Alloc {
+            buf,
+            body: Box::new(m.mutate_stmt(*body)),
+        },
+        Stmt::Dma {
+            dst,
+            dst_off,
+            src,
+            src_off,
+            elems,
+        } => Stmt::Dma {
+            dst,
+            dst_off: m.mutate_expr(dst_off),
+            src,
+            src_off: m.mutate_expr(src_off),
+            elems: m.mutate_expr(elems),
+        },
+        Stmt::HostTransfer {
+            dir,
+            dpu,
+            global,
+            global_off,
+            mram,
+            mram_off,
+            elems,
+            parallel,
+        } => Stmt::HostTransfer {
+            dir,
+            dpu: m.mutate_expr(dpu),
+            global,
+            global_off: m.mutate_expr(global_off),
+            mram,
+            mram_off: m.mutate_expr(mram_off),
+            elems: m.mutate_expr(elems),
+            parallel,
+        },
+        Stmt::Evaluate(e) => Stmt::Evaluate(m.mutate_expr(e)),
+        s @ (Stmt::Barrier | Stmt::Nop) => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, MemScope, Var};
+    use crate::dtype::DType;
+
+    #[test]
+    fn walk_counts_everything() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let body = Stmt::store(&a, Expr::var(&i), Expr::float(0.0));
+        let s = Stmt::for_serial(i, 4i64, Stmt::if_then(Expr::int(1), body));
+        let mut n = 0;
+        walk_stmt(&s, &mut |_| n += 1);
+        assert_eq!(n, 3); // for, if, store
+
+        let mut exprs = 0;
+        walk_exprs(&s, &mut |_| exprs += 1);
+        assert_eq!(exprs, 4); // extent, cond, index, value
+    }
+
+    struct StoreZeroer;
+    impl StmtMutator for StoreZeroer {
+        fn mutate_stmt(&mut self, stmt: Stmt) -> Stmt {
+            match stmt {
+                Stmt::Store { buf, index, .. } => Stmt::Store {
+                    buf,
+                    index,
+                    value: Expr::float(0.0),
+                },
+                other => mutate_children(self, other),
+            }
+        }
+    }
+
+    #[test]
+    fn mutator_rewrites_recursively() {
+        let i = Var::new("i");
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
+        let s = Stmt::for_serial(
+            i.clone(),
+            4i64,
+            Stmt::store(&a, Expr::var(&i), Expr::float(7.0)),
+        );
+        let out = StoreZeroer.mutate_stmt(s);
+        let mut found = false;
+        walk_stmt(&out, &mut |s| {
+            if let Stmt::Store { value, .. } = s {
+                assert_eq!(*value, Expr::float(0.0));
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+}

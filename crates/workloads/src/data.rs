@@ -1,0 +1,86 @@
+//! Deterministic input generation and result comparison helpers.
+
+use atim_tir::compute::ComputeDef;
+
+/// Generates deterministic pseudo-random inputs for a computation.
+///
+/// Values are small integers mapped to floats so that reductions over
+/// millions of elements stay well inside `f32` precision and comparisons can
+/// use tight tolerances.
+pub fn generate_inputs(def: &ComputeDef, seed: u64) -> Vec<Vec<f32>> {
+    (0..def.inputs.len())
+        .map(|t| {
+            let n = def.input_len(t);
+            let mut state = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t as u64 + 1);
+            (0..n)
+                .map(|_| {
+                    // xorshift64*
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    ((v >> 60) as i64 - 8) as f32 * 0.25
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Maximum absolute difference between two result vectors.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "result length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Relative tolerance check suitable for accumulated `f32` reductions.
+pub fn results_match(a: &[f32], b: &[f32], reduce_len: usize) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let tol = 1e-4f32 * (reduce_len.max(1) as f32).sqrt() + 1e-3;
+    a.iter().zip(b).all(|(x, y)| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() <= tol * scale
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic_and_shaped() {
+        let def = ComputeDef::mtv("mtv", 8, 16);
+        let a = generate_inputs(&def, 42);
+        let b = generate_inputs(&def, 42);
+        let c = generate_inputs(&def, 43);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].len(), 128);
+        assert_eq!(a[1].len(), 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let def = ComputeDef::va("va", 1000);
+        let ins = generate_inputs(&def, 7);
+        assert!(ins[0].iter().all(|v| v.abs() <= 2.0));
+    }
+
+    #[test]
+    fn diff_helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert!(results_match(&[1.0, 2.0], &[1.0001, 2.0], 4));
+        assert!(!results_match(&[1.0], &[2.0], 4));
+        assert!(!results_match(&[1.0], &[1.0, 2.0], 4));
+    }
+}

@@ -1,0 +1,150 @@
+//! GPT-J layer shapes (Fig. 10 of the paper).
+//!
+//! The paper evaluates the two operation classes that dominate GPT-J
+//! inference on UPMEM:
+//!
+//! * **FC layers** — four MTV shapes per model (QKV generation, QKV
+//!   projection, FC, FC projection), evaluated as `M × K` matrices times a
+//!   vector,
+//! * **MHA layers** — MMTV with shape `(batch × heads, tokens, 256)`.
+//!
+//! GPT-J 6B has 16 heads and hidden size 4096; the paper's 30B configuration
+//! has 28 heads and hidden size 7168.
+
+use super::ops::{Workload, WorkloadKind};
+
+/// GPT-J model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GptJModel {
+    /// GPT-J 6B: 16 attention heads, hidden dimension 4096.
+    B6,
+    /// GPT-J 30B (paper configuration): 28 heads, hidden dimension 7168.
+    B30,
+}
+
+impl GptJModel {
+    /// Number of attention heads.
+    pub fn heads(self) -> i64 {
+        match self {
+            GptJModel::B6 => 16,
+            GptJModel::B30 => 28,
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(self) -> i64 {
+        match self {
+            GptJModel::B6 => 4096,
+            GptJModel::B30 => 7168,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GptJModel::B6 => "GPT-J 6B",
+            GptJModel::B30 => "GPT-J 30B",
+        }
+    }
+}
+
+/// One named MTV shape of the fully-connected part of a transformer block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// Output rows (M).
+    pub m: i64,
+    /// Reduction length (K).
+    pub k: i64,
+}
+
+/// The four MTV shapes of one transformer block (Fig. 10(b)/(d) columns).
+pub fn fc_layers(model: GptJModel) -> Vec<FcLayer> {
+    let h = model.hidden();
+    vec![
+        FcLayer {
+            name: "qkv_gen",
+            m: h,
+            k: h,
+        },
+        FcLayer {
+            name: "qkv_proj",
+            m: 3 * h,
+            k: h,
+        },
+        FcLayer {
+            name: "fc",
+            m: 4 * h,
+            k: h,
+        },
+        FcLayer {
+            name: "fc_proj",
+            m: h,
+            k: 4 * h,
+        },
+    ]
+}
+
+/// The MTV workload of one FC layer.
+pub fn fc_workload(layer: &FcLayer) -> Workload {
+    Workload::new(WorkloadKind::Mtv, vec![layer.m, layer.k])
+}
+
+/// The MMTV workload of the multi-head attention score computation for a
+/// given batch size and token count: shape
+/// `(batch × heads, tokens, 256)`.
+pub fn mha_workload(model: GptJModel, batch: i64, tokens: i64) -> Workload {
+    Workload::new(
+        WorkloadKind::Mmtv,
+        vec![batch * model.heads(), tokens, 256],
+    )
+}
+
+/// Batch sizes evaluated in Fig. 10.
+pub const BATCH_SIZES: [i64; 3] = [1, 4, 16];
+
+/// Token counts evaluated in Fig. 10.
+pub const TOKEN_COUNTS: [i64; 4] = [64, 128, 256, 512];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_parameters() {
+        assert_eq!(GptJModel::B6.heads(), 16);
+        assert_eq!(GptJModel::B6.hidden(), 4096);
+        assert_eq!(GptJModel::B30.heads(), 28);
+        assert_eq!(GptJModel::B30.label(), "GPT-J 30B");
+    }
+
+    #[test]
+    fn fc_shapes_match_fig10() {
+        let layers = fc_layers(GptJModel::B6);
+        let shapes: Vec<(i64, i64)> = layers.iter().map(|l| (l.m, l.k)).collect();
+        assert!(shapes.contains(&(4096, 4096)));
+        assert!(shapes.contains(&(12288, 4096)));
+        assert!(shapes.contains(&(16384, 4096)));
+        assert!(shapes.contains(&(4096, 16384)));
+        let layers30 = fc_layers(GptJModel::B30);
+        assert!(layers30.iter().any(|l| l.m == 28672 && l.k == 7168));
+    }
+
+    #[test]
+    fn mha_shape_scales_with_batch_and_tokens() {
+        let w = mha_workload(GptJModel::B6, 4, 128);
+        assert_eq!(w.shape, vec![64, 128, 256]);
+        let w = mha_workload(GptJModel::B30, 16, 512);
+        assert_eq!(w.shape, vec![448, 512, 256]);
+        assert_eq!(w.kind, WorkloadKind::Mmtv);
+    }
+
+    #[test]
+    fn fc_workload_is_mtv() {
+        let layer = &fc_layers(GptJModel::B6)[0];
+        let w = fc_workload(layer);
+        assert_eq!(w.kind, WorkloadKind::Mtv);
+        assert_eq!(w.shape, vec![4096, 4096]);
+    }
+}

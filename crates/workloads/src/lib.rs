@@ -1,0 +1,18 @@
+//! # atim-workloads — benchmark workload definitions
+//!
+//! The tensor-algebra operations and real-model layer shapes used in the
+//! ATiM paper's evaluation (§6):
+//!
+//! * [`ops`] — constructors and size presets for VA, RED, MTV, TTV, MMTV,
+//!   GEVA and GEMV, including the 4 MB / 64 MB / 256 MB / 512 MB presets of
+//!   Table 3 and Fig. 9.
+//! * [`gptj`] — the MTV (fully-connected) and MMTV (multi-head-attention)
+//!   shapes of GPT-J 6B and 30B used in Fig. 10.
+//! * [`data`] — deterministic input generation and output comparison
+//!   helpers.
+
+pub mod data;
+pub mod gptj;
+pub mod ops;
+
+pub use ops::{Workload, WorkloadKind, SIZE_PRESETS};

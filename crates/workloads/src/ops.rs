@@ -1,0 +1,251 @@
+//! Benchmark tensor operations and their size presets.
+
+use atim_tir::compute::ComputeDef;
+
+/// The seven tensor-algebra operations evaluated in §6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Vector addition `C(i) = A(i) + B(i)`.
+    Va,
+    /// Reduction `b = Σ A(i)`.
+    Red,
+    /// Matrix-times-vector `C(i) = Σ_k A(i,k) B(k)`.
+    Mtv,
+    /// Tensor-times-vector `C(i,j) = Σ_k A(i,j,k) B(k)`.
+    Ttv,
+    /// Batched matrix-times-vector `C(i,j) = Σ_k A(i,j,k) B(i,k)`.
+    Mmtv,
+    /// General vector addition `C(i) = c·A(i) + d·B(i)`.
+    Geva,
+    /// General matrix-vector product `C(i) = c·Σ_k A(i,k) B(k)`.
+    Gemv,
+}
+
+impl WorkloadKind {
+    /// All benchmark kinds in the order the paper lists them.
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Va,
+        WorkloadKind::Red,
+        WorkloadKind::Mtv,
+        WorkloadKind::Ttv,
+        WorkloadKind::Mmtv,
+        WorkloadKind::Geva,
+        WorkloadKind::Gemv,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Va => "va",
+            WorkloadKind::Red => "red",
+            WorkloadKind::Mtv => "mtv",
+            WorkloadKind::Ttv => "ttv",
+            WorkloadKind::Mmtv => "mmtv",
+            WorkloadKind::Geva => "geva",
+            WorkloadKind::Gemv => "gemv",
+        }
+    }
+
+    /// Whether the operation has a reduction axis.
+    pub fn has_reduce(self) -> bool {
+        !matches!(self, WorkloadKind::Va | WorkloadKind::Geva)
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete workload: an operation kind plus its tensor shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// Operation kind.
+    pub kind: WorkloadKind,
+    /// Shape: `[n]` for 1-D ops, `[m, k]` for MTV/GEMV, `[m, n, k]` for
+    /// TTV/MMTV.
+    pub shape: Vec<i64>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(kind: WorkloadKind, shape: Vec<i64>) -> Self {
+        Workload { kind, shape }
+    }
+
+    /// Builds the corresponding computation definition.
+    ///
+    /// # Panics
+    /// Panics if the shape length does not match the operation.
+    pub fn compute_def(&self) -> ComputeDef {
+        let s = &self.shape;
+        match self.kind {
+            WorkloadKind::Va => ComputeDef::va("va", s[0]),
+            WorkloadKind::Red => ComputeDef::red("red", s[0]),
+            WorkloadKind::Geva => ComputeDef::geva("geva", s[0], 2.0, 3.0),
+            WorkloadKind::Mtv => ComputeDef::mtv("mtv", s[0], s[1]),
+            WorkloadKind::Gemv => ComputeDef::gemv("gemv", s[0], s[1], 2.0),
+            WorkloadKind::Ttv => ComputeDef::ttv("ttv", s[0], s[1], s[2]),
+            WorkloadKind::Mmtv => ComputeDef::mmtv("mmtv", s[0], s[1], s[2]),
+        }
+    }
+
+    /// Size of the main input tensor in bytes (the "Size (MB)" column of
+    /// Table 3 refers to the dominant tensor).
+    pub fn main_tensor_bytes(&self) -> usize {
+        let elems: i64 = self.shape.iter().product();
+        elems as usize * 4
+    }
+
+    /// Human-readable label, e.g. `mtv-64MB`.
+    pub fn label(&self) -> String {
+        let mb = self.main_tensor_bytes() as f64 / (1024.0 * 1024.0);
+        if mb >= 1.0 {
+            format!("{}-{:.0}MB", self.kind, mb)
+        } else {
+            format!("{}-{}KB", self.kind, self.main_tensor_bytes() / 1024)
+        }
+    }
+}
+
+/// The tensor-size presets of Table 3 / Fig. 9: for each workload kind, the
+/// list of `(size label, shape)` pairs evaluated in the paper.
+pub const SIZE_PRESETS: &[(WorkloadKind, &[(&str, &[i64])])] = &[
+    (
+        WorkloadKind::Va,
+        &[
+            ("4MB", &[1_048_576]),
+            ("64MB", &[16_777_216]),
+            ("256MB", &[67_108_864]),
+        ],
+    ),
+    (
+        WorkloadKind::Geva,
+        &[
+            ("4MB", &[1_048_576]),
+            ("64MB", &[16_777_216]),
+            ("256MB", &[67_108_864]),
+        ],
+    ),
+    (
+        WorkloadKind::Red,
+        &[
+            ("4MB", &[1_048_576]),
+            ("64MB", &[16_777_216]),
+            ("256MB", &[67_108_864]),
+            ("512MB", &[134_217_728]),
+        ],
+    ),
+    (
+        WorkloadKind::Mtv,
+        &[
+            ("4MB", &[1024, 1024]),
+            ("64MB", &[4096, 4096]),
+            ("256MB", &[8192, 8192]),
+            ("512MB", &[8192, 16384]),
+        ],
+    ),
+    (
+        WorkloadKind::Gemv,
+        &[
+            ("4MB", &[1024, 1024]),
+            ("64MB", &[4096, 4096]),
+            ("256MB", &[8192, 8192]),
+            ("512MB", &[8192, 16384]),
+        ],
+    ),
+    (
+        WorkloadKind::Ttv,
+        &[
+            ("4MB", &[32, 64, 512]),
+            ("64MB", &[128, 256, 512]),
+            ("256MB", &[256, 512, 512]),
+            ("512MB", &[512, 512, 512]),
+        ],
+    ),
+    (
+        WorkloadKind::Mmtv,
+        &[
+            ("4MB", &[32, 64, 512]),
+            ("64MB", &[128, 256, 512]),
+            ("256MB", &[256, 512, 512]),
+            ("512MB", &[512, 512, 512]),
+        ],
+    ),
+];
+
+/// Returns the preset workloads for one kind.
+pub fn presets_for(kind: WorkloadKind) -> Vec<(String, Workload)> {
+    SIZE_PRESETS
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, sizes)| {
+            sizes
+                .iter()
+                .map(|(label, shape)| ((*label).to_string(), Workload::new(kind, shape.to_vec())))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Scaled-down versions of every preset (same aspect ratios, ~1/64 of the
+/// data) used by integration tests and quick demo runs.
+pub fn small_presets(kind: WorkloadKind) -> Vec<Workload> {
+    presets_for(kind)
+        .into_iter()
+        .map(|(_, w)| {
+            let shape: Vec<i64> = match w.shape.len() {
+                1 => vec![(w.shape[0] / 64).max(64)],
+                2 => vec![(w.shape[0] / 8).max(16), (w.shape[1] / 8).max(16)],
+                _ => vec![
+                    (w.shape[0] / 4).max(4),
+                    (w.shape[1] / 4).max(8),
+                    (w.shape[2] / 4).max(8),
+                ],
+            };
+            Workload::new(kind, shape)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_sizes() {
+        let mtv = presets_for(WorkloadKind::Mtv);
+        assert_eq!(mtv.len(), 4);
+        let (label, w) = &mtv[1];
+        assert_eq!(label, "64MB");
+        assert_eq!(w.shape, vec![4096, 4096]);
+        assert_eq!(w.main_tensor_bytes(), 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn compute_defs_build_for_every_preset() {
+        for kind in WorkloadKind::ALL {
+            for (_, w) in presets_for(kind) {
+                let def = w.compute_def();
+                assert!(def.total_bytes() > 0);
+                assert_eq!(def.has_reduce(), kind.has_reduce());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let w = Workload::new(WorkloadKind::Gemv, vec![4096, 4096]);
+        assert_eq!(w.label(), "gemv-64MB");
+    }
+
+    #[test]
+    fn small_presets_shrink() {
+        for kind in WorkloadKind::ALL {
+            for (small, (_, big)) in small_presets(kind).iter().zip(presets_for(kind)) {
+                assert!(small.main_tensor_bytes() < big.main_tensor_bytes());
+            }
+        }
+    }
+}

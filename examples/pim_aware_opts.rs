@@ -1,0 +1,77 @@
+//! Demonstrate the three PIM-aware optimizations of §5.3 on the paper's
+//! Fig. 8 running example: a misaligned 7x40 GEMV tile processed with a 2x16
+//! caching pattern.
+//!
+//! ```text
+//! cargo run --release --example pim_aware_opts
+//! ```
+//!
+//! Prints the generated TIR before and after optimization and the simulated
+//! effect on branches, DMA requests and kernel cycles.
+
+use atim_autotune::ScheduleConfig;
+use atim_core::{compile_config, CompileOptions};
+use atim_core::prelude::*;
+use atim_tir::printer::print_stmt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let atim = Atim::new(UpmemConfig::default());
+    // The Fig. 8 example: 7x40 matrix, single DPU, 4 tasklets, 16-element
+    // caching tiles — every tile boundary is misaligned.
+    let def = ComputeDef::mtv("mtv", 7, 40);
+    let cfg = ScheduleConfig {
+        spatial_dpus: vec![1],
+        reduce_dpus: 1,
+        tasklets: 4,
+        cache_elems: 16,
+        use_cache: true,
+        unroll: false,
+        host_threads: 1,
+        parallel_transfer: true,
+    };
+
+    println!("=== kernel TIR without PIM-aware optimization (Fig. 8(a)) ===\n");
+    let baseline = compile_config(
+        &cfg,
+        &def,
+        CompileOptions {
+            opt_level: OptLevel::NoOpt,
+            parallel_transfer: true,
+        },
+        atim.hardware(),
+    )?;
+    println!("{}", print_stmt(&baseline.lowered.kernel.body));
+
+    println!("=== kernel TIR with DMA + loop tightening + branch hoisting (Fig. 8(d)) ===\n");
+    let optimized = compile_config(&cfg, &def, CompileOptions::default(), atim.hardware())?;
+    println!("{}", print_stmt(&optimized.lowered.kernel.body));
+
+    println!("=== simulated effect ===\n");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>14}",
+        "level", "branches", "dma_reqs", "instrs", "kernel_us"
+    );
+    for level in OptLevel::ALL {
+        let module = compile_config(
+            &cfg,
+            &def,
+            CompileOptions {
+                opt_level: level,
+                parallel_transfer: true,
+            },
+            atim.hardware(),
+        )?;
+        let report = atim.runtime().time(&module)?;
+        println!(
+            "{:<12}{:>12}{:>12}{:>12}{:>14.2}",
+            level.label(),
+            report.dpu.branches,
+            report.dpu.dma_requests + report.dpu.mram_scalar_accesses,
+            report.instructions,
+            report.kernel_s * 1e6
+        );
+    }
+    println!("\nThe branch count collapses and the element-wise copies become DMA transfers,");
+    println!("mirroring the 288 -> 2 branch and 96 -> 6 DMA reduction in the paper's Fig. 8 table.");
+    Ok(())
+}

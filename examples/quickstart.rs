@@ -1,0 +1,76 @@
+//! Quickstart: offload a matrix-vector product to the (simulated) UPMEM
+//! system with ATiM-RS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example defines the computation, lets the autotuner search the joint
+//! host/kernel schedule space, compiles the winner with the PIM-aware
+//! passes, executes it with real data and checks the result against a plain
+//! CPU reference.
+
+use atim_core::prelude::*;
+use atim_workloads::data::{generate_inputs, results_match};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Target machine: the paper's UPMEM server (2048 DPUs, 64 KB WRAM,
+    //    24 tasklets per DPU).  `UpmemConfig::small()` gives a 16-DPU box.
+    let atim = Atim::new(UpmemConfig::default());
+
+    // 2. The computation, declared independently of any implementation
+    //    decision: C(i) = sum_k A(i,k) * B(k).
+    let def = ComputeDef::mtv("mtv", 2048, 2048);
+    println!(
+        "workload: {} ({} MFLOP, {:.1} MB of tensors)",
+        def.name,
+        def.total_flops() / 1_000_000,
+        def.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Autotune: the search explores DPU distribution, hierarchical
+    //    reduction, tasklet counts and WRAM caching tiles jointly.
+    let options = TuningOptions {
+        trials: 64,
+        ..TuningOptions::default()
+    };
+    let tuned = atim.autotune(&def, &options);
+    let best = tuned.best_config();
+    println!(
+        "autotuned: {} DPUs ({:?} spatial x {} reduce), {} tasklets, {}-element cache tiles",
+        best.num_dpus(),
+        best.spatial_dpus,
+        best.reduce_dpus,
+        best.tasklets,
+        best.cache_elems
+    );
+    println!(
+        "  measured {} candidates, verifier rejected {}, best latency {:.3} ms ({:.1} GFLOP/s)",
+        tuned.measured(),
+        tuned.rejected(),
+        tuned.best_latency_s() * 1e3,
+        tuned.best_gflops()
+    );
+
+    // 4. Compile the winning schedule (PIM-aware passes included) and run it
+    //    with real data.
+    let module = atim.compile_config(best, &def)?;
+    let inputs = generate_inputs(&def, 2024);
+    let run = atim.execute(&module, &inputs)?;
+    let report = &run.report;
+    println!(
+        "executed on {} DPUs: H2D {:.3} ms, kernel {:.3} ms, D2H {:.3} ms, host reduce {:.3} ms",
+        report.num_dpus,
+        report.h2d_s * 1e3,
+        report.kernel_s * 1e3,
+        report.d2h_s * 1e3,
+        report.reduce_s * 1e3
+    );
+
+    // 5. Validate against the reference implementation.
+    let expect = def.reference(&inputs);
+    let ok = results_match(run.output.as_ref().unwrap(), &expect, 2048);
+    println!("result check: {}", if ok { "PASS" } else { "FAIL" });
+    assert!(ok);
+    Ok(())
+}

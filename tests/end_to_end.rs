@@ -1,0 +1,106 @@
+//! End-to-end integration tests spanning every crate: workload definition →
+//! autotuning → compilation (PIM-aware passes) → simulated execution →
+//! numerical validation against the reference implementation.
+
+use atim_core::prelude::*;
+use atim_workloads::data::{generate_inputs, results_match};
+use atim_workloads::ops::small_presets;
+
+fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
+    let def = workload.compute_def();
+    let options = TuningOptions {
+        trials,
+        population: 24,
+        measure_per_round: 8,
+        ..TuningOptions::default()
+    };
+    let (tuned, module) = atim
+        .autotune_and_compile(&def, &options)
+        .expect("autotune_and_compile");
+    assert!(tuned.best_latency_s().is_finite(), "{}: tuning failed", workload.label());
+
+    let inputs = generate_inputs(&def, 7);
+    let run = atim.execute(&module, &inputs).expect("execute");
+    let expect = def.reference(&inputs);
+    let reduce_len = def
+        .reduce_axes()
+        .iter()
+        .map(|&a| def.axes[a].extent as usize)
+        .product::<usize>()
+        .max(1);
+    assert!(
+        results_match(run.output.as_ref().unwrap(), &expect, reduce_len),
+        "{}: results diverge from reference",
+        workload.label()
+    );
+    // Report sanity: every phase of the offload must be accounted for.
+    let r = &run.report;
+    assert!(r.kernel_s > 0.0);
+    assert!(r.h2d_bytes > 0);
+    assert!(r.num_dpus >= 1);
+    assert!(r.total_s() >= r.kernel_s);
+}
+
+#[test]
+fn every_benchmark_kind_runs_end_to_end() {
+    let atim = Atim::new(UpmemConfig::default());
+    for kind in WorkloadKind::ALL {
+        // The smallest scaled-down preset of each kind keeps functional
+        // simulation fast while exercising DPU distribution and reduction.
+        let workload = small_presets(kind).into_iter().next().expect("preset");
+        check_workload(&atim, &workload, 10);
+    }
+}
+
+#[test]
+fn misaligned_shapes_survive_the_full_pipeline() {
+    let atim = Atim::new(UpmemConfig::default());
+    // Odd extents everywhere: every boundary check path is exercised.
+    for workload in [
+        Workload::new(WorkloadKind::Mtv, vec![243, 517]),
+        Workload::new(WorkloadKind::Mmtv, vec![7, 53, 129]),
+        Workload::new(WorkloadKind::Geva, vec![99_991]),
+    ] {
+        check_workload(&atim, &workload, 8);
+    }
+}
+
+#[test]
+fn tuned_schedule_beats_the_untuned_default() {
+    let atim = Atim::new(UpmemConfig::default());
+    let def = ComputeDef::gemv("gemv", 2048, 2048, 1.0);
+    let default_cfg = atim_autotune::ScheduleConfig::default_for(&def, atim.hardware());
+    let default_ms = atim
+        .measure_config(&default_cfg, &def)
+        .expect("default config must run");
+    let tuned = atim.autotune(
+        &def,
+        &TuningOptions {
+            trials: 48,
+            ..TuningOptions::default()
+        },
+    );
+    assert!(
+        tuned.best_latency_s() <= default_ms * 1.05,
+        "autotuning must not be worse than the default ({} vs {})",
+        tuned.best_latency_s(),
+        default_ms
+    );
+}
+
+#[test]
+fn larger_machines_are_not_slower_for_large_workloads() {
+    let big = Atim::new(UpmemConfig::default());
+    let small = Atim::new(UpmemConfig::small());
+    let def = ComputeDef::va("va", 1 << 22);
+    let opts = TuningOptions {
+        trials: 24,
+        ..TuningOptions::default()
+    };
+    let t_big = big.autotune(&def, &opts).best_latency_s();
+    let t_small = small.autotune(&def, &opts).best_latency_s();
+    assert!(
+        t_big <= t_small * 1.1,
+        "2048 DPUs ({t_big}s) should not lose to 16 DPUs ({t_small}s)"
+    );
+}

@@ -1,0 +1,138 @@
+//! Cross-crate differential tests of the PIM-aware optimization passes:
+//! every optimization level of every benchmark kind must produce bit-for-bit
+//! reasonable results and never *increase* the simulated kernel latency.
+
+use atim_autotune::ScheduleConfig;
+use atim_core::prelude::*;
+use atim_core::{compile_config, CompileOptions};
+use atim_tir::schedule::execute_functional;
+use atim_workloads::data::{generate_inputs, results_match};
+
+fn misaligned_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(WorkloadKind::Va, vec![1000]),
+        Workload::new(WorkloadKind::Geva, vec![777]),
+        Workload::new(WorkloadKind::Red, vec![1234]),
+        Workload::new(WorkloadKind::Mtv, vec![70, 90]),
+        Workload::new(WorkloadKind::Gemv, vec![61, 83]),
+        Workload::new(WorkloadKind::Ttv, vec![5, 13, 40]),
+        Workload::new(WorkloadKind::Mmtv, vec![6, 11, 36]),
+    ]
+}
+
+fn test_config(w: &Workload) -> ScheduleConfig {
+    ScheduleConfig {
+        spatial_dpus: vec![4; w.compute_def().spatial_axes().len().max(1)][..w
+            .compute_def()
+            .spatial_axes()
+            .len()]
+            .to_vec(),
+        reduce_dpus: if w.kind.has_reduce() { 2 } else { 1 },
+        tasklets: 3,
+        cache_elems: 16,
+        use_cache: true,
+        unroll: true,
+        host_threads: 4,
+        parallel_transfer: true,
+    }
+}
+
+#[test]
+fn all_opt_levels_preserve_results_for_all_kinds() {
+    let hw = UpmemConfig::default();
+    for w in misaligned_workloads() {
+        let def = w.compute_def();
+        let cfg = test_config(&w);
+        let inputs = generate_inputs(&def, 99);
+        let expect = def.reference(&inputs);
+        let reduce_len = def
+            .reduce_axes()
+            .iter()
+            .map(|&a| def.axes[a].extent as usize)
+            .product::<usize>()
+            .max(1);
+        for level in OptLevel::ALL {
+            let module = compile_config(
+                &cfg,
+                &def,
+                CompileOptions {
+                    opt_level: level,
+                    parallel_transfer: true,
+                },
+                &hw,
+            )
+            .unwrap_or_else(|e| panic!("{}: compile failed at {level}: {e}", w.label()));
+            let got = execute_functional(&module.lowered, &inputs)
+                .unwrap_or_else(|e| panic!("{}: execution failed at {level}: {e}", w.label()));
+            assert!(
+                results_match(&got, &expect, reduce_len),
+                "{} at {level}: results diverge",
+                w.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_never_slows_the_kernel_down() {
+    let atim = Atim::new(UpmemConfig::default());
+    for w in misaligned_workloads() {
+        let def = w.compute_def();
+        let cfg = test_config(&w);
+        let mut prev = f64::INFINITY;
+        for level in OptLevel::ALL {
+            let module = compile_config(
+                &cfg,
+                &def,
+                CompileOptions {
+                    opt_level: level,
+                    parallel_transfer: true,
+                },
+                atim.hardware(),
+            )
+            .expect("compile");
+            let report = atim.runtime().time(&module).expect("time");
+            if level == OptLevel::NoOpt {
+                prev = report.kernel_s;
+                continue;
+            }
+            assert!(
+                report.kernel_s <= prev * 1.001,
+                "{} at {level}: kernel got slower ({} > {prev})",
+                w.label(),
+                report.kernel_s
+            );
+            prev = report.kernel_s;
+        }
+    }
+}
+
+#[test]
+fn full_optimization_removes_most_dynamic_branches() {
+    let atim = Atim::new(UpmemConfig::default());
+    let w = Workload::new(WorkloadKind::Gemv, vec![245, 245]);
+    let def = w.compute_def();
+    let cfg = test_config(&w);
+    let run = |level| {
+        let module = compile_config(
+            &cfg,
+            &def,
+            CompileOptions {
+                opt_level: level,
+                parallel_transfer: true,
+            },
+            atim.hardware(),
+        )
+        .unwrap();
+        atim.runtime().time(&module).unwrap()
+    };
+    let before = run(OptLevel::NoOpt);
+    let after = run(OptLevel::DmaLtBh);
+    assert!(
+        (after.dpu.branches as f64) < before.dpu.branches as f64 * 0.25,
+        "branches: {} -> {}",
+        before.dpu.branches,
+        after.dpu.branches
+    );
+    assert!(after.instructions < before.instructions);
+}
