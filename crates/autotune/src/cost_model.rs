@@ -19,7 +19,11 @@ pub const NUM_FEATURES: usize = 10;
 ///
 /// Features are dimensionless logs/ratios so one model generalizes across
 /// workload sizes reasonably well within a single tuning session.
-pub fn featurize(config: &ScheduleConfig, def: &ComputeDef, hw: &UpmemConfig) -> [f64; NUM_FEATURES] {
+pub fn featurize(
+    config: &ScheduleConfig,
+    def: &ComputeDef,
+    hw: &UpmemConfig,
+) -> [f64; NUM_FEATURES] {
     let total_work = def.total_flops().max(1) as f64;
     let dpus = config.num_dpus() as f64;
     let tasklets = config.tasklets.max(1) as f64;
@@ -84,6 +88,7 @@ impl CostModel {
             return;
         }
         let n = NUM_FEATURES + 1; // + bias column
+
         // Normal equations with ridge regularization: (XᵀX + λI) w = Xᵀy.
         let mut xtx = vec![vec![0.0f64; n]; n];
         let mut xty = vec![0.0f64; n];
@@ -141,9 +146,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot);
         // Eliminate.
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            let cur_row = &mut rest[0];
+            let factor = cur_row[col] / pivot_row[col];
+            for (x, &p) in cur_row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }

@@ -21,6 +21,31 @@
 //! * [`tuner`] — the driver loop tying it all together, generic over a
 //!   [`tuner::Measurer`] so the caller decides how candidates are timed
 //!   (the `atim-core` crate measures them on the simulated UPMEM machine).
+//!
+//! # Example
+//!
+//! Tuning against an analytic measurer (tests and demos do exactly this;
+//! `atim-core` substitutes real simulated measurements):
+//!
+//! ```
+//! use atim_autotune::{tune, ScheduleConfig, TuningOptions};
+//! use atim_sim::UpmemConfig;
+//! use atim_tir::compute::ComputeDef;
+//!
+//! let def = ComputeDef::mtv("mtv", 64, 64);
+//! let hw = UpmemConfig::small();
+//! let options = TuningOptions {
+//!     trials: 8,
+//!     population: 8,
+//!     measure_per_round: 4,
+//!     ..TuningOptions::default()
+//! };
+//! // Analytic stand-in: reward DPU parallelism.
+//! let mut measurer = |cfg: &ScheduleConfig| Some(1.0 / cfg.num_dpus() as f64);
+//! let result = tune(&def, &hw, &options, &mut measurer);
+//! assert!(result.best.is_some());
+//! assert!(result.best_latency().is_finite());
+//! ```
 
 pub mod cost_model;
 pub mod search;

@@ -112,8 +112,11 @@ impl CandidateDb {
     /// Records a measurement.
     pub fn insert(&mut self, config: ScheduleConfig, latency_s: f64) {
         self.entries.push(DbEntry { config, latency_s });
-        self.entries
-            .sort_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).unwrap_or(std::cmp::Ordering::Equal));
+        self.entries.sort_by(|a, b| {
+            a.latency_s
+                .partial_cmp(&b.latency_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     }
 
     /// The best entry so far.
@@ -225,7 +228,10 @@ mod tests {
 
         let balanced = db.top_k(4, true);
         let non_rfactor = balanced.iter().filter(|e| !e.config.uses_rfactor()).count();
-        assert_eq!(non_rfactor, 2, "balanced sampling must keep non-rfactor parents");
+        assert_eq!(
+            non_rfactor, 2,
+            "balanced sampling must keep non-rfactor parents"
+        );
     }
 
     #[test]

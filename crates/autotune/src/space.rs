@@ -296,13 +296,14 @@ impl SearchSpace {
         let reduce_dpus = if with_rfactor && self.supports_rfactor() {
             let raxis = self.def.reduce_axes()[0];
             let extent = self.def.axes[raxis].extent;
-            let max_pow = log2_floor(extent.min(budget).min(64).max(2));
+            let max_pow = log2_floor(extent.min(budget).clamp(2, 64));
             1i64 << rng.gen_range(1..=max_pow.max(1))
         } else {
             1
         };
         let tasklet_choices = [1i64, 2, 4, 8, 12, 16, 20, 24];
-        let tasklets = tasklet_choices[rng.gen_range(0..tasklet_choices.len())].min(self.max_tasklets);
+        let tasklets =
+            tasklet_choices[rng.gen_range(0..tasklet_choices.len())].min(self.max_tasklets);
         let cache_choices = [2i64, 4, 8, 16, 32, 64, 128, 256];
         let cache_elems = cache_choices[rng.gen_range(0..cache_choices.len())];
         ScheduleConfig {
@@ -312,7 +313,7 @@ impl SearchSpace {
             cache_elems,
             use_cache: rng.gen_bool(0.9),
             unroll: rng.gen_bool(0.5),
-            host_threads: 1 << rng.gen_range(0..6),
+            host_threads: 1usize << rng.gen_range(0..6),
             parallel_transfer: true,
         }
     }
@@ -336,7 +337,7 @@ impl SearchSpace {
                 if self.supports_rfactor() {
                     let raxis = self.def.reduce_axes()[0];
                     let extent = self.def.axes[raxis].extent;
-                    let max_pow = log2_floor(extent.min(64).max(2));
+                    let max_pow = log2_floor(extent.clamp(2, 64));
                     c.reduce_dpus = if rng.gen_bool(0.3) {
                         1
                     } else {
@@ -353,7 +354,7 @@ impl SearchSpace {
                 c.cache_elems = choices[rng.gen_range(0..choices.len())];
             }
             4 => c.unroll = !c.unroll,
-            _ => c.host_threads = 1 << rng.gen_range(0..6),
+            _ => c.host_threads = 1usize << rng.gen_range(0..6),
         }
         c
     }
@@ -437,7 +438,11 @@ mod tests {
                 let got = execute_functional(&lowered, &atim_workloads_testdata(&def)).unwrap();
                 let tol = 1e-2 * (def.total_flops() as f32).sqrt().max(1.0);
                 for (g, e) in got.iter().zip(&expect) {
-                    assert!((g - e).abs() < tol, "{}: {g} vs {e} (cfg {cfg:?})", def.name);
+                    assert!(
+                        (g - e).abs() < tol,
+                        "{}: {g} vs {e} (cfg {cfg:?})",
+                        def.name
+                    );
                 }
                 checked += 1;
             }

@@ -17,6 +17,21 @@
 //! points so they run through exactly the same compilation and simulation
 //! pipeline as ATiM's autotuned schedules; only the schedule decisions
 //! differ, which is precisely the comparison the paper makes.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_baselines::prim::prim_default;
+//! use atim_sim::UpmemConfig;
+//! use atim_workloads::{Workload, WorkloadKind};
+//!
+//! let hw = UpmemConfig::small();
+//! let workload = Workload::new(WorkloadKind::Mtv, vec![256, 256]);
+//! let cfg = prim_default(&workload, &hw);
+//! // PrIM's guide: 1-D row tiling, no hierarchical reduction.
+//! assert!(cfg.num_dpus() >= 1);
+//! assert!(!cfg.uses_rfactor());
+//! ```
 
 pub mod cpu;
 pub mod prim;

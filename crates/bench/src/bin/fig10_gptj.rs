@@ -7,7 +7,9 @@
 
 use atim_bench::{evaluate_workload, full_from_env, print_normalized_table, trials_from_env};
 use atim_core::prelude::*;
-use atim_workloads::gptj::{fc_layers, fc_workload, mha_workload, GptJModel, BATCH_SIZES, TOKEN_COUNTS};
+use atim_workloads::gptj::{
+    fc_layers, fc_workload, mha_workload, GptJModel, BATCH_SIZES, TOKEN_COUNTS,
+};
 
 fn main() {
     let atim = Atim::default();
@@ -39,12 +41,22 @@ fn main() {
         }
         println!("## {} — MTV (fully-connected layers)", model.label());
         let layers = fc_layers(model);
-        let selected = if full { layers.clone() } else { layers[..2].to_vec() };
+        let selected = if full {
+            layers.clone()
+        } else {
+            layers[..2].to_vec()
+        };
         for layer in selected {
             let w = fc_workload(&layer);
             let rows = evaluate_workload(&atim, &w, trials);
             print_normalized_table(
-                &format!("Fig 10 MTV {} {} ({}x{})", model.label(), layer.name, layer.m, layer.k),
+                &format!(
+                    "Fig 10 MTV {} {} ({}x{})",
+                    model.label(),
+                    layer.name,
+                    layer.m,
+                    layer.k
+                ),
                 &w,
                 &rows,
             );

@@ -29,7 +29,8 @@ fn main() {
         let atim_ms = atim_r.total_ms();
         println!(
             "{spatial},{atim_ms:.3},{},{}",
-            prim.map(|p| format!("{:.3}", p / atim_ms)).unwrap_or_else(|| "-".into()),
+            prim.map(|p| format!("{:.3}", p / atim_ms))
+                .unwrap_or_else(|| "-".into()),
             prim_search
                 .map(|p| format!("{:.3}", p / atim_ms))
                 .unwrap_or_else(|| "-".into()),

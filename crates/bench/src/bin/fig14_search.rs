@@ -61,7 +61,10 @@ fn main() {
             seed: 0xF19,
             strategy,
         };
-        let mut measurer = SimMeasurer { atim: &atim, def: &def };
+        let mut measurer = SimMeasurer {
+            atim: &atim,
+            def: &def,
+        };
         let result = tune(&def, atim.hardware(), &options, &mut measurer);
         let step = (trials / 20).max(1);
         for record in result.history.iter().filter(|r| r.trial % step == 0) {
@@ -69,7 +72,11 @@ fn main() {
             println!("{name},{},{:.2}", record.trial, gflops);
         }
         if let Some(last) = result.history.last() {
-            println!("{name},{},{:.2}", last.trial, flops / last.best_so_far_s / 1e9);
+            println!(
+                "{name},{},{:.2}",
+                last.trial,
+                flops / last.best_so_far_s / 1e9
+            );
         }
     }
 }

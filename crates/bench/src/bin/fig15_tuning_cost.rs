@@ -66,5 +66,8 @@ fn main() {
     let min = all_candidates.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = all_candidates.iter().cloned().fold(0.0f64, f64::max);
     println!();
-    println!("# candidate spread: min={min:.3} ms, max={max:.3} ms, ratio={:.1}x", max / min);
+    println!(
+        "# candidate spread: min={min:.3} ms, max={max:.3} ms, ratio={:.1}x",
+        max / min
+    );
 }

@@ -27,6 +27,22 @@
 //!   uses 1000, which also works but takes correspondingly longer).
 //! * `ATIM_FULL` — set to `1` to run every paper size; by default the larger
 //!   256/512 MB presets are skipped to keep a full harness sweep short.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_bench::{select_sizes, trials_from_env};
+//! use atim_workloads::ops::presets_for;
+//! use atim_workloads::WorkloadKind;
+//!
+//! // Harness knobs come from the environment (`ATIM_TRIALS`, `ATIM_FULL`),
+//! // so only assert what holds for any setting: filtering never grows the
+//! // sweep.
+//! let all = presets_for(WorkloadKind::Va);
+//! let sizes = select_sizes(presets_for(WorkloadKind::Va));
+//! assert!(sizes.len() <= all.len());
+//! println!("sweep: {} sizes x {} trials", sizes.len(), trials_from_env());
+//! ```
 
 use atim_autotune::{ScheduleConfig, TuningOptions};
 use atim_baselines::prim::{prim_default, prim_e_candidates, prim_search_candidates};
@@ -45,7 +61,9 @@ pub fn trials_from_env() -> usize {
 
 /// Whether the harness should run every paper-sized preset.
 pub fn full_from_env() -> bool {
-    std::env::var("ATIM_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ATIM_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Filters size presets according to `ATIM_FULL`.
@@ -78,7 +96,11 @@ impl Measurement {
 
 /// Times one schedule configuration of a workload (timing-only simulation).
 /// Returns `None` when the configuration cannot run on the machine.
-pub fn time_config(atim: &Atim, workload: &Workload, cfg: &ScheduleConfig) -> Option<ExecutionReport> {
+pub fn time_config(
+    atim: &Atim,
+    workload: &Workload,
+    cfg: &ScheduleConfig,
+) -> Option<ExecutionReport> {
     let def = workload.compute_def();
     let module = atim.compile_config(cfg, &def).ok()?;
     atim.runtime().time(&module).ok()
@@ -111,7 +133,11 @@ pub fn simplepim_report(atim: &Atim, workload: &Workload) -> Option<ExecutionRep
     }
     let cfg = simplepim_config(workload, atim.hardware());
     let base = time_config(atim, workload, &cfg)?;
-    Some(adjust_report(workload, &base, &SimplePimOverheads::default()))
+    Some(adjust_report(
+        workload,
+        &base,
+        &SimplePimOverheads::default(),
+    ))
 }
 
 /// CPU-autotuned latency wrapped in a report (kernel time only: there is no
@@ -125,7 +151,11 @@ pub fn cpu_report(workload: &Workload, hw: &UpmemConfig) -> ExecutionReport {
 }
 
 /// Autotunes ATiM for a workload and times the best configuration.
-pub fn atim_report(atim: &Atim, workload: &Workload, trials: usize) -> (ScheduleConfig, ExecutionReport) {
+pub fn atim_report(
+    atim: &Atim,
+    workload: &Workload,
+    trials: usize,
+) -> (ScheduleConfig, ExecutionReport) {
     let def = workload.compute_def();
     let options = TuningOptions {
         trials,

@@ -58,7 +58,9 @@ impl Runtime {
     /// # Errors
     /// Fails if the module exceeds the machine's resources.
     pub fn time(&self, module: &CompiledModule) -> Result<ExecutionReport> {
-        let result = self.machine.run(&module.lowered, &[], SimMode::TimingOnly)?;
+        let result = self
+            .machine
+            .run(&module.lowered, &[], SimMode::TimingOnly)?;
         Ok(result.report)
     }
 }

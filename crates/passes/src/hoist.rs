@@ -147,8 +147,7 @@ fn is_sinkable(stmt: &Stmt) -> bool {
             else_branch,
             ..
         } => {
-            is_sinkable(then_branch)
-                && else_branch.as_ref().map(|e| is_sinkable(e)).unwrap_or(true)
+            is_sinkable(then_branch) && else_branch.as_ref().map(|e| is_sinkable(e)).unwrap_or(true)
         }
         _ => false,
     }

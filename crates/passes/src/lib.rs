@@ -22,6 +22,25 @@
 //! All passes are semantics-preserving given the structural guarantees of the
 //! ATiM lowering (see `atim-tir`'s schedule lowering); each module's tests
 //! verify this by differential execution against unoptimized programs.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_passes::{optimize_kernel, OptLevel};
+//! use atim_tir::compute::ComputeDef;
+//! use atim_tir::schedule::Schedule;
+//!
+//! // A misaligned tiling (5 rows split by 2) forces a boundary check,
+//! // which the full pipeline then optimizes away.
+//! let def = ComputeDef::mtv("mtv", 5, 7);
+//! let mut sch = Schedule::new(def);
+//! let i = sch.loops_of_axis(0)[0];
+//! sch.split(i, 2).unwrap();
+//! let lowered = sch.lower().unwrap();
+//! let (optimized, stats) = optimize_kernel(lowered.kernel.body.clone(), OptLevel::DmaLtBh);
+//! assert_ne!(optimized, lowered.kernel.body); // something was rewritten
+//! let _ = stats; // per-pass counters for ablation reports
+//! ```
 
 pub mod dma;
 pub mod hoist;

@@ -161,7 +161,11 @@ mod tests {
         (Stmt::for_serial(k, 16i64, body), c, i, j)
     }
 
-    fn run_counting(stmt: &Stmt, binds: &[(&Var, i64)], c: &std::sync::Arc<Buffer>) -> (Vec<f32>, CountingTracer) {
+    fn run_counting(
+        stmt: &Stmt,
+        binds: &[(&Var, i64)],
+        c: &std::sync::Arc<Buffer>,
+    ) -> (Vec<f32>, CountingTracer) {
         let mut store = MemoryStore::new();
         store.alloc(c, 0);
         let mut tracer = CountingTracer::default();

@@ -189,7 +189,9 @@ mod tests {
             parallel: false,
         };
         let body = match guard {
-            Some(bound) => Stmt::if_then(Expr::var(&e).add(Expr::Int(8)).lt(Expr::Int(bound)), xfer),
+            Some(bound) => {
+                Stmt::if_then(Expr::var(&e).add(Expr::Int(8)).lt(Expr::Int(bound)), xfer)
+            }
             None => xfer,
         };
         (Stmt::for_serial(e, n, body), g, m)

@@ -55,7 +55,7 @@ impl StmtMutator for UnrollPass {
                 body,
             };
         };
-        if n > MAX_UNROLL || n < 0 {
+        if !(0..=MAX_UNROLL).contains(&n) {
             return Stmt::For {
                 var,
                 extent,
@@ -100,7 +100,11 @@ mod tests {
     fn serial_loops_untouched() {
         let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
         let i = Var::new("i");
-        let loop_ = Stmt::for_serial(i.clone(), 4i64, Stmt::store(&a, Expr::var(&i), Expr::Float(0.0)));
+        let loop_ = Stmt::for_serial(
+            i.clone(),
+            4i64,
+            Stmt::store(&a, Expr::var(&i), Expr::Float(0.0)),
+        );
         let (out, stats) = unroll_loops(loop_.clone());
         assert_eq!(stats.loops_unrolled, 0);
         assert_eq!(out, loop_);

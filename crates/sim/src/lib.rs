@@ -27,6 +27,23 @@
 //! The absolute latencies differ from the authors' testbed, but the relative
 //! behaviour — who wins, by what factor, where crossovers fall — follows the
 //! same mechanics.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_sim::{SimMode, UpmemConfig, UpmemMachine};
+//! use atim_tir::compute::ComputeDef;
+//! use atim_tir::schedule::Schedule;
+//!
+//! // Lower a vector addition and execute it functionally on a small box.
+//! let def = ComputeDef::va("va", 64);
+//! let lowered = Schedule::new(def).lower().unwrap();
+//! let machine = UpmemMachine::new(UpmemConfig::small());
+//! let inputs = vec![vec![1.0f32; 64], vec![2.0f32; 64]];
+//! let result = machine.run(&lowered, &inputs, SimMode::Full).unwrap();
+//! assert_eq!(result.output.unwrap()[0], 3.0);
+//! assert!(result.report.total_ms() > 0.0);
+//! ```
 
 pub mod config;
 pub mod cpu;

@@ -135,7 +135,14 @@ impl UpmemMachine {
         };
         let mut slowest = DpuRun::default();
         for (linear, coords) in selected {
-            let run = run_dpu(&mut store, lowered, *linear, coords, exec_mode, &self.config)?;
+            let run = run_dpu(
+                &mut store,
+                lowered,
+                *linear,
+                coords,
+                exec_mode,
+                &self.config,
+            )?;
             if run.cycles > slowest.cycles {
                 slowest = run;
             }
@@ -182,10 +189,7 @@ impl UpmemMachine {
             d2h_bytes: d2h_counters.d2h_bytes,
             wram_bytes: lowered.kernel.wram_bytes,
         };
-        Ok(SimResult {
-            output,
-            report,
-        })
+        Ok(SimResult { output, report })
     }
 }
 
@@ -205,7 +209,14 @@ mod tests {
             .collect()
     }
 
-    fn mtv_schedule(m: i64, k: i64, dpus_i: i64, dpus_k: i64, tasklets: i64, cache: i64) -> Schedule {
+    fn mtv_schedule(
+        m: i64,
+        k: i64,
+        dpus_i: i64,
+        dpus_k: i64,
+        tasklets: i64,
+        cache: i64,
+    ) -> Schedule {
         let def = ComputeDef::mtv("mtv", m, k);
         let mut sch = Schedule::new(def);
         let i = sch.loops_of_axis(0)[0];
@@ -215,7 +226,9 @@ mod tests {
         sch.rfactor(k_dpu).unwrap();
         sch.bind(i_dpu, Binding::DpuX).unwrap();
         sch.bind(k_dpu, Binding::DpuY).unwrap();
-        let (i_t, i_c) = sch.split(i_in, ((m + dpus_i - 1) / dpus_i + tasklets - 1) / tasklets).unwrap();
+        let (i_t, i_c) = sch
+            .split(i_in, ((m + dpus_i - 1) / dpus_i + tasklets - 1) / tasklets)
+            .unwrap();
         sch.bind(i_t, Binding::Tasklet).unwrap();
         let (k_o, k_i) = sch.split(k_in, cache).unwrap();
         sch.reorder(&[i_dpu, k_dpu, i_t, i_c, k_o, k_i]).unwrap();

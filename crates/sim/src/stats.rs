@@ -189,11 +189,7 @@ impl CycleBreakdown {
     /// Fraction of cycles in each category `(issuable, idle_mem, idle_core)`.
     pub fn fractions(&self) -> (f64, f64, f64) {
         let t = self.total().max(1e-12);
-        (
-            self.issuable / t,
-            self.idle_memory / t,
-            self.idle_core / t,
-        )
+        (self.issuable / t, self.idle_memory / t, self.idle_core / t)
     }
 }
 

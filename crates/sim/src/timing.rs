@@ -84,7 +84,10 @@ mod tests {
         let ser = counters(2048, 64 * 1024, false, dpus);
         let tp = transfer_time(TransferDir::H2D, &par, dpus, &cfg);
         let ts = transfer_time(TransferDir::H2D, &ser, dpus, &cfg);
-        assert!(tp < ts / 5.0, "parallel {tp} should be much faster than serial {ts}");
+        assert!(
+            tp < ts / 5.0,
+            "parallel {tp} should be much faster than serial {ts}"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use crate::expr::{BinOp, CmpOp, Expr};
 use crate::buffer::Var;
+use crate::expr::{BinOp, CmpOp, Expr};
 
 /// A linear expression `constant + Σ coeff(var) · var`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -39,7 +39,10 @@ impl LinearExpr {
     pub fn var(v: &Var) -> Self {
         let mut coeffs = HashMap::new();
         coeffs.insert(v.clone(), 1);
-        LinearExpr { constant: 0, coeffs }
+        LinearExpr {
+            constant: 0,
+            coeffs,
+        }
     }
 
     /// Coefficient of `v` (0 if absent).
@@ -218,7 +221,10 @@ mod tests {
         let i = Var::new("i");
         let j = Var::new("j");
         // 16*i + j + 3
-        let e = Expr::var(&i).mul(Expr::int(16)).add(Expr::var(&j)).add(Expr::int(3));
+        let e = Expr::var(&i)
+            .mul(Expr::int(16))
+            .add(Expr::var(&j))
+            .add(Expr::int(3));
         let l = as_linear(&e).unwrap();
         assert_eq!(l.constant, 3);
         assert_eq!(l.coeff(&i), 16);
@@ -241,7 +247,10 @@ mod tests {
         let k = Var::new("k");
         let j = Var::new("j");
         // j*16 + k < 40
-        let cond = Expr::var(&j).mul(Expr::int(16)).add(Expr::var(&k)).lt(Expr::int(40));
+        let cond = Expr::var(&j)
+            .mul(Expr::int(16))
+            .add(Expr::var(&k))
+            .lt(Expr::int(40));
         let b = as_upper_bound(&cond).unwrap();
         assert_eq!(b.bound, 40);
         assert_eq!(b.lhs.coeff(&k), 1);
@@ -285,7 +294,10 @@ mod tests {
     fn to_expr_roundtrip() {
         let i = Var::new("i");
         let j = Var::new("j");
-        let e = Expr::var(&i).mul(Expr::int(4)).add(Expr::var(&j)).add(Expr::int(2));
+        let e = Expr::var(&i)
+            .mul(Expr::int(4))
+            .add(Expr::var(&j))
+            .add(Expr::int(2));
         let l = as_linear(&e).unwrap();
         let back = l.to_expr();
         let l2 = as_linear(&back).unwrap();

@@ -67,7 +67,12 @@ pub struct Buffer {
 
 impl Buffer {
     /// Creates a new buffer with a fresh id.
-    pub fn new(name: impl Into<String>, dtype: DType, shape: Vec<i64>, scope: MemScope) -> Arc<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        dtype: DType,
+        shape: Vec<i64>,
+        scope: MemScope,
+    ) -> Arc<Self> {
         Arc::new(Buffer {
             id: BufferId(next_id()),
             name: name.into(),

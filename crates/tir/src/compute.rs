@@ -104,11 +104,13 @@ impl AccessExpr {
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)] // deliberate TVM-style builder API
     pub fn add(self, rhs: AccessExpr) -> Self {
         AccessExpr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: AccessExpr) -> Self {
         AccessExpr::Mul(Box::new(self), Box::new(rhs))
     }
@@ -232,7 +234,12 @@ impl ComputeDef {
     pub fn reference(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
         assert_eq!(inputs.len(), self.inputs.len(), "input count mismatch");
         for (i, t) in self.inputs.iter().enumerate() {
-            assert_eq!(inputs[i].len(), self.input_len(i), "input {} length", t.name);
+            assert_eq!(
+                inputs[i].len(),
+                self.input_len(i),
+                "input {} length",
+                t.name
+            );
         }
         let mut out = vec![0.0f32; self.output_len()];
         let extents: Vec<i64> = self.axes.iter().map(|a| a.extent).collect();
@@ -408,7 +415,7 @@ mod tests {
     fn red_reference() {
         let def = ComputeDef::red("red", 100);
         let a = iota(100);
-        let out = def.reference(&[a.clone()]);
+        let out = def.reference(std::slice::from_ref(&a));
         assert_eq!(out.len(), 1);
         let expect: f32 = a.iter().sum();
         assert!((out[0] - expect).abs() < 1e-3);

@@ -187,8 +187,7 @@ impl MemoryStore {
     /// `dpu`, zero-filled.
     pub fn alloc(&mut self, buf: &Arc<Buffer>, dpu: i64) {
         self.meta.insert(buf.id, Arc::clone(buf));
-        self.data
-            .insert(Self::key(buf, dpu), vec![0.0; buf.len()]);
+        self.data.insert(Self::key(buf, dpu), vec![0.0; buf.len()]);
     }
 
     /// Allocates an instance and copies `init` into it.
@@ -252,6 +251,7 @@ impl MemoryStore {
     }
 
     /// Copies `elems` elements between two buffer instances.
+    #[allow(clippy::too_many_arguments)] // mirrors the (dst, src) DMA tuple
     fn copy(
         &mut self,
         dst: &Arc<Buffer>,
@@ -455,12 +455,10 @@ impl<'a, T: Tracer> Interpreter<'a, T> {
                             if !self.store.contains(mram, dpu_idx) {
                                 self.store.alloc(mram, dpu_idx);
                             }
-                            self.store
-                                .copy(mram, dpu_idx, m_off, global, 0, g_off, n)?;
+                            self.store.copy(mram, dpu_idx, m_off, global, 0, g_off, n)?;
                         }
                         TransferDir::D2H => {
-                            self.store
-                                .copy(global, 0, g_off, mram, dpu_idx, m_off, n)?;
+                            self.store.copy(global, 0, g_off, mram, dpu_idx, m_off, n)?;
                         }
                     }
                 }
@@ -632,7 +630,11 @@ fn eval_cmp(op: CmpOp, a: Value, b: Value) -> bool {
 ///
 /// # Errors
 /// Propagates interpreter errors.
-pub fn run_simple(stmt: &Stmt, buffers: &[(&Arc<Buffer>, Vec<f32>)], out: &Arc<Buffer>) -> Result<Vec<f32>> {
+pub fn run_simple(
+    stmt: &Stmt,
+    buffers: &[(&Arc<Buffer>, Vec<f32>)],
+    out: &Arc<Buffer>,
+) -> Result<Vec<f32>> {
     let mut store = MemoryStore::new();
     for (buf, init) in buffers {
         store.alloc_with(buf, 0, init);
@@ -781,7 +783,10 @@ mod tests {
         let mut tracer2 = CountingTracer::default();
         let mut interp = Interpreter::new(&mut store, &mut tracer2, ExecMode::Functional);
         interp.run(&back).unwrap();
-        assert_eq!(&store.read_all(&global, 0).unwrap()[..4], &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(
+            &store.read_all(&global, 0).unwrap()[..4],
+            &[4.0, 5.0, 6.0, 7.0]
+        );
         assert_eq!(tracer2.transfer_bytes, 16);
     }
 

@@ -101,16 +101,19 @@ impl Expr {
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)] // deliberate TVM-style builder API
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
     }

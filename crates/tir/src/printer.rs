@@ -139,7 +139,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
                 ForKind::Tasklet => " [bind=threadIdx.x]",
                 ForKind::HostParallel => " [parallel]",
             };
-            let _ = write!(out, "for {} in range({}){ann}:\n", var.name, print_expr(extent));
+            let _ = writeln!(
+                out,
+                "for {} in range({}){ann}:",
+                var.name,
+                print_expr(extent)
+            );
             write_stmt(out, body, level + 1);
         }
         Stmt::If {
@@ -158,7 +163,13 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
         }
         Stmt::Store { buf, index, value } => {
             indent(out, level);
-            let _ = writeln!(out, "{}[{}] = {}", buf.name, print_expr(index), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{}[{}] = {}",
+                buf.name,
+                print_expr(index),
+                print_expr(value)
+            );
         }
         Stmt::Seq(stmts) => {
             for s in stmts {

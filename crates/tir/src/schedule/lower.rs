@@ -323,7 +323,12 @@ impl<'a> Lowerer<'a> {
                 let shape: Vec<i64> = t.axes.iter().map(|&a| self.kernel_span(a)).collect();
                 let shape = if shape.is_empty() { vec![1] } else { shape };
                 MramTile {
-                    buf: Buffer::new(format!("{}_m", t.name), t.dtype, shape.clone(), MemScope::Mram),
+                    buf: Buffer::new(
+                        format!("{}_m", t.name),
+                        t.dtype,
+                        shape.clone(),
+                        MemScope::Mram,
+                    ),
                     tile_shape: shape,
                 }
             })
@@ -333,7 +338,12 @@ impl<'a> Lowerer<'a> {
             let shape: Vec<i64> = t.axes.iter().map(|&a| self.kernel_span(a)).collect();
             let shape = if shape.is_empty() { vec![1] } else { shape };
             self.mram_output = MramTile {
-                buf: Buffer::new(format!("{}_m", t.name), t.dtype, shape.clone(), MemScope::Mram),
+                buf: Buffer::new(
+                    format!("{}_m", t.name),
+                    t.dtype,
+                    shape.clone(),
+                    MemScope::Mram,
+                ),
                 tile_shape: shape,
             };
         }
@@ -412,7 +422,11 @@ impl<'a> Lowerer<'a> {
                 .iter()
                 .map(|&a| self.inner_span(a, attach_pos))
                 .collect();
-            let foot_shape = if foot_shape.is_empty() { vec![1] } else { foot_shape };
+            let foot_shape = if foot_shape.is_empty() {
+                vec![1]
+            } else {
+                foot_shape
+            };
             let wbuf = Buffer::new(
                 format!("{}_w", decl.name),
                 decl.dtype,
@@ -447,7 +461,11 @@ impl<'a> Lowerer<'a> {
                     .iter()
                     .map(|&a| self.inner_span(a, attach_pos))
                     .collect();
-                let foot_shape = if foot_shape.is_empty() { vec![1] } else { foot_shape };
+                let foot_shape = if foot_shape.is_empty() {
+                    vec![1]
+                } else {
+                    foot_shape
+                };
                 let wbuf = Buffer::new(
                     format!("{}_w", decl.name),
                     decl.dtype,
@@ -474,10 +492,8 @@ impl<'a> Lowerer<'a> {
             }
         }
         if let Some(w) = &write {
-            if w.attach_pos.is_none() {
-                if def.has_reduce() {
-                    parts.push(self.cache_write_init(w));
-                }
+            if w.attach_pos.is_none() && def.has_reduce() {
+                parts.push(self.cache_write_init(w));
             }
         }
         parts.push(body);
@@ -657,8 +673,10 @@ impl<'a> Lowerer<'a> {
                 }
                 levels.sort_by_key(|(stride, _, _)| std::cmp::Reverse(*stride));
                 for (i, (stride, _, _)) in levels.iter().enumerate() {
-                    let suffix: Vec<&(i64, i64, Expr)> =
-                        levels[i + 1..].iter().filter(|(s, _, _)| s < stride).collect();
+                    let suffix: Vec<&(i64, i64, Expr)> = levels[i + 1..]
+                        .iter()
+                        .filter(|(s, _, _)| s < stride)
+                        .collect();
                     if suffix.is_empty() {
                         continue;
                     }
@@ -889,7 +907,8 @@ impl<'a> Lowerer<'a> {
                 .add(origin.clone().mul(Expr::Int(gstrides[last])));
             if bulk {
                 let elems = if self.misaligned(a) {
-                    Expr::Int(0).max(Expr::Int(chunk).min(Expr::Int(self.axis_extent(a)).sub(origin)))
+                    Expr::Int(0)
+                        .max(Expr::Int(chunk).min(Expr::Int(self.axis_extent(a)).sub(origin)))
                 } else {
                     Expr::Int(chunk)
                 };
@@ -908,7 +927,9 @@ impl<'a> Lowerer<'a> {
                 let ev = Var::new(format!("{}_e", global.name.to_lowercase()));
                 let e_expr = Expr::var(&ev);
                 let g_off = g_last.add(e_expr.clone().mul(Expr::Int(gstrides[last])));
-                let m_off = mram_off.clone().add(e_expr.clone().mul(Expr::Int(mstrides[last])));
+                let m_off = mram_off
+                    .clone()
+                    .add(e_expr.clone().mul(Expr::Int(mstrides[last])));
                 let xfer = Stmt::HostTransfer {
                     dir,
                     dpu: self.dpu_linear(),
@@ -1135,7 +1156,12 @@ mod tests {
         let inputs = vec![(0..90).map(|x| x as f32).collect::<Vec<_>>()];
         let got = crate::schedule::execute_functional(&lowered, &inputs).unwrap();
         let expect = def.reference(&inputs);
-        assert!((got[0] - expect[0]).abs() < 1e-2, "{} vs {}", got[0], expect[0]);
+        assert!(
+            (got[0] - expect[0]).abs() < 1e-2,
+            "{} vs {}",
+            got[0],
+            expect[0]
+        );
     }
 
     #[test]
@@ -1147,7 +1173,10 @@ mod tests {
         let lowered = sch.lower().unwrap();
         // The constant matrix A is transferred by the setup program, the
         // vector B by the per-launch program.
-        assert!(count(&lowered.h2d_setup).host_transfers >= 1, "A goes to setup");
+        assert!(
+            count(&lowered.h2d_setup).host_transfers >= 1,
+            "A goes to setup"
+        );
         assert!(count(&lowered.h2d).host_transfers >= 1, "B per launch");
         let d2h_counts = count(&lowered.d2h);
         assert_eq!(d2h_counts.host_transfers, 1);

@@ -8,14 +8,15 @@
 //!   (`threadIdx.x`),
 //! * [`Schedule::rfactor`] — hierarchical (partial-on-DPU, final-on-host)
 //!   reduction,
-//! * [`Schedule::cache_read`] / [`Schedule::cache_write`] +
-//!   [`Schedule::compute_at`] — WRAM caching tiles and their locations,
+//! * [`Schedule::cache_read`] / [`Schedule::cache_write`] with an
+//!   [`Attach`] point — WRAM caching tiles and their locations,
 //! * [`Schedule::unroll`] — innermost-loop unrolling,
 //! * [`Schedule::parallel_host`] — host post-processing parallelism.
 //!
 //! [`Schedule::lower`] translates the scheduled computation into loop-based
 //! TIR: a per-DPU kernel, host↔DPU transfer programs and (for `rfactor`) a
-//! host final-reduction loop.  See [`lower`] for the lowering rules.
+//! host final-reduction loop.  See the `lower` submodule for the lowering
+//! rules.
 
 mod exec;
 mod lower;
@@ -382,11 +383,11 @@ impl Schedule {
         self.parallel_transfer = parallel;
     }
 
-    /// Lowers the schedule to loop-based TIR.  See [`lower`].
+    /// Lowers the schedule to loop-based TIR.
     ///
     /// # Errors
     /// Fails if the schedule violates the structural assumptions documented
-    /// on [`lower::lower_schedule`].
+    /// on `lower::lower_schedule`.
     pub fn lower(&self) -> Result<Lowered> {
         lower::lower_schedule(self)
     }

@@ -183,17 +183,15 @@ impl StmtMutator for Simplifier {
                 cond,
                 then_branch,
                 else_branch,
-            } => {
-                match cond.as_int() {
-                    Some(c) if c != 0 => *then_branch,
-                    Some(_) => else_branch.map(|e| *e).unwrap_or(Stmt::Nop),
-                    None => Stmt::If {
-                        cond,
-                        then_branch,
-                        else_branch,
-                    },
-                }
-            }
+            } => match cond.as_int() {
+                Some(c) if c != 0 => *then_branch,
+                Some(_) => else_branch.map(|e| *e).unwrap_or(Stmt::Nop),
+                None => Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                },
+            },
             Stmt::For {
                 var,
                 extent,
@@ -279,7 +277,11 @@ mod tests {
     fn unit_loop_is_inlined() {
         let i = Var::new("i");
         let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
-        let s = Stmt::for_serial(i.clone(), 1i64, Stmt::store(&a, Expr::var(&i), Expr::float(2.0)));
+        let s = Stmt::for_serial(
+            i.clone(),
+            1i64,
+            Stmt::store(&a, Expr::var(&i), Expr::float(2.0)),
+        );
         match simplify_stmt(s) {
             Stmt::Store { index, .. } => assert_eq!(index, Expr::Int(0)),
             other => panic!("expected inlined store, got {other:?}"),
@@ -290,7 +292,11 @@ mod tests {
     fn zero_extent_loop_removed() {
         let i = Var::new("i");
         let a = Buffer::new("A", DType::F32, vec![4], MemScope::Wram);
-        let s = Stmt::for_serial(i.clone(), 0i64, Stmt::store(&a, Expr::var(&i), Expr::float(2.0)));
+        let s = Stmt::for_serial(
+            i.clone(),
+            0i64,
+            Stmt::store(&a, Expr::var(&i), Expr::float(2.0)),
+        );
         assert_eq!(simplify_stmt(s), Stmt::Nop);
     }
 

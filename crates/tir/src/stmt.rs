@@ -381,7 +381,11 @@ mod tests {
     #[test]
     fn seq_flattens_and_drops_nops() {
         let (_, l) = simple_loop();
-        let s = Stmt::seq(vec![Stmt::Nop, Stmt::Seq(vec![l.clone(), Stmt::Nop]), l.clone()]);
+        let s = Stmt::seq(vec![
+            Stmt::Nop,
+            Stmt::Seq(vec![l.clone(), Stmt::Nop]),
+            l.clone(),
+        ]);
         match s {
             Stmt::Seq(v) => assert_eq!(v.len(), 2),
             _ => panic!("expected seq"),

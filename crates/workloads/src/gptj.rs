@@ -95,10 +95,7 @@ pub fn fc_workload(layer: &FcLayer) -> Workload {
 /// given batch size and token count: shape
 /// `(batch × heads, tokens, 256)`.
 pub fn mha_workload(model: GptJModel, batch: i64, tokens: i64) -> Workload {
-    Workload::new(
-        WorkloadKind::Mmtv,
-        vec![batch * model.heads(), tokens, 256],
-    )
+    Workload::new(WorkloadKind::Mmtv, vec![batch * model.heads(), tokens, 256])
 }
 
 /// Batch sizes evaluated in Fig. 10.

@@ -10,6 +10,20 @@
 //!   shapes of GPT-J 6B and 30B used in Fig. 10.
 //! * [`data`] — deterministic input generation and output comparison
 //!   helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_workloads::data::generate_inputs;
+//! use atim_workloads::{Workload, WorkloadKind};
+//!
+//! let workload = Workload::new(WorkloadKind::Mtv, vec![128, 256]);
+//! let def = workload.compute_def();
+//! let inputs = generate_inputs(&def, 42);
+//! assert_eq!(inputs.len(), def.inputs.len());
+//! let reference = def.reference(&inputs);
+//! assert_eq!(reference.len(), def.output_len());
+//! ```
 
 pub mod data;
 pub mod gptj;

@@ -109,9 +109,12 @@ impl Workload {
     }
 }
 
+/// A `(size label, tensor shape)` preset, e.g. `("64MB", &[4096, 4096])`.
+pub type SizePreset = (&'static str, &'static [i64]);
+
 /// The tensor-size presets of Table 3 / Fig. 9: for each workload kind, the
 /// list of `(size label, shape)` pairs evaluated in the paper.
-pub const SIZE_PRESETS: &[(WorkloadKind, &[(&str, &[i64])])] = &[
+pub const SIZE_PRESETS: &[(WorkloadKind, &[SizePreset])] = &[
     (
         WorkloadKind::Va,
         &[

@@ -18,7 +18,10 @@ fn total_ms(atim: &Atim, workload: &Workload, cfg: &atim_autotune::ScheduleConfi
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let atim = Atim::new(UpmemConfig::default());
     println!("GEMV end-to-end latency (ms), lower is better\n");
-    println!("{:<14}{:>10}{:>14}{:>10}{:>10}", "size", "PrIM", "PrIM+search", "ATiM", "CPU");
+    println!(
+        "{:<14}{:>10}{:>14}{:>10}{:>10}",
+        "size", "PrIM", "PrIM+search", "ATiM", "CPU"
+    );
 
     for (m, k) in [(1024, 1024), (4096, 4096), (8192, 8192)] {
         let workload = Workload::new(WorkloadKind::Gemv, vec![m, k]);

@@ -10,8 +10,8 @@
 //! effect on branches, DMA requests and kernel cycles.
 
 use atim_autotune::ScheduleConfig;
-use atim_core::{compile_config, CompileOptions};
 use atim_core::prelude::*;
+use atim_core::{compile_config, CompileOptions};
 use atim_tir::printer::print_stmt;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -72,6 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nThe branch count collapses and the element-wise copies become DMA transfers,");
-    println!("mirroring the 288 -> 2 branch and 96 -> 6 DMA reduction in the paper's Fig. 8 table.");
+    println!(
+        "mirroring the 288 -> 2 branch and 96 -> 6 DMA reduction in the paper's Fig. 8 table."
+    );
     Ok(())
 }

@@ -1,0 +1,34 @@
+//! # atim — umbrella crate for the ATiM-RS workspace
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! examples (`examples/`) and integration tests (`tests/`) have a single
+//! dependency, and so downstream users can depend on one crate:
+//!
+//! ```
+//! use atim::prelude::*;
+//!
+//! let atim = Atim::default();
+//! let def = ComputeDef::mtv("mtv", 8, 8);
+//! let cfg = ScheduleConfig::default_for(&def, atim.hardware());
+//! let module = atim.compile_config(&cfg, &def).unwrap();
+//! let inputs = atim::workloads::data::generate_inputs(&def, 1);
+//! let run = atim.execute(&module, &inputs).unwrap();
+//! assert!(run.report.total_ms() > 0.0);
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `docs/REPRODUCING.md` for the paper-reproduction harnesses.
+
+pub use atim_autotune as autotune;
+pub use atim_baselines as baselines;
+pub use atim_bench as bench;
+pub use atim_core as core;
+pub use atim_passes as passes;
+pub use atim_sim as sim;
+pub use atim_tir as tir;
+pub use atim_workloads as workloads;
+
+/// The same convenience re-exports as [`atim_core::prelude`].
+pub mod prelude {
+    pub use atim_core::prelude::*;
+}

@@ -12,7 +12,9 @@ fn atim_beats_prim_on_large_gemv() {
     let atim = Atim::new(UpmemConfig::default());
     let w = Workload::new(WorkloadKind::Gemv, vec![4096, 4096]);
     let prim = prim_report(&atim, &w).expect("prim").total_ms();
-    let prim_search = prim_search_report(&atim, &w).expect("prim+search").total_ms();
+    let prim_search = prim_search_report(&atim, &w)
+        .expect("prim+search")
+        .total_ms();
     let (cfg, atim_r) = atim_report(&atim, &w, 64);
     let atim_ms = atim_r.total_ms();
     assert!(
@@ -61,7 +63,10 @@ fn simplepim_loses_to_prim_and_atim_on_va() {
     let prim = prim_report(&atim, &w).expect("prim").total_ms();
     let simple = simplepim_report(&atim, &w).expect("simplepim").total_ms();
     let (_, atim_r) = atim_report(&atim, &w, 32);
-    assert!(simple > prim, "SimplePIM ({simple} ms) must be slower than PrIM ({prim} ms)");
+    assert!(
+        simple > prim,
+        "SimplePIM ({simple} ms) must be slower than PrIM ({prim} ms)"
+    );
     assert!(simple > atim_r.total_ms());
 }
 

@@ -17,7 +17,11 @@ fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
     let (tuned, module) = atim
         .autotune_and_compile(&def, &options)
         .expect("autotune_and_compile");
-    assert!(tuned.best_latency_s().is_finite(), "{}: tuning failed", workload.label());
+    assert!(
+        tuned.best_latency_s().is_finite(),
+        "{}: tuning failed",
+        workload.label()
+    );
 
     let inputs = generate_inputs(&def, 7);
     let run = atim.execute(&module, &inputs).expect("execute");

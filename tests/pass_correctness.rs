@@ -22,10 +22,8 @@ fn misaligned_workloads() -> Vec<Workload> {
 
 fn test_config(w: &Workload) -> ScheduleConfig {
     ScheduleConfig {
-        spatial_dpus: vec![4; w.compute_def().spatial_axes().len().max(1)][..w
-            .compute_def()
-            .spatial_axes()
-            .len()]
+        spatial_dpus: vec![4; w.compute_def().spatial_axes().len().max(1)]
+            [..w.compute_def().spatial_axes().len()]
             .to_vec(),
         reduce_dpus: if w.kind.has_reduce() { 2 } else { 1 },
         tasklets: 3,

@@ -1,0 +1,159 @@
+//! Vendored, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! Supports the `criterion_group!`/`criterion_main!` entry points and the
+//! `bench_function`/`benchmark_group` surface the ATiM-RS benches use. It
+//! reports mean wall-clock time per iteration to stdout and performs no
+//! statistical analysis. Under `cargo test` (which passes `--test` to
+//! `harness = false` bench binaries) every benchmark body runs exactly once
+//! as a smoke test.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Switches every subsequent measurement to single-iteration smoke mode
+/// (used when the binary is invoked by `cargo test`).
+pub fn set_test_mode() {
+    TEST_MODE.store(true, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
+
+/// An opaque identity function that prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs one benchmark body and measures its mean iteration time.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, first warming up and then averaging over enough
+    /// iterations to fill a short measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if test_mode() {
+            black_box(body());
+            self.mean = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up; also sizes the batch so one measurement spans ~50ms.
+        let warmup = Instant::now();
+        black_box(body());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.mean = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) if !test_mode() => {
+            println!("{name:<40} time: {mean:>12.2?}/iter");
+        }
+        Some(_) => println!("{name:<40} ok (test mode)"),
+        None => println!("{name:<40} skipped (no iter call)"),
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (sampling knobs are accepted but ignored).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this subset sizes runs by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function invoking the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group declared via `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+///
+/// Recognizes the `--test` flag `cargo test` passes to `harness = false`
+/// bench targets and switches to single-iteration smoke mode.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|arg| arg == "--test") {
+                $crate::set_test_mode();
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        set_test_mode();
+        let mut criterion = Criterion::default();
+        let mut runs = 0u32;
+        criterion.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut group = criterion.benchmark_group("group");
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+}

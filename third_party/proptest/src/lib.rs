@@ -1,0 +1,549 @@
+//! Vendored, dependency-free subset of the `proptest` 1.x API.
+//!
+//! Implements the strategy combinators, macros and test runner that the
+//! ATiM-RS property tests use. The one deliberate omission is *shrinking*:
+//! a failing case is reported exactly as generated instead of being
+//! minimized. See `third_party/README.md` for the full scope.
+
+/// Test-case execution: configuration, RNG and failure type.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A property failure (carries the formatted assertion message).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Result type property bodies evaluate to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives strategy sampling with a deterministic SplitMix64 stream.
+    pub struct TestRunner {
+        /// The active configuration.
+        pub config: Config,
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner for `config` with a fixed seed (runs are
+        /// reproducible; upstream proptest would randomize here).
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                config,
+                state: 0x243F_6A88_85A3_08D3,
+            }
+        }
+
+        /// A runner with the default configuration and a fixed seed.
+        pub fn deterministic() -> Self {
+            TestRunner::new(Config::default())
+        }
+
+        /// Returns the next random word of the sampling stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRunner;
+
+    /// A generated value (upstream: a shrinkable tree; here: just the value).
+    pub trait ValueTree {
+        /// The value type this tree yields.
+        type Value;
+
+        /// Returns the generated value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The single [`ValueTree`] implementation: no shrinking.
+    pub struct NoShrink<T>(T);
+
+    impl<T: Clone> ValueTree for NoShrink<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A composable random-value generator.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Draws one value wrapped in a (non-shrinking) [`ValueTree`].
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this subset; the `Result` mirrors upstream.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(NoShrink(self.sample(runner)))
+        }
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Generates recursive values: `self` is the leaf strategy and
+        /// `recurse` wraps an inner strategy into one more level.
+        ///
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// upstream signature compatibility; this subset only bounds depth.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value, F>
+        where
+            Self: Sized + 'static,
+            Self::Value: Clone + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            Recursive {
+                base: self.boxed(),
+                depth,
+                recurse: Arc::new(recurse),
+            }
+        }
+
+        /// Type-erases this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                sample: Arc::new(move |runner: &mut TestRunner| self.sample(runner)),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).sample(runner)
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Arc<dyn Fn(&mut TestRunner) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sample: Arc::clone(&self.sample),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            (self.sample)(runner)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, runner: &mut TestRunner) -> O {
+            (self.map)(self.inner.sample(runner))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_recursive`].
+    pub struct Recursive<T, F> {
+        base: BoxedStrategy<T>,
+        depth: u32,
+        recurse: Arc<F>,
+    }
+
+    impl<T, R, F> Strategy for Recursive<T, F>
+    where
+        T: Clone + 'static,
+        R: Strategy<Value = T> + 'static,
+        F: Fn(BoxedStrategy<T>) -> R,
+    {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            let levels = runner.next_u64() % (u64::from(self.depth) + 1);
+            let mut current = self.base.clone();
+            for _ in 0..levels {
+                current = (self.recurse)(current).boxed();
+            }
+            current.sample(runner)
+        }
+    }
+
+    /// Uniform choice between strategies (built by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            let idx = (runner.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].sample(runner)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let off = (runner.next_u64() as u128) % width;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let width = (end as i128 - start as i128) as u128 + 1;
+                    let off = (runner.next_u64() as u128) % width;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = ((runner.next_u64() >> 11) as f64)
+                        * (1.0 / (1u64 << 53) as f64);
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.sample(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, NoShrink, Strategy, Union, ValueTree};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between the listed strategies (all must share one value
+/// type). Weighted arms are not supported in this subset.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the enclosing property if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the enclosing property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let cases = config.cases;
+                let mut __runner = $crate::test_runner::TestRunner::new(config);
+                for __case in 0..cases {
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $(
+                            let $arg = $crate::strategy::ValueTree::current(
+                                &$crate::strategy::Strategy::new_tree(
+                                    &($strategy),
+                                    &mut __runner,
+                                )
+                                .expect("strategy sampling cannot fail"),
+                            );
+                        )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(failure) = __outcome {
+                        panic!(
+                            "proptest: case {}/{} failed: {}",
+                            __case + 1,
+                            cases,
+                            failure
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strategy = prop_oneof![(0i64..10).prop_map(|v| v * 2), Just(-1i64)];
+        let mut runner = TestRunner::deterministic();
+        let mut saw_just = false;
+        let mut saw_even = false;
+        for _ in 0..64 {
+            let v = strategy.new_tree(&mut runner).unwrap().current();
+            if v == -1 {
+                saw_just = true;
+            } else {
+                assert!(v % 2 == 0 && (0..20).contains(&v));
+                saw_even = true;
+            }
+        }
+        assert!(saw_just && saw_even);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // Leaf payload only exercises value plumbing.
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+
+        fn depth(tree: &Tree) -> u32 {
+            match tree {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+
+        let strategy = (0i64..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..32 {
+            let tree = strategy.new_tree(&mut runner).unwrap().current();
+            assert!(depth(&tree) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in -5i64..5, b in 0usize..3, c in 1u32..=4) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise((x, y) in (0i64..4, 10i64..14)) {
+            prop_assert!((0..4).contains(&x), "x out of range: {}", x);
+            prop_assert_eq!(y, y);
+            prop_assert_ne!(x, 9);
+            prop_assert!((10..14).contains(&y));
+        }
+    }
+}
