@@ -19,8 +19,9 @@
 //!   best-candidate database, balanced sampling of `rfactor`/non-`rfactor`
 //!   design spaces in the early trials, and an adaptive ε-greedy schedule.
 //! * [`tuner`] — the driver loop tying it all together, generic over a
-//!   [`tuner::Measurer`] so the caller decides how candidates are timed
-//!   (the `atim-core` crate measures them on the simulated UPMEM machine).
+//!   [`tuner::Measurer`] / [`tuner::BatchMeasurer`] so the caller decides how
+//!   candidates are timed (the `atim-core` crate measures them on the
+//!   simulated UPMEM machine, batching each round across worker threads).
 //!
 //! # Example
 //!
@@ -54,5 +55,8 @@ pub mod tuner;
 pub mod verifier;
 
 pub use space::{ScheduleConfig, SearchSpace};
-pub use tuner::{tune, Measurer, TuningOptions, TuningRecord, TuningResult};
+pub use tuner::{
+    tune, tune_batch, BatchMeasurer, Measurer, SequentialMeasurer, TuningOptions, TuningRecord,
+    TuningResult,
+};
 pub use verifier::{verify, VerifyError};

@@ -13,6 +13,8 @@
 //!   decays linearly to 0.05 over the same window, after which exploitation
 //!   dominates to accelerate convergence.
 
+use std::collections::HashSet;
+
 use crate::space::ScheduleConfig;
 
 /// Knobs of the evolutionary search.
@@ -83,9 +85,18 @@ pub struct DbEntry {
 }
 
 /// The best-candidate database shared by all search rounds.
+///
+/// Entries are kept sorted by latency via binary-search insertion (one
+/// `partition_point` plus one `Vec::insert` per measurement, instead of the
+/// full re-sort a naive implementation pays), and membership queries go
+/// through a hash set, so neither operation is quadratic across a tuning
+/// session.
 #[derive(Debug, Clone, Default)]
 pub struct CandidateDb {
+    /// Sorted by latency ascending; ties keep insertion order.
     entries: Vec<DbEntry>,
+    /// Hash-based dedup set backing `contains`.
+    measured: HashSet<ScheduleConfig>,
 }
 
 impl CandidateDb {
@@ -106,17 +117,16 @@ impl CandidateDb {
 
     /// Whether a configuration has already been measured.
     pub fn contains(&self, config: &ScheduleConfig) -> bool {
-        self.entries.iter().any(|e| &e.config == config)
+        self.measured.contains(config)
     }
 
-    /// Records a measurement.
+    /// Records a measurement, keeping entries sorted by latency.  Ties
+    /// preserve insertion order (matching what a stable sort after every
+    /// push used to produce).
     pub fn insert(&mut self, config: ScheduleConfig, latency_s: f64) {
-        self.entries.push(DbEntry { config, latency_s });
-        self.entries.sort_by(|a, b| {
-            a.latency_s
-                .partial_cmp(&b.latency_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        self.measured.insert(config.clone());
+        let at = self.entries.partition_point(|e| e.latency_s <= latency_s);
+        self.entries.insert(at, DbEntry { config, latency_s });
     }
 
     /// The best entry so far.
@@ -210,6 +220,48 @@ mod tests {
         assert_eq!(db.len(), 3);
         assert_eq!(db.best().unwrap().latency_s, 1.0);
         assert!(db.contains(&cfg(64, 1)));
+        assert!(!db.contains(&cfg(999, 1)));
+    }
+
+    #[test]
+    fn binary_insertion_matches_the_naive_resort_implementation() {
+        // Reference: the previous push-then-stable-sort implementation.
+        let mut naive: Vec<DbEntry> = Vec::new();
+        let mut db = CandidateDb::new();
+        let latencies = [3.0, 1.0, 2.0, 1.0, 5.0, 0.5, 2.0, 1.0, 4.0, 0.5];
+        for (i, &lat) in latencies.iter().enumerate() {
+            let config = cfg(8 + i as i64, if i % 3 == 0 { 4 } else { 1 });
+            naive.push(DbEntry {
+                config: config.clone(),
+                latency_s: lat,
+            });
+            naive.sort_by(|a, b| {
+                a.latency_s
+                    .partial_cmp(&b.latency_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            db.insert(config, lat);
+            // Ordering (including tie order) is identical after every insert.
+            let got: Vec<(&ScheduleConfig, f64)> = db
+                .top_k(db.len(), false)
+                .iter()
+                .map(|e| (&e.config, e.latency_s))
+                .collect();
+            let want: Vec<(&ScheduleConfig, f64)> =
+                naive.iter().map(|e| (&e.config, e.latency_s)).collect();
+            assert_eq!(got, want, "after insert #{i}");
+        }
+        // Balanced top-k picks the same parents as the naive ordering would.
+        let balanced: Vec<f64> = db.top_k(4, true).iter().map(|e| e.latency_s).collect();
+        assert_eq!(balanced.len(), 4);
+        let rfactor_picks = db
+            .top_k(4, true)
+            .iter()
+            .filter(|e| e.config.uses_rfactor())
+            .count();
+        assert_eq!(rfactor_picks, 2);
+        // And membership still answers through the hash set.
+        assert!(db.contains(&cfg(8, 4)));
         assert!(!db.contains(&cfg(999, 1)));
     }
 

@@ -1,5 +1,14 @@
 //! The autotuning driver: design-space generation → verification → cost-model
 //! ranking → measurement → database/model update (Fig. 6's loop).
+//!
+//! Measurement — the stage that dominates tuning cost, exactly as in AutoTVM
+//! — is dispatched through a [`BatchMeasurer`]: each round's ranked slice is
+//! handed over as one batch so implementations can fan candidates out across
+//! worker threads (`atim-core`'s simulator measurer does).  Plain
+//! single-candidate [`Measurer`]s keep working through the
+//! [`SequentialMeasurer`] adapter.
+
+use std::collections::HashSet;
 
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
@@ -26,6 +35,40 @@ where
 {
     fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
         self(config)
+    }
+}
+
+/// Measures a whole round's worth of candidates at once.
+///
+/// The tuning loop never depends on measurement *order within a batch*, only
+/// on the returned slots, so implementations are free to measure candidates
+/// concurrently as long as results land at the index of their candidate.
+/// Given a deterministic per-candidate measurer this makes parallel tuning
+/// bit-identical to sequential tuning.
+pub trait BatchMeasurer {
+    /// Measures every candidate, returning one result per candidate **in
+    /// input order** (`result[i]` belongs to `configs[i]`).  `None` marks a
+    /// candidate that failed to build or run.
+    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>>;
+}
+
+/// Adapter running a plain [`Measurer`] one candidate at a time — the default
+/// way analytic test measurers and closures participate in the batch
+/// interface.
+pub struct SequentialMeasurer<'a> {
+    inner: &'a mut dyn Measurer,
+}
+
+impl<'a> SequentialMeasurer<'a> {
+    /// Wraps a single-candidate measurer.
+    pub fn new(inner: &'a mut dyn Measurer) -> Self {
+        SequentialMeasurer { inner }
+    }
+}
+
+impl BatchMeasurer for SequentialMeasurer<'_> {
+    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        configs.iter().map(|c| self.inner.measure(c)).collect()
     }
 }
 
@@ -71,7 +114,8 @@ impl TuningOptions {
 /// One measured trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuningRecord {
-    /// Trial index (0-based, in measurement order).
+    /// Trial index: dense over *successful* measurements, so
+    /// `history[i].trial == i` always holds.
     pub trial: usize,
     /// The measured configuration.
     pub config: ScheduleConfig,
@@ -88,9 +132,14 @@ pub struct TuningResult {
     /// measurement failed).
     pub best: Option<(ScheduleConfig, f64)>,
     /// Per-trial history (for convergence plots like the paper's Fig. 14).
+    /// One record per successful measurement; `history.len() == measured`.
     pub history: Vec<TuningRecord>,
-    /// Number of measurements performed.
+    /// Number of successful measurements.  Only these count against the
+    /// trial budget.
     pub measured: usize,
+    /// Number of measurements that failed to build or run.  Failures are
+    /// reported here instead of being charged against the trial budget.
+    pub failed: usize,
     /// Number of candidates rejected by the UPMEM verifier before
     /// measurement.
     pub rejected: usize,
@@ -103,24 +152,42 @@ impl TuningResult {
     }
 }
 
-/// Runs the full autotuning loop for one workload.
+/// Runs the full autotuning loop for one workload with a single-candidate
+/// measurer.
 ///
-/// Candidates are generated from the two design spaces (with and without
-/// `rfactor`), filtered by the UPMEM verifier, ranked by the cost model and
-/// measured by `measurer`; measurements feed the best-candidate database and
-/// retrain the cost model every round.
+/// Equivalent to [`tune_batch`] with the [`SequentialMeasurer`] adapter; see
+/// there for the loop structure.
 pub fn tune(
     def: &ComputeDef,
     hw: &UpmemConfig,
     options: &TuningOptions,
     measurer: &mut dyn Measurer,
 ) -> TuningResult {
+    tune_batch(def, hw, options, &mut SequentialMeasurer::new(measurer))
+}
+
+/// Runs the full autotuning loop for one workload.
+///
+/// Candidates are generated from the two design spaces (with and without
+/// `rfactor`), filtered by the UPMEM verifier, ranked by the cost model and
+/// handed to `measurer` one round-sized batch at a time; measurements feed
+/// the best-candidate database and retrain the cost model every round.
+///
+/// Only *successful* measurements consume the trial budget; failures are
+/// tallied in [`TuningResult::failed`].
+pub fn tune_batch(
+    def: &ComputeDef,
+    hw: &UpmemConfig,
+    options: &TuningOptions,
+    measurer: &mut dyn BatchMeasurer,
+) -> TuningResult {
     let space = SearchSpace::new(def, hw);
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut db = CandidateDb::new();
     let mut model = CostModel::new();
-    let mut history = Vec::new();
+    let mut history: Vec<TuningRecord> = Vec::new();
     let mut measured = 0usize;
+    let mut failed = 0usize;
     let mut rejected = 0usize;
     let mut samples: Vec<([f64; crate::cost_model::NUM_FEATURES], f64)> = Vec::new();
 
@@ -150,8 +217,9 @@ pub fn tune(
 
         // --- Verification ------------------------------------------------------
         let mut verified: Vec<ScheduleConfig> = Vec::new();
+        let mut seen: HashSet<ScheduleConfig> = HashSet::with_capacity(candidates.len());
         for cand in candidates {
-            if verified.contains(&cand) || db.contains(&cand) {
+            if db.contains(&cand) || !seen.insert(cand.clone()) {
                 continue;
             }
             match verify(&cand, def, hw) {
@@ -171,12 +239,23 @@ pub fn tune(
         ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
         // --- Measurement -----------------------------------------------------------
-        for (_, cand) in ranked.into_iter().take(options.measure_per_round) {
-            if measured >= options.trials {
-                break;
-            }
-            let Some(latency) = measurer.measure(&cand) else {
-                measured += 1;
+        // The whole round is handed over as one batch so the measurer can
+        // parallelize; results come back slot-for-slot in candidate order.
+        let budget = options.measure_per_round.min(options.trials - measured);
+        let batch: Vec<ScheduleConfig> = ranked
+            .into_iter()
+            .take(budget)
+            .map(|(_, cand)| cand)
+            .collect();
+        let results = measurer.measure_batch(&batch);
+        assert_eq!(
+            results.len(),
+            batch.len(),
+            "BatchMeasurer must return one result per candidate"
+        );
+        for (cand, result) in batch.into_iter().zip(results) {
+            let Some(latency) = result else {
+                failed += 1;
                 continue;
             };
             samples.push((featurize(&cand, def, hw), latency));
@@ -198,6 +277,7 @@ pub fn tune(
         best: db.best().map(|e| (e.config.clone(), e.latency_s)),
         history,
         measured,
+        failed,
         rejected,
     }
 }
@@ -266,7 +346,7 @@ mod tests {
         // Some random candidates will exceed WRAM or DPU limits for this
         // shape; the exact number is seed-dependent but must be tracked.
         assert!(result.measured > 0);
-        assert!(result.history.len() <= result.measured);
+        assert_eq!(result.history.len(), result.measured);
         let _ = result.rejected;
     }
 
@@ -286,7 +366,70 @@ mod tests {
         };
         let result = tune(&def, &hw, &opts, &mut measurer);
         assert!(result.best.is_some());
-        assert!(result.history.len() < result.measured);
+        // Failures are reported separately and do not consume trial budget:
+        // every budgeted trial is a successful measurement.
+        assert_eq!(result.measured, opts.trials);
+        assert!(result.failed > 0);
+        assert_eq!(result.history.len(), result.measured);
+        // Trial indices stay dense even though every other measurement fails.
+        for (i, rec) in result.history.iter().enumerate() {
+            assert_eq!(rec.trial, i);
+        }
+        // The failed latencies never entered the database.
+        assert!(result.best_latency().is_finite());
+    }
+
+    #[test]
+    fn all_failing_measurers_terminate_with_zero_measured() {
+        let def = ComputeDef::va("va", 1 << 16);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut measurer = |_: &ScheduleConfig| -> Option<f64> { None };
+        let result = tune(&def, &hw, &opts, &mut measurer);
+        assert!(result.best.is_none());
+        assert_eq!(result.measured, 0);
+        assert!(result.history.is_empty());
+        assert!(result.failed > 0);
+    }
+
+    #[test]
+    fn batch_and_sequential_measurement_agree() {
+        struct CountingBatch<F: FnMut(&ScheduleConfig) -> Option<f64>> {
+            inner: F,
+            max_batch: usize,
+            batches: usize,
+        }
+        impl<F: FnMut(&ScheduleConfig) -> Option<f64>> BatchMeasurer for CountingBatch<F> {
+            fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+                self.batches += 1;
+                self.max_batch = self.max_batch.max(configs.len());
+                configs.iter().map(|c| (self.inner)(c)).collect()
+            }
+        }
+
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut seq = analytic_measure(&def);
+        let sequential = tune(&def, &hw, &opts, &mut seq);
+        let mut batch = CountingBatch {
+            inner: analytic_measure(&def),
+            max_batch: 0,
+            batches: 0,
+        };
+        let batched = tune_batch(&def, &hw, &opts, &mut batch);
+        // Identical search trajectory: same history, same best.
+        assert_eq!(sequential.history, batched.history);
+        assert_eq!(sequential.best, batched.best);
+        // Batches respect the per-round measurement budget.
+        assert!(batch.batches > 1);
+        assert!(batch.max_batch <= opts.measure_per_round);
+        assert!(batched.measured <= opts.trials);
     }
 
     #[test]

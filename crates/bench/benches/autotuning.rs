@@ -2,7 +2,7 @@
 //! verification, cost-model ranking and measurement (the machinery behind
 //! Fig. 14/15).
 
-use atim_autotune::{tune, ScheduleConfig, TuningOptions};
+use atim_autotune::{tune, tune_batch, ScheduleConfig, TuningOptions};
 use atim_core::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -41,6 +41,14 @@ fn bench_small_tuning_session(c: &mut Criterion) {
         b.iter(|| {
             let mut measurer = |cfg: &ScheduleConfig| atim.measure_config(cfg, &def);
             tune(&def, atim.hardware(), &options, &mut measurer)
+        })
+    });
+    group.bench_function("tune_batch_parallel_16_trials_mtv_1k", |b| {
+        b.iter(|| {
+            // Fresh measurer per iteration so the memo cache does not carry
+            // over between timed runs.
+            let mut measurer = SimBatchMeasurer::new(&atim, &def);
+            tune_batch(&def, atim.hardware(), &options, &mut measurer)
         })
     });
     group.finish();

@@ -4,9 +4,12 @@
 //! Tuning wall-clock here is the real time spent by this harness per
 //! 64-trial iteration (dominated by candidate simulation), mirroring how the
 //! paper's measurement is dominated by on-hardware runs; the CPU column uses
-//! the host roofline model as the candidate execution time.
+//! the host roofline model as the candidate execution time.  Each iteration
+//! is tuned twice — once with the sequential measurer and once with the
+//! batch-parallel measurer (`ATIM_MEASURE_THREADS` workers) — so the output
+//! shows the tuning-cost win of batching directly.
 
-use atim_autotune::{tune, Measurer, ScheduleConfig, TuningOptions};
+use atim_autotune::{tune, tune_batch, Measurer, ScheduleConfig, TuningOptions};
 use atim_core::prelude::*;
 use std::time::Instant;
 
@@ -29,10 +32,17 @@ fn main() {
     let def = ComputeDef::mtv("mtv", 4096, 4096);
     let iterations = 8usize;
     let per_iter = 64usize;
+    let threads = atim_core::measure::default_measure_threads();
 
     println!("# Fig 15 (left): per-iteration tuning wall-clock (seconds)");
-    println!("iteration,upmem_tuning_s,cpu_tuning_s");
+    println!(
+        "# sequential = plain one-at-a-time measurer (no memo); batch = \
+         SimBatchMeasurer with {threads} threads + cross-round memo"
+    );
+    println!("iteration,upmem_seq_tuning_s,upmem_par_tuning_s,cpu_tuning_s");
     let mut all_candidates: Vec<f64> = Vec::new();
+    let mut total_seq = 0.0;
+    let mut total_par = 0.0;
     for it in 0..iterations {
         let options = TuningOptions {
             trials: per_iter,
@@ -47,15 +57,32 @@ fn main() {
             candidate_ms: Vec::new(),
         };
         let start = Instant::now();
-        let _ = tune(&def, atim.hardware(), &options, &mut measurer);
-        let upmem_s = start.elapsed().as_secs_f64();
+        let seq_result = tune(&def, atim.hardware(), &options, &mut measurer);
+        let seq_s = start.elapsed().as_secs_f64();
+
+        let mut batch = SimBatchMeasurer::new(&atim, &def);
+        let start = Instant::now();
+        let par_result = tune_batch(&def, atim.hardware(), &options, &mut batch);
+        let par_s = start.elapsed().as_secs_f64();
+        assert_eq!(
+            seq_result.best, par_result.best,
+            "parallel measurement must not change the tuning result"
+        );
+
         // CPU autotuning iteration: measuring 64 CPU candidates, each costing
         // roughly the roofline latency of the kernel.
         let cpu_candidate = atim_sim::cpu::cpu_autotuned(&def, atim.hardware()).time_s;
         let cpu_s = cpu_candidate * per_iter as f64;
-        println!("{it},{upmem_s:.3},{cpu_s:.3}");
+        println!("{it},{seq_s:.3},{par_s:.3},{cpu_s:.3}");
+        total_seq += seq_s;
+        total_par += par_s;
         all_candidates.extend(measurer.candidate_ms);
     }
+    println!(
+        "# total: sequential {total_seq:.2}s, batch subsystem {total_par:.2}s \
+         ({:.2}x; includes both thread fan-out and memoization)",
+        total_seq / total_par.max(1e-9)
+    );
 
     println!();
     println!("# Fig 15 (right): candidate kernel execution times (ms, log-scale in the paper)");

@@ -1,11 +1,12 @@
 //! The top-level ATiM facade.
 
-use atim_autotune::{tune, Measurer, ScheduleConfig, TuningOptions};
+use atim_autotune::{tune_batch, ScheduleConfig, TuningOptions};
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::Result;
 
 use crate::compiler::{compile_config, CompileOptions, CompiledModule};
+use crate::measure::SimBatchMeasurer;
 use crate::runtime::{ExecutedRun, Runtime};
 use crate::tuned::TunedModule;
 
@@ -89,9 +90,15 @@ impl Atim {
     /// Runs the full autotuning flow for a computation: joint-space search
     /// with the UPMEM verifier and cost model, measuring candidates on the
     /// simulated machine.
+    ///
+    /// Each round's candidates are measured as one batch by a
+    /// [`SimBatchMeasurer`]: fanned out across worker threads (tunable via
+    /// `ATIM_MEASURE_THREADS`) with a cross-round memo of already-measured
+    /// configurations.  The result is bit-identical to sequential
+    /// measurement — only faster.
     pub fn autotune(&self, def: &ComputeDef, options: &TuningOptions) -> TunedModule {
-        let mut measurer = AtimMeasurer { atim: self, def };
-        let result = tune(def, &self.hw, options, &mut measurer);
+        let mut measurer = SimBatchMeasurer::new(self, def);
+        let result = tune_batch(def, &self.hw, options, &mut measurer);
         TunedModule::new(def.clone(), result, &self.hw)
     }
 
@@ -107,17 +114,6 @@ impl Atim {
         let tuned = self.autotune(def, options);
         let module = self.compile_config(tuned.best_config(), def)?;
         Ok((tuned, module))
-    }
-}
-
-struct AtimMeasurer<'a> {
-    atim: &'a Atim,
-    def: &'a ComputeDef,
-}
-
-impl Measurer for AtimMeasurer<'_> {
-    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
-        self.atim.measure_config(config, self.def)
     }
 }
 
@@ -144,6 +140,33 @@ mod tests {
         let expect = def.reference(&inputs);
         assert!(results_match(run.output.as_ref().unwrap(), &expect, 96));
         assert!(run.report.total_s() > 0.0);
+    }
+
+    /// Same seed ⇒ the parallel batch measurer and a plain sequential
+    /// measurer produce an identical best configuration and an identical
+    /// history (same configs, same latencies, same order).
+    #[test]
+    fn parallel_tuning_is_deterministic_and_matches_sequential() {
+        let atim = Atim::new(UpmemConfig::small());
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let options = TuningOptions {
+            trials: 12,
+            population: 12,
+            measure_per_round: 6,
+            ..TuningOptions::default()
+        };
+
+        let mut sequential = |cfg: &ScheduleConfig| atim.measure_config(cfg, &def);
+        let seq = atim_autotune::tune(&def, atim.hardware(), &options, &mut sequential);
+
+        let mut parallel = SimBatchMeasurer::with_threads(&atim, &def, 4);
+        let par = tune_batch(&def, atim.hardware(), &options, &mut parallel);
+
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.history, par.history, "histories must be bit-identical");
+        assert_eq!(seq.measured, par.measured);
+        assert_eq!(seq.failed, par.failed);
+        assert_eq!(seq.rejected, par.rejected);
     }
 
     #[test]

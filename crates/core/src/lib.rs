@@ -28,6 +28,7 @@
 //! ```
 
 pub mod compiler;
+pub mod measure;
 pub mod runtime;
 pub mod tuned;
 
@@ -35,12 +36,15 @@ mod atim;
 
 pub use atim::Atim;
 pub use compiler::{compile_config, compile_schedule, CompileOptions, CompiledModule};
+pub use measure::SimBatchMeasurer;
 pub use runtime::{ExecutedRun, Runtime};
 pub use tuned::TunedModule;
 
 /// Commonly used re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::{Atim, CompileOptions, CompiledModule, ExecutedRun, TunedModule};
+    pub use crate::{
+        Atim, CompileOptions, CompiledModule, ExecutedRun, SimBatchMeasurer, TunedModule,
+    };
     pub use atim_autotune::{ScheduleConfig, TuningOptions};
     pub use atim_passes::OptLevel;
     pub use atim_sim::{SimMode, UpmemConfig};

@@ -1,0 +1,223 @@
+//! Batch-parallel candidate measurement on the simulated UPMEM machine.
+//!
+//! The tuning loop's cost is dominated by measurements (the paper performs
+//! ~1000 per workload), and each measurement — compile the candidate, then
+//! interpret its kernel on representative DPUs — is independent of every
+//! other.  [`SimBatchMeasurer`] exploits that: each round's batch is fanned
+//! out over `std::thread::scope` workers, every worker owning its own
+//! `MemoryStore` (created inside `UpmemMachine::run`) while sharing the
+//! immutable [`Atim`] instance.
+//!
+//! Results are written into per-candidate slots, so the tuner observes the
+//! same latencies in the same order as a sequential measurer would — tuning
+//! with the parallel measurer is bit-identical to tuning sequentially (a
+//! regression test in `atim.rs` pins this).
+//!
+//! A `(config) → latency` memo is kept across rounds: the evolutionary
+//! search can re-propose a configuration whose measurement previously
+//! *failed* (successes are deduplicated by the candidate database), and
+//! repeated sessions over the same measurer instance skip re-simulation
+//! entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use atim_autotune::{BatchMeasurer, ScheduleConfig};
+use atim_tir::compute::ComputeDef;
+
+use crate::atim::Atim;
+
+/// Environment variable overriding the number of measurement worker threads.
+pub const THREADS_ENV: &str = "ATIM_MEASURE_THREADS";
+
+/// Parses an `ATIM_MEASURE_THREADS` value: `0` is clamped to `1` (i.e.
+/// sequential), non-numeric values are rejected.
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Number of measurement workers: `ATIM_MEASURE_THREADS` if set (`0` is
+/// clamped to `1`, i.e. sequential), otherwise the machine's available
+/// parallelism.
+pub fn default_measure_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| parse_threads(&v))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A [`BatchMeasurer`] that times candidates on the simulated UPMEM machine,
+/// in parallel, with a cross-round memoization cache.
+pub struct SimBatchMeasurer<'a> {
+    atim: &'a Atim,
+    def: &'a ComputeDef,
+    threads: usize,
+    cache: HashMap<ScheduleConfig, Option<f64>>,
+    cache_hits: usize,
+}
+
+impl<'a> SimBatchMeasurer<'a> {
+    /// Creates a measurer using [`default_measure_threads`] workers.
+    pub fn new(atim: &'a Atim, def: &'a ComputeDef) -> Self {
+        Self::with_threads(atim, def, default_measure_threads())
+    }
+
+    /// Creates a measurer with an explicit worker count (1 = sequential).
+    pub fn with_threads(atim: &'a Atim, def: &'a ComputeDef, threads: usize) -> Self {
+        SimBatchMeasurer {
+            atim,
+            def,
+            threads: threads.max(1),
+            cache: HashMap::new(),
+            cache_hits: 0,
+        }
+    }
+
+    /// Number of worker threads this measurer fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of distinct configurations measured so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of measurements answered from the memo instead of simulation.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+}
+
+impl BatchMeasurer for SimBatchMeasurer<'_> {
+    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        // Slot-indexed output: filled from the memo first, then by workers.
+        let mut out: Vec<Option<Option<f64>>> =
+            configs.iter().map(|c| self.cache.get(c).copied()).collect();
+        self.cache_hits += out.iter().filter(|r| r.is_some()).count();
+
+        // Distinct missing configurations, in first-occurrence order so the
+        // work list (and thus the output) is deterministic.  Duplicates
+        // within one batch are simulated once and fanned out to every slot.
+        let mut seen: std::collections::HashSet<&ScheduleConfig> =
+            std::collections::HashSet::with_capacity(configs.len());
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, config) in configs.iter().enumerate() {
+            if out[i].is_none() && seen.insert(config) {
+                unique.push(i);
+            }
+        }
+
+        let atim = self.atim;
+        let def = self.def;
+        let workers = self.threads.min(unique.len());
+        let fresh: Vec<(usize, Option<f64>)> = if workers <= 1 {
+            unique
+                .iter()
+                .map(|&i| (i, atim.measure_config(&configs[i], def)))
+                .collect()
+        } else {
+            // Dynamic work queue: candidates vary wildly in simulation cost
+            // (the Fig. 15 spread), so static chunking would leave workers
+            // idle.  Each worker owns its measurement state; results carry
+            // their slot index, keeping the output deterministic.
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, Option<f64>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&slot) = unique.get(k) else { break };
+                                local.push((slot, atim.measure_config(&configs[slot], def)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("measurement worker panicked"))
+                    .collect()
+            });
+            per_worker.into_iter().flatten().collect()
+        };
+
+        for (slot, result) in fresh {
+            self.cache.insert(configs[slot].clone(), result);
+            out[slot] = Some(result);
+        }
+        // Fill any remaining slots (in-batch duplicates) from the memo.
+        for (i, r) in out.iter_mut().enumerate() {
+            if r.is_none() {
+                *r = self.cache.get(&configs[i]).copied();
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot measured"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_sim::UpmemConfig;
+
+    #[test]
+    fn batches_fill_every_slot_in_candidate_order() {
+        let atim = Atim::new(UpmemConfig::small());
+        let def = ComputeDef::mtv("mtv", 64, 48);
+        let good = ScheduleConfig::default_for(&def, atim.hardware());
+        let bad = ScheduleConfig {
+            spatial_dpus: vec![4096], // exceeds the 16-DPU small machine
+            ..good.clone()
+        };
+        let batch = vec![good.clone(), bad.clone(), good.clone()];
+        let mut measurer = SimBatchMeasurer::with_threads(&atim, &def, 3);
+        let results = measurer.measure_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_some());
+        assert!(results[1].is_none(), "impossible candidate must fail");
+        assert_eq!(results[0], results[2]);
+        // Both distinct configs (including the failure) are memoized.
+        assert_eq!(measurer.cache_len(), 2);
+        let hits_before = measurer.cache_hits();
+        let again = measurer.measure_batch(&batch);
+        assert_eq!(again, results);
+        assert_eq!(measurer.cache_hits(), hits_before + 3);
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let atim = Atim::new(UpmemConfig::small());
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let base = ScheduleConfig::default_for(&def, atim.hardware());
+        let batch: Vec<ScheduleConfig> = (0..6)
+            .map(|i| ScheduleConfig {
+                spatial_dpus: vec![1 << (i % 4)],
+                tasklets: 1 + i,
+                ..base.clone()
+            })
+            .collect();
+        let seq = SimBatchMeasurer::with_threads(&atim, &def, 1).measure_batch(&batch);
+        let par = SimBatchMeasurer::with_threads(&atim, &def, 4).measure_batch(&batch);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_count_parsing_clamps_and_rejects() {
+        // The env itself is process-global, so test the parser directly.
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("0"), Some(1), "0 must mean sequential");
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads(""), None);
+        assert!(default_measure_threads() >= 1);
+    }
+}

@@ -63,9 +63,15 @@ impl TunedModule {
         self.result.rejected
     }
 
-    /// Number of measurements performed.
+    /// Number of successful measurements (the consumed trial budget).
     pub fn measured(&self) -> usize {
         self.result.measured
+    }
+
+    /// Number of measurements that failed to build or run.  Failures do not
+    /// consume trial budget.
+    pub fn failed(&self) -> usize {
+        self.result.failed
     }
 }
 
@@ -79,6 +85,7 @@ mod tests {
             best: None,
             history: Vec::new(),
             measured: 0,
+            failed: 2,
             rejected: 3,
         }
     }
@@ -91,6 +98,7 @@ mod tests {
         assert_eq!(tuned.best_latency_s(), f64::INFINITY);
         assert_eq!(tuned.best_gflops(), 0.0);
         assert_eq!(tuned.rejected(), 3);
+        assert_eq!(tuned.failed(), 2);
         assert!(tuned.best_config().num_dpus() >= 1);
     }
 
@@ -103,6 +111,7 @@ mod tests {
             best: Some((cfg.clone(), 1e-3)),
             history: Vec::new(),
             measured: 1,
+            failed: 0,
             rejected: 0,
         };
         let tuned = TunedModule::new(def.clone(), result, &hw);

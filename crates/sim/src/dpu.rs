@@ -1,7 +1,7 @@
 //! Per-DPU kernel execution and the DPU cycle model.
 
 use atim_tir::error::Result;
-use atim_tir::eval::{ExecMode, Interpreter, MemoryStore};
+use atim_tir::eval::{CompiledProgram, CompiledRunner, ExecMode, MemoryStore};
 use atim_tir::schedule::Lowered;
 
 use crate::config::UpmemConfig;
@@ -81,17 +81,20 @@ pub fn model_cycles(c: &DpuCounters, tasklets: i64, cfg: &UpmemConfig) -> DpuRun
     }
 }
 
-/// Interprets one DPU's kernel (functionally or timing-only) and applies the
+/// Executes one DPU's kernel (functionally or timing-only) and applies the
 /// cycle model.
 ///
-/// `coords` are the DPU's grid coordinates; `linear` its linear index used to
-/// select MRAM/WRAM buffer instances.
+/// `kernel` is the pre-lowered kernel body (compile it once per launch with
+/// [`CompiledProgram::compile`] and reuse it for every DPU); `coords` are the
+/// DPU's grid coordinates; `linear` its linear index used to select
+/// MRAM/WRAM buffer instances.
 ///
 /// # Errors
 /// Propagates interpreter errors (which indicate lowering bugs).
 pub fn run_dpu(
     store: &mut MemoryStore,
     lowered: &Lowered,
+    kernel: &CompiledProgram,
     linear: i64,
     coords: &[i64],
     mode: ExecMode,
@@ -99,12 +102,12 @@ pub fn run_dpu(
 ) -> Result<DpuRun> {
     let mut counters = DpuCounters::default();
     {
-        let mut interp = Interpreter::new(store, &mut counters, mode);
-        interp.set_dpu(linear);
+        let mut runner = CompiledRunner::new(kernel);
+        runner.set_dpu(linear);
         for (dim, coord) in lowered.grid.dims.iter().zip(coords) {
-            interp.bind(&dim.var, *coord);
+            runner.bind(&dim.var, *coord);
         }
-        interp.run(&lowered.kernel.body)?;
+        runner.run(store, &mut counters, mode)?;
     }
     Ok(model_cycles(&counters, lowered.kernel.tasklets, cfg))
 }

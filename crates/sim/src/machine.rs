@@ -3,9 +3,9 @@
 //! [`ExecutionReport`].
 
 use atim_tir::error::{Result, TirError};
-use atim_tir::eval::{ExecMode, Interpreter, MemoryStore};
+use atim_tir::eval::{CompiledProgram, CompiledRunner, ExecMode, MemoryStore, Tracer};
 use atim_tir::schedule::Lowered;
-use atim_tir::stmt::TransferDir;
+use atim_tir::stmt::{Stmt, TransferDir};
 
 use crate::config::UpmemConfig;
 use crate::dpu::{run_dpu, DpuRun};
@@ -24,6 +24,11 @@ pub enum SimMode {
     /// the kernel, taking the slowest as the kernel latency.  Counts are
     /// exact for the simulated DPUs; the output tensor is not produced.
     /// Use for the large benchmark shapes.
+    ///
+    /// Inherits the affine-guards-only contract of
+    /// [`ExecMode::TimingOnly`]: loads yield `0.0`, so only programs free
+    /// of data-dependent control flow (everything the schedule lowering
+    /// emits) count identically to [`SimMode::Full`].
     TimingOnly,
 }
 
@@ -100,23 +105,24 @@ impl UpmemMachine {
             }
         }
 
+        // Every program is pre-lowered to a flat instruction buffer once per
+        // launch; the kernel program in particular is reused across DPUs.
+        let run_flat = |stmt: &Stmt, store: &mut MemoryStore, tracer: &mut dyn Tracer| {
+            CompiledRunner::new(&CompiledProgram::compile(stmt)).run(store, tracer, exec_mode)
+        };
+
         // --- Host -> DPU transfers ------------------------------------------
         // Constant tensors (weights) are loaded once at setup time and are
         // reported separately from the per-launch transfer cost.
         let mut setup_counters = TransferCounters::default();
-        {
-            let mut interp = Interpreter::new(&mut store, &mut setup_counters, exec_mode);
-            interp.run(&lowered.h2d_setup)?;
-        }
+        run_flat(&lowered.h2d_setup, &mut store, &mut setup_counters)?;
         let setup_h2d_s = transfer_time(TransferDir::H2D, &setup_counters, num_dpus, &self.config);
         let mut h2d_counters = TransferCounters::default();
-        {
-            let mut interp = Interpreter::new(&mut store, &mut h2d_counters, exec_mode);
-            interp.run(&lowered.h2d)?;
-        }
+        run_flat(&lowered.h2d, &mut store, &mut h2d_counters)?;
         let h2d_s = transfer_time(TransferDir::H2D, &h2d_counters, num_dpus, &self.config);
 
         // --- Kernel execution -------------------------------------------------
+        let kernel = CompiledProgram::compile(&lowered.kernel.body);
         let all = lowered.grid.enumerate();
         let selected: Vec<&(i64, Vec<i64>)> = match mode {
             SimMode::Full => all.iter().collect(),
@@ -138,6 +144,7 @@ impl UpmemMachine {
             let run = run_dpu(
                 &mut store,
                 lowered,
+                &kernel,
                 *linear,
                 coords,
                 exec_mode,
@@ -151,18 +158,14 @@ impl UpmemMachine {
 
         // --- DPU -> host transfers ---------------------------------------------
         let mut d2h_counters = TransferCounters::default();
-        {
-            let mut interp = Interpreter::new(&mut store, &mut d2h_counters, exec_mode);
-            interp.run(&lowered.d2h)?;
-        }
+        run_flat(&lowered.d2h, &mut store, &mut d2h_counters)?;
         let d2h_s = transfer_time(TransferDir::D2H, &d2h_counters, num_dpus, &self.config);
 
         // --- Host final reduction ------------------------------------------------
         let mut reduce_s = 0.0;
         if let Some(reduce) = &lowered.host_reduce {
             let mut host_counters = HostCounters::default();
-            let mut interp = Interpreter::new(&mut store, &mut host_counters, exec_mode);
-            interp.run(reduce)?;
+            run_flat(reduce, &mut store, &mut host_counters)?;
             reduce_s = host_loop_time(&host_counters, lowered.host_threads, &self.config);
         }
 

@@ -1,0 +1,911 @@
+//! Pre-lowered execution of TIR programs.
+//!
+//! The tree-walking [`Interpreter`](super::Interpreter) re-matches on every
+//! [`Stmt`]/[`Expr`] node and re-hashes every [`Var`] id on every loop
+//! iteration.  That cost is invisible for one-shot functional runs but
+//! dominates autotuning: one measurement interprets the same kernel body for
+//! several simulated DPUs, and a tuning session performs hundreds of
+//! measurements.
+//!
+//! [`CompiledProgram::compile`] walks the statement tree **once**, resolving
+//! every variable to a dense slot index and flattening all control flow into
+//! a linear instruction buffer with explicit jumps.  Executing the buffer is
+//! a tight `match` loop over contiguous memory: no recursion, no hashing, no
+//! re-simplification.  The program is immutable and `Send + Sync`, so one
+//! compiled kernel is shared by every simulated DPU — and by every
+//! measurement worker thread in the batch-parallel autotuner.
+//!
+//! Semantics (including the exact [`Tracer`] event sequence and the
+//! [`ExecMode`] contract) are identical to the tree interpreter; the
+//! equivalence tests at the bottom of this file and the property tests in
+//! `tests/proptests.rs` pin that.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, Var};
+use crate::error::{Result, TirError};
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::stmt::{Stmt, TransferDir};
+
+use super::{eval_binary, eval_cmp, ExecMode, MemoryStore, Tracer, Value};
+
+/// One flat instruction.  Expressions are compiled to stack operations,
+/// statements to instructions with explicit jump targets.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a float constant.
+    PushFloat(f32),
+    /// Push the value of a variable slot (error if unbound).
+    PushVar(u32),
+    /// Pop two values, apply a binary operator, push the result.
+    Binary(BinOp),
+    /// Pop two values, compare, push the boolean as an integer.
+    Cmp(CmpOp),
+    /// Pop one value, push its logical negation.
+    Not,
+    /// Pop one value, cast it.
+    Cast { to_float: bool },
+    /// Short-circuit `&&`: pop the lhs; if false push `0` and jump to `end`.
+    AndShortCircuit { end: usize },
+    /// Short-circuit `||`: pop the lhs; if true push `1` and jump to `end`.
+    OrShortCircuit { end: usize },
+    /// Pop a value, push `1` if it is true else `0` (rhs of `&&`/`||`).
+    BoolCast,
+    /// `Select`: pop the condition; fall through into the then-code or jump
+    /// to the else-code.
+    SelectBranch { else_pc: usize },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pop the (already evaluated) index, load from the buffer.
+    Load { buf: Arc<Buffer> },
+    /// Pop value then index, store to the buffer.
+    Store { buf: Arc<Buffer> },
+    /// Pop and discard a value (`Stmt::Evaluate`).
+    Pop,
+    /// Loop header: pop the extent; save the slot, enter the loop or jump
+    /// past it when the extent is not positive.
+    LoopEnter { slot: u32, end: usize },
+    /// Loop back-edge: advance the induction variable or exit the loop.
+    LoopBack { body: usize },
+    /// `If`: pop the condition, trace the branch, jump on false.
+    Branch { else_pc: usize },
+    /// Scoped allocation (no-op unless functional and unallocated).
+    Alloc { buf: Arc<Buffer> },
+    /// Pop elems, src_off, dst_off; trace and perform the DMA.
+    Dma { dst: Arc<Buffer>, src: Arc<Buffer> },
+    /// Pop elems, mram_off, global_off, dpu; trace and perform the transfer.
+    HostTransfer {
+        dir: TransferDir,
+        global: Arc<Buffer>,
+        mram: Arc<Buffer>,
+        parallel: bool,
+    },
+    /// Tasklet barrier.
+    Barrier,
+}
+
+/// An active loop on the runner's loop stack.
+#[derive(Debug, Clone, Copy)]
+struct LoopFrame {
+    slot: u32,
+    extent: i64,
+    iter: i64,
+    prev: Option<i64>,
+}
+
+/// A [`Stmt`] tree compiled to a flat instruction buffer with dense variable
+/// slots.
+///
+/// Compile once, run many times — across DPU contexts, bindings and
+/// execution modes.  The program is immutable and `Send + Sync`.
+///
+/// ```
+/// use atim_tir::eval::{CompiledProgram, CompiledRunner, CountingTracer, ExecMode, MemoryStore};
+/// use atim_tir::{Buffer, DType, Expr, MemScope, Stmt, Var};
+///
+/// let a = Buffer::new("A", DType::F32, vec![8], MemScope::Global);
+/// let i = Var::new("i");
+/// let prog = Stmt::for_serial(i.clone(), 8i64, Stmt::store(&a, Expr::var(&i), Expr::float(1.0)));
+/// let compiled = CompiledProgram::compile(&prog);
+///
+/// let mut store = MemoryStore::new();
+/// store.alloc(&a, 0);
+/// let mut tracer = CountingTracer::default();
+/// CompiledRunner::new(&compiled)
+///     .run(&mut store, &mut tracer, ExecMode::Functional)
+///     .unwrap();
+/// assert_eq!(tracer.stores, 8);
+/// assert_eq!(store.read_all(&a, 0).unwrap(), &[1.0f32; 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    insts: Vec<Inst>,
+    /// Var id → dense slot.
+    slots: HashMap<u32, u32>,
+    /// Slot → variable name (for error messages).
+    names: Vec<Arc<str>>,
+}
+
+impl CompiledProgram {
+    /// Compiles a statement tree into a flat program.
+    pub fn compile(stmt: &Stmt) -> CompiledProgram {
+        let mut c = Compiler {
+            insts: Vec::new(),
+            slots: HashMap::new(),
+            names: Vec::new(),
+        };
+        c.stmt(stmt);
+        CompiledProgram {
+            insts: c.insts,
+            slots: c.slots,
+            names: c.names,
+        }
+    }
+
+    /// Number of flat instructions (for diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    fn slot_of(&self, var: &Var) -> Option<u32> {
+        self.slots.get(&var.id).copied()
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    slots: HashMap<u32, u32>,
+    names: Vec<Arc<str>>,
+}
+
+impl Compiler {
+    fn slot(&mut self, var: &Var) -> u32 {
+        if let Some(&s) = self.slots.get(&var.id) {
+            return s;
+        }
+        let s = self.names.len() as u32;
+        self.slots.insert(var.id, s);
+        self.names.push(Arc::clone(&var.name));
+        s
+    }
+
+    /// Emits a placeholder jump target, to be patched once known.
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.insts[at] {
+            Inst::AndShortCircuit { end }
+            | Inst::OrShortCircuit { end }
+            | Inst::LoopEnter { end, .. } => *end = target,
+            Inst::SelectBranch { else_pc } | Inst::Branch { else_pc } => *else_pc = target,
+            Inst::Jump(t) => *t = target,
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(v) => {
+                self.emit(Inst::PushInt(*v));
+            }
+            Expr::Float(v) => {
+                self.emit(Inst::PushFloat(*v));
+            }
+            Expr::Var(v) => {
+                let slot = self.slot(v);
+                self.emit(Inst::PushVar(slot));
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Inst::Binary(*op));
+            }
+            Expr::Cmp(op, a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Inst::Cmp(*op));
+            }
+            Expr::And(a, b) => {
+                self.expr(a);
+                let sc = self.emit(Inst::AndShortCircuit { end: 0 });
+                self.expr(b);
+                self.emit(Inst::BoolCast);
+                let end = self.here();
+                self.patch(sc, end);
+            }
+            Expr::Or(a, b) => {
+                self.expr(a);
+                let sc = self.emit(Inst::OrShortCircuit { end: 0 });
+                self.expr(b);
+                self.emit(Inst::BoolCast);
+                let end = self.here();
+                self.patch(sc, end);
+            }
+            Expr::Not(a) => {
+                self.expr(a);
+                self.emit(Inst::Not);
+            }
+            Expr::Select(c, a, b) => {
+                self.expr(c);
+                let sel = self.emit(Inst::SelectBranch { else_pc: 0 });
+                self.expr(a);
+                let skip = self.emit(Inst::Jump(0));
+                let else_pc = self.here();
+                self.patch(sel, else_pc);
+                self.expr(b);
+                let end = self.here();
+                self.patch(skip, end);
+            }
+            Expr::Load { buf, index } => {
+                self.expr(index);
+                self.emit(Inst::Load {
+                    buf: Arc::clone(buf),
+                });
+            }
+            Expr::Cast(dt, a) => {
+                self.expr(a);
+                self.emit(Inst::Cast {
+                    to_float: dt.is_float(),
+                });
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Nop => {}
+            Stmt::For {
+                var,
+                extent,
+                kind: _, // parallel loop kinds execute sequentially, like the interpreter
+                body,
+            } => {
+                self.expr(extent);
+                let slot = self.slot(var);
+                let enter = self.emit(Inst::LoopEnter { slot, end: 0 });
+                let body_pc = self.here();
+                self.stmt(body);
+                self.emit(Inst::LoopBack { body: body_pc });
+                let end = self.here();
+                self.patch(enter, end);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                let br = self.emit(Inst::Branch { else_pc: 0 });
+                self.stmt(then_branch);
+                match else_branch {
+                    Some(e) => {
+                        let skip = self.emit(Inst::Jump(0));
+                        let else_pc = self.here();
+                        self.patch(br, else_pc);
+                        self.stmt(e);
+                        let end = self.here();
+                        self.patch(skip, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(br, end);
+                    }
+                }
+            }
+            Stmt::Store { buf, index, value } => {
+                self.expr(index);
+                self.expr(value);
+                self.emit(Inst::Store {
+                    buf: Arc::clone(buf),
+                });
+            }
+            Stmt::Alloc { buf, body } => {
+                self.emit(Inst::Alloc {
+                    buf: Arc::clone(buf),
+                });
+                self.stmt(body);
+            }
+            Stmt::Dma {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                elems,
+            } => {
+                self.expr(dst_off);
+                self.expr(src_off);
+                self.expr(elems);
+                self.emit(Inst::Dma {
+                    dst: Arc::clone(dst),
+                    src: Arc::clone(src),
+                });
+            }
+            Stmt::HostTransfer {
+                dir,
+                dpu,
+                global,
+                global_off,
+                mram,
+                mram_off,
+                elems,
+                parallel,
+            } => {
+                self.expr(dpu);
+                self.expr(global_off);
+                self.expr(mram_off);
+                self.expr(elems);
+                self.emit(Inst::HostTransfer {
+                    dir: *dir,
+                    global: Arc::clone(global),
+                    mram: Arc::clone(mram),
+                    parallel: *parallel,
+                });
+            }
+            Stmt::Barrier => {
+                self.emit(Inst::Barrier);
+            }
+            Stmt::Evaluate(e) => {
+                self.expr(e);
+                self.emit(Inst::Pop);
+            }
+        }
+    }
+}
+
+/// Executes a [`CompiledProgram`] against a [`MemoryStore`].
+///
+/// Mirrors the [`Interpreter`](super::Interpreter) session API: select a DPU
+/// context with [`CompiledRunner::set_dpu`], bind free variables (grid
+/// coordinates) with [`CompiledRunner::bind`], then [`CompiledRunner::run`].
+/// The runner owns the mutable execution state (variable slots, value stack,
+/// loop stack), so many runners can share one program — including from
+/// different threads.
+pub struct CompiledRunner<'p> {
+    prog: &'p CompiledProgram,
+    vars: Vec<Option<i64>>,
+    stack: Vec<Value>,
+    loops: Vec<LoopFrame>,
+    dpu: i64,
+}
+
+impl<'p> CompiledRunner<'p> {
+    /// Creates a runner with no bindings, targeting DPU context 0.
+    pub fn new(prog: &'p CompiledProgram) -> Self {
+        CompiledRunner {
+            prog,
+            vars: vec![None; prog.names.len()],
+            stack: Vec::with_capacity(16),
+            loops: Vec::with_capacity(8),
+            dpu: 0,
+        }
+    }
+
+    /// Selects the DPU context used to resolve MRAM/WRAM buffer instances.
+    pub fn set_dpu(&mut self, dpu: i64) {
+        self.dpu = dpu;
+    }
+
+    /// Binds a free variable (e.g. DPU grid coordinates) before running.
+    /// Variables the program never references are ignored.
+    pub fn bind(&mut self, var: &Var, value: i64) {
+        if let Some(slot) = self.prog.slot_of(var) {
+            self.vars[slot as usize] = Some(value);
+        }
+    }
+
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("compiled program stack underflow")
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    /// Returns an error on out-of-bounds accesses, unbound variables or
+    /// unallocated buffers — the same conditions as the tree interpreter.
+    pub fn run<T: Tracer + ?Sized>(
+        &mut self,
+        store: &mut MemoryStore,
+        tracer: &mut T,
+        mode: ExecMode,
+    ) -> Result<()> {
+        let insts = &self.prog.insts;
+        self.stack.clear();
+        self.loops.clear();
+        let mut pc = 0usize;
+        while pc < insts.len() {
+            match &insts[pc] {
+                Inst::PushInt(v) => self.stack.push(Value::Int(*v)),
+                Inst::PushFloat(v) => self.stack.push(Value::Float(*v)),
+                Inst::PushVar(slot) => match self.vars[*slot as usize] {
+                    Some(v) => self.stack.push(Value::Int(v)),
+                    None => {
+                        return Err(TirError::UnboundVar(
+                            self.prog.names[*slot as usize].to_string(),
+                        ))
+                    }
+                },
+                Inst::Binary(op) => {
+                    let y = self.pop();
+                    let x = self.pop();
+                    tracer.alu(1);
+                    self.stack.push(eval_binary(*op, x, y));
+                }
+                Inst::Cmp(op) => {
+                    let y = self.pop();
+                    let x = self.pop();
+                    tracer.alu(1);
+                    self.stack.push(Value::Int(eval_cmp(*op, x, y) as i64));
+                }
+                Inst::Not => {
+                    let x = self.pop();
+                    tracer.alu(1);
+                    self.stack.push(Value::Int(!x.is_true() as i64));
+                }
+                Inst::Cast { to_float } => {
+                    let x = self.pop();
+                    tracer.alu(1);
+                    self.stack.push(if *to_float {
+                        Value::Float(x.as_float())
+                    } else {
+                        Value::Int(x.as_int())
+                    });
+                }
+                Inst::AndShortCircuit { end } => {
+                    let x = self.pop();
+                    tracer.alu(1);
+                    if !x.is_true() {
+                        self.stack.push(Value::Int(0));
+                        pc = *end;
+                        continue;
+                    }
+                }
+                Inst::OrShortCircuit { end } => {
+                    let x = self.pop();
+                    tracer.alu(1);
+                    if x.is_true() {
+                        self.stack.push(Value::Int(1));
+                        pc = *end;
+                        continue;
+                    }
+                }
+                Inst::BoolCast => {
+                    let x = self.pop();
+                    self.stack.push(Value::Int(x.is_true() as i64));
+                }
+                Inst::SelectBranch { else_pc } => {
+                    let c = self.pop();
+                    tracer.alu(1);
+                    if !c.is_true() {
+                        pc = *else_pc;
+                        continue;
+                    }
+                }
+                Inst::Jump(target) => {
+                    pc = *target;
+                    continue;
+                }
+                Inst::Load { buf } => {
+                    let idx = self.pop().as_int();
+                    tracer.load(buf.scope, buf.dtype.bytes());
+                    let v = if mode == ExecMode::Functional {
+                        let raw = store.read_elem(buf, self.dpu, idx)?;
+                        if buf.dtype.is_float() {
+                            Value::Float(raw)
+                        } else {
+                            Value::Int(raw as i64)
+                        }
+                    } else {
+                        Value::Float(0.0)
+                    };
+                    self.stack.push(v);
+                }
+                Inst::Store { buf } => {
+                    let v = self.pop().as_float();
+                    let idx = self.pop().as_int();
+                    tracer.store(buf.scope, buf.dtype.bytes());
+                    if mode == ExecMode::Functional {
+                        store.write_elem(buf, self.dpu, idx, v)?;
+                    }
+                }
+                Inst::Pop => {
+                    self.pop();
+                }
+                Inst::LoopEnter { slot, end } => {
+                    let n = self.pop().as_int();
+                    tracer.loop_enter();
+                    if n <= 0 {
+                        pc = *end;
+                        continue;
+                    }
+                    let prev = self.vars[*slot as usize];
+                    self.loops.push(LoopFrame {
+                        slot: *slot,
+                        extent: n,
+                        iter: 0,
+                        prev,
+                    });
+                    tracer.loop_iter();
+                    self.vars[*slot as usize] = Some(0);
+                }
+                Inst::LoopBack { body } => {
+                    let frame = self.loops.last_mut().expect("loop stack underflow");
+                    frame.iter += 1;
+                    if frame.iter < frame.extent {
+                        tracer.loop_iter();
+                        self.vars[frame.slot as usize] = Some(frame.iter);
+                        pc = *body;
+                        continue;
+                    }
+                    let frame = self.loops.pop().expect("loop stack underflow");
+                    self.vars[frame.slot as usize] = frame.prev;
+                }
+                Inst::Branch { else_pc } => {
+                    let c = self.pop().is_true();
+                    tracer.branch(c);
+                    if !c {
+                        pc = *else_pc;
+                        continue;
+                    }
+                }
+                Inst::Alloc { buf } => {
+                    if mode == ExecMode::Functional && !store.contains(buf, self.dpu) {
+                        store.alloc(buf, self.dpu);
+                    }
+                }
+                Inst::Dma { dst, src } => {
+                    let n = self.pop().as_int();
+                    let s_off = self.pop().as_int();
+                    let d_off = self.pop().as_int();
+                    let bytes = (n.max(0) as usize) * dst.dtype.bytes();
+                    tracer.dma(bytes);
+                    if mode == ExecMode::Functional {
+                        store.copy(dst, self.dpu, d_off, src, self.dpu, s_off, n)?;
+                    }
+                }
+                Inst::HostTransfer {
+                    dir,
+                    global,
+                    mram,
+                    parallel,
+                } => {
+                    let n = self.pop().as_int();
+                    let m_off = self.pop().as_int();
+                    let g_off = self.pop().as_int();
+                    let dpu_idx = self.pop().as_int();
+                    let bytes = (n.max(0) as usize) * global.dtype.bytes();
+                    tracer.host_transfer(*dir, dpu_idx, bytes, *parallel);
+                    if mode == ExecMode::Functional {
+                        match dir {
+                            TransferDir::H2D => {
+                                if !store.contains(mram, dpu_idx) {
+                                    store.alloc(mram, dpu_idx);
+                                }
+                                store.copy(mram, dpu_idx, m_off, global, 0, g_off, n)?;
+                            }
+                            TransferDir::D2H => {
+                                store.copy(global, 0, g_off, mram, dpu_idx, m_off, n)?;
+                            }
+                        }
+                    }
+                }
+                Inst::Barrier => tracer.barrier(),
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemScope;
+    use crate::dtype::DType;
+    use crate::eval::{CountingTracer, Interpreter};
+
+    /// Runs a statement through both engines with identical initial stores
+    /// and asserts the traced events and final memory agree exactly.
+    fn assert_equivalent(stmt: &Stmt, setup: impl Fn(&mut MemoryStore), mode: ExecMode) {
+        let check_bufs: Vec<Arc<Buffer>> = collect_buffers(stmt);
+
+        let mut tree_store = MemoryStore::new();
+        setup(&mut tree_store);
+        let mut tree_tracer = CountingTracer::default();
+        let mut interp = Interpreter::new(&mut tree_store, &mut tree_tracer, mode);
+        interp.run(stmt).unwrap();
+
+        let prog = CompiledProgram::compile(stmt);
+        let mut flat_store = MemoryStore::new();
+        setup(&mut flat_store);
+        let mut flat_tracer = CountingTracer::default();
+        CompiledRunner::new(&prog)
+            .run(&mut flat_store, &mut flat_tracer, mode)
+            .unwrap();
+
+        assert_eq!(tree_tracer, flat_tracer, "tracer events diverge");
+        for buf in &check_bufs {
+            for dpu in 0..4 {
+                assert_eq!(
+                    tree_store.read_all(buf, dpu),
+                    flat_store.read_all(buf, dpu),
+                    "contents of {} (dpu {dpu}) diverge",
+                    buf.name
+                );
+            }
+        }
+    }
+
+    fn collect_buffers(stmt: &Stmt) -> Vec<Arc<Buffer>> {
+        let mut out: Vec<Arc<Buffer>> = Vec::new();
+        let mut push = |b: &Arc<Buffer>| {
+            if !out.iter().any(|x| x.id == b.id) {
+                out.push(Arc::clone(b));
+            }
+        };
+        fn walk_expr(e: &Expr, push: &mut dyn FnMut(&Arc<Buffer>)) {
+            match e {
+                Expr::Load { buf, index } => {
+                    push(buf);
+                    walk_expr(index, push);
+                }
+                Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                    walk_expr(a, push);
+                    walk_expr(b, push);
+                }
+                Expr::Not(a) | Expr::Cast(_, a) => walk_expr(a, push),
+                Expr::Select(c, a, b) => {
+                    walk_expr(c, push);
+                    walk_expr(a, push);
+                    walk_expr(b, push);
+                }
+                Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+            }
+        }
+        fn walk(s: &Stmt, push: &mut dyn FnMut(&Arc<Buffer>)) {
+            match s {
+                Stmt::Seq(v) => v.iter().for_each(|s| walk(s, push)),
+                Stmt::For { extent, body, .. } => {
+                    walk_expr(extent, push);
+                    walk(body, push);
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    walk_expr(cond, push);
+                    walk(then_branch, push);
+                    if let Some(e) = else_branch {
+                        walk(e, push);
+                    }
+                }
+                Stmt::Store { buf, index, value } => {
+                    push(buf);
+                    walk_expr(index, push);
+                    walk_expr(value, push);
+                }
+                Stmt::Alloc { buf, body } => {
+                    push(buf);
+                    walk(body, push);
+                }
+                Stmt::Dma { dst, src, .. } => {
+                    push(dst);
+                    push(src);
+                }
+                Stmt::HostTransfer { global, mram, .. } => {
+                    push(global);
+                    push(mram);
+                }
+                Stmt::Barrier | Stmt::Evaluate(_) | Stmt::Nop => {}
+            }
+        }
+        walk(stmt, &mut push);
+        out
+    }
+
+    #[test]
+    fn arithmetic_loops_and_guards_are_equivalent() {
+        let a = Buffer::new("A", DType::F32, vec![16], MemScope::Global);
+        let b = Buffer::new("B", DType::F32, vec![16], MemScope::Global);
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let body = Stmt::seq(vec![
+            Stmt::if_then(
+                Expr::var(&i)
+                    .lt(Expr::int(3))
+                    .and(Expr::var(&j).lt(Expr::int(4))),
+                Stmt::store(
+                    &b,
+                    Expr::var(&i).mul(Expr::int(4)).add(Expr::var(&j)),
+                    Expr::load(&a, Expr::var(&i).mul(Expr::int(4)).add(Expr::var(&j)))
+                        .mul(Expr::float(2.0)),
+                ),
+            ),
+            Stmt::if_then(
+                Expr::var(&j)
+                    .eq_expr(Expr::int(0))
+                    .or(Expr::var(&i).eq_expr(Expr::int(0))),
+                Stmt::store(&b, Expr::int(15), Expr::float(7.0)),
+            ),
+        ]);
+        let inner = Stmt::for_serial(j, 4i64, body);
+        let prog = Stmt::for_serial(i, 4i64, inner);
+        let setup = |store: &mut MemoryStore| {
+            let init: Vec<f32> = (0..16).map(|x| x as f32 - 8.0).collect();
+            store.alloc_with(&a, 0, &init);
+            store.alloc(&b, 0);
+        };
+        assert_equivalent(&prog, setup, ExecMode::Functional);
+        assert_equivalent(&prog, setup, ExecMode::TimingOnly);
+    }
+
+    #[test]
+    fn select_cast_not_and_floor_ops_are_equivalent() {
+        let a = Buffer::new("A", DType::F32, vec![8], MemScope::Global);
+        let i = Var::new("i");
+        let value = Expr::Select(
+            Box::new(Expr::Not(Box::new(Expr::var(&i).ge(Expr::int(4))))),
+            Box::new(Expr::Cast(
+                DType::F32,
+                Box::new(Expr::var(&i).floordiv(Expr::int(3))),
+            )),
+            Box::new(Expr::var(&i).floormod(Expr::int(0)).min(Expr::int(9))),
+        );
+        let prog = Stmt::for_serial(i.clone(), 8i64, Stmt::store(&a, Expr::var(&i), value));
+        let setup = |store: &mut MemoryStore| store.alloc(&a, 0);
+        assert_equivalent(&prog, setup, ExecMode::Functional);
+    }
+
+    #[test]
+    fn dma_and_host_transfers_are_equivalent() {
+        let global = Buffer::new("G", DType::F32, vec![32], MemScope::Global);
+        let mram = Buffer::new("M", DType::F32, vec![8], MemScope::Mram);
+        let wram = Buffer::new("W", DType::F32, vec![4], MemScope::Wram);
+        let d = Var::new("d");
+        let prog = Stmt::seq(vec![
+            Stmt::for_serial(
+                d.clone(),
+                4i64,
+                Stmt::seq(vec![
+                    Stmt::HostTransfer {
+                        dir: TransferDir::H2D,
+                        dpu: Expr::var(&d),
+                        global: global.clone(),
+                        global_off: Expr::var(&d).mul(Expr::int(8)),
+                        mram: mram.clone(),
+                        mram_off: Expr::int(0),
+                        elems: Expr::int(8),
+                        parallel: true,
+                    },
+                    Stmt::Barrier,
+                ]),
+            ),
+            Stmt::Dma {
+                dst: wram.clone(),
+                dst_off: Expr::int(0),
+                src: mram.clone(),
+                src_off: Expr::int(2),
+                elems: Expr::int(4),
+            },
+            Stmt::Evaluate(Expr::int(3).add(Expr::int(4))),
+            Stmt::HostTransfer {
+                dir: TransferDir::D2H,
+                dpu: Expr::int(1),
+                global: global.clone(),
+                global_off: Expr::int(0),
+                mram: mram.clone(),
+                mram_off: Expr::int(0),
+                elems: Expr::int(4),
+                parallel: false,
+            },
+        ]);
+        let setup = |store: &mut MemoryStore| {
+            store.alloc_with(&global, 0, &(0..32).map(|x| x as f32).collect::<Vec<_>>());
+            for dpu in 0..4 {
+                store.alloc(&wram, dpu);
+            }
+        };
+        assert_equivalent(&prog, setup, ExecMode::Functional);
+        assert_equivalent(&prog, setup, ExecMode::TimingOnly);
+    }
+
+    #[test]
+    fn alloc_and_zero_extent_loops_are_equivalent() {
+        let w = Buffer::new("W", DType::F32, vec![4], MemScope::Wram);
+        let i = Var::new("i");
+        let prog = Stmt::Alloc {
+            buf: w.clone(),
+            body: Box::new(Stmt::for_serial(
+                i.clone(),
+                0i64,
+                Stmt::store(&w, Expr::var(&i), Expr::float(1.0)),
+            )),
+        };
+        assert_equivalent(&prog, |_| {}, ExecMode::Functional);
+        assert_equivalent(&prog, |_| {}, ExecMode::TimingOnly);
+    }
+
+    #[test]
+    fn bindings_and_dpu_context_work_like_the_interpreter() {
+        let m = Buffer::new("M", DType::F32, vec![4], MemScope::Mram);
+        let x = Var::new("x");
+        let prog = Stmt::store(&m, Expr::var(&x), Expr::float(5.0));
+        let compiled = CompiledProgram::compile(&prog);
+        let mut store = MemoryStore::new();
+        store.alloc(&m, 3);
+        let mut tracer = CountingTracer::default();
+        let mut runner = CompiledRunner::new(&compiled);
+        runner.set_dpu(3);
+        runner.bind(&x, 2);
+        runner
+            .run(&mut store, &mut tracer, ExecMode::Functional)
+            .unwrap();
+        assert_eq!(store.read_all(&m, 3).unwrap(), &[0.0, 0.0, 5.0, 0.0]);
+        // Unbound variable errors match the interpreter's.
+        let mut fresh = CompiledRunner::new(&compiled);
+        let err = fresh
+            .run(&mut store, &mut tracer, ExecMode::Functional)
+            .unwrap_err();
+        assert!(matches!(err, TirError::UnboundVar(name) if name == "x"));
+    }
+
+    #[test]
+    fn out_of_bounds_errors_match() {
+        let a = Buffer::new("A", DType::F32, vec![4], MemScope::Global);
+        let prog = Stmt::store(&a, Expr::int(9), Expr::float(1.0));
+        let compiled = CompiledProgram::compile(&prog);
+        let mut store = MemoryStore::new();
+        store.alloc(&a, 0);
+        let mut tracer = CountingTracer::default();
+        let err = CompiledRunner::new(&compiled)
+            .run(&mut store, &mut tracer, ExecMode::Functional)
+            .unwrap_err();
+        assert!(matches!(err, TirError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn one_program_is_reusable_across_dpus_and_runs() {
+        let m = Buffer::new("M", DType::F32, vec![2], MemScope::Mram);
+        let i = Var::new("i");
+        let prog = Stmt::for_serial(
+            i.clone(),
+            2i64,
+            Stmt::store(&m, Expr::var(&i), Expr::float(1.0)),
+        );
+        let compiled = CompiledProgram::compile(&prog);
+        let mut store = MemoryStore::new();
+        let mut tracer = CountingTracer::default();
+        let mut runner = CompiledRunner::new(&compiled);
+        for dpu in 0..3 {
+            store.alloc(&m, dpu);
+            runner.set_dpu(dpu);
+            runner
+                .run(&mut store, &mut tracer, ExecMode::Functional)
+                .unwrap();
+        }
+        for dpu in 0..3 {
+            assert_eq!(store.read_all(&m, dpu).unwrap(), &[1.0, 1.0]);
+        }
+        assert_eq!(tracer.loop_iters, 6);
+    }
+}

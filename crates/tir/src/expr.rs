@@ -148,6 +148,11 @@ impl Expr {
         Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
     }
 
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
     /// `self >= rhs`
     pub fn ge(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))

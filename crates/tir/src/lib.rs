@@ -16,10 +16,13 @@
 //!   `unroll`) repurposed for joint host/kernel optimization, plus the
 //!   lowering pass that produces per-DPU kernels, host transfer programs and
 //!   host reduction loops.
-//! * [`eval`] — a reference interpreter for loop-based TIR.  The interpreter
-//!   is parameterized by a [`eval::Tracer`] so the UPMEM simulator
-//!   (`atim-sim`) can attach its cycle/instruction accounting to the exact
-//!   same execution that produces functional results.
+//! * [`eval`] — a reference interpreter for loop-based TIR, plus a
+//!   pre-lowered fast path ([`eval::CompiledProgram`]) that flattens a
+//!   statement tree into an instruction buffer once and reuses it across
+//!   every simulated DPU.  Both are parameterized by a [`eval::Tracer`] so
+//!   the UPMEM simulator (`atim-sim`) can attach its cycle/instruction
+//!   accounting to the exact same execution that produces functional
+//!   results.
 //! * [`affine`] — linear-expression analysis used by the PIM-aware passes
 //!   (boundary-check elimination, loop-bound tightening, branch hoisting).
 //!

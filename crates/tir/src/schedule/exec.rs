@@ -8,7 +8,7 @@
 //! correctness without depending on the simulator.
 
 use crate::error::Result;
-use crate::eval::{ExecMode, Interpreter, MemoryStore, NoTrace};
+use crate::eval::{CompiledProgram, CompiledRunner, ExecMode, Interpreter, MemoryStore, NoTrace};
 
 use super::lowered::Lowered;
 
@@ -54,14 +54,16 @@ pub fn execute_functional(lowered: &Lowered, inputs: &[Vec<f32>]) -> Result<Vec<
         interp.run(&lowered.h2d)?;
     }
 
-    // Kernel execution, one DPU at a time.
+    // Kernel execution, one DPU at a time.  The kernel body is pre-lowered
+    // once and the flat program reused for every DPU context.
+    let kernel = CompiledProgram::compile(&lowered.kernel.body);
+    let mut runner = CompiledRunner::new(&kernel);
     for (linear, coords) in lowered.grid.enumerate() {
-        let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::Functional);
-        interp.set_dpu(linear);
+        runner.set_dpu(linear);
         for (dim, coord) in lowered.grid.dims.iter().zip(&coords) {
-            interp.bind(&dim.var, *coord);
+            runner.bind(&dim.var, *coord);
         }
-        interp.run(&lowered.kernel.body)?;
+        runner.run(&mut store, &mut tracer, ExecMode::Functional)?;
     }
 
     // DPU-to-host transfers.

@@ -6,9 +6,13 @@ use std::collections::HashMap;
 use atim_tir::affine::{as_linear, as_upper_bound};
 use atim_tir::buffer::Var;
 use atim_tir::compute::ComputeDef;
+use atim_tir::eval::{
+    CompiledProgram, CompiledRunner, CountingTracer, ExecMode, Interpreter, MemoryStore,
+};
 use atim_tir::expr::{BinOp, Expr};
 use atim_tir::schedule::{execute_functional, Attach, Binding, Schedule};
 use atim_tir::simplify::simplify_expr;
+use atim_tir::{Buffer, DType, MemScope, Stmt};
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
@@ -115,6 +119,58 @@ proptest! {
         env.insert(i.id, seed_a);
         env.insert(j.id, seed_b);
         prop_assert_eq!(eval_int(&expr, &env), eval_int(&simplified, &env));
+    }
+
+    #[test]
+    fn compiled_programs_match_the_tree_interpreter(
+        seed_j in -10i64..10,
+        expr_seed in 0u32..64,
+    ) {
+        // Random guarded loop nest: both engines must produce identical
+        // traced event counts and identical memory in both exec modes.
+        // The Var handles cannot be threaded through a strategy, so vary
+        // the expressions by advancing the deterministic sampling stream
+        // `expr_seed` words before drawing the two trees.
+        let i = Var::new("i");
+        let j = Var::new("j");
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..expr_seed {
+            let _ = runner.next_u64();
+        }
+        let guard = arb_expr([i.clone(), j.clone()])
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        let value = arb_expr([i.clone(), j.clone()])
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        let out = Buffer::new("out", DType::F32, vec![8], MemScope::Global);
+        let body = Stmt::if_then(
+            guard.gt(Expr::int(0)),
+            Stmt::store(&out, Expr::var(&i).floormod(Expr::int(8)), value),
+        );
+        let prog = Stmt::for_serial(i, 6i64, body);
+
+        for mode in [ExecMode::Functional, ExecMode::TimingOnly] {
+            let mut tree_store = MemoryStore::new();
+            tree_store.alloc(&out, 0);
+            let mut tree_tracer = CountingTracer::default();
+            let mut interp = Interpreter::new(&mut tree_store, &mut tree_tracer, mode);
+            interp.bind(&j, seed_j);
+            interp.run(&prog).unwrap();
+
+            let compiled = CompiledProgram::compile(&prog);
+            let mut flat_store = MemoryStore::new();
+            flat_store.alloc(&out, 0);
+            let mut flat_tracer = CountingTracer::default();
+            let mut flat = CompiledRunner::new(&compiled);
+            flat.bind(&j, seed_j);
+            flat.run(&mut flat_store, &mut flat_tracer, mode).unwrap();
+
+            prop_assert_eq!(tree_tracer, flat_tracer);
+            prop_assert_eq!(tree_store.read_all(&out, 0), flat_store.read_all(&out, 0));
+        }
     }
 
     #[test]
