@@ -1,0 +1,766 @@
+//! A dependency-free JSON encoder/decoder for tuning artifacts.
+//!
+//! The build environment is fully offline (no serde), yet tuning logs must
+//! be durable, diffable and readable by external tooling — so this module
+//! implements the small JSON subset the logs need from scratch: objects,
+//! arrays, strings (with escapes), integers, floats, booleans and null.
+//!
+//! Floats are written with Rust's shortest-round-trip `Display` formatting,
+//! so `encode → decode` is the identity for every finite `f64` (a property
+//! test in `tests/proptests.rs` pins this).  Non-finite floats, which JSON
+//! cannot represent as numbers, are encoded as the strings `"inf"`,
+//! `"-inf"` and `"nan"`.
+//!
+//! The [`JsonCodec`] trait is implemented for [`ScheduleConfig`],
+//! [`TuningRecord`] and [`TuningResult`]; [`crate::log::TuneLog`] builds its
+//! file format on top of those.
+
+use std::fmt;
+
+use crate::space::ScheduleConfig;
+use crate::tuner::{TuningRecord, TuningResult};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent.
+    Int(i64),
+    /// A number with fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A decode error: what went wrong and (for parse errors) where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input, when the error came from the parser.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} (at byte {at})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl fmt::Display for Json {
+    /// Serializes the value to compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                out.push_str(&v.to_string());
+            }
+            Json::Float(v) => write_f64(*v, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] with a byte offset on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::at("trailing characters after value", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    /// Fails when the value is not an object or the key is absent.
+    pub fn get(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field \"{key}\""))),
+            _ => Err(JsonError::new(format!(
+                "expected an object while looking up \"{key}\""
+            ))),
+        }
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// # Errors
+    /// Fails when the value is not an integer.
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            _ => Err(JsonError::new(format!("expected an integer, got {self:?}"))),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    /// Fails when the value is not a non-negative integer.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        usize::try_from(self.as_i64()?)
+            .map_err(|_| JsonError::new("expected a non-negative integer"))
+    }
+
+    /// The value as an `f64` (integers widen; the strings `"inf"`, `"-inf"`
+    /// and `"nan"` decode to the corresponding non-finite values).
+    ///
+    /// # Errors
+    /// Fails when the value is not numeric.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v as f64),
+            Json::Float(v) => Ok(*v),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                _ => Err(JsonError::new(format!("expected a number, got {self:?}"))),
+            },
+            _ => Err(JsonError::new(format!("expected a number, got {self:?}"))),
+        }
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    /// Fails when the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::new(format!("expected a boolean, got {self:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    /// Fails when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(JsonError::new(format!("expected a string, got {self:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    /// Fails when the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(JsonError::new(format!("expected an array, got {self:?}"))),
+        }
+    }
+}
+
+/// Encodes an `f64`, routing non-finite values through their string spelling
+/// (JSON numbers cannot represent them).
+pub fn encode_f64(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Float(v)
+    } else if v.is_nan() {
+        Json::Str("nan".into())
+    } else if v > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    // Rust's `Display` for f64 prints the shortest string that parses back
+    // to the same bits, but prints integral values without a decimal point
+    // ("1" for 1.0); force one so the value re-parses as a float.
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(format!("expected \"{word}\""), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::at("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::at("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        // A high surrogate not followed by a
+                                        // low one is malformed input, not a
+                                        // reason to underflow.
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            let c = c.ok_or_else(|| JsonError::at("invalid \\u escape", start))?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(JsonError::at("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character (input is a &str, so the
+                    // boundary math is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let s = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| JsonError::at("invalid UTF-8 in string", self.pos))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| JsonError::at("truncated \\u escape", self.pos))?;
+        let s = std::str::from_utf8(chunk)
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at("invalid number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| JsonError::at("invalid number", start))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| JsonError::at("invalid number", start))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Types that round-trip through [`Json`].
+pub trait JsonCodec: Sized {
+    /// Encodes the value.
+    fn to_json(&self) -> Json;
+
+    /// Decodes a value.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on missing fields or type mismatches.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl JsonCodec for ScheduleConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "spatial_dpus".into(),
+                Json::Arr(self.spatial_dpus.iter().map(|&d| Json::Int(d)).collect()),
+            ),
+            ("reduce_dpus".into(), Json::Int(self.reduce_dpus)),
+            ("tasklets".into(), Json::Int(self.tasklets)),
+            ("cache_elems".into(), Json::Int(self.cache_elems)),
+            ("use_cache".into(), Json::Bool(self.use_cache)),
+            ("unroll".into(), Json::Bool(self.unroll)),
+            ("host_threads".into(), Json::Int(self.host_threads as i64)),
+            (
+                "parallel_transfer".into(),
+                Json::Bool(self.parallel_transfer),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ScheduleConfig {
+            spatial_dpus: json
+                .get("spatial_dpus")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_i64())
+                .collect::<Result<Vec<i64>, JsonError>>()?,
+            reduce_dpus: json.get("reduce_dpus")?.as_i64()?,
+            tasklets: json.get("tasklets")?.as_i64()?,
+            cache_elems: json.get("cache_elems")?.as_i64()?,
+            use_cache: json.get("use_cache")?.as_bool()?,
+            unroll: json.get("unroll")?.as_bool()?,
+            host_threads: json.get("host_threads")?.as_usize()?,
+            parallel_transfer: json.get("parallel_transfer")?.as_bool()?,
+        })
+    }
+}
+
+impl JsonCodec for TuningRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("trial".into(), Json::Int(self.trial as i64)),
+            ("config".into(), self.config.to_json()),
+            ("latency_s".into(), encode_f64(self.latency_s)),
+            ("best_so_far_s".into(), encode_f64(self.best_so_far_s)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TuningRecord {
+            trial: json.get("trial")?.as_usize()?,
+            config: ScheduleConfig::from_json(json.get("config")?)?,
+            latency_s: json.get("latency_s")?.as_f64()?,
+            best_so_far_s: json.get("best_so_far_s")?.as_f64()?,
+        })
+    }
+}
+
+impl JsonCodec for TuningResult {
+    fn to_json(&self) -> Json {
+        let best = match &self.best {
+            Some((config, latency)) => Json::Obj(vec![
+                ("config".into(), config.to_json()),
+                ("latency_s".into(), encode_f64(*latency)),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("best".into(), best),
+            (
+                "history".into(),
+                Json::Arr(self.history.iter().map(JsonCodec::to_json).collect()),
+            ),
+            ("measured".into(), Json::Int(self.measured as i64)),
+            ("failed".into(), Json::Int(self.failed as i64)),
+            ("rejected".into(), Json::Int(self.rejected as i64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let best = match json.get("best")? {
+            Json::Null => None,
+            b => Some((
+                ScheduleConfig::from_json(b.get("config")?)?,
+                b.get("latency_s")?.as_f64()?,
+            )),
+        };
+        Ok(TuningResult {
+            best,
+            history: json
+                .get("history")?
+                .as_arr()?
+                .iter()
+                .map(TuningRecord::from_json)
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            measured: json.get("measured")?.as_usize()?,
+            failed: json.get("failed")?.as_usize()?,
+            rejected: json.get("rejected")?.as_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> ScheduleConfig {
+        ScheduleConfig {
+            spatial_dpus: vec![8, 4],
+            reduce_dpus: 16,
+            tasklets: 12,
+            cache_elems: 64,
+            use_cache: true,
+            unroll: false,
+            host_threads: 8,
+            parallel_transfer: true,
+        }
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5e-3").unwrap(), Json::Float(0.0025));
+        assert_eq!(
+            Json::parse("[1, 2, 3]").unwrap(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(3)])
+        );
+        let obj = Json::parse(r#"{"a": 1, "b": [true, null]}"#).unwrap();
+        assert_eq!(obj.get("a").unwrap(), &Json::Int(1));
+        assert_eq!(obj.get("b").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand\ttab",
+            "unicode: αβγ — δ",
+            "control \u{1} char",
+        ] {
+            let encoded = Json::Str(s.into()).to_string();
+            assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(s.into()));
+        }
+        // \u escapes (including a surrogate pair) decode correctly.
+        assert_eq!(Json::parse(r#""A😀""#).unwrap(), Json::Str("A😀".into()));
+    }
+
+    #[test]
+    fn malformed_input_reports_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"open"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset.is_some(), "{bad:?} should report an offset");
+        }
+        // Broken surrogate pairs are a parse error, never a panic.
+        for bad in [
+            "\"\\ud800A\"",       // high surrogate + plain character
+            "\"\\ud800\\u0041\"", // high surrogate + non-low \u escape
+            "\"\\udc00\"",        // lone low surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            1e-308,
+            123456.789,
+            f64::MIN,
+            f64::MAX,
+            std::f64::consts::PI,
+            2.2250738585072014e-308,
+        ] {
+            let text = Json::Float(v).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {text} -> {back}");
+        }
+        // Non-finite values go through their string spelling.
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            let back = Json::parse(&encode_f64(v).to_string())
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(v, back);
+        }
+        assert!(Json::parse(&encode_f64(f64::NAN).to_string())
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn schedule_config_round_trips() {
+        let cfg = sample_config();
+        let back =
+            ScheduleConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn tuning_result_round_trips() {
+        let cfg = sample_config();
+        let result = TuningResult {
+            best: Some((cfg.clone(), 1.25e-3)),
+            history: vec![
+                TuningRecord {
+                    trial: 0,
+                    config: cfg.clone(),
+                    latency_s: 2.5e-3,
+                    best_so_far_s: 2.5e-3,
+                },
+                TuningRecord {
+                    trial: 1,
+                    config: ScheduleConfig {
+                        unroll: true,
+                        ..cfg.clone()
+                    },
+                    latency_s: 1.25e-3,
+                    best_so_far_s: 1.25e-3,
+                },
+            ],
+            measured: 2,
+            failed: 1,
+            rejected: 4,
+        };
+        let text = result.to_json().to_string();
+        let back = TuningResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(result.best, back.best);
+        assert_eq!(result.history, back.history);
+        assert_eq!(result.measured, back.measured);
+        assert_eq!(result.failed, back.failed);
+        assert_eq!(result.rejected, back.rejected);
+    }
+
+    #[test]
+    fn decode_errors_name_the_missing_field() {
+        let err = ScheduleConfig::from_json(&Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.message.contains("spatial_dpus"), "{err}");
+    }
+}

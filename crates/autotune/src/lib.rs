@@ -18,18 +18,29 @@
 //! * [`search`] — the balanced evolutionary search (§5.2.3): mutation from a
 //!   best-candidate database, balanced sampling of `rfactor`/non-`rfactor`
 //!   design spaces in the early trials, and an adaptive ε-greedy schedule.
-//! * [`tuner`] — the driver loop tying it all together, generic over a
-//!   [`tuner::Measurer`] / [`tuner::BatchMeasurer`] so the caller decides how
-//!   candidates are timed (the `atim-core` crate measures them on the
-//!   simulated UPMEM machine, batching each round across worker threads).
+//! * [`session`] — the resumable [`session::TuningSession`]: the same loop
+//!   split into `next_batch`/`record_batch` steps, driven under a
+//!   [`session::Budget`] (trials, wall-clock, early-stop) with streaming
+//!   [`session::TuningObserver`] callbacks.
+//! * [`tuner`] — the blocking convenience drivers ([`tune`]/[`tune_batch`])
+//!   on top of the session, generic over a [`tuner::Measurer`] /
+//!   [`tuner::BatchMeasurer`] so the caller decides how candidates are timed
+//!   (the `atim-core` crate measures them on the simulated UPMEM machine,
+//!   batching each round across worker threads).
+//! * [`json`] / [`log`] — dependency-free JSON persistence:
+//!   [`log::TuneLog`] saves a search, reloads it in a fresh process, replays
+//!   it straight to a result, or warm-starts a new search from its records.
 //!
 //! # Example
 //!
-//! Tuning against an analytic measurer (tests and demos do exactly this;
-//! `atim-core` substitutes real simulated measurements):
+//! An incremental tuning session against an analytic measurer (tests and
+//! demos do exactly this; `atim-core` substitutes real simulated
+//! measurements), persisted to a log and replayed:
 //!
 //! ```
-//! use atim_autotune::{tune, ScheduleConfig, TuningOptions};
+//! use atim_autotune::log::TuneLog;
+//! use atim_autotune::session::{Budget, NullObserver, TuningSession};
+//! use atim_autotune::{ScheduleConfig, SequentialMeasurer, TuningOptions};
 //! use atim_sim::UpmemConfig;
 //! use atim_tir::compute::ComputeDef;
 //!
@@ -43,17 +54,34 @@
 //! };
 //! // Analytic stand-in: reward DPU parallelism.
 //! let mut measurer = |cfg: &ScheduleConfig| Some(1.0 / cfg.num_dpus() as f64);
-//! let result = tune(&def, &hw, &options, &mut measurer);
+//! let mut session = TuningSession::new(&def, &hw, &options).unwrap();
+//! let result = session.run(
+//!     &mut SequentialMeasurer::new(&mut measurer),
+//!     &Budget::unlimited(),
+//!     &mut NullObserver,
+//! );
 //! assert!(result.best.is_some());
-//! assert!(result.best_latency().is_finite());
+//!
+//! // The search is durable: encode, decode, and the result survives.
+//! let log = TuneLog::new(&def.name, options.seed, result);
+//! let reloaded = TuneLog::from_json_str(&log.to_json_string()).unwrap();
+//! assert_eq!(reloaded.to_result().best, log.to_result().best);
 //! ```
 
 pub mod cost_model;
+pub mod json;
+pub mod log;
 pub mod search;
+pub mod session;
 pub mod space;
 pub mod tuner;
 pub mod verifier;
 
+pub use json::{Json, JsonCodec, JsonError};
+pub use log::{TuneLog, TuneLogError, WarmStartMeasurer};
+pub use session::{
+    validate_options, Budget, NullObserver, StopReason, TuningError, TuningObserver, TuningSession,
+};
 pub use space::{ScheduleConfig, SearchSpace};
 pub use tuner::{
     tune, tune_batch, BatchMeasurer, Measurer, SequentialMeasurer, TuningOptions, TuningRecord,

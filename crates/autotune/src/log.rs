@@ -1,0 +1,383 @@
+//! Durable tuning logs: save a search, reload it in a fresh process, and
+//! either **replay** it straight to a result (tune once, serve many) or
+//! **warm-start** a new search from its measurements.
+//!
+//! The log is the first-class artifact of autotuning — exactly the
+//! AutoTVM-style record log downstream systems build on — so it is encoded
+//! as plain JSON ([`crate::json`]) with a format version, the workload
+//! name, the RNG seed and the full [`TuningResult`] (best candidate plus
+//! per-trial history).
+//!
+//! Warm-starting reuses the determinism of the whole stack: a
+//! [`WarmStartMeasurer`] answers measurements recorded in the log without
+//! touching the backend, so re-running a session with the *same options and
+//! seed* re-drives the identical search trajectory while only paying for
+//! measurements the log does not already contain.  An interrupted 1000-trial
+//! search resumed this way converges to the same best configuration as an
+//! uninterrupted one.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::json::{Json, JsonCodec, JsonError};
+use crate::space::ScheduleConfig;
+use crate::tuner::{BatchMeasurer, TuningResult};
+
+/// The current log format version (bumped on breaking schema changes).
+pub const TUNE_LOG_VERSION: i64 = 1;
+
+/// A persisted tuning run: workload identity, seed, and the full result.
+#[derive(Debug, Clone)]
+pub struct TuneLog {
+    /// Format version (see [`TUNE_LOG_VERSION`]).
+    pub version: i64,
+    /// Name of the workload the log was tuned for (matches
+    /// `ComputeDef::name`; replaying against a different workload is the
+    /// caller's responsibility to guard).
+    pub workload: String,
+    /// RNG seed of the tuning options that produced the log.  Warm-starting
+    /// reproduces the original trajectory only when re-run with this seed.
+    pub seed: u64,
+    /// The recorded result: best candidate, per-trial history and counters.
+    pub result: TuningResult,
+}
+
+/// Errors raised while loading or decoding a [`TuneLog`].
+#[derive(Debug)]
+pub enum TuneLogError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file contents are not a valid tuning log.
+    Parse(JsonError),
+    /// The log has a format version this build does not understand.
+    UnsupportedVersion(i64),
+}
+
+impl fmt::Display for TuneLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneLogError::Io(e) => write!(f, "tune log I/O error: {e}"),
+            TuneLogError::Parse(e) => write!(f, "tune log parse error: {e}"),
+            TuneLogError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "tune log version {v} is not supported (expected {TUNE_LOG_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneLogError {}
+
+impl From<std::io::Error> for TuneLogError {
+    fn from(e: std::io::Error) -> Self {
+        TuneLogError::Io(e)
+    }
+}
+
+impl From<JsonError> for TuneLogError {
+    fn from(e: JsonError) -> Self {
+        TuneLogError::Parse(e)
+    }
+}
+
+impl TuneLog {
+    /// Packages a finished (or paused) tuning result as a log.
+    pub fn new(workload: impl Into<String>, seed: u64, result: TuningResult) -> Self {
+        TuneLog {
+            version: TUNE_LOG_VERSION,
+            workload: workload.into(),
+            seed,
+            result,
+        }
+    }
+
+    /// The best configuration and latency recorded in the log.
+    pub fn best(&self) -> Option<(&ScheduleConfig, f64)> {
+        self.result.best.as_ref().map(|(c, l)| (c, *l))
+    }
+
+    /// Number of recorded (successful) trials.
+    pub fn len(&self) -> usize {
+        self.result.history.len()
+    }
+
+    /// Whether the log holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.result.history.is_empty()
+    }
+
+    /// The `config → latency` memo of every recorded measurement (used by
+    /// [`WarmStartMeasurer`] and anything else that wants to skip
+    /// re-measuring known candidates).
+    pub fn memo(&self) -> HashMap<ScheduleConfig, f64> {
+        self.result
+            .history
+            .iter()
+            .map(|r| (r.config.clone(), r.latency_s))
+            .collect()
+    }
+
+    /// Reconstructs the [`TuningResult`] recorded in the log — replaying a
+    /// tuned workload without re-searching.
+    pub fn to_result(&self) -> TuningResult {
+        self.result.clone()
+    }
+
+    /// Serializes the log to JSON text (one self-contained document).
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("version".into(), Json::Int(self.version)),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            // u64 seeds can exceed what a JSON double represents exactly, so
+            // the seed travels as a decimal string.
+            ("seed".into(), Json::Str(self.seed.to_string())),
+            ("result".into(), self.result.to_json()),
+        ])
+        .to_string()
+    }
+
+    /// Parses a log from JSON text.
+    ///
+    /// # Errors
+    /// Returns a [`TuneLogError`] on malformed JSON, schema mismatches or an
+    /// unsupported format version.
+    pub fn from_json_str(text: &str) -> Result<Self, TuneLogError> {
+        let json = Json::parse(text)?;
+        let version = json.get("version")?.as_i64()?;
+        if version != TUNE_LOG_VERSION {
+            return Err(TuneLogError::UnsupportedVersion(version));
+        }
+        let seed = json
+            .get("seed")?
+            .as_str()?
+            .parse::<u64>()
+            .map_err(|_| JsonError {
+                message: "seed must be a decimal u64 string".into(),
+                offset: None,
+            })?;
+        Ok(TuneLog {
+            version,
+            workload: json.get("workload")?.as_str()?.to_string(),
+            seed,
+            result: TuningResult::from_json(json.get("result")?)?,
+        })
+    }
+
+    /// Writes the log to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TuneLogError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json_string().as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Reads a log from a file.
+    ///
+    /// # Errors
+    /// Returns a [`TuneLogError`] on I/O failures or malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TuneLogError> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        Self::from_json_str(&text)
+    }
+}
+
+/// A [`BatchMeasurer`] that answers measurements recorded in a [`TuneLog`]
+/// from memory and forwards only unknown candidates to the real measurer.
+///
+/// Driving a fresh [`crate::session::TuningSession`] (same options, same
+/// seed) through this wrapper re-creates the original search trajectory
+/// bit-for-bit: the candidates the session proposes are identical, and every
+/// one the log already measured is answered without touching the backend.
+/// The session therefore "resumes" an interrupted search at the cost of only
+/// the remaining measurements.
+pub struct WarmStartMeasurer<'a> {
+    memo: HashMap<ScheduleConfig, f64>,
+    inner: &'a mut dyn BatchMeasurer,
+    replayed: usize,
+    fresh: usize,
+}
+
+impl<'a> WarmStartMeasurer<'a> {
+    /// Wraps `inner`, answering any measurement recorded in `log` from
+    /// memory.
+    pub fn new(log: &TuneLog, inner: &'a mut dyn BatchMeasurer) -> Self {
+        WarmStartMeasurer {
+            memo: log.memo(),
+            inner,
+            replayed: 0,
+            fresh: 0,
+        }
+    }
+
+    /// Number of measurements answered from the log.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Number of measurements forwarded to the real measurer.
+    pub fn fresh(&self) -> usize {
+        self.fresh
+    }
+}
+
+impl BatchMeasurer for WarmStartMeasurer<'_> {
+    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        let mut out: Vec<Option<Option<f64>>> = configs
+            .iter()
+            .map(|c| self.memo.get(c).map(|&l| Some(l)))
+            .collect();
+        let miss_slots: Vec<usize> = (0..configs.len()).filter(|&i| out[i].is_none()).collect();
+        self.replayed += configs.len() - miss_slots.len();
+        self.fresh += miss_slots.len();
+        if !miss_slots.is_empty() {
+            let misses: Vec<ScheduleConfig> =
+                miss_slots.iter().map(|&i| configs[i].clone()).collect();
+            let results = self.inner.measure_batch(&misses);
+            assert_eq!(
+                results.len(),
+                misses.len(),
+                "BatchMeasurer must return one result per candidate"
+            );
+            for (&slot, result) in miss_slots.iter().zip(results) {
+                out[slot] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Budget, NullObserver, TuningSession};
+    use crate::tuner::{SequentialMeasurer, TuningOptions, TuningRecord};
+    use atim_sim::UpmemConfig;
+    use atim_tir::compute::ComputeDef;
+
+    fn analytic(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+        let work = def.total_flops() as f64;
+        move |cfg: &ScheduleConfig| {
+            let dpus = cfg.num_dpus() as f64;
+            let tasklets = cfg.tasklets.min(11) as f64;
+            let cache = if cfg.use_cache { 1.0 } else { 8.0 };
+            Some((work / (dpus * tasklets) * cache + dpus * 0.001) * 1e-6)
+        }
+    }
+
+    fn sample_log() -> TuneLog {
+        let cfg = ScheduleConfig {
+            spatial_dpus: vec![64],
+            reduce_dpus: 4,
+            tasklets: 16,
+            cache_elems: 32,
+            use_cache: true,
+            unroll: true,
+            host_threads: 4,
+            parallel_transfer: true,
+        };
+        TuneLog::new(
+            "mtv",
+            0xDEAD_BEEF_DEAD_BEEF,
+            TuningResult {
+                best: Some((cfg.clone(), 5e-4)),
+                history: vec![TuningRecord {
+                    trial: 0,
+                    config: cfg,
+                    latency_s: 5e-4,
+                    best_so_far_s: 5e-4,
+                }],
+                measured: 1,
+                failed: 2,
+                rejected: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn log_round_trips_through_json_text() {
+        let log = sample_log();
+        let back = TuneLog::from_json_str(&log.to_json_string()).unwrap();
+        assert_eq!(back.version, TUNE_LOG_VERSION);
+        assert_eq!(back.workload, "mtv");
+        assert_eq!(back.seed, 0xDEAD_BEEF_DEAD_BEEF);
+        assert_eq!(back.result.best, log.result.best);
+        assert_eq!(back.result.history, log.result.history);
+        assert_eq!(back.result.failed, 2);
+        assert_eq!(back.result.rejected, 3);
+    }
+
+    #[test]
+    fn log_round_trips_through_a_file() {
+        let log = sample_log();
+        let path = std::env::temp_dir().join("atim_log_roundtrip_test.json");
+        log.save(&path).unwrap();
+        let back = TuneLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.result.best, log.result.best);
+        assert_eq!(back.result.history, log.result.history);
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        let mut text = sample_log().to_json_string();
+        text = text.replace("\"version\":1", "\"version\":999");
+        match TuneLog::from_json_str(&text) {
+            Err(TuneLogError::UnsupportedVersion(999)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_reproduces_the_fresh_search_trajectory() {
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let hw = UpmemConfig::default();
+        let options = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+
+        // Fresh, uninterrupted search.
+        let mut m = analytic(&def);
+        let fresh = crate::tuner::tune(&def, &hw, &options, &mut m);
+
+        // Interrupted search: stop after ~half the budget and persist.
+        let mut partial_session = TuningSession::new(&def, &hw, &options).unwrap();
+        let mut m1 = analytic(&def);
+        let partial = partial_session.run(
+            &mut SequentialMeasurer::new(&mut m1),
+            &Budget::trials(16),
+            &mut NullObserver,
+        );
+        let log = TuneLog::new(&def.name, options.seed, partial);
+
+        // Warm-started search: same options + seed, log answers the prefix.
+        let mut session = TuningSession::new(&def, &hw, &options).unwrap();
+        let mut m2 = analytic(&def);
+        let mut seq = SequentialMeasurer::new(&mut m2);
+        let mut warm = WarmStartMeasurer::new(&log, &mut seq);
+        let resumed = session.run(&mut warm, &Budget::unlimited(), &mut NullObserver);
+
+        assert_eq!(resumed.best, fresh.best, "warm start must match fresh");
+        assert_eq!(resumed.history, fresh.history);
+        assert!(
+            warm.replayed() >= log.len() / 2,
+            "the log prefix must be reused"
+        );
+        assert!(
+            warm.fresh() < fresh.measured,
+            "warm start must measure strictly less than a fresh search"
+        );
+    }
+}

@@ -1,0 +1,771 @@
+//! The resumable tuning session: Fig. 6's loop split into inspectable steps.
+//!
+//! [`TuningSession`] owns the search state (design space, RNG, candidate
+//! database, cost model, history) and exposes the loop one round at a time:
+//! [`TuningSession::next_batch`] generates, verifies and ranks the next
+//! round's candidates, the caller measures them however it likes, and
+//! [`TuningSession::record_batch`] feeds the results back.  The convenience
+//! driver [`TuningSession::run`] ties the two together with a
+//! [`BatchMeasurer`], a [`Budget`] (trial, wall-clock and early-stop limits)
+//! and a [`TuningObserver`] that streams progress as it happens.
+//!
+//! Because the session never hides its state behind a blocking call, a
+//! caller can pause between rounds, persist the history to a
+//! [`crate::log::TuneLog`], change the measurement backend, or stop on any
+//! condition the [`Budget`] does not already cover.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost_model::{featurize, CostModel, NUM_FEATURES};
+use crate::search::CandidateDb;
+use crate::space::{ScheduleConfig, SearchSpace};
+use crate::tuner::{BatchMeasurer, TuningOptions, TuningRecord, TuningResult};
+use crate::verifier::verify;
+
+/// A typed error raised when a tuning session is configured incorrectly.
+///
+/// Every variant is detected *at session start* ([`TuningSession::new`]), so
+/// an invalid configuration can never silently mis-loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuningError {
+    /// `trials` was zero: the session would never measure anything.
+    ZeroTrials,
+    /// `population` was zero: no candidates would ever be generated.
+    ZeroPopulation,
+    /// `measure_per_round` was zero: rounds would never consume the budget.
+    ZeroMeasurePerRound,
+    /// `measure_per_round` exceeded `population`: the ranking can never fill
+    /// a round's measurement quota.
+    MeasureExceedsPopulation {
+        /// The configured candidates-measured-per-round.
+        measure_per_round: usize,
+        /// The configured candidates-generated-per-round.
+        population: usize,
+    },
+}
+
+impl fmt::Display for TuningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuningError::ZeroTrials => {
+                write!(f, "invalid tuning options: trials must be > 0")
+            }
+            TuningError::ZeroPopulation => {
+                write!(f, "invalid tuning options: population must be > 0")
+            }
+            TuningError::ZeroMeasurePerRound => {
+                write!(f, "invalid tuning options: measure_per_round must be > 0")
+            }
+            TuningError::MeasureExceedsPopulation {
+                measure_per_round,
+                population,
+            } => write!(
+                f,
+                "invalid tuning options: measure_per_round ({measure_per_round}) must not \
+                 exceed population ({population})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuningError {}
+
+/// Validates tuning options, returning the first violated constraint.
+///
+/// # Errors
+/// Returns the corresponding [`TuningError`] variant when `trials`,
+/// `population` or `measure_per_round` is zero, or when `measure_per_round`
+/// exceeds `population`.
+pub fn validate_options(options: &TuningOptions) -> Result<(), TuningError> {
+    if options.trials == 0 {
+        return Err(TuningError::ZeroTrials);
+    }
+    if options.population == 0 {
+        return Err(TuningError::ZeroPopulation);
+    }
+    if options.measure_per_round == 0 {
+        return Err(TuningError::ZeroMeasurePerRound);
+    }
+    if options.measure_per_round > options.population {
+        return Err(TuningError::MeasureExceedsPopulation {
+            measure_per_round: options.measure_per_round,
+            population: options.population,
+        });
+    }
+    Ok(())
+}
+
+/// Limits on how long one [`TuningSession::run`] call may keep searching,
+/// *in addition to* the session's own trial target
+/// ([`TuningOptions::trials`]).
+///
+/// All limits are optional and combine with "whichever hits first"
+/// semantics.  The default is [`Budget::unlimited`], which defers entirely
+/// to the session's trial target.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Stop after this many *successful* measurements within this `run`
+    /// call (failures never consume budget, matching the trial accounting
+    /// of [`TuningResult`]).
+    pub max_trials: Option<usize>,
+    /// Stop once this much wall-clock time has elapsed.  Checked between
+    /// rounds, so one in-flight round may overshoot.
+    pub max_wall_clock: Option<Duration>,
+    /// Early-stop: give up after this many successful measurements in a row
+    /// without improving the best latency.
+    pub stall_trials: Option<usize>,
+}
+
+impl Budget {
+    /// No limits beyond the session's own trial target.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limits successful measurements within one `run` call.
+    pub fn trials(n: usize) -> Self {
+        Budget {
+            max_trials: Some(n),
+            ..Budget::default()
+        }
+    }
+
+    /// Limits wall-clock time of one `run` call.
+    pub fn wall_clock(limit: Duration) -> Self {
+        Budget {
+            max_wall_clock: Some(limit),
+            ..Budget::default()
+        }
+    }
+
+    /// Adds a trial limit to an existing budget.
+    pub fn with_trials(mut self, n: usize) -> Self {
+        self.max_trials = Some(n);
+        self
+    }
+
+    /// Adds a wall-clock limit to an existing budget.
+    pub fn with_wall_clock(mut self, limit: Duration) -> Self {
+        self.max_wall_clock = Some(limit);
+        self
+    }
+
+    /// Adds an early-stop window: stop after `n` successful measurements
+    /// without a new best.
+    pub fn with_early_stop(mut self, n: usize) -> Self {
+        self.stall_trials = Some(n);
+        self
+    }
+}
+
+/// Why a [`TuningSession::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The session reached its [`TuningOptions::trials`] target (or ran out
+    /// of rounds without finding new verifiable candidates).
+    SearchComplete,
+    /// [`Budget::max_trials`] was hit.
+    TrialBudget,
+    /// [`Budget::max_wall_clock`] was hit.
+    WallClock,
+    /// [`Budget::stall_trials`] measurements passed without improvement.
+    EarlyStop,
+}
+
+/// Streaming callbacks fired by [`TuningSession::record_batch`] and
+/// [`TuningSession::run`] as the search progresses.
+///
+/// Every method has an empty default body, so observers implement only what
+/// they care about.  Exactly one [`TuningObserver::on_trial`] call is fired
+/// per successful measurement.
+pub trait TuningObserver {
+    /// A new search round began: `measured` trials done so far.
+    fn on_round_start(&mut self, round: usize, measured: usize) {
+        let _ = (round, measured);
+    }
+
+    /// One candidate was measured successfully (one call per trial).
+    fn on_trial(&mut self, record: &TuningRecord) {
+        let _ = record;
+    }
+
+    /// One candidate failed to build or run (does not consume budget).
+    fn on_trial_failed(&mut self, config: &ScheduleConfig) {
+        let _ = config;
+    }
+
+    /// The best latency improved; `record` is the trial that improved it.
+    fn on_best_improved(&mut self, record: &TuningRecord) {
+        let _ = record;
+    }
+
+    /// A `run` call finished with the given result and reason.
+    fn on_finish(&mut self, result: &TuningResult, reason: StopReason) {
+        let _ = (result, reason);
+    }
+}
+
+/// The do-nothing observer (the default for callers that only want the
+/// final [`TuningResult`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl TuningObserver for NullObserver {}
+
+/// A resumable autotuning session over one workload on one machine.
+///
+/// Holds every piece of state the Fig. 6 loop accumulates — candidate
+/// database, cost-model training samples, per-trial history — and exposes
+/// the loop incrementally.  Dropping the session between `run` calls loses
+/// nothing: persist [`TuningSession::result`] to a
+/// [`crate::log::TuneLog`] and warm-start a future session from it.
+pub struct TuningSession {
+    def: ComputeDef,
+    hw: UpmemConfig,
+    options: TuningOptions,
+    space: SearchSpace,
+    rng: StdRng,
+    db: CandidateDb,
+    model: CostModel,
+    samples: Vec<([f64; NUM_FEATURES], f64)>,
+    history: Vec<TuningRecord>,
+    measured: usize,
+    failed: usize,
+    rejected: usize,
+    round: usize,
+    max_rounds: usize,
+}
+
+impl fmt::Debug for TuningSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TuningSession")
+            .field("workload", &self.def.name)
+            .field("measured", &self.measured)
+            .field("failed", &self.failed)
+            .field("rejected", &self.rejected)
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl TuningSession {
+    /// Creates a session, validating the options up front.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when the options are inconsistent (zero
+    /// trials/population/measure-per-round, or a per-round quota larger
+    /// than the population).
+    pub fn new(
+        def: &ComputeDef,
+        hw: &UpmemConfig,
+        options: &TuningOptions,
+    ) -> Result<Self, TuningError> {
+        validate_options(options)?;
+        let max_rounds = options.trials * 8 / options.measure_per_round + 8;
+        Ok(TuningSession {
+            def: def.clone(),
+            hw: hw.clone(),
+            options: options.clone(),
+            space: SearchSpace::new(def, hw),
+            rng: StdRng::seed_from_u64(options.seed),
+            db: CandidateDb::new(),
+            model: CostModel::new(),
+            samples: Vec::new(),
+            history: Vec::new(),
+            measured: 0,
+            failed: 0,
+            rejected: 0,
+            round: 0,
+            max_rounds,
+        })
+    }
+
+    /// The workload this session tunes.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The options the session was created with.
+    pub fn options(&self) -> &TuningOptions {
+        &self.options
+    }
+
+    /// Successful measurements so far (the consumed trial budget).
+    pub fn measured(&self) -> usize {
+        self.measured
+    }
+
+    /// Failed measurements so far (not charged against the budget).
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// Candidates rejected by the UPMEM verifier so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Per-trial history so far.
+    pub fn history(&self) -> &[TuningRecord] {
+        &self.history
+    }
+
+    /// The best configuration and latency found so far.
+    pub fn best(&self) -> Option<(&ScheduleConfig, f64)> {
+        self.db.best().map(|e| (&e.config, e.latency_s))
+    }
+
+    /// Whether the session has reached its trial target or exhausted its
+    /// round allowance.
+    pub fn finished(&self) -> bool {
+        self.measured >= self.options.trials || self.round >= self.max_rounds
+    }
+
+    /// Generates, verifies and cost-model-ranks the next round's batch of
+    /// candidates to measure (at most `measure_per_round`, never more than
+    /// the remaining trial budget).
+    ///
+    /// Returns `None` once the session is [`TuningSession::finished`].
+    /// Rounds whose entire population is rejected by the verifier are
+    /// skipped internally (they consume round allowance, as the blocking
+    /// driver always did, but produce no batch).
+    pub fn next_batch(&mut self) -> Option<Vec<ScheduleConfig>> {
+        loop {
+            if self.finished() {
+                return None;
+            }
+            self.round += 1;
+            let progress = self.measured as f64 / self.options.trials as f64;
+            let epsilon = self.options.strategy.epsilon_at(progress);
+            let balanced = self.options.strategy.balanced_at(progress);
+
+            // --- Design space generation + evolution --------------------------
+            let mut candidates: Vec<ScheduleConfig> = Vec::with_capacity(self.options.population);
+            let parents = self.db.top_k(16, balanced);
+            for i in 0..self.options.population {
+                let with_rfactor = self.space.supports_rfactor() && i % 2 == 0;
+                let explore = parents.is_empty() || self.rng.gen_bool(epsilon);
+                let cand = if explore {
+                    self.space.sample(&mut self.rng, with_rfactor)
+                } else {
+                    let parent = parents[self.rng.gen_range(0..parents.len())];
+                    self.space.mutate(&mut self.rng, &parent.config)
+                };
+                candidates.push(cand);
+            }
+
+            // --- Verification -------------------------------------------------
+            let mut verified: Vec<ScheduleConfig> = Vec::new();
+            let mut seen: HashSet<ScheduleConfig> = HashSet::with_capacity(candidates.len());
+            for cand in candidates {
+                if self.db.contains(&cand) || !seen.insert(cand.clone()) {
+                    continue;
+                }
+                match verify(&cand, &self.def, &self.hw) {
+                    Ok(_) => verified.push(cand),
+                    Err(_) => self.rejected += 1,
+                }
+            }
+            if verified.is_empty() {
+                continue;
+            }
+
+            // --- Cost-model ranking -------------------------------------------
+            let mut ranked: Vec<(f64, ScheduleConfig)> = verified
+                .into_iter()
+                .map(|c| (self.model.predict(&featurize(&c, &self.def, &self.hw)), c))
+                .collect();
+            ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+            let budget = self
+                .options
+                .measure_per_round
+                .min(self.options.trials - self.measured);
+            return Some(
+                ranked
+                    .into_iter()
+                    .take(budget)
+                    .map(|(_, cand)| cand)
+                    .collect(),
+            );
+        }
+    }
+
+    /// Records one measured batch (results slot-aligned with `batch`),
+    /// updating the database, history and cost model, and firing one
+    /// observer callback per candidate.
+    ///
+    /// # Panics
+    /// Panics if `results.len() != batch.len()` — a batch measurer must
+    /// return one result per candidate.
+    pub fn record_batch(
+        &mut self,
+        batch: &[ScheduleConfig],
+        results: Vec<Option<f64>>,
+        observer: &mut dyn TuningObserver,
+    ) {
+        assert_eq!(
+            results.len(),
+            batch.len(),
+            "BatchMeasurer must return one result per candidate"
+        );
+        for (cand, result) in batch.iter().zip(results) {
+            let Some(latency) = result else {
+                self.failed += 1;
+                observer.on_trial_failed(cand);
+                continue;
+            };
+            let improved = self
+                .db
+                .best()
+                .map(|e| latency < e.latency_s)
+                .unwrap_or(true);
+            self.samples
+                .push((featurize(cand, &self.def, &self.hw), latency));
+            self.db.insert(cand.clone(), latency);
+            let record = TuningRecord {
+                trial: self.measured,
+                config: cand.clone(),
+                latency_s: latency,
+                best_so_far_s: self.db.best().map(|e| e.latency_s).unwrap_or(latency),
+            };
+            self.measured += 1;
+            observer.on_trial(&record);
+            if improved {
+                observer.on_best_improved(&record);
+            }
+            self.history.push(record);
+        }
+        self.model.train(&self.samples);
+    }
+
+    /// Seeds the session with previously measured trials (e.g. from a
+    /// [`crate::log::TuneLog`]) *without* consuming trial budget: the
+    /// records enter the candidate database and cost-model training set so
+    /// the evolutionary search mutates from known-good parents immediately.
+    ///
+    /// For bit-exact reproduction of an interrupted run, prefer replaying
+    /// the log through a [`crate::log::WarmStartMeasurer`] instead — that
+    /// path re-drives the identical search trajectory while answering known
+    /// measurements from the log.
+    pub fn seed_database(&mut self, records: &[TuningRecord]) {
+        for rec in records {
+            if self.db.contains(&rec.config) {
+                continue;
+            }
+            self.samples
+                .push((featurize(&rec.config, &self.def, &self.hw), rec.latency_s));
+            self.db.insert(rec.config.clone(), rec.latency_s);
+        }
+        self.model.train(&self.samples);
+    }
+
+    /// Snapshot of the tuning result so far.
+    pub fn result(&self) -> TuningResult {
+        TuningResult {
+            best: self.db.best().map(|e| (e.config.clone(), e.latency_s)),
+            history: self.history.clone(),
+            measured: self.measured,
+            failed: self.failed,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Drives the session until the trial target, the budget, or the search
+    /// space is exhausted, measuring through `measurer` and streaming
+    /// progress to `observer`.
+    ///
+    /// Can be called repeatedly: each call applies `budget` afresh to the
+    /// work done *within that call*, so `run(.., &Budget::trials(10), ..)`
+    /// twice performs (up to) 20 measured trials in total.
+    pub fn run(
+        &mut self,
+        measurer: &mut dyn BatchMeasurer,
+        budget: &Budget,
+        observer: &mut dyn TuningObserver,
+    ) -> TuningResult {
+        let start = Instant::now();
+        let measured_at_start = self.measured;
+        let mut best_at_last_improvement = self.db.best().map(|e| e.latency_s);
+        let mut trials_since_improvement = 0usize;
+        let reason = loop {
+            if let Some(max) = budget.max_trials {
+                if self.measured - measured_at_start >= max {
+                    break StopReason::TrialBudget;
+                }
+            }
+            if let Some(limit) = budget.max_wall_clock {
+                if start.elapsed() >= limit {
+                    break StopReason::WallClock;
+                }
+            }
+            if let Some(stall) = budget.stall_trials {
+                if trials_since_improvement >= stall {
+                    break StopReason::EarlyStop;
+                }
+            }
+            let Some(batch) = self.next_batch() else {
+                break StopReason::SearchComplete;
+            };
+            observer.on_round_start(self.round, self.measured);
+            let measured_before = self.measured;
+            let results = measurer.measure_batch(&batch);
+            self.record_batch(&batch, results, observer);
+            // Early-stop accounting: count trials since the last new best.
+            let new_best = self.db.best().map(|e| e.latency_s);
+            if new_best != best_at_last_improvement {
+                best_at_last_improvement = new_best;
+                trials_since_improvement = 0;
+            } else {
+                trials_since_improvement += self.measured - measured_before;
+            }
+        };
+        let result = self.result();
+        observer.on_finish(&result, reason);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::SequentialMeasurer;
+
+    fn analytic(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+        let work = def.total_flops() as f64;
+        move |cfg: &ScheduleConfig| {
+            let dpus = cfg.num_dpus() as f64;
+            let tasklets = cfg.tasklets.min(11) as f64;
+            Some((work / (dpus * tasklets) + dpus * 0.001) * 1e-6)
+        }
+    }
+
+    #[test]
+    fn validation_catches_every_inconsistency() {
+        let ok = TuningOptions::quick();
+        assert!(validate_options(&ok).is_ok());
+        assert_eq!(
+            validate_options(&TuningOptions {
+                trials: 0,
+                ..ok.clone()
+            }),
+            Err(TuningError::ZeroTrials)
+        );
+        assert_eq!(
+            validate_options(&TuningOptions {
+                population: 0,
+                ..ok.clone()
+            }),
+            Err(TuningError::ZeroPopulation)
+        );
+        assert_eq!(
+            validate_options(&TuningOptions {
+                measure_per_round: 0,
+                ..ok.clone()
+            }),
+            Err(TuningError::ZeroMeasurePerRound)
+        );
+        let err = validate_options(&TuningOptions {
+            measure_per_round: 64,
+            population: 8,
+            ..ok
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TuningError::MeasureExceedsPopulation {
+                measure_per_round: 64,
+                population: 8
+            }
+        );
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn incremental_session_matches_the_blocking_driver() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut m1 = analytic(&def);
+        let blocking = crate::tuner::tune(&def, &hw, &opts, &mut m1);
+
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut m2 = analytic(&def);
+        let mut seq = SequentialMeasurer::new(&mut m2);
+        while let Some(batch) = session.next_batch() {
+            let results = seq.measure_batch(&batch);
+            session.record_batch(&batch, results, &mut NullObserver);
+        }
+        let incremental = session.result();
+        assert_eq!(blocking.best, incremental.best);
+        assert_eq!(blocking.history, incremental.history);
+        assert_eq!(blocking.measured, incremental.measured);
+        assert_eq!(blocking.failed, incremental.failed);
+        assert_eq!(blocking.rejected, incremental.rejected);
+    }
+
+    #[test]
+    fn observer_sees_one_callback_per_measured_trial() {
+        #[derive(Default)]
+        struct Counter {
+            rounds: usize,
+            trials: usize,
+            failures: usize,
+            improvements: usize,
+            finished: usize,
+        }
+        impl TuningObserver for Counter {
+            fn on_round_start(&mut self, _round: usize, _measured: usize) {
+                self.rounds += 1;
+            }
+            fn on_trial(&mut self, _record: &TuningRecord) {
+                self.trials += 1;
+            }
+            fn on_trial_failed(&mut self, _config: &ScheduleConfig) {
+                self.failures += 1;
+            }
+            fn on_best_improved(&mut self, _record: &TuningRecord) {
+                self.improvements += 1;
+            }
+            fn on_finish(&mut self, _result: &TuningResult, _reason: StopReason) {
+                self.finished += 1;
+            }
+        }
+
+        let def = ComputeDef::mtv("mtv", 512, 512);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut calls = 0usize;
+        let mut measurer = |cfg: &ScheduleConfig| -> Option<f64> {
+            calls += 1;
+            if calls % 5 == 0 {
+                None
+            } else {
+                Some(1.0 / cfg.num_dpus() as f64)
+            }
+        };
+        let mut obs = Counter::default();
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut measurer),
+            &Budget::unlimited(),
+            &mut obs,
+        );
+        assert_eq!(obs.trials, result.measured, "one on_trial per measurement");
+        assert_eq!(obs.failures, result.failed);
+        assert!(obs.improvements >= 1);
+        assert!(obs.rounds >= 1);
+        assert_eq!(obs.finished, 1);
+    }
+
+    #[test]
+    fn trial_budget_pauses_and_resumes_without_losing_state() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut m = analytic(&def);
+        let fresh = crate::tuner::tune(&def, &hw, &opts, &mut m);
+
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut m1 = analytic(&def);
+        let partial = session.run(
+            &mut SequentialMeasurer::new(&mut m1),
+            &Budget::trials(16),
+            &mut NullObserver,
+        );
+        assert!(partial.measured >= 16 && partial.measured < 32);
+        // Resume: the second run picks up exactly where the first stopped.
+        let mut m2 = analytic(&def);
+        let full = session.run(
+            &mut SequentialMeasurer::new(&mut m2),
+            &Budget::unlimited(),
+            &mut NullObserver,
+        );
+        assert_eq!(full.measured, 32);
+        assert_eq!(full.best, fresh.best);
+        assert_eq!(full.history, fresh.history);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_the_run() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 1_000_000,
+            population: 16,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut m = analytic(&def);
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut m),
+            &Budget::wall_clock(Duration::from_millis(50)),
+            &mut NullObserver,
+        );
+        assert!(result.measured < 1_000_000, "wall clock must stop the run");
+    }
+
+    #[test]
+    fn early_stop_fires_when_the_best_stalls() {
+        struct Reason(Option<StopReason>);
+        impl TuningObserver for Reason {
+            fn on_finish(&mut self, _result: &TuningResult, reason: StopReason) {
+                self.0 = Some(reason);
+            }
+        }
+        let def = ComputeDef::mtv("mtv", 256, 256);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 200,
+            population: 16,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        // A constant measurer can never improve after the first trial.
+        let mut m = |_: &ScheduleConfig| -> Option<f64> { Some(1.0) };
+        let mut obs = Reason(None);
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut m),
+            &Budget::unlimited().with_early_stop(12),
+            &mut obs,
+        );
+        assert!(result.measured < 200);
+        assert_eq!(obs.0, Some(StopReason::EarlyStop));
+    }
+
+    #[test]
+    fn seeding_the_database_biases_the_search() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let good = ScheduleConfig::default_for(&def, &hw);
+        session.seed_database(&[TuningRecord {
+            trial: 0,
+            config: good.clone(),
+            latency_s: 1e-6,
+            best_so_far_s: 1e-6,
+        }]);
+        assert_eq!(session.best().unwrap().0, &good);
+        assert_eq!(session.measured(), 0, "seeding consumes no trial budget");
+    }
+}

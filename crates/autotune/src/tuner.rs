@@ -8,17 +8,12 @@
 //! single-candidate [`Measurer`]s keep working through the
 //! [`SequentialMeasurer`] adapter.
 
-use std::collections::HashSet;
-
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::cost_model::{featurize, CostModel};
-use crate::search::{CandidateDb, SearchStrategy};
-use crate::space::{ScheduleConfig, SearchSpace};
-use crate::verifier::verify;
+use crate::search::SearchStrategy;
+use crate::session::{Budget, NullObserver, TuningSession};
+use crate::space::ScheduleConfig;
 
 /// How a candidate's latency is obtained.  `atim-core` implements this by
 /// compiling the candidate (PIM-aware passes included) and running it on the
@@ -157,6 +152,11 @@ impl TuningResult {
 ///
 /// Equivalent to [`tune_batch`] with the [`SequentialMeasurer`] adapter; see
 /// there for the loop structure.
+///
+/// # Panics
+/// Panics if `options` is inconsistent (see
+/// [`crate::session::validate_options`]); use [`TuningSession::new`] for a
+/// typed error instead.
 pub fn tune(
     def: &ComputeDef,
     hw: &UpmemConfig,
@@ -175,111 +175,26 @@ pub fn tune(
 ///
 /// Only *successful* measurements consume the trial budget; failures are
 /// tallied in [`TuningResult::failed`].
+///
+/// This is the blocking convenience wrapper around [`TuningSession`]: it
+/// creates a session and drives it to completion with an unlimited
+/// [`Budget`] and no observer.  Use [`TuningSession`] directly for
+/// incremental driving, streaming progress, wall-clock budgets, early-stop
+/// or warm-started searches.
+///
+/// # Panics
+/// Panics if `options` is inconsistent (see
+/// [`crate::session::validate_options`]); use [`TuningSession::new`] for a
+/// typed error instead.
 pub fn tune_batch(
     def: &ComputeDef,
     hw: &UpmemConfig,
     options: &TuningOptions,
     measurer: &mut dyn BatchMeasurer,
 ) -> TuningResult {
-    let space = SearchSpace::new(def, hw);
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut db = CandidateDb::new();
-    let mut model = CostModel::new();
-    let mut history: Vec<TuningRecord> = Vec::new();
-    let mut measured = 0usize;
-    let mut failed = 0usize;
-    let mut rejected = 0usize;
-    let mut samples: Vec<([f64; crate::cost_model::NUM_FEATURES], f64)> = Vec::new();
-
-    let max_rounds = options.trials * 8 / options.measure_per_round.max(1) + 8;
-    for _round in 0..max_rounds {
-        if measured >= options.trials {
-            break;
-        }
-        let progress = measured as f64 / options.trials.max(1) as f64;
-        let epsilon = options.strategy.epsilon_at(progress);
-        let balanced = options.strategy.balanced_at(progress);
-
-        // --- Design space generation + evolution -----------------------------
-        let mut candidates: Vec<ScheduleConfig> = Vec::with_capacity(options.population);
-        let parents = db.top_k(16, balanced);
-        for i in 0..options.population {
-            let with_rfactor = space.supports_rfactor() && i % 2 == 0;
-            let explore = parents.is_empty() || rng.gen_bool(epsilon);
-            let cand = if explore {
-                space.sample(&mut rng, with_rfactor)
-            } else {
-                let parent = parents[rng.gen_range(0..parents.len())];
-                space.mutate(&mut rng, &parent.config)
-            };
-            candidates.push(cand);
-        }
-
-        // --- Verification ------------------------------------------------------
-        let mut verified: Vec<ScheduleConfig> = Vec::new();
-        let mut seen: HashSet<ScheduleConfig> = HashSet::with_capacity(candidates.len());
-        for cand in candidates {
-            if db.contains(&cand) || !seen.insert(cand.clone()) {
-                continue;
-            }
-            match verify(&cand, def, hw) {
-                Ok(_) => verified.push(cand),
-                Err(_) => rejected += 1,
-            }
-        }
-        if verified.is_empty() {
-            continue;
-        }
-
-        // --- Cost-model ranking -------------------------------------------------
-        let mut ranked: Vec<(f64, ScheduleConfig)> = verified
-            .into_iter()
-            .map(|c| (model.predict(&featurize(&c, def, hw)), c))
-            .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-
-        // --- Measurement -----------------------------------------------------------
-        // The whole round is handed over as one batch so the measurer can
-        // parallelize; results come back slot-for-slot in candidate order.
-        let budget = options.measure_per_round.min(options.trials - measured);
-        let batch: Vec<ScheduleConfig> = ranked
-            .into_iter()
-            .take(budget)
-            .map(|(_, cand)| cand)
-            .collect();
-        let results = measurer.measure_batch(&batch);
-        assert_eq!(
-            results.len(),
-            batch.len(),
-            "BatchMeasurer must return one result per candidate"
-        );
-        for (cand, result) in batch.into_iter().zip(results) {
-            let Some(latency) = result else {
-                failed += 1;
-                continue;
-            };
-            samples.push((featurize(&cand, def, hw), latency));
-            db.insert(cand.clone(), latency);
-            history.push(TuningRecord {
-                trial: measured,
-                config: cand,
-                latency_s: latency,
-                best_so_far_s: db.best().map(|e| e.latency_s).unwrap_or(latency),
-            });
-            measured += 1;
-        }
-
-        // --- Cost-model update -------------------------------------------------------
-        model.train(&samples);
-    }
-
-    TuningResult {
-        best: db.best().map(|e| (e.config.clone(), e.latency_s)),
-        history,
-        measured,
-        failed,
-        rejected,
-    }
+    let mut session =
+        TuningSession::new(def, hw, options).unwrap_or_else(|err| panic!("tune_batch: {err}"));
+    session.run(measurer, &Budget::unlimited(), &mut NullObserver)
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Property tests of the tuning-log persistence layer: JSON encode→decode
+//! must be the identity for every `ScheduleConfig`, `TuningRecord`,
+//! `TuningResult` and `TuneLog` the tuner can produce.
+
+use atim_autotune::json::{Json, JsonCodec};
+use atim_autotune::log::TuneLog;
+use atim_autotune::{ScheduleConfig, TuningRecord, TuningResult};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// Builds an arbitrary-but-plausible `ScheduleConfig` from raw case inputs.
+fn config_from(
+    dpu_seed: u64,
+    axes: usize,
+    reduce_pow: u32,
+    tasklets: i64,
+    cache_pow: u32,
+    flags: u8,
+    host_pow: u32,
+) -> ScheduleConfig {
+    let spatial_dpus: Vec<i64> = (0..axes)
+        .map(|j| 1i64 << ((dpu_seed >> (4 * j)) % 12))
+        .collect();
+    ScheduleConfig {
+        spatial_dpus,
+        reduce_dpus: 1i64 << reduce_pow,
+        tasklets,
+        cache_elems: 1i64 << cache_pow,
+        use_cache: flags & 1 != 0,
+        unroll: flags & 2 != 0,
+        host_threads: 1usize << host_pow,
+        parallel_transfer: flags & 4 != 0,
+    }
+}
+
+/// A finite, positive latency derived from arbitrary bits: the exact kind of
+/// awkward doubles (subnormal-adjacent, many significant digits) the
+/// shortest-round-trip encoding must preserve bit-for-bit.
+fn latency_from(bits: u64) -> f64 {
+    let mantissa = (bits % 900_719_925_474_099) as f64 + 1.0;
+    let exponent = ((bits >> 50) % 24) as i32 - 12;
+    mantissa * 10f64.powi(exponent) * 1e-9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schedule_config_json_round_trip_is_identity(
+        dpu_seed in 0u64..u64::MAX,
+        axes in 1usize..4,
+        reduce_pow in 0u32..7,
+        tasklets in 1i64..25,
+        cache_pow in 1u32..9,
+        flags in 0u8..8,
+        host_pow in 0u32..6,
+    ) {
+        let cfg = config_from(dpu_seed, axes, reduce_pow, tasklets, cache_pow, flags, host_pow);
+        let text = cfg.to_json().to_string();
+        let back = ScheduleConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn tuning_record_json_round_trip_is_identity(
+        dpu_seed in 0u64..u64::MAX,
+        trial in 0usize..1_000_000,
+        latency_bits in 0u64..u64::MAX,
+        best_bits in 0u64..u64::MAX,
+    ) {
+        let record = TuningRecord {
+            trial,
+            config: config_from(dpu_seed, 2, 3, 16, 6, 5, 3),
+            latency_s: latency_from(latency_bits),
+            best_so_far_s: latency_from(best_bits),
+        };
+        let text = record.to_json().to_string();
+        let back = TuningRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(record.trial, back.trial);
+        prop_assert_eq!(record.config, back.config);
+        prop_assert_eq!(record.latency_s.to_bits(), back.latency_s.to_bits());
+        prop_assert_eq!(record.best_so_far_s.to_bits(), back.best_so_far_s.to_bits());
+    }
+
+    #[test]
+    fn tune_log_json_round_trip_is_identity(
+        dpu_seed in 0u64..u64::MAX,
+        records in 0usize..8,
+        latency_bits in 0u64..u64::MAX,
+        failed in 0usize..100,
+        rejected in 0usize..100,
+        seed in 0u64..u64::MAX,
+        has_best in 0u8..2,
+    ) {
+        let history: Vec<TuningRecord> = (0..records)
+            .map(|i| {
+                let latency = latency_from(latency_bits.wrapping_add(i as u64 * 0x9E37_79B9));
+                TuningRecord {
+                    trial: i,
+                    config: config_from(dpu_seed.wrapping_add(i as u64), 1 + i % 3, 2, 8, 5, i as u8 % 8, 2),
+                    latency_s: latency,
+                    best_so_far_s: latency,
+                }
+            })
+            .collect();
+        let best = if has_best == 1 && !history.is_empty() {
+            Some((history[0].config.clone(), history[0].latency_s))
+        } else {
+            None
+        };
+        let result = TuningResult {
+            best,
+            history,
+            measured: records,
+            failed,
+            rejected,
+        };
+        let log = TuneLog::new("proptest-workload \"escaped\"", seed, result);
+        let back = TuneLog::from_json_str(&log.to_json_string()).unwrap();
+        prop_assert_eq!(&back.workload, &log.workload);
+        prop_assert_eq!(back.seed, log.seed);
+        prop_assert_eq!(&back.result.best, &log.result.best);
+        prop_assert_eq!(&back.result.history, &log.result.history);
+        prop_assert_eq!(back.result.measured, log.result.measured);
+        prop_assert_eq!(back.result.failed, log.result.failed);
+        prop_assert_eq!(back.result.rejected, log.result.rejected);
+    }
+}
+
+/// Exhaustive-ish float round-trip over deterministically generated bit
+/// patterns, independent of the proptest strategies above.
+#[test]
+fn f64_shortest_round_trip_holds_for_many_bit_patterns() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    for _ in 0..4096 {
+        let bits = (0u64..u64::MAX).new_tree(&mut runner).unwrap().current();
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            continue;
+        }
+        let text = Json::Float(v).to_string();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(v.to_bits(), back.to_bits(), "{v:?} -> {text}");
+    }
+}

@@ -25,7 +25,7 @@ fn bench_verifier(c: &mut Criterion) {
 }
 
 fn bench_small_tuning_session(c: &mut Criterion) {
-    let atim = Atim::default();
+    let session = Session::default();
     let def = ComputeDef::mtv("mtv", 1024, 1024);
     let options = TuningOptions {
         trials: 16,
@@ -39,16 +39,16 @@ fn bench_small_tuning_session(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tune_16_trials_mtv_1k", |b| {
         b.iter(|| {
-            let mut measurer = |cfg: &ScheduleConfig| atim.measure_config(cfg, &def);
-            tune(&def, atim.hardware(), &options, &mut measurer)
+            let mut measurer = |cfg: &ScheduleConfig| session.measure(cfg, &def);
+            tune(&def, session.hardware(), &options, &mut measurer)
         })
     });
     group.bench_function("tune_batch_parallel_16_trials_mtv_1k", |b| {
         b.iter(|| {
             // Fresh measurer per iteration so the memo cache does not carry
             // over between timed runs.
-            let mut measurer = SimBatchMeasurer::new(&atim, &def);
-            tune_batch(&def, atim.hardware(), &options, &mut measurer)
+            let mut measurer = BackendMeasurer::new(session.backend(), &def);
+            tune_batch(&def, session.hardware(), &options, &mut measurer)
         })
     });
     group.finish();

@@ -23,16 +23,16 @@ fn config_2d(spatial: i64, reduce: i64) -> ScheduleConfig {
 }
 
 fn bench_compile(c: &mut Criterion) {
-    let atim = Atim::default();
+    let session = Session::default();
     let def = ComputeDef::gemv("gemv", 1024, 1024, 1.0);
     let cfg = config_2d(64, 4);
     c.bench_function("compile_gemv_1k", |b| {
-        b.iter(|| atim.compile_config(&cfg, &def).unwrap())
+        b.iter(|| session.compile(&cfg, &def).unwrap())
     });
 }
 
 fn bench_simulate(c: &mut Criterion) {
-    let atim = Atim::default();
+    let session = Session::default();
     let mut group = c.benchmark_group("simulate_timing_only");
     for (name, def, cfg) in [
         ("va_1m", ComputeDef::va("va", 1 << 20), config_2d(1024, 1)),
@@ -47,20 +47,20 @@ fn bench_simulate(c: &mut Criterion) {
             config_2d(16, 1),
         ),
     ] {
-        let module = atim.compile_config(&cfg, &def).unwrap();
-        group.bench_function(name, |b| b.iter(|| atim.runtime().time(&module).unwrap()));
+        let module = session.compile(&cfg, &def).unwrap();
+        group.bench_function(name, |b| b.iter(|| session.time(&module).unwrap()));
     }
     group.finish();
 }
 
 fn bench_full_execution(c: &mut Criterion) {
-    let atim = Atim::default();
+    let session = Session::default();
     let def = ComputeDef::mtv("mtv", 256, 256);
     let cfg = config_2d(16, 2);
-    let module = atim.compile_config(&cfg, &def).unwrap();
+    let module = session.compile(&cfg, &def).unwrap();
     let inputs = atim_workloads::data::generate_inputs(&def, 3);
     c.bench_function("execute_functional_mtv_256", |b| {
-        b.iter(|| atim.execute(&module, &inputs).unwrap())
+        b.iter(|| session.execute(&module, &inputs).unwrap())
     });
 }
 

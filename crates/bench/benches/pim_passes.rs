@@ -39,7 +39,7 @@ fn bench_opt_level_latency(c: &mut Criterion) {
     // Measures the simulated kernel, demonstrating that higher optimization
     // levels also *simulate* faster (fewer interpreted events), which is what
     // keeps the experiment harness tractable.
-    let atim = Atim::default();
+    let session = Session::default();
     let (def, cfg) = misaligned_gemv();
     let mut group = c.benchmark_group("simulate_by_opt_level");
     for level in OptLevel::ALL {
@@ -50,12 +50,10 @@ fn bench_opt_level_latency(c: &mut Criterion) {
                 opt_level: level,
                 parallel_transfer: true,
             },
-            atim.hardware(),
+            session.hardware(),
         )
         .unwrap();
-        group.bench_function(level.label(), |b| {
-            b.iter(|| atim.runtime().time(&module).unwrap())
-        });
+        group.bench_function(level.label(), |b| b.iter(|| session.time(&module).unwrap()));
     }
     group.finish();
 }

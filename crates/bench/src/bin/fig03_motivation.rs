@@ -25,7 +25,7 @@ fn config(spatial: i64, reduce: i64, tasklets: i64, cache: i64) -> ScheduleConfi
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
 
     // (a) Kernel latency vs caching tile size: 512x512 GEMV on a single DPU.
     println!("# Fig 3(a): 512x512 GEMV on 1 DPU, kernel latency vs caching tile size");
@@ -33,7 +33,7 @@ fn main() {
     let w = gemv(512, 512);
     for cache in [4i64, 8, 16, 32, 64, 128, 256] {
         let cfg = config(1, 1, 16, cache);
-        if let Some(r) = time_config(&atim, &w, &cfg) {
+        if let Some(r) = time_config(&session, &w, &cfg) {
             println!("{cache},{:.4}", r.kernel_ms());
         }
     }
@@ -54,7 +54,7 @@ fn main() {
         (16, 128),
     ] {
         let cfg = config(rows, reduce, 16, 64);
-        if let Some(r) = time_config(&atim, &w, &cfg) {
+        if let Some(r) = time_config(&session, &w, &cfg) {
             println!(
                 "{rows}x{reduce},{:.3},{:.3},{:.3},{:.3}",
                 r.h2d_s * 1e3,
@@ -74,8 +74,8 @@ fn main() {
         for total in [64i64, 128, 256, 512, 1024, 2048] {
             let rows_only = config(total.min(m), 1, 16, 64);
             let two_d = config((total / 8).clamp(1, m), 8.min(k), 16, 64);
-            let a = time_config(&atim, &w, &rows_only).map(|r| r.total_ms());
-            let b = time_config(&atim, &w, &two_d).map(|r| r.total_ms());
+            let a = time_config(&session, &w, &rows_only).map(|r| r.total_ms());
+            let b = time_config(&session, &w, &two_d).map(|r| r.total_ms());
             println!(
                 "{total},{},{}",
                 a.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),

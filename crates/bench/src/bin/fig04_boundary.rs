@@ -10,18 +10,23 @@ use atim_autotune::ScheduleConfig;
 use atim_core::prelude::*;
 use atim_core::{compile_config, CompileOptions};
 
-fn kernel_ms(atim: &Atim, def: &ComputeDef, cfg: &ScheduleConfig, level: OptLevel) -> Option<f64> {
+fn kernel_ms(
+    session: &Session,
+    def: &ComputeDef,
+    cfg: &ScheduleConfig,
+    level: OptLevel,
+) -> Option<f64> {
     let options = CompileOptions {
         opt_level: level,
         parallel_transfer: true,
     };
-    let module = compile_config(cfg, def, options, atim.hardware()).ok()?;
-    let report = atim.runtime().time(&module).ok()?;
+    let module = compile_config(cfg, def, options, session.hardware()).ok()?;
+    let report = session.time(&module).ok()?;
     Some(report.kernel_ms())
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let sizes = [542i64, 713, 990];
 
     println!("# Fig 4: GEMV (M x N) kernel time with vs without boundary checks");
@@ -44,8 +49,8 @@ fn main() {
             // Both sides use DMA-staged caching (as a hand-written PrIM-style
             // kernel would); the delta isolates the redundant boundary checks
             // in the compute loop, which is what the paper's Fig. 4 measures.
-            let with = kernel_ms(&atim, &def, &cfg, OptLevel::Dma);
-            let without = kernel_ms(&atim, &def, &cfg, OptLevel::DmaLtBh);
+            let with = kernel_ms(&session, &def, &cfg, OptLevel::Dma);
+            let without = kernel_ms(&session, &def, &cfg, OptLevel::DmaLtBh);
             if let (Some(w), Some(wo)) = (with, without) {
                 let speedup = (w - wo) / w * 100.0;
                 // The CPU baseline is memory-bandwidth bound for these shapes;

@@ -14,11 +14,11 @@ use atim_core::prelude::*;
 use atim_workloads::ops::presets_for;
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let trials = trials_from_env();
     for kind in WorkloadKind::ALL {
         for (label, workload) in select_sizes(presets_for(kind)) {
-            let rows = evaluate_workload(&atim, &workload, trials);
+            let rows = evaluate_workload(&session, &workload, trials);
             print_normalized_table(&format!("Fig 9 ({kind}, {label})"), &workload, &rows);
         }
     }

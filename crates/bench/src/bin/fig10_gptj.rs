@@ -12,7 +12,7 @@ use atim_workloads::gptj::{
 };
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let trials = trials_from_env();
     let full = full_from_env();
     let batches: Vec<i64> = if full {
@@ -31,7 +31,7 @@ fn main() {
         for &b in &batches {
             for &t in &tokens {
                 let w = mha_workload(model, b, t);
-                let rows = evaluate_workload(&atim, &w, trials);
+                let rows = evaluate_workload(&session, &w, trials);
                 print_normalized_table(
                     &format!("Fig 10 MMTV {} batch={b} tokens={t}", model.label()),
                     &w,
@@ -48,7 +48,7 @@ fn main() {
         };
         for layer in selected {
             let w = fc_workload(&layer);
-            let rows = evaluate_workload(&atim, &w, trials);
+            let rows = evaluate_workload(&session, &w, trials);
             print_normalized_table(
                 &format!(
                     "Fig 10 MTV {} {} ({}x{})",

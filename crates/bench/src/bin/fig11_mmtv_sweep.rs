@@ -6,7 +6,7 @@ use atim_bench::{atim_report, prim_report, prim_search_report, trials_from_env};
 use atim_core::prelude::*;
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let trials = trials_from_env();
     println!("# Fig 11: MMTV speedup vs spatial dimension size (reduction = 256)");
     println!("spatial_size,atim_ms,speedup_vs_prim,speedup_vs_prim_search");
@@ -23,9 +23,9 @@ fn main() {
     ] {
         let spatial = outer * tokens;
         let w = Workload::new(WorkloadKind::Mmtv, vec![outer, tokens, 256]);
-        let prim = prim_report(&atim, &w).map(|r| r.total_ms());
-        let prim_search = prim_search_report(&atim, &w).map(|r| r.total_ms());
-        let (_, atim_r) = atim_report(&atim, &w, trials);
+        let prim = prim_report(&session, &w).map(|r| r.total_ms());
+        let prim_search = prim_search_report(&session, &w).map(|r| r.total_ms());
+        let (_, atim_r) = atim_report(&session, &w, trials);
         let atim_ms = atim_r.total_ms();
         println!(
             "{spatial},{atim_ms:.3},{},{}",

@@ -39,7 +39,12 @@ fn ablation_config(w: &Workload) -> ScheduleConfig {
     }
 }
 
-fn kernel_ms(atim: &Atim, w: &Workload, cfg: &ScheduleConfig, level: OptLevel) -> Option<f64> {
+fn kernel_ms(
+    session: &Session,
+    w: &Workload,
+    cfg: &ScheduleConfig,
+    level: OptLevel,
+) -> Option<f64> {
     let def = w.compute_def();
     let module = compile_config(
         cfg,
@@ -48,24 +53,24 @@ fn kernel_ms(atim: &Atim, w: &Workload, cfg: &ScheduleConfig, level: OptLevel) -
             opt_level: level,
             parallel_transfer: true,
         },
-        atim.hardware(),
+        session.hardware(),
     )
     .ok()?;
-    atim.runtime().time(&module).ok().map(|r| r.kernel_ms())
+    session.time(&module).ok().map(|r| r.kernel_ms())
 }
 
-fn sweep(atim: &Atim, title: &str, workloads: &[Workload]) {
+fn sweep(session: &Session, title: &str, workloads: &[Workload]) {
     println!("# Fig 12 {title}");
     println!("shape,prim_ms,no_opt,dma,dma_lt,dma_lt_bh (normalized to PrIM)");
     for w in workloads {
-        let prim = prim_default(w, atim.hardware());
-        let Some(prim_ms) = time_config(atim, w, &prim).map(|r| r.kernel_ms()) else {
+        let prim = prim_default(w, session.hardware());
+        let Some(prim_ms) = time_config(session, w, &prim).map(|r| r.kernel_ms()) else {
             continue;
         };
         let cfg = ablation_config(w);
         let mut cols = Vec::new();
         for level in OptLevel::ALL {
-            match kernel_ms(atim, w, &cfg, level) {
+            match kernel_ms(session, w, &cfg, level) {
                 Some(ms) => cols.push(format!("{:.3}", ms / prim_ms)),
                 None => cols.push("-".into()),
             }
@@ -77,29 +82,29 @@ fn sweep(atim: &Atim, title: &str, workloads: &[Workload]) {
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let lengths = [72i64, 91, 123, 145, 164, 196, 212, 245];
 
     let a: Vec<Workload> = lengths
         .iter()
         .map(|&l| Workload::new(WorkloadKind::Mtv, vec![256, l]))
         .collect();
-    sweep(&atim, "(a) MTV [256, L] x [L] — column misalignment", &a);
+    sweep(&session, "(a) MTV [256, L] x [L] — column misalignment", &a);
 
     let b: Vec<Workload> = lengths
         .iter()
         .map(|&l| Workload::new(WorkloadKind::Mtv, vec![l, 256]))
         .collect();
-    sweep(&atim, "(b) MTV [L, 256] x [256] — row misalignment", &b);
+    sweep(&session, "(b) MTV [L, 256] x [256] — row misalignment", &b);
 
     let c: Vec<Workload> = lengths
         .iter()
         .map(|&l| Workload::new(WorkloadKind::Mtv, vec![l, l]))
         .collect();
-    sweep(&atim, "(c) MTV [L, L] x [L] — both axes misaligned", &c);
+    sweep(&session, "(c) MTV [L, L] x [L] — both axes misaligned", &c);
 
     let d: Vec<Workload> = (1..=8)
         .map(|l| Workload::new(WorkloadKind::Va, vec![l * 100_000]))
         .collect();
-    sweep(&atim, "(d) VA [L x 100000] with 32 DPUs", &d);
+    sweep(&session, "(d) VA [L x 100000] with 32 DPUs", &d);
 }

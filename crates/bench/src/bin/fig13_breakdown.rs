@@ -19,7 +19,7 @@ fn single_dpu_config(tasklets: i64, cache: i64) -> ScheduleConfig {
     }
 }
 
-fn breakdown(atim: &Atim, title: &str, def: &ComputeDef, cfg: &ScheduleConfig) {
+fn breakdown(session: &Session, title: &str, def: &ComputeDef, cfg: &ScheduleConfig) {
     println!("# Fig 13: {title}");
     println!("opt_level,issuable_pct,idle_memory_pct,idle_core_pct,instructions_norm");
     let mut base_instr = None;
@@ -31,10 +31,10 @@ fn breakdown(atim: &Atim, title: &str, def: &ComputeDef, cfg: &ScheduleConfig) {
                 opt_level: level,
                 parallel_transfer: true,
             },
-            atim.hardware(),
+            session.hardware(),
         )
         .expect("compile");
-        let report = atim.runtime().time(&module).expect("run");
+        let report = session.time(&module).expect("run");
         let (a, m, c) = report.breakdown.fractions();
         let base = *base_instr.get_or_insert(report.instructions.max(1));
         println!(
@@ -50,11 +50,11 @@ fn breakdown(atim: &Atim, title: &str, def: &ComputeDef, cfg: &ScheduleConfig) {
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
 
     let gemv = ComputeDef::gemv("gemv", 245, 245, 1.0);
     breakdown(
-        &atim,
+        &session,
         "GEMV (245x245), single DPU, 8 tasklets",
         &gemv,
         &single_dpu_config(8, 64),
@@ -62,7 +62,7 @@ fn main() {
 
     let va = ComputeDef::va("va", 25_000);
     breakdown(
-        &atim,
+        &session,
         "VA (25000), single DPU, 8 tasklets",
         &va,
         &single_dpu_config(8, 64),

@@ -2,21 +2,46 @@
 //! ε-greedy strategies, individually and combined, against TVM's default
 //! evolutionary search (§7.4).
 //!
-//! Prints the best-so-far throughput (GFLOPS) every few trials for the four
-//! strategies, plus the wall-clock tuning cost of each strategy sweep.
-//! Candidates are measured by the batch-parallel simulator measurer
+//! Streams the best-so-far throughput (GFLOPS) every few trials for the
+//! four strategies *as tuning progresses* — each strategy runs as a
+//! [`TuningSession`] with a [`TuningObserver`] printing records the moment
+//! they are measured — plus the wall-clock tuning cost of each sweep.
+//! Candidates are measured by the batch-parallel simulator backend
 //! (`ATIM_MEASURE_THREADS` workers); each strategy gets a *fresh* measurer
-//! so the per-strategy wall-clock numbers are comparable (no memo carry-over
-//! between sweeps).  Use `ATIM_TRIALS` to change the budget (default 200;
-//! the paper uses 1000).
+//! so the per-strategy wall-clock numbers are comparable (no memo
+//! carry-over between sweeps).  Use `ATIM_TRIALS` to change the budget
+//! (default 200; the paper uses 1000).
 
 use atim_autotune::search::SearchStrategy;
-use atim_autotune::{tune_batch, TuningOptions};
+use atim_autotune::session::{Budget, TuningObserver, TuningSession};
+use atim_autotune::{TuningOptions, TuningRecord};
 use atim_core::prelude::*;
 use std::time::Instant;
 
+/// Streams `strategy,trial,best_gflops` lines while the search runs.
+struct ConvergenceStream {
+    name: &'static str,
+    flops: f64,
+    step: usize,
+    last: Option<TuningRecord>,
+}
+
+impl TuningObserver for ConvergenceStream {
+    fn on_trial(&mut self, record: &TuningRecord) {
+        if record.trial % self.step == 0 {
+            println!(
+                "{},{},{:.2}",
+                self.name,
+                record.trial,
+                self.flops / record.best_so_far_s / 1e9
+            );
+        }
+        self.last = Some(record.clone());
+    }
+}
+
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let trials = std::env::var("ATIM_TRIALS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -61,16 +86,19 @@ fn main() {
         // Fresh measurer per strategy: the cross-round memo still speeds up
         // re-proposed candidates *within* a sweep, but no measurement cost
         // leaks between strategies, keeping the wall-clock lines comparable.
-        let mut measurer = SimBatchMeasurer::new(&atim, &def);
+        let mut measurer = BackendMeasurer::new(session.backend(), &def);
+        let mut tuning = TuningSession::new(&def, session.hardware(), &options)
+            .expect("harness tuning options are valid");
+        let mut stream = ConvergenceStream {
+            name,
+            flops,
+            step: (trials / 20).max(1),
+            last: None,
+        };
         let start = Instant::now();
-        let result = tune_batch(&def, atim.hardware(), &options, &mut measurer);
+        let result = tuning.run(&mut measurer, &Budget::unlimited(), &mut stream);
         let wall_s = start.elapsed().as_secs_f64();
-        let step = (trials / 20).max(1);
-        for record in result.history.iter().filter(|r| r.trial % step == 0) {
-            let gflops = flops / record.best_so_far_s / 1e9;
-            println!("{name},{},{:.2}", record.trial, gflops);
-        }
-        if let Some(last) = result.history.last() {
+        if let Some(last) = stream.last.take().filter(|r| r.trial % stream.step != 0) {
             println!(
                 "{name},{},{:.2}",
                 last.trial,

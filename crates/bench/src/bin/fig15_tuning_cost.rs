@@ -5,30 +5,30 @@
 //! 64-trial iteration (dominated by candidate simulation), mirroring how the
 //! paper's measurement is dominated by on-hardware runs; the CPU column uses
 //! the host roofline model as the candidate execution time.  Each iteration
-//! is tuned twice — once with the sequential measurer and once with the
-//! batch-parallel measurer (`ATIM_MEASURE_THREADS` workers) — so the output
-//! shows the tuning-cost win of batching directly.
+//! is tuned twice — once with a sequential one-at-a-time measurer and once
+//! with the session's batch-parallel backend (`ATIM_MEASURE_THREADS`
+//! workers) — so the output shows the tuning-cost win of batching directly.
 
 use atim_autotune::{tune, tune_batch, Measurer, ScheduleConfig, TuningOptions};
 use atim_core::prelude::*;
 use std::time::Instant;
 
 struct RecordingMeasurer<'a> {
-    atim: &'a Atim,
+    session: &'a Session,
     def: &'a ComputeDef,
     candidate_ms: Vec<f64>,
 }
 
 impl Measurer for RecordingMeasurer<'_> {
     fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
-        let latency = self.atim.measure_config(config, self.def)?;
+        let latency = self.session.measure(config, self.def)?;
         self.candidate_ms.push(latency * 1e3);
         Some(latency)
     }
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let def = ComputeDef::mtv("mtv", 4096, 4096);
     let iterations = 8usize;
     let per_iter = 64usize;
@@ -37,7 +37,7 @@ fn main() {
     println!("# Fig 15 (left): per-iteration tuning wall-clock (seconds)");
     println!(
         "# sequential = plain one-at-a-time measurer (no memo); batch = \
-         SimBatchMeasurer with {threads} threads + cross-round memo"
+         session backend with {threads} threads + cross-round memo"
     );
     println!("iteration,upmem_seq_tuning_s,upmem_par_tuning_s,cpu_tuning_s");
     let mut all_candidates: Vec<f64> = Vec::new();
@@ -52,17 +52,17 @@ fn main() {
             ..TuningOptions::default()
         };
         let mut measurer = RecordingMeasurer {
-            atim: &atim,
+            session: &session,
             def: &def,
             candidate_ms: Vec::new(),
         };
         let start = Instant::now();
-        let seq_result = tune(&def, atim.hardware(), &options, &mut measurer);
+        let seq_result = tune(&def, session.hardware(), &options, &mut measurer);
         let seq_s = start.elapsed().as_secs_f64();
 
-        let mut batch = SimBatchMeasurer::new(&atim, &def);
+        let mut batch = BackendMeasurer::new(session.backend(), &def);
         let start = Instant::now();
-        let par_result = tune_batch(&def, atim.hardware(), &options, &mut batch);
+        let par_result = tune_batch(&def, session.hardware(), &options, &mut batch);
         let par_s = start.elapsed().as_secs_f64();
         assert_eq!(
             seq_result.best, par_result.best,
@@ -71,7 +71,7 @@ fn main() {
 
         // CPU autotuning iteration: measuring 64 CPU candidates, each costing
         // roughly the roofline latency of the kernel.
-        let cpu_candidate = atim_sim::cpu::cpu_autotuned(&def, atim.hardware()).time_s;
+        let cpu_candidate = atim_sim::cpu::cpu_autotuned(&def, session.hardware()).time_s;
         let cpu_s = cpu_candidate * per_iter as f64;
         println!("{it},{seq_s:.3},{par_s:.3},{cpu_s:.3}");
         total_seq += seq_s;

@@ -25,19 +25,19 @@ fn describe(cfg: &ScheduleConfig) -> String {
 }
 
 fn main() {
-    let atim = Atim::default();
+    let session = Session::default();
     let trials = trials_from_env();
     println!("# Table 3: selected parameters per workload and size");
     println!("workload,size,prim,prim_search,atim");
     for kind in WorkloadKind::ALL {
         for (label, workload) in select_sizes(presets_for(kind)) {
-            let prim = prim_default(&workload, atim.hardware());
-            let prim_search = prim_search_candidates(&workload, atim.hardware())
+            let prim = prim_default(&workload, session.hardware());
+            let prim_search = prim_search_candidates(&workload, session.hardware())
                 .into_iter()
-                .filter_map(|c| time_config(&atim, &workload, &c).map(|r| (c, r.total_s())))
+                .filter_map(|c| time_config(&session, &workload, &c).map(|r| (c, r.total_s())))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(c, _)| c);
-            let (atim_cfg, _) = atim_report(&atim, &workload, trials);
+            let (atim_cfg, _) = atim_report(&session, &workload, trials);
             println!(
                 "{kind},{label},{},{},{}",
                 describe(&prim),

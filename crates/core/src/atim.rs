@@ -1,55 +1,63 @@
-//! The top-level ATiM facade.
+//! The legacy top-level ATiM facade, kept as a thin shim over [`Session`].
 
-use atim_autotune::{tune_batch, ScheduleConfig, TuningOptions};
+use atim_autotune::{ScheduleConfig, TuningOptions};
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::Result;
 
-use crate::compiler::{compile_config, CompileOptions, CompiledModule};
-use crate::measure::SimBatchMeasurer;
+use crate::compiler::{CompileOptions, CompiledModule};
 use crate::runtime::{ExecutedRun, Runtime};
+use crate::session::Session;
 use crate::tuned::TunedModule;
 
-/// The ATiM compiler + autotuner + runtime for a (simulated) UPMEM system.
+/// The pre-`Session` entry point, retained for source compatibility.
 ///
-/// This is the entry point downstream users interact with: give it a
-/// [`ComputeDef`] and it will search the joint host/kernel schedule space,
-/// compile the winner with the PIM-aware passes, and execute it.
+/// Every method forwards to an internal [`Session`] on the default
+/// simulator backend.  Migrate by replacing `Atim::new(hw)` with
+/// `Session::new(hw)` (or `Session::builder()` for custom backends) and
+/// `autotune(..)` with `tune(..)` — see the README migration notes for the
+/// full mapping.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session` (`Session::builder()`) instead; see the README migration notes"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct Atim {
-    hw: UpmemConfig,
-    compile_options: CompileOptions,
+    session: Session,
     runtime: Runtime,
 }
 
+#[allow(deprecated)]
 impl Atim {
     /// Creates an ATiM instance targeting the given machine.
     pub fn new(hw: UpmemConfig) -> Self {
         Atim {
             runtime: Runtime::new(hw.clone()),
-            hw,
-            compile_options: CompileOptions::default(),
+            session: Session::new(hw),
         }
     }
 
-    /// Creates an ATiM instance with explicit compile options (used by the
-    /// ablation benchmarks).
+    /// Creates an ATiM instance with explicit compile options.
     pub fn with_options(hw: UpmemConfig, compile_options: CompileOptions) -> Self {
         Atim {
             runtime: Runtime::new(hw.clone()),
-            hw,
-            compile_options,
+            session: Session::with_options(hw, compile_options),
         }
+    }
+
+    /// The underlying session (the migration path off this shim).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The target machine configuration.
     pub fn hardware(&self) -> &UpmemConfig {
-        &self.hw
+        self.session.hardware()
     }
 
     /// The compile options applied to every module.
     pub fn compile_options(&self) -> CompileOptions {
-        self.compile_options
+        self.session.compile_options()
     }
 
     /// The runtime (and its simulated machine).
@@ -66,7 +74,7 @@ impl Atim {
         config: &ScheduleConfig,
         def: &ComputeDef,
     ) -> Result<CompiledModule> {
-        compile_config(config, def, self.compile_options, &self.hw)
+        self.session.compile(config, def)
     }
 
     /// Executes a compiled module with real data.
@@ -74,38 +82,33 @@ impl Atim {
     /// # Errors
     /// Propagates runtime errors (resource limits, bad input shapes).
     pub fn execute(&self, module: &CompiledModule, inputs: &[Vec<f32>]) -> Result<ExecutedRun> {
-        self.runtime.execute(module, inputs)
+        self.session.execute(module, inputs)
     }
 
     /// Measures the end-to-end latency of a schedule configuration without
-    /// moving tensor data.  Returns `None` for configurations that fail to
-    /// compile or exceed machine resources — exactly the signal the
-    /// autotuner expects for bad candidates.
+    /// moving tensor data.
     pub fn measure_config(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
-        let module = self.compile_config(config, def).ok()?;
-        let report = self.runtime.time(&module).ok()?;
-        Some(report.total_s())
+        self.session.measure(config, def)
     }
 
-    /// Runs the full autotuning flow for a computation: joint-space search
-    /// with the UPMEM verifier and cost model, measuring candidates on the
-    /// simulated machine.
+    /// Runs the full autotuning flow for a computation.
     ///
-    /// Each round's candidates are measured as one batch by a
-    /// [`SimBatchMeasurer`]: fanned out across worker threads (tunable via
-    /// `ATIM_MEASURE_THREADS`) with a cross-round memo of already-measured
-    /// configurations.  The result is bit-identical to sequential
-    /// measurement — only faster.
+    /// # Panics
+    /// Panics when `options` is inconsistent.  [`Session::tune`] returns a
+    /// typed error instead.
     pub fn autotune(&self, def: &ComputeDef, options: &TuningOptions) -> TunedModule {
-        let mut measurer = SimBatchMeasurer::new(self, def);
-        let result = tune_batch(def, &self.hw, options, &mut measurer);
-        TunedModule::new(def.clone(), result, &self.hw)
+        self.session
+            .tune(def, options)
+            .unwrap_or_else(|err| panic!("Atim::autotune: {err}"))
     }
 
     /// Convenience: autotune, compile the best schedule and return both.
     ///
     /// # Errors
     /// Propagates compilation errors for the winning configuration.
+    ///
+    /// # Panics
+    /// Panics when `options` is inconsistent, like [`Atim::autotune`].
     pub fn autotune_and_compile(
         &self,
         def: &ComputeDef,
@@ -118,12 +121,14 @@ impl Atim {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use atim_workloads::data::{generate_inputs, results_match};
 
+    /// The shim must keep the documented legacy flow working verbatim.
     #[test]
-    fn end_to_end_autotune_compile_execute() {
+    fn shim_preserves_the_legacy_end_to_end_flow() {
         let atim = Atim::new(UpmemConfig::small());
         let def = ComputeDef::mtv("mtv", 120, 96);
         let options = TuningOptions {
@@ -139,14 +144,12 @@ mod tests {
         let run = atim.execute(&module, &inputs).unwrap();
         let expect = def.reference(&inputs);
         assert!(results_match(run.output.as_ref().unwrap(), &expect, 96));
-        assert!(run.report.total_s() > 0.0);
     }
 
-    /// Same seed ⇒ the parallel batch measurer and a plain sequential
-    /// measurer produce an identical best configuration and an identical
-    /// history (same configs, same latencies, same order).
+    /// Tuning through the shim and through the session it wraps must be
+    /// bit-identical: the shim adds no behaviour of its own.
     #[test]
-    fn parallel_tuning_is_deterministic_and_matches_sequential() {
+    fn shim_and_session_produce_identical_results() {
         let atim = Atim::new(UpmemConfig::small());
         let def = ComputeDef::mtv("mtv", 96, 64);
         let options = TuningOptions {
@@ -155,35 +158,10 @@ mod tests {
             measure_per_round: 6,
             ..TuningOptions::default()
         };
-
-        let mut sequential = |cfg: &ScheduleConfig| atim.measure_config(cfg, &def);
-        let seq = atim_autotune::tune(&def, atim.hardware(), &options, &mut sequential);
-
-        let mut parallel = SimBatchMeasurer::with_threads(&atim, &def, 4);
-        let par = tune_batch(&def, atim.hardware(), &options, &mut parallel);
-
-        assert_eq!(seq.best, par.best);
-        assert_eq!(seq.history, par.history, "histories must be bit-identical");
-        assert_eq!(seq.measured, par.measured);
-        assert_eq!(seq.failed, par.failed);
-        assert_eq!(seq.rejected, par.rejected);
-    }
-
-    #[test]
-    fn measure_config_rejects_impossible_candidates() {
-        let atim = Atim::new(UpmemConfig::small()); // 16 DPUs
-        let def = ComputeDef::va("va", 1 << 16);
-        let cfg = ScheduleConfig {
-            spatial_dpus: vec![2048],
-            reduce_dpus: 1,
-            tasklets: 8,
-            cache_elems: 64,
-            use_cache: true,
-            unroll: false,
-            host_threads: 1,
-            parallel_transfer: true,
-        };
-        assert!(atim.measure_config(&cfg, &def).is_none());
+        let via_shim = atim.autotune(&def, &options);
+        let via_session = atim.session().tune(&def, &options).unwrap();
+        assert_eq!(via_shim.best_config(), via_session.best_config());
+        assert_eq!(via_shim.history(), via_session.history());
     }
 
     #[test]

@@ -6,45 +6,65 @@
 //! (`atim-passes`), and execution/measurement on the simulated UPMEM machine
 //! (`atim-sim`).
 //!
-//! The central type is [`Atim`]:
+//! The central type is [`Session`]: built once per target machine (with a
+//! pluggable measurement [`Backend`] — the simulator by default), it tunes,
+//! compiles and executes workloads, streams tuning progress through
+//! observers, and persists searches as replayable
+//! [`TuneLog`](atim_autotune::log::TuneLog)s:
 //!
 //! ```
-//! use atim_core::Atim;
+//! use atim_core::prelude::*;
 //! use atim_tir::compute::ComputeDef;
-//! use atim_autotune::TuningOptions;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let atim = Atim::default();
+//! let session = Session::builder()
+//!     .hardware(UpmemConfig::default())
+//!     .build();
 //! let def = ComputeDef::mtv("mtv", 256, 256);
 //!
-//! // One-shot: autotune, compile the best schedule, and execute it.
-//! let tuned = atim.autotune(&def, &TuningOptions::quick());
-//! let module = atim.compile_config(tuned.best_config(), &def)?;
+//! // Search the joint host/kernel space, compile the winner, execute it.
+//! let tuned = session.tune(&def, &TuningOptions::quick())?;
+//! let module = session.compile(tuned.best_config(), &def)?;
 //! let inputs = atim_workloads::data::generate_inputs(&def, 1);
-//! let run = atim.execute(&module, &inputs)?;
+//! let run = session.execute(&module, &inputs)?;
 //! assert!(run.report.total_ms() > 0.0);
+//!
+//! // Tune once, serve many: the search is durable and replayable.
+//! let log = tuned.to_log(TuningOptions::quick().seed);
+//! let replayed = session.replay(&def, &log);
+//! assert_eq!(replayed.best_config(), tuned.best_config());
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod backend;
 pub mod compiler;
 pub mod measure;
 pub mod runtime;
+pub mod session;
 pub mod tuned;
 
 mod atim;
 
+#[allow(deprecated)]
 pub use atim::Atim;
+pub use backend::{AnalyticBackend, Backend, SimBackend};
 pub use compiler::{compile_config, compile_schedule, CompileOptions, CompiledModule};
-pub use measure::SimBatchMeasurer;
+pub use measure::{default_measure_threads, BackendMeasurer};
 pub use runtime::{ExecutedRun, Runtime};
+pub use session::{Session, SessionBuilder, SessionError};
 pub use tuned::TunedModule;
 
 /// Commonly used re-exports for downstream users and examples.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::Atim;
     pub use crate::{
-        Atim, CompileOptions, CompiledModule, ExecutedRun, SimBatchMeasurer, TunedModule,
+        AnalyticBackend, Backend, BackendMeasurer, CompileOptions, CompiledModule, ExecutedRun,
+        Session, SessionBuilder, SessionError, SimBackend, TunedModule,
     };
+    pub use atim_autotune::log::TuneLog;
+    pub use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver};
     pub use atim_autotune::{ScheduleConfig, TuningOptions};
     pub use atim_passes::OptLevel;
     pub use atim_sim::{SimMode, UpmemConfig};

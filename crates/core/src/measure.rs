@@ -1,85 +1,89 @@
-//! Batch-parallel candidate measurement on the simulated UPMEM machine.
+//! Bridging [`Backend`]s into the autotuner's measurement interface.
 //!
 //! The tuning loop's cost is dominated by measurements (the paper performs
-//! ~1000 per workload), and each measurement — compile the candidate, then
-//! interpret its kernel on representative DPUs — is independent of every
-//! other.  [`SimBatchMeasurer`] exploits that: each round's batch is fanned
-//! out over `std::thread::scope` workers, every worker owning its own
-//! `MemoryStore` (created inside `UpmemMachine::run`) while sharing the
-//! immutable [`Atim`] instance.
+//! ~1000 per workload).  [`BackendMeasurer`] adapts a [`Backend`] to the
+//! [`BatchMeasurer`] trait the tuner drives, adding the two optimizations
+//! every backend benefits from:
 //!
-//! Results are written into per-candidate slots, so the tuner observes the
-//! same latencies in the same order as a sequential measurer would — tuning
-//! with the parallel measurer is bit-identical to tuning sequentially (a
-//! regression test in `atim.rs` pins this).
+//! * **In-batch deduplication** — duplicates within one round resolve to a
+//!   single backend measurement.
+//! * **Cross-round memoization** — a `(config) → latency` memo persists
+//!   across rounds: the evolutionary search can re-propose a configuration
+//!   whose measurement previously *failed* (successes are deduplicated by
+//!   the candidate database), and repeated runs over the same measurer
+//!   instance skip re-measurement entirely.
 //!
-//! A `(config) → latency` memo is kept across rounds: the evolutionary
-//! search can re-propose a configuration whose measurement previously
-//! *failed* (successes are deduplicated by the candidate database), and
-//! repeated sessions over the same measurer instance skip re-simulation
-//! entirely.
+//! Parallelism lives *below* this layer, in
+//! [`crate::backend::SimBackend::measure_batch`]: results land in
+//! per-candidate slots, so the tuner observes the same latencies in the
+//! same order as a sequential measurer would — tuning with the parallel
+//! backend is bit-identical to tuning sequentially
+//! (`parallel_tuning_is_deterministic_and_matches_sequential` in
+//! `crate::session`'s tests pins this for a whole tuning run).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use atim_autotune::{BatchMeasurer, ScheduleConfig};
 use atim_tir::compute::ComputeDef;
 
-use crate::atim::Atim;
+use crate::backend::Backend;
 
 /// Environment variable overriding the number of measurement worker threads.
 pub const THREADS_ENV: &str = "ATIM_MEASURE_THREADS";
 
-/// Parses an `ATIM_MEASURE_THREADS` value: `0` is clamped to `1` (i.e.
-/// sequential), non-numeric values are rejected.
-fn parse_threads(raw: &str) -> Option<usize> {
-    raw.parse::<usize>().ok().map(|n| n.max(1))
+/// Parses an `ATIM_MEASURE_THREADS` value.
+///
+/// # Errors
+/// Rejects zero and non-numeric values with a message naming the variable
+/// — misconfigured environments must fail loudly, not silently fall back
+/// to a default thread count.
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be a positive integer, got \"{raw}\" \
+             (set it to 1 for sequential measurement)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer, got \"{raw}\""
+        )),
+    }
 }
 
-/// Number of measurement workers: `ATIM_MEASURE_THREADS` if set (`0` is
-/// clamped to `1`, i.e. sequential), otherwise the machine's available
-/// parallelism.
+/// Number of measurement workers: `ATIM_MEASURE_THREADS` if set, otherwise
+/// the machine's available parallelism.
+///
+/// # Panics
+/// Panics with a descriptive message when `ATIM_MEASURE_THREADS` is set to
+/// an invalid value (`0`, negative, or non-numeric).  An explicitly
+/// misconfigured knob must never be silently ignored.
 pub fn default_measure_threads() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| parse_threads(&v))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => parse_threads(&raw).unwrap_or_else(|msg| panic!("{msg}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
 }
 
-/// A [`BatchMeasurer`] that times candidates on the simulated UPMEM machine,
-/// in parallel, with a cross-round memoization cache.
-pub struct SimBatchMeasurer<'a> {
-    atim: &'a Atim,
+/// A [`BatchMeasurer`] over a [`Backend`], with in-batch deduplication and
+/// a cross-round memoization cache.
+pub struct BackendMeasurer<'a> {
+    backend: &'a dyn Backend,
     def: &'a ComputeDef,
-    threads: usize,
     cache: HashMap<ScheduleConfig, Option<f64>>,
     cache_hits: usize,
 }
 
-impl<'a> SimBatchMeasurer<'a> {
-    /// Creates a measurer using [`default_measure_threads`] workers.
-    pub fn new(atim: &'a Atim, def: &'a ComputeDef) -> Self {
-        Self::with_threads(atim, def, default_measure_threads())
-    }
-
-    /// Creates a measurer with an explicit worker count (1 = sequential).
-    pub fn with_threads(atim: &'a Atim, def: &'a ComputeDef, threads: usize) -> Self {
-        SimBatchMeasurer {
-            atim,
+impl<'a> BackendMeasurer<'a> {
+    /// Creates a measurer for one workload on one backend.
+    pub fn new(backend: &'a dyn Backend, def: &'a ComputeDef) -> Self {
+        BackendMeasurer {
+            backend,
             def,
-            threads: threads.max(1),
             cache: HashMap::new(),
             cache_hits: 0,
         }
-    }
-
-    /// Number of worker threads this measurer fans out to.
-    pub fn threads(&self) -> usize {
-        self.threads
     }
 
     /// Number of distinct configurations measured so far.
@@ -87,22 +91,23 @@ impl<'a> SimBatchMeasurer<'a> {
         self.cache.len()
     }
 
-    /// Number of measurements answered from the memo instead of simulation.
+    /// Number of measurements answered from the memo instead of the
+    /// backend.
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
     }
 }
 
-impl BatchMeasurer for SimBatchMeasurer<'_> {
+impl BatchMeasurer for BackendMeasurer<'_> {
     fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
-        // Slot-indexed output: filled from the memo first, then by workers.
+        // Slot-indexed output: filled from the memo first, then by the
+        // backend.
         let mut out: Vec<Option<Option<f64>>> =
             configs.iter().map(|c| self.cache.get(c).copied()).collect();
         self.cache_hits += out.iter().filter(|r| r.is_some()).count();
 
-        // Distinct missing configurations, in first-occurrence order so the
-        // work list (and thus the output) is deterministic.  Duplicates
-        // within one batch are simulated once and fanned out to every slot.
+        // Distinct missing configurations in first-occurrence order, so the
+        // work list (and thus the backend's batch) is deterministic.
         let mut seen: std::collections::HashSet<&ScheduleConfig> =
             std::collections::HashSet::with_capacity(configs.len());
         let mut unique: Vec<usize> = Vec::new();
@@ -112,46 +117,20 @@ impl BatchMeasurer for SimBatchMeasurer<'_> {
             }
         }
 
-        let atim = self.atim;
-        let def = self.def;
-        let workers = self.threads.min(unique.len());
-        let fresh: Vec<(usize, Option<f64>)> = if workers <= 1 {
-            unique
-                .iter()
-                .map(|&i| (i, atim.measure_config(&configs[i], def)))
-                .collect()
-        } else {
-            // Dynamic work queue: candidates vary wildly in simulation cost
-            // (the Fig. 15 spread), so static chunking would leave workers
-            // idle.  Each worker owns its measurement state; results carry
-            // their slot index, keeping the output deterministic.
-            let next = AtomicUsize::new(0);
-            let per_worker: Vec<Vec<(usize, Option<f64>)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let k = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&slot) = unique.get(k) else { break };
-                                local.push((slot, atim.measure_config(&configs[slot], def)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("measurement worker panicked"))
-                    .collect()
-            });
-            per_worker.into_iter().flatten().collect()
-        };
-
-        for (slot, result) in fresh {
-            self.cache.insert(configs[slot].clone(), result);
-            out[slot] = Some(result);
+        if !unique.is_empty() {
+            let batch: Vec<ScheduleConfig> = unique.iter().map(|&i| configs[i].clone()).collect();
+            let results = self.backend.measure_batch(&batch, self.def);
+            assert_eq!(
+                results.len(),
+                batch.len(),
+                "Backend::measure_batch must return one result per candidate"
+            );
+            for (&slot, result) in unique.iter().zip(results) {
+                self.cache.insert(configs[slot].clone(), result);
+                out[slot] = Some(result);
+            }
         }
+
         // Fill any remaining slots (in-batch duplicates) from the memo.
         for (i, r) in out.iter_mut().enumerate() {
             if r.is_none() {
@@ -167,19 +146,21 @@ impl BatchMeasurer for SimBatchMeasurer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
+    use crate::compiler::CompileOptions;
     use atim_sim::UpmemConfig;
 
     #[test]
     fn batches_fill_every_slot_in_candidate_order() {
-        let atim = Atim::new(UpmemConfig::small());
+        let backend = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 3);
         let def = ComputeDef::mtv("mtv", 64, 48);
-        let good = ScheduleConfig::default_for(&def, atim.hardware());
+        let good = ScheduleConfig::default_for(&def, backend.hardware());
         let bad = ScheduleConfig {
             spatial_dpus: vec![4096], // exceeds the 16-DPU small machine
             ..good.clone()
         };
         let batch = vec![good.clone(), bad.clone(), good.clone()];
-        let mut measurer = SimBatchMeasurer::with_threads(&atim, &def, 3);
+        let mut measurer = BackendMeasurer::new(&backend, &def);
         let results = measurer.measure_batch(&batch);
         assert_eq!(results.len(), 3);
         assert!(results[0].is_some());
@@ -194,30 +175,18 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_batches_agree() {
-        let atim = Atim::new(UpmemConfig::small());
-        let def = ComputeDef::mtv("mtv", 96, 64);
-        let base = ScheduleConfig::default_for(&def, atim.hardware());
-        let batch: Vec<ScheduleConfig> = (0..6)
-            .map(|i| ScheduleConfig {
-                spatial_dpus: vec![1 << (i % 4)],
-                tasklets: 1 + i,
-                ..base.clone()
-            })
-            .collect();
-        let seq = SimBatchMeasurer::with_threads(&atim, &def, 1).measure_batch(&batch);
-        let par = SimBatchMeasurer::with_threads(&atim, &def, 4).measure_batch(&batch);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn thread_count_parsing_clamps_and_rejects() {
+    fn thread_count_parsing_fails_loudly_on_invalid_values() {
         // The env itself is process-global, so test the parser directly.
-        assert_eq!(parse_threads("4"), Some(4));
-        assert_eq!(parse_threads("1"), Some(1));
-        assert_eq!(parse_threads("0"), Some(1), "0 must mean sequential");
-        assert_eq!(parse_threads("abc"), None);
-        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8), "whitespace is tolerated");
+        for bad in ["0", "abc", "", "-2", "1.5"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.contains(THREADS_ENV) && err.contains("positive integer"),
+                "{bad:?} -> {err}"
+            );
+        }
         assert!(default_measure_threads() >= 1);
     }
 }

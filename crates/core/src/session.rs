@@ -1,0 +1,481 @@
+//! The session-based public API: one [`Session`] per target machine, built
+//! once and reused across compiles, tuning runs and executions.
+//!
+//! A session ties a [`Backend`] (how candidates are compiled/timed/executed
+//! — the simulator by default, an analytic model for tests, anything
+//! user-provided for real hardware) to the autotuning stack.  Tuning
+//! follows the paper's "search ~1000 trials once, then reuse the tuned
+//! program" workflow end to end:
+//!
+//! * [`Session::tune`] — blocking search, validated options, typed errors.
+//! * [`Session::tune_observed`] — the same search under a
+//!   [`Budget`] (trials / wall-clock / early-stop) with streaming
+//!   [`TuningObserver`] callbacks.
+//! * [`Session::tune_warm`] — resume from a [`TuneLog`]: known
+//!   measurements are answered from the log, only new candidates touch the
+//!   backend.
+//! * [`Session::replay`] — skip searching entirely: rebuild the
+//!   [`TunedModule`] a saved log describes (tune once, serve many).
+
+use std::fmt;
+use std::sync::Arc;
+
+use atim_autotune::log::TuneLog;
+use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver, TuningSession};
+use atim_autotune::{ScheduleConfig, TuningOptions, WarmStartMeasurer};
+use atim_sim::{ExecutionReport, UpmemConfig};
+use atim_tir::compute::ComputeDef;
+use atim_tir::error::{Result as TirResult, TirError};
+
+use crate::backend::{Backend, SimBackend};
+use crate::compiler::{CompileOptions, CompiledModule};
+use crate::measure::BackendMeasurer;
+use crate::runtime::ExecutedRun;
+use crate::tuned::TunedModule;
+
+/// Errors surfaced by session-level operations that span tuning and
+/// compilation.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The tuning options were inconsistent (caught at session start).
+    Tuning(TuningError),
+    /// Compilation or execution failed.
+    Tir(TirError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Tuning(e) => write!(f, "{e}"),
+            SessionError::Tir(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TuningError> for SessionError {
+    fn from(e: TuningError) -> Self {
+        SessionError::Tuning(e)
+    }
+}
+
+impl From<TirError> for SessionError {
+    fn from(e: TirError) -> Self {
+        SessionError::Tir(e)
+    }
+}
+
+/// Builder for [`Session`].
+///
+/// `hardware` and `compile_options` configure the default simulator
+/// backend; providing an explicit [`SessionBuilder::backend`] overrides
+/// both (the backend then defines the machine it measures on).
+#[derive(Default)]
+pub struct SessionBuilder {
+    hw: Option<UpmemConfig>,
+    compile_options: Option<CompileOptions>,
+    backend: Option<Arc<dyn Backend>>,
+    measure_threads: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Targets a machine configuration (default: the paper's 2048-DPU
+    /// UPMEM server).
+    pub fn hardware(mut self, hw: UpmemConfig) -> Self {
+        self.hw = Some(hw);
+        self
+    }
+
+    /// Sets the compile options applied to every module (default: all three
+    /// PIM-aware passes plus rank-parallel transfers).
+    pub fn compile_options(mut self, options: CompileOptions) -> Self {
+        self.compile_options = Some(options);
+        self
+    }
+
+    /// Sets an explicit worker-thread count for the default simulator
+    /// backend (1 = sequential; `build` panics on 0, matching the
+    /// fail-loudly `ATIM_MEASURE_THREADS` contract).  Ignored when a
+    /// custom backend is given.
+    pub fn measure_threads(mut self, threads: usize) -> Self {
+        self.measure_threads = Some(threads);
+        self
+    }
+
+    /// Plugs in a custom measurement backend, replacing the default
+    /// simulator (and any `hardware`/`compile_options` set on the builder).
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backend = Some(Arc::new(backend));
+        self
+    }
+
+    /// Like [`SessionBuilder::backend`] for an already-shared backend.
+    pub fn backend_arc(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Panics
+    /// Panics when the default simulator backend is constructed while
+    /// `ATIM_MEASURE_THREADS` holds an invalid value (zero or non-numeric).
+    pub fn build(self) -> Session {
+        let backend = match self.backend {
+            Some(backend) => backend,
+            None => {
+                let hw = self.hw.unwrap_or_default();
+                let options = self.compile_options.unwrap_or_default();
+                Arc::new(match self.measure_threads {
+                    Some(threads) => SimBackend::with_threads(hw, options, threads),
+                    None => SimBackend::new(hw, options),
+                })
+            }
+        };
+        Session { backend }
+    }
+}
+
+/// The ATiM compiler + autotuner + runtime session for one target machine.
+///
+/// Cloning is cheap (the backend is shared), and every method takes
+/// `&self`, so one session can serve many workloads — or many threads —
+/// concurrently.
+#[derive(Clone)]
+pub struct Session {
+    backend: Arc<dyn Backend>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend.name())
+            .field("dpus", &self.backend.hardware().total_dpus())
+            .finish()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(UpmemConfig::default())
+    }
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Creates a session on the default simulator backend for a machine.
+    ///
+    /// # Panics
+    /// Panics when `ATIM_MEASURE_THREADS` holds an invalid value (zero or
+    /// non-numeric).
+    pub fn new(hw: UpmemConfig) -> Self {
+        Session::builder().hardware(hw).build()
+    }
+
+    /// Creates a session with explicit compile options (used by the
+    /// ablation benchmarks).
+    pub fn with_options(hw: UpmemConfig, compile_options: CompileOptions) -> Self {
+        Session::builder()
+            .hardware(hw)
+            .compile_options(compile_options)
+            .build()
+    }
+
+    /// The target machine configuration.
+    pub fn hardware(&self) -> &UpmemConfig {
+        self.backend.hardware()
+    }
+
+    /// The compile options applied to every module.
+    pub fn compile_options(&self) -> CompileOptions {
+        self.backend.compile_options()
+    }
+
+    /// The measurement backend.
+    pub fn backend(&self) -> &dyn Backend {
+        &*self.backend
+    }
+
+    /// Compiles a schedule configuration for a computation.
+    ///
+    /// # Errors
+    /// Propagates schedule instantiation and lowering errors.
+    pub fn compile(&self, config: &ScheduleConfig, def: &ComputeDef) -> TirResult<CompiledModule> {
+        self.backend.compile(config, def)
+    }
+
+    /// Times a compiled module without moving tensor data.
+    ///
+    /// # Errors
+    /// Fails if the module exceeds the machine's resources.
+    pub fn time(&self, module: &CompiledModule) -> TirResult<ExecutionReport> {
+        self.backend.time(module)
+    }
+
+    /// Executes a compiled module with real data.
+    ///
+    /// # Errors
+    /// Propagates runtime errors (resource limits, bad input shapes).
+    pub fn execute(&self, module: &CompiledModule, inputs: &[Vec<f32>]) -> TirResult<ExecutedRun> {
+        self.backend.execute(module, inputs)
+    }
+
+    /// Measures the end-to-end latency of a schedule configuration, or
+    /// `None` for configurations that fail to compile or run.
+    pub fn measure(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
+        self.backend.measure(config, def)
+    }
+
+    /// Runs the full autotuning flow for a computation — the blocking
+    /// convenience form of [`Session::tune_observed`].
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when `options` is inconsistent; the
+    /// options are validated before any search work happens.
+    pub fn tune(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+    ) -> Result<TunedModule, TuningError> {
+        self.tune_observed(def, options, &Budget::unlimited(), &mut NullObserver)
+    }
+
+    /// Runs the autotuning flow under a [`Budget`] with streaming
+    /// [`TuningObserver`] callbacks (one `on_trial` per measured
+    /// candidate).
+    ///
+    /// Measurement goes through the session's backend one round-sized batch
+    /// at a time, with a cross-round `(config) → latency` memo, so
+    /// re-proposed candidates never re-measure.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when `options` is inconsistent.
+    pub fn tune_observed(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+        budget: &Budget,
+        observer: &mut dyn TuningObserver,
+    ) -> Result<TunedModule, TuningError> {
+        let mut session = TuningSession::new(def, self.hardware(), options)?;
+        let mut measurer = BackendMeasurer::new(self.backend(), def);
+        let result = session.run(&mut measurer, budget, observer);
+        Ok(TunedModule::new(def.clone(), result, self.hardware()))
+    }
+
+    /// Runs the autotuning flow warm-started from a [`TuneLog`]: every
+    /// measurement the log already contains is answered from it, so a
+    /// search interrupted after *k* of *n* trials resumes for the remaining
+    /// *n − k* — and, with the log's original options and seed, converges
+    /// to the identical result an uninterrupted search would have found.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when `options` is inconsistent.
+    pub fn tune_warm(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+        log: &TuneLog,
+        budget: &Budget,
+        observer: &mut dyn TuningObserver,
+    ) -> Result<TunedModule, TuningError> {
+        let mut session = TuningSession::new(def, self.hardware(), options)?;
+        let mut inner = BackendMeasurer::new(self.backend(), def);
+        let mut measurer = WarmStartMeasurer::new(log, &mut inner);
+        let result = session.run(&mut measurer, budget, observer);
+        Ok(TunedModule::new(def.clone(), result, self.hardware()))
+    }
+
+    /// Replays a saved [`TuneLog`] straight to a [`TunedModule`] without
+    /// re-searching — the "tune once, serve many" path.  The returned
+    /// module carries the log's best configuration, latency and full
+    /// history, exactly as the original tuning session produced them.
+    pub fn replay(&self, def: &ComputeDef, log: &TuneLog) -> TunedModule {
+        TunedModule::new(def.clone(), log.to_result(), self.hardware())
+    }
+
+    /// Convenience: tune, compile the best schedule and return both.
+    ///
+    /// # Errors
+    /// Returns a [`SessionError`] for invalid options or a failing
+    /// compilation of the winning configuration.
+    pub fn tune_and_compile(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+    ) -> std::result::Result<(TunedModule, CompiledModule), SessionError> {
+        let tuned = self.tune(def, options)?;
+        let module = self.compile(tuned.best_config(), def)?;
+        Ok((tuned, module))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use atim_autotune::session::StopReason;
+    use atim_autotune::TuningRecord;
+    use atim_workloads::data::{generate_inputs, results_match};
+
+    #[test]
+    fn end_to_end_tune_compile_execute() {
+        let session = Session::new(UpmemConfig::small());
+        let def = ComputeDef::mtv("mtv", 120, 96);
+        let options = TuningOptions {
+            trials: 12,
+            population: 12,
+            measure_per_round: 6,
+            ..TuningOptions::default()
+        };
+        let (tuned, module) = session.tune_and_compile(&def, &options).unwrap();
+        assert!(tuned.best_latency_s().is_finite());
+        assert!(tuned.measured() > 0);
+        let inputs = generate_inputs(&def, 5);
+        let run = session.execute(&module, &inputs).unwrap();
+        let expect = def.reference(&inputs);
+        assert!(results_match(run.output.as_ref().unwrap(), &expect, 96));
+        assert!(run.report.total_s() > 0.0);
+    }
+
+    #[test]
+    fn invalid_options_return_typed_errors_before_any_search() {
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .build();
+        let def = ComputeDef::mtv("mtv", 64, 64);
+        let err = session
+            .tune(
+                &def,
+                &TuningOptions {
+                    trials: 0,
+                    ..TuningOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, TuningError::ZeroTrials);
+        let err = session
+            .tune(
+                &def,
+                &TuningOptions {
+                    measure_per_round: 100,
+                    population: 10,
+                    ..TuningOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, TuningError::MeasureExceedsPopulation { .. }));
+    }
+
+    #[test]
+    fn pluggable_backend_drives_the_whole_session() {
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .build();
+        assert_eq!(session.backend().name(), "analytic");
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let tuned = session.tune(&def, &TuningOptions::quick()).unwrap();
+        assert!(tuned.best_latency_s().is_finite());
+        // The analytic optimum rewards DPU parallelism.
+        assert!(tuned.best_config().num_dpus() >= 64);
+    }
+
+    #[test]
+    fn observer_streams_one_trial_callback_per_measurement() {
+        #[derive(Default)]
+        struct Count {
+            trials: usize,
+            finish: Option<StopReason>,
+        }
+        impl TuningObserver for Count {
+            fn on_trial(&mut self, _record: &TuningRecord) {
+                self.trials += 1;
+            }
+            fn on_finish(&mut self, _result: &atim_autotune::TuningResult, reason: StopReason) {
+                self.finish = Some(reason);
+            }
+        }
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .build();
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let mut obs = Count::default();
+        let tuned = session
+            .tune_observed(
+                &def,
+                &TuningOptions::quick(),
+                &Budget::unlimited(),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(obs.trials, tuned.measured());
+        assert_eq!(obs.finish, Some(StopReason::SearchComplete));
+    }
+
+    #[test]
+    fn replay_reproduces_the_tuned_module_without_searching() {
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .build();
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let options = TuningOptions::quick();
+        let tuned = session.tune(&def, &options).unwrap();
+        let log = TuneLog::new(&def.name, options.seed, tuned.result().clone());
+
+        let reloaded = TuneLog::from_json_str(&log.to_json_string()).unwrap();
+        let replayed = session.replay(&def, &reloaded);
+        assert_eq!(replayed.best_config(), tuned.best_config());
+        assert_eq!(replayed.best_latency_s(), tuned.best_latency_s());
+        assert_eq!(replayed.history(), tuned.history());
+    }
+
+    /// Same seed ⇒ a parallel-measuring session and a sequential one
+    /// produce an identical best configuration and an identical history
+    /// (same configs, same latencies, same order).  This pins the
+    /// slot-indexed batch contract end-to-end, not just for one batch.
+    #[test]
+    fn parallel_tuning_is_deterministic_and_matches_sequential() {
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let options = TuningOptions {
+            trials: 12,
+            population: 12,
+            measure_per_round: 6,
+            ..TuningOptions::default()
+        };
+        let sequential = Session::builder()
+            .hardware(UpmemConfig::small())
+            .measure_threads(1)
+            .build()
+            .tune(&def, &options)
+            .unwrap();
+        let parallel = Session::builder()
+            .hardware(UpmemConfig::small())
+            .measure_threads(4)
+            .build()
+            .tune(&def, &options)
+            .unwrap();
+        assert_eq!(sequential.best_config(), parallel.best_config());
+        assert_eq!(
+            sequential.history(),
+            parallel.history(),
+            "histories must be bit-identical"
+        );
+        assert_eq!(sequential.measured(), parallel.measured());
+        assert_eq!(sequential.failed(), parallel.failed());
+        assert_eq!(sequential.rejected(), parallel.rejected());
+    }
+
+    #[test]
+    fn sessions_are_cloneable_and_debuggable() {
+        let session = Session::default();
+        let clone = session.clone();
+        assert_eq!(clone.hardware().total_dpus(), 2048);
+        let dbg = format!("{session:?}");
+        assert!(dbg.contains("upmem-sim"), "{dbg}");
+    }
+}

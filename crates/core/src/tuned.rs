@@ -1,5 +1,6 @@
 //! Results of an autotuning session, packaged for downstream use.
 
+use atim_autotune::log::TuneLog;
 use atim_autotune::{ScheduleConfig, TuningRecord, TuningResult};
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
@@ -56,6 +57,17 @@ impl TunedModule {
     /// Full per-trial history (for convergence plots).
     pub fn history(&self) -> &[TuningRecord] {
         &self.result.history
+    }
+
+    /// The raw tuning result (best candidate, history and counters).
+    pub fn result(&self) -> &TuningResult {
+        &self.result
+    }
+
+    /// Packages the tuning run as a durable [`TuneLog`] (pass the seed the
+    /// search ran with so a warm start can reproduce its trajectory).
+    pub fn to_log(&self, seed: u64) -> TuneLog {
+        TuneLog::new(&self.def.name, seed, self.result.clone())
     }
 
     /// Number of candidates rejected by the UPMEM verifier.

@@ -9,14 +9,18 @@ use atim_baselines::cpu::cpu_latency;
 use atim_baselines::prim::{prim_default, prim_search_candidates};
 use atim_core::prelude::*;
 
-fn total_ms(atim: &Atim, workload: &Workload, cfg: &atim_autotune::ScheduleConfig) -> Option<f64> {
+fn total_ms(
+    session: &Session,
+    workload: &Workload,
+    cfg: &atim_autotune::ScheduleConfig,
+) -> Option<f64> {
     let def = workload.compute_def();
-    let module = atim.compile_config(cfg, &def).ok()?;
-    atim.runtime().time(&module).ok().map(|r| r.total_ms())
+    let module = session.compile(cfg, &def).ok()?;
+    session.time(&module).ok().map(|r| r.total_ms())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     println!("GEMV end-to-end latency (ms), lower is better\n");
     println!(
         "{:<14}{:>10}{:>14}{:>10}{:>10}",
@@ -29,29 +33,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // PrIM: programming-guide defaults (1-D row tiling, 16 tasklets,
         // 1024-byte caching tiles).
-        let prim_ms = total_ms(&atim, &workload, &prim_default(&workload, atim.hardware()))
-            .unwrap_or(f64::NAN);
+        let prim_ms = total_ms(
+            &session,
+            &workload,
+            &prim_default(&workload, session.hardware()),
+        )
+        .unwrap_or(f64::NAN);
 
         // PrIM+search: grid search over DPUs x tasklets x caching tile, but
         // still 1-D tiling.
-        let prim_search_ms = prim_search_candidates(&workload, atim.hardware())
+        let prim_search_ms = prim_search_candidates(&workload, session.hardware())
             .into_iter()
-            .filter_map(|c| total_ms(&atim, &workload, &c))
+            .filter_map(|c| total_ms(&session, &workload, &c))
             .fold(f64::INFINITY, f64::min);
 
         // ATiM: joint-space autotuning (2-D tiling + hierarchical reduction
         // become available).
-        let tuned = atim.autotune(
+        let tuned = session.tune(
             &def,
             &TuningOptions {
                 trials: 64,
                 ..TuningOptions::default()
             },
-        );
-        let atim_ms = total_ms(&atim, &workload, tuned.best_config()).unwrap_or(f64::NAN);
+        )?;
+        let atim_ms = total_ms(&session, &workload, tuned.best_config()).unwrap_or(f64::NAN);
 
         // Autotuned CPU roofline.
-        let cpu_ms = cpu_latency(&workload, atim.hardware()).time_s * 1e3;
+        let cpu_ms = cpu_latency(&workload, session.hardware()).time_s * 1e3;
 
         println!(
             "{:<14}{:>10.3}{:>14.3}{:>10.3}{:>10.3}",

@@ -9,7 +9,7 @@ use atim_core::prelude::*;
 use atim_workloads::gptj::{mha_workload, GptJModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let model = GptJModel::B6;
     println!(
         "{} multi-head attention: MMTV of shape (batch x {} heads, tokens, 256)\n",
@@ -24,16 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (batch, tokens) in [(1, 64), (1, 256), (4, 128), (16, 256)] {
         let workload = mha_workload(model, batch, tokens);
         let def = workload.compute_def();
-        let tuned = atim.autotune(
+        let tuned = session.tune(
             &def,
             &TuningOptions {
                 trials: 48,
                 ..TuningOptions::default()
             },
-        );
+        )?;
         let cfg = tuned.best_config();
-        let module = atim.compile_config(cfg, &def)?;
-        let report = atim.runtime().time(&module)?;
+        let module = session.compile(cfg, &def)?;
+        let report = session.time(&module)?;
         println!(
             "{:<22}{:>12.3}{:>12}{:>10}{:>16}",
             format!("b={batch} t={tokens} {:?}", workload.shape),

@@ -15,7 +15,7 @@ use atim_core::{compile_config, CompileOptions};
 use atim_tir::printer::print_stmt;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     // The Fig. 8 example: 7x40 matrix, single DPU, 4 tasklets, 16-element
     // caching tiles — every tile boundary is misaligned.
     let def = ComputeDef::mtv("mtv", 7, 40);
@@ -38,12 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             opt_level: OptLevel::NoOpt,
             parallel_transfer: true,
         },
-        atim.hardware(),
+        session.hardware(),
     )?;
     println!("{}", print_stmt(&baseline.lowered.kernel.body));
 
     println!("=== kernel TIR with DMA + loop tightening + branch hoisting (Fig. 8(d)) ===\n");
-    let optimized = compile_config(&cfg, &def, CompileOptions::default(), atim.hardware())?;
+    let optimized = compile_config(&cfg, &def, CompileOptions::default(), session.hardware())?;
     println!("{}", print_stmt(&optimized.lowered.kernel.body));
 
     println!("=== simulated effect ===\n");
@@ -59,9 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 opt_level: level,
                 parallel_transfer: true,
             },
-            atim.hardware(),
+            session.hardware(),
         )?;
-        let report = atim.runtime().time(&module)?;
+        let report = session.time(&module)?;
         println!(
             "{:<12}{:>12}{:>12}{:>12}{:>14.2}",
             level.label(),

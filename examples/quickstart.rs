@@ -5,18 +5,39 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The example defines the computation, lets the autotuner search the joint
-//! host/kernel schedule space, compiles the winner with the PIM-aware
-//! passes, executes it with real data and checks the result against a plain
-//! CPU reference.
+//! The example defines the computation, builds a [`Session`], lets the
+//! autotuner search the joint host/kernel schedule space (streaming
+//! progress through an observer), compiles the winner with the PIM-aware
+//! passes, executes it with real data, checks the result against a plain
+//! CPU reference — and finally saves the search to a `TuneLog` and replays
+//! it, the "tune once, serve many" path.
 
+use atim_autotune::TuningRecord;
 use atim_core::prelude::*;
 use atim_workloads::data::{generate_inputs, results_match};
 
+/// Prints a line whenever the search finds a better schedule.
+struct Progress {
+    flops: f64,
+}
+
+impl TuningObserver for Progress {
+    fn on_best_improved(&mut self, record: &TuningRecord) {
+        println!(
+            "  trial {:>3}: best {:.3} ms ({:.1} GFLOP/s)",
+            record.trial,
+            record.latency_s * 1e3,
+            self.flops / record.latency_s / 1e9
+        );
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Target machine: the paper's UPMEM server (2048 DPUs, 64 KB WRAM,
-    //    24 tasklets per DPU).  `UpmemConfig::small()` gives a 16-DPU box.
-    let atim = Atim::new(UpmemConfig::default());
+    // 1. A session for the target machine: the paper's UPMEM server
+    //    (2048 DPUs, 64 KB WRAM, 24 tasklets per DPU) on the default
+    //    simulator backend.  `UpmemConfig::small()` gives a 16-DPU box, and
+    //    `.backend(..)` plugs in a different measurement backend entirely.
+    let session = Session::builder().hardware(UpmemConfig::default()).build();
 
     // 2. The computation, declared independently of any implementation
     //    decision: C(i) = sum_k A(i,k) * B(k).
@@ -29,12 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Autotune: the search explores DPU distribution, hierarchical
-    //    reduction, tasklet counts and WRAM caching tiles jointly.
+    //    reduction, tasklet counts and WRAM caching tiles jointly.  The
+    //    observer streams every improvement as it happens; a `Budget` could
+    //    additionally cap wall-clock time or stop on stall.
     let options = TuningOptions {
         trials: 64,
         ..TuningOptions::default()
     };
-    let tuned = atim.autotune(&def, &options);
+    let mut progress = Progress {
+        flops: def.total_flops() as f64,
+    };
+    let tuned = session.tune_observed(&def, &options, &Budget::unlimited(), &mut progress)?;
     let best = tuned.best_config();
     println!(
         "autotuned: {} DPUs ({:?} spatial x {} reduce), {} tasklets, {}-element cache tiles",
@@ -54,9 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compile the winning schedule (PIM-aware passes included) and run it
     //    with real data.
-    let module = atim.compile_config(best, &def)?;
+    let module = session.compile(best, &def)?;
     let inputs = generate_inputs(&def, 2024);
-    let run = atim.execute(&module, &inputs)?;
+    let run = session.execute(&module, &inputs)?;
     let report = &run.report;
     println!(
         "executed on {} DPUs: H2D {:.3} ms, kernel {:.3} ms, D2H {:.3} ms, host reduce {:.3} ms",
@@ -72,5 +98,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ok = results_match(run.output.as_ref().unwrap(), &expect, 2048);
     println!("result check: {}", if ok { "PASS" } else { "FAIL" });
     assert!(ok);
+
+    // 6. Tune once, serve many: persist the search and replay it — a fresh
+    //    process (or machine) gets the identical tuned module back without
+    //    searching again.
+    let log_path = std::env::temp_dir().join("atim_quickstart_tune_log.json");
+    tuned.to_log(options.seed).save(&log_path)?;
+    let reloaded = TuneLog::load(&log_path)?;
+    let replayed = session.replay(&def, &reloaded);
+    assert_eq!(replayed.best_config(), tuned.best_config());
+    assert_eq!(replayed.best_latency_s(), tuned.best_latency_s());
+    println!(
+        "tuning log: {} trials saved to {} and replayed identically",
+        reloaded.len(),
+        log_path.display()
+    );
+    std::fs::remove_file(&log_path).ok();
     Ok(())
 }

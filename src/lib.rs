@@ -7,12 +7,12 @@
 //! ```
 //! use atim::prelude::*;
 //!
-//! let atim = Atim::default();
+//! let session = Session::default();
 //! let def = ComputeDef::mtv("mtv", 8, 8);
-//! let cfg = ScheduleConfig::default_for(&def, atim.hardware());
-//! let module = atim.compile_config(&cfg, &def).unwrap();
+//! let cfg = ScheduleConfig::default_for(&def, session.hardware());
+//! let module = session.compile(&cfg, &def).unwrap();
 //! let inputs = atim::workloads::data::generate_inputs(&def, 1);
-//! let run = atim.execute(&module, &inputs).unwrap();
+//! let run = session.execute(&module, &inputs).unwrap();
 //! assert!(run.report.total_ms() > 0.0);
 //! ```
 //!

@@ -9,13 +9,13 @@ use atim_core::prelude::*;
 fn atim_beats_prim_on_large_gemv() {
     // §7.1: MTV/GEMV is where 2-D tiling + hierarchical reduction pay off
     // most (up to 6.18x in the paper).  Require at least a 1.3x win here.
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let w = Workload::new(WorkloadKind::Gemv, vec![4096, 4096]);
-    let prim = prim_report(&atim, &w).expect("prim").total_ms();
-    let prim_search = prim_search_report(&atim, &w)
+    let prim = prim_report(&session, &w).expect("prim").total_ms();
+    let prim_search = prim_search_report(&session, &w)
         .expect("prim+search")
         .total_ms();
-    let (cfg, atim_r) = atim_report(&atim, &w, 64);
+    let (cfg, atim_r) = atim_report(&session, &w, 64);
     let atim_ms = atim_r.total_ms();
     assert!(
         atim_ms < prim / 1.3,
@@ -34,10 +34,10 @@ fn pim_beats_cpu_on_large_tensors_but_not_tiny_ones() {
     // is at 64 MB; in the simulator the per-launch vector broadcast is not
     // modelled as a hardware broadcast, which pushes the crossover between
     // the 64 MB and 256 MB presets, so the large case here uses 256 MB.
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let big = Workload::new(WorkloadKind::Mtv, vec![8192, 8192]);
-    let (_, big_pim) = atim_report(&atim, &big, 48);
-    let big_cpu = cpu_report(&big, atim.hardware()).total_ms();
+    let (_, big_pim) = atim_report(&session, &big, 48);
+    let big_cpu = cpu_report(&big, session.hardware()).total_ms();
     assert!(
         big_pim.total_ms() < big_cpu,
         "256 MB MTV: PIM ({} ms) should beat CPU ({} ms)",
@@ -46,8 +46,8 @@ fn pim_beats_cpu_on_large_tensors_but_not_tiny_ones() {
     );
 
     let tiny = Workload::new(WorkloadKind::Mtv, vec![256, 256]);
-    let (_, tiny_pim) = atim_report(&atim, &tiny, 24);
-    let tiny_cpu = cpu_report(&tiny, atim.hardware()).total_ms();
+    let (_, tiny_pim) = atim_report(&session, &tiny, 24);
+    let tiny_cpu = cpu_report(&tiny, session.hardware()).total_ms();
     assert!(
         tiny_cpu < tiny_pim.total_ms(),
         "256 KB MTV: CPU ({tiny_cpu} ms) should beat PIM ({} ms) because transfers dominate",
@@ -58,11 +58,13 @@ fn pim_beats_cpu_on_large_tensors_but_not_tiny_ones() {
 #[test]
 fn simplepim_loses_to_prim_and_atim_on_va() {
     // §7.1: SimplePIM's whole-tensor D2H copies cost it 4-11x on VA.
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let w = Workload::new(WorkloadKind::Va, vec![1 << 24]);
-    let prim = prim_report(&atim, &w).expect("prim").total_ms();
-    let simple = simplepim_report(&atim, &w).expect("simplepim").total_ms();
-    let (_, atim_r) = atim_report(&atim, &w, 32);
+    let prim = prim_report(&session, &w).expect("prim").total_ms();
+    let simple = simplepim_report(&session, &w)
+        .expect("simplepim")
+        .total_ms();
+    let (_, atim_r) = atim_report(&session, &w, 32);
     assert!(
         simple > prim,
         "SimplePIM ({simple} ms) must be slower than PrIM ({prim} ms)"
@@ -74,11 +76,11 @@ fn simplepim_loses_to_prim_and_atim_on_va() {
 fn hierarchical_reduction_wins_when_the_reduction_dimension_dominates() {
     // §7.2: for MTV, tiling the reduction dimension helps more when K >> M
     // (the paper contrasts 16384x4096 with 4096x16384).
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let wide = Workload::new(WorkloadKind::Mtv, vec![1024, 16384]);
     let tall = Workload::new(WorkloadKind::Mtv, vec![16384, 1024]);
-    let (cfg_wide, _) = atim_report(&atim, &wide, 64);
-    let (_cfg_tall, _) = atim_report(&atim, &tall, 64);
+    let (cfg_wide, _) = atim_report(&session, &wide, 64);
+    let (_cfg_tall, _) = atim_report(&session, &tall, 64);
     assert!(
         cfg_wide.uses_rfactor(),
         "K=16384 with only 1024 rows should pick hierarchical reduction, got {cfg_wide:?}"

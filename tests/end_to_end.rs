@@ -6,7 +6,7 @@ use atim_core::prelude::*;
 use atim_workloads::data::{generate_inputs, results_match};
 use atim_workloads::ops::small_presets;
 
-fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
+fn check_workload(session: &Session, workload: &Workload, trials: usize) {
     let def = workload.compute_def();
     let options = TuningOptions {
         trials,
@@ -14,9 +14,9 @@ fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
         measure_per_round: 8,
         ..TuningOptions::default()
     };
-    let (tuned, module) = atim
-        .autotune_and_compile(&def, &options)
-        .expect("autotune_and_compile");
+    let (tuned, module) = session
+        .tune_and_compile(&def, &options)
+        .expect("tune_and_compile");
     assert!(
         tuned.best_latency_s().is_finite(),
         "{}: tuning failed",
@@ -24,7 +24,7 @@ fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
     );
 
     let inputs = generate_inputs(&def, 7);
-    let run = atim.execute(&module, &inputs).expect("execute");
+    let run = session.execute(&module, &inputs).expect("execute");
     let expect = def.reference(&inputs);
     let reduce_len = def
         .reduce_axes()
@@ -47,43 +47,45 @@ fn check_workload(atim: &Atim, workload: &Workload, trials: usize) {
 
 #[test]
 fn every_benchmark_kind_runs_end_to_end() {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     for kind in WorkloadKind::ALL {
         // The smallest scaled-down preset of each kind keeps functional
         // simulation fast while exercising DPU distribution and reduction.
         let workload = small_presets(kind).into_iter().next().expect("preset");
-        check_workload(&atim, &workload, 10);
+        check_workload(&session, &workload, 10);
     }
 }
 
 #[test]
 fn misaligned_shapes_survive_the_full_pipeline() {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     // Odd extents everywhere: every boundary check path is exercised.
     for workload in [
         Workload::new(WorkloadKind::Mtv, vec![243, 517]),
         Workload::new(WorkloadKind::Mmtv, vec![7, 53, 129]),
         Workload::new(WorkloadKind::Geva, vec![99_991]),
     ] {
-        check_workload(&atim, &workload, 8);
+        check_workload(&session, &workload, 8);
     }
 }
 
 #[test]
 fn tuned_schedule_beats_the_untuned_default() {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let def = ComputeDef::gemv("gemv", 2048, 2048, 1.0);
-    let default_cfg = atim_autotune::ScheduleConfig::default_for(&def, atim.hardware());
-    let default_ms = atim
-        .measure_config(&default_cfg, &def)
+    let default_cfg = atim_autotune::ScheduleConfig::default_for(&def, session.hardware());
+    let default_ms = session
+        .measure(&default_cfg, &def)
         .expect("default config must run");
-    let tuned = atim.autotune(
-        &def,
-        &TuningOptions {
-            trials: 48,
-            ..TuningOptions::default()
-        },
-    );
+    let tuned = session
+        .tune(
+            &def,
+            &TuningOptions {
+                trials: 48,
+                ..TuningOptions::default()
+            },
+        )
+        .expect("valid options");
     assert!(
         tuned.best_latency_s() <= default_ms * 1.05,
         "autotuning must not be worse than the default ({} vs {})",
@@ -94,15 +96,21 @@ fn tuned_schedule_beats_the_untuned_default() {
 
 #[test]
 fn larger_machines_are_not_slower_for_large_workloads() {
-    let big = Atim::new(UpmemConfig::default());
-    let small = Atim::new(UpmemConfig::small());
+    let big = Session::new(UpmemConfig::default());
+    let small = Session::new(UpmemConfig::small());
     let def = ComputeDef::va("va", 1 << 22);
     let opts = TuningOptions {
         trials: 24,
         ..TuningOptions::default()
     };
-    let t_big = big.autotune(&def, &opts).best_latency_s();
-    let t_small = small.autotune(&def, &opts).best_latency_s();
+    let t_big = big
+        .tune(&def, &opts)
+        .expect("valid options")
+        .best_latency_s();
+    let t_small = small
+        .tune(&def, &opts)
+        .expect("valid options")
+        .best_latency_s();
     assert!(
         t_big <= t_small * 1.1,
         "2048 DPUs ({t_big}s) should not lose to 16 DPUs ({t_small}s)"

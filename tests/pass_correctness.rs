@@ -73,7 +73,7 @@ fn all_opt_levels_preserve_results_for_all_kinds() {
 
 #[test]
 fn optimization_never_slows_the_kernel_down() {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     for w in misaligned_workloads() {
         let def = w.compute_def();
         let cfg = test_config(&w);
@@ -86,10 +86,10 @@ fn optimization_never_slows_the_kernel_down() {
                     opt_level: level,
                     parallel_transfer: true,
                 },
-                atim.hardware(),
+                session.hardware(),
             )
             .expect("compile");
-            let report = atim.runtime().time(&module).expect("time");
+            let report = session.time(&module).expect("time");
             if level == OptLevel::NoOpt {
                 prev = report.kernel_s;
                 continue;
@@ -107,7 +107,7 @@ fn optimization_never_slows_the_kernel_down() {
 
 #[test]
 fn full_optimization_removes_most_dynamic_branches() {
-    let atim = Atim::new(UpmemConfig::default());
+    let session = Session::new(UpmemConfig::default());
     let w = Workload::new(WorkloadKind::Gemv, vec![245, 245]);
     let def = w.compute_def();
     let cfg = test_config(&w);
@@ -119,10 +119,10 @@ fn full_optimization_removes_most_dynamic_branches() {
                 opt_level: level,
                 parallel_transfer: true,
             },
-            atim.hardware(),
+            session.hardware(),
         )
         .unwrap();
-        atim.runtime().time(&module).unwrap()
+        session.time(&module).unwrap()
     };
     let before = run(OptLevel::NoOpt);
     let after = run(OptLevel::DmaLtBh);

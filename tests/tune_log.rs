@@ -1,0 +1,172 @@
+//! Integration tests of the durable-tuning workflow across process
+//! boundaries: a tuning run saved to a `TuneLog`, reloaded "in a fresh
+//! process" (nothing shared but the file), and replayed to a `TunedModule`
+//! must carry the identical best configuration and latency — and observers
+//! must see exactly one callback per measured trial.
+
+use atim_autotune::TuningRecord;
+use atim_core::prelude::*;
+
+/// Counts every streaming callback the tuner fires.
+#[derive(Default)]
+struct CountingObserver {
+    rounds: usize,
+    trials: usize,
+    failures: usize,
+    improvements: usize,
+}
+
+impl TuningObserver for CountingObserver {
+    fn on_round_start(&mut self, _round: usize, _measured: usize) {
+        self.rounds += 1;
+    }
+    fn on_trial(&mut self, _record: &TuningRecord) {
+        self.trials += 1;
+    }
+    fn on_trial_failed(&mut self, _config: &ScheduleConfig) {
+        self.failures += 1;
+    }
+    fn on_best_improved(&mut self, _record: &TuningRecord) {
+        self.improvements += 1;
+    }
+}
+
+#[test]
+fn tuning_run_saves_reloads_and_replays_identically() {
+    let options = TuningOptions {
+        trials: 12,
+        population: 12,
+        measure_per_round: 6,
+        ..TuningOptions::default()
+    };
+    let def = ComputeDef::mtv("mtv", 96, 64);
+    let path = std::env::temp_dir().join("atim_integration_tune_log.json");
+
+    // --- "Process" 1: tune on the real simulator, observe, save. ----------
+    let (best_config, best_latency, history_len) = {
+        let session = Session::new(UpmemConfig::small());
+        let mut observer = CountingObserver::default();
+        let tuned = session
+            .tune_observed(&def, &options, &Budget::unlimited(), &mut observer)
+            .expect("valid options");
+        assert!(tuned.best_latency_s().is_finite(), "tuning must succeed");
+        // Exactly one on_trial callback per measured trial, one
+        // on_round_start per measurement round, failures reported apart.
+        assert_eq!(observer.trials, tuned.measured());
+        assert_eq!(observer.failures, tuned.failed());
+        assert!(observer.improvements >= 1);
+        assert!(observer.rounds >= 1);
+
+        tuned.to_log(options.seed).save(&path).expect("save log");
+        (
+            tuned.best_config().clone(),
+            tuned.best_latency_s(),
+            tuned.history().len(),
+        )
+    };
+
+    // --- "Process" 2: fresh session, reload the file, replay. -------------
+    {
+        let session = Session::new(UpmemConfig::small());
+        let log = TuneLog::load(&path).expect("load log");
+        assert_eq!(log.workload, def.name);
+        assert_eq!(log.seed, options.seed);
+        let replayed = session.replay(&def, &log);
+        assert_eq!(
+            replayed.best_config(),
+            &best_config,
+            "replay must reproduce the identical best configuration"
+        );
+        assert_eq!(
+            replayed.best_latency_s(),
+            best_latency,
+            "replay must reproduce the identical best latency (bit-exact)"
+        );
+        assert_eq!(replayed.history().len(), history_len);
+
+        // The replayed module is immediately servable: compile and execute
+        // its best schedule without any re-search.
+        let module = session
+            .compile(replayed.best_config(), &def)
+            .expect("replayed best compiles");
+        let inputs = atim_workloads::data::generate_inputs(&def, 3);
+        let run = session.execute(&module, &inputs).expect("execute");
+        let expect = def.reference(&inputs);
+        assert!(atim_workloads::data::results_match(
+            run.output.as_ref().unwrap(),
+            &expect,
+            64
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warm_start_from_partial_log_matches_the_fresh_tune() {
+    // The analytic backend keeps this test fast while exercising the exact
+    // same session/log machinery as the simulator path.
+    let hw = UpmemConfig::default();
+    let def = ComputeDef::mtv("mtv", 4096, 4096);
+    let options = TuningOptions {
+        trials: 48,
+        population: 32,
+        measure_per_round: 8,
+        ..TuningOptions::default()
+    };
+    let session = Session::builder().backend(AnalyticBackend::new(hw)).build();
+
+    // Fresh, uninterrupted tune.
+    let fresh = session.tune(&def, &options).expect("valid options");
+
+    // Interrupted tune: only part of the budget, persisted to a log.
+    let partial = session
+        .tune_observed(&def, &options, &Budget::trials(16), &mut NullObserver)
+        .expect("valid options");
+    assert!(
+        partial.measured() < fresh.measured(),
+        "partial must stop early"
+    );
+    let path = std::env::temp_dir().join("atim_integration_warm_start_log.json");
+    partial.to_log(options.seed).save(&path).expect("save log");
+
+    // Warm start from the reloaded partial log with the remaining budget:
+    // the resumed search must reproduce the fresh-tune result exactly.
+    let log = TuneLog::load(&path).expect("load log");
+    std::fs::remove_file(&path).ok();
+    let resumed = session
+        .tune_warm(
+            &def,
+            &options,
+            &log,
+            &Budget::unlimited(),
+            &mut NullObserver,
+        )
+        .expect("valid options");
+    assert_eq!(resumed.best_config(), fresh.best_config());
+    assert_eq!(resumed.best_latency_s(), fresh.best_latency_s());
+    assert_eq!(resumed.history(), fresh.history());
+    assert_eq!(resumed.measured(), fresh.measured());
+}
+
+#[test]
+fn wall_clock_budgets_stop_long_searches() {
+    let session = Session::builder()
+        .backend(AnalyticBackend::new(UpmemConfig::default()))
+        .build();
+    let def = ComputeDef::mtv("mtv", 4096, 4096);
+    let options = TuningOptions {
+        trials: 1_000_000,
+        population: 32,
+        measure_per_round: 8,
+        ..TuningOptions::default()
+    };
+    let budget = Budget::wall_clock(std::time::Duration::from_millis(100));
+    let tuned = session
+        .tune_observed(&def, &options, &budget, &mut NullObserver)
+        .expect("valid options");
+    assert!(tuned.measured() > 0, "some trials must land before the cap");
+    assert!(
+        tuned.measured() < 1_000_000,
+        "the wall-clock budget must stop the search"
+    );
+}

@@ -1,30 +1,35 @@
-//! Workspace-wiring smoke test: the `Atim::default()` autotune → compile →
-//! execute path advertised in the `atim-core` crate docs must run, on a
-//! tiny MTV workload, using only the public cross-crate API. This guards
-//! the dependency edges of the Cargo workspace (core → tir/passes/sim/
+//! Workspace-wiring smoke test: the `Session` tune → compile → execute path
+//! advertised in the `atim-core` crate docs must run, on a tiny MTV
+//! workload, using only the public cross-crate API.  This guards the
+//! dependency edges of the Cargo workspace (core → tir/passes/sim/
 //! autotune/workloads) rather than numerical behaviour, which
-//! `end_to_end.rs` covers in depth.
+//! `end_to_end.rs` covers in depth.  The deprecated `Atim` shim is smoked
+//! alongside so the legacy entry point cannot silently rot.
 
 use atim_core::prelude::*;
 
 #[test]
-fn default_atim_tunes_compiles_and_executes_a_tiny_mtv() {
-    let atim = Atim::default();
+fn default_session_tunes_compiles_and_executes_a_tiny_mtv() {
+    let session = Session::default();
     let def = ComputeDef::mtv("mtv", 32, 32);
 
-    // Autotune with the documented quick budget, then compile the winner.
-    let tuned = atim.autotune(&def, &TuningOptions::quick());
+    // Tune with the documented quick budget, then compile the winner.
+    let tuned = session
+        .tune(&def, &TuningOptions::quick())
+        .expect("quick options are valid");
     assert!(
         tuned.best_latency_s().is_finite(),
         "quick tuning found no valid schedule"
     );
-    let module = atim
-        .compile_config(tuned.best_config(), &def)
+    let module = session
+        .compile(tuned.best_config(), &def)
         .expect("best schedule compiles");
 
     // Execute with real data and check against the reference result.
     let inputs = atim_workloads::data::generate_inputs(&def, 1);
-    let run = atim.execute(&module, &inputs).expect("execution succeeds");
+    let run = session
+        .execute(&module, &inputs)
+        .expect("execution succeeds");
     assert!(run.report.total_ms() > 0.0, "execution reports zero time");
     let expect = def.reference(&inputs);
     let got = run.output.as_ref().expect("functional output present");
@@ -32,4 +37,19 @@ fn default_atim_tunes_compiles_and_executes_a_tiny_mtv() {
     for (g, e) in got.iter().zip(&expect) {
         assert!((g - e).abs() < 1e-2, "output diverges: {g} vs {e}");
     }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_atim_shim_still_wires_the_legacy_flow() {
+    let atim = Atim::default();
+    let def = ComputeDef::mtv("mtv", 32, 32);
+    let tuned = atim.autotune(&def, &TuningOptions::quick());
+    assert!(tuned.best_latency_s().is_finite());
+    let module = atim
+        .compile_config(tuned.best_config(), &def)
+        .expect("best schedule compiles");
+    let inputs = atim_workloads::data::generate_inputs(&def, 1);
+    let run = atim.execute(&module, &inputs).expect("execution succeeds");
+    assert!(run.report.total_ms() > 0.0);
 }
