@@ -78,13 +78,13 @@ pub mod tuner;
 pub mod verifier;
 
 pub use json::{Json, JsonCodec, JsonError};
-pub use log::{TuneLog, TuneLogError, WarmStartMeasurer};
+pub use log::{StreamingTuneLog, TuneLog, TuneLogError, TuneLogWriter, WarmStartMeasurer};
 pub use session::{
     validate_options, Budget, NullObserver, StopReason, TuningError, TuningObserver, TuningSession,
 };
 pub use space::{ScheduleConfig, SearchSpace};
 pub use tuner::{
-    tune, tune_batch, BatchMeasurer, Measurer, SequentialMeasurer, TuningOptions, TuningRecord,
-    TuningResult,
+    tune, tune_batch, BatchMeasurer, CancelToken, Cancellation, MeasureOutcome, Measurer,
+    SequentialMeasurer, TuningOptions, TuningRecord, TuningResult,
 };
 pub use verifier::{verify, VerifyError};

@@ -22,13 +22,29 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use crate::json::{Json, JsonCodec, JsonError};
+use crate::session::TuningObserver;
 use crate::space::ScheduleConfig;
-use crate::tuner::{BatchMeasurer, TuningResult};
+use crate::tuner::{BatchMeasurer, TuningRecord, TuningResult};
 
 /// The current log format version (bumped on breaking schema changes).
 pub const TUNE_LOG_VERSION: i64 = 1;
 
+/// The `format` tag of the streaming (JSON-lines) log layout written by
+/// [`TuneLogWriter`].
+const STREAM_FORMAT: &str = "trial-stream";
+
 /// A persisted tuning run: workload identity, seed, and the full result.
+///
+/// Two on-disk layouts decode to this type:
+///
+/// * the **document** layout ([`TuneLog::save`]): one self-contained JSON
+///   object, written after the search finishes;
+/// * the **streaming** layout ([`TuneLogWriter`]): a header line followed by
+///   one flushed JSON line per measured trial and a closing summary line, so
+///   a crashed session loses at most the trial that was being written.  A
+///   truncated trailing line is tolerated on load; a missing summary line
+///   marks the log [`TuneLog::complete`]` == false` (resume it with
+///   [`crate::session::TuningSession`] + [`WarmStartMeasurer`]).
 #[derive(Debug, Clone)]
 pub struct TuneLog {
     /// Format version (see [`TUNE_LOG_VERSION`]).
@@ -40,6 +56,10 @@ pub struct TuneLog {
     /// RNG seed of the tuning options that produced the log.  Warm-starting
     /// reproduces the original trajectory only when re-run with this seed.
     pub seed: u64,
+    /// Whether the log records a finished search.  Document-layout logs are
+    /// always complete; a streaming log is complete only when its summary
+    /// line was written (i.e. the session did not crash mid-search).
+    pub complete: bool,
     /// The recorded result: best candidate, per-trial history and counters.
     pub result: TuningResult,
 }
@@ -91,6 +111,7 @@ impl TuneLog {
             version: TUNE_LOG_VERSION,
             workload: workload.into(),
             seed,
+            complete: true,
             result,
         }
     }
@@ -140,30 +161,100 @@ impl TuneLog {
         .to_string()
     }
 
-    /// Parses a log from JSON text.
+    /// Parses a log from text, accepting both the document layout and the
+    /// streaming (JSON-lines) layout.
     ///
     /// # Errors
     /// Returns a [`TuneLogError`] on malformed JSON, schema mismatches or an
-    /// unsupported format version.
+    /// unsupported format version.  A *truncated trailing line* of a
+    /// streaming log (the crash signature the layout exists for) is not an
+    /// error: the damaged line is dropped and the log loads as incomplete.
     pub fn from_json_str(text: &str) -> Result<Self, TuneLogError> {
+        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+        let header = Json::parse(first)?;
+        let is_stream = header
+            .get("format")
+            .ok()
+            .and_then(|f| f.as_str().ok().map(|s| s == STREAM_FORMAT))
+            .unwrap_or(false);
+        if is_stream {
+            return Self::from_stream_str(text, &header);
+        }
         let json = Json::parse(text)?;
         let version = json.get("version")?.as_i64()?;
         if version != TUNE_LOG_VERSION {
             return Err(TuneLogError::UnsupportedVersion(version));
         }
-        let seed = json
-            .get("seed")?
-            .as_str()?
-            .parse::<u64>()
-            .map_err(|_| JsonError {
-                message: "seed must be a decimal u64 string".into(),
-                offset: None,
-            })?;
         Ok(TuneLog {
             version,
             workload: json.get("workload")?.as_str()?.to_string(),
-            seed,
+            seed: parse_seed(&json)?,
+            complete: true,
             result: TuningResult::from_json(json.get("result")?)?,
+        })
+    }
+
+    /// Decodes the streaming layout: `header` is the already-parsed first
+    /// line, the remaining non-empty lines are per-trial records plus an
+    /// optional closing summary.
+    fn from_stream_str(text: &str, header: &Json) -> Result<Self, TuneLogError> {
+        let version = header.get("version")?.as_i64()?;
+        if version != TUNE_LOG_VERSION {
+            return Err(TuneLogError::UnsupportedVersion(version));
+        }
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .skip(1)
+            .collect();
+        let mut history: Vec<TuningRecord> = Vec::new();
+        let mut summary: Option<(usize, usize)> = None;
+        for (k, line) in lines.iter().enumerate() {
+            let decoded = Json::parse(line).and_then(|json| {
+                if json.get("summary").is_ok() {
+                    Ok(Some((
+                        json.get("failed")?.as_usize()?,
+                        json.get("rejected")?.as_usize()?,
+                    )))
+                } else {
+                    TuningRecord::from_json(&json).map(|r| {
+                        history.push(r);
+                        None
+                    })
+                }
+            });
+            match decoded {
+                Ok(Some(s)) => summary = Some(s),
+                Ok(None) => {}
+                // A damaged *last* line is the expected crash signature;
+                // damage anywhere else is real corruption.
+                Err(_) if k + 1 == lines.len() => break,
+                Err(e) => return Err(TuneLogError::Parse(e)),
+            }
+        }
+        // Reconstruct the result the recording session held: the best entry
+        // is the earliest strictly-smallest latency, matching the candidate
+        // database's tie-breaking.
+        let best = history
+            .iter()
+            .fold(None::<(&ScheduleConfig, f64)>, |best, r| match best {
+                Some((_, l)) if l <= r.latency_s => best,
+                _ => Some((&r.config, r.latency_s)),
+            })
+            .map(|(c, l)| (c.clone(), l));
+        let (failed, rejected) = summary.unwrap_or((0, 0));
+        Ok(TuneLog {
+            version,
+            workload: header.get("workload")?.as_str()?.to_string(),
+            seed: parse_seed(header)?,
+            complete: summary.is_some(),
+            result: TuningResult {
+                best,
+                measured: history.len(),
+                history,
+                failed,
+                rejected,
+            },
         })
     }
 
@@ -186,6 +277,134 @@ impl TuneLog {
         let mut text = String::new();
         std::fs::File::open(path)?.read_to_string(&mut text)?;
         Self::from_json_str(&text)
+    }
+}
+
+/// Decodes the decimal-string `seed` field shared by both layouts.
+fn parse_seed(json: &Json) -> Result<u64, TuneLogError> {
+    Ok(json
+        .get("seed")?
+        .as_str()?
+        .parse::<u64>()
+        .map_err(|_| JsonError {
+            message: "seed must be a decimal u64 string".into(),
+            offset: None,
+        })?)
+}
+
+/// Incremental writer of the streaming log layout: one flushed JSON line
+/// per measured trial, so a crash loses at most the record being written.
+///
+/// Layout: a header line (version, workload, seed, format tag), then one
+/// [`TuningRecord`] line per trial, then — only on [`TuneLogWriter::finish`]
+/// — a summary line carrying the failure/rejection counters.  The file is
+/// readable by [`TuneLog::load`] at every point in between.
+#[derive(Debug)]
+pub struct TuneLogWriter {
+    file: std::fs::File,
+    records: usize,
+}
+
+impl TuneLogWriter {
+    /// Creates (truncating) the log file and writes the header line.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn create(path: impl AsRef<Path>, workload: &str, seed: u64) -> Result<Self, TuneLogError> {
+        let mut file = std::fs::File::create(path)?;
+        let header = Json::Obj(vec![
+            ("version".into(), Json::Int(TUNE_LOG_VERSION)),
+            ("workload".into(), Json::Str(workload.to_string())),
+            ("seed".into(), Json::Str(seed.to_string())),
+            ("format".into(), Json::Str(STREAM_FORMAT.into())),
+        ]);
+        writeln!(file, "{header}")?;
+        file.flush()?;
+        Ok(TuneLogWriter { file, records: 0 })
+    }
+
+    /// Appends one trial record and flushes it to disk.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn append(&mut self, record: &TuningRecord) -> Result<(), TuneLogError> {
+        writeln!(self.file, "{}", record.to_json())?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether no records were appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Writes the closing summary line, marking the log complete.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn finish(mut self, result: &TuningResult) -> Result<(), TuneLogError> {
+        let summary = Json::Obj(vec![
+            ("summary".into(), Json::Bool(true)),
+            ("measured".into(), Json::Int(result.measured as i64)),
+            ("failed".into(), Json::Int(result.failed as i64)),
+            ("rejected".into(), Json::Int(result.rejected as i64)),
+        ]);
+        writeln!(self.file, "{summary}")?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// A [`TuningObserver`] that streams every measured trial to a
+/// [`TuneLogWriter`] as it happens and finalizes the log on the first
+/// `on_finish`.
+///
+/// I/O failures never abort the search: the first write error is reported to
+/// stderr and further writes are disabled (the partial log remains loadable).
+#[derive(Debug)]
+pub struct StreamingTuneLog {
+    writer: Option<TuneLogWriter>,
+}
+
+impl StreamingTuneLog {
+    /// Creates the underlying log file; see [`TuneLogWriter::create`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from creating the file.
+    pub fn create(path: impl AsRef<Path>, workload: &str, seed: u64) -> Result<Self, TuneLogError> {
+        Ok(StreamingTuneLog {
+            writer: Some(TuneLogWriter::create(path, workload, seed)?),
+        })
+    }
+
+    /// Records streamed so far.
+    pub fn recorded(&self) -> usize {
+        self.writer.as_ref().map(TuneLogWriter::len).unwrap_or(0)
+    }
+}
+
+impl TuningObserver for StreamingTuneLog {
+    fn on_trial(&mut self, record: &TuningRecord) {
+        if let Some(writer) = &mut self.writer {
+            if let Err(err) = writer.append(record) {
+                eprintln!("# warning: tuning log write failed, disabling streaming: {err}");
+                self.writer = None;
+            }
+        }
+    }
+
+    fn on_finish(&mut self, result: &TuningResult, _reason: crate::session::StopReason) {
+        if let Some(writer) = self.writer.take() {
+            if let Err(err) = writer.finish(result) {
+                eprintln!("# warning: tuning log finalization failed: {err}");
+            }
+        }
     }
 }
 
@@ -229,29 +448,53 @@ impl<'a> WarmStartMeasurer<'a> {
 }
 
 impl BatchMeasurer for WarmStartMeasurer<'_> {
-    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
-        let mut out: Vec<Option<Option<f64>>> = configs
+    fn measure_batch_cancellable(
+        &mut self,
+        configs: &[ScheduleConfig],
+        cancel: &crate::tuner::Cancellation,
+    ) -> Vec<crate::tuner::MeasureOutcome> {
+        use crate::tuner::MeasureOutcome;
+        // Log-recorded measurements are free — answer them even when
+        // cancelled; only fresh candidates respect the cancellation.
+        let mut out: Vec<Option<MeasureOutcome>> = configs
             .iter()
-            .map(|c| self.memo.get(c).map(|&l| Some(l)))
+            .map(|c| self.memo.get(c).map(|&l| MeasureOutcome::Measured(l)))
             .collect();
         let miss_slots: Vec<usize> = (0..configs.len()).filter(|&i| out[i].is_none()).collect();
         self.replayed += configs.len() - miss_slots.len();
-        self.fresh += miss_slots.len();
         if !miss_slots.is_empty() {
             let misses: Vec<ScheduleConfig> =
                 miss_slots.iter().map(|&i| configs[i].clone()).collect();
-            let results = self.inner.measure_batch(&misses);
+            let results = self.inner.measure_batch_cancellable(&misses, cancel);
             assert_eq!(
                 results.len(),
                 misses.len(),
                 "BatchMeasurer must return one result per candidate"
             );
+            self.fresh += results
+                .iter()
+                .filter(|o| !matches!(o, MeasureOutcome::Skipped))
+                .count();
             for (&slot, result) in miss_slots.iter().zip(results) {
                 out[slot] = Some(result);
             }
         }
         out.into_iter()
             .map(|r| r.expect("every slot answered"))
+            .collect()
+    }
+
+    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        use crate::tuner::{Cancellation, MeasureOutcome};
+        // One implementation: the cancellable path with a condition that
+        // never triggers (so `Skipped` is impossible).
+        self.measure_batch_cancellable(configs, &Cancellation::none())
+            .into_iter()
+            .map(|outcome| match outcome {
+                MeasureOutcome::Measured(latency) => Some(latency),
+                MeasureOutcome::Failed => None,
+                MeasureOutcome::Skipped => unreachable!("nothing can cancel Cancellation::none()"),
+            })
             .collect()
     }
 }
@@ -335,6 +578,103 @@ mod tests {
             Err(TuneLogError::UnsupportedVersion(999)) => {}
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn streaming_logs_round_trip_and_mark_completion() {
+        let log = sample_log();
+        let path = std::env::temp_dir().join("atim_stream_roundtrip_test.jsonl");
+        let mut writer = TuneLogWriter::create(&path, &log.workload, log.seed).unwrap();
+        for record in &log.result.history {
+            writer.append(record).unwrap();
+        }
+
+        // Before the summary line: loadable, but incomplete.
+        let partial = TuneLog::load(&path).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.workload, log.workload);
+        assert_eq!(partial.seed, log.seed);
+        assert_eq!(partial.result.history, log.result.history);
+        assert_eq!(partial.result.failed, 0, "counters unknown before summary");
+
+        // Re-write with a finish: complete, counters restored.
+        let mut writer = TuneLogWriter::create(&path, &log.workload, log.seed).unwrap();
+        for record in &log.result.history {
+            writer.append(record).unwrap();
+        }
+        writer.finish(&log.result).unwrap();
+        let full = TuneLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(full.complete);
+        assert_eq!(full.result.best, log.result.best);
+        assert_eq!(full.result.history, log.result.history);
+        assert_eq!(full.result.failed, log.result.failed);
+        assert_eq!(full.result.rejected, log.result.rejected);
+    }
+
+    #[test]
+    fn truncated_trailing_lines_lose_at_most_one_record() {
+        let log = sample_log();
+        let path = std::env::temp_dir().join("atim_stream_truncated_test.jsonl");
+        let mut writer = TuneLogWriter::create(&path, &log.workload, log.seed).unwrap();
+        let record = &log.result.history[0];
+        writer.append(record).unwrap();
+        writer.append(record).unwrap();
+        drop(writer);
+        // Simulate a crash mid-write: append half a record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let half = &record.to_json().to_string()[..20];
+        text.push_str(half);
+        std::fs::write(&path, &text).unwrap();
+
+        let loaded = TuneLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!loaded.complete);
+        assert_eq!(loaded.len(), 2, "the damaged trailing record is dropped");
+        assert_eq!(loaded.result.history[0], *record);
+
+        // Corruption *before* the end is a real error, not a truncation.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = "{broken".into();
+        let err = TuneLog::from_json_str(&lines.join("\n")).unwrap_err();
+        assert!(matches!(err, TuneLogError::Parse(_)));
+    }
+
+    #[test]
+    fn interrupted_streams_resume_via_warm_start_to_the_fresh_result() {
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let hw = UpmemConfig::default();
+        let options = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut m = analytic(&def);
+        let fresh = crate::tuner::tune(&def, &hw, &options, &mut m);
+
+        // "Crash" after 16 trials: the streaming log has those records and
+        // no summary line.
+        let path = std::env::temp_dir().join("atim_stream_resume_test.jsonl");
+        let mut writer = TuneLogWriter::create(&path, &def.name, options.seed).unwrap();
+        for record in &fresh.history[..16] {
+            writer.append(record).unwrap();
+        }
+        drop(writer);
+
+        let log = TuneLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!log.complete);
+        assert_eq!(log.len(), 16);
+
+        let mut session = TuningSession::new(&def, &hw, &options).unwrap();
+        let mut m2 = analytic(&def);
+        let mut seq = SequentialMeasurer::new(&mut m2);
+        let mut warm = WarmStartMeasurer::new(&log, &mut seq);
+        let resumed = session.run(&mut warm, &Budget::unlimited(), &mut NullObserver);
+        assert_eq!(resumed.best, fresh.best);
+        assert_eq!(resumed.history, fresh.history);
+        assert!(warm.replayed() >= 8, "the streamed prefix must be reused");
     }
 
     #[test]

@@ -26,7 +26,10 @@ use rand::{Rng, SeedableRng};
 use crate::cost_model::{featurize, CostModel, NUM_FEATURES};
 use crate::search::CandidateDb;
 use crate::space::{ScheduleConfig, SearchSpace};
-use crate::tuner::{BatchMeasurer, TuningOptions, TuningRecord, TuningResult};
+use crate::tuner::{
+    BatchMeasurer, CancelToken, Cancellation, MeasureOutcome, TuningOptions, TuningRecord,
+    TuningResult,
+};
 use crate::verifier::verify;
 
 /// A typed error raised when a tuning session is configured incorrectly.
@@ -115,12 +118,17 @@ pub struct Budget {
     /// call (failures never consume budget, matching the trial accounting
     /// of [`TuningResult`]).
     pub max_trials: Option<usize>,
-    /// Stop once this much wall-clock time has elapsed.  Checked between
-    /// rounds, so one in-flight round may overshoot.
+    /// Stop once this much wall-clock time has elapsed.  The deadline is
+    /// threaded into the measurer as a [`Cancellation`], so cancellation-
+    /// aware measurers (all in-tree ones) stop *mid-round*; a measurer that
+    /// ignores it still stops at the next round boundary.
     pub max_wall_clock: Option<Duration>,
     /// Early-stop: give up after this many successful measurements in a row
     /// without improving the best latency.
     pub stall_trials: Option<usize>,
+    /// Cooperative cancellation: when this token fires, the run stops — in
+    /// the middle of a round for cancellation-aware measurers.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -163,6 +171,13 @@ impl Budget {
         self.stall_trials = Some(n);
         self
     }
+
+    /// Attaches a cooperative [`CancelToken`]: firing it (from any thread)
+    /// stops the run, mid-round for cancellation-aware measurers.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 /// Why a [`TuningSession::run`] call returned.
@@ -177,6 +192,8 @@ pub enum StopReason {
     WallClock,
     /// [`Budget::stall_trials`] measurements passed without improvement.
     EarlyStop,
+    /// The [`Budget::cancel`] token was fired.
+    Cancelled,
 }
 
 /// Streaming callbacks fired by [`TuningSession::record_batch`] and
@@ -411,16 +428,43 @@ impl TuningSession {
         results: Vec<Option<f64>>,
         observer: &mut dyn TuningObserver,
     ) {
+        self.record_outcomes(
+            batch,
+            results
+                .into_iter()
+                .map(MeasureOutcome::from_result)
+                .collect(),
+            observer,
+        );
+    }
+
+    /// Records one cancellable measured batch: [`MeasureOutcome::Skipped`]
+    /// candidates are ignored entirely (not failures, not trials — a later
+    /// round may re-propose them); the rest behave as in
+    /// [`TuningSession::record_batch`].
+    ///
+    /// # Panics
+    /// Panics if `outcomes.len() != batch.len()`.
+    pub fn record_outcomes(
+        &mut self,
+        batch: &[ScheduleConfig],
+        outcomes: Vec<MeasureOutcome>,
+        observer: &mut dyn TuningObserver,
+    ) {
         assert_eq!(
-            results.len(),
+            outcomes.len(),
             batch.len(),
             "BatchMeasurer must return one result per candidate"
         );
-        for (cand, result) in batch.iter().zip(results) {
-            let Some(latency) = result else {
-                self.failed += 1;
-                observer.on_trial_failed(cand);
-                continue;
+        for (cand, outcome) in batch.iter().zip(outcomes) {
+            let latency = match outcome {
+                MeasureOutcome::Measured(latency) => latency,
+                MeasureOutcome::Failed => {
+                    self.failed += 1;
+                    observer.on_trial_failed(cand);
+                    continue;
+                }
+                MeasureOutcome::Skipped => continue,
             };
             let improved = self
                 .db
@@ -492,6 +536,8 @@ impl TuningSession {
         observer: &mut dyn TuningObserver,
     ) -> TuningResult {
         let start = Instant::now();
+        let deadline = budget.max_wall_clock.map(|limit| start + limit);
+        let cancellation = Cancellation::new(budget.cancel.clone(), deadline);
         let measured_at_start = self.measured;
         let mut best_at_last_improvement = self.db.best().map(|e| e.latency_s);
         let mut trials_since_improvement = 0usize;
@@ -501,10 +547,11 @@ impl TuningSession {
                     break StopReason::TrialBudget;
                 }
             }
-            if let Some(limit) = budget.max_wall_clock {
-                if start.elapsed() >= limit {
-                    break StopReason::WallClock;
-                }
+            if cancellation.token_cancelled() {
+                break StopReason::Cancelled;
+            }
+            if cancellation.deadline_passed() {
+                break StopReason::WallClock;
             }
             if let Some(stall) = budget.stall_trials {
                 if trials_since_improvement >= stall {
@@ -516,8 +563,12 @@ impl TuningSession {
             };
             observer.on_round_start(self.round, self.measured);
             let measured_before = self.measured;
-            let results = measurer.measure_batch(&batch);
-            self.record_batch(&batch, results, observer);
+            let outcomes = measurer.measure_batch_cancellable(&batch, &cancellation);
+            let skipped = outcomes
+                .iter()
+                .filter(|o| matches!(o, MeasureOutcome::Skipped))
+                .count();
+            self.record_outcomes(&batch, outcomes, observer);
             // Early-stop accounting: count trials since the last new best.
             let new_best = self.db.best().map(|e| e.latency_s);
             if new_best != best_at_last_improvement {
@@ -525,6 +576,15 @@ impl TuningSession {
                 trials_since_improvement = 0;
             } else {
                 trials_since_improvement += self.measured - measured_before;
+            }
+            // A measurer that skipped candidates observed the cancellation
+            // mid-round; stop without starting another round.
+            if skipped > 0 {
+                break if cancellation.token_cancelled() {
+                    StopReason::Cancelled
+                } else {
+                    StopReason::WallClock
+                };
             }
         };
         let result = self.result();
@@ -750,6 +810,92 @@ mod tests {
         );
         assert!(result.measured < 200);
         assert_eq!(obs.0, Some(StopReason::EarlyStop));
+    }
+
+    #[test]
+    fn cancel_token_stops_mid_round_without_recording_skipped_candidates() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 64,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        struct Reason(Option<StopReason>);
+        impl TuningObserver for Reason {
+            fn on_finish(&mut self, _result: &TuningResult, reason: StopReason) {
+                self.0 = Some(reason);
+            }
+        }
+        let token = CancelToken::new();
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        // Fire the token after three measurements: the round (8 candidates)
+        // must stop early, and the skipped candidates must not be recorded
+        // as trials or failures.
+        let fire = token.clone();
+        let mut calls = 0usize;
+        let mut measurer = move |_: &ScheduleConfig| -> Option<f64> {
+            calls += 1;
+            if calls == 3 {
+                fire.cancel();
+            }
+            Some(calls as f64 * 1e-6)
+        };
+        let mut obs = Reason(None);
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut measurer),
+            &Budget::unlimited().with_cancel_token(token.clone()),
+            &mut obs,
+        );
+        assert_eq!(obs.0, Some(StopReason::Cancelled));
+        assert_eq!(result.measured, 3, "only pre-cancellation trials count");
+        assert_eq!(result.failed, 0, "skipped candidates are not failures");
+        assert!(token.is_cancelled());
+        // The session is still resumable after cancellation.
+        let mut more = |_: &ScheduleConfig| -> Option<f64> { Some(1e-3) };
+        let resumed = session.run(
+            &mut SequentialMeasurer::new(&mut more),
+            &Budget::trials(5),
+            &mut NullObserver,
+        );
+        // The trial budget is checked between rounds, so the resumed run
+        // completes at least 5 more trials (up to one full extra round).
+        assert!(
+            resumed.measured >= 8 && resumed.measured <= 3 + 8,
+            "resumed {} trials",
+            resumed.measured
+        );
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_mid_round_with_cancellation_aware_measurers() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 1_000_000,
+            population: 64,
+            measure_per_round: 64,
+            ..TuningOptions::default()
+        };
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut measurer = |cfg: &ScheduleConfig| -> Option<f64> {
+            std::thread::sleep(Duration::from_millis(10));
+            Some(1.0 / cfg.num_dpus() as f64)
+        };
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut measurer),
+            &Budget::wall_clock(Duration::from_millis(35)),
+            &mut NullObserver,
+        );
+        // Pre-cancellation behavior measured at least one full 64-candidate
+        // round (~640 ms); the intra-round deadline stops after a handful.
+        assert!(
+            result.measured < 64,
+            "wall clock must stop inside the first round, measured {}",
+            result.measured
+        );
+        assert!(result.measured >= 1);
     }
 
     #[test]

@@ -8,12 +8,123 @@
 //! single-candidate [`Measurer`]s keep working through the
 //! [`SequentialMeasurer`] adapter.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
 
 use crate::search::SearchStrategy;
 use crate::session::{Budget, NullObserver, TuningSession};
 use crate::space::ScheduleConfig;
+
+/// A shareable cooperative-cancellation flag.
+///
+/// Cloning shares the flag: cancel from any thread (a signal handler, a UI,
+/// a supervisor) and every [`BatchMeasurer`] that supports intra-batch
+/// cancellation stops before its next candidate.  Attach one to a
+/// [`Budget`] through its `with_cancel_token`
+/// builder method.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; observable from every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// The combined stop condition threaded through a cancellable batch: an
+/// optional caller-owned [`CancelToken`] plus an optional deadline (derived
+/// from [`Budget::max_wall_clock`]
+/// by [`TuningSession::run`], so a wall-clock budget can now stop
+/// *mid-round* instead of only between rounds).
+#[derive(Debug, Clone, Default)]
+pub struct Cancellation {
+    token: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl Cancellation {
+    /// A condition that never triggers.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Combines an optional token and an optional deadline.
+    pub fn new(token: Option<CancelToken>, deadline: Option<Instant>) -> Self {
+        Cancellation { token, deadline }
+    }
+
+    /// Whether measurement should stop before the next candidate.
+    pub fn cancelled(&self) -> bool {
+        self.token_cancelled() || self.deadline_passed()
+    }
+
+    /// Whether this condition can never trigger (no token, no deadline) —
+    /// lets adapters route an uncancellable batch through the plain
+    /// [`BatchMeasurer::measure_batch`] path unchanged.
+    pub fn is_inert(&self) -> bool {
+        self.token.is_none() && self.deadline.is_none()
+    }
+
+    /// Whether the caller's token requested cancellation.
+    pub fn token_cancelled(&self) -> bool {
+        self.token
+            .as_ref()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
+    }
+
+    /// Whether the deadline has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+    }
+}
+
+/// Per-candidate outcome of a cancellable measurement batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureOutcome {
+    /// The candidate measured successfully (latency in seconds).
+    Measured(f64),
+    /// The candidate failed to build or run (does not consume trial budget).
+    Failed,
+    /// Measurement was cancelled before this candidate ran; the candidate is
+    /// *not* recorded and may be re-proposed by a later round.
+    Skipped,
+}
+
+impl MeasureOutcome {
+    /// Converts the plain measurement signal (`Some(latency)` / `None`).
+    pub fn from_result(result: Option<f64>) -> Self {
+        match result {
+            Some(latency) => MeasureOutcome::Measured(latency),
+            None => MeasureOutcome::Failed,
+        }
+    }
+}
 
 /// How a candidate's latency is obtained.  `atim-core` implements this by
 /// compiling the candidate (PIM-aware passes included) and running it on the
@@ -45,6 +156,25 @@ pub trait BatchMeasurer {
     /// input order** (`result[i]` belongs to `configs[i]`).  `None` marks a
     /// candidate that failed to build or run.
     fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>>;
+
+    /// Like [`BatchMeasurer::measure_batch`], but allowed to stop mid-batch
+    /// when `cancel` triggers; candidates not measured return
+    /// [`MeasureOutcome::Skipped`] (slot-aligned, like the plain batch).
+    ///
+    /// The default cannot interrupt `measure_batch` and therefore measures
+    /// the whole batch; implementations that control their own candidate
+    /// loop should override it and check `cancel` between candidates.
+    fn measure_batch_cancellable(
+        &mut self,
+        configs: &[ScheduleConfig],
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
+        let _ = cancel;
+        self.measure_batch(configs)
+            .into_iter()
+            .map(MeasureOutcome::from_result)
+            .collect()
+    }
 }
 
 /// Adapter running a plain [`Measurer`] one candidate at a time — the default
@@ -64,6 +194,23 @@ impl<'a> SequentialMeasurer<'a> {
 impl BatchMeasurer for SequentialMeasurer<'_> {
     fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
         configs.iter().map(|c| self.inner.measure(c)).collect()
+    }
+
+    fn measure_batch_cancellable(
+        &mut self,
+        configs: &[ScheduleConfig],
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
+        configs
+            .iter()
+            .map(|c| {
+                if cancel.cancelled() {
+                    MeasureOutcome::Skipped
+                } else {
+                    MeasureOutcome::from_result(self.inner.measure(c))
+                }
+            })
+            .collect()
     }
 }
 

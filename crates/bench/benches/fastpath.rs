@@ -1,0 +1,96 @@
+//! Criterion micro-bench of the measurement fast path: the same timing-only
+//! kernel execution through the tree interpreter, the compiled bytecode, and
+//! the optimized bytecode (constant folding, affine fusion, hoisting and
+//! timing-only loop summarization — `ATIM_SIM_FASTPATH`).
+//!
+//! This is the per-candidate unit of work the autotuner repeats thousands of
+//! times, so the ratios here translate directly into trials-per-budget.
+
+use atim_autotune::ScheduleConfig;
+use atim_core::prelude::*;
+use atim_sim::{SimMode, UpmemMachine};
+use atim_tir::eval::{CompiledProgram, CompiledRunner, ExecMode, Interpreter, MemoryStore};
+use atim_tir::schedule::Lowered;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+// `CountingTracer` is the tir-level stand-in for the simulator's DPU
+// counters; alias it so the intent reads clearly at the call sites.
+use atim_tir::eval::CountingTracer as KernelCounters;
+
+fn lowered_gemv() -> Lowered {
+    let session = Session::default();
+    let def = ComputeDef::gemv("gemv", 2048, 512, 1.0);
+    // No unrolling: the 64-element WRAM compute loop stays a loop, which is
+    // the shape the timing-only summarizer collapses (unrolled bodies
+    // already dispatch few loop iterations and gain little).
+    let cfg = ScheduleConfig {
+        spatial_dpus: vec![64],
+        reduce_dpus: 4,
+        tasklets: 12,
+        cache_elems: 64,
+        use_cache: true,
+        unroll: false,
+        host_threads: 16,
+        parallel_transfer: true,
+    };
+    session.compile(&cfg, &def).unwrap().lowered
+}
+
+/// Runs one DPU's kernel in timing-only mode through `run`, asserting it
+/// traced a non-trivial amount of work.
+fn bench_kernel_engines(c: &mut Criterion) {
+    let lowered = lowered_gemv();
+    let (linear, coords) = lowered.grid.enumerate()[0].clone();
+    let compiled = CompiledProgram::compile(&lowered.kernel.body);
+    let optimized = compiled.optimize();
+
+    let mut group = c.benchmark_group("timing_kernel");
+    group.bench_function("interpreter", |b| {
+        b.iter(|| {
+            let mut store = MemoryStore::new();
+            let mut tracer = KernelCounters::default();
+            let mut interp = Interpreter::new(&mut store, &mut tracer, ExecMode::TimingOnly);
+            interp.set_dpu(linear);
+            for (dim, coord) in lowered.grid.dims.iter().zip(&coords) {
+                interp.bind(&dim.var, *coord);
+            }
+            interp.run(&lowered.kernel.body).unwrap();
+            tracer
+        })
+    });
+    for (name, program) in [("compiled", &compiled), ("compiled_fastpath", &optimized)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut store = MemoryStore::new();
+                let mut tracer = KernelCounters::default();
+                let mut runner = CompiledRunner::new(program);
+                runner.set_dpu(linear);
+                for (dim, coord) in lowered.grid.dims.iter().zip(&coords) {
+                    runner.bind(&dim.var, *coord);
+                }
+                runner
+                    .run(&mut store, &mut tracer, ExecMode::TimingOnly)
+                    .unwrap();
+                tracer
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Whole timing-only measurements (transfers + kernel + reduction) with the
+/// fast path off vs on — the end-to-end per-candidate cost.
+fn bench_full_measurement(c: &mut Criterion) {
+    let lowered = lowered_gemv();
+    let mut group = c.benchmark_group("timing_measurement");
+    for (name, fastpath) in [("slowpath", false), ("fastpath", true)] {
+        let machine = UpmemMachine::with_fastpath(UpmemConfig::default(), fastpath);
+        group.bench_function(name, |b| {
+            b.iter(|| machine.run(&lowered, &[], SimMode::TimingOnly).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_engines, bench_full_measurement);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Perf-smoke snapshot of the simulator's bytecode fast path.
+//!
+//! Measures candidate-measurement wall-clock on the Fig. 9 MMTV/GEMV
+//! workload shapes with the fast path (`ATIM_SIM_FASTPATH`) off vs on, and
+//! writes a `BENCH_fastpath.json` snapshot so the perf trajectory is tracked
+//! across PRs (CI runs this after the criterion smoke).
+//!
+//! Knobs: `ATIM_SNAPSHOT_OUT` overrides the output path;
+//! `ATIM_SNAPSHOT_FULL=1` uses the full paper shapes instead of the CI-sized
+//! ones.
+
+use std::time::Instant;
+
+use atim_autotune::{Json, ScheduleConfig};
+use atim_core::prelude::*;
+use atim_core::SimBackend;
+
+fn candidate_batch(def: &ComputeDef, hw: &UpmemConfig) -> Vec<ScheduleConfig> {
+    let base = ScheduleConfig::default_for(def, hw);
+    (0..6)
+        .map(|i| ScheduleConfig {
+            spatial_dpus: vec![16 << (i % 3)],
+            tasklets: [8, 12, 16][i % 3],
+            cache_elems: [32, 64, 128][(i / 2) % 3],
+            ..base.clone()
+        })
+        .collect()
+}
+
+fn time_batch(backend: &SimBackend, def: &ComputeDef, batch: &[ScheduleConfig]) -> f64 {
+    let start = Instant::now();
+    let results = backend.measure_batch(batch, def);
+    assert!(
+        results.iter().any(|r| r.is_some()),
+        "no candidate measured for {}",
+        def.name
+    );
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let full = std::env::var("ATIM_SNAPSHOT_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let hw = UpmemConfig::default();
+    let workloads: Vec<ComputeDef> = if full {
+        vec![
+            ComputeDef::mmtv("mmtv", 64, 512, 256),
+            ComputeDef::gemv("gemv", 8192, 1024, 1.0),
+        ]
+    } else {
+        vec![
+            ComputeDef::mmtv("mmtv", 16, 128, 128),
+            ComputeDef::gemv("gemv", 2048, 512, 1.0),
+        ]
+    };
+
+    let slow =
+        SimBackend::with_threads(hw.clone(), CompileOptions::default(), 1).with_fastpath(false);
+    let fast =
+        SimBackend::with_threads(hw.clone(), CompileOptions::default(), 1).with_fastpath(true);
+
+    let mut rows = Vec::new();
+    for def in &workloads {
+        let batch = candidate_batch(def, &hw);
+        // Results must agree bit-for-bit; only the wall-clock differs.
+        assert_eq!(
+            slow.measure_batch(&batch, def),
+            fast.measure_batch(&batch, def),
+            "fast path changed a measurement for {}",
+            def.name
+        );
+        let slow_s = time_batch(&slow, def, &batch);
+        let fast_s = time_batch(&fast, def, &batch);
+        let speedup = slow_s / fast_s.max(1e-12);
+        eprintln!(
+            "{:>6}: slow {slow_s:.3}s  fast {fast_s:.3}s  speedup {speedup:.1}x",
+            def.name
+        );
+        rows.push(Json::Obj(vec![
+            ("workload".into(), Json::Str(def.name.clone())),
+            ("candidates".into(), Json::Int(batch.len() as i64)),
+            ("slow_s".into(), Json::Float(slow_s)),
+            ("fast_s".into(), Json::Float(fast_s)),
+            ("speedup".into(), Json::Float(speedup)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("fastpath".into())),
+        ("full".into(), Json::Bool(full)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out = std::env::var("ATIM_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_fastpath.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write snapshot");
+    println!("{doc}");
+    eprintln!("# wrote {out}");
+}

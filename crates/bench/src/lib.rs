@@ -28,8 +28,12 @@
 //! * `ATIM_FULL` — set to `1` to run every paper size; by default the larger
 //!   256/512 MB presets are skipped to keep a full harness sweep short.
 //! * `ATIM_TUNE_LOG` — a directory for persistent tuning logs.  Each tuned
-//!   workload saves its search there; re-running a harness **replays** the
-//!   saved log instead of re-searching (tune once, serve many runs).
+//!   workload streams its search there one flushed record per trial;
+//!   re-running a harness **replays** a complete log instead of
+//!   re-searching (tune once, serve many runs) and **resumes** an
+//!   incomplete one left by a crash via warm-start.
+//! * `ATIM_SIM_FASTPATH` — the simulator's bytecode fast path (default on;
+//!   `0` disables).  Latencies are bit-identical either way.
 //!
 //! # Example
 //!
@@ -49,7 +53,7 @@
 
 use std::path::PathBuf;
 
-use atim_autotune::{ScheduleConfig, TuneLog, TuningOptions};
+use atim_autotune::{ScheduleConfig, StreamingTuneLog, TuneLog, TuningOptions};
 use atim_baselines::prim::{prim_default, prim_e_candidates, prim_search_candidates};
 use atim_baselines::simplepim::{adjust_report, simplepim_config, SimplePimOverheads};
 use atim_core::prelude::*;
@@ -184,8 +188,14 @@ pub fn cpu_report(workload: &Workload, hw: &UpmemConfig) -> ExecutionReport {
 
 /// Autotunes ATiM for a workload — or, when `ATIM_TUNE_LOG` names a
 /// directory holding a log for this workload and budget, replays the saved
-/// search without re-searching.  Freshly tuned searches are persisted back
-/// to the same path.
+/// search without re-searching.
+///
+/// Fresh searches are **streamed** to the log path one trial at a time
+/// (JSON-lines with per-record flushes), so a crashed or interrupted harness
+/// loses at most the trial being written.  An incomplete log found on the
+/// next run is not discarded: the search warm-starts from its records —
+/// replaying the recorded prefix bit-identically, measuring only the
+/// remainder — while re-streaming the completed log to the same path.
 pub fn atim_tuned(session: &Session, workload: &Workload, trials: usize) -> TunedModule {
     let def = workload.compute_def();
     let options = TuningOptions {
@@ -195,36 +205,79 @@ pub fn atim_tuned(session: &Session, workload: &Workload, trials: usize) -> Tune
         ..TuningOptions::default()
     };
     let log_path = tune_log_path(workload, trials);
+    let mut resume: Option<TuneLog> = None;
     if let Some(path) = &log_path {
         if let Ok(log) = TuneLog::load(path) {
             // A log recorded for a different workload (stale file, renamed
             // preset) must never be replayed as this one.
             if log.workload == def.name {
-                return session.replay(&def, &log);
+                if log.complete {
+                    return session.replay(&def, &log);
+                }
+                eprintln!(
+                    "# resuming interrupted tuning log {} ({} recorded trials)",
+                    path.display(),
+                    log.len()
+                );
+                resume = Some(log);
+            } else {
+                eprintln!(
+                    "# warning: ignoring tuning log {} recorded for workload \"{}\" \
+                     (expected \"{}\")",
+                    path.display(),
+                    log.workload,
+                    def.name
+                );
             }
-            eprintln!(
-                "# warning: ignoring tuning log {} recorded for workload \"{}\" (expected \"{}\")",
-                path.display(),
-                log.workload,
-                def.name
-            );
         }
     }
-    let tuned = session
-        .tune(&def, &options)
-        .expect("harness tuning options are valid");
-    if let Some(path) = &log_path {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).ok();
+    // A fresh search streams straight to the log path (there is nothing to
+    // lose); a *resumed* search streams to a sibling temp file and renames
+    // it over the original only after finishing, so the already-persisted
+    // prefix survives even if the resumed run crashes too.
+    let stream_path = log_path.as_ref().map(|path| {
+        if resume.is_some() {
+            path.with_extension("json.tmp")
+        } else {
+            path.clone()
         }
-        if let Err(err) = tuned.to_log(options.seed).save(path) {
-            eprintln!(
-                "# warning: failed to save tuning log {}: {err}",
-                path.display()
-            );
+    });
+    let mut observer: Box<dyn TuningObserver> = match &stream_path {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).ok();
+            }
+            match StreamingTuneLog::create(path, &def.name, options.seed) {
+                Ok(stream) => Box::new(stream),
+                Err(err) => {
+                    eprintln!(
+                        "# warning: cannot stream tuning log {}: {err}",
+                        path.display()
+                    );
+                    Box::new(NullObserver)
+                }
+            }
+        }
+        None => Box::new(NullObserver),
+    };
+    let tuned = match &resume {
+        Some(log) => session.tune_warm(&def, &options, log, &Budget::unlimited(), &mut *observer),
+        None => session.tune_observed(&def, &options, &Budget::unlimited(), &mut *observer),
+    };
+    drop(observer);
+    if resume.is_some() {
+        if let (Some(tmp), Some(path)) = (&stream_path, &log_path) {
+            if tmp != path {
+                if let Err(err) = std::fs::rename(tmp, path) {
+                    eprintln!(
+                        "# warning: could not finalize resumed tuning log {}: {err}",
+                        path.display()
+                    );
+                }
+            }
         }
     }
-    tuned
+    tuned.expect("harness tuning options are valid")
 }
 
 /// Autotunes ATiM for a workload and times the best configuration.

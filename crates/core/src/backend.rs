@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use atim_autotune::ScheduleConfig;
+use atim_autotune::{Cancellation, MeasureOutcome, ScheduleConfig};
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::Result;
@@ -79,6 +79,36 @@ pub trait Backend: Send + Sync {
     fn measure_batch(&self, configs: &[ScheduleConfig], def: &ComputeDef) -> Vec<Option<f64>> {
         configs.iter().map(|c| self.measure(c, def)).collect()
     }
+
+    /// Like [`Backend::measure_batch`], but checks `cancel` between
+    /// candidates: once it triggers, the remaining slots come back as
+    /// [`MeasureOutcome::Skipped`] instead of being measured.  An inert
+    /// cancellation routes through [`Backend::measure_batch`], so backends
+    /// that only override the plain batch keep their batching behavior.
+    fn measure_batch_cancellable(
+        &self,
+        configs: &[ScheduleConfig],
+        def: &ComputeDef,
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
+        if cancel.is_inert() {
+            return self
+                .measure_batch(configs, def)
+                .into_iter()
+                .map(MeasureOutcome::from_result)
+                .collect();
+        }
+        configs
+            .iter()
+            .map(|c| {
+                if cancel.cancelled() {
+                    MeasureOutcome::Skipped
+                } else {
+                    MeasureOutcome::from_result(self.measure(c, def))
+                }
+            })
+            .collect()
+    }
 }
 
 /// The default backend: the cycle-approximate UPMEM simulator.
@@ -135,6 +165,21 @@ impl SimBackend {
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
     }
+
+    /// Returns this backend with the bytecode fast path (optimizer +
+    /// timing-only loop summarizer) explicitly enabled or disabled.  The
+    /// default follows the `ATIM_SIM_FASTPATH` environment knob (on unless
+    /// set to `0`); both settings produce bit-identical measurements — the
+    /// fast path only changes how quickly the simulator produces them.
+    pub fn with_fastpath(mut self, fastpath: bool) -> Self {
+        self.runtime = Runtime::with_fastpath(self.hw.clone(), fastpath);
+        self
+    }
+
+    /// Whether measurements run through the optimized bytecode.
+    pub fn fastpath(&self) -> bool {
+        self.runtime.fastpath()
+    }
 }
 
 impl Default for SimBackend {
@@ -165,6 +210,22 @@ impl Backend for SimBackend {
     }
 
     fn measure_batch(&self, configs: &[ScheduleConfig], def: &ComputeDef) -> Vec<Option<f64>> {
+        self.measure_batch_cancellable(configs, def, &Cancellation::none())
+            .into_iter()
+            .map(|outcome| match outcome {
+                MeasureOutcome::Measured(latency) => Some(latency),
+                MeasureOutcome::Failed => None,
+                MeasureOutcome::Skipped => unreachable!("nothing can cancel Cancellation::none()"),
+            })
+            .collect()
+    }
+
+    fn measure_batch_cancellable(
+        &self,
+        configs: &[ScheduleConfig],
+        def: &ComputeDef,
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
         // Distinct configurations in first-occurrence order: duplicates
         // within one batch are simulated once and fanned out to every slot.
         let mut seen: std::collections::HashMap<&ScheduleConfig, usize> =
@@ -180,16 +241,23 @@ impl Backend for SimBackend {
             slot_of.push(id);
         }
 
+        // Every worker checks the cancellation before claiming the next
+        // candidate, so a wall-clock deadline or a fired token stops the
+        // batch within one in-flight candidate per worker.
+        let measure_one = |slot: usize| {
+            if cancel.cancelled() {
+                MeasureOutcome::Skipped
+            } else {
+                MeasureOutcome::from_result(self.measure(&configs[slot], def))
+            }
+        };
         let workers = self.threads.min(unique.len());
-        let fresh: Vec<Option<f64>> = if workers <= 1 {
-            unique
-                .iter()
-                .map(|&i| self.measure(&configs[i], def))
-                .collect()
+        let fresh: Vec<MeasureOutcome> = if workers <= 1 {
+            unique.iter().map(|&i| measure_one(i)).collect()
         } else {
             let next = AtomicUsize::new(0);
-            let mut results: Vec<Option<f64>> = vec![None; unique.len()];
-            let chunks: Vec<(usize, Option<f64>)> = std::thread::scope(|scope| {
+            let mut results: Vec<MeasureOutcome> = vec![MeasureOutcome::Skipped; unique.len()];
+            let chunks: Vec<(usize, MeasureOutcome)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
@@ -197,7 +265,7 @@ impl Backend for SimBackend {
                             loop {
                                 let k = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&slot) = unique.get(k) else { break };
-                                local.push((k, self.measure(&configs[slot], def)));
+                                local.push((k, measure_one(slot)));
                             }
                             local
                         })
@@ -357,6 +425,59 @@ mod tests {
         assert!(results[0].is_some());
         assert!(results[1].is_none(), "impossible candidate must fail");
         assert_eq!(results[0], results[2], "duplicates share one simulation");
+    }
+
+    #[test]
+    fn cancelled_batches_skip_remaining_candidates() {
+        use atim_autotune::CancelToken;
+        let def = ComputeDef::mtv("mtv", 64, 48);
+        let backend = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 2);
+        let base = ScheduleConfig::default_for(&def, backend.hardware());
+        let batch: Vec<ScheduleConfig> = (0..4)
+            .map(|i| ScheduleConfig {
+                tasklets: 1 + i,
+                ..base.clone()
+            })
+            .collect();
+        // A pre-fired token skips everything.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancel = Cancellation::new(Some(token), None);
+        let outcomes = backend.measure_batch_cancellable(&batch, &def, &cancel);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| *o == MeasureOutcome::Skipped));
+        // No cancellation: every slot measured, matching the plain batch.
+        let free = backend.measure_batch_cancellable(&batch, &def, &Cancellation::none());
+        let plain = backend.measure_batch(&batch, &def);
+        for (outcome, result) in free.iter().zip(plain) {
+            assert_eq!(*outcome, MeasureOutcome::from_result(result));
+        }
+    }
+
+    /// The fast path must not change a single measurement: identical
+    /// latencies for every candidate of a batch, fastpath on vs off.
+    #[test]
+    fn fastpath_measurements_are_bit_identical() {
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let slow = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 1)
+            .with_fastpath(false);
+        let fast = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 1)
+            .with_fastpath(true);
+        assert!(!slow.fastpath());
+        assert!(fast.fastpath());
+        let base = ScheduleConfig::default_for(&def, slow.hardware());
+        let batch: Vec<ScheduleConfig> = (0..5)
+            .map(|i| ScheduleConfig {
+                spatial_dpus: vec![1 << (i % 4)],
+                tasklets: 1 + i,
+                cache_elems: 8 << (i % 3),
+                ..base.clone()
+            })
+            .collect();
+        assert_eq!(
+            slow.measure_batch(&batch, &def),
+            fast.measure_batch(&batch, &def)
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use atim_autotune::{BatchMeasurer, ScheduleConfig};
+use atim_autotune::{BatchMeasurer, Cancellation, MeasureOutcome, ScheduleConfig};
 use atim_tir::compute::ComputeDef;
 
 use crate::backend::Backend;
@@ -100,14 +100,31 @@ impl<'a> BackendMeasurer<'a> {
 
 impl BatchMeasurer for BackendMeasurer<'_> {
     fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
-        // Slot-indexed output: filled from the memo first, then by the
-        // backend.
-        let mut out: Vec<Option<Option<f64>>> =
-            configs.iter().map(|c| self.cache.get(c).copied()).collect();
+        // One implementation: the cancellable path with a condition that
+        // never triggers (so `Skipped` is impossible).
+        self.measure_batch_cancellable(configs, &Cancellation::none())
+            .into_iter()
+            .map(|outcome| match outcome {
+                MeasureOutcome::Measured(latency) => Some(latency),
+                MeasureOutcome::Failed => None,
+                MeasureOutcome::Skipped => unreachable!("nothing can cancel Cancellation::none()"),
+            })
+            .collect()
+    }
+
+    fn measure_batch_cancellable(
+        &mut self,
+        configs: &[ScheduleConfig],
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
+        // Memo answers are free and always honored; only candidates that
+        // need the backend respect the cancellation.
+        let mut out: Vec<Option<MeasureOutcome>> = configs
+            .iter()
+            .map(|c| self.cache.get(c).map(|r| MeasureOutcome::from_result(*r)))
+            .collect();
         self.cache_hits += out.iter().filter(|r| r.is_some()).count();
 
-        // Distinct missing configurations in first-occurrence order, so the
-        // work list (and thus the backend's batch) is deterministic.
         let mut seen: std::collections::HashSet<&ScheduleConfig> =
             std::collections::HashSet::with_capacity(configs.len());
         let mut unique: Vec<usize> = Vec::new();
@@ -119,26 +136,42 @@ impl BatchMeasurer for BackendMeasurer<'_> {
 
         if !unique.is_empty() {
             let batch: Vec<ScheduleConfig> = unique.iter().map(|&i| configs[i].clone()).collect();
-            let results = self.backend.measure_batch(&batch, self.def);
+            let results = self
+                .backend
+                .measure_batch_cancellable(&batch, self.def, cancel);
             assert_eq!(
                 results.len(),
                 batch.len(),
-                "Backend::measure_batch must return one result per candidate"
+                "Backend::measure_batch_cancellable must return one result per candidate"
             );
-            for (&slot, result) in unique.iter().zip(results) {
-                self.cache.insert(configs[slot].clone(), result);
-                out[slot] = Some(result);
+            for (&slot, outcome) in unique.iter().zip(results) {
+                match outcome {
+                    MeasureOutcome::Measured(latency) => {
+                        self.cache.insert(configs[slot].clone(), Some(latency));
+                    }
+                    MeasureOutcome::Failed => {
+                        self.cache.insert(configs[slot].clone(), None);
+                    }
+                    // Skipped candidates stay uncached so a later round can
+                    // measure them for real.
+                    MeasureOutcome::Skipped => {}
+                }
+                out[slot] = Some(outcome);
             }
         }
 
-        // Fill any remaining slots (in-batch duplicates) from the memo.
-        for (i, r) in out.iter_mut().enumerate() {
-            if r.is_none() {
-                *r = self.cache.get(&configs[i]).copied();
-            }
-        }
-        out.into_iter()
-            .map(|r| r.expect("every slot measured"))
+        // In-batch duplicates follow their representative (or are skipped
+        // alongside it).
+        out.iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.or_else(|| {
+                    self.cache
+                        .get(&configs[i])
+                        .map(|c| MeasureOutcome::from_result(*c))
+                })
+                .unwrap_or(MeasureOutcome::Skipped)
+            })
             .collect()
     }
 }

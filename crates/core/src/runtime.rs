@@ -26,11 +26,25 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Creates a runtime for a machine configuration.
+    /// Creates a runtime for a machine configuration.  The bytecode fast
+    /// path (optimizer + timing-only loop summarizer) defaults from the
+    /// `ATIM_SIM_FASTPATH` environment knob (on unless set to `0`).
     pub fn new(config: UpmemConfig) -> Self {
         Runtime {
             machine: UpmemMachine::new(config),
         }
+    }
+
+    /// Creates a runtime with an explicit fast-path setting.
+    pub fn with_fastpath(config: UpmemConfig, fastpath: bool) -> Self {
+        Runtime {
+            machine: UpmemMachine::with_fastpath(config, fastpath),
+        }
+    }
+
+    /// Whether modules run through the optimized bytecode.
+    pub fn fastpath(&self) -> bool {
+        self.machine.fastpath()
     }
 
     /// The machine configuration.

@@ -470,6 +470,43 @@ mod tests {
         assert_eq!(sequential.rejected(), parallel.rejected());
     }
 
+    /// Same seed ⇒ tuning through the bytecode fast path chooses the
+    /// identical schedule with identical reported latencies as the
+    /// unoptimized path — the fast path only changes how fast the simulator
+    /// produces each measurement.
+    #[test]
+    fn fastpath_tuning_is_bit_identical_to_the_slow_path() {
+        use crate::backend::SimBackend;
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let options = TuningOptions {
+            trials: 10,
+            population: 10,
+            measure_per_round: 5,
+            ..TuningOptions::default()
+        };
+        let tune = |fastpath: bool| {
+            let backend =
+                SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 2)
+                    .with_fastpath(fastpath);
+            Session::builder()
+                .backend(backend)
+                .build()
+                .tune(&def, &options)
+                .unwrap()
+        };
+        let slow = tune(false);
+        let fast = tune(true);
+        assert_eq!(slow.best_config(), fast.best_config());
+        assert_eq!(slow.best_latency_s(), fast.best_latency_s());
+        assert_eq!(
+            slow.history(),
+            fast.history(),
+            "histories must be bit-identical"
+        );
+        assert_eq!(slow.failed(), fast.failed());
+        assert_eq!(slow.rejected(), fast.rejected());
+    }
+
     #[test]
     fn sessions_are_cloneable_and_debuggable() {
         let session = Session::default();

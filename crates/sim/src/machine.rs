@@ -41,16 +41,54 @@ pub struct SimResult {
     pub report: ExecutionReport,
 }
 
+/// Environment variable gating the bytecode fast path (optimizer + loop
+/// summarizer).  Enabled by default; set to `0` (or `false`/`off`/`no`) to
+/// execute the unoptimized bytecode — e.g. to validate that both paths agree
+/// on latencies.
+pub const FASTPATH_ENV: &str = "ATIM_SIM_FASTPATH";
+
+/// Whether `ATIM_SIM_FASTPATH` currently enables the fast path (the default
+/// when unset).
+pub fn fastpath_from_env() -> bool {
+    match std::env::var(FASTPATH_ENV) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
 /// The simulated UPMEM server.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct UpmemMachine {
     config: UpmemConfig,
+    fastpath: bool,
+}
+
+impl Default for UpmemMachine {
+    fn default() -> Self {
+        UpmemMachine::new(UpmemConfig::default())
+    }
 }
 
 impl UpmemMachine {
-    /// Creates a machine with the given hardware configuration.
+    /// Creates a machine with the given hardware configuration; the bytecode
+    /// fast path defaults from [`FASTPATH_ENV`].
     pub fn new(config: UpmemConfig) -> Self {
-        UpmemMachine { config }
+        UpmemMachine::with_fastpath(config, fastpath_from_env())
+    }
+
+    /// Creates a machine with an explicit fast-path setting.
+    pub fn with_fastpath(config: UpmemConfig, fastpath: bool) -> Self {
+        UpmemMachine { config, fastpath }
+    }
+
+    /// Whether programs run through the optimized bytecode.
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Enables or disables the bytecode fast path.
+    pub fn set_fastpath(&mut self, fastpath: bool) {
+        self.fastpath = fastpath;
     }
 
     /// The machine's configuration.
@@ -107,8 +145,21 @@ impl UpmemMachine {
 
         // Every program is pre-lowered to a flat instruction buffer once per
         // launch; the kernel program in particular is reused across DPUs.
+        // With the fast path on, the buffer additionally goes through the
+        // event-count-preserving bytecode optimizer, whose loop summaries
+        // collapse timing-only iterations into bulk events (the knob is
+        // [`FASTPATH_ENV`]; functional runs use the same optimized program
+        // but execute summarized loops normally).
+        let prepare = |stmt: &Stmt| {
+            let program = CompiledProgram::compile(stmt);
+            if self.fastpath {
+                program.optimize()
+            } else {
+                program
+            }
+        };
         let run_flat = |stmt: &Stmt, store: &mut MemoryStore, tracer: &mut dyn Tracer| {
-            CompiledRunner::new(&CompiledProgram::compile(stmt)).run(store, tracer, exec_mode)
+            CompiledRunner::new(&prepare(stmt)).run(store, tracer, exec_mode)
         };
 
         // --- Host -> DPU transfers ------------------------------------------
@@ -122,7 +173,7 @@ impl UpmemMachine {
         let h2d_s = transfer_time(TransferDir::H2D, &h2d_counters, num_dpus, &self.config);
 
         // --- Kernel execution -------------------------------------------------
-        let kernel = CompiledProgram::compile(&lowered.kernel.body);
+        let kernel = prepare(&lowered.kernel.body);
         let all = lowered.grid.enumerate();
         let selected: Vec<&(i64, Vec<i64>)> = match mode {
             SimMode::Full => all.iter().collect(),
@@ -281,6 +332,43 @@ mod tests {
         let b = fast.report.kernel_s;
         assert!((a - b).abs() / a < 1e-9, "kernel times differ: {a} vs {b}");
         assert_eq!(full.report.h2d_bytes, fast.report.h2d_bytes);
+    }
+
+    /// The acceptance pin of the bytecode fast path: identical reports (all
+    /// latency components, counters and byte totals) with the optimizer +
+    /// summarizer on and off — on aligned shapes, misaligned shapes (whose
+    /// guarded kernels exercise hoisting and the summarizer fallback) and in
+    /// both simulation modes.
+    #[test]
+    fn fastpath_reports_are_bit_identical_to_the_slow_path() {
+        for (m, k) in [(32, 64), (70, 90), (33, 47)] {
+            let sch = mtv_schedule(m, k, 4, 2, 2, 16);
+            let def = sch.def().clone();
+            let lowered = sch.lower().unwrap();
+            let inputs = inputs_for(&def);
+            let slow = UpmemMachine::with_fastpath(UpmemConfig::small(), false);
+            let fast = UpmemMachine::with_fastpath(UpmemConfig::small(), true);
+            for mode in [SimMode::Full, SimMode::TimingOnly] {
+                let ins: &[Vec<f32>] = if mode == SimMode::Full { &inputs } else { &[] };
+                let a = slow.run(&lowered, ins, mode).unwrap();
+                let b = fast.run(&lowered, ins, mode).unwrap();
+                assert_eq!(
+                    a.report, b.report,
+                    "fastpath report diverges for {m}x{k} in {mode:?}"
+                );
+                assert_eq!(a.output, b.output, "fastpath output diverges for {m}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fastpath_env_parsing_defaults_on() {
+        // The env itself is process-global; only exercise the parser via the
+        // constructor default and explicit settings.
+        let mut machine = UpmemMachine::with_fastpath(UpmemConfig::small(), true);
+        assert!(machine.fastpath());
+        machine.set_fastpath(false);
+        assert!(!machine.fastpath());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Execution counters and reports.
 
 use atim_tir::buffer::MemScope;
-use atim_tir::eval::Tracer;
+use atim_tir::eval::{BulkEvents, Tracer};
 use atim_tir::stmt::TransferDir;
 
 /// Raw event counters collected while interpreting a DPU kernel.
@@ -87,6 +87,26 @@ impl Tracer for DpuCounters {
     fn barrier(&mut self) {
         self.barriers += 1;
     }
+    fn bulk(&mut self, events: &BulkEvents) {
+        self.alu_ops += events.alu;
+        for &(scope, _, count) in &events.loads {
+            match scope {
+                MemScope::Mram => self.mram_scalar_accesses += count,
+                _ => self.wram_loads += count,
+            }
+        }
+        for &(scope, _, count) in &events.stores {
+            match scope {
+                MemScope::Mram => self.mram_scalar_accesses += count,
+                _ => self.wram_stores += count,
+            }
+        }
+        self.loop_enters += events.loop_enters;
+        self.loop_iters += events.loop_iters;
+        self.dma_requests += events.dma_requests;
+        self.dma_bytes += events.dma_bytes;
+        self.barriers += events.barriers;
+    }
 }
 
 /// Counters for the host transfer programs.
@@ -138,6 +158,9 @@ impl Tracer for TransferCounters {
     fn loop_iter(&mut self) {
         self.host_loop_iters += 1;
     }
+    fn bulk(&mut self, events: &BulkEvents) {
+        self.host_loop_iters += events.loop_iters;
+    }
 }
 
 /// Counters for host-side loops (final reduction).
@@ -165,6 +188,16 @@ impl Tracer for HostCounters {
     }
     fn loop_iter(&mut self) {
         self.loop_iters += 1;
+    }
+    fn bulk(&mut self, events: &BulkEvents) {
+        self.ops += events.alu;
+        for &(_, _, count) in &events.loads {
+            self.loads += count;
+        }
+        for &(_, _, count) in &events.stores {
+            self.stores += count;
+        }
+        self.loop_iters += events.loop_iters;
     }
 }
 

@@ -28,12 +28,18 @@ use crate::error::{Result, TirError};
 use crate::expr::{BinOp, CmpOp, Expr};
 use crate::stmt::{Stmt, TransferDir};
 
-use super::{eval_binary, eval_cmp, ExecMode, MemoryStore, Tracer, Value};
+use super::{eval_binary, eval_cmp, BulkEvents, ExecMode, MemoryStore, Tracer, Value};
 
 /// One flat instruction.  Expressions are compiled to stack operations,
 /// statements to instructions with explicit jump targets.
+///
+/// The variants below the `Barrier` marker are never produced by
+/// [`CompiledProgram::compile`]; they are introduced by the bytecode
+/// optimizer ([`CompiledProgram::optimize`]) and carry the tracer-event
+/// counts of the code they replaced, so an optimized program reports the
+/// exact same event totals as the original.
 #[derive(Debug, Clone)]
-enum Inst {
+pub(crate) enum Inst {
     /// Push an integer constant.
     PushInt(i64),
     /// Push a float constant.
@@ -66,8 +72,14 @@ enum Inst {
     /// Pop and discard a value (`Stmt::Evaluate`).
     Pop,
     /// Loop header: pop the extent; save the slot, enter the loop or jump
-    /// past it when the extent is not positive.
-    LoopEnter { slot: u32, end: usize },
+    /// past it when the extent is not positive.  `summary` indexes
+    /// [`CompiledProgram::summaries`] when the optimizer proved the body
+    /// collapsible in [`ExecMode::TimingOnly`].
+    LoopEnter {
+        slot: u32,
+        end: usize,
+        summary: Option<u32>,
+    },
     /// Loop back-edge: advance the induction variable or exit the loop.
     LoopBack { body: usize },
     /// `If`: pop the condition, trace the branch, jump on false.
@@ -85,6 +97,60 @@ enum Inst {
     },
     /// Tasklet barrier.
     Barrier,
+
+    // --- optimizer-introduced instructions --------------------------------
+    /// Push a pre-folded constant; `alu` is the number of scalar operations
+    /// the folded expression would have traced.
+    PushConst { value: Value, alu: u32 },
+    /// Push `var * scale + offset` — a strength-reduced affine index chain.
+    AffineVar {
+        slot: u32,
+        scale: i64,
+        offset: i64,
+        alu: u32,
+    },
+    /// Push `a * a_scale + b * b_scale + offset` (two-variable affine form,
+    /// the `i * K + j` shape of most lowered buffer indices).
+    AffineSum {
+        a: u32,
+        a_scale: i64,
+        b: u32,
+        b_scale: i64,
+        offset: i64,
+        alu: u32,
+    },
+    /// Trace `n` ALU operations with no stack effect (the residue of an
+    /// eliminated evaluate-and-discard sequence).
+    AluOps { n: u32 },
+    /// Evaluate the hoisted loop-invariant expression
+    /// [`CompiledProgram::hoisted`]`[idx]` into its cache slot, untraced.
+    /// Runs once per loop entry, between the loop header and the body.
+    EvalHoisted { idx: u32 },
+    /// Push the cached value of hoisted expression `idx`, tracing the `alu`
+    /// operations the in-loop computation would have performed.
+    PushHoisted { idx: u32, alu: u32 },
+}
+
+/// The instruction range of a loop body the optimizer proved summarizable:
+/// straight-line, innermost, and with all DMA sizes affine in the induction
+/// variable (see `opt`).  In [`ExecMode::TimingOnly`], the runner executes
+/// iterations `0`, `1` and `n-1` into a scratch recorder, verifies the event
+/// deltas are linear, and applies the remaining iterations as one
+/// [`BulkEvents`] batch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LoopSummary {
+    /// First instruction of the loop body.
+    pub(crate) body_start: u32,
+    /// One past the last body instruction (the `LoopBack`'s pc).
+    pub(crate) body_end: u32,
+}
+
+/// A loop-invariant expression hoisted out of a loop body: a self-contained
+/// pure instruction sequence evaluated once per loop entry (untraced) whose
+/// result the body reads through [`Inst::PushHoisted`].
+#[derive(Debug, Clone)]
+pub(crate) struct HoistedExpr {
+    pub(crate) insts: Vec<Inst>,
 }
 
 /// An active loop on the runner's loop stack.
@@ -122,11 +188,15 @@ struct LoopFrame {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    insts: Vec<Inst>,
+    pub(crate) insts: Vec<Inst>,
     /// Var id → dense slot.
-    slots: HashMap<u32, u32>,
+    pub(crate) slots: HashMap<u32, u32>,
     /// Slot → variable name (for error messages).
-    names: Vec<Arc<str>>,
+    pub(crate) names: Vec<Arc<str>>,
+    /// Summarizable loop bodies (filled by the optimizer).
+    pub(crate) summaries: Vec<LoopSummary>,
+    /// Hoisted loop-invariant expressions (filled by the optimizer).
+    pub(crate) hoisted: Vec<HoistedExpr>,
 }
 
 impl CompiledProgram {
@@ -142,7 +212,14 @@ impl CompiledProgram {
             insts: c.insts,
             slots: c.slots,
             names: c.names,
+            summaries: Vec::new(),
+            hoisted: Vec::new(),
         }
+    }
+
+    /// Number of summarizable loops the optimizer marked (diagnostics).
+    pub fn summarized_loops(&self) -> usize {
+        self.summaries.len()
     }
 
     /// Number of flat instructions (for diagnostics and tests).
@@ -282,7 +359,11 @@ impl Compiler {
             } => {
                 self.expr(extent);
                 let slot = self.slot(var);
-                let enter = self.emit(Inst::LoopEnter { slot, end: 0 });
+                let enter = self.emit(Inst::LoopEnter {
+                    slot,
+                    end: 0,
+                    summary: None,
+                });
                 let body_pc = self.here();
                 self.stmt(body);
                 self.emit(Inst::LoopBack { body: body_pc });
@@ -386,6 +467,112 @@ pub struct CompiledRunner<'p> {
     stack: Vec<Value>,
     loops: Vec<LoopFrame>,
     dpu: i64,
+    /// Cached values of hoisted loop-invariant expressions.
+    hoisted_vals: Vec<Option<Value>>,
+}
+
+/// Minimum extent at which a summarizable loop is worth probing: the probe
+/// executes three iterations plus recording overhead, so short loops (the
+/// 2–8-iteration tile loops every kernel also contains) run faster straight.
+const SUMMARIZE_MIN_EXTENT: i64 = 16;
+
+/// Scratch recorder for one probe iteration of a summarizable loop body.
+/// Event *counts* are fixed by the branch-free instruction sequence (nested
+/// loops with invariant extents included); only DMA byte totals can vary
+/// across iterations.  Loads/stores are run-length encoded so deeply nested
+/// bodies stay compact; nested summarized loops land as one aggregated DMA
+/// "site" via the [`Tracer::bulk`] override (sums of convex per-request
+/// byte functions are convex, so the three-point check stays sound).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ProbeEvents {
+    alu: u64,
+    /// `(scope, bytes, count)` runs in event order.
+    loads: Vec<(crate::buffer::MemScope, usize, u64)>,
+    stores: Vec<(crate::buffer::MemScope, usize, u64)>,
+    /// `(requests, total bytes)` per DMA site in event order.
+    dma: Vec<(u64, u64)>,
+    loop_enters: u64,
+    loop_iters: u64,
+    barriers: u64,
+    /// Set when an event the summarizer cannot model fires (defensive: the
+    /// static analysis should make this impossible).
+    unsupported: bool,
+}
+
+fn push_rle(
+    groups: &mut Vec<(crate::buffer::MemScope, usize, u64)>,
+    scope: crate::buffer::MemScope,
+    bytes: usize,
+    count: u64,
+) {
+    match groups.last_mut() {
+        Some(last) if last.0 == scope && last.1 == bytes => last.2 += count,
+        _ => groups.push((scope, bytes, count)),
+    }
+}
+
+impl Tracer for ProbeEvents {
+    fn alu(&mut self, n: usize) {
+        self.alu += n as u64;
+    }
+    fn load(&mut self, scope: crate::buffer::MemScope, bytes: usize) {
+        push_rle(&mut self.loads, scope, bytes, 1);
+    }
+    fn store(&mut self, scope: crate::buffer::MemScope, bytes: usize) {
+        push_rle(&mut self.stores, scope, bytes, 1);
+    }
+    fn branch(&mut self, _taken: bool) {
+        self.unsupported = true;
+    }
+    fn loop_enter(&mut self) {
+        self.loop_enters += 1;
+    }
+    fn loop_iter(&mut self) {
+        self.loop_iters += 1;
+    }
+    fn dma(&mut self, bytes: usize) {
+        self.dma.push((1, bytes as u64));
+    }
+    fn host_transfer(&mut self, _dir: TransferDir, _dpu: i64, _bytes: usize, _parallel: bool) {
+        self.unsupported = true;
+    }
+    fn barrier(&mut self) {
+        self.barriers += 1;
+    }
+    fn bulk(&mut self, events: &BulkEvents) {
+        // A nested summarized loop reports here: totals are exact, and its
+        // DMA traffic becomes one aggregated site.
+        self.alu += events.alu;
+        for &(scope, bytes, count) in &events.loads {
+            push_rle(&mut self.loads, scope, bytes, count);
+        }
+        for &(scope, bytes, count) in &events.stores {
+            push_rle(&mut self.stores, scope, bytes, count);
+        }
+        self.loop_enters += events.loop_enters;
+        self.loop_iters += events.loop_iters;
+        if events.dma_requests > 0 {
+            self.dma.push((events.dma_requests, events.dma_bytes));
+        }
+        self.barriers += events.barriers;
+    }
+}
+
+impl ProbeEvents {
+    /// The iteration-invariant part of the recording (everything but the
+    /// DMA byte totals).
+    fn shape_matches(&self, other: &ProbeEvents) -> bool {
+        !self.unsupported
+            && !other.unsupported
+            && self.alu == other.alu
+            && self.loads == other.loads
+            && self.stores == other.stores
+            && self.loop_enters == other.loop_enters
+            && self.loop_iters == other.loop_iters
+            && self.barriers == other.barriers
+            && self.dma.len() == other.dma.len()
+            && self.dma.iter().zip(&other.dma).all(|(a, b)| a.0 == b.0)
+    }
 }
 
 impl<'p> CompiledRunner<'p> {
@@ -397,6 +584,7 @@ impl<'p> CompiledRunner<'p> {
             stack: Vec::with_capacity(16),
             loops: Vec::with_capacity(8),
             dpu: 0,
+            hoisted_vals: vec![None; prog.hoisted.len()],
         }
     }
 
@@ -428,11 +616,25 @@ impl<'p> CompiledRunner<'p> {
         tracer: &mut T,
         mode: ExecMode,
     ) -> Result<()> {
-        let insts = &self.prog.insts;
         self.stack.clear();
         self.loops.clear();
-        let mut pc = 0usize;
-        while pc < insts.len() {
+        self.hoisted_vals.fill(None);
+        self.exec(store, tracer, mode, 0, self.prog.insts.len())
+    }
+
+    /// Executes the instruction range `[start, end)`.
+    fn exec<T: Tracer + ?Sized>(
+        &mut self,
+        store: &mut MemoryStore,
+        tracer: &mut T,
+        mode: ExecMode,
+        start: usize,
+        end: usize,
+    ) -> Result<()> {
+        let prog = self.prog;
+        let insts = &prog.insts;
+        let mut pc = start;
+        while pc < end {
             match &insts[pc] {
                 Inst::PushInt(v) => self.stack.push(Value::Int(*v)),
                 Inst::PushFloat(v) => self.stack.push(Value::Float(*v)),
@@ -530,12 +732,29 @@ impl<'p> CompiledRunner<'p> {
                 Inst::Pop => {
                     self.pop();
                 }
-                Inst::LoopEnter { slot, end } => {
+                Inst::LoopEnter {
+                    slot,
+                    end: loop_end,
+                    summary,
+                } => {
                     let n = self.pop().as_int();
                     tracer.loop_enter();
                     if n <= 0 {
-                        pc = *end;
+                        pc = *loop_end;
                         continue;
+                    }
+                    if mode == ExecMode::TimingOnly && n >= SUMMARIZE_MIN_EXTENT {
+                        if let Some(si) = summary {
+                            let info = prog.summaries[*si as usize];
+                            let prev = self.vars[*slot as usize];
+                            let probed = self.probe_summary(store, *slot, n, info);
+                            self.vars[*slot as usize] = prev;
+                            if let Some(bulk) = probed? {
+                                tracer.bulk(&bulk);
+                                pc = *loop_end;
+                                continue;
+                            }
+                        }
                     }
                     let prev = self.vars[*slot as usize];
                     self.loops.push(LoopFrame {
@@ -609,10 +828,206 @@ impl<'p> CompiledRunner<'p> {
                     }
                 }
                 Inst::Barrier => tracer.barrier(),
+                Inst::PushConst { value, alu } => {
+                    if *alu > 0 {
+                        tracer.alu(*alu as usize);
+                    }
+                    self.stack.push(*value);
+                }
+                Inst::AffineVar {
+                    slot,
+                    scale,
+                    offset,
+                    alu,
+                } => match self.vars[*slot as usize] {
+                    Some(v) => {
+                        if *alu > 0 {
+                            tracer.alu(*alu as usize);
+                        }
+                        self.stack.push(Value::Int(v * scale + offset));
+                    }
+                    None => {
+                        return Err(TirError::UnboundVar(prog.names[*slot as usize].to_string()))
+                    }
+                },
+                Inst::AffineSum {
+                    a,
+                    a_scale,
+                    b,
+                    b_scale,
+                    offset,
+                    alu,
+                } => {
+                    let va = self.vars[*a as usize]
+                        .ok_or_else(|| TirError::UnboundVar(prog.names[*a as usize].to_string()))?;
+                    let vb = self.vars[*b as usize]
+                        .ok_or_else(|| TirError::UnboundVar(prog.names[*b as usize].to_string()))?;
+                    if *alu > 0 {
+                        tracer.alu(*alu as usize);
+                    }
+                    self.stack
+                        .push(Value::Int(va * a_scale + vb * b_scale + offset));
+                }
+                Inst::AluOps { n } => tracer.alu(*n as usize),
+                Inst::EvalHoisted { idx } => {
+                    let value = self.eval_pure(&prog.hoisted[*idx as usize].insts)?;
+                    self.hoisted_vals[*idx as usize] = Some(value);
+                }
+                Inst::PushHoisted { idx, alu } => {
+                    if *alu > 0 {
+                        tracer.alu(*alu as usize);
+                    }
+                    let value = self.hoisted_vals[*idx as usize]
+                        .expect("EvalHoisted always precedes PushHoisted");
+                    self.stack.push(value);
+                }
             }
             pc += 1;
         }
         Ok(())
+    }
+
+    /// Evaluates a hoisted pure expression against the current variable
+    /// bindings without touching the tracer or the main stack.
+    fn eval_pure(&self, insts: &[Inst]) -> Result<Value> {
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+        for inst in insts {
+            match inst {
+                Inst::PushInt(v) => stack.push(Value::Int(*v)),
+                Inst::PushFloat(v) => stack.push(Value::Float(*v)),
+                Inst::PushConst { value, .. } => stack.push(*value),
+                Inst::PushVar(slot) => match self.vars[*slot as usize] {
+                    Some(v) => stack.push(Value::Int(v)),
+                    None => {
+                        return Err(TirError::UnboundVar(
+                            self.prog.names[*slot as usize].to_string(),
+                        ))
+                    }
+                },
+                Inst::AffineVar {
+                    slot,
+                    scale,
+                    offset,
+                    ..
+                } => match self.vars[*slot as usize] {
+                    Some(v) => stack.push(Value::Int(v * scale + offset)),
+                    None => {
+                        return Err(TirError::UnboundVar(
+                            self.prog.names[*slot as usize].to_string(),
+                        ))
+                    }
+                },
+                Inst::AffineSum {
+                    a,
+                    a_scale,
+                    b,
+                    b_scale,
+                    offset,
+                    ..
+                } => {
+                    let va = self.vars[*a as usize].ok_or_else(|| {
+                        TirError::UnboundVar(self.prog.names[*a as usize].to_string())
+                    })?;
+                    let vb = self.vars[*b as usize].ok_or_else(|| {
+                        TirError::UnboundVar(self.prog.names[*b as usize].to_string())
+                    })?;
+                    stack.push(Value::Int(va * a_scale + vb * b_scale + offset));
+                }
+                Inst::Binary(op) => {
+                    let y = stack.pop().expect("hoisted expression stack underflow");
+                    let x = stack.pop().expect("hoisted expression stack underflow");
+                    stack.push(eval_binary(*op, x, y));
+                }
+                Inst::Cmp(op) => {
+                    let y = stack.pop().expect("hoisted expression stack underflow");
+                    let x = stack.pop().expect("hoisted expression stack underflow");
+                    stack.push(Value::Int(eval_cmp(*op, x, y) as i64));
+                }
+                Inst::Not => {
+                    let x = stack.pop().expect("hoisted expression stack underflow");
+                    stack.push(Value::Int(!x.is_true() as i64));
+                }
+                Inst::Cast { to_float } => {
+                    let x = stack.pop().expect("hoisted expression stack underflow");
+                    stack.push(if *to_float {
+                        Value::Float(x.as_float())
+                    } else {
+                        Value::Int(x.as_int())
+                    });
+                }
+                Inst::BoolCast => {
+                    let x = stack.pop().expect("hoisted expression stack underflow");
+                    stack.push(Value::Int(x.is_true() as i64));
+                }
+                other => unreachable!("impure instruction {other:?} in hoisted expression"),
+            }
+        }
+        Ok(stack.pop().expect("hoisted expression produced no value"))
+    }
+
+    /// Probes a summarizable loop body at iterations `0`, `1` and `n-1` and,
+    /// when the DMA byte totals extrapolate linearly, returns the closed-form
+    /// bulk events of all `n` iterations.  Returns `Ok(None)` when the loop
+    /// must be executed normally.
+    ///
+    /// Sound because the body is branch-free (event counts can only vary
+    /// through nested-loop extents, which the shape check compares), the DMA
+    /// sizes were statically proven affine in the induction variable (so
+    /// per-site bytes are convex in the iteration index and three collinear
+    /// samples pin the whole line — sums over nested summarized loops stay
+    /// convex), and timing-only execution has no side effects beyond the
+    /// tracer.
+    fn probe_summary(
+        &mut self,
+        store: &mut MemoryStore,
+        slot: u32,
+        n: i64,
+        info: LoopSummary,
+    ) -> Result<Option<BulkEvents>> {
+        let (start, end) = (info.body_start as usize, info.body_end as usize);
+        let mut probes: [ProbeEvents; 3] = Default::default();
+        for (iter, probe) in [0, 1, n - 1].into_iter().zip(probes.iter_mut()) {
+            self.vars[slot as usize] = Some(iter);
+            self.exec(store, probe, ExecMode::TimingOnly, start, end)?;
+        }
+        let [p0, p1, p2] = probes;
+        if !p0.shape_matches(&p1) || !p0.shape_matches(&p2) {
+            return Ok(None);
+        }
+        // Verify the per-site DMA totals are collinear across the three
+        // samples; compute the arithmetic-series sum over all n iterations.
+        let mut dma_bytes: i128 = 0;
+        let mut dma_requests_per_iter: u64 = 0;
+        for ((&(requests, b0), &(_, b1)), &(_, blast)) in p0.dma.iter().zip(&p1.dma).zip(&p2.dma) {
+            let delta = b1 as i128 - b0 as i128;
+            if blast as i128 != b0 as i128 + (n as i128 - 1) * delta {
+                return Ok(None);
+            }
+            dma_bytes += n as i128 * b0 as i128 + delta * (n as i128 * (n as i128 - 1) / 2);
+            dma_requests_per_iter += requests;
+        }
+        let n = n as u64;
+        let mut bulk = BulkEvents {
+            alu: p0.alu * n,
+            loop_enters: p0.loop_enters * n,
+            loop_iters: n + p0.loop_iters * n,
+            dma_requests: dma_requests_per_iter * n,
+            dma_bytes: u64::try_from(dma_bytes).expect("negative or huge DMA byte total"),
+            barriers: p0.barriers * n,
+            ..BulkEvents::default()
+        };
+        let group = |groups: &mut Vec<(crate::buffer::MemScope, usize, u64)>,
+                     events: &[(crate::buffer::MemScope, usize, u64)]| {
+            for &(scope, bytes, count) in events {
+                match groups.iter_mut().find(|g| g.0 == scope && g.1 == bytes) {
+                    Some(g) => g.2 += count * n,
+                    None => groups.push((scope, bytes, count * n)),
+                }
+            }
+        };
+        group(&mut bulk.loads, &p0.loads);
+        group(&mut bulk.stores, &p0.stores);
+        Ok(Some(bulk))
     }
 }
 
@@ -623,7 +1038,8 @@ mod tests {
     use crate::dtype::DType;
     use crate::eval::{CountingTracer, Interpreter};
 
-    /// Runs a statement through both engines with identical initial stores
+    /// Runs a statement through the tree interpreter, the compiled program
+    /// and the *optimized* compiled program with identical initial stores,
     /// and asserts the traced events and final memory agree exactly.
     fn assert_equivalent(stmt: &Stmt, setup: impl Fn(&mut MemoryStore), mode: ExecMode) {
         let check_bufs: Vec<Arc<Buffer>> = collect_buffers(stmt);
@@ -635,22 +1051,24 @@ mod tests {
         interp.run(stmt).unwrap();
 
         let prog = CompiledProgram::compile(stmt);
-        let mut flat_store = MemoryStore::new();
-        setup(&mut flat_store);
-        let mut flat_tracer = CountingTracer::default();
-        CompiledRunner::new(&prog)
-            .run(&mut flat_store, &mut flat_tracer, mode)
-            .unwrap();
+        for (label, program) in [("compiled", prog.clone()), ("optimized", prog.optimize())] {
+            let mut flat_store = MemoryStore::new();
+            setup(&mut flat_store);
+            let mut flat_tracer = CountingTracer::default();
+            CompiledRunner::new(&program)
+                .run(&mut flat_store, &mut flat_tracer, mode)
+                .unwrap();
 
-        assert_eq!(tree_tracer, flat_tracer, "tracer events diverge");
-        for buf in &check_bufs {
-            for dpu in 0..4 {
-                assert_eq!(
-                    tree_store.read_all(buf, dpu),
-                    flat_store.read_all(buf, dpu),
-                    "contents of {} (dpu {dpu}) diverge",
-                    buf.name
-                );
+            assert_eq!(tree_tracer, flat_tracer, "{label} tracer events diverge");
+            for buf in &check_bufs {
+                for dpu in 0..4 {
+                    assert_eq!(
+                        tree_store.read_all(buf, dpu),
+                        flat_store.read_all(buf, dpu),
+                        "{label} contents of {} (dpu {dpu}) diverge",
+                        buf.name
+                    );
+                }
             }
         }
     }

@@ -22,8 +22,10 @@
 use std::collections::HashMap;
 
 pub mod compiled;
+pub mod opt;
 
 pub use compiled::{CompiledProgram, CompiledRunner};
+pub use opt::OptStats;
 
 use crate::buffer::{Buffer, BufferId, MemScope, Var};
 use crate::error::{Result, TirError};
@@ -66,6 +68,33 @@ impl Value {
     }
 }
 
+/// A batch of execution events applied at once — the closed-form summary of
+/// many loop iterations that the [`compiled`] fast path produces instead of
+/// executing each iteration (see [`CompiledProgram::optimize`]).
+///
+/// Counts are exact; what a bulk application does *not* preserve is the
+/// interleaving of events within the summarized region (all in-tree tracers
+/// are pure counters, so they cannot observe the difference).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BulkEvents {
+    /// Total scalar ALU operations.
+    pub alu: u64,
+    /// Scalar loads as `(scope, bytes per load, count)` groups.
+    pub loads: Vec<(MemScope, usize, u64)>,
+    /// Scalar stores as `(scope, bytes per store, count)` groups.
+    pub stores: Vec<(MemScope, usize, u64)>,
+    /// Loop headers entered (nested loops inside a summarized body).
+    pub loop_enters: u64,
+    /// Loop iterations (back-edge bookkeeping events).
+    pub loop_iters: u64,
+    /// DMA requests.
+    pub dma_requests: u64,
+    /// Total bytes across all `dma_requests`.
+    pub dma_bytes: u64,
+    /// Tasklet barriers.
+    pub barriers: u64,
+}
+
 /// Observer of interpreter execution events.
 ///
 /// All methods have empty default implementations so tracers only override
@@ -101,13 +130,53 @@ pub trait Tracer {
     }
     /// A tasklet barrier.
     fn barrier(&mut self) {}
+    /// Many events applied at once (the summarized-loop fast path).
+    ///
+    /// The default replays the batch through the scalar methods, which is
+    /// exact in totals (DMA bytes are spread across the requests) but costs
+    /// one call per event — counting tracers should override this with
+    /// O(1) arithmetic.
+    fn bulk(&mut self, events: &BulkEvents) {
+        if events.alu > 0 {
+            self.alu(events.alu as usize);
+        }
+        for &(scope, bytes, count) in &events.loads {
+            for _ in 0..count {
+                self.load(scope, bytes);
+            }
+        }
+        for &(scope, bytes, count) in &events.stores {
+            for _ in 0..count {
+                self.store(scope, bytes);
+            }
+        }
+        for _ in 0..events.loop_enters {
+            self.loop_enter();
+        }
+        for _ in 0..events.loop_iters {
+            self.loop_iter();
+        }
+        // Exact total, approximately even distribution per request.
+        if let Some(per) = events.dma_bytes.checked_div(events.dma_requests) {
+            let first = events.dma_bytes - per * (events.dma_requests - 1);
+            self.dma(first as usize);
+            for _ in 1..events.dma_requests {
+                self.dma(per as usize);
+            }
+        }
+        for _ in 0..events.barriers {
+            self.barrier();
+        }
+    }
 }
 
 /// A tracer that ignores every event.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoTrace;
 
-impl Tracer for NoTrace {}
+impl Tracer for NoTrace {
+    fn bulk(&mut self, _events: &BulkEvents) {}
+}
 
 /// A simple tracer that tallies event counts; handy for tests and static
 /// reporting.
@@ -161,6 +230,19 @@ impl Tracer for CountingTracer {
     }
     fn barrier(&mut self) {
         self.barriers += 1;
+    }
+    fn bulk(&mut self, events: &BulkEvents) {
+        self.alu_ops += events.alu as usize;
+        for &(_, _, count) in &events.loads {
+            self.loads += count as usize;
+        }
+        for &(_, _, count) in &events.stores {
+            self.stores += count as usize;
+        }
+        self.loop_iters += events.loop_iters as usize;
+        self.dma_requests += events.dma_requests as usize;
+        self.dma_bytes += events.dma_bytes as usize;
+        self.barriers += events.barriers as usize;
     }
 }
 

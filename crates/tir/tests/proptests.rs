@@ -161,15 +161,19 @@ proptest! {
             interp.run(&prog).unwrap();
 
             let compiled = CompiledProgram::compile(&prog);
-            let mut flat_store = MemoryStore::new();
-            flat_store.alloc(&out, 0);
-            let mut flat_tracer = CountingTracer::default();
-            let mut flat = CompiledRunner::new(&compiled);
-            flat.bind(&j, seed_j);
-            flat.run(&mut flat_store, &mut flat_tracer, mode).unwrap();
+            // The bytecode optimizer must preserve both the exact event
+            // counts and the functional results on arbitrary kernels.
+            for program in [compiled.clone(), compiled.optimize()] {
+                let mut flat_store = MemoryStore::new();
+                flat_store.alloc(&out, 0);
+                let mut flat_tracer = CountingTracer::default();
+                let mut flat = CompiledRunner::new(&program);
+                flat.bind(&j, seed_j);
+                flat.run(&mut flat_store, &mut flat_tracer, mode).unwrap();
 
-            prop_assert_eq!(tree_tracer, flat_tracer);
-            prop_assert_eq!(tree_store.read_all(&out, 0), flat_store.read_all(&out, 0));
+                prop_assert_eq!(tree_tracer, flat_tracer);
+                prop_assert_eq!(tree_store.read_all(&out, 0), flat_store.read_all(&out, 0));
+            }
         }
     }
 
@@ -280,6 +284,29 @@ proptest! {
         let expect = def.reference(&inputs);
         for (g, e) in got.iter().zip(&expect) {
             prop_assert!((g - e).abs() < 1e-2, "{} vs {}", g, e);
+        }
+
+        // The optimized kernel bytecode (fusion, hoisting, timing-only loop
+        // summaries) must trace the exact same event counts as the baseline
+        // for every randomized tiling — these counts are the only input to
+        // the simulator's cycle model, so this pins latency equivalence.
+        let kernel = CompiledProgram::compile(&lowered.kernel.body);
+        let optimized = kernel.optimize();
+        for (linear, coords) in lowered.grid.enumerate() {
+            let mut base_tracer = CountingTracer::default();
+            let mut opt_tracer = CountingTracer::default();
+            for (program, tracer) in [(&kernel, &mut base_tracer), (&optimized, &mut opt_tracer)] {
+                let mut store = MemoryStore::new();
+                let mut runner = CompiledRunner::new(program);
+                runner.set_dpu(linear);
+                for (dim, coord) in lowered.grid.dims.iter().zip(&coords) {
+                    runner.bind(&dim.var, *coord);
+                }
+                runner
+                    .run(&mut store, tracer, ExecMode::TimingOnly)
+                    .unwrap();
+            }
+            prop_assert_eq!(base_tracer, opt_tracer, "kernel counts diverge on DPU {}", linear);
         }
     }
 }

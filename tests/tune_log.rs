@@ -149,6 +149,64 @@ fn warm_start_from_partial_log_matches_the_fresh_tune() {
 }
 
 #[test]
+fn streamed_logs_replay_and_interrupted_streams_resume() {
+    use atim_autotune::StreamingTuneLog;
+
+    let hw = UpmemConfig::default();
+    let def = ComputeDef::mtv("mtv", 2048, 2048);
+    let options = TuningOptions {
+        trials: 32,
+        population: 24,
+        measure_per_round: 8,
+        ..TuningOptions::default()
+    };
+    let session = Session::builder().backend(AnalyticBackend::new(hw)).build();
+    let path = std::env::temp_dir().join("atim_integration_stream_log.jsonl");
+
+    // --- "Process" 1: tune while streaming every trial to disk. -----------
+    let mut stream = StreamingTuneLog::create(&path, &def.name, options.seed).expect("create");
+    let fresh = session
+        .tune_observed(&def, &options, &Budget::unlimited(), &mut stream)
+        .expect("valid options");
+    assert_eq!(stream.recorded(), 0, "on_finish hands the writer off");
+
+    // --- "Process" 2: the streamed file replays like a saved document. ----
+    let log = TuneLog::load(&path).expect("load streamed log");
+    assert!(log.complete, "finished streams carry the summary line");
+    assert_eq!(log.len(), fresh.measured());
+    let replayed = session.replay(&def, &log);
+    assert_eq!(replayed.best_config(), fresh.best_config());
+    assert_eq!(replayed.best_latency_s(), fresh.best_latency_s());
+    assert_eq!(replayed.history(), fresh.history());
+
+    // --- "Process" 3: simulate a crash by dropping the tail of the file ---
+    // (the summary line and the last record), then resume.
+    let text = std::fs::read_to_string(&path).expect("read");
+    let kept: Vec<&str> = text.lines().collect();
+    let truncated = kept[..kept.len() - 2].join("\n");
+    std::fs::write(&path, &truncated).expect("write truncated");
+    let partial = TuneLog::load(&path).expect("load truncated log");
+    std::fs::remove_file(&path).ok();
+    assert!(!partial.complete, "crashed streams load as incomplete");
+    assert_eq!(
+        partial.len(),
+        fresh.measured() - 1,
+        "one record lost at most"
+    );
+    let resumed = session
+        .tune_warm(
+            &def,
+            &options,
+            &partial,
+            &Budget::unlimited(),
+            &mut NullObserver,
+        )
+        .expect("valid options");
+    assert_eq!(resumed.best_config(), fresh.best_config());
+    assert_eq!(resumed.history(), fresh.history());
+}
+
+#[test]
 fn wall_clock_budgets_stop_long_searches() {
     let session = Session::builder()
         .backend(AnalyticBackend::new(UpmemConfig::default()))
