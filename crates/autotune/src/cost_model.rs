@@ -1,32 +1,82 @@
 //! A learned cost model guiding the evolutionary search.
 //!
 //! TVM's MetaSchedule uses an XGBoost model over program features; ATiM-RS
-//! substitutes a ridge-regression model over hand-crafted schedule features.
-//! The model predicts the log-latency of a candidate and is retrained from
-//! all measured candidates after every search round, which is enough to
-//! steer the search away from obviously bad regions (too few DPUs, tiny
-//! caching tiles, WRAM-thrashing configurations) without measuring them.
+//! substitutes a ridge-regression model over features derived from each
+//! candidate's [`Trace`].  The model predicts the log-latency of a candidate
+//! and is retrained from all measured candidates after every search round,
+//! which is enough to steer the search away from obviously bad regions (too
+//! few DPUs, tiny caching tiles, WRAM-thrashing configurations) without
+//! measuring them.
 
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
+use atim_tir::schedule::Binding;
 
 use crate::space::ScheduleConfig;
+use crate::trace::{Instruction, Trace};
 
 /// Number of features extracted per candidate.
 pub const NUM_FEATURES: usize = 10;
 
-/// Extracts the feature vector of a candidate.
+/// Extracts the feature vector of a candidate trace.
 ///
-/// Features are dimensionless logs/ratios so one model generalizes across
-/// workload sizes reasonably well within a single tuning session.
-pub fn featurize(
+/// Traces of the default UPMEM sketch featurize from their decision list
+/// (bit-identical to the pre-trace knob-vector features, so fixed-seed
+/// searches rank candidates identically).  Traces of custom generators fall
+/// back to a structural read of their instructions: split factors of
+/// DPU-bound and tasklet-bound loops recover the parallelism knobs, caching
+/// directives the staging knobs.
+pub fn featurize(trace: &Trace, def: &ComputeDef, hw: &UpmemConfig) -> [f64; NUM_FEATURES] {
+    match ScheduleConfig::from_trace(trace) {
+        Some(config) => featurize_config(&config, def, hw),
+        None => {
+            let k = structural_knobs(trace, def);
+            raw_features(
+                k.dpus,
+                k.tasklets,
+                k.cache_elems,
+                k.reduce_dpus,
+                k.use_cache,
+                def,
+                hw,
+            )
+        }
+    }
+}
+
+/// Extracts the feature vector of a knob vector (the reference feature
+/// definition the trace path reproduces for UPMEM-sketch traces).
+pub fn featurize_config(
     config: &ScheduleConfig,
     def: &ComputeDef,
     hw: &UpmemConfig,
 ) -> [f64; NUM_FEATURES] {
+    raw_features(
+        config.num_dpus(),
+        config.tasklets,
+        config.cache_elems,
+        config.reduce_dpus,
+        config.use_cache,
+        def,
+        hw,
+    )
+}
+
+/// The feature formula over raw knob values.  Features are dimensionless
+/// logs/ratios so one model generalizes across workload sizes reasonably
+/// well within a single tuning session.
+fn raw_features(
+    num_dpus: i64,
+    tasklets: i64,
+    cache_elems: i64,
+    reduce_dpus: i64,
+    use_cache: bool,
+    def: &ComputeDef,
+    hw: &UpmemConfig,
+) -> [f64; NUM_FEATURES] {
     let total_work = def.total_flops().max(1) as f64;
-    let dpus = config.num_dpus() as f64;
-    let tasklets = config.tasklets.max(1) as f64;
+    let dpus = num_dpus as f64;
+    let tasklets = tasklets.max(1) as f64;
     let per_dpu = total_work / dpus;
     let per_tasklet = per_dpu / tasklets;
     let bytes = def.total_bytes() as f64;
@@ -39,15 +89,88 @@ pub fn featurize(
     [
         (dpus).ln(),
         (tasklets).ln(),
-        (config.cache_elems.max(1) as f64).ln(),
-        if config.uses_rfactor() { 1.0 } else { 0.0 },
+        (cache_elems.max(1) as f64).ln(),
+        if reduce_dpus > 1 { 1.0 } else { 0.0 },
         per_dpu.ln(),
         per_tasklet.ln(),
         (bytes / dpus).ln(),
-        (out_len * config.reduce_dpus as f64).max(1.0).ln(),
-        if config.use_cache { 1.0 } else { 0.0 },
+        (out_len * reduce_dpus as f64).max(1.0).ln(),
+        if use_cache { 1.0 } else { 0.0 },
         (dpus / hw.total_dpus() as f64).min(1.0) * (reduce_len.max(1) as f64).ln(),
     ]
+}
+
+/// Knob values recovered from a custom trace's structure.
+struct StructuralKnobs {
+    dpus: i64,
+    tasklets: i64,
+    cache_elems: i64,
+    reduce_dpus: i64,
+    use_cache: bool,
+}
+
+/// Walks a materialized trace's instructions, tracking per-register loop
+/// extents, and recovers the parallelism/caching knobs the feature formula
+/// needs.  Decisions-only custom traces yield neutral knobs (everything 1).
+fn structural_knobs(trace: &Trace, def: &ComputeDef) -> StructuralKnobs {
+    let mut extents: Vec<i64> = vec![1; trace.regs().max(1)];
+    let at = |r: usize, extents: &mut Vec<i64>| {
+        if r >= extents.len() {
+            extents.resize(r + 1, 1);
+        }
+        r
+    };
+    let mut k = StructuralKnobs {
+        dpus: 1,
+        tasklets: 1,
+        cache_elems: 1,
+        reduce_dpus: 1,
+        use_cache: false,
+    };
+    let mut last_inner = None;
+    for inst in trace.insts() {
+        match inst {
+            Instruction::GetLoop { axis, dst } => {
+                let dst = at(*dst, &mut extents);
+                extents[dst] = def.axes.get(*axis).map(|a| a.extent).unwrap_or(1);
+            }
+            Instruction::Split {
+                lv,
+                factor,
+                outer,
+                inner,
+            } => {
+                let lv = at(*lv, &mut extents);
+                let parent = extents[lv];
+                let f = (*factor).max(1);
+                let outer = at(*outer, &mut extents);
+                extents[outer] = (parent + f - 1) / f;
+                let inner = at(*inner, &mut extents);
+                extents[inner] = f;
+                last_inner = Some(inner);
+            }
+            Instruction::Bind { lv, binding } => {
+                let lv = at(*lv, &mut extents);
+                match binding {
+                    Binding::DpuX => k.dpus = k.dpus.saturating_mul(extents[lv].max(1)),
+                    Binding::DpuY => {
+                        k.reduce_dpus = extents[lv].max(1);
+                        k.dpus = k.dpus.saturating_mul(extents[lv].max(1));
+                    }
+                    Binding::Tasklet => k.tasklets = extents[lv].max(1),
+                    _ => {}
+                }
+            }
+            Instruction::CacheRead { .. } | Instruction::CacheWrite { .. } => {
+                k.use_cache = true;
+                if let Some(inner) = last_inner {
+                    k.cache_elems = extents[inner].max(1);
+                }
+            }
+            _ => {}
+        }
+    }
+    k
 }
 
 /// Ridge-regression cost model over schedule features.
@@ -190,7 +313,7 @@ mod tests {
         let model = CostModel::new();
         let def = ComputeDef::mtv("mtv", 1024, 1024);
         let hw = UpmemConfig::default();
-        let f = featurize(&sample_config(64, 8, 64), &def, &hw);
+        let f = featurize(&sample_config(64, 8, 64).to_decision_trace(), &def, &hw);
         assert_eq!(model.predict(&f), 1.0);
         assert!(!model.is_trained());
     }
@@ -205,14 +328,22 @@ mod tests {
             for &t in &[1i64, 4, 16] {
                 let cfg = sample_config(d, t, 64);
                 let latency = 1.0 / (d as f64 * t as f64).sqrt();
-                samples.push((featurize(&cfg, &def, &hw), latency));
+                samples.push((featurize(&cfg.to_decision_trace(), &def, &hw), latency));
             }
         }
         let mut model = CostModel::new();
         model.train(&samples);
         assert!(model.is_trained());
-        let slow = model.predict(&featurize(&sample_config(4, 1, 64), &def, &hw));
-        let fast = model.predict(&featurize(&sample_config(1024, 16, 64), &def, &hw));
+        let slow = model.predict(&featurize(
+            &sample_config(4, 1, 64).to_decision_trace(),
+            &def,
+            &hw,
+        ));
+        let fast = model.predict(&featurize(
+            &sample_config(1024, 16, 64).to_decision_trace(),
+            &def,
+            &hw,
+        ));
         assert!(
             fast < slow,
             "model must rank 1024 DPUs ({fast}) faster than 4 DPUs ({slow})"
@@ -256,7 +387,86 @@ mod tests {
             host_threads: 16,
             parallel_transfer: true,
         };
-        let f = featurize(&cfg, &def, &hw);
+        let f = featurize(&cfg.to_decision_trace(), &def, &hw);
         assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn trace_features_match_knob_features_for_the_upmem_sketch() {
+        let def = ComputeDef::mtv("mtv", 1024, 2048);
+        let hw = UpmemConfig::default();
+        let cfg = ScheduleConfig {
+            spatial_dpus: vec![32],
+            reduce_dpus: 8,
+            tasklets: 12,
+            cache_elems: 128,
+            use_cache: true,
+            unroll: true,
+            host_threads: 4,
+            parallel_transfer: true,
+        };
+        let from_cfg = featurize_config(&cfg, &def, &hw);
+        // Both the decisions-only shim and the materialized trace featurize
+        // identically to the knob vector.
+        assert_eq!(featurize(&cfg.to_decision_trace(), &def, &hw), from_cfg);
+        assert_eq!(featurize(&cfg.to_trace(&def), &def, &hw), from_cfg);
+    }
+
+    #[test]
+    fn custom_traces_featurize_from_structure() {
+        use crate::trace::{Instruction, Trace};
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        // A hand-built foreign sketch: split the row axis across 16 DPUs
+        // (factor 64 -> outer extent 16), 8 tasklets, cached tiles of 32.
+        let insts = vec![
+            Instruction::GetLoop { axis: 0, dst: 0 },
+            Instruction::Split {
+                lv: 0,
+                factor: 64,
+                outer: 1,
+                inner: 2,
+            },
+            Instruction::Bind {
+                lv: 1,
+                binding: atim_tir::schedule::Binding::DpuX,
+            },
+            Instruction::Split {
+                lv: 2,
+                factor: 8,
+                outer: 3,
+                inner: 4,
+            },
+            Instruction::Bind {
+                lv: 3,
+                binding: atim_tir::schedule::Binding::Tasklet,
+            },
+            Instruction::Split {
+                lv: 4,
+                factor: 32,
+                outer: 5,
+                inner: 6,
+            },
+            Instruction::CacheRead { input: 0, at: 5 },
+        ];
+        let trace = Trace::new("custom", insts, 7);
+        let f = featurize(&trace, &def, &hw);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(
+            (f[0] - (16f64).ln()).abs() < 1e-12,
+            "dpus feature: {}",
+            f[0]
+        );
+        assert!(
+            (f[1] - (8f64).ln()).abs() < 1e-12,
+            "tasklet feature: {}",
+            f[1]
+        );
+        assert!(
+            (f[2] - (32f64).ln()).abs() < 1e-12,
+            "cache feature: {}",
+            f[2]
+        );
+        assert_eq!(f[8], 1.0, "use_cache recovered from CacheRead");
     }
 }

@@ -11,13 +11,18 @@
 //! cannot represent as numbers, are encoded as the strings `"inf"`,
 //! `"-inf"` and `"nan"`.
 //!
-//! The [`JsonCodec`] trait is implemented for [`ScheduleConfig`],
-//! [`TuningRecord`] and [`TuningResult`]; [`crate::log::TuneLog`] builds its
-//! file format on top of those.
+//! The [`JsonCodec`] trait is implemented for [`Trace`] (encoded as its
+//! sketch tag plus decision list — the v2 format), [`TuningRecord`] and
+//! [`TuningResult`]; [`crate::log::TuneLog`] builds its file format on top
+//! of those.  Decoding accepts both the v2 `trace` field and the v1
+//! [`ScheduleConfig`] `config` field, shimming the latter into a
+//! decisions-only trace, so v1 tuning logs keep loading and replaying
+//! bit-identically.
 
 use std::fmt;
 
 use crate::space::ScheduleConfig;
+use crate::trace::{Decision, Trace};
 use crate::tuner::{TuningRecord, TuningResult};
 
 /// A parsed JSON value.
@@ -554,11 +559,76 @@ impl JsonCodec for ScheduleConfig {
     }
 }
 
+impl JsonCodec for Trace {
+    /// Encodes the trace as its identity: the sketch tag plus the decision
+    /// list (`[["site", value], ...]`).  Structural instructions are *not*
+    /// persisted — they are a deterministic function of the decisions and
+    /// are re-materialized by the space generator on replay.
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sketch".into(), Json::Str(self.sketch().to_string())),
+            (
+                "decisions".into(),
+                Json::Arr(
+                    self.decisions()
+                        .map(|(site, d)| {
+                            Json::Arr(vec![
+                                Json::Str(site.to_string()),
+                                match d {
+                                    Decision::Int(v) => Json::Int(v),
+                                    Decision::Bool(v) => Json::Bool(v),
+                                },
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let sketch = json.get("sketch")?.as_str()?.to_string();
+        let mut decisions: Vec<(String, Decision)> = Vec::new();
+        for entry in json.get("decisions")?.as_arr()? {
+            let pair = entry.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::new("a decision must be a [site, value] pair"));
+            }
+            let site = pair[0].as_str()?.to_string();
+            let decision = match &pair[1] {
+                Json::Bool(v) => Decision::Bool(*v),
+                Json::Int(v) => Decision::Int(*v),
+                other => {
+                    return Err(JsonError::new(format!(
+                        "decision values are integers or booleans, got {other:?}"
+                    )))
+                }
+            };
+            decisions.push((site, decision));
+        }
+        Ok(Trace::from_decisions(sketch, decisions))
+    }
+}
+
+/// Decodes a candidate from either layout: the v2 `trace` field, or the v1
+/// `config` knob vector shimmed into a decisions-only trace.
+fn candidate_from_json(json: &Json) -> Result<Trace, JsonError> {
+    if let Ok(trace) = json.get("trace") {
+        return Trace::from_json(trace);
+    }
+    match json.get("config") {
+        Ok(config) => Ok(ScheduleConfig::from_json(config)?.to_decision_trace()),
+        Err(_) => Err(JsonError::new(
+            "record carries no candidate: expected a v2 \"trace\" (or v1 \"config\") field",
+        )),
+    }
+}
+
 impl JsonCodec for TuningRecord {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("trial".into(), Json::Int(self.trial as i64)),
-            ("config".into(), self.config.to_json()),
+            ("trace".into(), self.trace.to_json()),
             ("latency_s".into(), encode_f64(self.latency_s)),
             ("best_so_far_s".into(), encode_f64(self.best_so_far_s)),
         ])
@@ -567,7 +637,7 @@ impl JsonCodec for TuningRecord {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(TuningRecord {
             trial: json.get("trial")?.as_usize()?,
-            config: ScheduleConfig::from_json(json.get("config")?)?,
+            trace: candidate_from_json(json)?,
             latency_s: json.get("latency_s")?.as_f64()?,
             best_so_far_s: json.get("best_so_far_s")?.as_f64()?,
         })
@@ -577,8 +647,8 @@ impl JsonCodec for TuningRecord {
 impl JsonCodec for TuningResult {
     fn to_json(&self) -> Json {
         let best = match &self.best {
-            Some((config, latency)) => Json::Obj(vec![
-                ("config".into(), config.to_json()),
+            Some((trace, latency)) => Json::Obj(vec![
+                ("trace".into(), trace.to_json()),
                 ("latency_s".into(), encode_f64(*latency)),
             ]),
             None => Json::Null,
@@ -598,10 +668,7 @@ impl JsonCodec for TuningResult {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         let best = match json.get("best")? {
             Json::Null => None,
-            b => Some((
-                ScheduleConfig::from_json(b.get("config")?)?,
-                b.get("latency_s")?.as_f64()?,
-            )),
+            b => Some((candidate_from_json(b)?, b.get("latency_s")?.as_f64()?)),
         };
         Ok(TuningResult {
             best,
@@ -725,22 +792,23 @@ mod tests {
 
     #[test]
     fn tuning_result_round_trips() {
-        let cfg = sample_config();
+        let trace = sample_config().to_decision_trace();
         let result = TuningResult {
-            best: Some((cfg.clone(), 1.25e-3)),
+            best: Some((trace.clone(), 1.25e-3)),
             history: vec![
                 TuningRecord {
                     trial: 0,
-                    config: cfg.clone(),
+                    trace: trace.clone(),
                     latency_s: 2.5e-3,
                     best_so_far_s: 2.5e-3,
                 },
                 TuningRecord {
                     trial: 1,
-                    config: ScheduleConfig {
+                    trace: ScheduleConfig {
                         unroll: true,
-                        ..cfg.clone()
-                    },
+                        ..sample_config()
+                    }
+                    .to_decision_trace(),
                     latency_s: 1.25e-3,
                     best_so_far_s: 1.25e-3,
                 },
@@ -756,6 +824,36 @@ mod tests {
         assert_eq!(result.measured, back.measured);
         assert_eq!(result.failed, back.failed);
         assert_eq!(result.rejected, back.rejected);
+    }
+
+    #[test]
+    fn traces_round_trip_and_materialization_does_not_change_the_encoding() {
+        use atim_tir::compute::ComputeDef;
+        let cfg = sample_config();
+        let def = ComputeDef::mtv("mtv", 256, 512);
+        let bare = cfg.to_decision_trace();
+        let full = cfg.to_trace(&def);
+        // Same identity, same JSON: the codec persists decisions only.
+        assert_eq!(bare.to_json().to_string(), full.to_json().to_string());
+        let back = Trace::from_json(&Json::parse(&full.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, full);
+        assert!(!back.is_materialized());
+        assert_eq!(ScheduleConfig::from_trace(&back), Some(cfg));
+    }
+
+    #[test]
+    fn v1_records_with_config_fields_decode_to_shimmed_traces() {
+        let cfg = sample_config();
+        let v1 = Json::Obj(vec![
+            ("trial".into(), Json::Int(3)),
+            ("config".into(), cfg.to_json()),
+            ("latency_s".into(), encode_f64(2e-3)),
+            ("best_so_far_s".into(), encode_f64(1e-3)),
+        ]);
+        let record = TuningRecord::from_json(&v1).unwrap();
+        assert_eq!(record.trial, 3);
+        assert_eq!(record.trace, cfg.to_decision_trace());
+        assert_eq!(ScheduleConfig::from_trace(&record.trace), Some(cfg));
     }
 
     #[test]

@@ -6,18 +6,25 @@
 //! post-processes) and kernel-side decisions (tasklet parallelism, WRAM
 //! caching tile sizes and locations, unrolling).
 //!
-//! * [`space`] — the design space: [`space::ScheduleConfig`] decision
-//!   vectors, ATiM-extended sketch instantiation (Fig. 6) and random
-//!   sampling.
-//! * [`verifier`] — the UPMEM code verifier (§5.2.4): rejects candidates
-//!   that exceed WRAM/MRAM capacity, the tasklet limit or the DPU count
-//!   before they are ever measured.
-//! * [`cost_model`] — a learned cost model (ridge regression over schedule
-//!   features) standing in for TVM's XGBoost model; retrained from measured
-//!   candidates each round.
-//! * [`search`] — the balanced evolutionary search (§5.2.3): mutation from a
-//!   best-candidate database, balanced sampling of `rfactor`/non-`rfactor`
-//!   design spaces in the early trials, and an adaptive ε-greedy schedule.
+//! * [`trace`] — the search space's currency: [`trace::Trace`]s, ordered
+//!   replayable lists of schedule primitives plus `Sample*` instructions
+//!   carrying the recorded [`trace::Decision`]s (TVM MetaSchedule's
+//!   trace-based design, extended with the UPMEM primitives).
+//! * [`generator`] — pluggable [`generator::SpaceGenerator`]s emit sketch
+//!   traces; [`generator::UpmemSketchGenerator`] reproduces ATiM's joint
+//!   host/kernel sketch (Fig. 6) and is the default.
+//! * [`space`] — the legacy [`space::ScheduleConfig`] knob vector, kept as
+//!   the conversion layer (fixed baseline configs, v1-log shimming).
+//! * [`verifier`] — the UPMEM code verifier (§5.2.4): rejects candidate
+//!   traces that exceed WRAM/MRAM capacity, the tasklet limit or the DPU
+//!   count before they are ever measured.
+//! * [`cost_model`] — a learned cost model (ridge regression over features
+//!   derived from each trace) standing in for TVM's XGBoost model;
+//!   retrained from measured candidates each round.
+//! * [`search`] — the balanced evolutionary search (§5.2.3): decision
+//!   mutation/crossover from a best-candidate database, balanced sampling
+//!   of `rfactor`/non-`rfactor` design spaces in the early trials (keyed on
+//!   each trace's rfactor decision), and an adaptive ε-greedy schedule.
 //! * [`session`] — the resumable [`session::TuningSession`]: the same loop
 //!   split into `next_batch`/`record_batch` steps, driven under a
 //!   [`session::Budget`] (trials, wall-clock, early-stop) with streaming
@@ -40,7 +47,7 @@
 //! ```
 //! use atim_autotune::log::TuneLog;
 //! use atim_autotune::session::{Budget, NullObserver, TuningSession};
-//! use atim_autotune::{ScheduleConfig, SequentialMeasurer, TuningOptions};
+//! use atim_autotune::{SequentialMeasurer, Trace, TuningOptions};
 //! use atim_sim::UpmemConfig;
 //! use atim_tir::compute::ComputeDef;
 //!
@@ -52,8 +59,10 @@
 //!     measure_per_round: 4,
 //!     ..TuningOptions::default()
 //! };
-//! // Analytic stand-in: reward DPU parallelism.
-//! let mut measurer = |cfg: &ScheduleConfig| Some(1.0 / cfg.num_dpus() as f64);
+//! // Analytic stand-in: reward DPU parallelism (read off the trace's
+//! // decisions; the simulator backend in `atim-core` compiles and runs the
+//! // trace instead).
+//! let mut measurer = |t: &Trace| Some(1.0 / t.num_dpus() as f64);
 //! let mut session = TuningSession::new(&def, &hw, &options).unwrap();
 //! let result = session.run(
 //!     &mut SequentialMeasurer::new(&mut measurer),
@@ -69,22 +78,30 @@
 //! ```
 
 pub mod cost_model;
+pub mod generator;
 pub mod json;
 pub mod log;
 pub mod search;
 pub mod session;
 pub mod space;
+pub mod trace;
 pub mod tuner;
 pub mod verifier;
 
+pub use generator::{SpaceGenerator, UpmemSketchGenerator};
 pub use json::{Json, JsonCodec, JsonError};
 pub use log::{StreamingTuneLog, TuneLog, TuneLogError, TuneLogWriter, WarmStartMeasurer};
 pub use session::{
     validate_options, Budget, NullObserver, StopReason, TuningError, TuningObserver, TuningSession,
 };
-pub use space::{ScheduleConfig, SearchSpace};
+pub use space::ScheduleConfig;
+#[allow(deprecated)]
+pub use space::SearchSpace;
+pub use trace::{Decision, Instruction, Trace};
 pub use tuner::{
     tune, tune_batch, BatchMeasurer, CancelToken, Cancellation, MeasureOutcome, Measurer,
     SequentialMeasurer, TuningOptions, TuningRecord, TuningResult,
 };
-pub use verifier::{verify, VerifyError};
+#[allow(deprecated)]
+pub use verifier::verify;
+pub use verifier::{verify_trace, VerifyError};

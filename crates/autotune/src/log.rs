@@ -23,11 +23,22 @@ use std::path::Path;
 
 use crate::json::{Json, JsonCodec, JsonError};
 use crate::session::TuningObserver;
-use crate::space::ScheduleConfig;
+use crate::trace::Trace;
 use crate::tuner::{BatchMeasurer, TuningRecord, TuningResult};
 
 /// The current log format version (bumped on breaking schema changes).
-pub const TUNE_LOG_VERSION: i64 = 1;
+///
+/// * **v1** — candidates as `ScheduleConfig` knob objects.
+/// * **v2** — candidates as [`Trace`]s (sketch tag + decision list).
+///
+/// Loaders accept both: v1 candidates are shimmed into decisions-only
+/// traces, which compare, hash and re-materialize identically — so a v1
+/// `ATIM_TUNE_LOG` directory replays and warm-starts bit-identically under
+/// the v2 codec.
+pub const TUNE_LOG_VERSION: i64 = 2;
+
+/// The oldest format version the loaders still understand.
+pub const MIN_TUNE_LOG_VERSION: i64 = 1;
 
 /// The `format` tag of the streaming (JSON-lines) log layout written by
 /// [`TuneLogWriter`].
@@ -116,8 +127,8 @@ impl TuneLog {
         }
     }
 
-    /// The best configuration and latency recorded in the log.
-    pub fn best(&self) -> Option<(&ScheduleConfig, f64)> {
+    /// The best trace and latency recorded in the log.
+    pub fn best(&self) -> Option<(&Trace, f64)> {
         self.result.best.as_ref().map(|(c, l)| (c, *l))
     }
 
@@ -131,14 +142,16 @@ impl TuneLog {
         self.result.history.is_empty()
     }
 
-    /// The `config → latency` memo of every recorded measurement (used by
+    /// The `trace → latency` memo of every recorded measurement (used by
     /// [`WarmStartMeasurer`] and anything else that wants to skip
-    /// re-measuring known candidates).
-    pub fn memo(&self) -> HashMap<ScheduleConfig, f64> {
+    /// re-measuring known candidates).  Keys use trace identity (sketch +
+    /// decisions), so decisions-only entries loaded from a log answer for
+    /// the materialized traces a live search proposes.
+    pub fn memo(&self) -> HashMap<Trace, f64> {
         self.result
             .history
             .iter()
-            .map(|r| (r.config.clone(), r.latency_s))
+            .map(|r| (r.trace.clone(), r.latency_s))
             .collect()
     }
 
@@ -182,7 +195,7 @@ impl TuneLog {
         }
         let json = Json::parse(text)?;
         let version = json.get("version")?.as_i64()?;
-        if version != TUNE_LOG_VERSION {
+        if !(MIN_TUNE_LOG_VERSION..=TUNE_LOG_VERSION).contains(&version) {
             return Err(TuneLogError::UnsupportedVersion(version));
         }
         Ok(TuneLog {
@@ -199,7 +212,7 @@ impl TuneLog {
     /// optional closing summary.
     fn from_stream_str(text: &str, header: &Json) -> Result<Self, TuneLogError> {
         let version = header.get("version")?.as_i64()?;
-        if version != TUNE_LOG_VERSION {
+        if !(MIN_TUNE_LOG_VERSION..=TUNE_LOG_VERSION).contains(&version) {
             return Err(TuneLogError::UnsupportedVersion(version));
         }
         let lines: Vec<&str> = text
@@ -237,9 +250,9 @@ impl TuneLog {
         // database's tie-breaking.
         let best = history
             .iter()
-            .fold(None::<(&ScheduleConfig, f64)>, |best, r| match best {
+            .fold(None::<(&Trace, f64)>, |best, r| match best {
                 Some((_, l)) if l <= r.latency_s => best,
-                _ => Some((&r.config, r.latency_s)),
+                _ => Some((&r.trace, r.latency_s)),
             })
             .map(|(c, l)| (c.clone(), l));
         let (failed, rejected) = summary.unwrap_or((0, 0));
@@ -418,7 +431,7 @@ impl TuningObserver for StreamingTuneLog {
 /// The session therefore "resumes" an interrupted search at the cost of only
 /// the remaining measurements.
 pub struct WarmStartMeasurer<'a> {
-    memo: HashMap<ScheduleConfig, f64>,
+    memo: HashMap<Trace, f64>,
     inner: &'a mut dyn BatchMeasurer,
     replayed: usize,
     fresh: usize,
@@ -450,21 +463,20 @@ impl<'a> WarmStartMeasurer<'a> {
 impl BatchMeasurer for WarmStartMeasurer<'_> {
     fn measure_batch_cancellable(
         &mut self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         cancel: &crate::tuner::Cancellation,
     ) -> Vec<crate::tuner::MeasureOutcome> {
         use crate::tuner::MeasureOutcome;
         // Log-recorded measurements are free — answer them even when
         // cancelled; only fresh candidates respect the cancellation.
-        let mut out: Vec<Option<MeasureOutcome>> = configs
+        let mut out: Vec<Option<MeasureOutcome>> = traces
             .iter()
             .map(|c| self.memo.get(c).map(|&l| MeasureOutcome::Measured(l)))
             .collect();
-        let miss_slots: Vec<usize> = (0..configs.len()).filter(|&i| out[i].is_none()).collect();
-        self.replayed += configs.len() - miss_slots.len();
+        let miss_slots: Vec<usize> = (0..traces.len()).filter(|&i| out[i].is_none()).collect();
+        self.replayed += traces.len() - miss_slots.len();
         if !miss_slots.is_empty() {
-            let misses: Vec<ScheduleConfig> =
-                miss_slots.iter().map(|&i| configs[i].clone()).collect();
+            let misses: Vec<Trace> = miss_slots.iter().map(|&i| traces[i].clone()).collect();
             let results = self.inner.measure_batch_cancellable(&misses, cancel);
             assert_eq!(
                 results.len(),
@@ -484,11 +496,11 @@ impl BatchMeasurer for WarmStartMeasurer<'_> {
             .collect()
     }
 
-    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+    fn measure_batch(&mut self, traces: &[Trace]) -> Vec<Option<f64>> {
         use crate::tuner::{Cancellation, MeasureOutcome};
         // One implementation: the cancellable path with a condition that
         // never triggers (so `Skipped` is impossible).
-        self.measure_batch_cancellable(configs, &Cancellation::none())
+        self.measure_batch_cancellable(traces, &Cancellation::none())
             .into_iter()
             .map(|outcome| match outcome {
                 MeasureOutcome::Measured(latency) => Some(latency),
@@ -503,22 +515,23 @@ impl BatchMeasurer for WarmStartMeasurer<'_> {
 mod tests {
     use super::*;
     use crate::session::{Budget, NullObserver, TuningSession};
+    use crate::space::ScheduleConfig;
     use crate::tuner::{SequentialMeasurer, TuningOptions, TuningRecord};
     use atim_sim::UpmemConfig;
     use atim_tir::compute::ComputeDef;
 
-    fn analytic(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+    fn analytic(def: &ComputeDef) -> impl FnMut(&Trace) -> Option<f64> {
         let work = def.total_flops() as f64;
-        move |cfg: &ScheduleConfig| {
-            let dpus = cfg.num_dpus() as f64;
-            let tasklets = cfg.tasklets.min(11) as f64;
-            let cache = if cfg.use_cache { 1.0 } else { 8.0 };
+        move |t: &Trace| {
+            let dpus = t.num_dpus() as f64;
+            let tasklets = t.tasklets().min(11) as f64;
+            let cache = if t.use_cache() { 1.0 } else { 8.0 };
             Some((work / (dpus * tasklets) * cache + dpus * 0.001) * 1e-6)
         }
     }
 
     fn sample_log() -> TuneLog {
-        let cfg = ScheduleConfig {
+        let trace = ScheduleConfig {
             spatial_dpus: vec![64],
             reduce_dpus: 4,
             tasklets: 16,
@@ -527,15 +540,16 @@ mod tests {
             unroll: true,
             host_threads: 4,
             parallel_transfer: true,
-        };
+        }
+        .to_decision_trace();
         TuneLog::new(
             "mtv",
             0xDEAD_BEEF_DEAD_BEEF,
             TuningResult {
-                best: Some((cfg.clone(), 5e-4)),
+                best: Some((trace.clone(), 5e-4)),
                 history: vec![TuningRecord {
                     trial: 0,
-                    config: cfg,
+                    trace,
                     latency_s: 5e-4,
                     best_so_far_s: 5e-4,
                 }],
@@ -573,7 +587,7 @@ mod tests {
     #[test]
     fn unsupported_versions_are_rejected() {
         let mut text = sample_log().to_json_string();
-        text = text.replace("\"version\":1", "\"version\":999");
+        text = text.replace("\"version\":2", "\"version\":999");
         match TuneLog::from_json_str(&text) {
             Err(TuneLogError::UnsupportedVersion(999)) => {}
             other => panic!("expected UnsupportedVersion, got {other:?}"),

@@ -15,7 +15,7 @@
 
 use std::collections::HashSet;
 
-use crate::space::ScheduleConfig;
+use crate::trace::Trace;
 
 /// Knobs of the evolutionary search.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,12 @@ pub struct SearchStrategy {
     pub final_epsilon: f64,
     /// Fraction of total trials considered "early" for both techniques.
     pub exploration_fraction: f64,
+    /// Probability that an exploitation step crosses over two database
+    /// parents (mixing their trace decisions site-wise) instead of mutating
+    /// one.  The default is 0.0 — pure mutation, matching the paper's
+    /// search and keeping fixed-seed trajectories identical to the
+    /// pre-trace tuner.
+    pub crossover_prob: f64,
 }
 
 impl Default for SearchStrategy {
@@ -41,6 +47,7 @@ impl Default for SearchStrategy {
             initial_epsilon: 0.5,
             final_epsilon: 0.05,
             exploration_fraction: 0.4,
+            crossover_prob: 0.0,
         }
     }
 }
@@ -78,8 +85,8 @@ impl SearchStrategy {
 /// One measured candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DbEntry {
-    /// The measured configuration.
-    pub config: ScheduleConfig,
+    /// The measured candidate trace.
+    pub trace: Trace,
     /// Measured latency in seconds.
     pub latency_s: f64,
 }
@@ -95,8 +102,9 @@ pub struct DbEntry {
 pub struct CandidateDb {
     /// Sorted by latency ascending; ties keep insertion order.
     entries: Vec<DbEntry>,
-    /// Hash-based dedup set backing `contains`.
-    measured: HashSet<ScheduleConfig>,
+    /// Hash-based dedup set backing `contains`, keyed on trace identity
+    /// (sketch + decision list).
+    measured: HashSet<Trace>,
 }
 
 impl CandidateDb {
@@ -115,18 +123,20 @@ impl CandidateDb {
         self.entries.is_empty()
     }
 
-    /// Whether a configuration has already been measured.
-    pub fn contains(&self, config: &ScheduleConfig) -> bool {
-        self.measured.contains(config)
+    /// Whether a trace has already been measured (keyed on trace identity:
+    /// sketch + decisions, so a decisions-only twin of a measured candidate
+    /// also answers true).
+    pub fn contains(&self, trace: &Trace) -> bool {
+        self.measured.contains(trace)
     }
 
     /// Records a measurement, keeping entries sorted by latency.  Ties
     /// preserve insertion order (matching what a stable sort after every
     /// push used to produce).
-    pub fn insert(&mut self, config: ScheduleConfig, latency_s: f64) {
-        self.measured.insert(config.clone());
+    pub fn insert(&mut self, trace: Trace, latency_s: f64) {
+        self.measured.insert(trace.clone());
         let at = self.entries.partition_point(|e| e.latency_s <= latency_s);
-        self.entries.insert(at, DbEntry { config, latency_s });
+        self.entries.insert(at, DbEntry { trace, latency_s });
     }
 
     /// The best entry so far.
@@ -136,8 +146,9 @@ impl CandidateDb {
 
     /// Selects up to `k` parent candidates.  With `balanced` set, half the
     /// slots are reserved for `rfactor` candidates and half for
-    /// non-`rfactor` candidates (§5.2.3's balanced sampler); otherwise the
-    /// plain top-k by latency is returned.
+    /// non-`rfactor` candidates (§5.2.3's balanced sampler, keyed on each
+    /// trace's rfactor decision); otherwise the plain top-k by latency is
+    /// returned.
     pub fn top_k(&self, k: usize, balanced: bool) -> Vec<&DbEntry> {
         if !balanced {
             return self.entries.iter().take(k).collect();
@@ -146,13 +157,13 @@ impl CandidateDb {
         let with: Vec<&DbEntry> = self
             .entries
             .iter()
-            .filter(|e| e.config.uses_rfactor())
+            .filter(|e| e.trace.uses_rfactor())
             .take(half)
             .collect();
         let without: Vec<&DbEntry> = self
             .entries
             .iter()
-            .filter(|e| !e.config.uses_rfactor())
+            .filter(|e| !e.trace.uses_rfactor())
             .take(half)
             .collect();
         let mut out = Vec::with_capacity(k);
@@ -177,8 +188,9 @@ impl CandidateDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::ScheduleConfig;
 
-    fn cfg(dpus: i64, rfactor: i64) -> ScheduleConfig {
+    fn cfg(dpus: i64, rfactor: i64) -> Trace {
         ScheduleConfig {
             spatial_dpus: vec![dpus],
             reduce_dpus: rfactor,
@@ -189,6 +201,7 @@ mod tests {
             host_threads: 4,
             parallel_transfer: true,
         }
+        .to_decision_trace()
     }
 
     #[test]
@@ -232,7 +245,7 @@ mod tests {
         for (i, &lat) in latencies.iter().enumerate() {
             let config = cfg(8 + i as i64, if i % 3 == 0 { 4 } else { 1 });
             naive.push(DbEntry {
-                config: config.clone(),
+                trace: config.clone(),
                 latency_s: lat,
             });
             naive.sort_by(|a, b| {
@@ -242,13 +255,12 @@ mod tests {
             });
             db.insert(config, lat);
             // Ordering (including tie order) is identical after every insert.
-            let got: Vec<(&ScheduleConfig, f64)> = db
+            let got: Vec<(&Trace, f64)> = db
                 .top_k(db.len(), false)
                 .iter()
-                .map(|e| (&e.config, e.latency_s))
+                .map(|e| (&e.trace, e.latency_s))
                 .collect();
-            let want: Vec<(&ScheduleConfig, f64)> =
-                naive.iter().map(|e| (&e.config, e.latency_s)).collect();
+            let want: Vec<(&Trace, f64)> = naive.iter().map(|e| (&e.trace, e.latency_s)).collect();
             assert_eq!(got, want, "after insert #{i}");
         }
         // Balanced top-k picks the same parents as the naive ordering would.
@@ -257,7 +269,7 @@ mod tests {
         let rfactor_picks = db
             .top_k(4, true)
             .iter()
-            .filter(|e| e.config.uses_rfactor())
+            .filter(|e| e.trace.uses_rfactor())
             .count();
         assert_eq!(rfactor_picks, 2);
         // And membership still answers through the hash set.
@@ -276,10 +288,10 @@ mod tests {
         db.insert(cfg(16, 1), 10.0);
 
         let plain = db.top_k(4, false);
-        assert!(plain.iter().all(|e| e.config.uses_rfactor()));
+        assert!(plain.iter().all(|e| e.trace.uses_rfactor()));
 
         let balanced = db.top_k(4, true);
-        let non_rfactor = balanced.iter().filter(|e| !e.config.uses_rfactor()).count();
+        let non_rfactor = balanced.iter().filter(|e| !e.trace.uses_rfactor()).count();
         assert_eq!(
             non_rfactor, 2,
             "balanced sampling must keep non-rfactor parents"

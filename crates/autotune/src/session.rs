@@ -16,6 +16,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atim_sim::UpmemConfig;
@@ -24,13 +25,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cost_model::{featurize, CostModel, NUM_FEATURES};
+use crate::generator::{SpaceGenerator, UpmemSketchGenerator};
 use crate::search::CandidateDb;
-use crate::space::{ScheduleConfig, SearchSpace};
+use crate::trace::Trace;
 use crate::tuner::{
     BatchMeasurer, CancelToken, Cancellation, MeasureOutcome, TuningOptions, TuningRecord,
     TuningResult,
 };
-use crate::verifier::verify;
+use crate::verifier::verify_trace;
 
 /// A typed error raised when a tuning session is configured incorrectly.
 ///
@@ -214,8 +216,8 @@ pub trait TuningObserver {
     }
 
     /// One candidate failed to build or run (does not consume budget).
-    fn on_trial_failed(&mut self, config: &ScheduleConfig) {
-        let _ = config;
+    fn on_trial_failed(&mut self, trace: &Trace) {
+        let _ = trace;
     }
 
     /// The best latency improved; `record` is the trial that improved it.
@@ -247,7 +249,7 @@ pub struct TuningSession {
     def: ComputeDef,
     hw: UpmemConfig,
     options: TuningOptions,
-    space: SearchSpace,
+    generator: Arc<dyn SpaceGenerator>,
     rng: StdRng,
     db: CandidateDb,
     model: CostModel,
@@ -273,7 +275,8 @@ impl fmt::Debug for TuningSession {
 }
 
 impl TuningSession {
-    /// Creates a session, validating the options up front.
+    /// Creates a session over the default UPMEM sketch space, validating
+    /// the options up front.
     ///
     /// # Errors
     /// Returns a [`TuningError`] when the options are inconsistent (zero
@@ -284,13 +287,28 @@ impl TuningSession {
         hw: &UpmemConfig,
         options: &TuningOptions,
     ) -> Result<Self, TuningError> {
+        Self::with_generator(def, hw, options, Arc::new(UpmemSketchGenerator))
+    }
+
+    /// Creates a session over a custom [`SpaceGenerator`] — the pluggable
+    /// seam for new workload families and sketch designs.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when the options are inconsistent, exactly
+    /// as [`TuningSession::new`].
+    pub fn with_generator(
+        def: &ComputeDef,
+        hw: &UpmemConfig,
+        options: &TuningOptions,
+        generator: Arc<dyn SpaceGenerator>,
+    ) -> Result<Self, TuningError> {
         validate_options(options)?;
         let max_rounds = options.trials * 8 / options.measure_per_round + 8;
         Ok(TuningSession {
             def: def.clone(),
             hw: hw.clone(),
             options: options.clone(),
-            space: SearchSpace::new(def, hw),
+            generator,
             rng: StdRng::seed_from_u64(options.seed),
             db: CandidateDb::new(),
             model: CostModel::new(),
@@ -314,6 +332,11 @@ impl TuningSession {
         &self.options
     }
 
+    /// The space generator proposing this session's candidates.
+    pub fn generator(&self) -> &Arc<dyn SpaceGenerator> {
+        &self.generator
+    }
+
     /// Successful measurements so far (the consumed trial budget).
     pub fn measured(&self) -> usize {
         self.measured
@@ -334,9 +357,9 @@ impl TuningSession {
         &self.history
     }
 
-    /// The best configuration and latency found so far.
-    pub fn best(&self) -> Option<(&ScheduleConfig, f64)> {
-        self.db.best().map(|e| (&e.config, e.latency_s))
+    /// The best trace and latency found so far.
+    pub fn best(&self) -> Option<(&Trace, f64)> {
+        self.db.best().map(|e| (&e.trace, e.latency_s))
     }
 
     /// Whether the session has reached its trial target or exhausted its
@@ -353,7 +376,7 @@ impl TuningSession {
     /// Rounds whose entire population is rejected by the verifier are
     /// skipped internally (they consume round allowance, as the blocking
     /// driver always did, but produce no batch).
-    pub fn next_batch(&mut self) -> Option<Vec<ScheduleConfig>> {
+    pub fn next_batch(&mut self) -> Option<Vec<Trace>> {
         loop {
             if self.finished() {
                 return None;
@@ -362,30 +385,50 @@ impl TuningSession {
             let progress = self.measured as f64 / self.options.trials as f64;
             let epsilon = self.options.strategy.epsilon_at(progress);
             let balanced = self.options.strategy.balanced_at(progress);
+            let crossover = self.options.strategy.crossover_prob;
 
             // --- Design space generation + evolution --------------------------
-            let mut candidates: Vec<ScheduleConfig> = Vec::with_capacity(self.options.population);
+            // Exploitation mutates (or, with `crossover_prob` set, crosses
+            // over) the *decisions* of database parents; exploration samples
+            // fresh traces from the generator's sketches.
+            let mut candidates: Vec<Trace> = Vec::with_capacity(self.options.population);
             let parents = self.db.top_k(16, balanced);
             for i in 0..self.options.population {
-                let with_rfactor = self.space.supports_rfactor() && i % 2 == 0;
+                let with_rfactor = self.generator.supports_rfactor(&self.def) && i % 2 == 0;
                 let explore = parents.is_empty() || self.rng.gen_bool(epsilon);
                 let cand = if explore {
-                    self.space.sample(&mut self.rng, with_rfactor)
+                    self.generator
+                        .sample(&mut self.rng, &self.def, &self.hw, with_rfactor)
                 } else {
                     let parent = parents[self.rng.gen_range(0..parents.len())];
-                    self.space.mutate(&mut self.rng, &parent.config)
+                    // The crossover coin is only tossed when the knob is on,
+                    // so the default configuration consumes the exact RNG
+                    // sequence of the pre-trace tuner (fixed-seed replays).
+                    if crossover > 0.0 && parents.len() >= 2 && self.rng.gen_bool(crossover) {
+                        let other = parents[self.rng.gen_range(0..parents.len())];
+                        self.generator.crossover(
+                            &mut self.rng,
+                            &self.def,
+                            &self.hw,
+                            &parent.trace,
+                            &other.trace,
+                        )
+                    } else {
+                        self.generator
+                            .mutate(&mut self.rng, &self.def, &self.hw, &parent.trace)
+                    }
                 };
                 candidates.push(cand);
             }
 
             // --- Verification -------------------------------------------------
-            let mut verified: Vec<ScheduleConfig> = Vec::new();
-            let mut seen: HashSet<ScheduleConfig> = HashSet::with_capacity(candidates.len());
+            let mut verified: Vec<Trace> = Vec::new();
+            let mut seen: HashSet<Trace> = HashSet::with_capacity(candidates.len());
             for cand in candidates {
                 if self.db.contains(&cand) || !seen.insert(cand.clone()) {
                     continue;
                 }
-                match verify(&cand, &self.def, &self.hw) {
+                match verify_trace(&cand, &self.def, &self.hw) {
                     Ok(_) => verified.push(cand),
                     Err(_) => self.rejected += 1,
                 }
@@ -395,7 +438,7 @@ impl TuningSession {
             }
 
             // --- Cost-model ranking -------------------------------------------
-            let mut ranked: Vec<(f64, ScheduleConfig)> = verified
+            let mut ranked: Vec<(f64, Trace)> = verified
                 .into_iter()
                 .map(|c| (self.model.predict(&featurize(&c, &self.def, &self.hw)), c))
                 .collect();
@@ -424,7 +467,7 @@ impl TuningSession {
     /// return one result per candidate.
     pub fn record_batch(
         &mut self,
-        batch: &[ScheduleConfig],
+        batch: &[Trace],
         results: Vec<Option<f64>>,
         observer: &mut dyn TuningObserver,
     ) {
@@ -447,7 +490,7 @@ impl TuningSession {
     /// Panics if `outcomes.len() != batch.len()`.
     pub fn record_outcomes(
         &mut self,
-        batch: &[ScheduleConfig],
+        batch: &[Trace],
         outcomes: Vec<MeasureOutcome>,
         observer: &mut dyn TuningObserver,
     ) {
@@ -476,7 +519,7 @@ impl TuningSession {
             self.db.insert(cand.clone(), latency);
             let record = TuningRecord {
                 trial: self.measured,
-                config: cand.clone(),
+                trace: cand.clone(),
                 latency_s: latency,
                 best_so_far_s: self.db.best().map(|e| e.latency_s).unwrap_or(latency),
             };
@@ -501,12 +544,12 @@ impl TuningSession {
     /// measurements from the log.
     pub fn seed_database(&mut self, records: &[TuningRecord]) {
         for rec in records {
-            if self.db.contains(&rec.config) {
+            if self.db.contains(&rec.trace) {
                 continue;
             }
             self.samples
-                .push((featurize(&rec.config, &self.def, &self.hw), rec.latency_s));
-            self.db.insert(rec.config.clone(), rec.latency_s);
+                .push((featurize(&rec.trace, &self.def, &self.hw), rec.latency_s));
+            self.db.insert(rec.trace.clone(), rec.latency_s);
         }
         self.model.train(&self.samples);
     }
@@ -514,7 +557,7 @@ impl TuningSession {
     /// Snapshot of the tuning result so far.
     pub fn result(&self) -> TuningResult {
         TuningResult {
-            best: self.db.best().map(|e| (e.config.clone(), e.latency_s)),
+            best: self.db.best().map(|e| (e.trace.clone(), e.latency_s)),
             history: self.history.clone(),
             measured: self.measured,
             failed: self.failed,
@@ -598,11 +641,11 @@ mod tests {
     use super::*;
     use crate::tuner::SequentialMeasurer;
 
-    fn analytic(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+    fn analytic(def: &ComputeDef) -> impl FnMut(&Trace) -> Option<f64> {
         let work = def.total_flops() as f64;
-        move |cfg: &ScheduleConfig| {
-            let dpus = cfg.num_dpus() as f64;
-            let tasklets = cfg.tasklets.min(11) as f64;
+        move |t: &Trace| {
+            let dpus = t.num_dpus() as f64;
+            let tasklets = t.tasklets().min(11) as f64;
             Some((work / (dpus * tasklets) + dpus * 0.001) * 1e-6)
         }
     }
@@ -693,7 +736,7 @@ mod tests {
             fn on_trial(&mut self, _record: &TuningRecord) {
                 self.trials += 1;
             }
-            fn on_trial_failed(&mut self, _config: &ScheduleConfig) {
+            fn on_trial_failed(&mut self, _trace: &Trace) {
                 self.failures += 1;
             }
             fn on_best_improved(&mut self, _record: &TuningRecord) {
@@ -709,12 +752,12 @@ mod tests {
         let opts = TuningOptions::quick();
         let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
         let mut calls = 0usize;
-        let mut measurer = |cfg: &ScheduleConfig| -> Option<f64> {
+        let mut measurer = |t: &Trace| -> Option<f64> {
             calls += 1;
             if calls % 5 == 0 {
                 None
             } else {
-                Some(1.0 / cfg.num_dpus() as f64)
+                Some(1.0 / t.num_dpus() as f64)
             }
         };
         let mut obs = Counter::default();
@@ -801,7 +844,7 @@ mod tests {
         };
         let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
         // A constant measurer can never improve after the first trial.
-        let mut m = |_: &ScheduleConfig| -> Option<f64> { Some(1.0) };
+        let mut m = |_: &Trace| -> Option<f64> { Some(1.0) };
         let mut obs = Reason(None);
         let result = session.run(
             &mut SequentialMeasurer::new(&mut m),
@@ -835,7 +878,7 @@ mod tests {
         // as trials or failures.
         let fire = token.clone();
         let mut calls = 0usize;
-        let mut measurer = move |_: &ScheduleConfig| -> Option<f64> {
+        let mut measurer = move |_: &Trace| -> Option<f64> {
             calls += 1;
             if calls == 3 {
                 fire.cancel();
@@ -853,7 +896,7 @@ mod tests {
         assert_eq!(result.failed, 0, "skipped candidates are not failures");
         assert!(token.is_cancelled());
         // The session is still resumable after cancellation.
-        let mut more = |_: &ScheduleConfig| -> Option<f64> { Some(1e-3) };
+        let mut more = |_: &Trace| -> Option<f64> { Some(1e-3) };
         let resumed = session.run(
             &mut SequentialMeasurer::new(&mut more),
             &Budget::trials(5),
@@ -879,9 +922,9 @@ mod tests {
             ..TuningOptions::default()
         };
         let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
-        let mut measurer = |cfg: &ScheduleConfig| -> Option<f64> {
+        let mut measurer = |t: &Trace| -> Option<f64> {
             std::thread::sleep(Duration::from_millis(10));
-            Some(1.0 / cfg.num_dpus() as f64)
+            Some(1.0 / t.num_dpus() as f64)
         };
         let result = session.run(
             &mut SequentialMeasurer::new(&mut measurer),
@@ -904,14 +947,142 @@ mod tests {
         let hw = UpmemConfig::default();
         let opts = TuningOptions::quick();
         let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
-        let good = ScheduleConfig::default_for(&def, &hw);
+        let good = crate::space::ScheduleConfig::default_for(&def, &hw).to_trace(&def);
         session.seed_database(&[TuningRecord {
             trial: 0,
-            config: good.clone(),
+            trace: good.clone(),
             latency_s: 1e-6,
             best_so_far_s: 1e-6,
         }]);
         assert_eq!(session.best().unwrap().0, &good);
         assert_eq!(session.measured(), 0, "seeding consumes no trial budget");
+    }
+
+    #[test]
+    fn custom_space_generators_drive_the_whole_session() {
+        use crate::generator::SpaceGenerator;
+        use crate::trace::{Decision, Instruction, Trace};
+        use atim_tir::schedule::Binding;
+
+        /// A miniature foreign sketch: split the first axis across a sampled
+        /// number of DPUs, nothing else.
+        struct RowSplitGenerator;
+        impl RowSplitGenerator {
+            fn build(def: &ComputeDef, dpus: i64) -> Trace {
+                let extent = def.axes[0].extent;
+                let dpus = dpus.clamp(1, extent);
+                let mut insts = vec![Instruction::SampleInt {
+                    site: "dpus".into(),
+                    value: dpus,
+                }];
+                insts.push(Instruction::GetLoop { axis: 0, dst: 0 });
+                if dpus > 1 {
+                    let factor = (extent + dpus - 1) / dpus;
+                    insts.push(Instruction::Split {
+                        lv: 0,
+                        factor,
+                        outer: 1,
+                        inner: 2,
+                    });
+                    insts.push(Instruction::Bind {
+                        lv: 1,
+                        binding: Binding::DpuX,
+                    });
+                }
+                insts.push(Instruction::ParallelHost { threads: 1 });
+                insts.push(Instruction::ParallelTransfer { enabled: true });
+                Trace::new("row-split", insts, 3)
+            }
+        }
+        impl SpaceGenerator for RowSplitGenerator {
+            fn name(&self) -> &str {
+                "row-split"
+            }
+            fn sketches(&self, def: &ComputeDef, _hw: &UpmemConfig) -> Vec<Trace> {
+                vec![Self::build(def, 1)]
+            }
+            fn sample(
+                &self,
+                rng: &mut StdRng,
+                def: &ComputeDef,
+                _hw: &UpmemConfig,
+                _with_rfactor: bool,
+            ) -> Trace {
+                Self::build(def, 1i64 << rng.gen_range(0..6))
+            }
+            fn mutate(
+                &self,
+                rng: &mut StdRng,
+                def: &ComputeDef,
+                hw: &UpmemConfig,
+                _base: &Trace,
+            ) -> Trace {
+                self.sample(rng, def, hw, false)
+            }
+            fn materialize(
+                &self,
+                trace: &Trace,
+                def: &ComputeDef,
+                _hw: &UpmemConfig,
+            ) -> atim_tir::error::Result<Trace> {
+                let dpus = trace.int_decision("dpus").unwrap_or(1);
+                Ok(Self::build(def, dpus))
+            }
+            fn supports_rfactor(&self, _def: &ComputeDef) -> bool {
+                false
+            }
+        }
+
+        let def = ComputeDef::va("va", 4096);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut session =
+            TuningSession::with_generator(&def, &hw, &opts, Arc::new(RowSplitGenerator)).unwrap();
+        assert_eq!(session.generator().name(), "row-split");
+        let mut measurer =
+            |t: &Trace| -> Option<f64> { Some(1.0 / t.int_decision("dpus").unwrap_or(1) as f64) };
+        let result = session.run(
+            &mut crate::tuner::SequentialMeasurer::new(&mut measurer),
+            &Budget::unlimited(),
+            &mut NullObserver,
+        );
+        let (best, _) = result.best.expect("search finds a candidate");
+        assert_eq!(best.sketch(), "row-split");
+        assert_eq!(
+            best.int_decision("dpus"),
+            Some(32),
+            "the analytic optimum is the largest sampled DPU count"
+        );
+        // Decisions survive the record path and key the history.
+        assert!(result
+            .history
+            .iter()
+            .all(|r| r.trace.int_decision("dpus").is_some()));
+        let _ = Decision::Int(1);
+    }
+
+    #[test]
+    fn crossover_probability_mixes_parent_decisions_and_still_converges() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions {
+            trials: 24,
+            population: 16,
+            measure_per_round: 8,
+            strategy: crate::search::SearchStrategy {
+                crossover_prob: 0.5,
+                ..Default::default()
+            },
+            ..TuningOptions::default()
+        };
+        let mut session = TuningSession::new(&def, &hw, &opts).unwrap();
+        let mut m = analytic(&def);
+        let result = session.run(
+            &mut SequentialMeasurer::new(&mut m),
+            &Budget::unlimited(),
+            &mut NullObserver,
+        );
+        assert_eq!(result.measured, 24);
+        assert!(result.best_latency().is_finite());
     }
 }

@@ -1,7 +1,13 @@
-//! The joint host/kernel design space and its sketch instantiation.
+//! The legacy knob-vector view of the UPMEM design space.
 //!
-//! A [`ScheduleConfig`] is the decision vector the search explores; it maps
-//! one-to-one onto the schedule-primitive sequences of the paper's Table 2:
+//! The tuning stack searches over [`crate::trace::Trace`]s now — sampled
+//! schedule traces emitted by a [`crate::generator::SpaceGenerator`].
+//! [`ScheduleConfig`] survives as the *conversion layer*: the named knob
+//! vector of the default UPMEM sketch, used to express fixed baseline
+//! configurations (PrIM, SimplePIM), to shim v1 tuning logs into traces
+//! ([`ScheduleConfig::to_decision_trace`]) and to read the knobs back out of
+//! a trace ([`ScheduleConfig::from_trace`]).  Each knob maps one-to-one onto
+//! the schedule-primitive sequences of the paper's Table 2:
 //!
 //! | Decision              | Primitives it controls                                |
 //! |-----------------------|-------------------------------------------------------|
@@ -20,7 +26,11 @@ use atim_tir::error::Result;
 use atim_tir::schedule::{Attach, Binding, Schedule};
 use rand::Rng;
 
-/// One point in the joint host/kernel design space.
+use crate::generator;
+use crate::trace::Trace;
+
+/// The named knob vector of the default UPMEM sketch — one point in the
+/// joint host/kernel design space, as a struct instead of a trace.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScheduleConfig {
     /// DPUs assigned to each spatial axis (one entry per spatial axis).
@@ -73,14 +83,46 @@ impl ScheduleConfig {
         }
     }
 
+    /// The decisions-only UPMEM trace of this knob vector — the context-free
+    /// `ScheduleConfig → Trace` shim (no workload needed; v1 tuning logs
+    /// decode through this).  The result compares and hashes equal to the
+    /// materialized trace of the same knobs.
+    pub fn to_decision_trace(&self) -> Trace {
+        generator::decision_trace_of(self)
+    }
+
+    /// The fully materialized UPMEM trace of this knob vector for a
+    /// workload.  Knob vectors the sketch cannot instantiate yield a
+    /// decisions-only trace, which the verifier rejects — exactly as it
+    /// rejected un-instantiable configs.
+    pub fn to_trace(&self, def: &ComputeDef) -> Trace {
+        generator::trace_of_config(self, def)
+    }
+
+    /// Reads the knob vector back out of a trace's decisions.  `None` for
+    /// traces of custom space generators (which have no UPMEM knobs).
+    pub fn from_trace(trace: &Trace) -> Option<Self> {
+        generator::knobs_of(trace)
+    }
+
     /// Instantiates the ATiM sketch for this configuration: a complete
     /// schedule with DPU distribution, optional hierarchical reduction,
     /// tasklet binding, WRAM caching and post-processing parallelism.
+    ///
+    /// This is the pre-trace reference implementation; the trace pipeline
+    /// builds the identical schedule via [`ScheduleConfig::to_trace`] +
+    /// [`Trace::apply`], and `tests/trace_equivalence.rs` pins the two
+    /// against each other for every paper workload.
     ///
     /// # Errors
     /// Returns an error if a primitive application fails (e.g. impossible
     /// factors); such configurations should simply be discarded by the
     /// caller.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `to_trace(def)` + `Trace::apply` — kept as the reference the \
+                trace equivalence tests pin against"
+    )]
     pub fn instantiate(&self, def: &ComputeDef) -> Result<Schedule> {
         let mut sch = Schedule::new(def.clone());
         let spatial_axes = def.spatial_axes();
@@ -252,6 +294,17 @@ fn div_ceil(a: i64, b: i64) -> i64 {
 }
 
 /// The sampling ranges of the design space for one workload on one machine.
+///
+/// The trace pipeline samples through
+/// [`crate::generator::UpmemSketchGenerator`], which wraps this type's
+/// `sample`/`mutate` verbatim — same RNG consumption, same decision
+/// distributions — so fixed-seed searches are bit-identical across the
+/// migration.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `generator::UpmemSketchGenerator` (a `SpaceGenerator`) — this type \
+            remains as its decision-distribution backend"
+)]
 #[derive(Debug, Clone)]
 pub struct SearchSpace {
     def: ComputeDef,
@@ -259,6 +312,7 @@ pub struct SearchSpace {
     max_tasklets: i64,
 }
 
+#[allow(deprecated)]
 impl SearchSpace {
     /// Builds the design space for a workload.
     pub fn new(def: &ComputeDef, hw: &UpmemConfig) -> Self {
@@ -283,81 +337,111 @@ impl SearchSpace {
     /// Samples a random configuration, optionally forcing the
     /// `rfactor`/non-`rfactor` design space (the two sketches of Fig. 6).
     pub fn sample(&self, rng: &mut impl Rng, with_rfactor: bool) -> ScheduleConfig {
-        let spatial = self.def.spatial_axes();
-        let mut spatial_dpus = Vec::with_capacity(spatial.len());
-        let mut budget = self.total_dpus;
-        for &axis in &spatial {
-            let extent = self.def.axes[axis].extent;
-            let max_pow = log2_floor(extent.min(budget).max(1));
-            let choice = 1i64 << rng.gen_range(0..=max_pow);
-            spatial_dpus.push(choice);
-            budget = (budget / choice).max(1);
-        }
-        let reduce_dpus = if with_rfactor && self.supports_rfactor() {
-            let raxis = self.def.reduce_axes()[0];
-            let extent = self.def.axes[raxis].extent;
-            let max_pow = log2_floor(extent.min(budget).clamp(2, 64));
-            1i64 << rng.gen_range(1..=max_pow.max(1))
-        } else {
-            1
-        };
-        let tasklet_choices = [1i64, 2, 4, 8, 12, 16, 20, 24];
-        let tasklets =
-            tasklet_choices[rng.gen_range(0..tasklet_choices.len())].min(self.max_tasklets);
-        let cache_choices = [2i64, 4, 8, 16, 32, 64, 128, 256];
-        let cache_elems = cache_choices[rng.gen_range(0..cache_choices.len())];
-        ScheduleConfig {
-            spatial_dpus,
-            reduce_dpus,
-            tasklets,
-            cache_elems,
-            use_cache: rng.gen_bool(0.9),
-            unroll: rng.gen_bool(0.5),
-            host_threads: 1usize << rng.gen_range(0..6),
-            parallel_transfer: true,
-        }
+        sample_knobs(
+            &self.def,
+            self.total_dpus,
+            self.max_tasklets,
+            rng,
+            with_rfactor,
+        )
     }
 
     /// Mutates one decision of a configuration (the evolutionary search's
     /// mutation operator).
     pub fn mutate(&self, rng: &mut impl Rng, base: &ScheduleConfig) -> ScheduleConfig {
-        let mut c = base.clone();
-        match rng.gen_range(0..6) {
-            0 => {
-                // Re-sample one spatial DPU dimension.
-                if !c.spatial_dpus.is_empty() {
-                    let j = rng.gen_range(0..c.spatial_dpus.len());
-                    let axis = self.def.spatial_axes()[j];
-                    let extent = self.def.axes[axis].extent;
-                    let max_pow = log2_floor(extent.min(self.total_dpus).max(1));
-                    c.spatial_dpus[j] = 1i64 << rng.gen_range(0..=max_pow);
-                }
-            }
-            1 => {
-                if self.supports_rfactor() {
-                    let raxis = self.def.reduce_axes()[0];
-                    let extent = self.def.axes[raxis].extent;
-                    let max_pow = log2_floor(extent.clamp(2, 64));
-                    c.reduce_dpus = if rng.gen_bool(0.3) {
-                        1
-                    } else {
-                        1i64 << rng.gen_range(1..=max_pow.max(1))
-                    };
-                }
-            }
-            2 => {
-                let choices = [1i64, 2, 4, 8, 12, 16, 20, 24];
-                c.tasklets = choices[rng.gen_range(0..choices.len())].min(self.max_tasklets);
-            }
-            3 => {
-                let choices = [2i64, 4, 8, 16, 32, 64, 128, 256];
-                c.cache_elems = choices[rng.gen_range(0..choices.len())];
-            }
-            4 => c.unroll = !c.unroll,
-            _ => c.host_threads = 1usize << rng.gen_range(0..6),
-        }
-        c
+        mutate_knobs(&self.def, self.total_dpus, self.max_tasklets, rng, base)
     }
+}
+
+/// Samples a random knob vector for a *borrowed* workload (the body behind
+/// [`SearchSpace::sample`], shared with the trace generator so the
+/// per-candidate hot path clones nothing).
+pub(crate) fn sample_knobs(
+    def: &ComputeDef,
+    total_dpus: i64,
+    max_tasklets: i64,
+    rng: &mut impl Rng,
+    with_rfactor: bool,
+) -> ScheduleConfig {
+    let spatial = def.spatial_axes();
+    let mut spatial_dpus = Vec::with_capacity(spatial.len());
+    let mut budget = total_dpus;
+    for &axis in &spatial {
+        let extent = def.axes[axis].extent;
+        let max_pow = log2_floor(extent.min(budget).max(1));
+        let choice = 1i64 << rng.gen_range(0..=max_pow);
+        spatial_dpus.push(choice);
+        budget = (budget / choice).max(1);
+    }
+    let reduce_dpus = if with_rfactor && def.has_reduce() {
+        let raxis = def.reduce_axes()[0];
+        let extent = def.axes[raxis].extent;
+        let max_pow = log2_floor(extent.min(budget).clamp(2, 64));
+        1i64 << rng.gen_range(1..=max_pow.max(1))
+    } else {
+        1
+    };
+    let tasklet_choices = [1i64, 2, 4, 8, 12, 16, 20, 24];
+    let tasklets = tasklet_choices[rng.gen_range(0..tasklet_choices.len())].min(max_tasklets);
+    let cache_choices = [2i64, 4, 8, 16, 32, 64, 128, 256];
+    let cache_elems = cache_choices[rng.gen_range(0..cache_choices.len())];
+    ScheduleConfig {
+        spatial_dpus,
+        reduce_dpus,
+        tasklets,
+        cache_elems,
+        use_cache: rng.gen_bool(0.9),
+        unroll: rng.gen_bool(0.5),
+        host_threads: 1usize << rng.gen_range(0..6),
+        parallel_transfer: true,
+    }
+}
+
+/// Mutates one knob of a configuration (the body behind
+/// [`SearchSpace::mutate`], shared with the trace generator).
+pub(crate) fn mutate_knobs(
+    def: &ComputeDef,
+    total_dpus: i64,
+    max_tasklets: i64,
+    rng: &mut impl Rng,
+    base: &ScheduleConfig,
+) -> ScheduleConfig {
+    let mut c = base.clone();
+    match rng.gen_range(0..6) {
+        0 => {
+            // Re-sample one spatial DPU dimension.
+            if !c.spatial_dpus.is_empty() {
+                let j = rng.gen_range(0..c.spatial_dpus.len());
+                let axis = def.spatial_axes()[j];
+                let extent = def.axes[axis].extent;
+                let max_pow = log2_floor(extent.min(total_dpus).max(1));
+                c.spatial_dpus[j] = 1i64 << rng.gen_range(0..=max_pow);
+            }
+        }
+        1 => {
+            if def.has_reduce() {
+                let raxis = def.reduce_axes()[0];
+                let extent = def.axes[raxis].extent;
+                let max_pow = log2_floor(extent.clamp(2, 64));
+                c.reduce_dpus = if rng.gen_bool(0.3) {
+                    1
+                } else {
+                    1i64 << rng.gen_range(1..=max_pow.max(1))
+                };
+            }
+        }
+        2 => {
+            let choices = [1i64, 2, 4, 8, 12, 16, 20, 24];
+            c.tasklets = choices[rng.gen_range(0..choices.len())].min(max_tasklets);
+        }
+        3 => {
+            let choices = [2i64, 4, 8, 16, 32, 64, 128, 256];
+            c.cache_elems = choices[rng.gen_range(0..choices.len())];
+        }
+        4 => c.unroll = !c.unroll,
+        _ => c.host_threads = 1usize << rng.gen_range(0..6),
+    }
+    c
 }
 
 fn log2_floor(v: i64) -> u32 {
@@ -365,6 +449,7 @@ fn log2_floor(v: i64) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use atim_tir::schedule::execute_functional;

@@ -17,7 +17,7 @@ use atim_tir::compute::ComputeDef;
 
 use crate::search::SearchStrategy;
 use crate::session::{Budget, NullObserver, TuningSession};
-use crate::space::ScheduleConfig;
+use crate::trace::Trace;
 
 /// A shareable cooperative-cancellation flag.
 ///
@@ -127,20 +127,21 @@ impl MeasureOutcome {
 }
 
 /// How a candidate's latency is obtained.  `atim-core` implements this by
-/// compiling the candidate (PIM-aware passes included) and running it on the
-/// simulated UPMEM machine; tests may use analytic stand-ins.
+/// compiling the candidate trace (PIM-aware passes included) and running it
+/// on the simulated UPMEM machine; tests may use analytic stand-ins reading
+/// the trace's decisions.
 pub trait Measurer {
     /// Measures one candidate, returning its latency in seconds, or `None`
     /// if the candidate failed to build or run.
-    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64>;
+    fn measure(&mut self, trace: &Trace) -> Option<f64>;
 }
 
 impl<F> Measurer for F
 where
-    F: FnMut(&ScheduleConfig) -> Option<f64>,
+    F: FnMut(&Trace) -> Option<f64>,
 {
-    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
-        self(config)
+    fn measure(&mut self, trace: &Trace) -> Option<f64> {
+        self(trace)
     }
 }
 
@@ -153,9 +154,9 @@ where
 /// bit-identical to sequential tuning.
 pub trait BatchMeasurer {
     /// Measures every candidate, returning one result per candidate **in
-    /// input order** (`result[i]` belongs to `configs[i]`).  `None` marks a
+    /// input order** (`result[i]` belongs to `traces[i]`).  `None` marks a
     /// candidate that failed to build or run.
-    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>>;
+    fn measure_batch(&mut self, traces: &[Trace]) -> Vec<Option<f64>>;
 
     /// Like [`BatchMeasurer::measure_batch`], but allowed to stop mid-batch
     /// when `cancel` triggers; candidates not measured return
@@ -166,11 +167,11 @@ pub trait BatchMeasurer {
     /// loop should override it and check `cancel` between candidates.
     fn measure_batch_cancellable(
         &mut self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         cancel: &Cancellation,
     ) -> Vec<MeasureOutcome> {
         let _ = cancel;
-        self.measure_batch(configs)
+        self.measure_batch(traces)
             .into_iter()
             .map(MeasureOutcome::from_result)
             .collect()
@@ -192,16 +193,16 @@ impl<'a> SequentialMeasurer<'a> {
 }
 
 impl BatchMeasurer for SequentialMeasurer<'_> {
-    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
-        configs.iter().map(|c| self.inner.measure(c)).collect()
+    fn measure_batch(&mut self, traces: &[Trace]) -> Vec<Option<f64>> {
+        traces.iter().map(|c| self.inner.measure(c)).collect()
     }
 
     fn measure_batch_cancellable(
         &mut self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         cancel: &Cancellation,
     ) -> Vec<MeasureOutcome> {
-        configs
+        traces
             .iter()
             .map(|c| {
                 if cancel.cancelled() {
@@ -259,8 +260,8 @@ pub struct TuningRecord {
     /// Trial index: dense over *successful* measurements, so
     /// `history[i].trial == i` always holds.
     pub trial: usize,
-    /// The measured configuration.
-    pub config: ScheduleConfig,
+    /// The measured candidate trace.
+    pub trace: Trace,
     /// Measured latency in seconds.
     pub latency_s: f64,
     /// Best latency observed up to and including this trial.
@@ -270,9 +271,9 @@ pub struct TuningRecord {
 /// Result of a tuning session.
 #[derive(Debug, Clone)]
 pub struct TuningResult {
-    /// The best configuration found, with its latency (absent only if every
+    /// The best trace found, with its latency (absent only if every
     /// measurement failed).
-    pub best: Option<(ScheduleConfig, f64)>,
+    pub best: Option<(Trace, f64)>,
     /// Per-trial history (for convergence plots like the paper's Fig. 14).
     /// One record per successful measurement; `history.len() == measured`.
     pub history: Vec<TuningRecord>,
@@ -351,18 +352,18 @@ mod tests {
     /// An analytic measurer with a known optimum: latency is minimized by
     /// using many DPUs, many tasklets and a mid-sized caching tile, with a
     /// penalty for skipping rfactor on reduction-heavy shapes.
-    fn analytic_measure(def: &ComputeDef) -> impl FnMut(&ScheduleConfig) -> Option<f64> {
+    fn analytic_measure(def: &ComputeDef) -> impl FnMut(&Trace) -> Option<f64> {
         let work = def.total_flops() as f64;
-        move |cfg: &ScheduleConfig| {
-            let dpus = cfg.num_dpus() as f64;
-            let tasklets = cfg.tasklets.min(11) as f64;
+        move |t: &Trace| {
+            let dpus = t.num_dpus() as f64;
+            let tasklets = t.tasklets().min(11) as f64;
             let kernel = work / (dpus * tasklets);
-            let cache_penalty = if cfg.use_cache {
-                1.0 + (64.0 - cfg.cache_elems as f64).abs() / 256.0
+            let cache_penalty = if t.use_cache() {
+                1.0 + (64.0 - t.cache_elems() as f64).abs() / 256.0
             } else {
                 20.0
             };
-            let reduce_bonus = if cfg.uses_rfactor() { 0.7 } else { 1.0 };
+            let reduce_bonus = if t.uses_rfactor() { 0.7 } else { 1.0 };
             let transfer = work.sqrt() / 50.0 + dpus * 0.001;
             Some((kernel * cache_penalty * reduce_bonus + transfer) * 1e-6)
         }
@@ -385,8 +386,8 @@ mod tests {
         assert!(best_lat.is_finite());
         // The analytic optimum wants lots of DPUs and tasklets and caching.
         assert!(best.num_dpus() >= 256, "best used {} DPUs", best.num_dpus());
-        assert!(best.tasklets >= 8);
-        assert!(best.use_cache);
+        assert!(best.tasklets() >= 8);
+        assert!(best.use_cache());
         // Convergence: the best at the end is no worse than the first trial.
         let first = result.history.first().unwrap().latency_s;
         assert!(result.best_latency() <= first);
@@ -418,7 +419,7 @@ mod tests {
         let hw = UpmemConfig::default();
         let opts = TuningOptions::quick();
         let mut calls = 0usize;
-        let mut measurer = |_: &ScheduleConfig| -> Option<f64> {
+        let mut measurer = |_: &Trace| -> Option<f64> {
             calls += 1;
             if calls % 2 == 0 {
                 None
@@ -446,7 +447,7 @@ mod tests {
         let def = ComputeDef::va("va", 1 << 16);
         let hw = UpmemConfig::default();
         let opts = TuningOptions::quick();
-        let mut measurer = |_: &ScheduleConfig| -> Option<f64> { None };
+        let mut measurer = |_: &Trace| -> Option<f64> { None };
         let result = tune(&def, &hw, &opts, &mut measurer);
         assert!(result.best.is_none());
         assert_eq!(result.measured, 0);
@@ -456,16 +457,16 @@ mod tests {
 
     #[test]
     fn batch_and_sequential_measurement_agree() {
-        struct CountingBatch<F: FnMut(&ScheduleConfig) -> Option<f64>> {
+        struct CountingBatch<F: FnMut(&Trace) -> Option<f64>> {
             inner: F,
             max_batch: usize,
             batches: usize,
         }
-        impl<F: FnMut(&ScheduleConfig) -> Option<f64>> BatchMeasurer for CountingBatch<F> {
-            fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        impl<F: FnMut(&Trace) -> Option<f64>> BatchMeasurer for CountingBatch<F> {
+            fn measure_batch(&mut self, traces: &[Trace]) -> Vec<Option<f64>> {
                 self.batches += 1;
-                self.max_batch = self.max_batch.max(configs.len());
-                configs.iter().map(|c| (self.inner)(c)).collect()
+                self.max_batch = self.max_batch.max(traces.len());
+                traces.iter().map(|c| (self.inner)(c)).collect()
             }
         }
 

@@ -12,6 +12,7 @@ use atim_tir::compute::ComputeDef;
 use atim_tir::schedule::Lowered;
 
 use crate::space::ScheduleConfig;
+use crate::trace::Trace;
 
 /// Reasons a candidate is rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,34 +125,55 @@ pub fn verify_lowered(lowered: &Lowered, hw: &UpmemConfig) -> Result<(), VerifyE
     Ok(())
 }
 
-/// Verifies a configuration by instantiating and lowering it, returning the
+/// Verifies a candidate trace by applying and lowering it, returning the
 /// lowered program so callers measuring the candidate don't need to lower it
 /// twice.
-pub fn verify(
-    config: &ScheduleConfig,
+///
+/// Traces carrying the UPMEM sketch's decision sites are pre-checked against
+/// the machine's tasklet and DPU limits from their *raw* decisions (the
+/// unclamped values, exactly as the knob-vector verifier always did), before
+/// the more expensive apply + lower + structural checks run.  Traces of
+/// custom generators skip the pre-checks; the structural checks on the
+/// lowered program still enforce every limit.
+pub fn verify_trace(
+    trace: &Trace,
     def: &ComputeDef,
     hw: &UpmemConfig,
 ) -> Result<Lowered, VerifyError> {
-    if config.tasklets > hw.max_tasklets as i64 {
-        return Err(VerifyError::TooManyTasklets {
-            requested: config.tasklets,
-            limit: hw.max_tasklets as i64,
-        });
+    if let Some(config) = ScheduleConfig::from_trace(trace) {
+        if config.tasklets > hw.max_tasklets as i64 {
+            return Err(VerifyError::TooManyTasklets {
+                requested: config.tasklets,
+                limit: hw.max_tasklets as i64,
+            });
+        }
+        if config.num_dpus() > hw.total_dpus() as i64 {
+            return Err(VerifyError::TooManyDpus {
+                requested: config.num_dpus(),
+                available: hw.total_dpus() as i64,
+            });
+        }
     }
-    if config.num_dpus() > hw.total_dpus() as i64 {
-        return Err(VerifyError::TooManyDpus {
-            requested: config.num_dpus(),
-            available: hw.total_dpus() as i64,
-        });
-    }
-    let sch = config
-        .instantiate(def)
+    let sch = trace
+        .apply(def)
         .map_err(|e| VerifyError::Invalid(e.to_string()))?;
     let lowered = sch
         .lower()
         .map_err(|e| VerifyError::Invalid(e.to_string()))?;
     verify_lowered(&lowered, hw)?;
     Ok(lowered)
+}
+
+/// Verifies a knob-vector configuration — the pre-trace entry point, now a
+/// thin wrapper over [`verify_trace`] via the `ScheduleConfig → Trace`
+/// conversion.
+#[deprecated(since = "0.3.0", note = "use `verify_trace` with a schedule trace")]
+pub fn verify(
+    config: &ScheduleConfig,
+    def: &ComputeDef,
+    hw: &UpmemConfig,
+) -> Result<Lowered, VerifyError> {
+    verify_trace(&config.to_trace(def), def, hw)
 }
 
 #[cfg(test)]
@@ -173,10 +195,10 @@ mod tests {
     }
 
     #[test]
-    fn valid_config_passes() {
+    fn valid_trace_passes() {
         let def = ComputeDef::mtv("mtv", 1024, 1024);
         let hw = UpmemConfig::default();
-        let lowered = verify(&base_config(), &def, &hw).unwrap();
+        let lowered = verify_trace(&base_config().to_trace(&def), &def, &hw).unwrap();
         assert_eq!(lowered.grid.num_dpus(), 32);
     }
 
@@ -187,19 +209,25 @@ mod tests {
         let mut cfg = base_config();
         cfg.tasklets = 32;
         assert!(matches!(
-            verify(&cfg, &def, &hw),
+            verify_trace(&cfg.to_trace(&def), &def, &hw),
             Err(VerifyError::TooManyTasklets { .. })
         ));
     }
 
     #[test]
-    fn rejects_too_many_dpus() {
+    fn rejects_too_many_dpus_from_raw_decisions() {
         let def = ComputeDef::mtv("mtv", 8192, 8192);
         let hw = UpmemConfig::default();
         let mut cfg = base_config();
         cfg.spatial_dpus = vec![4096];
         assert!(matches!(
-            verify(&cfg, &def, &hw),
+            verify_trace(&cfg.to_trace(&def), &def, &hw),
+            Err(VerifyError::TooManyDpus { .. })
+        ));
+        // The decisions-only twin is rejected identically: the pre-checks
+        // read raw decisions, not materialized structure.
+        assert!(matches!(
+            verify_trace(&cfg.to_decision_trace(), &def, &hw),
             Err(VerifyError::TooManyDpus { .. })
         ));
     }
@@ -214,7 +242,7 @@ mod tests {
         cfg.reduce_dpus = 1;
         cfg.tasklets = 24;
         cfg.cache_elems = 4096;
-        let err = verify(&cfg, &def, &hw).unwrap_err();
+        let err = verify_trace(&cfg.to_trace(&def), &def, &hw).unwrap_err();
         assert!(
             matches!(err, VerifyError::WramOverflow { .. }),
             "expected WRAM overflow, got {err}"
@@ -230,11 +258,22 @@ mod tests {
         cfg.spatial_dpus = vec![1];
         cfg.reduce_dpus = 1;
         cfg.cache_elems = 64;
-        let err = verify(&cfg, &def, &hw).unwrap_err();
+        let err = verify_trace(&cfg.to_trace(&def), &def, &hw).unwrap_err();
         assert!(
             matches!(err, VerifyError::MramOverflow { .. }),
             "expected MRAM overflow, got {err}"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_config_wrapper_agrees_with_verify_trace() {
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let cfg = base_config();
+        let via_config = verify(&cfg, &def, &hw).unwrap();
+        let via_trace = verify_trace(&cfg.to_trace(&def), &def, &hw).unwrap();
+        assert_eq!(via_config.grid.num_dpus(), via_trace.grid.num_dpus());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Property tests of the tuning-log persistence layer: JSON encode→decode
-//! must be the identity for every `ScheduleConfig`, `TuningRecord`,
+//! must be the identity for every `ScheduleConfig`, `Trace`, `TuningRecord`,
 //! `TuningResult` and `TuneLog` the tuner can produce.
 
 use atim_autotune::json::{Json, JsonCodec};
 use atim_autotune::log::TuneLog;
-use atim_autotune::{ScheduleConfig, TuningRecord, TuningResult};
+use atim_autotune::{Decision, ScheduleConfig, Trace, TuningRecord, TuningResult};
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
@@ -70,16 +70,74 @@ proptest! {
     ) {
         let record = TuningRecord {
             trial,
-            config: config_from(dpu_seed, 2, 3, 16, 6, 5, 3),
+            trace: config_from(dpu_seed, 2, 3, 16, 6, 5, 3).to_decision_trace(),
             latency_s: latency_from(latency_bits),
             best_so_far_s: latency_from(best_bits),
         };
         let text = record.to_json().to_string();
         let back = TuningRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         prop_assert_eq!(record.trial, back.trial);
-        prop_assert_eq!(record.config, back.config);
+        prop_assert_eq!(&record.trace, &back.trace);
         prop_assert_eq!(record.latency_s.to_bits(), back.latency_s.to_bits());
         prop_assert_eq!(record.best_so_far_s.to_bits(), back.best_so_far_s.to_bits());
+    }
+
+    #[test]
+    fn trace_json_round_trip_is_identity(
+        sketch_seed in 0u64..4,
+        sites in 1usize..12,
+        value_seed in 0u64..u64::MAX,
+    ) {
+        // Random traces over random decision sites — not just the UPMEM
+        // sketch's — must survive the codec with identity (Eq and Hash)
+        // intact.
+        let sketch = ["upmem", "custom", "sketch-α", "with \"quotes\""][sketch_seed as usize];
+        let decisions: Vec<(String, Decision)> = (0..sites)
+            .map(|i| {
+                let bits = value_seed.rotate_left(7 * i as u32);
+                let site = format!("site_{i}.{}", bits % 10);
+                let decision = if bits % 3 == 0 {
+                    Decision::Bool(bits % 2 == 0)
+                } else {
+                    Decision::Int((bits % 100_000) as i64 - 50_000)
+                };
+                (site, decision)
+            })
+            .collect();
+        let trace = Trace::from_decisions(sketch, decisions);
+        let text = trace.to_json().to_string();
+        let back = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.sketch(), trace.sketch());
+        let pairs: Vec<(String, Decision)> =
+            trace.decisions().map(|(s, d)| (s.to_string(), d)).collect();
+        let back_pairs: Vec<(String, Decision)> =
+            back.decisions().map(|(s, d)| (s.to_string(), d)).collect();
+        prop_assert_eq!(pairs, back_pairs);
+    }
+
+    #[test]
+    fn materialized_upmem_traces_round_trip_to_their_decision_twin(
+        dpu_seed in 0u64..u64::MAX,
+        axes in 1usize..3,
+        reduce_pow in 0u32..7,
+        tasklets in 1i64..25,
+        cache_pow in 1u32..9,
+        flags in 0u8..8,
+    ) {
+        use atim_tir::compute::ComputeDef;
+        let cfg = config_from(dpu_seed, axes, reduce_pow, tasklets, cache_pow, flags, 2);
+        let def = if axes == 1 {
+            ComputeDef::va("va", 4096)
+        } else {
+            ComputeDef::mtv("mtv", 512, 256)
+        };
+        let full = cfg.to_trace(&def);
+        let back = Trace::from_json(&Json::parse(&full.to_json().to_string()).unwrap()).unwrap();
+        // The codec persists decisions only, and identity is decisions-only,
+        // so the decoded twin is equal and recovers the exact knob vector.
+        prop_assert_eq!(&back, &full);
+        prop_assert_eq!(ScheduleConfig::from_trace(&back), Some(cfg));
     }
 
     #[test]
@@ -97,14 +155,15 @@ proptest! {
                 let latency = latency_from(latency_bits.wrapping_add(i as u64 * 0x9E37_79B9));
                 TuningRecord {
                     trial: i,
-                    config: config_from(dpu_seed.wrapping_add(i as u64), 1 + i % 3, 2, 8, 5, i as u8 % 8, 2),
+                    trace: config_from(dpu_seed.wrapping_add(i as u64), 1 + i % 3, 2, 8, 5, i as u8 % 8, 2)
+                        .to_decision_trace(),
                     latency_s: latency,
                     best_so_far_s: latency,
                 }
             })
             .collect();
         let best = if has_best == 1 && !history.is_empty() {
-            Some((history[0].config.clone(), history[0].latency_s))
+            Some((history[0].trace.clone(), history[0].latency_s))
         } else {
             None
         };

@@ -122,7 +122,7 @@ fn with_dpus(base: &ScheduleConfig, workload: &Workload, dpus: i64) -> ScheduleC
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atim_autotune::verify;
+    use atim_autotune::verify_trace;
 
     fn hw() -> UpmemConfig {
         UpmemConfig::default()
@@ -145,7 +145,7 @@ mod tests {
                 let cfg = prim_default(&w, &hw());
                 let def = w.compute_def();
                 assert!(
-                    verify(&cfg, &def, &hw()).is_ok(),
+                    verify_trace(&cfg.to_trace(&def), &def, &hw()).is_ok(),
                     "{kind} {label}: {cfg:?} rejected"
                 );
             }

@@ -2,7 +2,7 @@
 //! verification, cost-model ranking and measurement (the machinery behind
 //! Fig. 14/15).
 
-use atim_autotune::{tune, tune_batch, ScheduleConfig, TuningOptions};
+use atim_autotune::{tune, tune_batch, ScheduleConfig, Trace, TuningOptions};
 use atim_core::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -20,7 +20,7 @@ fn bench_verifier(c: &mut Criterion) {
         parallel_transfer: true,
     };
     c.bench_function("verify_candidate", |b| {
-        b.iter(|| atim_autotune::verify(&cfg, &def, &hw).unwrap())
+        b.iter(|| atim_autotune::verify_trace(&cfg.to_trace(&def), &def, &hw).unwrap())
     });
 }
 
@@ -39,7 +39,7 @@ fn bench_small_tuning_session(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tune_16_trials_mtv_1k", |b| {
         b.iter(|| {
-            let mut measurer = |cfg: &ScheduleConfig| session.measure(cfg, &def);
+            let mut measurer = |t: &Trace| session.measure(t, &def);
             tune(&def, session.hardware(), &options, &mut measurer)
         })
     });

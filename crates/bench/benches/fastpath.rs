@@ -33,7 +33,7 @@ fn lowered_gemv() -> Lowered {
         host_threads: 16,
         parallel_transfer: true,
     };
-    session.compile(&cfg, &def).unwrap().lowered
+    session.compile_config(&cfg, &def).unwrap().lowered
 }
 
 /// Runs one DPU's kernel in timing-only mode through `run`, asserting it

@@ -27,7 +27,7 @@ fn bench_compile(c: &mut Criterion) {
     let def = ComputeDef::gemv("gemv", 1024, 1024, 1.0);
     let cfg = config_2d(64, 4);
     c.bench_function("compile_gemv_1k", |b| {
-        b.iter(|| session.compile(&cfg, &def).unwrap())
+        b.iter(|| session.compile_config(&cfg, &def).unwrap())
     });
 }
 
@@ -47,7 +47,7 @@ fn bench_simulate(c: &mut Criterion) {
             config_2d(16, 1),
         ),
     ] {
-        let module = session.compile(&cfg, &def).unwrap();
+        let module = session.compile_config(&cfg, &def).unwrap();
         group.bench_function(name, |b| b.iter(|| session.time(&module).unwrap()));
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_full_execution(c: &mut Criterion) {
     let session = Session::default();
     let def = ComputeDef::mtv("mtv", 256, 256);
     let cfg = config_2d(16, 2);
-    let module = session.compile(&cfg, &def).unwrap();
+    let module = session.compile_config(&cfg, &def).unwrap();
     let inputs = atim_workloads::data::generate_inputs(&def, 3);
     c.bench_function("execute_functional_mtv_256", |b| {
         b.iter(|| session.execute(&module, &inputs).unwrap())

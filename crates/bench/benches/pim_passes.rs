@@ -24,7 +24,7 @@ fn misaligned_gemv() -> (ComputeDef, ScheduleConfig) {
 
 fn bench_pass_pipeline(c: &mut Criterion) {
     let (def, cfg) = misaligned_gemv();
-    let sch = cfg.instantiate(&def).unwrap();
+    let sch = cfg.to_trace(&def).apply(&def).unwrap();
     let lowered = sch.lower().unwrap();
     let mut group = c.benchmark_group("pass_pipeline");
     for level in OptLevel::ALL {

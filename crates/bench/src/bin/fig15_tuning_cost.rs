@@ -9,7 +9,7 @@
 //! with the session's batch-parallel backend (`ATIM_MEASURE_THREADS`
 //! workers) — so the output shows the tuning-cost win of batching directly.
 
-use atim_autotune::{tune, tune_batch, Measurer, ScheduleConfig, TuningOptions};
+use atim_autotune::{tune, tune_batch, Measurer, Trace, TuningOptions};
 use atim_core::prelude::*;
 use std::time::Instant;
 
@@ -20,8 +20,8 @@ struct RecordingMeasurer<'a> {
 }
 
 impl Measurer for RecordingMeasurer<'_> {
-    fn measure(&mut self, config: &ScheduleConfig) -> Option<f64> {
-        let latency = self.session.measure(config, self.def)?;
+    fn measure(&mut self, trace: &Trace) -> Option<f64> {
+        let latency = self.session.measure(trace, self.def)?;
         self.candidate_ms.push(latency * 1e3);
         Some(latency)
     }

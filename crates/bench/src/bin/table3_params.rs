@@ -2,11 +2,18 @@
 //! size) selected by PrIM, PrIM+search and ATiM for every workload and size
 //! (§7.1).
 
-use atim_autotune::ScheduleConfig;
+use atim_autotune::{ScheduleConfig, Trace};
 use atim_baselines::prim::{prim_default, prim_search_candidates};
 use atim_bench::{atim_report, select_sizes, time_config, trials_from_env};
 use atim_core::prelude::*;
 use atim_workloads::ops::presets_for;
+
+fn describe_trace(trace: &Trace) -> String {
+    match ScheduleConfig::from_trace(trace) {
+        Some(cfg) => describe(&cfg),
+        None => trace.to_string(),
+    }
+}
 
 fn describe(cfg: &ScheduleConfig) -> String {
     let spatial: Vec<String> = cfg.spatial_dpus.iter().map(|d| d.to_string()).collect();
@@ -37,14 +44,14 @@ fn main() {
                 .filter_map(|c| time_config(&session, &workload, &c).map(|r| (c, r.total_s())))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(c, _)| c);
-            let (atim_cfg, _) = atim_report(&session, &workload, trials);
+            let (atim_trace, _) = atim_report(&session, &workload, trials);
             println!(
                 "{kind},{label},{},{},{}",
                 describe(&prim),
                 prim_search
                     .map(|c| describe(&c))
                     .unwrap_or_else(|| "-".into()),
-                describe(&atim_cfg)
+                describe_trace(&atim_trace)
             );
         }
     }

@@ -53,7 +53,7 @@
 
 use std::path::PathBuf;
 
-use atim_autotune::{ScheduleConfig, StreamingTuneLog, TuneLog, TuningOptions};
+use atim_autotune::{ScheduleConfig, StreamingTuneLog, Trace, TuneLog, TuningOptions};
 use atim_baselines::prim::{prim_default, prim_e_candidates, prim_search_candidates};
 use atim_baselines::simplepim::{adjust_report, simplepim_config, SimplePimOverheads};
 use atim_core::prelude::*;
@@ -122,16 +122,26 @@ impl Measurement {
     }
 }
 
-/// Times one schedule configuration of a workload (timing-only simulation).
-/// Returns `None` when the configuration cannot run on the machine.
+/// Times one candidate trace of a workload (timing-only simulation).
+/// Returns `None` when the candidate cannot run on the machine.
+pub fn time_trace(
+    session: &Session,
+    workload: &Workload,
+    trace: &Trace,
+) -> Option<ExecutionReport> {
+    let def = workload.compute_def();
+    let module = session.compile(trace, &def).ok()?;
+    session.time(&module).ok()
+}
+
+/// Times one knob-vector configuration (the form the PrIM/SimplePIM
+/// baselines are expressed in).
 pub fn time_config(
     session: &Session,
     workload: &Workload,
     cfg: &ScheduleConfig,
 ) -> Option<ExecutionReport> {
-    let def = workload.compute_def();
-    let module = session.compile(cfg, &def).ok()?;
-    session.time(&module).ok()
+    time_trace(session, workload, &cfg.to_trace(&workload.compute_def()))
 }
 
 /// Times the PrIM default configuration.
@@ -280,16 +290,16 @@ pub fn atim_tuned(session: &Session, workload: &Workload, trials: usize) -> Tune
     tuned.expect("harness tuning options are valid")
 }
 
-/// Autotunes ATiM for a workload and times the best configuration.
+/// Autotunes ATiM for a workload and times the best trace.
 pub fn atim_report(
     session: &Session,
     workload: &Workload,
     trials: usize,
-) -> (ScheduleConfig, ExecutionReport) {
+) -> (Trace, ExecutionReport) {
     let tuned = atim_tuned(session, workload, trials);
-    let cfg = tuned.best_config().clone();
-    let report = time_config(session, workload, &cfg).unwrap_or_default();
-    (cfg, report)
+    let trace = tuned.best_trace().clone();
+    let report = time_trace(session, workload, &trace).unwrap_or_default();
+    (trace, report)
 }
 
 fn best_of(

@@ -21,13 +21,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use atim_autotune::{Cancellation, MeasureOutcome, ScheduleConfig};
+use atim_autotune::{Cancellation, MeasureOutcome, Trace};
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::Result;
 use atim_tir::schedule::execute_functional;
 
-use crate::compiler::{compile_config, CompileOptions, CompiledModule};
+use crate::compiler::{compile_trace, CompileOptions, CompiledModule};
 use crate::measure::default_measure_threads;
 use crate::runtime::{ExecutedRun, Runtime};
 
@@ -45,12 +45,12 @@ pub trait Backend: Send + Sync {
     /// The compile options applied to every module.
     fn compile_options(&self) -> CompileOptions;
 
-    /// Compiles one schedule configuration.
+    /// Compiles one candidate trace.
     ///
     /// # Errors
-    /// Propagates schedule instantiation and lowering errors.
-    fn compile(&self, config: &ScheduleConfig, def: &ComputeDef) -> Result<CompiledModule> {
-        compile_config(config, def, self.compile_options(), self.hardware())
+    /// Propagates trace application and lowering errors.
+    fn compile(&self, trace: &Trace, def: &ComputeDef) -> Result<CompiledModule> {
+        compile_trace(trace, def, self.compile_options(), self.hardware())
     }
 
     /// Times a compiled module without moving tensor data.
@@ -68,16 +68,16 @@ pub trait Backend: Send + Sync {
     /// Measures the end-to-end latency of one candidate, or `None` when the
     /// candidate fails to compile or run — exactly the signal the autotuner
     /// expects for bad candidates.
-    fn measure(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
-        let module = self.compile(config, def).ok()?;
+    fn measure(&self, trace: &Trace, def: &ComputeDef) -> Option<f64> {
+        let module = self.compile(trace, def).ok()?;
         self.time(&module).ok().map(|r| r.total_s())
     }
 
     /// Measures a whole batch, one result per candidate **in input order**.
     /// The default measures sequentially; backends override this to
     /// parallelize.
-    fn measure_batch(&self, configs: &[ScheduleConfig], def: &ComputeDef) -> Vec<Option<f64>> {
-        configs.iter().map(|c| self.measure(c, def)).collect()
+    fn measure_batch(&self, traces: &[Trace], def: &ComputeDef) -> Vec<Option<f64>> {
+        traces.iter().map(|c| self.measure(c, def)).collect()
     }
 
     /// Like [`Backend::measure_batch`], but checks `cancel` between
@@ -87,18 +87,18 @@ pub trait Backend: Send + Sync {
     /// that only override the plain batch keep their batching behavior.
     fn measure_batch_cancellable(
         &self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         def: &ComputeDef,
         cancel: &Cancellation,
     ) -> Vec<MeasureOutcome> {
         if cancel.is_inert() {
             return self
-                .measure_batch(configs, def)
+                .measure_batch(traces, def)
                 .into_iter()
                 .map(MeasureOutcome::from_result)
                 .collect();
         }
-        configs
+        traces
             .iter()
             .map(|c| {
                 if cancel.cancelled() {
@@ -209,8 +209,8 @@ impl Backend for SimBackend {
         self.runtime.execute(module, inputs)
     }
 
-    fn measure_batch(&self, configs: &[ScheduleConfig], def: &ComputeDef) -> Vec<Option<f64>> {
-        self.measure_batch_cancellable(configs, def, &Cancellation::none())
+    fn measure_batch(&self, traces: &[Trace], def: &ComputeDef) -> Vec<Option<f64>> {
+        self.measure_batch_cancellable(traces, def, &Cancellation::none())
             .into_iter()
             .map(|outcome| match outcome {
                 MeasureOutcome::Measured(latency) => Some(latency),
@@ -222,19 +222,19 @@ impl Backend for SimBackend {
 
     fn measure_batch_cancellable(
         &self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         def: &ComputeDef,
         cancel: &Cancellation,
     ) -> Vec<MeasureOutcome> {
-        // Distinct configurations in first-occurrence order: duplicates
-        // within one batch are simulated once and fanned out to every slot.
-        let mut seen: std::collections::HashMap<&ScheduleConfig, usize> =
-            std::collections::HashMap::with_capacity(configs.len());
+        // Distinct traces in first-occurrence order: duplicates within one
+        // batch are simulated once and fanned out to every slot.
+        let mut seen: std::collections::HashMap<&Trace, usize> =
+            std::collections::HashMap::with_capacity(traces.len());
         let mut unique: Vec<usize> = Vec::new();
-        let mut slot_of: Vec<usize> = Vec::with_capacity(configs.len());
-        for config in configs {
+        let mut slot_of: Vec<usize> = Vec::with_capacity(traces.len());
+        for trace in traces {
             let next_id = unique.len();
-            let id = *seen.entry(config).or_insert(next_id);
+            let id = *seen.entry(trace).or_insert(next_id);
             if id == next_id {
                 unique.push(slot_of.len());
             }
@@ -248,7 +248,7 @@ impl Backend for SimBackend {
             if cancel.cancelled() {
                 MeasureOutcome::Skipped
             } else {
-                MeasureOutcome::from_result(self.measure(&configs[slot], def))
+                MeasureOutcome::from_result(self.measure(&traces[slot], def))
             }
         };
         let workers = self.threads.min(unique.len());
@@ -318,25 +318,26 @@ impl AnalyticBackend {
         AnalyticBackend { hw, options }
     }
 
-    /// The closed-form latency of one candidate (seconds).
-    fn latency(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
-        if config.num_dpus() > self.hw.total_dpus() as i64
-            || config.tasklets > self.hw.max_tasklets as i64
-            || config.tasklets < 1
+    /// The closed-form latency of one candidate (seconds), read off the
+    /// trace's decisions.
+    fn latency(&self, trace: &Trace, def: &ComputeDef) -> Option<f64> {
+        if trace.num_dpus() > self.hw.total_dpus() as i64
+            || trace.tasklets() > self.hw.max_tasklets as i64
+            || trace.tasklets() < 1
         {
             return None;
         }
         let work = def.total_flops() as f64;
-        let dpus = config.num_dpus() as f64;
+        let dpus = trace.num_dpus() as f64;
         // The DPU pipeline saturates at 11 tasklets, as on real UPMEM parts.
-        let tasklets = config.tasklets.min(11) as f64;
+        let tasklets = trace.tasklets().min(11) as f64;
         let kernel = work / (dpus * tasklets);
-        let cache_penalty = if config.use_cache {
-            1.0 + (64.0 - config.cache_elems as f64).abs() / 256.0
+        let cache_penalty = if trace.use_cache() {
+            1.0 + (64.0 - trace.cache_elems() as f64).abs() / 256.0
         } else {
             20.0
         };
-        let reduce_bonus = if config.uses_rfactor() { 0.7 } else { 1.0 };
+        let reduce_bonus = if trace.uses_rfactor() { 0.7 } else { 1.0 };
         let transfer = (def.total_bytes() as f64).sqrt() / 50.0 + dpus * 0.001;
         Some((kernel * cache_penalty * reduce_bonus + transfer) * 1e-6)
     }
@@ -355,11 +356,11 @@ impl Backend for AnalyticBackend {
         self.options
     }
 
-    fn measure(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
+    fn measure(&self, trace: &Trace, def: &ComputeDef) -> Option<f64> {
         // Closed form only: no compilation, no interpretation.  Candidates
-        // the schedule cannot even instantiate still count as failures.
-        self.latency(config, def)
-            .filter(|_| config.instantiate(def).is_ok())
+        // whose trace cannot even apply still count as failures.
+        self.latency(trace, def)
+            .filter(|_| trace.apply(def).is_ok())
     }
 
     fn time(&self, module: &CompiledModule) -> Result<ExecutionReport> {
@@ -390,6 +391,7 @@ impl Backend for AnalyticBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atim_autotune::ScheduleConfig;
     use atim_workloads::data::{generate_inputs, results_match};
 
     #[test]
@@ -398,11 +400,14 @@ mod tests {
         let seq = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 1);
         let par = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 4);
         let base = ScheduleConfig::default_for(&def, seq.hardware());
-        let batch: Vec<ScheduleConfig> = (0..6)
-            .map(|i| ScheduleConfig {
-                spatial_dpus: vec![1 << (i % 4)],
-                tasklets: 1 + i,
-                ..base.clone()
+        let batch: Vec<Trace> = (0..6)
+            .map(|i| {
+                ScheduleConfig {
+                    spatial_dpus: vec![1 << (i % 4)],
+                    tasklets: 1 + i,
+                    ..base.clone()
+                }
+                .to_trace(&def)
             })
             .collect();
         assert_eq!(
@@ -415,11 +420,12 @@ mod tests {
     fn sim_backend_batches_fill_every_slot_in_candidate_order() {
         let def = ComputeDef::mtv("mtv", 64, 48);
         let backend = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 3);
-        let good = ScheduleConfig::default_for(&def, backend.hardware());
+        let good = ScheduleConfig::default_for(&def, backend.hardware()).to_trace(&def);
         let bad = ScheduleConfig {
             spatial_dpus: vec![4096], // exceeds the 16-DPU small machine
-            ..good.clone()
-        };
+            ..ScheduleConfig::default_for(&def, backend.hardware())
+        }
+        .to_trace(&def);
         let results = backend.measure_batch(&[good.clone(), bad, good], &def);
         assert_eq!(results.len(), 3);
         assert!(results[0].is_some());
@@ -433,10 +439,13 @@ mod tests {
         let def = ComputeDef::mtv("mtv", 64, 48);
         let backend = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 2);
         let base = ScheduleConfig::default_for(&def, backend.hardware());
-        let batch: Vec<ScheduleConfig> = (0..4)
-            .map(|i| ScheduleConfig {
-                tasklets: 1 + i,
-                ..base.clone()
+        let batch: Vec<Trace> = (0..4)
+            .map(|i| {
+                ScheduleConfig {
+                    tasklets: 1 + i,
+                    ..base.clone()
+                }
+                .to_trace(&def)
             })
             .collect();
         // A pre-fired token skips everything.
@@ -466,17 +475,74 @@ mod tests {
         assert!(!slow.fastpath());
         assert!(fast.fastpath());
         let base = ScheduleConfig::default_for(&def, slow.hardware());
-        let batch: Vec<ScheduleConfig> = (0..5)
-            .map(|i| ScheduleConfig {
-                spatial_dpus: vec![1 << (i % 4)],
-                tasklets: 1 + i,
-                cache_elems: 8 << (i % 3),
-                ..base.clone()
+        let batch: Vec<Trace> = (0..5)
+            .map(|i| {
+                ScheduleConfig {
+                    spatial_dpus: vec![1 << (i % 4)],
+                    tasklets: 1 + i,
+                    cache_elems: 8 << (i % 3),
+                    ..base.clone()
+                }
+                .to_trace(&def)
             })
             .collect();
         assert_eq!(
             slow.measure_batch(&batch, &def),
             fast.measure_batch(&batch, &def)
+        );
+    }
+
+    /// The fast-path follow-up from the roadmap: misaligned shapes lower to
+    /// boundary-*guarded* kernel loops, which the timing-only summarizer now
+    /// accepts when the guard is monotone affine.  The measurements must
+    /// stay bit-identical with the fast path on vs off, and the guarded
+    /// loops must actually be marked summarizable.
+    #[test]
+    fn fastpath_matches_slow_path_on_misaligned_gemv_and_summarizes_guards() {
+        let def = ComputeDef::gemv("gemv", 97, 103, 1.5);
+        let slow = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 1)
+            .with_fastpath(false);
+        let fast = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 1)
+            .with_fastpath(true);
+        let base = ScheduleConfig::default_for(&def, slow.hardware());
+        // Odd tilings so every split is misaligned and boundary checks land
+        // in the kernel.
+        let batch: Vec<Trace> = [(4i64, 48i64), (8, 24), (2, 96), (4, 32)]
+            .iter()
+            .map(|&(dpus, cache)| {
+                ScheduleConfig {
+                    spatial_dpus: vec![dpus],
+                    reduce_dpus: 2,
+                    tasklets: 6,
+                    cache_elems: cache,
+                    ..base.clone()
+                }
+                .to_trace(&def)
+            })
+            .collect();
+        let slow_results = slow.measure_batch(&batch, &def);
+        let fast_results = fast.measure_batch(&batch, &def);
+        assert!(slow_results.iter().any(|r| r.is_some()));
+        assert_eq!(slow_results, fast_results, "fastpath must be bit-identical");
+
+        // Without boundary-check hoisting the guards stay in the kernel —
+        // and the summarizer must now accept (some of) those guarded loops.
+        let unhoisted = CompileOptions {
+            opt_level: atim_passes::OptLevel::NoOpt,
+            parallel_transfer: true,
+        };
+        let module =
+            crate::compiler::compile_trace(&batch[0], &def, unhoisted, slow.hardware()).unwrap();
+        let counts = module.lowered.kernel.body.count_nodes();
+        assert!(
+            counts.branches > 0,
+            "a misaligned unhoisted GEMV kernel must contain boundary guards"
+        );
+        let program =
+            atim_tir::eval::CompiledProgram::compile(&module.lowered.kernel.body).optimize();
+        assert!(
+            program.summarized_loops() >= 1,
+            "boundary-guarded misaligned GEMV loops must be summarizable"
         );
     }
 
@@ -492,15 +558,15 @@ mod tests {
             spatial_dpus: vec![512],
             ..small.clone()
         };
-        let lat_small = backend.measure(&small, &def).unwrap();
-        let lat_large = backend.measure(&large, &def).unwrap();
+        let lat_small = backend.measure(&small.to_trace(&def), &def).unwrap();
+        let lat_large = backend.measure(&large.to_trace(&def), &def).unwrap();
         assert!(lat_large < lat_small, "more DPUs must be faster");
 
         let impossible = ScheduleConfig {
             spatial_dpus: vec![4096],
             ..small
         };
-        assert!(backend.measure(&impossible, &def).is_none());
+        assert!(backend.measure(&impossible.to_trace(&def), &def).is_none());
     }
 
     #[test]
@@ -508,7 +574,7 @@ mod tests {
         let def = ComputeDef::mtv("mtv", 24, 36);
         let backend = AnalyticBackend::new(UpmemConfig::default());
         let cfg = ScheduleConfig::default_for(&def, backend.hardware());
-        let module = backend.compile(&cfg, &def).unwrap();
+        let module = backend.compile(&cfg.to_trace(&def), &def).unwrap();
         let inputs = generate_inputs(&def, 3);
         let run = backend.execute(&module, &inputs).unwrap();
         let expect = def.reference(&inputs);

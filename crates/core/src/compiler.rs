@@ -7,7 +7,7 @@
 //! C for `dpu-upmem-dpurte-clang`; in ATiM-RS the optimized TIR itself is the
 //! binary format.
 
-use atim_autotune::ScheduleConfig;
+use atim_autotune::{ScheduleConfig, Trace};
 use atim_passes::pipeline::{optimize_kernel, optimize_transfers, OptLevel, PipelineStats};
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
@@ -79,7 +79,27 @@ pub fn compile_schedule(schedule: &Schedule, options: CompileOptions) -> Result<
     })
 }
 
-/// Instantiates a [`ScheduleConfig`] for a computation and compiles it.
+/// Applies a candidate [`Trace`] to a computation and compiles the result.
+///
+/// Decisions-only traces of the default UPMEM sketch (e.g. decoded from a
+/// tuning log) are materialized on the fly; traces of custom generators
+/// must be re-materialized by their generator first.
+///
+/// # Errors
+/// Propagates trace application and lowering errors.
+pub fn compile_trace(
+    trace: &Trace,
+    def: &ComputeDef,
+    options: CompileOptions,
+    _hw: &UpmemConfig,
+) -> Result<CompiledModule> {
+    let schedule = trace.apply(def)?;
+    compile_schedule(&schedule, options)
+}
+
+/// Compiles a knob-vector configuration — the convenience entry point for
+/// fixed baseline configs (PrIM, SimplePIM), routed through the
+/// `ScheduleConfig → Trace` conversion.
 ///
 /// # Errors
 /// Propagates instantiation and lowering errors.
@@ -87,10 +107,9 @@ pub fn compile_config(
     config: &ScheduleConfig,
     def: &ComputeDef,
     options: CompileOptions,
-    _hw: &UpmemConfig,
+    hw: &UpmemConfig,
 ) -> Result<CompiledModule> {
-    let schedule = config.instantiate(def)?;
-    compile_schedule(&schedule, options)
+    compile_trace(&config.to_trace(def), def, options, hw)
 }
 
 #[cfg(test)]

@@ -22,9 +22,10 @@
 //!     .build();
 //! let def = ComputeDef::mtv("mtv", 256, 256);
 //!
-//! // Search the joint host/kernel space, compile the winner, execute it.
+//! // Search the joint host/kernel trace space, compile the winning trace,
+//! // execute it.
 //! let tuned = session.tune(&def, &TuningOptions::quick())?;
-//! let module = session.compile(tuned.best_config(), &def)?;
+//! let module = session.compile(tuned.best_trace(), &def)?;
 //! let inputs = atim_workloads::data::generate_inputs(&def, 1);
 //! let run = session.execute(&module, &inputs)?;
 //! assert!(run.report.total_ms() > 0.0);
@@ -32,7 +33,7 @@
 //! // Tune once, serve many: the search is durable and replayable.
 //! let log = tuned.to_log(TuningOptions::quick().seed);
 //! let replayed = session.replay(&def, &log);
-//! assert_eq!(replayed.best_config(), tuned.best_config());
+//! assert_eq!(replayed.best_trace(), tuned.best_trace());
 //! # Ok(())
 //! # }
 //! ```
@@ -44,12 +45,10 @@ pub mod runtime;
 pub mod session;
 pub mod tuned;
 
-mod atim;
-
-#[allow(deprecated)]
-pub use atim::Atim;
 pub use backend::{AnalyticBackend, Backend, SimBackend};
-pub use compiler::{compile_config, compile_schedule, CompileOptions, CompiledModule};
+pub use compiler::{
+    compile_config, compile_schedule, compile_trace, CompileOptions, CompiledModule,
+};
 pub use measure::{default_measure_threads, BackendMeasurer};
 pub use runtime::{ExecutedRun, Runtime};
 pub use session::{Session, SessionBuilder, SessionError};
@@ -57,15 +56,15 @@ pub use tuned::TunedModule;
 
 /// Commonly used re-exports for downstream users and examples.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::Atim;
     pub use crate::{
         AnalyticBackend, Backend, BackendMeasurer, CompileOptions, CompiledModule, ExecutedRun,
         Session, SessionBuilder, SessionError, SimBackend, TunedModule,
     };
     pub use atim_autotune::log::TuneLog;
     pub use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver};
-    pub use atim_autotune::{ScheduleConfig, TuningOptions};
+    pub use atim_autotune::{
+        ScheduleConfig, SpaceGenerator, Trace, TuningOptions, UpmemSketchGenerator,
+    };
     pub use atim_passes::OptLevel;
     pub use atim_sim::{SimMode, UpmemConfig};
     pub use atim_tir::compute::ComputeDef;

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use atim_autotune::{BatchMeasurer, Cancellation, MeasureOutcome, ScheduleConfig};
+use atim_autotune::{BatchMeasurer, Cancellation, MeasureOutcome, Trace};
 use atim_tir::compute::ComputeDef;
 
 use crate::backend::Backend;
@@ -67,11 +67,12 @@ pub fn default_measure_threads() -> usize {
 }
 
 /// A [`BatchMeasurer`] over a [`Backend`], with in-batch deduplication and
-/// a cross-round memoization cache.
+/// a cross-round memoization cache, both keyed on trace identity (sketch +
+/// decision list).
 pub struct BackendMeasurer<'a> {
     backend: &'a dyn Backend,
     def: &'a ComputeDef,
-    cache: HashMap<ScheduleConfig, Option<f64>>,
+    cache: HashMap<Trace, Option<f64>>,
     cache_hits: usize,
 }
 
@@ -86,7 +87,7 @@ impl<'a> BackendMeasurer<'a> {
         }
     }
 
-    /// Number of distinct configurations measured so far.
+    /// Number of distinct traces measured so far.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
@@ -99,10 +100,10 @@ impl<'a> BackendMeasurer<'a> {
 }
 
 impl BatchMeasurer for BackendMeasurer<'_> {
-    fn measure_batch(&mut self, configs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+    fn measure_batch(&mut self, traces: &[Trace]) -> Vec<Option<f64>> {
         // One implementation: the cancellable path with a condition that
         // never triggers (so `Skipped` is impossible).
-        self.measure_batch_cancellable(configs, &Cancellation::none())
+        self.measure_batch_cancellable(traces, &Cancellation::none())
             .into_iter()
             .map(|outcome| match outcome {
                 MeasureOutcome::Measured(latency) => Some(latency),
@@ -114,28 +115,28 @@ impl BatchMeasurer for BackendMeasurer<'_> {
 
     fn measure_batch_cancellable(
         &mut self,
-        configs: &[ScheduleConfig],
+        traces: &[Trace],
         cancel: &Cancellation,
     ) -> Vec<MeasureOutcome> {
         // Memo answers are free and always honored; only candidates that
         // need the backend respect the cancellation.
-        let mut out: Vec<Option<MeasureOutcome>> = configs
+        let mut out: Vec<Option<MeasureOutcome>> = traces
             .iter()
             .map(|c| self.cache.get(c).map(|r| MeasureOutcome::from_result(*r)))
             .collect();
         self.cache_hits += out.iter().filter(|r| r.is_some()).count();
 
-        let mut seen: std::collections::HashSet<&ScheduleConfig> =
-            std::collections::HashSet::with_capacity(configs.len());
+        let mut seen: std::collections::HashSet<&Trace> =
+            std::collections::HashSet::with_capacity(traces.len());
         let mut unique: Vec<usize> = Vec::new();
-        for (i, config) in configs.iter().enumerate() {
-            if out[i].is_none() && seen.insert(config) {
+        for (i, trace) in traces.iter().enumerate() {
+            if out[i].is_none() && seen.insert(trace) {
                 unique.push(i);
             }
         }
 
         if !unique.is_empty() {
-            let batch: Vec<ScheduleConfig> = unique.iter().map(|&i| configs[i].clone()).collect();
+            let batch: Vec<Trace> = unique.iter().map(|&i| traces[i].clone()).collect();
             let results = self
                 .backend
                 .measure_batch_cancellable(&batch, self.def, cancel);
@@ -147,10 +148,10 @@ impl BatchMeasurer for BackendMeasurer<'_> {
             for (&slot, outcome) in unique.iter().zip(results) {
                 match outcome {
                     MeasureOutcome::Measured(latency) => {
-                        self.cache.insert(configs[slot].clone(), Some(latency));
+                        self.cache.insert(traces[slot].clone(), Some(latency));
                     }
                     MeasureOutcome::Failed => {
-                        self.cache.insert(configs[slot].clone(), None);
+                        self.cache.insert(traces[slot].clone(), None);
                     }
                     // Skipped candidates stay uncached so a later round can
                     // measure them for real.
@@ -167,7 +168,7 @@ impl BatchMeasurer for BackendMeasurer<'_> {
             .map(|(i, r)| {
                 r.or_else(|| {
                     self.cache
-                        .get(&configs[i])
+                        .get(&traces[i])
                         .map(|c| MeasureOutcome::from_result(*c))
                 })
                 .unwrap_or(MeasureOutcome::Skipped)
@@ -185,13 +186,16 @@ mod tests {
 
     #[test]
     fn batches_fill_every_slot_in_candidate_order() {
+        use atim_autotune::ScheduleConfig;
         let backend = SimBackend::with_threads(UpmemConfig::small(), CompileOptions::default(), 3);
         let def = ComputeDef::mtv("mtv", 64, 48);
-        let good = ScheduleConfig::default_for(&def, backend.hardware());
+        let good_cfg = ScheduleConfig::default_for(&def, backend.hardware());
+        let good = good_cfg.to_trace(&def);
         let bad = ScheduleConfig {
             spatial_dpus: vec![4096], // exceeds the 16-DPU small machine
-            ..good.clone()
-        };
+            ..good_cfg
+        }
+        .to_trace(&def);
         let batch = vec![good.clone(), bad.clone(), good.clone()];
         let mut measurer = BackendMeasurer::new(&backend, &def);
         let results = measurer.measure_batch(&batch);

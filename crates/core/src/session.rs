@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use atim_autotune::log::TuneLog;
 use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver, TuningSession};
-use atim_autotune::{ScheduleConfig, TuningOptions, WarmStartMeasurer};
+use atim_autotune::{
+    ScheduleConfig, SpaceGenerator, Trace, TuningOptions, UpmemSketchGenerator, WarmStartMeasurer,
+};
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::{Result as TirResult, TirError};
@@ -77,6 +79,7 @@ pub struct SessionBuilder {
     compile_options: Option<CompileOptions>,
     backend: Option<Arc<dyn Backend>>,
     measure_threads: Option<usize>,
+    generator: Option<Arc<dyn SpaceGenerator>>,
 }
 
 impl SessionBuilder {
@@ -116,6 +119,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Plugs in a custom schedule-space generator, replacing the default
+    /// UPMEM sketch: every tuning run of the session proposes candidates
+    /// from this generator's sketches.
+    pub fn space_generator(mut self, generator: impl SpaceGenerator + 'static) -> Self {
+        self.generator = Some(Arc::new(generator));
+        self
+    }
+
+    /// Like [`SessionBuilder::space_generator`] for an already-shared
+    /// generator.
+    pub fn space_generator_arc(mut self, generator: Arc<dyn SpaceGenerator>) -> Self {
+        self.generator = Some(generator);
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Panics
@@ -133,7 +151,12 @@ impl SessionBuilder {
                 })
             }
         };
-        Session { backend }
+        Session {
+            backend,
+            generator: self
+                .generator
+                .unwrap_or_else(|| Arc::new(UpmemSketchGenerator)),
+        }
     }
 }
 
@@ -145,6 +168,7 @@ impl SessionBuilder {
 #[derive(Clone)]
 pub struct Session {
     backend: Arc<dyn Backend>,
+    generator: Arc<dyn SpaceGenerator>,
 }
 
 impl fmt::Debug for Session {
@@ -201,12 +225,30 @@ impl Session {
         &*self.backend
     }
 
-    /// Compiles a schedule configuration for a computation.
+    /// The schedule-space generator tuning runs propose candidates from.
+    pub fn space_generator(&self) -> &Arc<dyn SpaceGenerator> {
+        &self.generator
+    }
+
+    /// Compiles a candidate trace for a computation.
+    ///
+    /// # Errors
+    /// Propagates trace application and lowering errors.
+    pub fn compile(&self, trace: &Trace, def: &ComputeDef) -> TirResult<CompiledModule> {
+        self.backend.compile(trace, def)
+    }
+
+    /// Compiles a knob-vector configuration — the convenience form of
+    /// [`Session::compile`] for fixed baseline configs.
     ///
     /// # Errors
     /// Propagates schedule instantiation and lowering errors.
-    pub fn compile(&self, config: &ScheduleConfig, def: &ComputeDef) -> TirResult<CompiledModule> {
-        self.backend.compile(config, def)
+    pub fn compile_config(
+        &self,
+        config: &ScheduleConfig,
+        def: &ComputeDef,
+    ) -> TirResult<CompiledModule> {
+        self.backend.compile(&config.to_trace(def), def)
     }
 
     /// Times a compiled module without moving tensor data.
@@ -225,10 +267,16 @@ impl Session {
         self.backend.execute(module, inputs)
     }
 
-    /// Measures the end-to-end latency of a schedule configuration, or
-    /// `None` for configurations that fail to compile or run.
-    pub fn measure(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
-        self.backend.measure(config, def)
+    /// Measures the end-to-end latency of a candidate trace, or `None` for
+    /// candidates that fail to compile or run.
+    pub fn measure(&self, trace: &Trace, def: &ComputeDef) -> Option<f64> {
+        self.backend.measure(trace, def)
+    }
+
+    /// Measures a knob-vector configuration — the convenience form of
+    /// [`Session::measure`] for fixed baseline configs.
+    pub fn measure_config(&self, config: &ScheduleConfig, def: &ComputeDef) -> Option<f64> {
+        self.backend.measure(&config.to_trace(def), def)
     }
 
     /// Runs the full autotuning flow for a computation — the blocking
@@ -262,7 +310,12 @@ impl Session {
         budget: &Budget,
         observer: &mut dyn TuningObserver,
     ) -> Result<TunedModule, TuningError> {
-        let mut session = TuningSession::new(def, self.hardware(), options)?;
+        let mut session = TuningSession::with_generator(
+            def,
+            self.hardware(),
+            options,
+            Arc::clone(&self.generator),
+        )?;
         let mut measurer = BackendMeasurer::new(self.backend(), def);
         let result = session.run(&mut measurer, budget, observer);
         Ok(TunedModule::new(def.clone(), result, self.hardware()))
@@ -284,7 +337,12 @@ impl Session {
         budget: &Budget,
         observer: &mut dyn TuningObserver,
     ) -> Result<TunedModule, TuningError> {
-        let mut session = TuningSession::new(def, self.hardware(), options)?;
+        let mut session = TuningSession::with_generator(
+            def,
+            self.hardware(),
+            options,
+            Arc::clone(&self.generator),
+        )?;
         let mut inner = BackendMeasurer::new(self.backend(), def);
         let mut measurer = WarmStartMeasurer::new(log, &mut inner);
         let result = session.run(&mut measurer, budget, observer);
@@ -310,7 +368,7 @@ impl Session {
         options: &TuningOptions,
     ) -> std::result::Result<(TunedModule, CompiledModule), SessionError> {
         let tuned = self.tune(def, options)?;
-        let module = self.compile(tuned.best_config(), def)?;
+        let module = self.compile(tuned.best_trace(), def)?;
         Ok((tuned, module))
     }
 }
@@ -382,7 +440,7 @@ mod tests {
         let tuned = session.tune(&def, &TuningOptions::quick()).unwrap();
         assert!(tuned.best_latency_s().is_finite());
         // The analytic optimum rewards DPU parallelism.
-        assert!(tuned.best_config().num_dpus() >= 64);
+        assert!(tuned.best_trace().num_dpus() >= 64);
     }
 
     #[test]

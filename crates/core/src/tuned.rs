@@ -1,24 +1,24 @@
 //! Results of an autotuning session, packaged for downstream use.
 
 use atim_autotune::log::TuneLog;
-use atim_autotune::{ScheduleConfig, TuningRecord, TuningResult};
+use atim_autotune::{ScheduleConfig, Trace, TuningRecord, TuningResult};
 use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
 
-/// The outcome of [`crate::Atim::autotune`]: the tuned configuration plus the
-/// full search history.
+/// The outcome of [`crate::Session::tune`]: the tuned trace plus the full
+/// search history.
 #[derive(Debug, Clone)]
 pub struct TunedModule {
     def: ComputeDef,
     result: TuningResult,
-    fallback: ScheduleConfig,
+    fallback: Trace,
 }
 
 impl TunedModule {
-    /// Wraps a tuning result, providing a sensible fallback configuration in
-    /// case every measurement failed.
+    /// Wraps a tuning result, providing a sensible fallback trace in case
+    /// every measurement failed.
     pub fn new(def: ComputeDef, result: TuningResult, hw: &UpmemConfig) -> Self {
-        let fallback = ScheduleConfig::default_for(&def, hw);
+        let fallback = ScheduleConfig::default_for(&def, hw).to_trace(&def);
         TunedModule {
             def,
             result,
@@ -31,13 +31,25 @@ impl TunedModule {
         &self.def
     }
 
-    /// The best configuration found (or the fallback if tuning failed).
-    pub fn best_config(&self) -> &ScheduleConfig {
+    /// The best trace found (or the fallback if tuning failed).
+    pub fn best_trace(&self) -> &Trace {
         self.result
             .best
             .as_ref()
             .map(|(c, _)| c)
             .unwrap_or(&self.fallback)
+    }
+
+    /// The best candidate's UPMEM knob vector — the human-readable view of
+    /// [`TunedModule::best_trace`] used by reports and examples.
+    ///
+    /// # Panics
+    /// Panics when the best trace came from a custom space generator without
+    /// the UPMEM decision sites; read [`TunedModule::best_trace`] directly in
+    /// that case.
+    pub fn best_config(&self) -> ScheduleConfig {
+        ScheduleConfig::from_trace(self.best_trace())
+            .expect("best trace lacks the UPMEM knob sites; use best_trace()")
     }
 
     /// Best measured latency in seconds (infinity if nothing was measured).
@@ -111,6 +123,7 @@ mod tests {
         assert_eq!(tuned.best_gflops(), 0.0);
         assert_eq!(tuned.rejected(), 3);
         assert_eq!(tuned.failed(), 2);
+        assert!(tuned.best_trace().num_dpus() >= 1);
         assert!(tuned.best_config().num_dpus() >= 1);
     }
 
@@ -120,14 +133,14 @@ mod tests {
         let hw = UpmemConfig::default();
         let cfg = ScheduleConfig::default_for(&def, &hw);
         let result = TuningResult {
-            best: Some((cfg.clone(), 1e-3)),
+            best: Some((cfg.to_trace(&def), 1e-3)),
             history: Vec::new(),
             measured: 1,
             failed: 0,
             rejected: 0,
         };
         let tuned = TunedModule::new(def.clone(), result, &hw);
-        assert_eq!(tuned.best_config(), &cfg);
+        assert_eq!(tuned.best_config(), cfg);
         assert!((tuned.best_latency_s() - 1e-3).abs() < 1e-12);
         let expected_gflops = def.total_flops() as f64 / 1e-3 / 1e9;
         assert!((tuned.best_gflops() - expected_gflops).abs() < 1e-9);

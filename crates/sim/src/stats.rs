@@ -101,6 +101,7 @@ impl Tracer for DpuCounters {
                 _ => self.wram_stores += count,
             }
         }
+        self.branches += events.branches;
         self.loop_enters += events.loop_enters;
         self.loop_iters += events.loop_iters;
         self.dma_requests += events.dma_requests;

@@ -489,6 +489,18 @@ struct ProbeEvents {
     /// `(scope, bytes, count)` runs in event order.
     loads: Vec<(crate::buffer::MemScope, usize, u64)>,
     stores: Vec<(crate::buffer::MemScope, usize, u64)>,
+    /// Guard branches evaluated (this body's own plus, via `bulk`, those of
+    /// nested summarized loops).
+    branches: u64,
+    /// The *direction sequence* of this body's own guard branches, RLE
+    /// encoded.  Compared verbatim across the three probes: every guard is
+    /// statically monotone, and a monotone boolean that takes the same
+    /// direction at iterations 0, 1 and n-1 is constant over the whole
+    /// range — so equal sequences pin every guard (even several per body,
+    /// including opposite-direction pairs that would alias in the anonymous
+    /// event counts) and the extrapolation stays exact.  Nested summarized
+    /// loops validate their own guards in their own probes.
+    branch_dirs: Vec<(bool, u64)>,
     /// `(requests, total bytes)` per DMA site in event order.
     dma: Vec<(u64, u64)>,
     loop_enters: u64,
@@ -521,8 +533,12 @@ impl Tracer for ProbeEvents {
     fn store(&mut self, scope: crate::buffer::MemScope, bytes: usize) {
         push_rle(&mut self.stores, scope, bytes, 1);
     }
-    fn branch(&mut self, _taken: bool) {
-        self.unsupported = true;
+    fn branch(&mut self, taken: bool) {
+        self.branches += 1;
+        match self.branch_dirs.last_mut() {
+            Some(last) if last.0 == taken => last.1 += 1,
+            _ => self.branch_dirs.push((taken, 1)),
+        }
     }
     fn loop_enter(&mut self) {
         self.loop_enters += 1;
@@ -549,6 +565,7 @@ impl Tracer for ProbeEvents {
         for &(scope, bytes, count) in &events.stores {
             push_rle(&mut self.stores, scope, bytes, count);
         }
+        self.branches += events.branches;
         self.loop_enters += events.loop_enters;
         self.loop_iters += events.loop_iters;
         if events.dma_requests > 0 {
@@ -567,6 +584,8 @@ impl ProbeEvents {
             && self.alu == other.alu
             && self.loads == other.loads
             && self.stores == other.stores
+            && self.branches == other.branches
+            && self.branch_dirs == other.branch_dirs
             && self.loop_enters == other.loop_enters
             && self.loop_iters == other.loop_iters
             && self.barriers == other.barriers
@@ -1009,6 +1028,7 @@ impl<'p> CompiledRunner<'p> {
         let n = n as u64;
         let mut bulk = BulkEvents {
             alu: p0.alu * n,
+            branches: p0.branches * n,
             loop_enters: p0.loop_enters * n,
             loop_iters: n + p0.loop_iters * n,
             dma_requests: dma_requests_per_iter * n,

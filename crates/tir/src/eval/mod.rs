@@ -83,6 +83,10 @@ pub struct BulkEvents {
     pub loads: Vec<(MemScope, usize, u64)>,
     /// Scalar stores as `(scope, bytes per store, count)` groups.
     pub stores: Vec<(MemScope, usize, u64)>,
+    /// Conditional branches evaluated (the guard checks of summarized
+    /// boundary-guarded loops; the taken direction is not preserved — all
+    /// in-tree tracers are pure counters).
+    pub branches: u64,
     /// Loop headers entered (nested loops inside a summarized body).
     pub loop_enters: u64,
     /// Loop iterations (back-edge bookkeeping events).
@@ -149,6 +153,10 @@ pub trait Tracer {
             for _ in 0..count {
                 self.store(scope, bytes);
             }
+        }
+        for _ in 0..events.branches {
+            // The per-branch direction is not recorded in a bulk batch.
+            self.branch(false);
         }
         for _ in 0..events.loop_enters {
             self.loop_enter();
@@ -239,6 +247,7 @@ impl Tracer for CountingTracer {
         for &(_, _, count) in &events.stores {
             self.stores += count as usize;
         }
+        self.branches += events.branches as usize;
         self.loop_iters += events.loop_iters as usize;
         self.dma_requests += events.dma_requests as usize;
         self.dma_bytes += events.dma_bytes as usize;

@@ -20,11 +20,17 @@
 //!    never writes is evaluated once per loop *entry* (untraced) and re-read
 //!    per iteration through `PushHoisted`, which bumps the ALU count the
 //!    in-loop computation would have traced.
-//! 5. **Loop summarization** — innermost straight-line loop bodies whose DMA
-//!    sizes are provably affine in the induction variable are marked
-//!    summarizable: in [`ExecMode::TimingOnly`](super::ExecMode), the runner
-//!    probes three iterations and applies the rest as one closed-form
-//!    [`BulkEvents`](super::BulkEvents) batch instead of iterating.
+//! 5. **Loop summarization** — loop bodies whose DMA sizes are provably
+//!    affine in the induction variable, and whose only control flow is
+//!    well-nested inner loops plus *monotone* affine guards (`Lin < Inv`
+//!    under Lt/Le/Gt/Ge — the boundary checks of misaligned shapes), are
+//!    marked summarizable: in [`ExecMode::TimingOnly`](super::ExecMode), the
+//!    runner probes three iterations and applies the rest as one
+//!    closed-form [`BulkEvents`](super::BulkEvents) batch instead of
+//!    iterating.  Three agreeing samples at iterations 0, 1 and n-1 pin a
+//!    monotone guard constant over the whole range, so the batch stays
+//!    exact; a guard that actually flips makes the probes disagree and the
+//!    loop falls back to full execution.
 //!
 //! Divergence from the unoptimized program is limited to *error paths*: a
 //! hoisted expression over an unbound variable raises its error at loop entry
@@ -493,18 +499,22 @@ fn find_loops(insts: &[Inst]) -> Vec<LoopRegion> {
     loops
 }
 
-/// Whether a loop body has summarizable *structure*: branch-free with only
-/// well-nested inner loops, and no jump from outside landing inside it.
-/// (Inner loops are fine — their event counts per outer iteration are
-/// compared by the runtime probe; branches are not, because they change the
-/// traced event *sequence* in ways three samples cannot pin.)
+/// Whether a loop body has summarizable *structure*: well-nested inner
+/// loops, no jump from outside landing inside it, and no control flow the
+/// probe cannot model.  (Inner loops are fine — their event counts per
+/// outer iteration are compared by the runtime probe.  Plain `Branch`
+/// guards are admitted here and then vetted by [`dma_sizes_affine`]: only
+/// *monotone* affine conditions survive, because a monotone boolean that
+/// agrees at iterations 0, 1 and n-1 is constant over the whole range —
+/// exactly what makes the three-point probe sound.  `Select` and
+/// short-circuit constructs still disqualify: their value flows into
+/// arithmetic the probe cannot see.)
 fn summarizable_structure(insts: &[Inst], region: &LoopRegion) -> bool {
     let (start, end) = (region.enter + 1, region.back);
     for inst in &insts[start..end] {
         if matches!(
             inst,
-            Inst::Branch { .. }
-                | Inst::SelectBranch { .. }
+            Inst::SelectBranch { .. }
                 | Inst::AndShortCircuit { .. }
                 | Inst::OrShortCircuit { .. }
                 | Inst::Jump(_)
@@ -540,18 +550,26 @@ fn summarizable_structure(insts: &[Inst], region: &LoopRegion) -> bool {
 }
 
 /// Abstract value for the DMA-size affinity analysis: invariant across
-/// iterations, affine in the induction variable with invariant coefficients,
-/// or neither.
+/// iterations, affine in the induction variable with invariant
+/// coefficients, a *monotone boolean* of the induction variable (an
+/// ordering comparison of affine operands — it flips direction at most
+/// once over the iteration range), or none of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Aff {
     Inv,
     Lin,
+    Mono,
     Other,
 }
 
-/// Verifies every `Dma` element count in a straight-line body is affine in
-/// the induction variable (`max(0, ·)` of an affine value is convex, which
-/// is what makes the runner's three-point probe sound).
+/// Verifies every `Dma` element count in the body is affine in the
+/// induction variable (`max(0, ·)` of an affine value is convex, which is
+/// what makes the runner's three-point probe sound), and every `Branch`
+/// guard condition is invariant or *monotone* affine (`Lin < Inv` under
+/// Lt/Le/Gt/Ge and their negations): a monotone boolean whose samples agree
+/// at 0, 1 and n-1 is constant on [0, n-1], so matching probes pin the
+/// whole range.  Eq/Ne comparisons on affine operands can flip twice and
+/// are rejected.
 fn dma_sizes_affine(insts: &[Inst], region: &LoopRegion) -> bool {
     use Aff::*;
     let iter_slot = region.slot;
@@ -575,12 +593,12 @@ fn dma_sizes_affine(insts: &[Inst], region: &LoopRegion) -> bool {
                 let x = pop(&mut stack);
                 stack.push(match op {
                     BinOp::Add | BinOp::Sub => match (x, y) {
-                        (Other, _) | (_, Other) => Other,
+                        (Other, _) | (_, Other) | (Mono, _) | (_, Mono) => Other,
                         (Inv, Inv) => Inv,
                         _ => Lin,
                     },
                     BinOp::Mul => match (x, y) {
-                        (Other, _) | (_, Other) | (Lin, Lin) => Other,
+                        (Other, _) | (_, Other) | (Mono, _) | (_, Mono) | (Lin, Lin) => Other,
                         (Inv, Inv) => Inv,
                         _ => Lin,
                     },
@@ -593,12 +611,35 @@ fn dma_sizes_affine(insts: &[Inst], region: &LoopRegion) -> bool {
                     }
                 });
             }
-            Inst::Cmp(_) => {
+            Inst::Cmp(op) => {
                 let y = pop(&mut stack);
                 let x = pop(&mut stack);
-                stack.push(if x == Inv && y == Inv { Inv } else { Other });
+                use crate::expr::CmpOp;
+                stack.push(match (x, y) {
+                    (Inv, Inv) => Inv,
+                    // An ordering comparison of affine operands is monotone
+                    // in the induction variable (the difference is affine,
+                    // so its sign changes at most once).  Eq/Ne can flip
+                    // twice — not monotone.
+                    (Inv | Lin, Inv | Lin)
+                        if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) =>
+                    {
+                        Mono
+                    }
+                    _ => Other,
+                });
             }
-            Inst::Not | Inst::Cast { .. } | Inst::BoolCast => {
+            Inst::Not => {
+                // The negation of a monotone boolean is monotone (it flips
+                // at the same single point).
+                let x = pop(&mut stack);
+                stack.push(match x {
+                    Inv => Inv,
+                    Mono => Mono,
+                    _ => Other,
+                });
+            }
+            Inst::Cast { .. } | Inst::BoolCast => {
                 let x = pop(&mut stack);
                 stack.push(if x == Inv { Inv } else { Other });
             }
@@ -619,7 +660,17 @@ fn dma_sizes_affine(insts: &[Inst], region: &LoopRegion) -> bool {
                 let elems = pop(&mut stack);
                 let _src_off = pop(&mut stack);
                 let _dst_off = pop(&mut stack);
-                if elems == Other {
+                if elems == Other || elems == Mono {
+                    return false;
+                }
+            }
+            // A guard: admissible when its condition cannot flip direction
+            // more than once across the iteration range.  The runtime probe
+            // then verifies the direction actually agrees at 0, 1 and n-1,
+            // which (by monotonicity) pins it constant.
+            Inst::Branch { .. } => {
+                let cond = pop(&mut stack);
+                if cond != Inv && cond != Mono {
                     return false;
                 }
             }
@@ -1039,14 +1090,19 @@ mod tests {
         let i = Var::new("i");
         let j = Var::new("j");
         let n = Var::new("n");
-        // The inner loop is guarded (not summarizable); the guard bound
-        // `n*4 + 7 - 3` is invariant in both loops, so it hoists.
+        // The inner loop is guarded by an *equality* test — non-monotone,
+        // so the loop is not summarizable (monotone ordering guards now
+        // are) and the hoister still processes its body.  The guard bound
+        // `n*4 + n*7 - n*3` is invariant in both loops, so it hoists.
         let bound = Expr::var(&n)
             .mul(Expr::int(4))
             .add(Expr::var(&n).mul(Expr::int(7)))
             .sub(Expr::var(&n).mul(Expr::int(3)));
         let body = Stmt::if_then(
-            Expr::var(&i).mul(Expr::int(8)).add(Expr::var(&j)).lt(bound),
+            Expr::var(&i)
+                .mul(Expr::int(8))
+                .add(Expr::var(&j))
+                .eq_expr(bound),
             Stmt::store(
                 &a,
                 Expr::var(&i).mul(Expr::int(8)).add(Expr::var(&j)),
@@ -1136,6 +1192,159 @@ mod tests {
         // The loop is *marked* summarizable (the static analysis cannot see
         // the clamp), but the runtime probe rejects it — counts still match,
         // which is what assert_optimized_equivalent verified above.
+        assert_eq!(stats.loops_summarized, 1, "{stats:?}");
+    }
+
+    /// The fast-path follow-up from the roadmap: a boundary guard
+    /// (`i*K + j < N`, i.e. a *monotone* affine condition) no longer
+    /// disqualifies a loop from timing-only summarization.  The probe's
+    /// three samples pin the guard constant, so event totals stay exact —
+    /// `assert_optimized_equivalent` checks them against the tree
+    /// interpreter in both modes.
+    #[test]
+    fn monotone_boundary_guards_are_summarized() {
+        let a = Buffer::new("A", DType::F32, vec![2048], MemScope::Global);
+        let i = Var::new("i");
+        let j = Var::new("j");
+        // The canonical misaligned-shape kernel: an inner loop of 32 whose
+        // work is guarded by the flattened index against the true extent.
+        // 61*32 = 1952 < 2048, so the guard is true throughout for most
+        // outer iterations and false-tail only in the last — each inner
+        // loop instance sees a monotone (here: constant or single-flip)
+        // guard.
+        let idx = Expr::var(&i).mul(Expr::int(32)).add(Expr::var(&j));
+        let body = Stmt::if_then(
+            idx.clone().lt(Expr::int(1999)),
+            Stmt::store(&a, idx, Expr::float(1.0)),
+        );
+        let prog = Stmt::for_serial(i, 61i64, Stmt::for_serial(j, 32i64, body));
+        let stats = assert_optimized_equivalent(&prog, |s| s.alloc(&a, 0), &[&a]);
+        assert!(
+            stats.loops_summarized >= 1,
+            "boundary-guarded loops must be summarizable: {stats:?}"
+        );
+    }
+
+    /// Inverted and invariant guards are monotone too; `Eq` guards are not.
+    #[test]
+    fn guard_monotonicity_is_classified_per_comparison() {
+        let a = Buffer::new("A", DType::F32, vec![1024], MemScope::Global);
+        let build = |cond: fn(Expr, Expr) -> Expr| {
+            let i = Var::new("i");
+            let body = Stmt::if_then(
+                cond(Expr::var(&i).mul(Expr::int(2)), Expr::int(37)),
+                Stmt::store(&a, Expr::var(&i), Expr::float(1.0)),
+            );
+            Stmt::for_serial(i, 24i64, body)
+        };
+        for (name, cond, summarizable) in [
+            (
+                "lt",
+                (|l: Expr, r: Expr| l.lt(r)) as fn(Expr, Expr) -> Expr,
+                true,
+            ),
+            ("le", |l: Expr, r: Expr| l.le(r), true),
+            ("gt", |l: Expr, r: Expr| l.gt(r), true),
+            ("ge", |l: Expr, r: Expr| l.ge(r), true),
+            ("eq", |l: Expr, r: Expr| l.eq_expr(r), false),
+        ] {
+            let prog = build(cond);
+            let stats = assert_optimized_equivalent(&prog, |s| s.alloc(&a, 0), &[&a]);
+            assert_eq!(
+                stats.loops_summarized >= 1,
+                summarizable,
+                "{name}: {stats:?}"
+            );
+        }
+    }
+
+    /// Two individually-monotone guards of *opposite* direction in one body
+    /// (head/tail peeling) would alias in anonymous event counts: probes at
+    /// 0, 1 and n-1 each see exactly one store, yet the middle iterations
+    /// see none.  The probe's branch-direction sequence comparison must
+    /// detect the flip and fall back to exact execution — the equivalence
+    /// assertion fails loudly if bulk totals were ever extrapolated.
+    #[test]
+    fn opposite_direction_guard_pairs_cannot_alias_the_probe() {
+        let a = Buffer::new("A", DType::F32, vec![64], MemScope::Global);
+        let i = Var::new("i");
+        let head = Stmt::if_then(
+            Expr::var(&i).lt(Expr::int(16)),
+            Stmt::store(&a, Expr::int(0), Expr::float(1.0)),
+        );
+        let tail = Stmt::if_then(
+            Expr::var(&i).ge(Expr::int(20)),
+            Stmt::store(&a, Expr::int(0), Expr::float(2.0)),
+        );
+        let prog = Stmt::for_serial(i, 32i64, Stmt::seq(vec![head, tail]));
+        let stats = assert_optimized_equivalent(&prog, |s| s.alloc(&a, 0), &[&a]);
+        // Statically both guards are monotone, so the loop is *marked*; the
+        // runtime probe must reject it (directions disagree across probes),
+        // which the equivalence assertion above proved.
+        assert_eq!(stats.loops_summarized, 1, "{stats:?}");
+    }
+
+    /// The same-direction multi-guard pattern of real lowered kernels (one
+    /// boundary check per cache read/compute/write-back) stays summarizable
+    /// and exact.
+    #[test]
+    fn same_condition_guard_groups_still_summarize() {
+        let a = Buffer::new("A", DType::F32, vec![64], MemScope::Global);
+        let b = Buffer::new("B", DType::F32, vec![64], MemScope::Global);
+        let i = Var::new("i");
+        let guard =
+            |body: Stmt| Stmt::if_then(Expr::var(&i).mul(Expr::int(2)).lt(Expr::int(1000)), body);
+        let prog = Stmt::for_serial(
+            i.clone(),
+            24i64,
+            Stmt::seq(vec![
+                guard(Stmt::store(&a, Expr::var(&i), Expr::float(1.0))),
+                guard(Stmt::store(&b, Expr::var(&i), Expr::float(2.0))),
+                guard(Stmt::store(&a, Expr::var(&i), Expr::float(3.0))),
+            ]),
+        );
+        let stats = assert_optimized_equivalent(
+            &prog,
+            |s| {
+                s.alloc(&a, 0);
+                s.alloc(&b, 0);
+            },
+            &[&a, &b],
+        );
+        assert_eq!(stats.loops_summarized, 1, "{stats:?}");
+    }
+
+    /// A guarded DMA: the guard is monotone and the transfer size affine, so
+    /// the loop summarizes — and when the guard actually flips inside the
+    /// range, the runtime probe detects the diverging event shape and falls
+    /// back to full execution with identical totals.
+    #[test]
+    fn guarded_dma_loops_summarize_with_exact_totals() {
+        let mram = Buffer::new("M", DType::F32, vec![4096], MemScope::Mram);
+        let wram = Buffer::new("W", DType::F32, vec![64], MemScope::Wram);
+        let i = Var::new("i");
+        let body = Stmt::if_then(
+            Expr::var(&i).mul(Expr::int(64)).lt(Expr::int(1000)),
+            Stmt::Dma {
+                dst: wram.clone(),
+                dst_off: Expr::int(0),
+                src: mram.clone(),
+                src_off: Expr::var(&i).mul(Expr::int(64)),
+                elems: Expr::int(64),
+            },
+        );
+        let prog = Stmt::for_serial(i.clone(), 32i64, body);
+        let stats = assert_optimized_equivalent(
+            &prog,
+            |s| {
+                s.alloc(&mram, 0);
+                s.alloc(&wram, 0);
+            },
+            &[],
+        );
+        // Statically summarizable; the probe rejects it at runtime (the
+        // guard flips at i=16), which the equivalence assertion above
+        // already proved costs no exactness.
         assert_eq!(stats.loops_summarized, 1, "{stats:?}");
     }
 

@@ -15,7 +15,7 @@ fn total_ms(
     cfg: &atim_autotune::ScheduleConfig,
 ) -> Option<f64> {
     let def = workload.compute_def();
-    let module = session.compile(cfg, &def).ok()?;
+    let module = session.compile_config(cfg, &def).ok()?;
     session.time(&module).ok().map(|r| r.total_ms())
 }
 
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..TuningOptions::default()
             },
         )?;
-        let atim_ms = total_ms(&session, &workload, tuned.best_config()).unwrap_or(f64::NAN);
+        let atim_ms = total_ms(&session, &workload, &tuned.best_config()).unwrap_or(f64::NAN);
 
         // Autotuned CPU roofline.
         let cpu_ms = cpu_latency(&workload, session.hardware()).time_s * 1e3;

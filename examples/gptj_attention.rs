@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
         let cfg = tuned.best_config();
-        let module = session.compile(cfg, &def)?;
+        let module = session.compile(tuned.best_trace(), &def)?;
         let report = session.time(&module)?;
         println!(
             "{:<22}{:>12.3}{:>12}{:>10}{:>16}",

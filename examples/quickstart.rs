@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flops: def.total_flops() as f64,
     };
     let tuned = session.tune_observed(&def, &options, &Budget::unlimited(), &mut progress)?;
+    // The winner is a schedule *trace*; its UPMEM knob view prints nicely.
     let best = tuned.best_config();
     println!(
         "autotuned: {} DPUs ({:?} spatial x {} reduce), {} tasklets, {}-element cache tiles",
@@ -80,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compile the winning schedule (PIM-aware passes included) and run it
     //    with real data.
-    let module = session.compile(best, &def)?;
+    let module = session.compile(tuned.best_trace(), &def)?;
     let inputs = generate_inputs(&def, 2024);
     let run = session.execute(&module, &inputs)?;
     let report = &run.report;
@@ -106,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tuned.to_log(options.seed).save(&log_path)?;
     let reloaded = TuneLog::load(&log_path)?;
     let replayed = session.replay(&def, &reloaded);
-    assert_eq!(replayed.best_config(), tuned.best_config());
+    assert_eq!(replayed.best_trace(), tuned.best_trace());
     assert_eq!(replayed.best_latency_s(), tuned.best_latency_s());
     println!(
         "tuning log: {} trials saved to {} and replayed identically",

@@ -9,8 +9,10 @@
 //!
 //! let session = Session::default();
 //! let def = ComputeDef::mtv("mtv", 8, 8);
-//! let cfg = ScheduleConfig::default_for(&def, session.hardware());
-//! let module = session.compile(&cfg, &def).unwrap();
+//! // A candidate is a schedule trace; the knob-vector conversion layer
+//! // still provides a sensible default point in the space.
+//! let trace = ScheduleConfig::default_for(&def, session.hardware()).to_trace(&def);
+//! let module = session.compile(&trace, &def).unwrap();
 //! let inputs = atim::workloads::data::generate_inputs(&def, 1);
 //! let run = session.execute(&module, &inputs).unwrap();
 //! assert!(run.report.total_ms() > 0.0);

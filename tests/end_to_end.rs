@@ -75,7 +75,7 @@ fn tuned_schedule_beats_the_untuned_default() {
     let def = ComputeDef::gemv("gemv", 2048, 2048, 1.0);
     let default_cfg = atim_autotune::ScheduleConfig::default_for(&def, session.hardware());
     let default_ms = session
-        .measure(&default_cfg, &def)
+        .measure_config(&default_cfg, &def)
         .expect("default config must run");
     let tuned = session
         .tune(

@@ -23,7 +23,7 @@ impl TuningObserver for CountingObserver {
     fn on_trial(&mut self, _record: &TuningRecord) {
         self.trials += 1;
     }
-    fn on_trial_failed(&mut self, _config: &ScheduleConfig) {
+    fn on_trial_failed(&mut self, _trace: &Trace) {
         self.failures += 1;
     }
     fn on_best_improved(&mut self, _record: &TuningRecord) {
@@ -43,7 +43,7 @@ fn tuning_run_saves_reloads_and_replays_identically() {
     let path = std::env::temp_dir().join("atim_integration_tune_log.json");
 
     // --- "Process" 1: tune on the real simulator, observe, save. ----------
-    let (best_config, best_latency, history_len) = {
+    let (best_trace, best_latency, history_len) = {
         let session = Session::new(UpmemConfig::small());
         let mut observer = CountingObserver::default();
         let tuned = session
@@ -59,7 +59,7 @@ fn tuning_run_saves_reloads_and_replays_identically() {
 
         tuned.to_log(options.seed).save(&path).expect("save log");
         (
-            tuned.best_config().clone(),
+            tuned.best_trace().clone(),
             tuned.best_latency_s(),
             tuned.history().len(),
         )
@@ -73,9 +73,9 @@ fn tuning_run_saves_reloads_and_replays_identically() {
         assert_eq!(log.seed, options.seed);
         let replayed = session.replay(&def, &log);
         assert_eq!(
-            replayed.best_config(),
-            &best_config,
-            "replay must reproduce the identical best configuration"
+            replayed.best_trace(),
+            &best_trace,
+            "replay must reproduce the identical best trace"
         );
         assert_eq!(
             replayed.best_latency_s(),
@@ -87,7 +87,7 @@ fn tuning_run_saves_reloads_and_replays_identically() {
         // The replayed module is immediately servable: compile and execute
         // its best schedule without any re-search.
         let module = session
-            .compile(replayed.best_config(), &def)
+            .compile(replayed.best_trace(), &def)
             .expect("replayed best compiles");
         let inputs = atim_workloads::data::generate_inputs(&def, 3);
         let run = session.execute(&module, &inputs).expect("execute");
@@ -142,7 +142,7 @@ fn warm_start_from_partial_log_matches_the_fresh_tune() {
             &mut NullObserver,
         )
         .expect("valid options");
-    assert_eq!(resumed.best_config(), fresh.best_config());
+    assert_eq!(resumed.best_trace(), fresh.best_trace());
     assert_eq!(resumed.best_latency_s(), fresh.best_latency_s());
     assert_eq!(resumed.history(), fresh.history());
     assert_eq!(resumed.measured(), fresh.measured());
@@ -175,7 +175,7 @@ fn streamed_logs_replay_and_interrupted_streams_resume() {
     assert!(log.complete, "finished streams carry the summary line");
     assert_eq!(log.len(), fresh.measured());
     let replayed = session.replay(&def, &log);
-    assert_eq!(replayed.best_config(), fresh.best_config());
+    assert_eq!(replayed.best_trace(), fresh.best_trace());
     assert_eq!(replayed.best_latency_s(), fresh.best_latency_s());
     assert_eq!(replayed.history(), fresh.history());
 
@@ -202,7 +202,7 @@ fn streamed_logs_replay_and_interrupted_streams_resume() {
             &mut NullObserver,
         )
         .expect("valid options");
-    assert_eq!(resumed.best_config(), fresh.best_config());
+    assert_eq!(resumed.best_trace(), fresh.best_trace());
     assert_eq!(resumed.history(), fresh.history());
 }
 

@@ -3,8 +3,7 @@
 //! workload, using only the public cross-crate API.  This guards the
 //! dependency edges of the Cargo workspace (core → tir/passes/sim/
 //! autotune/workloads) rather than numerical behaviour, which
-//! `end_to_end.rs` covers in depth.  The deprecated `Atim` shim is smoked
-//! alongside so the legacy entry point cannot silently rot.
+//! `end_to_end.rs` covers in depth.
 
 use atim_core::prelude::*;
 
@@ -13,7 +12,7 @@ fn default_session_tunes_compiles_and_executes_a_tiny_mtv() {
     let session = Session::default();
     let def = ComputeDef::mtv("mtv", 32, 32);
 
-    // Tune with the documented quick budget, then compile the winner.
+    // Tune with the documented quick budget, then compile the winning trace.
     let tuned = session
         .tune(&def, &TuningOptions::quick())
         .expect("quick options are valid");
@@ -22,7 +21,7 @@ fn default_session_tunes_compiles_and_executes_a_tiny_mtv() {
         "quick tuning found no valid schedule"
     );
     let module = session
-        .compile(tuned.best_config(), &def)
+        .compile(tuned.best_trace(), &def)
         .expect("best schedule compiles");
 
     // Execute with real data and check against the reference result.
@@ -40,16 +39,25 @@ fn default_session_tunes_compiles_and_executes_a_tiny_mtv() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_atim_shim_still_wires_the_legacy_flow() {
-    let atim = Atim::default();
+fn knob_vector_configs_still_compile_through_the_conversion_layer() {
+    // `ScheduleConfig` survives as the conversion layer for fixed baseline
+    // configurations: the knob view of the tuned trace round-trips through
+    // `compile_config` to the same DPU grid.
+    let session = Session::default();
     let def = ComputeDef::mtv("mtv", 32, 32);
-    let tuned = atim.autotune(&def, &TuningOptions::quick());
-    assert!(tuned.best_latency_s().is_finite());
-    let module = atim
-        .compile_config(tuned.best_config(), &def)
-        .expect("best schedule compiles");
+    let tuned = session
+        .tune(&def, &TuningOptions::quick())
+        .expect("quick options are valid");
+    let via_trace = session
+        .compile(tuned.best_trace(), &def)
+        .expect("best trace compiles");
+    let via_config = session
+        .compile_config(&tuned.best_config(), &def)
+        .expect("best knob vector compiles");
+    assert_eq!(via_trace.num_dpus(), via_config.num_dpus());
     let inputs = atim_workloads::data::generate_inputs(&def, 1);
-    let run = atim.execute(&module, &inputs).expect("execution succeeds");
+    let run = session
+        .execute(&via_config, &inputs)
+        .expect("execution succeeds");
     assert!(run.report.total_ms() > 0.0);
 }
