@@ -1,0 +1,663 @@
+//! A persistent, shippable schedule cache: tune a workload once — on any
+//! machine of the fleet — and every later process resolves the same
+//! `(workload, shape, machine, generator)` key straight to the tuned trace
+//! without a single measurement.
+//!
+//! This is the cost-amortization layer the tuning-as-a-service story needs
+//! (and the deployment move kubecl makes for GPU kernels: cache tuned
+//! kernels, reuse them, ship the cache with the program to cut cold start).
+//! A [`ScheduleCache`] memoizes the best tuned [`Trace`] per [`CacheKey`]
+//! and persists itself as a JSON-lines file:
+//!
+//! * **One self-contained entry per line** — no header, no global state —
+//!   so concurrent processes append without coordinating.  Appends go
+//!   through the OS append mode (`O_APPEND`) as a single `write` call,
+//!   which keeps lines intact under cross-process races (the stress suite
+//!   in `tests/schedule_cache_stress.rs` pins this).
+//! * **Merge-on-load winner selection** — the file may hold many entries
+//!   for one key (several processes tuned the same shape); loading keeps
+//!   the *deterministic* winner per key (strictly lower latency wins, exact
+//!   ties break on the trace encoding), so every reader of the same file
+//!   agrees on the same schedule regardless of append order.
+//! * **Truncation tolerance** — a process killed mid-append leaves a
+//!   partial trailing line; loaders drop it, exactly like the streaming
+//!   [`crate::log::TuneLog`] layout drops its torn last record.
+//! * **Compaction via write-temp + rename** — [`ScheduleCache::save`]
+//!   rewrites the merged view atomically (readers see the old or the new
+//!   file, never a half-written one).  Compaction is a maintenance
+//!   operation: run it while no writer is appending, or the appends that
+//!   race the rename land in the unlinked old file.
+//!
+//! The environment knob [`SCHEDULE_CACHE_ENV`] (`ATIM_SCHEDULE_CACHE`)
+//! names the cache file a `Session` (in `atim-core`) opens by default —
+//! set it, ship the file next to your binary, and cold start becomes a
+//! lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+
+use crate::json::{Json, JsonCodec, JsonError};
+use crate::trace::Trace;
+
+/// Environment variable naming the schedule-cache file sessions open by
+/// default ("ship the cache with your program" mode).
+pub const SCHEDULE_CACHE_ENV: &str = "ATIM_SCHEDULE_CACHE";
+
+/// The current cache entry format version (each line carries it, so a file
+/// can in principle mix versions after an upgrade).
+pub const SCHEDULE_CACHE_VERSION: i64 = 1;
+
+/// A stable fingerprint of a machine configuration: schedules tuned for one
+/// machine must never be served for another, so the cache key hashes every
+/// timing-relevant [`UpmemConfig`] field.
+///
+/// The hash is FNV-1a over a canonical field encoding — deliberately *not*
+/// Rust's `DefaultHasher`, whose output may change across releases; a cache
+/// file written today must still hit after a toolchain upgrade.
+pub fn machine_fingerprint(hw: &UpmemConfig) -> String {
+    let canon = format!(
+        "{:?}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        hw.target,
+        hw.ranks,
+        hw.dpus_per_rank,
+        hw.max_tasklets,
+        hw.wram_bytes,
+        hw.iram_bytes,
+        hw.mram_bytes,
+        hw.dpu_freq_hz,
+        hw.issue_interval,
+        hw.dma_setup_cycles,
+        hw.dma_bytes_per_cycle,
+        hw.branch_instrs,
+        hw.loop_iter_instrs,
+        hw.transfer_call_overhead_s,
+        hw.h2d_rank_bw,
+        hw.d2h_rank_bw,
+        hw.serial_transfer_bw,
+        hw.host_cores,
+        hw.host_mem_bw,
+        hw.host_thread_bw,
+        hw.host_core_flops,
+    );
+    format!("{:016x}", fnv1a(canon.as_bytes()))
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free and stable across platforms and
+/// toolchains (unlike `std`'s `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What a cached schedule was tuned *for*: the four coordinates that must
+/// all match for a stored trace to be valid for a request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Workload kind (the `ComputeDef` name, e.g. `"mtv"`).
+    pub workload: String,
+    /// Exact iteration-space shape (every axis extent, in order).  Tuned
+    /// schedules are shape-specific — a 2048×2048 MTV schedule is not the
+    /// 512×512 one.
+    pub shape: Vec<i64>,
+    /// Machine-configuration fingerprint (see [`machine_fingerprint`]; the
+    /// `Backend` trait in `atim-core` prepends its backend name).
+    pub machine: String,
+    /// Identifier of the space generator whose sketch the trace belongs to
+    /// ([`crate::generator::SpaceGenerator::name`]).
+    pub generator: String,
+}
+
+impl CacheKey {
+    /// Builds the key for a workload under an already-computed machine
+    /// fingerprint and generator id.
+    pub fn new(def: &ComputeDef, machine: impl Into<String>, generator: impl Into<String>) -> Self {
+        CacheKey {
+            workload: def.name.clone(),
+            shape: def.axes.iter().map(|a| a.extent).collect(),
+            machine: machine.into(),
+            generator: generator.into(),
+        }
+    }
+
+    /// Convenience: key a workload directly on a machine configuration
+    /// (fingerprinted with [`machine_fingerprint`]).
+    pub fn for_machine(def: &ComputeDef, hw: &UpmemConfig, generator: impl Into<String>) -> Self {
+        CacheKey::new(def, machine_fingerprint(hw), generator)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:?}@{}#{}",
+            self.workload, self.shape, self.machine, self.generator
+        )
+    }
+}
+
+/// One memoized tuning outcome: the best trace found for a key, with its
+/// measured latency and the seed of the search that produced it (provenance
+/// for warm starts and debugging).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// What the trace was tuned for.
+    pub key: CacheKey,
+    /// The best tuned trace (decisions are what matters; structure
+    /// re-materializes deterministically).
+    pub trace: Trace,
+    /// The measured latency of `trace`, in seconds.
+    pub latency_s: f64,
+    /// RNG seed of the tuning run that found the trace.
+    pub seed: u64,
+}
+
+impl CacheEntry {
+    /// Deterministic winner selection: strictly lower latency wins; an
+    /// *exact* latency tie breaks on the canonical trace encoding (then the
+    /// seed), so the merged view of a cache file is a pure function of its
+    /// entry *set* — independent of append order across processes.
+    pub fn beats(&self, other: &CacheEntry) -> bool {
+        if self.latency_s != other.latency_s {
+            return self.latency_s < other.latency_s;
+        }
+        let (a, b) = (
+            self.trace.to_json().to_string(),
+            other.trace.to_json().to_string(),
+        );
+        if a != b {
+            return a < b;
+        }
+        self.seed < other.seed
+    }
+}
+
+impl JsonCodec for CacheEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("v".into(), Json::Int(SCHEDULE_CACHE_VERSION)),
+            ("workload".into(), Json::Str(self.key.workload.clone())),
+            (
+                "shape".into(),
+                Json::Arr(self.key.shape.iter().map(|&e| Json::Int(e)).collect()),
+            ),
+            ("machine".into(), Json::Str(self.key.machine.clone())),
+            ("generator".into(), Json::Str(self.key.generator.clone())),
+            ("latency_s".into(), Json::Float(self.latency_s)),
+            // u64 seeds can exceed exact-f64 range; travel as decimal text
+            // (the same convention as TuneLog).
+            ("seed".into(), Json::Str(self.seed.to_string())),
+            ("trace".into(), self.trace.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let version = json.get("v")?.as_i64()?;
+        if version != SCHEDULE_CACHE_VERSION {
+            return Err(JsonError {
+                message: format!(
+                    "schedule cache entry version {version} is not supported \
+                     (expected {SCHEDULE_CACHE_VERSION})"
+                ),
+                offset: None,
+            });
+        }
+        let shape = json
+            .get("shape")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_i64)
+            .collect::<Result<Vec<i64>, JsonError>>()?;
+        Ok(CacheEntry {
+            key: CacheKey {
+                workload: json.get("workload")?.as_str()?.to_string(),
+                shape,
+                machine: json.get("machine")?.as_str()?.to_string(),
+                generator: json.get("generator")?.as_str()?.to_string(),
+            },
+            latency_s: json.get("latency_s")?.as_f64()?,
+            seed: json
+                .get("seed")?
+                .as_str()?
+                .parse::<u64>()
+                .map_err(|_| JsonError {
+                    message: "seed must be a decimal u64 string".into(),
+                    offset: None,
+                })?,
+            trace: Trace::from_json(json.get("trace")?)?,
+        })
+    }
+}
+
+/// Errors raised while loading or persisting a [`ScheduleCache`].
+#[derive(Debug)]
+pub enum CacheError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file contents are not a valid schedule cache.
+    Parse(JsonError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "schedule cache I/O error: {e}"),
+            CacheError::Parse(e) => write!(f, "schedule cache parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<JsonError> for CacheError {
+    fn from(e: JsonError) -> Self {
+        CacheError::Parse(e)
+    }
+}
+
+/// The in-memory view of a schedule cache: best entry per key, optionally
+/// backed by an append-only JSON-lines file.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    path: Option<PathBuf>,
+}
+
+impl ScheduleCache {
+    /// An empty, unbacked (memory-only) cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Opens a file-backed cache: loads the file if it exists (an absent
+    /// file starts empty) and remembers the path so [`ScheduleCache::record`]
+    /// appends new winners durably.
+    ///
+    /// # Errors
+    /// Returns a [`CacheError`] when an existing file cannot be read or is
+    /// corrupt beyond a torn trailing line.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, CacheError> {
+        let path = path.into();
+        let mut cache = if path.exists() {
+            Self::load(&path)?
+        } else {
+            ScheduleCache::new()
+        };
+        cache.path = Some(path);
+        Ok(cache)
+    }
+
+    /// Loads a cache file read-only (no backing path is remembered; use
+    /// [`ScheduleCache::open`] for a writable handle).
+    ///
+    /// Entries for the same key merge by [`CacheEntry::beats`]; a truncated
+    /// trailing line — the signature of a writer killed mid-append — is
+    /// dropped, mirroring the tolerance of streaming `TuneLog`s.
+    ///
+    /// # Errors
+    /// Returns a [`CacheError`] on I/O failures or corruption anywhere but
+    /// the trailing line.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_lines(&text)
+    }
+
+    /// Opens the cache named by `ATIM_SCHEDULE_CACHE`, or `None` when the
+    /// variable is unset.
+    ///
+    /// # Errors
+    /// Returns a [`CacheError`] when the variable is set but the file is
+    /// unreadable or corrupt — a misconfigured knob must fail loudly.
+    pub fn from_env() -> Result<Option<Self>, CacheError> {
+        match std::env::var(SCHEDULE_CACHE_ENV) {
+            Ok(path) if !path.trim().is_empty() => Ok(Some(Self::open(path)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Decodes the JSON-lines text of a cache file.
+    ///
+    /// # Errors
+    /// Returns a [`CacheError`] when any line but the last is malformed
+    /// (the torn last line of an interrupted append is dropped).
+    pub fn from_json_lines(text: &str) -> Result<Self, CacheError> {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut cache = ScheduleCache::new();
+        for (k, line) in lines.iter().enumerate() {
+            match Json::parse(line).and_then(|json| CacheEntry::from_json(&json)) {
+                Ok(entry) => {
+                    cache.insert(entry);
+                }
+                // A damaged *last* line is the expected crash signature;
+                // damage anywhere else is real corruption.
+                Err(_) if k + 1 == lines.len() => break,
+                Err(e) => return Err(CacheError::Parse(e)),
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The backing file, if the cache was opened with one.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of distinct keys held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The winning entry for a key, if one is cached.
+    pub fn lookup(&self, key: &CacheKey) -> Option<&CacheEntry> {
+        self.entries.get(key)
+    }
+
+    /// Iterates over the winning entries (arbitrary order).
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Merges one entry into the in-memory view.  Returns `true` when the
+    /// entry became (or improved) the winner for its key.
+    pub fn insert(&mut self, entry: CacheEntry) -> bool {
+        match self.entries.get_mut(&entry.key) {
+            Some(existing) => {
+                if entry.beats(existing) {
+                    *existing = entry;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.entries.insert(entry.key.clone(), entry);
+                true
+            }
+        }
+    }
+
+    /// Merges every winning entry of `other`; returns how many keys were
+    /// created or improved.
+    pub fn merge(&mut self, other: ScheduleCache) -> usize {
+        other
+            .entries
+            .into_values()
+            .filter(|e| self.insert(e.clone()))
+            .count()
+    }
+
+    /// Records a tuning outcome: merges it in memory and — when it won its
+    /// key and the cache is file-backed — appends it durably.
+    ///
+    /// Concurrent processes may append interleaved entries; that is fine by
+    /// construction (merge-on-load keeps the deterministic winner).  The
+    /// in-memory check only avoids appending entries that are *known* to be
+    /// losers already.
+    ///
+    /// # Errors
+    /// Propagates append I/O failures (the in-memory merge has already
+    /// happened; callers may treat the error as a warning).
+    pub fn record(&mut self, entry: CacheEntry) -> Result<bool, CacheError> {
+        let line = entry.to_json().to_string();
+        let improved = self.insert(entry);
+        if improved {
+            if let Some(path) = &self.path {
+                append_line(path, &line)?;
+            }
+        }
+        Ok(improved)
+    }
+
+    /// Serializes the merged (compacted) view: one line per key, sorted by
+    /// key so the output is canonical.
+    pub fn to_json_lines(&self) -> String {
+        let mut entries: Vec<&CacheEntry> = self.entries.values().collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut out = String::new();
+        for entry in entries {
+            out.push_str(&entry.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the compacted view to `path` atomically (write a temp file in
+    /// the same directory, then rename over the target): readers — and the
+    /// "ship the cache" deployment copying the file — always see a complete
+    /// cache.  Run compaction only while no writer is appending.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let tmp = dir.unwrap_or_else(|| Path::new(".")).join(format!(
+            ".{}.tmp.{}",
+            file_name_of(path),
+            std::process::id()
+        ));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json_lines().as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Compacts the backing file in place (see [`ScheduleCache::save`]).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; does nothing for a memory-only cache.
+    pub fn compact(&self) -> Result<(), CacheError> {
+        match &self.path {
+            Some(path) => self.save(path),
+            None => Ok(()),
+        }
+    }
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "schedule-cache".into())
+}
+
+/// Appends one line to `path` in OS append mode with a single `write` call,
+/// creating the file if needed.  On local filesystems a single small
+/// `O_APPEND` write lands contiguously, so concurrent appenders never tear
+/// each other's lines — the property the cross-process stress suite pins.
+fn append_line(path: &Path, line: &str) -> Result<(), CacheError> {
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(buf.as_bytes())?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Appends one entry to a cache file without loading it first — the
+/// fire-and-forget producer path (e.g. a tuning process that only ever
+/// writes).  Same atomicity contract as [`ScheduleCache::record`].
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn append_entry(path: impl AsRef<Path>, entry: &CacheEntry) -> Result<(), CacheError> {
+    append_line(path.as_ref(), &entry.to_json().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ScheduleConfig;
+
+    fn trace(tasklets: i64) -> Trace {
+        ScheduleConfig {
+            spatial_dpus: vec![64],
+            reduce_dpus: 2,
+            tasklets,
+            cache_elems: 32,
+            use_cache: true,
+            unroll: false,
+            host_threads: 4,
+            parallel_transfer: true,
+        }
+        .to_decision_trace()
+    }
+
+    fn key(workload: &str) -> CacheKey {
+        CacheKey {
+            workload: workload.into(),
+            shape: vec![512, 256],
+            machine: "test-machine".into(),
+            generator: "upmem".into(),
+        }
+    }
+
+    fn entry(workload: &str, tasklets: i64, latency_s: f64) -> CacheEntry {
+        CacheEntry {
+            key: key(workload),
+            trace: trace(tasklets),
+            latency_s,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_machines_and_are_stable() {
+        let a = machine_fingerprint(&UpmemConfig::default());
+        let b = machine_fingerprint(&UpmemConfig::small());
+        assert_ne!(a, b, "different machines must fingerprint differently");
+        assert_eq!(
+            a,
+            machine_fingerprint(&UpmemConfig::default()),
+            "fingerprints must be deterministic"
+        );
+        let mut tweaked = UpmemConfig::default();
+        tweaked.dpu_freq_hz += 1.0;
+        assert_ne!(a, machine_fingerprint(&tweaked));
+    }
+
+    #[test]
+    fn insert_keeps_the_strictly_better_entry() {
+        let mut cache = ScheduleCache::new();
+        assert!(cache.insert(entry("mtv", 8, 2e-3)));
+        assert!(!cache.insert(entry("mtv", 4, 3e-3)), "worse must lose");
+        assert!(cache.insert(entry("mtv", 16, 1e-3)), "better must win");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key("mtv")).unwrap().latency_s, 1e-3);
+        assert_eq!(cache.lookup(&key("mtv")).unwrap().trace, trace(16));
+    }
+
+    #[test]
+    fn exact_ties_resolve_deterministically_regardless_of_order() {
+        let (a, b) = (entry("mtv", 8, 1e-3), entry("mtv", 12, 1e-3));
+        let mut fwd = ScheduleCache::new();
+        fwd.insert(a.clone());
+        fwd.insert(b.clone());
+        let mut rev = ScheduleCache::new();
+        rev.insert(b);
+        rev.insert(a);
+        assert_eq!(
+            fwd.lookup(&key("mtv")).unwrap(),
+            rev.lookup(&key("mtv")).unwrap(),
+            "tie winner must not depend on insertion order"
+        );
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let e = entry("gemv", 11, 5.5e-4);
+        let back = CacheEntry::from_json(&Json::parse(&e.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.latency_s.to_bits(), e.latency_s.to_bits());
+    }
+
+    #[test]
+    fn file_round_trip_append_and_reload() {
+        let path = std::env::temp_dir().join("atim_cache_roundtrip_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut cache = ScheduleCache::open(&path).unwrap();
+        assert!(cache.is_empty());
+        cache.record(entry("mtv", 8, 2e-3)).unwrap();
+        cache.record(entry("mtv", 16, 1e-3)).unwrap();
+        cache.record(entry("red", 4, 9e-3)).unwrap();
+
+        let reloaded = ScheduleCache::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.lookup(&key("mtv")).unwrap().latency_s, 1e-3);
+        assert_eq!(reloaded.lookup(&key("red")).unwrap().latency_s, 9e-3);
+
+        // Compaction rewrites one line per key and stays loadable.
+        cache.compact().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let compacted = ScheduleCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(compacted.len(), 2);
+        assert_eq!(compacted.lookup(&key("mtv")).unwrap().trace, trace(16));
+    }
+
+    #[test]
+    fn truncated_trailing_lines_are_dropped_not_fatal() {
+        let path = std::env::temp_dir().join("atim_cache_truncated_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        append_entry(&path, &entry("mtv", 8, 2e-3)).unwrap();
+        append_entry(&path, &entry("red", 4, 9e-3)).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let partial = &entry("ttv", 2, 1e-3).to_json().to_string()[..25];
+        text.push_str(partial);
+        std::fs::write(&path, &text).unwrap();
+
+        let loaded = ScheduleCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 2, "the torn trailing line is dropped");
+
+        // Damage anywhere else is real corruption, not truncation.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[0] = "{torn".into();
+        let err = ScheduleCache::from_json_lines(&lines.join("\n")).unwrap_err();
+        assert!(matches!(err, CacheError::Parse(_)));
+    }
+
+    #[test]
+    fn from_env_is_silent_when_unset_and_loud_when_corrupt() {
+        // The variable is process-global, so this test covers the unset and
+        // corrupt paths in one place (tests of different files could race on
+        // the variable otherwise).
+        std::env::remove_var(SCHEDULE_CACHE_ENV);
+        assert!(ScheduleCache::from_env().unwrap().is_none());
+
+        let path = std::env::temp_dir().join("atim_cache_env_corrupt_test.jsonl");
+        std::fs::write(&path, "{torn\n{also torn\n").unwrap();
+        std::env::set_var(SCHEDULE_CACHE_ENV, &path);
+        let result = ScheduleCache::from_env();
+        std::env::remove_var(SCHEDULE_CACHE_ENV);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(result, Err(CacheError::Parse(_))));
+    }
+}

@@ -37,6 +37,11 @@
 //! * [`json`] / [`log`] — dependency-free JSON persistence:
 //!   [`log::TuneLog`] saves a search, reloads it in a fresh process, replays
 //!   it straight to a result, or warm-starts a new search from its records.
+//! * [`cache`] — the fleet-wide memo on top of the logs: a durable,
+//!   concurrency-safe [`cache::ScheduleCache`] keyed on
+//!   `(workload, shape, machine fingerprint, generator)` that resolves
+//!   already-tuned workloads without a single measurement, and ships with
+//!   your program (`ATIM_SCHEDULE_CACHE`).
 //!
 //! # Example
 //!
@@ -77,6 +82,7 @@
 //! assert_eq!(reloaded.to_result().best, log.to_result().best);
 //! ```
 
+pub mod cache;
 pub mod cost_model;
 pub mod generator;
 pub mod json;
@@ -88,6 +94,10 @@ pub mod trace;
 pub mod tuner;
 pub mod verifier;
 
+pub use cache::{
+    append_entry, machine_fingerprint, CacheEntry, CacheError, CacheKey, ScheduleCache,
+    SCHEDULE_CACHE_ENV,
+};
 pub use generator::{SpaceGenerator, UpmemSketchGenerator};
 pub use json::{Json, JsonCodec, JsonError};
 pub use log::{StreamingTuneLog, TuneLog, TuneLogError, TuneLogWriter, WarmStartMeasurer};

@@ -692,6 +692,61 @@ mod tests {
     }
 
     #[test]
+    fn logs_truncated_mid_record_inside_a_round_resume_to_the_fresh_result() {
+        // Regression: the resume path was only exercised with logs cut at a
+        // round boundary (16 records with measure_per_round = 8).  A real
+        // crash lands anywhere — here 13 complete records (mid-round) plus a
+        // torn half-record (mid-append).  The loader must drop exactly the
+        // torn line, report the log incomplete, and a warm start from it
+        // must still reproduce the fresh trajectory bit-for-bit.
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let hw = UpmemConfig::default();
+        let options = TuningOptions {
+            trials: 32,
+            population: 24,
+            measure_per_round: 8,
+            ..TuningOptions::default()
+        };
+        let mut m = analytic(&def);
+        let fresh = crate::tuner::tune(&def, &hw, &options, &mut m);
+        assert!(fresh.history.len() >= 14, "need a second round to cut into");
+
+        let path = std::env::temp_dir().join("atim_stream_midrecord_resume_test.jsonl");
+        let mut writer = TuneLogWriter::create(&path, &def.name, options.seed).unwrap();
+        for record in &fresh.history[..13] {
+            writer.append(record).unwrap();
+        }
+        drop(writer);
+        // The crash tears the 14th record partway through the append.
+        let torn = fresh.history[13].to_json().to_string();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &text).unwrap();
+
+        let log = TuneLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!log.complete, "a log without a summary is incomplete");
+        assert_eq!(log.len(), 13, "only the torn record is lost");
+        assert_eq!(log.result.history, fresh.history[..13]);
+
+        let mut session = TuningSession::new(&def, &hw, &options).unwrap();
+        let mut m2 = analytic(&def);
+        let mut seq = SequentialMeasurer::new(&mut m2);
+        let mut warm = WarmStartMeasurer::new(&log, &mut seq);
+        let resumed = session.run(&mut warm, &Budget::unlimited(), &mut NullObserver);
+        assert_eq!(resumed.best, fresh.best);
+        assert_eq!(resumed.history, fresh.history);
+        assert!(
+            warm.replayed() >= 13,
+            "every surviving record must be answered from the log"
+        );
+        assert!(
+            warm.fresh() < fresh.measured,
+            "resume must measure strictly less than a fresh search"
+        );
+    }
+
+    #[test]
     fn warm_start_reproduces_the_fresh_search_trajectory() {
         let def = ComputeDef::mtv("mtv", 2048, 2048);
         let hw = UpmemConfig::default();

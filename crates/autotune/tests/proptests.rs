@@ -4,7 +4,10 @@
 
 use atim_autotune::json::{Json, JsonCodec};
 use atim_autotune::log::TuneLog;
-use atim_autotune::{Decision, ScheduleConfig, Trace, TuningRecord, TuningResult};
+use atim_autotune::{
+    CacheEntry, CacheKey, Decision, ScheduleCache, ScheduleConfig, Trace, TuningRecord,
+    TuningResult,
+};
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
@@ -183,6 +186,133 @@ proptest! {
         prop_assert_eq!(back.result.measured, log.result.measured);
         prop_assert_eq!(back.result.failed, log.result.failed);
         prop_assert_eq!(back.result.rejected, log.result.rejected);
+    }
+}
+
+/// Builds an arbitrary cache entry; `key_bits` selects the coordinates,
+/// `entry_bits` the payload, so callers control key collisions precisely.
+fn cache_entry_from(key_bits: u64, entry_bits: u64) -> CacheEntry {
+    CacheEntry {
+        key: CacheKey {
+            workload: format!("wl{}", key_bits % 5),
+            shape: (0..1 + key_bits % 3)
+                .map(|i| 1 + ((key_bits >> (8 * i)) % 4096) as i64)
+                .collect(),
+            machine: format!("sim/{:016x}", key_bits.rotate_left(17)),
+            generator: if key_bits & 64 != 0 {
+                "upmem-sketch"
+            } else {
+                "custom"
+            }
+            .into(),
+        },
+        trace: config_from(
+            entry_bits,
+            2,
+            3,
+            1 + (entry_bits % 24) as i64,
+            6,
+            entry_bits as u8 % 8,
+            2,
+        )
+        .to_decision_trace(),
+        latency_s: latency_from(entry_bits),
+        seed: entry_bits.rotate_right(9),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_entry_json_round_trip_is_identity(
+        key_bits in 0u64..u64::MAX,
+        entry_bits in 0u64..u64::MAX,
+    ) {
+        let entry = cache_entry_from(key_bits, entry_bits);
+        let text = entry.to_json().to_string();
+        let back = CacheEntry::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, entry);
+    }
+
+    /// Serialize → parse is lossless for whole files, for any mix of
+    /// distinct and colliding keys.
+    #[test]
+    fn cache_file_round_trip_preserves_every_winner(
+        seed_bits in 0u64..u64::MAX,
+        entries in 1usize..12,
+    ) {
+        let mut cache = ScheduleCache::new();
+        for i in 0..entries {
+            let bits = seed_bits.wrapping_add(i as u64 * 0x9E37_79B9);
+            cache.insert(cache_entry_from(bits % 97, bits));
+        }
+        let back = ScheduleCache::from_json_lines(&cache.to_json_lines()).unwrap();
+        prop_assert_eq!(back.len(), cache.len());
+        for entry in cache.entries() {
+            prop_assert_eq!(back.lookup(&entry.key), Some(entry));
+        }
+    }
+
+    /// A cache file truncated mid-append — any byte boundary inside its
+    /// final line — still loads, recovering every completed line, exactly
+    /// like the streaming `TuneLog` tolerance.
+    #[test]
+    fn truncated_cache_files_recover_all_complete_lines(
+        seed_bits in 0u64..u64::MAX,
+        entries in 1usize..8,
+        cut_bits in 0u64..u64::MAX,
+    ) {
+        // Distinct keys so the recovered count is exactly the line count.
+        let all: Vec<CacheEntry> = (0..entries)
+            .map(|i| cache_entry_from(i as u64, seed_bits.wrapping_add(i as u64 * 0x9E37_79B9)))
+            .collect();
+        let mut text = String::new();
+        for entry in &all {
+            text.push_str(&entry.to_json().to_string());
+            text.push('\n');
+        }
+        let last_line_start = text[..text.len() - 1].rfind('\n').map_or(0, |p| p + 1);
+        // Cut anywhere strictly inside the last line (a torn final append).
+        let span = text.len() - last_line_start - 1;
+        let cut = last_line_start + 1 + (cut_bits % span.max(1) as u64) as usize;
+        let torn = &text[..cut.min(text.len() - 1)];
+
+        let recovered = ScheduleCache::from_json_lines(torn).unwrap();
+        prop_assert_eq!(recovered.len(), entries - 1);
+        for entry in &all[..entries - 1] {
+            prop_assert_eq!(recovered.lookup(&entry.key), Some(entry));
+        }
+    }
+
+    /// The merged view of a cache is a pure function of its entry *set*:
+    /// replaying the same entries in opposite orders elects the same
+    /// winner (the strictly-better-latency, deterministically tie-broken
+    /// one) for every key.
+    #[test]
+    fn winner_selection_is_append_order_independent(
+        seed_bits in 0u64..u64::MAX,
+        entries in 1usize..10,
+        keys in 1u64..4,
+    ) {
+        let all: Vec<CacheEntry> = (0..entries)
+            .map(|i| {
+                let bits = seed_bits.wrapping_add(i as u64 * 0xC2B2_AE35);
+                cache_entry_from(bits % keys, bits)
+            })
+            .collect();
+        let mut forward = ScheduleCache::new();
+        let mut backward = ScheduleCache::new();
+        for entry in &all {
+            forward.insert(entry.clone());
+        }
+        for entry in all.iter().rev() {
+            backward.insert(entry.clone());
+        }
+        prop_assert_eq!(forward.len(), backward.len());
+        for entry in forward.entries() {
+            prop_assert_eq!(backward.lookup(&entry.key), Some(entry));
+        }
     }
 }
 

@@ -42,6 +42,25 @@ pub trait Backend: Send + Sync {
     /// The machine this backend targets.
     fn hardware(&self) -> &UpmemConfig;
 
+    /// A stable identity of *what produces this backend's latencies*: the
+    /// backend name plus the machine-configuration fingerprint.  This is the
+    /// `machine` coordinate of a schedule-cache key
+    /// ([`atim_autotune::CacheKey`]) — schedules tuned on the simulator for
+    /// one machine must never be served for another machine, or for the
+    /// analytic model's very different latency surface.
+    ///
+    /// The default derives the fingerprint from [`Backend::name`] and
+    /// [`Backend::hardware`]; override it only when a backend's measurements
+    /// depend on state outside its `UpmemConfig` (a remote fleet would mix
+    /// in its worker identity, for example).
+    fn fingerprint(&self) -> String {
+        format!(
+            "{}/{}",
+            self.name(),
+            atim_autotune::machine_fingerprint(self.hardware())
+        )
+    }
+
     /// The compile options applied to every module.
     fn compile_options(&self) -> CompileOptions;
 

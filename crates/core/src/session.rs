@@ -16,14 +16,23 @@
 //!   backend.
 //! * [`Session::replay`] — skip searching entirely: rebuild the
 //!   [`TunedModule`] a saved log describes (tune once, serve many).
+//! * [`Session::tune_cached`] / [`Session::cached`] — the fleet-wide form
+//!   of replay: resolve an already-tuned `(workload, shape, machine,
+//!   generator)` key from a persistent
+//!   [`ScheduleCache`] without a single
+//!   measurement, and record fresh tuning wins back into it.  Ship the
+//!   cache file with your program (`ATIM_SCHEDULE_CACHE`) and cold start
+//!   becomes a lookup.
 
 use std::fmt;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 use atim_autotune::log::TuneLog;
 use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver, TuningSession};
 use atim_autotune::{
-    ScheduleConfig, SpaceGenerator, Trace, TuningOptions, UpmemSketchGenerator, WarmStartMeasurer,
+    CacheEntry, CacheKey, ScheduleCache, ScheduleConfig, SpaceGenerator, Trace, TuningOptions,
+    TuningResult, UpmemSketchGenerator, WarmStartMeasurer,
 };
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
@@ -80,6 +89,8 @@ pub struct SessionBuilder {
     backend: Option<Arc<dyn Backend>>,
     measure_threads: Option<usize>,
     generator: Option<Arc<dyn SpaceGenerator>>,
+    cache_path: Option<PathBuf>,
+    cache: Option<Arc<Mutex<ScheduleCache>>>,
 }
 
 impl SessionBuilder {
@@ -134,11 +145,34 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent [`ScheduleCache`] backed by `path`: tuning
+    /// wins are appended there, and [`Session::cached`] /
+    /// [`Session::tune_cached`] resolve hits from it without measuring.
+    /// The file is created on the first recorded win; a missing file is an
+    /// empty cache, not an error.
+    pub fn schedule_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Like [`SessionBuilder::schedule_cache`] for an already-loaded,
+    /// shared cache (the tuning server shares one across sessions).
+    pub fn schedule_cache_shared(mut self, cache: Arc<Mutex<ScheduleCache>>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Builds the session.
+    ///
+    /// When no cache was configured explicitly, the `ATIM_SCHEDULE_CACHE`
+    /// environment variable names the cache file to attach (the "ship the
+    /// cache with your program" mode).
     ///
     /// # Panics
     /// Panics when the default simulator backend is constructed while
-    /// `ATIM_MEASURE_THREADS` holds an invalid value (zero or non-numeric).
+    /// `ATIM_MEASURE_THREADS` holds an invalid value (zero or non-numeric),
+    /// or when a configured cache file exists but cannot be read or parsed
+    /// — a corrupt cache fails loudly rather than silently re-tuning.
     pub fn build(self) -> Session {
         let backend = match self.backend {
             Some(backend) => backend,
@@ -151,11 +185,29 @@ impl SessionBuilder {
                 })
             }
         };
+        let cache = match (self.cache, self.cache_path) {
+            (Some(cache), _) => Some(cache),
+            (None, Some(path)) => {
+                let cache = ScheduleCache::open(&path).unwrap_or_else(|e| {
+                    panic!("schedule cache {} is unreadable: {e}", path.display())
+                });
+                Some(Arc::new(Mutex::new(cache)))
+            }
+            (None, None) => ScheduleCache::from_env()
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "schedule cache named by {} is unreadable: {e}",
+                        atim_autotune::SCHEDULE_CACHE_ENV
+                    )
+                })
+                .map(|c| Arc::new(Mutex::new(c))),
+        };
         Session {
             backend,
             generator: self
                 .generator
                 .unwrap_or_else(|| Arc::new(UpmemSketchGenerator)),
+            cache,
         }
     }
 }
@@ -169,6 +221,7 @@ impl SessionBuilder {
 pub struct Session {
     backend: Arc<dyn Backend>,
     generator: Arc<dyn SpaceGenerator>,
+    cache: Option<Arc<Mutex<ScheduleCache>>>,
 }
 
 impl fmt::Debug for Session {
@@ -228,6 +281,102 @@ impl Session {
     /// The schedule-space generator tuning runs propose candidates from.
     pub fn space_generator(&self) -> &Arc<dyn SpaceGenerator> {
         &self.generator
+    }
+
+    /// The attached schedule cache, if any.
+    pub fn schedule_cache(&self) -> Option<&Arc<Mutex<ScheduleCache>>> {
+        self.cache.as_ref()
+    }
+
+    /// The cache coordinates of a workload on this session: its kind and
+    /// exact shape, the backend's machine fingerprint, and the space
+    /// generator's id.  Two sessions produce the same key exactly when a
+    /// schedule tuned on one is valid and optimal-as-measured on the other.
+    pub fn cache_key(&self, def: &ComputeDef) -> CacheKey {
+        CacheKey::new(def, self.backend.fingerprint(), self.generator.name())
+    }
+
+    /// Resolves a workload straight from the attached [`ScheduleCache`],
+    /// performing **zero** candidate measurements: on a hit the cached
+    /// best trace is re-materialized through the session's generator and
+    /// wrapped in a [`TunedModule`] carrying the cached latency.  `None`
+    /// when no cache is attached, the key misses, or the cached trace no
+    /// longer materializes for `def` (a stale entry is a miss, not an
+    /// error).
+    pub fn cached(&self, def: &ComputeDef) -> Option<TunedModule> {
+        let cache = self.cache.as_ref()?;
+        let key = self.cache_key(def);
+        let entry = cache
+            .lock()
+            .expect("schedule cache poisoned")
+            .lookup(&key)?
+            .clone();
+        let trace = self
+            .generator
+            .materialize(&entry.trace, def, self.hardware())
+            .ok()?;
+        let result = TuningResult {
+            best: Some((trace, entry.latency_s)),
+            history: Vec::new(),
+            measured: 0,
+            failed: 0,
+            rejected: 0,
+        };
+        Some(TunedModule::new(def.clone(), result, self.hardware()))
+    }
+
+    /// Tunes through the cache: a hit returns immediately (zero
+    /// measurements, see [`Session::cached`]); a miss runs the full search
+    /// and records the win back into the cache for every later process.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when `options` is inconsistent.
+    pub fn tune_cached(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+    ) -> Result<TunedModule, TuningError> {
+        self.tune_cached_observed(def, options, &Budget::unlimited(), &mut NullObserver)
+    }
+
+    /// [`Session::tune_cached`] under a [`Budget`] with streaming
+    /// [`TuningObserver`] callbacks.  Cache hits return before the observer
+    /// sees a single trial.
+    ///
+    /// # Errors
+    /// Returns a [`TuningError`] when `options` is inconsistent.
+    pub fn tune_cached_observed(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+        budget: &Budget,
+        observer: &mut dyn TuningObserver,
+    ) -> Result<TunedModule, TuningError> {
+        atim_autotune::validate_options(options)?;
+        if let Some(hit) = self.cached(def) {
+            return Ok(hit);
+        }
+        self.tune_observed(def, options, budget, observer)
+    }
+
+    /// Records a tuning result's best schedule into the attached cache (a
+    /// no-op without one, or when the result found nothing).  Cache I/O
+    /// failures are reported on stderr but never fail the tuning run that
+    /// produced the result.
+    fn record_best(&self, def: &ComputeDef, seed: u64, result: &TuningResult) {
+        let (Some(cache), Some((trace, latency_s))) = (self.cache.as_ref(), result.best.as_ref())
+        else {
+            return;
+        };
+        let entry = CacheEntry {
+            key: self.cache_key(def),
+            trace: trace.clone(),
+            latency_s: *latency_s,
+            seed,
+        };
+        if let Err(e) = cache.lock().expect("schedule cache poisoned").record(entry) {
+            eprintln!("atim: schedule cache write failed (result kept in memory): {e}");
+        }
     }
 
     /// Compiles a candidate trace for a computation.
@@ -318,6 +467,7 @@ impl Session {
         )?;
         let mut measurer = BackendMeasurer::new(self.backend(), def);
         let result = session.run(&mut measurer, budget, observer);
+        self.record_best(def, options.seed, &result);
         Ok(TunedModule::new(def.clone(), result, self.hardware()))
     }
 
@@ -346,6 +496,7 @@ impl Session {
         let mut inner = BackendMeasurer::new(self.backend(), def);
         let mut measurer = WarmStartMeasurer::new(log, &mut inner);
         let result = session.run(&mut measurer, budget, observer);
+        self.record_best(def, options.seed, &result);
         Ok(TunedModule::new(def.clone(), result, self.hardware()))
     }
 
@@ -563,6 +714,79 @@ mod tests {
         );
         assert_eq!(slow.failed(), fast.failed());
         assert_eq!(slow.rejected(), fast.rejected());
+    }
+
+    /// Tuning with a cache attached persists the win; a fresh session on
+    /// the same cache file resolves it with zero measurements and the
+    /// identical best schedule and latency.
+    #[test]
+    fn cache_hits_resolve_without_measuring() {
+        let path = std::env::temp_dir().join("atim_session_cache_hit_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let options = TuningOptions::quick();
+
+        let tuned = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .schedule_cache(&path)
+            .build()
+            .tune(&def, &options)
+            .unwrap();
+        assert!(tuned.measured() > 0);
+
+        let fresh = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .schedule_cache(&path)
+            .build();
+        let hit = fresh.cached(&def).expect("tuned key must hit");
+        assert_eq!(hit.measured(), 0, "cache hits must not measure");
+        assert!(hit.history().is_empty());
+        assert_eq!(hit.best_config(), tuned.best_config());
+        assert_eq!(hit.best_latency_s(), tuned.best_latency_s());
+
+        // tune_cached on the same key is also a pure hit.
+        let via_tune = fresh.tune_cached(&def, &options).unwrap();
+        assert_eq!(via_tune.measured(), 0);
+        assert_eq!(via_tune.best_latency_s(), tuned.best_latency_s());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Different shapes, machines and generators occupy different cache
+    /// slots: a hit for one key never leaks to a neighbouring one.
+    #[test]
+    fn cache_misses_on_any_differing_coordinate() {
+        let path = std::env::temp_dir().join("atim_session_cache_miss_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .schedule_cache(&path)
+            .build();
+        session.tune_cached(&def, &TuningOptions::quick()).unwrap();
+
+        // Same workload kind, different shape.
+        let other_shape = ComputeDef::mtv("mtv", 512, 1024);
+        assert!(session.cached(&other_shape).is_none());
+
+        // Same shape, different machine.
+        let other_machine = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::small()))
+            .schedule_cache(&path)
+            .build();
+        assert!(other_machine.cached(&def).is_none());
+
+        // Invalid options still fail before the cache answers.
+        let err = session
+            .tune_cached(
+                &def,
+                &TuningOptions {
+                    trials: 0,
+                    ..TuningOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, TuningError::ZeroTrials);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

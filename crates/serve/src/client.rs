@@ -1,0 +1,152 @@
+//! The blocking client: one TCP connection per request.
+//!
+//! The client is deliberately stateless — it stores only the server
+//! address, so one [`Client`] value can be shared (or cloned) across
+//! threads, each request opening its own connection.  See
+//! `examples/serve_client.rs` for the end-to-end flow.
+
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+
+use atim_autotune::JsonCodec;
+
+use crate::proto::{Progress, Request, Response, StatsReply, TuneReply, TuneRequest};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// Errors a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, framing or decoding failed.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server(String),
+    /// The server answered with a frame that makes no sense here (e.g. a
+    /// stats reply to a tune request).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A client of one `atim-serve` instance.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr }
+    }
+
+    /// Parses `addr` (`host:port`) and builds a client.
+    ///
+    /// # Errors
+    /// Fails on unparseable addresses.
+    pub fn parse(addr: &str) -> Result<Self, std::net::AddrParseError> {
+        Ok(Client {
+            addr: addr.parse()?,
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn request(&self, request: &Request) -> Result<TcpStream, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        write_frame(&mut stream, &request.to_json())?;
+        Ok(stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Result<Response, ClientError> {
+        let json = read_frame(stream)?;
+        Response::from_json(&json).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Tunes (or cache-resolves) a workload, discarding progress frames.
+    ///
+    /// # Errors
+    /// Surfaces transport failures and server-side errors.
+    pub fn tune(&self, request: &TuneRequest) -> Result<TuneReply, ClientError> {
+        self.tune_watch(request, |_| {})
+    }
+
+    /// Like [`Client::tune`], invoking `on_progress` for every streamed
+    /// per-trial frame (ask for them with [`TuneRequest::watch`]).
+    ///
+    /// # Errors
+    /// Surfaces transport failures and server-side errors.
+    pub fn tune_watch(
+        &self,
+        request: &TuneRequest,
+        mut on_progress: impl FnMut(&Progress),
+    ) -> Result<TuneReply, ClientError> {
+        let mut stream = self.request(&Request::Tune(request.clone()))?;
+        loop {
+            match Self::read_response(&mut stream)? {
+                Response::Progress(p) => on_progress(&p),
+                Response::Result(reply) => return Ok(reply),
+                Response::Error(message) => return Err(ClientError::Server(message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame {other:?} to a tune request"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    /// Surfaces transport failures and server-side errors.
+    pub fn stats(&self) -> Result<StatsReply, ClientError> {
+        let mut stream = self.request(&Request::Stats)?;
+        match Self::read_response(&mut stream)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected frame {other:?} to a stats request"
+            ))),
+        }
+    }
+
+    /// Asks the server to stop (cancelling in-flight searches).
+    ///
+    /// # Errors
+    /// Surfaces transport failures and server-side errors.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let mut stream = self.request(&Request::Shutdown)?;
+        match Self::read_response(&mut stream)? {
+            Response::Ok => Ok(()),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected frame {other:?} to a shutdown request"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # atim-serve — tuning-as-a-service for the ATiM stack
+//!
+//! Search-found schedules only beat hand-tuned UPMEM kernels if someone
+//! pays for the search; this crate amortizes that cost fleet-wide instead
+//! of per process.  A long-running localhost server owns one
+//! [`atim_core::Session`] with a persistent
+//! [`ScheduleCache`](atim_autotune::ScheduleCache) attached:
+//!
+//! * **cache hits** answer in microseconds, with zero measurements;
+//! * **misses** queue onto a shared work queue, deduplicated in flight —
+//!   two clients requesting the same GEMV shape tune *once* and both get
+//!   the result;
+//! * waiting clients can stream per-trial progress frames
+//!   ([`proto::Progress`]), mirroring the
+//!   [`TuningObserver`](atim_autotune::TuningObserver) callbacks;
+//! * shutdown composes with [`CancelToken`](atim_autotune::CancelToken) /
+//!   [`Budget`](atim_autotune::Budget): stopping the server stops in-flight
+//!   searches at their next batch.
+//!
+//! Everything runs on `std` alone: [`std::net::TcpListener`], threads, and
+//! 4-byte length-prefixed JSON frames ([`wire`]) over the repo's
+//! dependency-free JSON layer.
+//!
+//! # Example
+//!
+//! ```
+//! use atim_core::{AnalyticBackend, Session};
+//! use atim_serve::{serve, Client, ServeOptions, TuneRequest};
+//! use atim_sim::UpmemConfig;
+//!
+//! // An in-process server on an ephemeral port (the binary does the same
+//! // on a fixed port; real deployments attach `.schedule_cache(path)`).
+//! let session = Session::builder()
+//!     .backend(AnalyticBackend::new(UpmemConfig::default()))
+//!     .build();
+//! let handle = serve(session, "127.0.0.1:0", ServeOptions::default()).unwrap();
+//!
+//! let client = Client::new(handle.addr());
+//! let reply = client.tune(&TuneRequest::quick("mtv", vec![256, 256])).unwrap();
+//! assert!(reply.latency_s.is_finite());
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use proto::{Progress, Request, Response, StatsReply, TuneReply, TuneRequest};
+pub use server::{serve, serve_forever, ServeOptions, ServerHandle, ServerStats};
+pub use wire::{decode_frame, encode_frame, read_frame, write_frame, WireError, MAX_FRAME_LEN};

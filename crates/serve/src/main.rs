@@ -1,0 +1,114 @@
+//! The `atim-serve` binary: a localhost tuning server over a persistent
+//! schedule cache.
+//!
+//! ```text
+//! atim-serve [--addr HOST:PORT] [--cache PATH] [--hw paper|small]
+//!            [--analytic] [--tuner-threads N]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound, then serves until a client
+//! sends a `shutdown` request.  Without `--cache`, the
+//! `ATIM_SCHEDULE_CACHE` environment variable still attaches one; with
+//! neither, the server serves from memory only (every restart re-tunes).
+
+use std::process::ExitCode;
+
+use atim_core::{AnalyticBackend, Session, SessionBuilder};
+use atim_serve::{serve_forever, ServeOptions};
+use atim_sim::UpmemConfig;
+
+struct Args {
+    addr: String,
+    cache: Option<String>,
+    hw: UpmemConfig,
+    analytic: bool,
+    tuner_threads: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: atim-serve [--addr HOST:PORT] [--cache PATH] [--hw paper|small] \
+     [--analytic] [--tuner-threads N]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7421".into(),
+        cache: None,
+        hw: UpmemConfig::default(),
+        analytic: false,
+        tuner_threads: 1,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--cache" => args.cache = Some(value("--cache")?),
+            "--hw" => {
+                args.hw = match value("--hw")?.as_str() {
+                    "paper" => UpmemConfig::default(),
+                    "small" => UpmemConfig::small(),
+                    other => return Err(format!("unknown --hw {other:?} (paper|small)")),
+                }
+            }
+            "--analytic" => args.analytic = true,
+            "--tuner-threads" => {
+                args.tuner_threads = value("--tuner-threads")?
+                    .parse()
+                    .map_err(|_| "--tuner-threads needs a positive integer".to_string())?;
+                if args.tuner_threads == 0 {
+                    return Err("--tuner-threads needs a positive integer".into());
+                }
+            }
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn build_session(args: &Args) -> Session {
+    let mut builder = SessionBuilder::default();
+    if args.analytic {
+        builder = builder.backend(AnalyticBackend::new(args.hw.clone()));
+    } else {
+        builder = builder.hardware(args.hw.clone());
+    }
+    if let Some(path) = &args.cache {
+        builder = builder.schedule_cache(path);
+    }
+    builder.build()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = build_session(&args);
+    if session.schedule_cache().is_none() {
+        eprintln!(
+            "atim-serve: no schedule cache attached (--cache or ATIM_SCHEDULE_CACHE); \
+             tuned schedules will not survive a restart"
+        );
+    }
+    let options = ServeOptions {
+        tuner_threads: args.tuner_threads,
+        ..ServeOptions::default()
+    };
+    match serve_forever(session, args.addr.as_str(), options, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("atim-serve: cannot bind {}: {e}", args.addr);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The request/response protocol spoken over [`crate::wire`] frames.
+//!
+//! One connection carries exactly one [`Request`] frame from the client,
+//! answered by zero or more [`Response::Progress`] frames (when the client
+//! asked to watch) followed by exactly one terminal frame
+//! ([`Response::Result`], [`Response::Stats`], [`Response::Ok`] or
+//! [`Response::Error`]).  Everything is a tagged JSON object (`"type"`
+//! discriminator), encoded through the same [`JsonCodec`] layer as tune
+//! logs and the schedule cache; `u64` seeds travel as decimal strings for
+//! the same exceeds-a-double reason.
+
+use atim_autotune::{Json, JsonCodec, JsonError, Trace, TuningOptions};
+
+fn field_u64(json: &Json, key: &str) -> Result<u64, JsonError> {
+    json.get(key)?.as_str()?.parse().map_err(|_| JsonError {
+        message: format!("{key} must be a decimal u64 string"),
+        offset: None,
+    })
+}
+
+fn shape_of(json: &Json) -> Result<Vec<i64>, JsonError> {
+    json.get("shape")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_i64)
+        .collect()
+}
+
+fn shape_json(shape: &[i64]) -> Json {
+    Json::Arr(shape.iter().map(|&e| Json::Int(e)).collect())
+}
+
+/// A request to tune (or cache-resolve) one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneRequest {
+    /// Workload kind by canonical name (`"va"`, `"mtv"`, `"gemv"`, …).
+    pub workload: String,
+    /// Exact tensor shape (`[n]`, `[m, k]` or `[m, n, k]`).
+    pub shape: Vec<i64>,
+    /// Total trial budget for a cache miss.
+    pub trials: usize,
+    /// Candidates generated per search round.
+    pub population: usize,
+    /// Candidates measured per round.
+    pub measure_per_round: usize,
+    /// RNG seed (part of the dedup identity: different seeds are
+    /// different searches).
+    pub seed: u64,
+    /// Stream per-trial [`Progress`] frames while the search runs.
+    pub watch: bool,
+}
+
+impl TuneRequest {
+    /// A request with the default tuning options for a workload.
+    pub fn new(workload: impl Into<String>, shape: Vec<i64>) -> Self {
+        let defaults = TuningOptions::default();
+        TuneRequest {
+            workload: workload.into(),
+            shape,
+            trials: defaults.trials,
+            population: defaults.population,
+            measure_per_round: defaults.measure_per_round,
+            seed: defaults.seed,
+            watch: false,
+        }
+    }
+
+    /// The same request with the small test/demo budget of
+    /// [`TuningOptions::quick`].
+    pub fn quick(workload: impl Into<String>, shape: Vec<i64>) -> Self {
+        let quick = TuningOptions::quick();
+        TuneRequest {
+            trials: quick.trials,
+            population: quick.population,
+            measure_per_round: quick.measure_per_round,
+            ..TuneRequest::new(workload, shape)
+        }
+    }
+
+    /// The tuning options this request asks for (default search strategy;
+    /// the strategy is not part of the wire protocol).
+    pub fn options(&self) -> TuningOptions {
+        TuningOptions {
+            trials: self.trials,
+            population: self.population,
+            measure_per_round: self.measure_per_round,
+            seed: self.seed,
+            ..TuningOptions::default()
+        }
+    }
+}
+
+impl JsonCodec for TuneRequest {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("tune".into())),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("shape".into(), shape_json(&self.shape)),
+            ("trials".into(), Json::Int(self.trials as i64)),
+            ("population".into(), Json::Int(self.population as i64)),
+            (
+                "measure_per_round".into(),
+                Json::Int(self.measure_per_round as i64),
+            ),
+            ("seed".into(), Json::Str(self.seed.to_string())),
+            ("watch".into(), Json::Bool(self.watch)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TuneRequest {
+            workload: json.get("workload")?.as_str()?.to_string(),
+            shape: shape_of(json)?,
+            trials: json.get("trials")?.as_usize()?,
+            population: json.get("population")?.as_usize()?,
+            measure_per_round: json.get("measure_per_round")?.as_usize()?,
+            seed: field_u64(json, "seed")?,
+            watch: json.get("watch")?.as_bool()?,
+        })
+    }
+}
+
+/// A client-to-server request (one per connection).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Tune or cache-resolve a workload.
+    Tune(TuneRequest),
+    /// Report server counters.
+    Stats,
+    /// Stop the server: cancel in-flight searches, refuse new work.
+    Shutdown,
+}
+
+impl JsonCodec for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Tune(req) => req.to_json(),
+            Request::Stats => Json::Obj(vec![("type".into(), Json::Str("stats".into()))]),
+            Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.get("type")?.as_str()? {
+            "tune" => Ok(Request::Tune(TuneRequest::from_json(json)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JsonError {
+                message: format!("unknown request type {other:?}"),
+                offset: None,
+            }),
+        }
+    }
+}
+
+/// One per-trial progress update streamed to watching clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// Trial index within the search.
+    pub trial: usize,
+    /// Latency of this trial's candidate, in seconds.
+    pub latency_s: f64,
+    /// Best latency seen up to and including this trial.
+    pub best_latency_s: f64,
+}
+
+impl JsonCodec for Progress {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("progress".into())),
+            ("trial".into(), Json::Int(self.trial as i64)),
+            (
+                "latency_s".into(),
+                atim_autotune::json::encode_f64(self.latency_s),
+            ),
+            (
+                "best_latency_s".into(),
+                atim_autotune::json::encode_f64(self.best_latency_s),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Progress {
+            trial: json.get("trial")?.as_usize()?,
+            latency_s: json.get("latency_s")?.as_f64()?,
+            best_latency_s: json.get("best_latency_s")?.as_f64()?,
+        })
+    }
+}
+
+/// The terminal answer to a [`TuneRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReply {
+    /// `true` when the schedule cache answered without any measurement.
+    pub cache_hit: bool,
+    /// `true` when this client joined a search another client started.
+    pub deduped: bool,
+    /// Best latency in seconds.
+    pub latency_s: f64,
+    /// Candidate measurements this request caused (0 on a cache hit or a
+    /// deduped join).
+    pub measured: usize,
+    /// The winning trace (decisions-only; materialize through the same
+    /// space generator to compile it).
+    pub trace: Trace,
+}
+
+impl JsonCodec for TuneReply {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("result".into())),
+            ("cache_hit".into(), Json::Bool(self.cache_hit)),
+            ("deduped".into(), Json::Bool(self.deduped)),
+            (
+                "latency_s".into(),
+                atim_autotune::json::encode_f64(self.latency_s),
+            ),
+            ("measured".into(), Json::Int(self.measured as i64)),
+            ("trace".into(), self.trace.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TuneReply {
+            cache_hit: json.get("cache_hit")?.as_bool()?,
+            deduped: json.get("deduped")?.as_bool()?,
+            latency_s: json.get("latency_s")?.as_f64()?,
+            measured: json.get("measured")?.as_usize()?,
+            trace: Trace::from_json(json.get("trace")?)?,
+        })
+    }
+}
+
+/// Server counters, answered to a [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Requests accepted (all types).
+    pub requests: usize,
+    /// Tune requests answered straight from the schedule cache.
+    pub cache_hits: usize,
+    /// Tune requests that joined an identical in-flight search.
+    pub dedup_joins: usize,
+    /// Searches actually executed.
+    pub tunes_run: usize,
+    /// Entries currently in the schedule cache.
+    pub cache_entries: usize,
+}
+
+impl JsonCodec for StatsReply {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("stats".into())),
+            ("requests".into(), Json::Int(self.requests as i64)),
+            ("cache_hits".into(), Json::Int(self.cache_hits as i64)),
+            ("dedup_joins".into(), Json::Int(self.dedup_joins as i64)),
+            ("tunes_run".into(), Json::Int(self.tunes_run as i64)),
+            ("cache_entries".into(), Json::Int(self.cache_entries as i64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(StatsReply {
+            requests: json.get("requests")?.as_usize()?,
+            cache_hits: json.get("cache_hits")?.as_usize()?,
+            dedup_joins: json.get("dedup_joins")?.as_usize()?,
+            tunes_run: json.get("tunes_run")?.as_usize()?,
+            cache_entries: json.get("cache_entries")?.as_usize()?,
+        })
+    }
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A streamed per-trial update (never terminal).
+    Progress(Progress),
+    /// The terminal answer to a tune request.
+    Result(TuneReply),
+    /// The terminal answer to a stats request.
+    Stats(StatsReply),
+    /// Acknowledgement (terminal answer to shutdown).
+    Ok,
+    /// The request failed; the connection closes after this frame.
+    Error(String),
+}
+
+impl JsonCodec for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Progress(p) => p.to_json(),
+            Response::Result(r) => r.to_json(),
+            Response::Stats(s) => s.to_json(),
+            Response::Ok => Json::Obj(vec![("type".into(), Json::Str("ok".into()))]),
+            Response::Error(message) => Json::Obj(vec![
+                ("type".into(), Json::Str("error".into())),
+                ("message".into(), Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.get("type")?.as_str()? {
+            "progress" => Ok(Response::Progress(Progress::from_json(json)?)),
+            "result" => Ok(Response::Result(TuneReply::from_json(json)?)),
+            "stats" => Ok(Response::Stats(StatsReply::from_json(json)?)),
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error(json.get("message")?.as_str()?.to_string())),
+            other => Err(JsonError {
+                message: format!("unknown response type {other:?}"),
+                offset: None,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atim_autotune::trace::Decision;
+
+    #[test]
+    fn requests_round_trip() {
+        let mut req = TuneRequest::quick("mtv", vec![4096, 4096]);
+        req.seed = u64::MAX; // exceeds an f64's exact integer range
+        req.watch = true;
+        for original in [Request::Tune(req), Request::Stats, Request::Shutdown] {
+            let decoded = Request::from_json(&original.to_json()).unwrap();
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let trace = Trace::from_decisions("upmem", vec![("tasklets", Decision::Int(16))]);
+        for original in [
+            Response::Progress(Progress {
+                trial: 7,
+                latency_s: 1.5e-3,
+                best_latency_s: 9.0e-4,
+            }),
+            Response::Result(TuneReply {
+                cache_hit: true,
+                deduped: false,
+                latency_s: 9.0e-4,
+                measured: 0,
+                trace,
+            }),
+            Response::Stats(StatsReply {
+                requests: 4,
+                cache_hits: 2,
+                dedup_joins: 1,
+                tunes_run: 1,
+                cache_entries: 3,
+            }),
+            Response::Ok,
+            Response::Error("no such workload".into()),
+        ] {
+            let decoded = Response::from_json(&original.to_json()).unwrap();
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn unknown_types_are_rejected() {
+        let j = Json::Obj(vec![("type".into(), Json::Str("pwn".into()))]);
+        assert!(Request::from_json(&j).is_err());
+        assert!(Response::from_json(&j).is_err());
+    }
+}

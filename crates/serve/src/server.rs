@@ -1,0 +1,627 @@
+//! The tuning server: answer cache hits in microseconds, queue misses
+//! onto a shared work queue, dedup identical in-flight searches.
+//!
+//! # Threading model
+//!
+//! * One **accept** thread owns the listener and spawns a short-lived
+//!   thread per connection.
+//! * `tuner_threads` **worker** threads drain a shared job queue; each job
+//!   is one `(workload, shape, machine, generator, options)` search.
+//! * Connection threads never search.  A tune request resolves, in order:
+//!   schedule-cache hit (answered immediately, zero measurements) →
+//!   in-flight duplicate (subscribe to the running job — exactly one
+//!   search runs no matter how many clients ask) → fresh job (enqueued).
+//!
+//! The miss path is atomic: the cache lookup and the in-flight-map probe
+//! happen under one lock, and workers record a finished search into the
+//! cache *before* removing it from the in-flight map — so between "two
+//! clients ask concurrently" and "the result is durable", every request
+//! lands on exactly one of {hit, join, enqueue}.
+//!
+//! Shutdown composes with the tuning stack's cooperative cancellation: the
+//! server's [`CancelToken`] is threaded into every search's [`Budget`], so
+//! stopping the server also stops an in-flight search at its next
+//! measurement batch.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use atim_autotune::session::{Budget, TuningObserver};
+use atim_autotune::{CacheKey, CancelToken, JsonCodec, TuningRecord};
+use atim_core::Session;
+use atim_tir::compute::ComputeDef;
+use atim_workloads::{Workload, WorkloadKind};
+
+use crate::proto::{Progress, Request, Response, StatsReply, TuneReply, TuneRequest};
+use crate::wire::{read_frame, write_frame};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads draining the tune queue (default 1: searches are
+    /// themselves parallel inside the backend, and a single queue keeps
+    /// measurements honest on one machine).
+    pub tuner_threads: usize,
+    /// Per-search budget applied on top of each request's own trial
+    /// target.  Its cancel token, if any, is replaced by the server's.
+    pub budget: Budget,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            tuner_threads: 1,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// A snapshot of the server's counters.
+pub type ServerStats = StatsReply;
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicUsize,
+    cache_hits: AtomicUsize,
+    dedup_joins: AtomicUsize,
+    tunes_run: AtomicUsize,
+}
+
+/// The dedup identity of a search: the cache coordinates plus the options
+/// that shape the trajectory.  Two requests with the same `JobKey` are the
+/// same search and share one execution.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct JobKey {
+    cache: CacheKey,
+    trials: usize,
+    population: usize,
+    measure_per_round: usize,
+    seed: u64,
+}
+
+struct JobState {
+    /// Set exactly once, when the search finishes (or fails).
+    done: Option<Response>,
+    /// Waiting clients; `watch` selects whether progress frames flow.
+    subscribers: Vec<(mpsc::Sender<Response>, bool)>,
+}
+
+struct Job {
+    key: JobKey,
+    def: ComputeDef,
+    request: TuneRequest,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    /// Subscribes a client; a job that already finished answers
+    /// immediately through the same channel.
+    fn subscribe(&self, watch: bool) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.state.lock().expect("job state poisoned");
+        match &state.done {
+            Some(terminal) => {
+                let _ = tx.send(terminal.clone());
+            }
+            None => state.subscribers.push((tx, watch)),
+        }
+        rx
+    }
+
+    fn publish_progress(&self, progress: Progress) {
+        let state = self.state.lock().expect("job state poisoned");
+        for (tx, watch) in &state.subscribers {
+            if *watch {
+                let _ = tx.send(Response::Progress(progress.clone()));
+            }
+        }
+    }
+
+    fn fulfill(&self, terminal: Response) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        for (tx, _) in state.subscribers.drain(..) {
+            let _ = tx.send(terminal.clone());
+        }
+        state.done = Some(terminal);
+    }
+}
+
+struct ServerState {
+    session: Session,
+    options: ServeOptions,
+    cancel: CancelToken,
+    addr: SocketAddr,
+    inflight: Mutex<HashMap<JobKey, Arc<Job>>>,
+    queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
+    counters: Counters,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServerStats {
+        StatsReply {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            dedup_joins: self.counters.dedup_joins.load(Ordering::Relaxed),
+            tunes_run: self.counters.tunes_run.load(Ordering::Relaxed),
+            cache_entries: self
+                .session
+                .schedule_cache()
+                .map(|c| c.lock().expect("schedule cache poisoned").len())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// A running server: its bound address, live counters, and the handle that
+/// stops it.  Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// The token that cancels in-flight searches on shutdown (clone it to
+    /// compose server shutdown with external cancellation).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`, or another
+    /// thread fired [`ServerHandle::cancel_token`]), then joins every
+    /// server thread.
+    pub fn join(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Stops the server and joins every server thread: fires the cancel
+    /// token (in-flight searches stop at their next batch), closes the
+    /// work queue, and unblocks the accept loop.
+    pub fn shutdown(mut self) {
+        self.state.cancel.cancel();
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            // `join` waits for a client-driven shutdown; `shutdown` fired
+            // the token first.  Either way the accept loop needs one last
+            // connection to observe it.
+            if self.state.cancel.is_cancelled() {
+                let _ = TcpStream::connect(self.state.addr);
+            }
+            let _ = accept.join();
+        }
+        // Closing the queue sender stops the workers once drained.
+        drop(self.state.queue.lock().expect("queue poisoned").take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.cancel.cancel();
+        self.stop_and_join();
+    }
+}
+
+/// Starts the tuning server on `addr` (use port 0 for an ephemeral port;
+/// [`ServerHandle::addr`] reports the bound one).
+///
+/// The session's attached schedule cache — if any — is both the hit path
+/// and the durable store for finished searches; a session without one
+/// still serves, but re-tunes per `JobKey` across restarts.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve(
+    session: Session,
+    addr: impl ToSocketAddrs,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let tuner_threads = options.tuner_threads.max(1);
+    let (tx, rx) = mpsc::channel::<Arc<Job>>();
+    let state = Arc::new(ServerState {
+        session,
+        options,
+        cancel: CancelToken::new(),
+        addr,
+        inflight: Mutex::new(HashMap::new()),
+        queue: Mutex::new(Some(tx)),
+        counters: Counters::default(),
+    });
+
+    let shared_rx = Arc::new(Mutex::new(rx));
+    let workers = (0..tuner_threads)
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&shared_rx);
+            std::thread::Builder::new()
+                .name(format!("atim-serve-tuner-{i}"))
+                .spawn(move || worker_loop(&state, &rx))
+                .expect("spawn tuner thread")
+        })
+        .collect();
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("atim-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_state))
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        state,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.cancel.is_cancelled() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.cancel.is_cancelled() {
+            return;
+        }
+        let state = Arc::clone(state);
+        // Connection threads are detached: they only outlive the server by
+        // the time it takes to write a final (cancelled) frame.
+        let _ = std::thread::Builder::new()
+            .name("atim-serve-conn".into())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let request = match read_frame(&mut stream) {
+        Ok(json) => match Request::from_json(&json) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &Response::Error(e.to_string()).to_json());
+                return;
+            }
+        },
+        // A peer probing the port (including our own shutdown self-connect)
+        // is not a request.
+        Err(_) => return,
+    };
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    match request {
+        Request::Stats => {
+            let _ = write_frame(&mut stream, &Response::Stats(state.stats()).to_json());
+        }
+        Request::Shutdown => {
+            state.cancel.cancel();
+            let _ = write_frame(&mut stream, &Response::Ok.to_json());
+            // Unblock our own accept loop so `join` returns.
+            let _ = TcpStream::connect(state.addr);
+        }
+        Request::Tune(request) => handle_tune(&mut stream, state, request),
+    }
+}
+
+/// Resolves a tune request to its workload definition, or the error frame
+/// to answer with.
+fn resolve_def(request: &TuneRequest) -> Result<ComputeDef, Response> {
+    let kind = WorkloadKind::parse(&request.workload).ok_or_else(|| {
+        Response::Error(format!(
+            "unknown workload {:?}; expected one of {}",
+            request.workload,
+            WorkloadKind::ALL.map(|k| k.name()).join("/")
+        ))
+    })?;
+    Workload::new(kind, request.shape.clone())
+        .try_compute_def()
+        .ok_or_else(|| {
+            Response::Error(format!(
+                "bad shape {:?} for {}: expected {} positive extent(s)",
+                request.shape,
+                kind.name(),
+                kind.rank()
+            ))
+        })
+}
+
+fn handle_tune(stream: &mut TcpStream, state: &Arc<ServerState>, request: TuneRequest) {
+    let def = match resolve_def(&request) {
+        Ok(def) => def,
+        Err(error) => {
+            let _ = write_frame(stream, &error.to_json());
+            return;
+        }
+    };
+    if let Err(e) = atim_autotune::validate_options(&request.options()) {
+        let _ = write_frame(stream, &Response::Error(e.to_string()).to_json());
+        return;
+    }
+    let key = JobKey {
+        cache: state.session.cache_key(&def),
+        trials: request.trials,
+        population: request.population,
+        measure_per_round: request.measure_per_round,
+        seed: request.seed,
+    };
+
+    // Hit / join / enqueue — decided atomically under the in-flight lock.
+    let watch = request.watch;
+    let mut joined = false;
+    let rx = {
+        let mut inflight = state.inflight.lock().expect("inflight map poisoned");
+        if let Some(hit) = state.session.cached(&def) {
+            state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let reply = TuneReply {
+                cache_hit: true,
+                deduped: false,
+                latency_s: hit.best_latency_s(),
+                measured: 0,
+                trace: hit.best_trace().clone(),
+            };
+            drop(inflight);
+            let _ = write_frame(stream, &Response::Result(reply).to_json());
+            return;
+        }
+        if let Some(job) = inflight.get(&key) {
+            state.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
+            joined = true;
+            job.subscribe(watch)
+        } else {
+            let job = Arc::new(Job {
+                key: key.clone(),
+                def,
+                request,
+                state: Mutex::new(JobState {
+                    done: None,
+                    subscribers: Vec::new(),
+                }),
+            });
+            let rx = job.subscribe(watch);
+            inflight.insert(key, Arc::clone(&job));
+            let queue = state.queue.lock().expect("queue poisoned");
+            match queue.as_ref() {
+                Some(tx) if tx.send(Arc::clone(&job)).is_ok() => {}
+                _ => {
+                    // Shutting down: fail the job we just registered.
+                    drop(queue);
+                    inflight.remove(&job.key);
+                    job.fulfill(Response::Error("server is shutting down".into()));
+                }
+            }
+            rx
+        }
+    };
+
+    // Forward frames until the terminal one.  A send failure on our side
+    // (client hung up) just ends the thread; the search keeps running for
+    // the other subscribers and the cache.
+    for mut response in rx {
+        let terminal = !matches!(response, Response::Progress(_));
+        if let Response::Result(reply) = &mut response {
+            // Whether *this* client rode on another client's search is a
+            // per-subscriber fact, stamped here rather than by the worker.
+            reply.deduped = joined;
+        }
+        if write_frame(stream, &response.to_json()).is_err() {
+            return;
+        }
+        if terminal {
+            return;
+        }
+    }
+}
+
+/// Streams per-trial progress to a job's watching subscribers.
+struct BroadcastObserver<'a> {
+    job: &'a Job,
+}
+
+impl TuningObserver for BroadcastObserver<'_> {
+    fn on_trial(&mut self, record: &TuningRecord) {
+        self.job.publish_progress(Progress {
+            trial: record.trial,
+            latency_s: record.latency_s,
+            best_latency_s: record.best_so_far_s,
+        });
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<mpsc::Receiver<Arc<Job>>>>) {
+    loop {
+        // Hold the receiver lock only while dequeueing, not while tuning.
+        let job = {
+            let rx = rx.lock().expect("queue receiver poisoned");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            }
+        };
+        if state.cancel.is_cancelled() {
+            state
+                .inflight
+                .lock()
+                .expect("inflight map poisoned")
+                .remove(&job.key);
+            job.fulfill(Response::Error("server is shutting down".into()));
+            continue;
+        }
+        run_job(state, &job);
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, job: &Job) {
+    state.counters.tunes_run.fetch_add(1, Ordering::Relaxed);
+    let budget = Budget {
+        cancel: Some(state.cancel.clone()),
+        ..state.options.budget.clone()
+    };
+    let mut observer = BroadcastObserver { job };
+    // `tune_observed` records the win into the session's schedule cache
+    // before we drop the job from the in-flight map, so later requests
+    // always find it in exactly one of the two.
+    let tuned =
+        state
+            .session
+            .tune_observed(&job.def, &job.request.options(), &budget, &mut observer);
+    let terminal = match tuned {
+        Ok(tuned) if tuned.result().best.is_some() => Response::Result(TuneReply {
+            cache_hit: false,
+            deduped: false, // each connection stamps its own join status
+            latency_s: tuned.best_latency_s(),
+            measured: tuned.measured(),
+            trace: tuned.best_trace().clone(),
+        }),
+        Ok(_) => Response::Error(if state.cancel.is_cancelled() {
+            "search cancelled by server shutdown".into()
+        } else {
+            "search finished without a valid candidate".into()
+        }),
+        Err(e) => Response::Error(e.to_string()),
+    };
+    state
+        .inflight
+        .lock()
+        .expect("inflight map poisoned")
+        .remove(&job.key);
+    job.fulfill(terminal);
+}
+
+/// Serves forever on `addr`, writing a parseable `listening on <addr>`
+/// line to `out` once bound — the entry point behind the `atim-serve`
+/// binary, split out so tests can drive it.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve_forever(
+    session: Session,
+    addr: impl ToSocketAddrs,
+    options: ServeOptions,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
+    let handle = serve(session, addr, options)?;
+    let _ = writeln!(out, "listening on {}", handle.addr());
+    let _ = out.flush();
+    handle.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use atim_core::AnalyticBackend;
+    use atim_sim::UpmemConfig;
+
+    fn test_session() -> Session {
+        Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .build()
+    }
+
+    #[test]
+    fn serves_stats_and_shuts_down_on_request() {
+        let handle = serve(test_session(), "127.0.0.1:0", ServeOptions::default()).unwrap();
+        let client = Client::new(handle.addr());
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.tunes_run, 0);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn rejects_malformed_and_unknown_requests_with_error_frames() {
+        let handle = serve(test_session(), "127.0.0.1:0", ServeOptions::default()).unwrap();
+        let client = Client::new(handle.addr());
+
+        let err = client
+            .tune(&TuneRequest::quick("conv2d", vec![64]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+
+        let err = client
+            .tune(&TuneRequest::quick("mtv", vec![64]))
+            .unwrap_err();
+        assert!(err.to_string().contains("bad shape"), "{err}");
+
+        let mut zero = TuneRequest::quick("mtv", vec![64, 64]);
+        zero.trials = 0;
+        let err = client.tune(&zero).unwrap_err();
+        assert!(err.to_string().contains("trials"), "{err}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tunes_on_miss_then_hits_the_cache() {
+        let path = std::env::temp_dir().join("atim_serve_unit_cache_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .schedule_cache(&path)
+            .build();
+        let handle = serve(session, "127.0.0.1:0", ServeOptions::default()).unwrap();
+        let client = Client::new(handle.addr());
+        let request = TuneRequest::quick("gemv", vec![1024, 1024]);
+
+        let first = client.tune(&request).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.measured > 0);
+
+        let second = client.tune(&request).unwrap();
+        assert!(second.cache_hit, "second identical request must hit");
+        assert_eq!(second.measured, 0);
+        assert_eq!(second.trace, first.trace);
+        assert_eq!(second.latency_s, first.latency_s);
+
+        let stats = handle.stats();
+        assert_eq!(stats.tunes_run, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.cache_entries >= 1);
+        handle.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watch_streams_progress_frames_before_the_result() {
+        let handle = serve(test_session(), "127.0.0.1:0", ServeOptions::default()).unwrap();
+        let client = Client::new(handle.addr());
+        let mut request = TuneRequest::quick("mtv", vec![512, 512]);
+        request.watch = true;
+        let mut progress = Vec::new();
+        let reply = client
+            .tune_watch(&request, |p| progress.push(p.clone()))
+            .unwrap();
+        assert_eq!(progress.len(), reply.measured);
+        assert!(progress.windows(2).all(|w| w[0].trial < w[1].trial));
+        assert_eq!(
+            progress.last().unwrap().best_latency_s,
+            reply.latency_s,
+            "the last streamed best must equal the final result"
+        );
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,224 @@
+//! The wire format: length-prefixed JSON frames over a byte stream.
+//!
+//! Each frame is a 4-byte big-endian length followed by exactly that many
+//! bytes of UTF-8 JSON (the same dependency-free [`Json`] layer the tune
+//! logs and the schedule cache use).  The format is deliberately dumb: no
+//! multiplexing, no compression, no negotiation — a connection carries one
+//! request frame up and a short sequence of response frames down.
+//!
+//! Error taxonomy mirrors the truncated-`TuneLog` tolerance contract: a
+//! clean EOF *between* frames is [`WireError::Closed`] (the peer hung up,
+//! normal), an EOF *inside* a frame is [`WireError::Truncated`] (the peer
+//! died mid-write, abnormal), and both are distinct from malformed JSON
+//! ([`WireError::Parse`]).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use atim_autotune::{Json, JsonError};
+
+/// Upper bound on a single frame's payload, in bytes.  Tuning requests and
+/// results are tiny; anything near this bound is a corrupt or hostile
+/// length prefix, rejected before allocation.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors reading or writing frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The stream ended in the middle of a frame (header or payload).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload is not valid UTF-8 JSON.
+    Parse(JsonError),
+    /// An underlying I/O failure other than EOF.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::Parse(e) => write!(f, "frame payload is not valid JSON: {e}"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+/// Encodes one frame: 4-byte big-endian payload length, then the payload.
+pub fn encode_frame(json: &Json) -> Vec<u8> {
+    let payload = json.to_string();
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Decodes one frame from the front of `bytes`, returning the value and
+/// the number of bytes consumed.
+///
+/// # Errors
+/// [`WireError::Truncated`] when `bytes` holds less than one whole frame
+/// (including the empty buffer), [`WireError::TooLarge`] /
+/// [`WireError::Parse`] for corrupt prefixes or payloads.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Json, usize), WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(len));
+    }
+    if bytes.len() < 4 + len {
+        return Err(WireError::Truncated);
+    }
+    let payload = std::str::from_utf8(&bytes[4..4 + len]).map_err(|_| {
+        WireError::Parse(JsonError {
+            message: "frame payload is not UTF-8".into(),
+            offset: None,
+        })
+    })?;
+    Ok((Json::parse(payload)?, 4 + len))
+}
+
+/// Reads exactly `buf.len()` bytes; distinguishes EOF-at-a-frame-boundary
+/// (`start` true) from EOF mid-frame.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if start && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+/// [`WireError::Closed`] on a clean EOF before any header byte,
+/// [`WireError::Truncated`] on EOF inside the frame, and the corrupt-frame
+/// variants of [`decode_frame`].
+pub fn read_frame(r: &mut impl Read) -> Result<Json, WireError> {
+    let mut header = [0u8; 4];
+    read_exact_or(r, &mut header, true)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    let text = String::from_utf8(payload).map_err(|_| {
+        WireError::Parse(JsonError {
+            message: "frame payload is not UTF-8".into(),
+            offset: None,
+        })
+    })?;
+    Ok(Json::parse(&text)?)
+}
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> Result<(), WireError> {
+    w.write_all(&encode_frame(json))?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::Str("tune".into())),
+            ("shape".into(), Json::Arr(vec![Json::Int(64), Json::Int(8)])),
+        ])
+    }
+
+    #[test]
+    fn frames_round_trip_through_byte_buffers_and_streams() {
+        let bytes = encode_frame(&obj());
+        let (decoded, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(decoded, obj());
+        assert_eq!(used, bytes.len());
+
+        let mut cursor = io::Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), obj());
+        // The stream is exhausted: the next read is a clean close.
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected_not_misparsed() {
+        let bytes = encode_frame(&obj());
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+            let mut cursor = io::Cursor::new(&bytes[..cut]);
+            match read_frame(&mut cursor) {
+                Err(WireError::Closed) if cut == 0 => {}
+                Err(WireError::Truncated) if cut > 0 => {}
+                other => panic!("stream cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_before_allocation() {
+        let mut bytes = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        bytes.extend_from_slice(b"{}");
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::TooLarge(0xFFFF_FFFF))
+        ));
+        let mut cursor = io::Cursor::new(&bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::TooLarge(0xFFFF_FFFF))
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_are_parse_errors() {
+        let mut bytes = 3u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"{{{");
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Parse(_))));
+        let mut invalid = 1u32.to_be_bytes().to_vec();
+        invalid.push(0xFF); // not UTF-8
+        assert!(matches!(decode_frame(&invalid), Err(WireError::Parse(_))));
+    }
+}

@@ -50,6 +50,22 @@ impl WorkloadKind {
     pub fn has_reduce(self) -> bool {
         !matches!(self, WorkloadKind::Va | WorkloadKind::Geva)
     }
+
+    /// Parses a canonical lowercase name back to the kind (the inverse of
+    /// [`WorkloadKind::name`]); `None` for unknown names.
+    pub fn parse(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The number of shape extents the operation takes: 1 for the vector
+    /// ops, 2 for MTV/GEMV, 3 for TTV/MMTV.
+    pub fn rank(self) -> usize {
+        match self {
+            WorkloadKind::Va | WorkloadKind::Red | WorkloadKind::Geva => 1,
+            WorkloadKind::Mtv | WorkloadKind::Gemv => 2,
+            WorkloadKind::Ttv | WorkloadKind::Mmtv => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for WorkloadKind {
@@ -89,6 +105,17 @@ impl Workload {
             WorkloadKind::Ttv => ComputeDef::ttv("ttv", s[0], s[1], s[2]),
             WorkloadKind::Mmtv => ComputeDef::mmtv("mmtv", s[0], s[1], s[2]),
         }
+    }
+
+    /// The validating form of [`Workload::compute_def`] for untrusted
+    /// shapes (e.g. ones arriving over the tuning-server wire): `None`
+    /// when the shape length does not match the operation's rank or any
+    /// extent is non-positive.
+    pub fn try_compute_def(&self) -> Option<ComputeDef> {
+        if self.shape.len() != self.kind.rank() || self.shape.iter().any(|&e| e <= 0) {
+            return None;
+        }
+        Some(self.compute_def())
     }
 
     /// Size of the main input tensor in bytes (the "Size (MB)" column of
@@ -241,6 +268,21 @@ mod tests {
     fn labels_are_informative() {
         let w = Workload::new(WorkloadKind::Gemv, vec![4096, 4096]);
         assert_eq!(w.label(), "gemv-64MB");
+    }
+
+    #[test]
+    fn names_parse_back_and_untrusted_shapes_validate() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::parse(kind.name()), Some(kind));
+            let good = Workload::new(kind, vec![64; kind.rank()]);
+            assert!(good.try_compute_def().is_some());
+            let short = Workload::new(kind, vec![64; kind.rank() - 1]);
+            assert!(short.try_compute_def().is_none());
+            let negative = Workload::new(kind, vec![-64; kind.rank()]);
+            assert!(negative.try_compute_def().is_none());
+        }
+        assert_eq!(WorkloadKind::parse("conv2d"), None);
+        assert_eq!(WorkloadKind::parse("MTV"), None, "names are lowercase");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Tuning-as-a-service client: talk to a running `atim-serve` daemon.
+//!
+//! ```text
+//! # terminal 1 — the server (analytic backend, cache-backed)
+//! cargo run --release --bin atim-serve -- --analytic --cache /tmp/atim_cache.jsonl
+//!
+//! # terminal 2 — this client
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The example sends the same tune request twice.  The first call runs the
+//! search on the server (watching its progress stream live); the second must
+//! be answered from the server's `ScheduleCache` — no measurements, same
+//! trace — which is exactly what a fleet of clients sharing one tuning
+//! server experiences after the first request per workload.
+//!
+//! Environment knobs (both optional):
+//! * `ATIM_SERVE_ADDR` — server address (default `127.0.0.1:7421`).
+//! * `ATIM_SERVE_SHUTDOWN=1` — ask the server to exit when done (used by the
+//!   CI smoke test so the background daemon doesn't outlive the job).
+
+use atim_serve::{Client, TuneRequest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::var("ATIM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7421".into());
+    let client = Client::parse(&addr)?;
+    println!("connecting to atim-serve at {addr}");
+
+    // A quick-budget GEMV tune: small enough to finish in seconds even on
+    // the simulator backend, unique enough to have its own cache key.
+    let mut request = TuneRequest::quick("mtv", vec![512, 256]);
+    request.watch = true; // stream per-trial progress on the first call
+
+    // First call: a cache miss runs the search server-side; the progress
+    // frames stream back while it happens.
+    let first = client.tune_watch(&request, |p| {
+        println!(
+            "  trial {:>3}: {:.3} ms (best {:.3} ms)",
+            p.trial,
+            p.latency_s * 1e3,
+            p.best_latency_s * 1e3
+        );
+    })?;
+    println!(
+        "first call:  cache_hit={} measured={} latency={:.3} ms",
+        first.cache_hit,
+        first.measured,
+        first.latency_s * 1e3
+    );
+
+    // Second call: must be a pure cache hit — zero measurements, and the
+    // exact trace the search found.
+    let second = client.tune(&request)?;
+    println!(
+        "second call: cache_hit={} measured={} latency={:.3} ms",
+        second.cache_hit,
+        second.measured,
+        second.latency_s * 1e3
+    );
+    assert!(
+        second.cache_hit,
+        "second identical request must hit the schedule cache"
+    );
+    assert_eq!(second.measured, 0, "a cache hit performs no measurements");
+    assert_eq!(
+        second.trace, first.trace,
+        "the cache must return the trace the search found"
+    );
+    assert_eq!(
+        second.latency_s.to_bits(),
+        first.latency_s.to_bits(),
+        "cached latency must be bit-identical to the tuned one"
+    );
+
+    let stats = client.stats()?;
+    println!(
+        "server stats: {} requests, {} cache hits, {} dedup joins, {} tunes run, {} cache entries",
+        stats.requests, stats.cache_hits, stats.dedup_joins, stats.tunes_run, stats.cache_entries
+    );
+    assert!(stats.cache_hits >= 1);
+
+    if std::env::var("ATIM_SERVE_SHUTDOWN").as_deref() == Ok("1") {
+        client.shutdown()?;
+        println!("server asked to shut down");
+    }
+    println!("serve client: PASS");
+    Ok(())
+}

@@ -26,6 +26,7 @@ pub use atim_baselines as baselines;
 pub use atim_bench as bench;
 pub use atim_core as core;
 pub use atim_passes as passes;
+pub use atim_serve as serve;
 pub use atim_sim as sim;
 pub use atim_tir as tir;
 pub use atim_workloads as workloads;

@@ -1,0 +1,167 @@
+//! Cross-process `ScheduleCache` stress suite: N real OS processes append
+//! concurrently to one cache file; afterwards the file must parse cleanly
+//! (no corruption), contain every key, and elect — for every key — the
+//! globally best entry any process wrote (no lost strictly-better entries,
+//! deterministic winner selection).
+//!
+//! The child processes are this same test binary re-invoked with the
+//! `stress_child_writer` filter and an env-var payload; without the env
+//! var that test is a no-op, so a plain `cargo test` run never recurses.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use atim_autotune::{append_entry, CacheEntry, CacheKey, Decision, ScheduleCache, Trace};
+
+const CHILD_ENV: &str = "ATIM_CACHE_STRESS_CHILD";
+const WRITERS: u64 = 6;
+const ENTRIES_PER_WRITER: u64 = 40;
+const KEYS: u64 = 5;
+
+/// The deterministic entry a writer appends at one step — shared by the
+/// children (to write) and the parent (to compute the expected winners).
+fn entry_for(writer: u64, step: u64) -> CacheEntry {
+    let key = (writer + step) % KEYS;
+    // A latency that collides exactly across writers every few steps, so
+    // the tie-break arm of the winner selection is exercised too.
+    let latency_s = ((writer * ENTRIES_PER_WRITER + step) % 29 + 1) as f64 * 1e-4;
+    CacheEntry {
+        key: CacheKey {
+            workload: format!("wl{key}"),
+            shape: vec![64 * (key as i64 + 1), 64],
+            machine: "stress-machine".into(),
+            generator: "upmem-sketch".into(),
+        },
+        trace: Trace::from_decisions(
+            "stress",
+            vec![
+                ("writer", Decision::Int(writer as i64)),
+                ("step", Decision::Int(step as i64)),
+            ],
+        ),
+        latency_s,
+        seed: writer * 1_000_000 + step,
+    }
+}
+
+/// The winner the merged cache must elect for `key`, computed from first
+/// principles over every entry any writer appends.
+fn expected_winner(key: u64) -> CacheEntry {
+    let mut best: Option<CacheEntry> = None;
+    for writer in 0..WRITERS {
+        for step in 0..ENTRIES_PER_WRITER {
+            let entry = entry_for(writer, step);
+            if entry.key.workload != format!("wl{key}") {
+                continue;
+            }
+            best = match best {
+                Some(current) if !entry.beats(&current) => Some(current),
+                _ => Some(entry),
+            };
+        }
+    }
+    best.expect("every key is written at least once")
+}
+
+fn cache_path() -> PathBuf {
+    std::env::temp_dir().join(format!("atim_cache_stress_{}.jsonl", std::process::id()))
+}
+
+/// Child mode: appends this writer's entries as fast as possible.  A no-op
+/// (trivially passing test) unless spawned by the parent with the payload
+/// env var set to `<writer_id>:<cache_path>:<go_path>`.
+#[test]
+fn stress_child_writer() {
+    let Ok(payload) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let (writer, rest) = payload.split_once(':').expect("payload is writer:cache:go");
+    let (cache, go) = rest.split_once(':').expect("payload is writer:cache:go");
+    let writer: u64 = writer.parse().expect("writer id");
+
+    // Start barrier: spin until the parent has spawned every sibling, so
+    // the appends genuinely interleave.
+    let start = Instant::now();
+    while !std::path::Path::new(go).exists() {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "go file never appeared"
+        );
+        std::thread::yield_now();
+    }
+    for step in 0..ENTRIES_PER_WRITER {
+        append_entry(cache, &entry_for(writer, step)).expect("append");
+    }
+}
+
+#[test]
+fn concurrent_writer_processes_never_corrupt_or_lose_entries() {
+    let path = cache_path();
+    let go = path.with_extension("go");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&go);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let children: Vec<_> = (0..WRITERS)
+        .map(|writer| {
+            Command::new(&exe)
+                .args(["stress_child_writer", "--exact", "--nocapture"])
+                .env(
+                    CHILD_ENV,
+                    format!("{writer}:{}:{}", path.display(), go.display()),
+                )
+                .spawn()
+                .expect("spawn writer process")
+        })
+        .collect();
+    // Open the gate only once every writer is alive.
+    std::fs::write(&go, b"go").expect("create go file");
+
+    for mut child in children {
+        let status = child.wait().expect("wait for writer");
+        assert!(status.success(), "a writer process failed: {status:?}");
+    }
+
+    // 1. No corruption: every line parses (a single torn/garbage line
+    //    anywhere but the tail would fail the load).  `open` keeps the
+    //    backing path so step 4 can compact in place.
+    let cache = ScheduleCache::open(&path).expect("cache file must parse cleanly");
+
+    // 2. No lost keys, and for each key the globally strictly-best entry
+    //    won, independent of process interleaving.
+    assert_eq!(cache.len(), KEYS as usize);
+    for key in 0..KEYS {
+        let expect = expected_winner(key);
+        let got = cache
+            .lookup(&expect.key)
+            .unwrap_or_else(|| panic!("key wl{key} missing from merged cache"));
+        assert_eq!(got, &expect, "wrong winner for wl{key}");
+    }
+
+    // 3. The raw file holds every append (no lost lines at all — the
+    //    stronger form of "no lost strictly-better entries").
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        text.lines().count() as u64,
+        WRITERS * ENTRIES_PER_WRITER,
+        "appended lines went missing"
+    );
+
+    // 4. Compaction after the stress preserves the winners and shrinks the
+    //    file to one line per key.
+    cache.compact().expect("compact");
+    let compacted = ScheduleCache::load(&path).expect("compacted file parses");
+    assert_eq!(compacted.len(), KEYS as usize);
+    for key in 0..KEYS {
+        let expect = expected_winner(key);
+        assert_eq!(compacted.lookup(&expect.key), Some(&expect));
+    }
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap().lines().count() as u64,
+        KEYS
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&go);
+}
