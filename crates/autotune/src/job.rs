@@ -1,0 +1,255 @@
+//! The serializable measurement contract: [`MeasureJob`] / [`MeasureReport`].
+//!
+//! "Measure a batch of candidates" used to be an in-process method call;
+//! this module turns each candidate into a routable *job* so the same
+//! request can be answered by an in-process backend, a worker process on
+//! the same machine, or (eventually) a remote PIM box — the distributed
+//! measurement design of TVM's RPC tracker, specialized to ATiM's
+//! trace-based search space.
+//!
+//! A job carries everything a worker with no shared memory needs to
+//! reproduce the measurement bit-for-bit:
+//!
+//! * the **workload identity** — canonical op name plus shape extents,
+//!   exactly the coordinates a [`crate::CacheKey`] uses, so the worker can
+//!   re-derive the [`ComputeDef`](atim_tir::compute::ComputeDef);
+//! * the **generator id** — whose [`SpaceGenerator`](crate::SpaceGenerator)
+//!   re-materializes the trace's structural instructions from its decision
+//!   list (the same replay path a schedule-cache hit takes);
+//! * the **seed** and **exec mode** — provenance for logs and the guard
+//!   against routing a functional-execution request to a timing-only
+//!   worker;
+//! * the **trace** itself, serialized as its decision list.
+//!
+//! The matching [`MeasureReport`] carries the job id back with a
+//! [`MeasureOutcome`], preserving the tuner's three-way signal
+//! (measured / failed / skipped-by-cancellation) across the wire.
+
+use crate::json::{encode_f64, Json, JsonCodec, JsonError};
+use crate::trace::Trace;
+use crate::tuner::MeasureOutcome;
+
+/// The exec-mode tag for timing-only measurement (the autotuner's mode:
+/// latency without tensor data).
+pub const EXEC_TIMING: &str = "timing";
+
+/// One routable measurement request: a candidate trace plus the context a
+/// shared-nothing worker needs to measure it identically to the local
+/// backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureJob {
+    /// Caller-chosen id, echoed by the matching [`MeasureReport`].  Batch
+    /// dispatchers use the candidate's slot index.
+    pub id: u64,
+    /// Canonical workload name (`"mtv"`, `"gemv"`, ...): the
+    /// [`crate::CacheKey::workload`] coordinate.
+    pub workload: String,
+    /// Shape extents in axis order: the [`crate::CacheKey::shape`]
+    /// coordinate.
+    pub shape: Vec<i64>,
+    /// Id of the space generator that materializes the trace's structure
+    /// from its decisions (the [`crate::CacheKey::generator`] coordinate).
+    pub generator: String,
+    /// Seed of the search that proposed this candidate (provenance).
+    pub seed: u64,
+    /// Execution mode; currently always [`EXEC_TIMING`].
+    pub exec: String,
+    /// The candidate: serialized as sketch + decision list, like every
+    /// persisted trace.
+    pub trace: Trace,
+}
+
+impl MeasureJob {
+    /// A timing-only job for one candidate of `def`, deriving the workload
+    /// and shape coordinates exactly as [`crate::CacheKey::new`] does —
+    /// the two identities must agree so a fleet and the schedule cache
+    /// describe the same measurement.
+    pub fn timing_for_def(
+        id: u64,
+        def: &atim_tir::compute::ComputeDef,
+        generator: impl Into<String>,
+        seed: u64,
+        trace: Trace,
+    ) -> Self {
+        MeasureJob::timing(
+            id,
+            def.name.clone(),
+            def.axes.iter().map(|a| a.extent).collect(),
+            generator,
+            seed,
+            trace,
+        )
+    }
+
+    /// A timing-only job for one candidate of a batch.
+    pub fn timing(
+        id: u64,
+        workload: impl Into<String>,
+        shape: Vec<i64>,
+        generator: impl Into<String>,
+        seed: u64,
+        trace: Trace,
+    ) -> Self {
+        MeasureJob {
+            id,
+            workload: workload.into(),
+            shape,
+            generator: generator.into(),
+            seed,
+            exec: EXEC_TIMING.into(),
+            trace,
+        }
+    }
+}
+
+impl JsonCodec for MeasureJob {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Int(self.id as i64)),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            (
+                "shape".into(),
+                Json::Arr(self.shape.iter().map(|&e| Json::Int(e)).collect()),
+            ),
+            ("generator".into(), Json::Str(self.generator.clone())),
+            // u64 seeds can exceed exact-f64 range; travel as decimal text
+            // (the same convention as TuneLog and the schedule cache).
+            ("seed".into(), Json::Str(self.seed.to_string())),
+            ("exec".into(), Json::Str(self.exec.clone())),
+            ("trace".into(), self.trace.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let shape = json
+            .get("shape")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_i64)
+            .collect::<Result<Vec<i64>, JsonError>>()?;
+        let seed_text = json.get("seed")?.as_str()?;
+        let seed = seed_text
+            .parse::<u64>()
+            .map_err(|_| JsonError::new(format!("seed {seed_text:?} is not a u64")))?;
+        Ok(MeasureJob {
+            id: json.get("id")?.as_i64()? as u64,
+            workload: json.get("workload")?.as_str()?.to_string(),
+            shape,
+            generator: json.get("generator")?.as_str()?.to_string(),
+            seed,
+            exec: json.get("exec")?.as_str()?.to_string(),
+            trace: Trace::from_json(json.get("trace")?)?,
+        })
+    }
+}
+
+/// The answer to one [`MeasureJob`], echoing its id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureReport {
+    /// The id of the job this report answers.
+    pub id: u64,
+    /// The measurement outcome, with the latency bits preserved exactly.
+    pub outcome: MeasureOutcome,
+}
+
+impl MeasureReport {
+    /// A report answering job `id` with `outcome`.
+    pub fn new(id: u64, outcome: MeasureOutcome) -> Self {
+        MeasureReport { id, outcome }
+    }
+}
+
+impl JsonCodec for MeasureReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("id".into(), Json::Int(self.id as i64))];
+        match self.outcome {
+            MeasureOutcome::Measured(latency_s) => {
+                fields.push(("status".into(), Json::Str("measured".into())));
+                fields.push(("latency_s".into(), encode_f64(latency_s)));
+            }
+            MeasureOutcome::Failed => {
+                fields.push(("status".into(), Json::Str("failed".into())));
+            }
+            MeasureOutcome::Skipped => {
+                fields.push(("status".into(), Json::Str("skipped".into())));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let id = json.get("id")?.as_i64()? as u64;
+        let status = json.get("status")?.as_str()?;
+        let outcome = match status {
+            "measured" => MeasureOutcome::Measured(json.get("latency_s")?.as_f64()?),
+            "failed" => MeasureOutcome::Failed,
+            "skipped" => MeasureOutcome::Skipped,
+            other => {
+                return Err(JsonError::new(format!(
+                    "unknown measurement status {other:?} \
+                     (expected measured/failed/skipped)"
+                )))
+            }
+        };
+        Ok(MeasureReport { id, outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Decision;
+
+    fn job() -> MeasureJob {
+        MeasureJob::timing(
+            7,
+            "mtv",
+            vec![96, 64],
+            "upmem",
+            0xDEAD_BEEF_DEAD_BEEF,
+            Trace::from_decisions(
+                "upmem_sketch",
+                vec![
+                    ("spatial_dpus_0".to_string(), Decision::Int(64)),
+                    ("use_rfactor".to_string(), Decision::Bool(true)),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn jobs_round_trip_including_large_seeds() {
+        let original = job();
+        let text = original.to_json().to_string();
+        let decoded = MeasureJob::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, original);
+        assert_eq!(decoded.exec, EXEC_TIMING);
+    }
+
+    #[test]
+    fn reports_round_trip_with_exact_latency_bits() {
+        for outcome in [
+            MeasureOutcome::Measured(3.141592653589793e-4),
+            MeasureOutcome::Measured(f64::MIN_POSITIVE),
+            MeasureOutcome::Failed,
+            MeasureOutcome::Skipped,
+        ] {
+            let report = MeasureReport::new(42, outcome);
+            let text = report.to_json().to_string();
+            let decoded = MeasureReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(decoded, report);
+            if let (MeasureOutcome::Measured(a), MeasureOutcome::Measured(b)) =
+                (report.outcome, decoded.outcome)
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "latency bits must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_reports_are_rejected_with_a_reason() {
+        let bad = Json::parse(r#"{"id": 1, "status": "exploded"}"#).unwrap();
+        let err = MeasureReport::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("exploded"));
+    }
+}

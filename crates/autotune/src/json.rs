@@ -54,7 +54,9 @@ pub struct JsonError {
 }
 
 impl JsonError {
-    fn new(message: impl Into<String>) -> Self {
+    /// A decode error with no input position (for semantic errors found
+    /// after parsing, e.g. a missing field or an out-of-range value).
+    pub fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
             offset: None,

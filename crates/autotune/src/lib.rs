@@ -15,6 +15,11 @@
 //!   host/kernel sketch (Fig. 6) and is the default.
 //! * [`space`] — the legacy [`space::ScheduleConfig`] knob vector, kept as
 //!   the conversion layer (fixed baseline configs, v1-log shimming).
+//! * [`job`] — the serializable measurement contract
+//!   ([`job::MeasureJob`] / [`job::MeasureReport`]): a candidate plus the
+//!   workload/generator/seed context a shared-nothing worker needs to
+//!   measure it bit-identically, the unit the `atim-core` measurement
+//!   fleet routes over the wire.
 //! * [`verifier`] — the UPMEM code verifier (§5.2.4): rejects candidate
 //!   traces that exceed WRAM/MRAM capacity, the tasklet limit or the DPU
 //!   count before they are ever measured.
@@ -85,6 +90,7 @@
 pub mod cache;
 pub mod cost_model;
 pub mod generator;
+pub mod job;
 pub mod json;
 pub mod log;
 pub mod search;
@@ -99,6 +105,7 @@ pub use cache::{
     SCHEDULE_CACHE_ENV,
 };
 pub use generator::{SpaceGenerator, UpmemSketchGenerator};
+pub use job::{MeasureJob, MeasureReport, EXEC_TIMING};
 pub use json::{Json, JsonCodec, JsonError};
 pub use log::{StreamingTuneLog, TuneLog, TuneLogError, TuneLogWriter, WarmStartMeasurer};
 pub use session::{

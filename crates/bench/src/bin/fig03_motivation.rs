@@ -25,7 +25,7 @@ fn config(spatial: i64, reduce: i64, tasklets: i64, cache: i64) -> ScheduleConfi
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
 
     // (a) Kernel latency vs caching tile size: 512x512 GEMV on a single DPU.
     println!("# Fig 3(a): 512x512 GEMV on 1 DPU, kernel latency vs caching tile size");

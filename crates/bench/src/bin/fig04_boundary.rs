@@ -26,7 +26,7 @@ fn kernel_ms(
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let sizes = [542i64, 713, 990];
 
     println!("# Fig 4: GEMV (M x N) kernel time with vs without boundary checks");

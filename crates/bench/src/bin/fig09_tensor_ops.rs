@@ -14,7 +14,7 @@ use atim_core::prelude::*;
 use atim_workloads::ops::presets_for;
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let trials = trials_from_env();
     for kind in WorkloadKind::ALL {
         for (label, workload) in select_sizes(presets_for(kind)) {

@@ -6,13 +6,12 @@
 //! tokens ∈ {64,128,256,512}).
 
 use atim_bench::{evaluate_workload, full_from_env, print_normalized_table, trials_from_env};
-use atim_core::prelude::*;
 use atim_workloads::gptj::{
     fc_layers, fc_workload, mha_workload, GptJModel, BATCH_SIZES, TOKEN_COUNTS,
 };
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let trials = trials_from_env();
     let full = full_from_env();
     let batches: Vec<i64> = if full {

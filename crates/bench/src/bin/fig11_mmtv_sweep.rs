@@ -6,7 +6,7 @@ use atim_bench::{atim_report, prim_report, prim_search_report, trials_from_env};
 use atim_core::prelude::*;
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let trials = trials_from_env();
     println!("# Fig 11: MMTV speedup vs spatial dimension size (reduction = 256)");
     println!("spatial_size,atim_ms,speedup_vs_prim,speedup_vs_prim_search");

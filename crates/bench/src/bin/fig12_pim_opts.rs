@@ -82,7 +82,7 @@ fn sweep(session: &Session, title: &str, workloads: &[Workload]) {
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let lengths = [72i64, 91, 123, 145, 164, 196, 212, 245];
 
     let a: Vec<Workload> = lengths

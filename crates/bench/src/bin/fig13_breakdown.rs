@@ -50,7 +50,7 @@ fn breakdown(session: &Session, title: &str, def: &ComputeDef, cfg: &ScheduleCon
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
 
     let gemv = ComputeDef::gemv("gemv", 245, 245, 1.0);
     breakdown(

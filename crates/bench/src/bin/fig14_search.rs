@@ -41,7 +41,7 @@ impl TuningObserver for ConvergenceStream {
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let trials = std::env::var("ATIM_TRIALS")
         .ok()
         .and_then(|v| v.parse().ok())

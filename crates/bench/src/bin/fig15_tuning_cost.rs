@@ -28,7 +28,7 @@ impl Measurer for RecordingMeasurer<'_> {
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let def = ComputeDef::mtv("mtv", 4096, 4096);
     let iterations = 8usize;
     let per_iter = 64usize;

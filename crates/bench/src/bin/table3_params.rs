@@ -32,7 +32,7 @@ fn describe(cfg: &ScheduleConfig) -> String {
 }
 
 fn main() {
-    let session = Session::default();
+    let session = atim_bench::session();
     let trials = trials_from_env();
     println!("# Table 3: selected parameters per workload and size");
     println!("workload,size,prim,prim_search,atim");

@@ -34,6 +34,10 @@
 //!   incomplete one left by a crash via warm-start.
 //! * `ATIM_SIM_FASTPATH` — the simulator's bytecode fast path (default on;
 //!   `0` disables).  Latencies are bit-identical either way.
+//! * `ATIM_FLEET_WORKERS` — fan each tuning round's measurements across N
+//!   local `atim-worker` processes (default: unset, in-process).  Results
+//!   are bit-identical to in-process measurement; dead workers degrade the
+//!   fleet gracefully instead of failing a sweep.
 //!
 //! # Example
 //!
@@ -62,6 +66,28 @@ use atim_workloads::Workload;
 
 /// Environment variable naming a directory for persistent tuning logs.
 pub const TUNE_LOG_ENV: &str = "ATIM_TUNE_LOG";
+
+/// The shared harness session: the paper-sized simulated machine, measured
+/// in-process by default, or across an `ATIM_FLEET_WORKERS`-sized fleet of
+/// local worker processes.  Either way the measured latencies — and hence
+/// every figure — are bit-identical; the fleet only changes wall-clock.
+///
+/// # Panics
+/// Panics when `ATIM_FLEET_WORKERS` is set but the fleet cannot launch
+/// (an explicitly requested fleet must never silently degrade to nothing),
+/// and on invalid `ATIM_MEASURE_THREADS` values like [`Session::default`].
+pub fn session() -> Session {
+    match FleetBackend::from_env(BackendSpec::sim(UpmemConfig::default())) {
+        Some(fleet) => {
+            eprintln!(
+                "atim-bench: measuring on a fleet of {} worker process(es)",
+                fleet.workers_alive()
+            );
+            Session::builder().backend(fleet).build()
+        }
+        None => Session::default(),
+    }
+}
 
 /// Number of autotuning trials used by the harnesses.
 pub fn trials_from_env() -> usize {

@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use atim_autotune::{Cancellation, MeasureOutcome, Trace};
+use atim_autotune::{Cancellation, MeasureJob, MeasureOutcome, MeasureReport, Trace};
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::Result;
@@ -127,6 +127,36 @@ pub trait Backend: Send + Sync {
                 }
             })
             .collect()
+    }
+
+    /// Measures a batch of serializable [`MeasureJob`]s, one report per job
+    /// **in input order**, each echoing its job's id.
+    ///
+    /// This is the routable form of [`Backend::measure_batch_cancellable`]:
+    /// a job carries the workload/generator/seed context a shared-nothing
+    /// worker needs, so a dispatching backend (the fleet) can forward it to
+    /// another process.  The default unwraps the already-materialized
+    /// traces and measures in-process, which keeps every existing backend's
+    /// batching, deduplication and cancellation behavior bit-identical.
+    fn measure_jobs(
+        &self,
+        jobs: &[MeasureJob],
+        def: &ComputeDef,
+        cancel: &Cancellation,
+    ) -> Vec<MeasureReport> {
+        let traces: Vec<Trace> = jobs.iter().map(|j| j.trace.clone()).collect();
+        self.measure_batch_cancellable(&traces, def, cancel)
+            .into_iter()
+            .zip(jobs)
+            .map(|(outcome, job)| MeasureReport::new(job.id, outcome))
+            .collect()
+    }
+
+    /// Worker-pool observability: how many workers are alive, how many jobs
+    /// are in flight, how many were re-queued after a worker died.  `None`
+    /// for purely in-process backends; the fleet backend reports its pool.
+    fn fleet_stats(&self) -> Option<crate::fleet::FleetStats> {
+        None
     }
 }
 

@@ -1,0 +1,41 @@
+//! `atim-worker` — one measurement worker process of an ATiM fleet.
+//!
+//! A worker owns no configuration of its own: the fleet ships a serialized
+//! [`BackendSpec`](atim_core::fleet::BackendSpec) in its configure
+//! handshake, the worker rebuilds the backend and proves it by echoing the
+//! backend fingerprint, then measures one
+//! [`MeasureJob`](atim_autotune::MeasureJob) per request frame.
+//!
+//! Two modes:
+//!
+//! * `atim-worker --connect HOST:PORT` — dial into a fleet that spawned us
+//!   (the [`FleetBackend::spawn`](atim_core::fleet::FleetBackend::spawn)
+//!   path); exits when the fleet hangs up.
+//! * `atim-worker --listen HOST:PORT` — serve fleets that attach
+//!   ([`FleetBackend::attach`](atim_core::fleet::FleetBackend::attach)),
+//!   one connection at a time, until killed.
+
+use std::process::ExitCode;
+
+use atim_core::fleet::{worker_connect, worker_listen};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: atim-worker --connect HOST:PORT | --listen HOST:PORT");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [mode, addr] if mode == "--connect" => worker_connect(addr),
+        [mode, addr] if mode == "--listen" => worker_listen(addr),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("atim-worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

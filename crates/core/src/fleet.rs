@@ -1,0 +1,1113 @@
+//! A fault-tolerant localhost measurement fleet behind the [`Backend`]
+//! trait.
+//!
+//! The tuning loop's wall-clock is measurement-bound; PRs 2/4 made each
+//! candidate cheaper, this module makes measurement *horizontally*
+//! scalable: a [`FleetBackend`] fans each round's [`MeasureJob`]s across N
+//! `atim-worker` processes over the same length-prefixed JSON frames
+//! ([`atim_wire`]) the tuning daemon speaks — the distributed RPC-tracker
+//! design of "Learning to Optimize Tensor Programs", on `std::net` alone.
+//!
+//! # Determinism
+//!
+//! Fleet measurement is **bit-identical to sequential** for fixed seeds:
+//!
+//! * results land in per-job slots indexed by batch position, so the tuner
+//!   observes the same latencies in the same order regardless of which
+//!   worker answered first (the same slot-indexed contract as
+//!   [`SimBackend`]'s thread fan-out);
+//! * each worker rebuilds the *same* backend from the serialized
+//!   [`BackendSpec`] and proves it by echoing the backend
+//!   [`fingerprint`](Backend::fingerprint) during its handshake — a worker
+//!   whose fingerprint disagrees is dropped before it measures anything;
+//! * jobs a worker cannot reproduce exactly (an unknown generator, a
+//!   workload whose `(name, shape)` coordinates do not round-trip to the
+//!   original [`ComputeDef`]) are never dispatched: they fall back to the
+//!   in-process backend, which is the ground truth.
+//!
+//! # Fault tolerance
+//!
+//! Worker death — EOF, a torn frame, or an expired job deadline — retires
+//! that worker and pushes its in-flight job back to the *front* of the
+//! shared queue, where a live worker picks it up.  When every worker is
+//! gone the remaining jobs are measured in-process, so a fleet degrades to
+//! exactly the single-process behavior instead of failing a tuning run.
+//! Nothing is lost and nothing is duplicated: the trial history stays
+//! dense.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use atim_autotune::json::encode_f64;
+use atim_autotune::{
+    Cancellation, Json, JsonCodec, JsonError, MeasureJob, MeasureOutcome, MeasureReport,
+    SpaceGenerator, Trace, UpmemSketchGenerator, EXEC_TIMING,
+};
+use atim_passes::OptLevel;
+use atim_sim::{ExecutionReport, PimTarget, UpmemConfig};
+use atim_tir::compute::ComputeDef;
+use atim_tir::error::Result as TirResult;
+use atim_wire::{read_frame, write_frame, WireError};
+use atim_workloads::{Workload, WorkloadKind};
+
+use crate::backend::{AnalyticBackend, Backend, SimBackend};
+use crate::compiler::{CompileOptions, CompiledModule};
+use crate::runtime::ExecutedRun;
+
+/// Environment variable selecting the fleet size: unset or `0` measures
+/// in-process, `N` spawns N local worker processes.
+pub const WORKERS_ENV: &str = "ATIM_FLEET_WORKERS";
+
+/// Environment variable overriding the worker binary the fleet spawns
+/// (default: an `atim-worker` next to the current executable).
+pub const WORKER_BIN_ENV: &str = "ATIM_WORKER_BIN";
+
+/// Fault-injection knob for tests: a worker sleeps this many milliseconds
+/// before measuring each job, widening the window in which a kill lands
+/// mid-round.  Unset (the default) adds no delay.
+pub const WORKER_DELAY_ENV: &str = "ATIM_WORKER_DELAY_MS";
+
+/// How a worker process reconstructs the measuring backend, serialized
+/// into the fleet's configure handshake.
+///
+/// The spec pins everything a measurement depends on: the backend kind,
+/// the full machine configuration and the compile options.  Knobs workers
+/// inherit from the environment (`ATIM_MEASURE_THREADS`,
+/// `ATIM_SIM_FASTPATH`) are deliberately *not* part of the spec — both are
+/// measurement-invariant (pinned by the fastpath and parallel-determinism
+/// tests), and spawned workers inherit the parent's environment anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSpec {
+    /// The cycle-approximate simulator ([`SimBackend`]).
+    Sim {
+        /// Machine configuration.
+        hw: UpmemConfig,
+        /// Compile options applied to every candidate.
+        options: CompileOptions,
+    },
+    /// The closed-form analytic model ([`AnalyticBackend`]).
+    Analytic {
+        /// Machine configuration.
+        hw: UpmemConfig,
+        /// Compile options applied to every candidate.
+        options: CompileOptions,
+    },
+}
+
+impl BackendSpec {
+    /// A simulator spec with default compile options.
+    pub fn sim(hw: UpmemConfig) -> Self {
+        BackendSpec::Sim {
+            hw,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// An analytic-model spec with default compile options.
+    pub fn analytic(hw: UpmemConfig) -> Self {
+        BackendSpec::Analytic {
+            hw,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// The serialized backend-kind tag.
+    fn kind(&self) -> &'static str {
+        match self {
+            BackendSpec::Sim { .. } => "upmem-sim",
+            BackendSpec::Analytic { .. } => "analytic",
+        }
+    }
+
+    /// Builds the backend this spec describes.  Called on both sides of
+    /// the wire: the fleet keeps one instance as its in-process fallback,
+    /// every worker builds its own — and the handshake's fingerprint
+    /// comparison proves the two agree.
+    pub fn build(&self) -> Box<dyn Backend> {
+        match self {
+            BackendSpec::Sim { hw, options } => Box::new(SimBackend::new(hw.clone(), *options)),
+            BackendSpec::Analytic { hw, options } => {
+                Box::new(AnalyticBackend::with_options(hw.clone(), *options))
+            }
+        }
+    }
+}
+
+impl JsonCodec for BackendSpec {
+    fn to_json(&self) -> Json {
+        let (hw, options) = match self {
+            BackendSpec::Sim { hw, options } | BackendSpec::Analytic { hw, options } => {
+                (hw, options)
+            }
+        };
+        Json::Obj(vec![
+            ("backend".into(), Json::Str(self.kind().into())),
+            ("hw".into(), hw_to_json(hw)),
+            ("options".into(), compile_options_to_json(options)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let kind = json.get("backend")?.as_str()?;
+        let hw = hw_from_json(json.get("hw")?)?;
+        let options = compile_options_from_json(json.get("options")?)?;
+        match kind {
+            "upmem-sim" => Ok(BackendSpec::Sim { hw, options }),
+            "analytic" => Ok(BackendSpec::Analytic { hw, options }),
+            other => Err(JsonError::new(format!(
+                "unknown backend kind {other:?} (expected upmem-sim or analytic)"
+            ))),
+        }
+    }
+}
+
+fn compile_options_to_json(options: &CompileOptions) -> Json {
+    Json::Obj(vec![
+        (
+            "opt_level".into(),
+            Json::Str(options.opt_level.label().into()),
+        ),
+        (
+            "parallel_transfer".into(),
+            Json::Bool(options.parallel_transfer),
+        ),
+    ])
+}
+
+fn compile_options_from_json(json: &Json) -> Result<CompileOptions, JsonError> {
+    let label = json.get("opt_level")?.as_str()?;
+    let opt_level = OptLevel::ALL
+        .iter()
+        .copied()
+        .find(|level| level.label() == label)
+        .ok_or_else(|| JsonError::new(format!("unknown opt level {label:?}")))?;
+    Ok(CompileOptions {
+        opt_level,
+        parallel_transfer: json.get("parallel_transfer")?.as_bool()?,
+    })
+}
+
+fn hw_to_json(hw: &UpmemConfig) -> Json {
+    let int = |v: usize| Json::Int(v as i64);
+    let int64 = |v: u64| Json::Int(v as i64);
+    Json::Obj(vec![
+        ("target".into(), Json::Str("upmem".into())),
+        ("ranks".into(), int(hw.ranks)),
+        ("dpus_per_rank".into(), int(hw.dpus_per_rank)),
+        ("max_tasklets".into(), int(hw.max_tasklets)),
+        ("wram_bytes".into(), int(hw.wram_bytes)),
+        ("iram_bytes".into(), int(hw.iram_bytes)),
+        ("mram_bytes".into(), int(hw.mram_bytes)),
+        ("dpu_freq_hz".into(), encode_f64(hw.dpu_freq_hz)),
+        ("issue_interval".into(), int64(hw.issue_interval)),
+        ("dma_setup_cycles".into(), int64(hw.dma_setup_cycles)),
+        (
+            "dma_bytes_per_cycle".into(),
+            encode_f64(hw.dma_bytes_per_cycle),
+        ),
+        ("branch_instrs".into(), int64(hw.branch_instrs)),
+        ("loop_iter_instrs".into(), int64(hw.loop_iter_instrs)),
+        (
+            "transfer_call_overhead_s".into(),
+            encode_f64(hw.transfer_call_overhead_s),
+        ),
+        ("h2d_rank_bw".into(), encode_f64(hw.h2d_rank_bw)),
+        ("d2h_rank_bw".into(), encode_f64(hw.d2h_rank_bw)),
+        (
+            "serial_transfer_bw".into(),
+            encode_f64(hw.serial_transfer_bw),
+        ),
+        ("host_cores".into(), int(hw.host_cores)),
+        ("host_mem_bw".into(), encode_f64(hw.host_mem_bw)),
+        ("host_thread_bw".into(), encode_f64(hw.host_thread_bw)),
+        ("host_core_flops".into(), encode_f64(hw.host_core_flops)),
+        ("launch_overhead_s".into(), encode_f64(hw.launch_overhead_s)),
+    ])
+}
+
+fn hw_from_json(json: &Json) -> Result<UpmemConfig, JsonError> {
+    let target = json.get("target")?.as_str()?;
+    if target != "upmem" {
+        return Err(JsonError::new(format!(
+            "unknown PIM target {target:?} (only upmem is implemented)"
+        )));
+    }
+    let int = |field: &str| -> Result<usize, JsonError> { Ok(json.get(field)?.as_i64()? as usize) };
+    let int64 = |field: &str| -> Result<u64, JsonError> { Ok(json.get(field)?.as_i64()? as u64) };
+    let float = |field: &str| -> Result<f64, JsonError> { json.get(field)?.as_f64() };
+    Ok(UpmemConfig {
+        target: PimTarget::Upmem,
+        ranks: int("ranks")?,
+        dpus_per_rank: int("dpus_per_rank")?,
+        max_tasklets: int("max_tasklets")?,
+        wram_bytes: int("wram_bytes")?,
+        iram_bytes: int("iram_bytes")?,
+        mram_bytes: int("mram_bytes")?,
+        dpu_freq_hz: float("dpu_freq_hz")?,
+        issue_interval: int64("issue_interval")?,
+        dma_setup_cycles: int64("dma_setup_cycles")?,
+        dma_bytes_per_cycle: float("dma_bytes_per_cycle")?,
+        branch_instrs: int64("branch_instrs")?,
+        loop_iter_instrs: int64("loop_iter_instrs")?,
+        transfer_call_overhead_s: float("transfer_call_overhead_s")?,
+        h2d_rank_bw: float("h2d_rank_bw")?,
+        d2h_rank_bw: float("d2h_rank_bw")?,
+        serial_transfer_bw: float("serial_transfer_bw")?,
+        host_cores: int("host_cores")?,
+        host_mem_bw: float("host_mem_bw")?,
+        host_thread_bw: float("host_thread_bw")?,
+        host_core_flops: float("host_core_flops")?,
+        launch_overhead_s: float("launch_overhead_s")?,
+    })
+}
+
+/// Worker-pool observability counters, surfaced through
+/// [`Backend::fleet_stats`] and the tuning daemon's stats reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Workers currently believed alive.
+    pub workers_alive: usize,
+    /// Jobs dispatched to a worker and not yet answered.
+    pub jobs_in_flight: usize,
+    /// Jobs re-queued after their worker died (cumulative).
+    pub jobs_requeued: usize,
+}
+
+/// Knobs for [`FleetBackend::spawn`] / [`FleetBackend::attach`].
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Deadline for one dispatched job (write + measure + reply).  A
+    /// worker missing it is treated as dead and its job re-queued; size it
+    /// for the slowest single candidate, not the whole round.
+    pub job_timeout: Duration,
+    /// Deadline for a spawned worker to connect and complete its
+    /// configure handshake.
+    pub connect_timeout: Duration,
+    /// Override for the worker command line: `(program, args)`, where
+    /// every occurrence of `{addr}` in an argument is replaced by the
+    /// fleet's listen address.  Tests use this to re-invoke the current
+    /// test binary; `None` runs `atim-worker --connect {addr}` with the
+    /// binary resolved next to the current executable (or from
+    /// `ATIM_WORKER_BIN`).
+    pub command: Option<(PathBuf, Vec<String>)>,
+    /// Extra environment variables for spawned workers, with the same
+    /// `{addr}` substitution in values.
+    pub envs: Vec<(String, String)>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            job_timeout: Duration::from_secs(300),
+            connect_timeout: Duration::from_secs(10),
+            command: None,
+            envs: Vec::new(),
+        }
+    }
+}
+
+/// Parses `ATIM_FLEET_WORKERS`: `None` when unset or `0` (measure
+/// in-process), `Some(n)` to run an n-worker fleet.
+///
+/// # Panics
+/// Panics with a descriptive message on non-numeric values — an explicitly
+/// misconfigured knob must never be silently ignored.
+pub fn workers_from_env() -> Option<usize> {
+    let raw = std::env::var(WORKERS_ENV).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n),
+        Err(_) => panic!(
+            "{WORKERS_ENV} must be a non-negative integer, got \"{raw}\" \
+             (0 or unset measures in-process)"
+        ),
+    }
+}
+
+/// Locates the `atim-worker` binary: `ATIM_WORKER_BIN` when set, otherwise
+/// a sibling of the current executable (searching the executable's
+/// directory and its parent, which covers `target/<profile>/`,
+/// `target/<profile>/deps/` and `target/<profile>/examples/`).
+fn resolve_worker_bin() -> io::Result<PathBuf> {
+    if let Ok(path) = std::env::var(WORKER_BIN_ENV) {
+        return Ok(PathBuf::from(path));
+    }
+    let exe = std::env::current_exe()?;
+    let name = format!("atim-worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    while let Some(d) = dir {
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        // Test and example binaries live one or two levels below the
+        // profile directory that holds the worker bin.
+        if d.file_name().is_some_and(|n| n == "target") {
+            break;
+        }
+        dir = d.parent();
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!(
+            "no atim-worker binary next to {} (build it with \
+             `cargo build -p atim-core --bin atim-worker`, or set {WORKER_BIN_ENV})",
+            exe.display()
+        ),
+    ))
+}
+
+/// One live worker connection (configured and fingerprint-verified).
+struct WorkerConn {
+    stream: TcpStream,
+    index: usize,
+}
+
+/// Why a dispatched job came back without an outcome.
+enum DispatchError {
+    /// The worker is gone (EOF, torn frame, timeout, protocol violation):
+    /// re-queue the job, retire the worker.
+    Dead(WireError),
+    /// The worker refused this job (it cannot reproduce it): measure it
+    /// in-process, keep the worker.
+    Refused(String),
+}
+
+/// A [`Backend`] that fans measurement jobs across local worker processes.
+///
+/// Everything except measurement — compilation, timing of an explicit
+/// module, functional execution, the cache fingerprint — delegates to the
+/// in-process backend built from the same [`BackendSpec`], so a fleet
+/// session is a drop-in replacement for a sequential one (including shared
+/// schedule-cache keys).
+pub struct FleetBackend {
+    inner: Box<dyn Backend>,
+    spec: BackendSpec,
+    generator: String,
+    options: FleetOptions,
+    pool: Mutex<Vec<WorkerConn>>,
+    children: Mutex<Vec<Child>>,
+    alive: AtomicUsize,
+    in_flight: AtomicUsize,
+    requeued: AtomicUsize,
+}
+
+impl std::fmt::Debug for FleetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetBackend")
+            .field("inner", &self.inner.name())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FleetBackend {
+    /// Spawns `workers` local worker processes and hands each the spec
+    /// over a configure handshake.  Workers that fail to spawn, connect in
+    /// time, or echo the expected backend fingerprint are dropped with a
+    /// diagnostic on stderr; the fleet proceeds with the survivors (zero
+    /// survivors = in-process measurement).
+    ///
+    /// # Errors
+    /// Fails only when the listener cannot bind or the worker binary
+    /// cannot be resolved — a *degraded* fleet is not an error, an
+    /// unlaunchable one is.
+    pub fn spawn(spec: BackendSpec, workers: usize, options: FleetOptions) -> io::Result<Self> {
+        let fleet = Self::empty(spec, options);
+        if workers == 0 {
+            return Ok(fleet);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let (program, args) = match &fleet.options.command {
+            Some((program, args)) => (program.clone(), args.clone()),
+            None => (
+                resolve_worker_bin()?,
+                vec!["--connect".to_string(), "{addr}".to_string()],
+            ),
+        };
+        let substitute = |s: &str| s.replace("{addr}", &addr.to_string());
+        let mut children = Vec::new();
+        for _ in 0..workers {
+            let mut command = Command::new(&program);
+            command
+                .args(args.iter().map(|a| substitute(a)))
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            for (key, value) in &fleet.options.envs {
+                command.env(key, substitute(value));
+            }
+            match command.spawn() {
+                Ok(child) => children.push(child),
+                Err(e) => eprintln!("atim-fleet: failed to spawn worker: {e}"),
+            }
+        }
+        let spawned = children.len();
+        *fleet.children.lock().unwrap() = children;
+
+        // Accept and handshake each worker under one overall deadline.
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + fleet.options.connect_timeout;
+        let mut pool = Vec::new();
+        while pool.len() < spawned && Instant::now() < deadline {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let index = pool.len();
+                    match fleet.handshake(stream, index) {
+                        Ok(conn) => pool.push(conn),
+                        Err(e) => eprintln!("atim-fleet: worker {index} rejected: {e}"),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if pool.len() < spawned {
+            eprintln!(
+                "atim-fleet: only {}/{spawned} workers connected within {:?}; \
+                 continuing degraded",
+                pool.len(),
+                fleet.options.connect_timeout
+            );
+        }
+        fleet.alive.store(pool.len(), Ordering::Relaxed);
+        *fleet.pool.lock().unwrap() = pool;
+        Ok(fleet)
+    }
+
+    /// Attaches to already-running workers listening on `addrs` (started
+    /// with `atim-worker --listen`), configuring each with the spec.
+    ///
+    /// # Errors
+    /// Fails when a worker cannot be reached or rejects the handshake —
+    /// explicitly named workers are expected to exist.
+    pub fn attach(
+        spec: BackendSpec,
+        addrs: &[SocketAddr],
+        options: FleetOptions,
+    ) -> io::Result<Self> {
+        let fleet = Self::empty(spec, options);
+        let mut pool = Vec::new();
+        for (index, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect_timeout(addr, fleet.options.connect_timeout)?;
+            let conn = fleet
+                .handshake(stream, index)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            pool.push(conn);
+        }
+        fleet.alive.store(pool.len(), Ordering::Relaxed);
+        *fleet.pool.lock().unwrap() = pool;
+        Ok(fleet)
+    }
+
+    /// Builds a fleet from the `ATIM_FLEET_WORKERS` environment knob:
+    /// `None` when the knob is unset or `0` (callers should use their
+    /// in-process backend directly).
+    ///
+    /// # Panics
+    /// Panics when the knob is set but the fleet cannot launch (bad value,
+    /// missing worker binary, unbindable listener) — an explicitly
+    /// requested fleet must never silently degrade to nothing at startup.
+    pub fn from_env(spec: BackendSpec) -> Option<Self> {
+        let workers = workers_from_env()?;
+        Some(
+            Self::spawn(spec, workers, FleetOptions::default()).unwrap_or_else(|e| {
+                panic!("{WORKERS_ENV}={workers}: failed to launch the measurement fleet: {e}")
+            }),
+        )
+    }
+
+    fn empty(spec: BackendSpec, options: FleetOptions) -> Self {
+        FleetBackend {
+            inner: spec.build(),
+            spec,
+            generator: SpaceGenerator::name(&UpmemSketchGenerator).to_string(),
+            options,
+            pool: Mutex::new(Vec::new()),
+            children: Mutex::new(Vec::new()),
+            alive: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            requeued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sends the configure frame and verifies the worker's fingerprint
+    /// matches the in-process backend's — the proof that the worker
+    /// rebuilt an identical machine.
+    fn handshake(&self, mut stream: TcpStream, index: usize) -> Result<WorkerConn, String> {
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.options.connect_timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(self.options.connect_timeout))
+            .map_err(|e| e.to_string())?;
+        let configure = Json::Obj(vec![
+            ("type".into(), Json::Str("configure".into())),
+            ("generator".into(), Json::Str(self.generator.clone())),
+            ("spec".into(), self.spec.to_json()),
+        ]);
+        write_frame(&mut stream, &configure).map_err(|e| e.to_string())?;
+        let reply = read_frame(&mut stream).map_err(|e| e.to_string())?;
+        match reply.get("type").and_then(|t| t.as_str()) {
+            Ok("ready") => {
+                let fingerprint = reply
+                    .get("fingerprint")
+                    .and_then(|f| f.as_str())
+                    .map_err(|e| e.to_string())?;
+                let expected = self.inner.fingerprint();
+                if fingerprint != expected {
+                    return Err(format!(
+                        "worker fingerprint {fingerprint} does not match {expected} \
+                         — refusing to mix measurements from different machines"
+                    ));
+                }
+                Ok(WorkerConn { stream, index })
+            }
+            Ok("error") => Err(reply
+                .get("message")
+                .and_then(|m| m.as_str())
+                .unwrap_or("unspecified worker error")
+                .to_string()),
+            _ => Err(format!("unexpected handshake reply: {reply:?}")),
+        }
+    }
+
+    /// Current worker-pool counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            workers_alive: self.alive.load(Ordering::Relaxed),
+            jobs_in_flight: self.in_flight.load(Ordering::Relaxed),
+            jobs_requeued: self.requeued.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of workers currently believed alive.
+    pub fn workers_alive(&self) -> usize {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection for chaos tests: SIGKILLs the `index`-th spawned
+    /// worker process (spawn order).  Returns whether a process was
+    /// killed.  The death is *detected* at the next dispatch to that
+    /// worker, which re-queues the in-flight job — exactly the path a real
+    /// worker crash takes.
+    pub fn kill_worker(&self, index: usize) -> bool {
+        let mut children = self.children.lock().unwrap();
+        match children.get_mut(index) {
+            Some(child) => {
+                let killed = child.kill().is_ok();
+                let _ = child.wait();
+                killed
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a job can be reproduced bit-identically by a worker that
+    /// only receives the job's serialized form.
+    fn remotable(&self, job: &MeasureJob, def: &ComputeDef) -> bool {
+        job.exec == EXEC_TIMING
+            && job.generator == self.generator
+            && WorkloadKind::parse(&job.workload)
+                .map(|kind| Workload::new(kind, job.shape.clone()))
+                .and_then(|w| w.try_compute_def())
+                .is_some_and(|resolved| resolved == *def)
+    }
+
+    /// Sends one job and waits for its report.
+    fn dispatch(
+        &self,
+        conn: &mut WorkerConn,
+        job: &MeasureJob,
+    ) -> Result<MeasureOutcome, DispatchError> {
+        conn.stream
+            .set_read_timeout(Some(self.options.job_timeout))
+            .map_err(|e| DispatchError::Dead(WireError::Io(e)))?;
+        conn.stream
+            .set_write_timeout(Some(self.options.job_timeout))
+            .map_err(|e| DispatchError::Dead(WireError::Io(e)))?;
+        let frame = Json::Obj(vec![
+            ("type".into(), Json::Str("job".into())),
+            ("job".into(), job.to_json()),
+        ]);
+        write_frame(&mut conn.stream, &frame).map_err(DispatchError::Dead)?;
+        let reply = read_frame(&mut conn.stream).map_err(DispatchError::Dead)?;
+        match reply.get("type").and_then(|t| t.as_str()) {
+            Ok("report") => {
+                let report = reply
+                    .get("report")
+                    .and_then(MeasureReport::from_json)
+                    .map_err(|e| DispatchError::Dead(WireError::Parse(e)))?;
+                if report.id != job.id {
+                    return Err(DispatchError::Dead(WireError::Parse(JsonError::new(
+                        format!("report id {} answers a different job {}", report.id, job.id),
+                    ))));
+                }
+                Ok(report.outcome)
+            }
+            Ok("refused") => Err(DispatchError::Refused(
+                reply
+                    .get("message")
+                    .and_then(|m| m.as_str())
+                    .unwrap_or("unspecified refusal")
+                    .to_string(),
+            )),
+            _ => Err(DispatchError::Dead(WireError::Parse(JsonError::new(
+                format!("unexpected worker reply: {reply:?}"),
+            )))),
+        }
+    }
+
+    /// Runs one worker's dispatch loop over the shared queue.  Returns the
+    /// connection for re-pooling, or `None` when the worker died (its
+    /// in-flight job is already back at the front of the queue).
+    fn worker_round(
+        &self,
+        mut conn: WorkerConn,
+        jobs: &[MeasureJob],
+        pending: &Mutex<VecDeque<usize>>,
+        results: &Mutex<Vec<Option<MeasureOutcome>>>,
+        refused: &Mutex<Vec<usize>>,
+        cancel: &Cancellation,
+    ) -> Option<WorkerConn> {
+        loop {
+            if cancel.cancelled() {
+                return Some(conn);
+            }
+            let index = pending.lock().unwrap().pop_front();
+            let Some(index) = index else {
+                return Some(conn);
+            };
+            self.in_flight.fetch_add(1, Ordering::Relaxed);
+            let outcome = self.dispatch(&mut conn, &jobs[index]);
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(outcome) => {
+                    results.lock().unwrap()[index] = Some(outcome);
+                }
+                Err(DispatchError::Refused(message)) => {
+                    eprintln!(
+                        "atim-fleet: worker {} refused job {} ({message}); \
+                         measuring in-process",
+                        conn.index, jobs[index].id
+                    );
+                    refused.lock().unwrap().push(index);
+                }
+                Err(DispatchError::Dead(e)) => {
+                    eprintln!(
+                        "atim-fleet: worker {} died ({e}); re-queueing job {}",
+                        conn.index, jobs[index].id
+                    );
+                    pending.lock().unwrap().push_front(index);
+                    self.requeued.fetch_add(1, Ordering::Relaxed);
+                    self.alive.fetch_sub(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FleetBackend {
+    fn drop(&mut self) {
+        // Ask nicely first: a shutdown frame lets workers exit cleanly.
+        for conn in self.pool.get_mut().unwrap().iter_mut() {
+            let shutdown = Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(200)));
+            let _ = write_frame(&mut conn.stream, &shutdown);
+        }
+        self.pool.get_mut().unwrap().clear();
+        for child in self.children.get_mut().unwrap().iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Backend for FleetBackend {
+    fn name(&self) -> &str {
+        "fleet"
+    }
+
+    fn hardware(&self) -> &UpmemConfig {
+        self.inner.hardware()
+    }
+
+    /// Delegates to the in-process backend: a fleet produces the *same*
+    /// latencies as its inner backend (that is the whole contract), so it
+    /// must share schedule-cache entries with sequential sessions instead
+    /// of fragmenting the cache by worker topology.
+    fn fingerprint(&self) -> String {
+        self.inner.fingerprint()
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        self.inner.compile_options()
+    }
+
+    fn time(&self, module: &CompiledModule) -> TirResult<ExecutionReport> {
+        self.inner.time(module)
+    }
+
+    fn execute(&self, module: &CompiledModule, inputs: &[Vec<f32>]) -> TirResult<ExecutedRun> {
+        self.inner.execute(module, inputs)
+    }
+
+    fn measure(&self, trace: &Trace, def: &ComputeDef) -> Option<f64> {
+        self.inner.measure(trace, def)
+    }
+
+    fn measure_batch(&self, traces: &[Trace], def: &ComputeDef) -> Vec<Option<f64>> {
+        self.measure_batch_cancellable(traces, def, &Cancellation::none())
+            .into_iter()
+            .map(|outcome| match outcome {
+                MeasureOutcome::Measured(latency) => Some(latency),
+                MeasureOutcome::Failed => None,
+                MeasureOutcome::Skipped => unreachable!("nothing can cancel Cancellation::none()"),
+            })
+            .collect()
+    }
+
+    fn measure_batch_cancellable(
+        &self,
+        traces: &[Trace],
+        def: &ComputeDef,
+        cancel: &Cancellation,
+    ) -> Vec<MeasureOutcome> {
+        // Route raw traces through the job form so direct batch callers
+        // get fleet measurement too (seed 0: provenance only).
+        let jobs: Vec<MeasureJob> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                MeasureJob::timing_for_def(i as u64, def, self.generator.clone(), 0, trace.clone())
+            })
+            .collect();
+        self.measure_jobs(&jobs, def, cancel)
+            .into_iter()
+            .map(|report| report.outcome)
+            .collect()
+    }
+
+    fn measure_jobs(
+        &self,
+        jobs: &[MeasureJob],
+        def: &ComputeDef,
+        cancel: &Cancellation,
+    ) -> Vec<MeasureReport> {
+        let results = Mutex::new(vec![None; jobs.len()]);
+        let pending: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..jobs.len())
+                .filter(|&i| self.remotable(&jobs[i], def))
+                .collect(),
+        );
+        let refused: Mutex<Vec<usize>> = Mutex::new(
+            (0..jobs.len())
+                .filter(|&i| !self.remotable(&jobs[i], def))
+                .collect(),
+        );
+
+        let conns: Vec<WorkerConn> = std::mem::take(&mut *self.pool.lock().unwrap());
+        if !conns.is_empty() {
+            let survivors: Vec<WorkerConn> = std::thread::scope(|scope| {
+                let handles: Vec<_> = conns
+                    .into_iter()
+                    .map(|conn| {
+                        scope.spawn(|| {
+                            self.worker_round(conn, jobs, &pending, &results, &refused, cancel)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("fleet dispatch thread panicked"))
+                    .collect()
+            });
+            self.pool.lock().unwrap().extend(survivors);
+        }
+
+        // Everything the fleet could not (or no longer can) measure runs
+        // on the in-process backend, in ascending slot order: leftover
+        // queue entries (all workers died, or none existed), refused jobs,
+        // and — via the inner backend's own cancellation check — anything
+        // a fired token should skip.
+        let mut local: Vec<usize> = pending.into_inner().unwrap().into_iter().collect();
+        local.extend(refused.into_inner().unwrap());
+        local.sort_unstable();
+        if !local.is_empty() {
+            let batch: Vec<MeasureJob> = local.iter().map(|&i| jobs[i].clone()).collect();
+            let reports = self.inner.measure_jobs(&batch, def, cancel);
+            let mut results = results.lock().unwrap();
+            for (&slot, report) in local.iter().zip(reports) {
+                results[slot] = Some(report.outcome);
+            }
+        }
+
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .zip(jobs)
+            .map(|(outcome, job)| {
+                MeasureReport::new(
+                    job.id,
+                    outcome.expect("every fleet job must resolve to an outcome"),
+                )
+            })
+            .collect()
+    }
+
+    fn fleet_stats(&self) -> Option<FleetStats> {
+        Some(self.stats())
+    }
+}
+
+/// Runs the worker side of the fleet protocol over one connection:
+/// configure handshake, then a job/report loop until the fleet hangs up.
+///
+/// # Errors
+/// Returns a message for protocol violations and unreproducible configure
+/// requests; a clean disconnect (EOF between frames or an explicit
+/// shutdown frame) is `Ok`.
+pub fn run_worker(mut stream: TcpStream) -> Result<(), String> {
+    stream.set_nodelay(true).ok();
+    let configure = match read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(WireError::Closed) => return Ok(()),
+        Err(e) => return Err(format!("reading configure frame: {e}")),
+    };
+    let refuse = |stream: &mut TcpStream, message: String| -> Result<(), String> {
+        let frame = Json::Obj(vec![
+            ("type".into(), Json::Str("error".into())),
+            ("message".into(), Json::Str(message.clone())),
+        ]);
+        let _ = write_frame(stream, &frame);
+        Err(message)
+    };
+    if configure.get("type").and_then(|t| t.as_str()).ok() != Some("configure") {
+        return refuse(
+            &mut stream,
+            format!("expected a configure frame, got {configure:?}"),
+        );
+    }
+    let generator_id = match configure.get("generator").and_then(|g| g.as_str()) {
+        Ok(id) => id.to_string(),
+        Err(e) => return refuse(&mut stream, format!("configure frame: {e}")),
+    };
+    if generator_id != SpaceGenerator::name(&UpmemSketchGenerator) {
+        return refuse(
+            &mut stream,
+            format!("unknown space generator {generator_id:?} (this worker knows \"upmem\")"),
+        );
+    }
+    let generator = UpmemSketchGenerator;
+    let spec = match configure.get("spec").and_then(BackendSpec::from_json) {
+        Ok(spec) => spec,
+        Err(e) => return refuse(&mut stream, format!("configure spec: {e}")),
+    };
+    let backend = spec.build();
+    let ready = Json::Obj(vec![
+        ("type".into(), Json::Str("ready".into())),
+        ("fingerprint".into(), Json::Str(backend.fingerprint())),
+    ]);
+    write_frame(&mut stream, &ready).map_err(|e| format!("sending ready frame: {e}"))?;
+
+    let delay = std::env::var(WORKER_DELAY_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(format!("reading job frame: {e}")),
+        };
+        match frame.get("type").and_then(|t| t.as_str()) {
+            Ok("shutdown") => return Ok(()),
+            Ok("job") => {}
+            _ => return Err(format!("unexpected fleet frame: {frame:?}")),
+        }
+        let job = match frame.get("job").and_then(MeasureJob::from_json) {
+            Ok(job) => job,
+            Err(e) => return Err(format!("undecodable job frame: {e}")),
+        };
+        let reply = match worker_measure(&job, backend.as_ref(), &generator, delay) {
+            Ok(outcome) => Json::Obj(vec![
+                ("type".into(), Json::Str("report".into())),
+                (
+                    "report".into(),
+                    MeasureReport::new(job.id, outcome).to_json(),
+                ),
+            ]),
+            Err(message) => Json::Obj(vec![
+                ("type".into(), Json::Str("refused".into())),
+                ("id".into(), Json::Int(job.id as i64)),
+                ("message".into(), Json::Str(message)),
+            ]),
+        };
+        write_frame(&mut stream, &reply).map_err(|e| format!("sending report frame: {e}"))?;
+    }
+}
+
+/// Measures one job on the worker's rebuilt backend, or explains why it
+/// cannot be reproduced here (the fleet then measures it in-process).
+fn worker_measure(
+    job: &MeasureJob,
+    backend: &dyn Backend,
+    generator: &dyn SpaceGenerator,
+    delay: Option<Duration>,
+) -> Result<MeasureOutcome, String> {
+    if job.exec != EXEC_TIMING {
+        return Err(format!("exec mode {:?} is not supported", job.exec));
+    }
+    let def = WorkloadKind::parse(&job.workload)
+        .map(|kind| Workload::new(kind, job.shape.clone()))
+        .and_then(|w| w.try_compute_def())
+        .ok_or_else(|| {
+            format!(
+                "workload {}{:?} does not resolve to a computation here",
+                job.workload, job.shape
+            )
+        })?;
+    let trace = generator
+        .materialize(&job.trace, &def, backend.hardware())
+        .map_err(|e| format!("trace does not materialize: {e}"))?;
+    if let Some(delay) = delay {
+        std::thread::sleep(delay);
+    }
+    Ok(MeasureOutcome::from_result(backend.measure(&trace, &def)))
+}
+
+/// Dials into a fleet at `addr` and serves jobs until it hangs up — the
+/// `atim-worker --connect` entry point.
+///
+/// # Errors
+/// Returns a message for connection failures and protocol violations.
+pub fn worker_connect(addr: &str) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("connecting to fleet at {addr}: {e}"))?;
+    run_worker(stream)
+}
+
+/// Listens on `addr` and serves fleets one connection at a time — the
+/// `atim-worker --listen` entry point (for [`FleetBackend::attach`]).
+/// Each connection re-configures the worker, so one process can serve
+/// fleets with different specs sequentially.
+///
+/// # Errors
+/// Returns a message when the address cannot be bound.
+pub fn worker_listen(addr: &str) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                if let Err(e) = run_worker(stream) {
+                    eprintln!("atim-worker: connection ended with error: {e}");
+                }
+            }
+            Err(e) => eprintln!("atim-worker: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_specs_round_trip_and_rebuild_identical_fingerprints() {
+        for spec in [
+            BackendSpec::sim(UpmemConfig::small()),
+            BackendSpec::analytic(UpmemConfig::default()),
+            BackendSpec::Sim {
+                hw: UpmemConfig::default(),
+                options: CompileOptions {
+                    opt_level: OptLevel::Dma,
+                    parallel_transfer: false,
+                },
+            },
+        ] {
+            let text = spec.to_json().to_string();
+            let decoded = BackendSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(decoded, spec);
+            assert_eq!(
+                decoded.build().fingerprint(),
+                spec.build().fingerprint(),
+                "a worker must rebuild the exact machine the fleet measures on"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_worker_fleets_measure_in_process() {
+        use atim_autotune::ScheduleConfig;
+        let def = ComputeDef::mtv("mtv", 64, 48);
+        let fleet = FleetBackend::spawn(
+            BackendSpec::analytic(UpmemConfig::small()),
+            0,
+            FleetOptions::default(),
+        )
+        .unwrap();
+        let inner = AnalyticBackend::new(UpmemConfig::small());
+        let trace = ScheduleConfig::default_for(&def, inner.hardware()).to_trace(&def);
+        assert_eq!(
+            fleet.measure_batch(std::slice::from_ref(&trace), &def),
+            inner.measure_batch(&[trace], &def)
+        );
+        assert_eq!(fleet.stats(), FleetStats::default());
+        assert_eq!(fleet.fingerprint(), inner.fingerprint());
+    }
+
+    #[test]
+    fn fleet_workers_env_parses_like_the_other_knobs() {
+        // The env itself is process-global; exercise the parser contract
+        // through a scoped set/remove.  Invalid values are covered by the
+        // panic contract (not exercised here to keep the env clean).
+        assert!(workers_from_env().is_none() || std::env::var(WORKERS_ENV).is_ok());
+    }
+
+    #[test]
+    fn remotability_rejects_foreign_defs_and_exec_modes() {
+        let fleet = FleetBackend::spawn(
+            BackendSpec::analytic(UpmemConfig::small()),
+            0,
+            FleetOptions::default(),
+        )
+        .unwrap();
+        let def = ComputeDef::mtv("mtv", 64, 48);
+        let trace =
+            atim_autotune::ScheduleConfig::default_for(&def, fleet.hardware()).to_trace(&def);
+        let good = MeasureJob::timing_for_def(0, &def, "upmem", 0, trace.clone());
+        assert!(fleet.remotable(&good, &def));
+
+        // A GEMV with a non-canonical scalar does not round-trip through
+        // (name, shape) — it must never be dispatched to a worker.
+        let custom = ComputeDef::gemv("gemv", 97, 103, 1.5);
+        let custom_trace =
+            atim_autotune::ScheduleConfig::default_for(&custom, fleet.hardware()).to_trace(&custom);
+        let custom_job = MeasureJob::timing_for_def(0, &custom, "upmem", 0, custom_trace);
+        assert!(!fleet.remotable(&custom_job, &custom));
+
+        let mut functional = good.clone();
+        functional.exec = "functional".into();
+        assert!(!fleet.remotable(&functional, &def));
+
+        let mut foreign_generator = good;
+        foreign_generator.generator = "custom".into();
+        assert!(!fleet.remotable(&foreign_generator, &def));
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod backend;
 pub mod compiler;
+pub mod fleet;
 pub mod measure;
 pub mod runtime;
 pub mod session;
@@ -49,6 +50,7 @@ pub use backend::{AnalyticBackend, Backend, SimBackend};
 pub use compiler::{
     compile_config, compile_schedule, compile_trace, CompileOptions, CompiledModule,
 };
+pub use fleet::{BackendSpec, FleetBackend, FleetOptions, FleetStats};
 pub use measure::{default_measure_threads, BackendMeasurer};
 pub use runtime::{ExecutedRun, Runtime};
 pub use session::{Session, SessionBuilder, SessionError};
@@ -57,8 +59,9 @@ pub use tuned::TunedModule;
 /// Commonly used re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::{
-        AnalyticBackend, Backend, BackendMeasurer, CompileOptions, CompiledModule, ExecutedRun,
-        Session, SessionBuilder, SessionError, SimBackend, TunedModule,
+        AnalyticBackend, Backend, BackendMeasurer, BackendSpec, CompileOptions, CompiledModule,
+        ExecutedRun, FleetBackend, FleetOptions, FleetStats, Session, SessionBuilder, SessionError,
+        SimBackend, TunedModule,
     };
     pub use atim_autotune::log::TuneLog;
     pub use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver};

@@ -23,7 +23,10 @@
 
 use std::collections::HashMap;
 
-use atim_autotune::{BatchMeasurer, Cancellation, MeasureOutcome, Trace};
+use atim_autotune::{
+    BatchMeasurer, Cancellation, MeasureJob, MeasureOutcome, Trace, TuningOptions,
+    UpmemSketchGenerator,
+};
 use atim_tir::compute::ComputeDef;
 
 use crate::backend::Backend;
@@ -72,16 +75,41 @@ pub fn default_measure_threads() -> usize {
 pub struct BackendMeasurer<'a> {
     backend: &'a dyn Backend,
     def: &'a ComputeDef,
+    generator: String,
+    seed: u64,
     cache: HashMap<Trace, Option<f64>>,
     cache_hits: usize,
 }
 
 impl<'a> BackendMeasurer<'a> {
-    /// Creates a measurer for one workload on one backend.
+    /// Creates a measurer for one workload on one backend, stamping every
+    /// job with the default generator id and seed.  Prefer
+    /// [`BackendMeasurer::with_context`] when the session knows better (a
+    /// custom generator, the actual tuning seed) — a routing backend uses
+    /// that context to decide whether a worker can reproduce the
+    /// measurement.
     pub fn new(backend: &'a dyn Backend, def: &'a ComputeDef) -> Self {
+        Self::with_context(
+            backend,
+            def,
+            atim_autotune::SpaceGenerator::name(&UpmemSketchGenerator),
+            TuningOptions::default().seed,
+        )
+    }
+
+    /// Creates a measurer that stamps each [`MeasureJob`] with the search's
+    /// generator id and seed.
+    pub fn with_context(
+        backend: &'a dyn Backend,
+        def: &'a ComputeDef,
+        generator: impl Into<String>,
+        seed: u64,
+    ) -> Self {
         BackendMeasurer {
             backend,
             def,
+            generator: generator.into(),
+            seed,
             cache: HashMap::new(),
             cache_hits: 0,
         }
@@ -136,17 +164,34 @@ impl BatchMeasurer for BackendMeasurer<'_> {
         }
 
         if !unique.is_empty() {
-            let batch: Vec<Trace> = unique.iter().map(|&i| traces[i].clone()).collect();
-            let results = self
-                .backend
-                .measure_batch_cancellable(&batch, self.def, cancel);
+            // Every backend round-trips through the serializable job form:
+            // in-process backends unwrap the trace again (free), while a
+            // routing backend (the fleet) forwards the job to a worker.
+            let jobs: Vec<MeasureJob> = unique
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| {
+                    MeasureJob::timing_for_def(
+                        k as u64,
+                        self.def,
+                        self.generator.clone(),
+                        self.seed,
+                        traces[i].clone(),
+                    )
+                })
+                .collect();
+            let reports = self.backend.measure_jobs(&jobs, self.def, cancel);
             assert_eq!(
-                results.len(),
-                batch.len(),
-                "Backend::measure_batch_cancellable must return one result per candidate"
+                reports.len(),
+                jobs.len(),
+                "Backend::measure_jobs must return one report per job"
             );
-            for (&slot, outcome) in unique.iter().zip(results) {
-                match outcome {
+            for (k, (&slot, report)) in unique.iter().zip(reports).enumerate() {
+                assert_eq!(
+                    report.id, k as u64,
+                    "Backend::measure_jobs must echo job ids in input order"
+                );
+                match report.outcome {
                     MeasureOutcome::Measured(latency) => {
                         self.cache.insert(traces[slot].clone(), Some(latency));
                     }
@@ -157,7 +202,7 @@ impl BatchMeasurer for BackendMeasurer<'_> {
                     // measure them for real.
                     MeasureOutcome::Skipped => {}
                 }
-                out[slot] = Some(outcome);
+                out[slot] = Some(report.outcome);
             }
         }
 

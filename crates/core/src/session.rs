@@ -465,7 +465,8 @@ impl Session {
             options,
             Arc::clone(&self.generator),
         )?;
-        let mut measurer = BackendMeasurer::new(self.backend(), def);
+        let mut measurer =
+            BackendMeasurer::with_context(self.backend(), def, self.generator.name(), options.seed);
         let result = session.run(&mut measurer, budget, observer);
         self.record_best(def, options.seed, &result);
         Ok(TunedModule::new(def.clone(), result, self.hardware()))
@@ -493,7 +494,8 @@ impl Session {
             options,
             Arc::clone(&self.generator),
         )?;
-        let mut inner = BackendMeasurer::new(self.backend(), def);
+        let mut inner =
+            BackendMeasurer::with_context(self.backend(), def, self.generator.name(), options.seed);
         let mut measurer = WarmStartMeasurer::new(log, &mut inner);
         let result = session.run(&mut measurer, budget, observer);
         self.record_best(def, options.seed, &result);

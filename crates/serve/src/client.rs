@@ -7,6 +7,7 @@
 
 use std::fmt;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use atim_autotune::JsonCodec;
 
@@ -45,7 +46,8 @@ impl From<WireError> for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Wire(WireError::Io(e))
+        // Routes expired deadlines to `WireError::TimedOut`.
+        ClientError::Wire(WireError::from(e))
     }
 }
 
@@ -53,12 +55,18 @@ impl From<std::io::Error> for ClientError {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
+    timeout: Option<Duration>,
 }
 
 impl Client {
-    /// A client for the server at `addr`.
+    /// A client for the server at `addr`, with no I/O deadline: calls
+    /// block until the server answers (a tune request legitimately stays
+    /// silent for the whole search unless `watch` streams progress).
     pub fn new(addr: SocketAddr) -> Self {
-        Client { addr }
+        Client {
+            addr,
+            timeout: None,
+        }
     }
 
     /// Parses `addr` (`host:port`) and builds a client.
@@ -66,9 +74,17 @@ impl Client {
     /// # Errors
     /// Fails on unparseable addresses.
     pub fn parse(addr: &str) -> Result<Self, std::net::AddrParseError> {
-        Ok(Client {
-            addr: addr.parse()?,
-        })
+        Ok(Client::new(addr.parse()?))
+    }
+
+    /// Applies `timeout` to connecting and to every frame read and write.
+    /// A server silent past the deadline surfaces as
+    /// [`WireError::TimedOut`] instead of blocking forever.  Size it for
+    /// the slowest expected gap between frames: for a non-watch tune that
+    /// is the entire search, so prefer watch mode when using timeouts.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
     }
 
     /// The server address this client talks to.
@@ -77,7 +93,12 @@ impl Client {
     }
 
     fn request(&self, request: &Request) -> Result<TcpStream, ClientError> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut stream = match self.timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout)?,
+            None => TcpStream::connect(self.addr)?,
+        };
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
         write_frame(&mut stream, &request.to_json())?;
         Ok(stream)
     }

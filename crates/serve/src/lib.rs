@@ -44,9 +44,15 @@
 pub mod client;
 pub mod proto;
 pub mod server;
-pub mod wire;
 
+/// The frame transport, re-exported from the shared [`atim_wire`] crate —
+/// the measurement fleet (`atim_core::fleet`) speaks the same frames.
+/// Existing `atim_serve::wire::*` paths keep working unchanged.
+pub use atim_wire as wire;
+
+pub use atim_wire::{
+    decode_frame, encode_frame, read_frame, write_frame, WireError, MAX_FRAME_LEN,
+};
 pub use client::{Client, ClientError};
 pub use proto::{Progress, Request, Response, StatsReply, TuneReply, TuneRequest};
 pub use server::{serve, serve_forever, ServeOptions, ServerHandle, ServerStats};
-pub use wire::{decode_frame, encode_frame, read_frame, write_frame, WireError, MAX_FRAME_LEN};

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! atim-serve [--addr HOST:PORT] [--cache PATH] [--hw paper|small]
-//!            [--analytic] [--tuner-threads N]
+//!            [--analytic] [--tuner-threads N] [--fleet N]
 //! ```
 //!
 //! Prints `listening on <addr>` once bound, then serves until a client
@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use atim_core::fleet::{workers_from_env, BackendSpec, FleetBackend, FleetOptions};
 use atim_core::{AnalyticBackend, Session, SessionBuilder};
 use atim_serve::{serve_forever, ServeOptions};
 use atim_sim::UpmemConfig;
@@ -23,11 +24,12 @@ struct Args {
     hw: UpmemConfig,
     analytic: bool,
     tuner_threads: usize,
+    fleet: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: atim-serve [--addr HOST:PORT] [--cache PATH] [--hw paper|small] \
-     [--analytic] [--tuner-threads N]"
+     [--analytic] [--tuner-threads N] [--fleet N]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -37,6 +39,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         hw: UpmemConfig::default(),
         analytic: false,
         tuner_threads: 1,
+        fleet: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -56,6 +59,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--analytic" => args.analytic = true,
+            "--fleet" => {
+                args.fleet = Some(
+                    value("--fleet")?
+                        .parse()
+                        .map_err(|_| "--fleet needs a worker count (0 = in-process)".to_string())?,
+                )
+            }
             "--tuner-threads" => {
                 args.tuner_threads = value("--tuner-threads")?
                     .parse()
@@ -71,9 +81,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn build_session(args: &Args) -> Session {
+fn build_session(args: &Args) -> Result<Session, String> {
     let mut builder = SessionBuilder::default();
-    if args.analytic {
+    // --fleet N takes precedence over ATIM_FLEET_WORKERS; both measure
+    // each tuning round across N local atim-worker processes.
+    let workers = args.fleet.or_else(workers_from_env).unwrap_or(0);
+    if workers > 0 {
+        let spec = if args.analytic {
+            BackendSpec::analytic(args.hw.clone())
+        } else {
+            BackendSpec::sim(args.hw.clone())
+        };
+        let fleet = FleetBackend::spawn(spec, workers, FleetOptions::default())
+            .map_err(|e| format!("cannot launch a {workers}-worker fleet: {e}"))?;
+        eprintln!(
+            "atim-serve: measuring on a fleet of {} worker process(es)",
+            fleet.workers_alive()
+        );
+        builder = builder.backend(fleet);
+    } else if args.analytic {
         builder = builder.backend(AnalyticBackend::new(args.hw.clone()));
     } else {
         builder = builder.hardware(args.hw.clone());
@@ -81,7 +107,7 @@ fn build_session(args: &Args) -> Session {
     if let Some(path) = &args.cache {
         builder = builder.schedule_cache(path);
     }
-    builder.build()
+    Ok(builder.build())
 }
 
 fn main() -> ExitCode {
@@ -93,7 +119,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let session = build_session(&args);
+    let session = match build_session(&args) {
+        Ok(session) => session,
+        Err(message) => {
+            eprintln!("atim-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     if session.schedule_cache().is_none() {
         eprintln!(
             "atim-serve: no schedule cache attached (--cache or ATIM_SCHEDULE_CACHE); \

@@ -245,6 +245,12 @@ pub struct StatsReply {
     pub tunes_run: usize,
     /// Entries currently in the schedule cache.
     pub cache_entries: usize,
+    /// Measurement-fleet workers currently alive (0 without a fleet).
+    pub workers_alive: usize,
+    /// Fleet jobs dispatched to a worker and not yet answered.
+    pub jobs_in_flight: usize,
+    /// Fleet jobs re-queued after their worker died (cumulative).
+    pub jobs_requeued: usize,
 }
 
 impl JsonCodec for StatsReply {
@@ -256,16 +262,28 @@ impl JsonCodec for StatsReply {
             ("dedup_joins".into(), Json::Int(self.dedup_joins as i64)),
             ("tunes_run".into(), Json::Int(self.tunes_run as i64)),
             ("cache_entries".into(), Json::Int(self.cache_entries as i64)),
+            ("workers_alive".into(), Json::Int(self.workers_alive as i64)),
+            (
+                "jobs_in_flight".into(),
+                Json::Int(self.jobs_in_flight as i64),
+            ),
+            ("jobs_requeued".into(), Json::Int(self.jobs_requeued as i64)),
         ])
     }
 
     fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // The fleet counters postdate the v1 stats frame; tolerate their
+        // absence so new clients can read old servers.
+        let fleet = |field: &str| json.get(field).and_then(|v| v.as_usize()).unwrap_or(0);
         Ok(StatsReply {
             requests: json.get("requests")?.as_usize()?,
             cache_hits: json.get("cache_hits")?.as_usize()?,
             dedup_joins: json.get("dedup_joins")?.as_usize()?,
             tunes_run: json.get("tunes_run")?.as_usize()?,
             cache_entries: json.get("cache_entries")?.as_usize()?,
+            workers_alive: fleet("workers_alive"),
+            jobs_in_flight: fleet("jobs_in_flight"),
+            jobs_requeued: fleet("jobs_requeued"),
         })
     }
 }
@@ -352,6 +370,9 @@ mod tests {
                 dedup_joins: 1,
                 tunes_run: 1,
                 cache_entries: 3,
+                workers_alive: 2,
+                jobs_in_flight: 5,
+                jobs_requeued: 1,
             }),
             Response::Ok,
             Response::Error("no such workload".into()),
@@ -359,6 +380,25 @@ mod tests {
             let decoded = Response::from_json(&original.to_json()).unwrap();
             assert_eq!(decoded, original);
         }
+    }
+
+    #[test]
+    fn v1_stats_frames_without_fleet_counters_still_decode() {
+        // A pre-fleet server's stats frame: the new counters default to 0
+        // instead of failing the decode.
+        let v1 = Json::Obj(vec![
+            ("type".into(), Json::Str("stats".into())),
+            ("requests".into(), Json::Int(9)),
+            ("cache_hits".into(), Json::Int(4)),
+            ("dedup_joins".into(), Json::Int(2)),
+            ("tunes_run".into(), Json::Int(3)),
+            ("cache_entries".into(), Json::Int(5)),
+        ]);
+        let decoded = StatsReply::from_json(&v1).unwrap();
+        assert_eq!(decoded.requests, 9);
+        assert_eq!(decoded.workers_alive, 0);
+        assert_eq!(decoded.jobs_in_flight, 0);
+        assert_eq!(decoded.jobs_requeued, 0);
     }
 
     #[test]

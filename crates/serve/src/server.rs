@@ -142,6 +142,9 @@ struct ServerState {
 
 impl ServerState {
     fn stats(&self) -> ServerStats {
+        // A fleet-backed session reports its worker pool; any other
+        // backend leaves the fleet counters at zero.
+        let fleet = self.session.backend().fleet_stats().unwrap_or_default();
         StatsReply {
             requests: self.counters.requests.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
@@ -152,6 +155,9 @@ impl ServerState {
                 .schedule_cache()
                 .map(|c| c.lock().expect("schedule cache poisoned").len())
                 .unwrap_or(0),
+            workers_alive: fleet.workers_alive,
+            jobs_in_flight: fleet.jobs_in_flight,
+            jobs_requeued: fleet.jobs_requeued,
         }
     }
 }

@@ -129,6 +129,9 @@ proptest! {
                 dedup_joins: (counts >> 20 & 1023) as usize,
                 tunes_run: (counts >> 30 & 1023) as usize,
                 cache_entries: (counts >> 40 & 1023) as usize,
+                workers_alive: (counts >> 50 & 15) as usize,
+                jobs_in_flight: (counts >> 54 & 15) as usize,
+                jobs_requeued: (counts >> 58 & 15) as usize,
             }),
         ] {
             let bytes = encode_frame(&response.to_json());

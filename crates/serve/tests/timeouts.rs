@@ -1,0 +1,66 @@
+//! Client deadlines: a server that accepts but never answers must surface
+//! as the *typed* [`WireError::TimedOut`] within the configured deadline —
+//! not block forever, and not masquerade as a generic I/O error.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use atim_serve::{Client, ClientError, TuneRequest, WireError};
+
+/// A listener that accepts connections and then stays silent, keeping
+/// every accepted socket alive so the client sees silence, not EOF.
+fn silent_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let handle = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        // Hold up to the few sockets this test opens; exit on error when
+        // the test process tears the listener down.
+        for stream in listener.incoming().take(4) {
+            match stream {
+                Ok(stream) => held.push(stream),
+                Err(_) => break,
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn a_silent_server_is_a_typed_timeout_not_a_hang() {
+    let (addr, _server) = silent_server();
+    let client = Client::new(addr).with_timeout(Duration::from_millis(80));
+
+    let started = Instant::now();
+    let err = client.stats().expect_err("silence must not produce stats");
+    let elapsed = started.elapsed();
+
+    assert!(
+        matches!(err, ClientError::Wire(WireError::TimedOut)),
+        "expected a typed timeout, got: {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the deadline must bound the wait (waited {elapsed:?})"
+    );
+}
+
+#[test]
+fn tune_requests_honor_the_same_deadline() {
+    let (addr, _server) = silent_server();
+    let client = Client::new(addr).with_timeout(Duration::from_millis(80));
+    let err = client
+        .tune(&TuneRequest::quick("mtv", vec![64, 48]))
+        .expect_err("silence must not produce a tune reply");
+    assert!(
+        matches!(err, ClientError::Wire(WireError::TimedOut)),
+        "expected a typed timeout, got: {err:?}"
+    );
+}
+
+#[test]
+fn clients_without_a_deadline_still_construct_and_describe_themselves() {
+    // The default remains deadline-free; with_timeout is strictly opt-in.
+    let client = Client::parse("127.0.0.1:7421").expect("parse");
+    assert_eq!(client.addr().port(), 7421);
+}

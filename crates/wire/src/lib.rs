@@ -1,25 +1,37 @@
-//! The wire format: length-prefixed JSON frames over a byte stream.
+//! # atim-wire — length-prefixed JSON frames over a byte stream
 //!
-//! Each frame is a 4-byte big-endian length followed by exactly that many
-//! bytes of UTF-8 JSON (the same dependency-free [`Json`] layer the tune
-//! logs and the schedule cache use).  The format is deliberately dumb: no
-//! multiplexing, no compression, no negotiation — a connection carries one
-//! request frame up and a short sequence of response frames down.
+//! The one wire format every ATiM process speaks: a 4-byte big-endian
+//! length followed by exactly that many bytes of UTF-8 JSON (the same
+//! dependency-free [`Json`] layer the tune logs and the schedule cache
+//! use).  The format is deliberately dumb: no multiplexing, no
+//! compression, no negotiation — a connection carries a short sequence of
+//! request frames one way and response frames the other.
+//!
+//! Two transports share this crate:
+//!
+//! * the `atim-serve` tuning daemon (one request frame up, a short stream
+//!   of response frames down), and
+//! * the `atim-core` measurement fleet (a long-lived per-worker
+//!   connection carrying one `MeasureJob` frame per candidate).
 //!
 //! Error taxonomy mirrors the truncated-`TuneLog` tolerance contract: a
 //! clean EOF *between* frames is [`WireError::Closed`] (the peer hung up,
 //! normal), an EOF *inside* a frame is [`WireError::Truncated`] (the peer
-//! died mid-write, abnormal), and both are distinct from malformed JSON
-//! ([`WireError::Parse`]).
+//! died mid-write, abnormal), a socket read/write deadline expiring is
+//! [`WireError::TimedOut`] (the peer is hung, not dead), and all are
+//! distinct from malformed JSON ([`WireError::Parse`]).  The fleet treats
+//! `Closed`/`Truncated`/`TimedOut` uniformly as a dead worker and
+//! re-queues the in-flight job; the serve client surfaces them as typed
+//! errors instead of blocking forever.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use atim_autotune::{Json, JsonError};
 
-/// Upper bound on a single frame's payload, in bytes.  Tuning requests and
-/// results are tiny; anything near this bound is a corrupt or hostile
-/// length prefix, rejected before allocation.
+/// Upper bound on a single frame's payload, in bytes.  Tuning requests,
+/// measurement jobs and results are tiny; anything near this bound is a
+/// corrupt or hostile length prefix, rejected before allocation.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
 /// Errors reading or writing frames.
@@ -29,11 +41,15 @@ pub enum WireError {
     Closed,
     /// The stream ended in the middle of a frame (header or payload).
     Truncated,
+    /// A socket read/write deadline expired mid-operation (set one with
+    /// [`std::net::TcpStream::set_read_timeout`] /
+    /// [`std::net::TcpStream::set_write_timeout`]).
+    TimedOut,
     /// The length prefix exceeds [`MAX_FRAME_LEN`].
     TooLarge(usize),
     /// The payload is not valid UTF-8 JSON.
     Parse(JsonError),
-    /// An underlying I/O failure other than EOF.
+    /// An underlying I/O failure other than EOF or a timeout.
     Io(io::Error),
 }
 
@@ -42,6 +58,7 @@ impl fmt::Display for WireError {
         match self {
             WireError::Closed => write!(f, "connection closed"),
             WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::TimedOut => write!(f, "socket deadline expired mid-frame"),
             WireError::TooLarge(n) => {
                 write!(f, "frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
             }
@@ -55,7 +72,11 @@ impl std::error::Error for WireError {}
 
 impl From<io::Error> for WireError {
     fn from(e: io::Error) -> Self {
-        WireError::Io(e)
+        if is_timeout(&e) {
+            WireError::TimedOut
+        } else {
+            WireError::Io(e)
+        }
     }
 }
 
@@ -63,6 +84,16 @@ impl From<JsonError> for WireError {
     fn from(e: JsonError) -> Self {
         WireError::Parse(e)
     }
+}
+
+/// Whether an I/O error is a socket-timeout expiry.  Unix reports an
+/// expired `SO_RCVTIMEO`/`SO_SNDTIMEO` as `WouldBlock`, Windows as
+/// `TimedOut`; both mean the same thing here.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Encodes one frame: 4-byte big-endian payload length, then the payload.
@@ -102,7 +133,8 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Json, usize), WireError> {
 }
 
 /// Reads exactly `buf.len()` bytes; distinguishes EOF-at-a-frame-boundary
-/// (`start` true) from EOF mid-frame.
+/// (`start` true) from EOF mid-frame, and an expired socket deadline from
+/// other I/O failures.
 fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start: bool) -> Result<(), WireError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -116,6 +148,7 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start: bool) -> Result<(), W
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(WireError::TimedOut),
             Err(e) => return Err(WireError::Io(e)),
         }
     }
@@ -126,8 +159,9 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start: bool) -> Result<(), W
 ///
 /// # Errors
 /// [`WireError::Closed`] on a clean EOF before any header byte,
-/// [`WireError::Truncated`] on EOF inside the frame, and the corrupt-frame
-/// variants of [`decode_frame`].
+/// [`WireError::Truncated`] on EOF inside the frame,
+/// [`WireError::TimedOut`] when the stream's read deadline expires, and
+/// the corrupt-frame variants of [`decode_frame`].
 pub fn read_frame(r: &mut impl Read) -> Result<Json, WireError> {
     let mut header = [0u8; 4];
     read_exact_or(r, &mut header, true)?;
@@ -149,7 +183,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, WireError> {
 /// Writes one frame and flushes.
 ///
 /// # Errors
-/// Propagates I/O failures.
+/// Propagates I/O failures; an expired write deadline surfaces as
+/// [`WireError::TimedOut`].
 pub fn write_frame(w: &mut impl Write, json: &Json) -> Result<(), WireError> {
     w.write_all(&encode_frame(json))?;
     w.flush()?;
@@ -220,5 +255,21 @@ mod tests {
         let mut invalid = 1u32.to_be_bytes().to_vec();
         invalid.push(0xFF); // not UTF-8
         assert!(matches!(decode_frame(&invalid), Err(WireError::Parse(_))));
+    }
+
+    #[test]
+    fn an_expired_read_deadline_is_a_timeout_not_an_io_error() {
+        use std::net::{TcpListener, TcpStream};
+        use std::time::Duration;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Keep the peer alive but silent: the accept side never writes.
+        let (_peer, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(matches!(read_frame(&mut stream), Err(WireError::TimedOut)));
     }
 }

@@ -1,0 +1,140 @@
+//! Property tests of the fleet's measurement frames: an arbitrary
+//! [`MeasureJob`] / [`MeasureReport`] survives the frame layer exactly
+//! (ids, seeds and latency *bits* included), and damaged frames surface as
+//! typed [`WireError`]s rather than bogus jobs.
+
+use atim_autotune::trace::Decision;
+use atim_autotune::{
+    Json, JsonCodec, MeasureJob, MeasureOutcome, MeasureReport, Trace, EXEC_TIMING,
+};
+use atim_wire::{decode_frame, encode_frame, read_frame, WireError};
+use proptest::prelude::*;
+
+/// An arbitrary-but-plausible job built from raw case inputs: mixed
+/// int/bool decision lists, multi-axis shapes, extreme seeds.
+fn job_from(bits: u64, seed: u64, decisions: usize) -> MeasureJob {
+    let workloads = ["va", "red", "mtv", "ttv", "mmtv", "geva", "gemv"];
+    let workload = workloads[(bits % workloads.len() as u64) as usize];
+    let rank = 1 + (bits / 7 % 3) as usize;
+    let shape: Vec<i64> = (0..rank)
+        .map(|i| 1 + ((bits >> (11 * i)) % 8192) as i64)
+        .collect();
+    let trace = Trace::from_decisions(
+        "upmem_sketch",
+        (0..decisions).map(|i| {
+            let site = format!("site_{i}");
+            let raw = bits.rotate_left(7 * i as u32);
+            if raw & 1 == 0 {
+                (site, Decision::Int((raw as i64).wrapping_mul(0x9E37_79B9)))
+            } else {
+                (site, Decision::Bool(raw & 2 != 0))
+            }
+        }),
+    );
+    MeasureJob::timing(bits.rotate_right(17), workload, shape, "upmem", seed, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn measure_jobs_survive_the_frame_layer_exactly(
+        bits in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        decisions in 0usize..12,
+    ) {
+        let job = job_from(bits, seed, decisions);
+        let bytes = encode_frame(&job.to_json());
+        let (json, used) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        let decoded = MeasureJob::from_json(&json).unwrap();
+        prop_assert_eq!(&decoded, &job);
+        prop_assert_eq!(decoded.seed, seed, "u64 seeds travel as decimal text");
+        prop_assert_eq!(decoded.exec, EXEC_TIMING);
+    }
+
+    #[test]
+    fn measure_reports_preserve_latency_bits(
+        id in 0u64..u64::MAX,
+        latency_bits in 0u64..u64::MAX,
+        kind in 0u8..3,
+    ) {
+        // Any finite positive latency, driven down to denormal range.
+        let latency = f64::from_bits(latency_bits % f64::MAX.to_bits());
+        let outcome = match kind {
+            0 => MeasureOutcome::Measured(latency.abs().max(f64::MIN_POSITIVE)),
+            1 => MeasureOutcome::Failed,
+            _ => MeasureOutcome::Skipped,
+        };
+        let report = MeasureReport::new(id, outcome);
+        let bytes = encode_frame(&report.to_json());
+        let (json, _) = decode_frame(&bytes).unwrap();
+        let decoded = MeasureReport::from_json(&json).unwrap();
+        prop_assert_eq!(&decoded, &report);
+        if let (MeasureOutcome::Measured(a), MeasureOutcome::Measured(b)) =
+            (report.outcome, decoded.outcome)
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "latency bits must survive the wire");
+        }
+    }
+
+    #[test]
+    fn truncated_job_frames_are_typed_errors_never_jobs(
+        bits in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        cut_bits in 0u64..u64::MAX,
+    ) {
+        let bytes = encode_frame(&job_from(bits, seed, 4).to_json());
+        let cut = (cut_bits % bytes.len() as u64) as usize;
+        prop_assert!(matches!(decode_frame(&bytes[..cut]), Err(WireError::Truncated)));
+        let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+        match read_frame(&mut cursor) {
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0),
+            Err(WireError::Truncated) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn job_and_report_frames_stream_back_to_back(
+        bits in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        latency_bits in 0u64..u64::MAX,
+    ) {
+        let job = job_from(bits, seed, 3);
+        let latency = ((latency_bits % 900_719) as f64 + 1.0) * 1e-9;
+        let report = MeasureReport::new(job.id, MeasureOutcome::Measured(latency));
+        let mut bytes = encode_frame(&job.to_json());
+        bytes.extend_from_slice(&encode_frame(&report.to_json()));
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let first = MeasureJob::from_json(&read_frame(&mut cursor).unwrap()).unwrap();
+        let second = MeasureReport::from_json(&read_frame(&mut cursor).unwrap()).unwrap();
+        prop_assert_eq!(&first, &job);
+        prop_assert_eq!(second.id, job.id, "a report echoes its job id");
+        prop_assert_eq!(&second, &report);
+        prop_assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn corrupt_report_status_is_rejected_with_the_offending_text(
+        id in 0u64..u64::MAX,
+        tag_bits in 0u64..u64::MAX,
+        tag_len in 3usize..12,
+    ) {
+        // A leading 'z' keeps any generated tag disjoint from the three
+        // legal statuses (the vendored proptest has no prop_assume).
+        let tag: String = std::iter::once('z')
+            .chain((0..tag_len).map(|i| {
+                char::from(b'a' + (tag_bits.rotate_left(5 * i as u32) % 26) as u8)
+            }))
+            .collect();
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Int(id as i64)),
+            ("status".into(), Json::Str(tag.clone())),
+        ]);
+        let bytes = encode_frame(&frame);
+        let (json, _) = decode_frame(&bytes).unwrap();
+        let err = MeasureReport::from_json(&json).unwrap_err();
+        prop_assert!(err.to_string().contains(&tag));
+    }
+}

@@ -4,7 +4,17 @@
 //! ```text
 //! cargo run --release --example gemv_autotune
 //! ```
+//!
+//! Knobs:
+//!
+//! * `ATIM_GEMV_SIZES` — comma-separated `MxK` sizes to sweep (default
+//!   `1024x1024,4096x4096,8192x8192`).
+//! * `ATIM_FLEET_WORKERS` — fan each tuning round across N local
+//!   `atim-worker` processes.  The output is bit-identical to the
+//!   in-process run (that is the fleet's contract), so diffing this
+//!   example's stdout across fleet sizes is a regression test.
 
+use atim_autotune::JsonCodec;
 use atim_baselines::cpu::cpu_latency;
 use atim_baselines::prim::{prim_default, prim_search_candidates};
 use atim_core::prelude::*;
@@ -19,15 +29,51 @@ fn total_ms(
     session.time(&module).ok().map(|r| r.total_ms())
 }
 
+/// Parses `ATIM_GEMV_SIZES` (`MxK[,MxK...]`), defaulting to the paper-ish
+/// sweep.
+fn sizes_from_env() -> Vec<(i64, i64)> {
+    let Ok(raw) = std::env::var("ATIM_GEMV_SIZES") else {
+        return vec![(1024, 1024), (4096, 4096), (8192, 8192)];
+    };
+    raw.split(',')
+        .map(|part| {
+            let (m, k) = part
+                .trim()
+                .split_once(['x', 'X'])
+                .unwrap_or_else(|| panic!("ATIM_GEMV_SIZES entry {part:?} is not MxK"));
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<i64>()
+                    .unwrap_or_else(|_| panic!("ATIM_GEMV_SIZES entry {part:?} is not MxK"))
+            };
+            (parse(m), parse(k))
+        })
+        .collect()
+}
+
+fn build_session() -> Session {
+    match FleetBackend::from_env(BackendSpec::sim(UpmemConfig::default())) {
+        Some(fleet) => {
+            eprintln!(
+                "gemv_autotune: measuring on a fleet of {} worker process(es)",
+                fleet.workers_alive()
+            );
+            Session::builder().backend(fleet).build()
+        }
+        None => Session::new(UpmemConfig::default()),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let session = Session::new(UpmemConfig::default());
+    let session = build_session();
     println!("GEMV end-to-end latency (ms), lower is better\n");
     println!(
         "{:<14}{:>10}{:>14}{:>10}{:>10}",
         "size", "PrIM", "PrIM+search", "ATiM", "CPU"
     );
 
-    for (m, k) in [(1024, 1024), (4096, 4096), (8192, 8192)] {
+    let mut tuned_traces = Vec::new();
+    for (m, k) in sizes_from_env() {
         let workload = Workload::new(WorkloadKind::Gemv, vec![m, k]);
         let def = workload.compute_def();
 
@@ -69,6 +115,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             atim_ms,
             cpu_ms
         );
+        tuned_traces.push((m, k, tuned.best_trace().to_json().to_string()));
+    }
+
+    // The winning schedules in replayable form — paste one into a trace
+    // file (or a schedule cache) to skip the search next time.
+    println!("\ntuned traces:");
+    for (m, k, trace) in tuned_traces {
+        println!("  {m}x{k}: {trace}");
     }
     println!("\n(The paper reports ATiM speedups up to 6.18x over PrIM for MTV/GEMV;");
     println!(" the gap grows with the reduction dimension because only ATiM tiles it.)");
