@@ -12,11 +12,106 @@ use atim_sim::UpmemConfig;
 use atim_tir::compute::ComputeDef;
 use atim_tir::schedule::Binding;
 
+use crate::session::TuningError;
 use crate::space::ScheduleConfig;
 use crate::trace::{Instruction, Trace};
 
 /// Number of features extracted per candidate.
 pub const NUM_FEATURES: usize = 10;
+
+/// Environment variable selecting the cost estimator a session ranks
+/// candidates with (`ridge` or `gbdt`).  Unknown values fail loudly at
+/// session start with [`TuningError::InvalidCostModel`], exactly like the
+/// `ATIM_MEASURE_THREADS` contract.
+pub const COST_MODEL_ENV: &str = "ATIM_COST_MODEL";
+
+/// Which cost-estimator family ranks a session's candidates.
+///
+/// `Ridge` is the default; `Gbdt` selects the gradient-boosted trees of the
+/// `atim-model` crate (trained online per round, or warm-started from a
+/// corpus-trained model file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModelKind {
+    /// The ridge-regression [`CostModel`] (the default).
+    #[default]
+    Ridge,
+    /// Gradient-boosted decision trees (`atim-model`'s `GbdtModel`).
+    Gbdt,
+}
+
+impl CostModelKind {
+    /// The estimator's short identifier (the value `ATIM_COST_MODEL`
+    /// accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModelKind::Ridge => "ridge",
+            CostModelKind::Gbdt => "gbdt",
+        }
+    }
+
+    /// Parses an estimator name (case-insensitive, surrounding whitespace
+    /// ignored).
+    ///
+    /// # Errors
+    /// Returns [`TuningError::InvalidCostModel`] for anything other than
+    /// `ridge` or `gbdt`.
+    pub fn parse(raw: &str) -> Result<Self, TuningError> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "ridge" => Ok(CostModelKind::Ridge),
+            "gbdt" => Ok(CostModelKind::Gbdt),
+            _ => Err(TuningError::InvalidCostModel {
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// Reads [`COST_MODEL_ENV`]: `Ok(None)` when unset, the parsed kind
+    /// when valid.
+    ///
+    /// # Errors
+    /// Returns [`TuningError::InvalidCostModel`] when the variable holds an
+    /// unknown estimator name — misconfiguration fails loudly at session
+    /// start instead of silently tuning with the wrong model.
+    pub fn from_env() -> Result<Option<Self>, TuningError> {
+        match std::env::var(COST_MODEL_ENV) {
+            Ok(raw) => Self::parse(&raw).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+impl std::fmt::Display for CostModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The estimator interface [`crate::session::TuningSession`] ranks
+/// candidates through.
+///
+/// Implementations predict a latency-like score (lower = better) from a
+/// candidate's feature vector and are refit from the full set of measured
+/// samples after every search round, so online learners can boost
+/// incrementally while batch learners simply retrain.  [`CostModel`] (ridge
+/// regression) is the resident default; the `atim-model` crate plugs in a
+/// gradient-boosted alternative behind the same seam.
+pub trait CostEstimator: Send {
+    /// Short identifier of the estimator family (`"ridge"`, `"gbdt"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the estimator has been fit at least once.
+    fn is_trained(&self) -> bool;
+
+    /// (Re)fits the estimator from every `(features, latency_seconds)`
+    /// sample measured so far.  Called after every search round with the
+    /// *cumulative* sample set.
+    fn fit(&mut self, samples: &[([f64; NUM_FEATURES], f64)]);
+
+    /// Predicts a latency-like score for a candidate (lower ranks earlier).
+    /// Untrained estimators must return a constant so every candidate ties
+    /// (ties break deterministically on trace identity).
+    fn predict(&self, features: &[f64; NUM_FEATURES]) -> f64;
+}
 
 /// Extracts the feature vector of a candidate trace.
 ///
@@ -251,6 +346,24 @@ impl CostModel {
     }
 }
 
+impl CostEstimator for CostModel {
+    fn name(&self) -> &'static str {
+        "ridge"
+    }
+
+    fn is_trained(&self) -> bool {
+        CostModel::is_trained(self)
+    }
+
+    fn fit(&mut self, samples: &[([f64; NUM_FEATURES], f64)]) {
+        self.train(samples);
+    }
+
+    fn predict(&self, features: &[f64; NUM_FEATURES]) -> f64 {
+        CostModel::predict(self, features)
+    }
+}
+
 /// Solves a dense linear system with partial-pivot Gaussian elimination.
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
@@ -371,6 +484,50 @@ mod tests {
         let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
         let b = vec![1.0, 2.0];
         assert!(solve(a, b).is_none());
+    }
+
+    #[test]
+    fn cost_model_kind_parses_known_names_and_rejects_unknowns() {
+        assert_eq!(CostModelKind::parse("ridge"), Ok(CostModelKind::Ridge));
+        assert_eq!(CostModelKind::parse(" GBDT "), Ok(CostModelKind::Gbdt));
+        assert_eq!(CostModelKind::default(), CostModelKind::Ridge);
+        let err = CostModelKind::parse("xgboost").unwrap_err();
+        assert_eq!(
+            err,
+            TuningError::InvalidCostModel {
+                value: "xgboost".into()
+            }
+        );
+        // The message names the environment variable and the accepted
+        // values, matching the ATIM_MEASURE_THREADS fail-loudly precedent.
+        let msg = err.to_string();
+        assert!(msg.contains(COST_MODEL_ENV), "{msg}");
+        assert!(msg.contains("ridge") && msg.contains("gbdt"), "{msg}");
+        assert!(msg.contains("xgboost"), "{msg}");
+    }
+
+    #[test]
+    fn ridge_implements_the_estimator_seam() {
+        let mut model: Box<dyn CostEstimator> = Box::new(CostModel::new());
+        assert_eq!(model.name(), "ridge");
+        assert!(!model.is_trained());
+        let def = ComputeDef::mtv("mtv", 2048, 2048);
+        let hw = UpmemConfig::default();
+        let samples: Vec<([f64; NUM_FEATURES], f64)> = [4i64, 16, 64, 256, 1024]
+            .iter()
+            .map(|&d| {
+                let cfg = sample_config(d, 8, 64);
+                (
+                    featurize(&cfg.to_decision_trace(), &def, &hw),
+                    1.0 / d as f64,
+                )
+            })
+            .collect();
+        model.fit(&samples);
+        assert!(model.is_trained());
+        let fast = model.predict(&samples[4].0);
+        let slow = model.predict(&samples[0].0);
+        assert!(fast < slow);
     }
 
     #[test]

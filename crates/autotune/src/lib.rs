@@ -23,9 +23,11 @@
 //! * [`verifier`] — the UPMEM code verifier (§5.2.4): rejects candidate
 //!   traces that exceed WRAM/MRAM capacity, the tasklet limit or the DPU
 //!   count before they are ever measured.
-//! * [`cost_model`] — a learned cost model (ridge regression over features
-//!   derived from each trace) standing in for TVM's XGBoost model;
-//!   retrained from measured candidates each round.
+//! * [`cost_model`] — the learned cost models ranking candidates: a
+//!   pluggable [`cost_model::CostEstimator`] seam with a resident ridge
+//!   regression over trace-derived features (retrained from measured
+//!   candidates each round); the `atim-model` crate plugs gradient-boosted
+//!   trees into the same seam (`ATIM_COST_MODEL=gbdt`).
 //! * [`search`] — the balanced evolutionary search (§5.2.3): decision
 //!   mutation/crossover from a best-candidate database, balanced sampling
 //!   of `rfactor`/non-`rfactor` design spaces in the early trials (keyed on
@@ -103,6 +105,9 @@ pub mod verifier;
 pub use cache::{
     append_entry, machine_fingerprint, CacheEntry, CacheError, CacheKey, ScheduleCache,
     SCHEDULE_CACHE_ENV,
+};
+pub use cost_model::{
+    featurize, CostEstimator, CostModel, CostModelKind, COST_MODEL_ENV, NUM_FEATURES,
 };
 pub use generator::{SpaceGenerator, UpmemSketchGenerator};
 pub use job::{MeasureJob, MeasureReport, EXEC_TIMING};

@@ -24,7 +24,7 @@ use atim_tir::compute::ComputeDef;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cost_model::{featurize, CostModel, NUM_FEATURES};
+use crate::cost_model::{featurize, CostEstimator, CostModel, NUM_FEATURES};
 use crate::generator::{SpaceGenerator, UpmemSketchGenerator};
 use crate::search::CandidateDb;
 use crate::trace::Trace;
@@ -54,6 +54,12 @@ pub enum TuningError {
         /// The configured candidates-generated-per-round.
         population: usize,
     },
+    /// An unknown cost-estimator name (typically from `ATIM_COST_MODEL`):
+    /// the session would silently tune with the wrong model.
+    InvalidCostModel {
+        /// The rejected estimator name.
+        value: String,
+    },
 }
 
 impl fmt::Display for TuningError {
@@ -75,6 +81,11 @@ impl fmt::Display for TuningError {
                 f,
                 "invalid tuning options: measure_per_round ({measure_per_round}) must not \
                  exceed population ({population})"
+            ),
+            TuningError::InvalidCostModel { value } => write!(
+                f,
+                "invalid cost model {value:?}: {} must be \"ridge\" or \"gbdt\"",
+                crate::cost_model::COST_MODEL_ENV
             ),
         }
     }
@@ -252,7 +263,7 @@ pub struct TuningSession {
     generator: Arc<dyn SpaceGenerator>,
     rng: StdRng,
     db: CandidateDb,
-    model: CostModel,
+    model: Box<dyn CostEstimator>,
     samples: Vec<([f64; NUM_FEATURES], f64)>,
     history: Vec<TuningRecord>,
     measured: usize,
@@ -311,7 +322,7 @@ impl TuningSession {
             generator,
             rng: StdRng::seed_from_u64(options.seed),
             db: CandidateDb::new(),
-            model: CostModel::new(),
+            model: Box::new(CostModel::new()),
             samples: Vec::new(),
             history: Vec::new(),
             measured: 0,
@@ -320,6 +331,29 @@ impl TuningSession {
             round: 0,
             max_rounds,
         })
+    }
+
+    /// Replaces the session's cost estimator — the pluggable seam for
+    /// learned models beyond the default ridge regression (the `atim-model`
+    /// crate's gradient-boosted trees enter here).
+    ///
+    /// A pretrained estimator (e.g. a corpus-trained global model) is used
+    /// as-is until the first round's measurements arrive, so a fresh session
+    /// on an unseen shape ranks its very first batch with transferred
+    /// knowledge instead of measuring blind.  Samples already recorded in
+    /// this session (seeded or measured) are immediately fit into the new
+    /// estimator.
+    pub fn with_cost_estimator(mut self, estimator: Box<dyn CostEstimator>) -> Self {
+        self.model = estimator;
+        if !self.samples.is_empty() {
+            self.model.fit(&self.samples);
+        }
+        self
+    }
+
+    /// The cost estimator currently ranking this session's candidates.
+    pub fn cost_estimator(&self) -> &dyn CostEstimator {
+        &*self.model
     }
 
     /// The workload this session tunes.
@@ -438,11 +472,23 @@ impl TuningSession {
             }
 
             // --- Cost-model ranking -------------------------------------------
-            let mut ranked: Vec<(f64, Trace)> = verified
+            // Equal predicted scores (every candidate, while the model is
+            // untrained) break on trace identity, so the measured prefix is
+            // a function of *which* candidates survived — not of generation
+            // order, the estimator implementation, or platform float
+            // quirks.
+            let mut ranked: Vec<(f64, String, Trace)> = verified
                 .into_iter()
-                .map(|c| (self.model.predict(&featurize(&c, &self.def, &self.hw)), c))
+                .map(|c| {
+                    let score = self.model.predict(&featurize(&c, &self.def, &self.hw));
+                    (score, c.to_string(), c)
+                })
                 .collect();
-            ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            ranked.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
 
             let budget = self
                 .options
@@ -452,7 +498,7 @@ impl TuningSession {
                 ranked
                     .into_iter()
                     .take(budget)
-                    .map(|(_, cand)| cand)
+                    .map(|(_, _, cand)| cand)
                     .collect(),
             );
         }
@@ -530,7 +576,7 @@ impl TuningSession {
             }
             self.history.push(record);
         }
-        self.model.train(&self.samples);
+        self.model.fit(&self.samples);
     }
 
     /// Seeds the session with previously measured trials (e.g. from a
@@ -551,7 +597,7 @@ impl TuningSession {
                 .push((featurize(&rec.trace, &self.def, &self.hw), rec.latency_s));
             self.db.insert(rec.trace.clone(), rec.latency_s);
         }
-        self.model.train(&self.samples);
+        self.model.fit(&self.samples);
     }
 
     /// Snapshot of the tuning result so far.
@@ -689,6 +735,68 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn untrained_ranking_orders_the_batch_by_trace_identity() {
+        // Round one ranks with an untrained model: every candidate ties, so
+        // the batch must come out in trace-identity order — a deterministic
+        // prefix that does not depend on generation order.
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let mut session = TuningSession::new(&def, &hw, &TuningOptions::quick()).unwrap();
+        let batch = session.next_batch().expect("first round yields a batch");
+        assert!(batch.len() > 1, "need ties to exercise the tie-break");
+        let keys: Vec<String> = batch.iter().map(|t| t.to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "equal scores must order by trace identity");
+    }
+
+    #[test]
+    fn tie_breaking_makes_the_first_batch_estimator_independent() {
+        // Two estimators that are untrained (and return *different* neutral
+        // constants) must still measure the identical first batch: the
+        // tie-break keys on the candidates, not on the estimator.
+        struct Constant(f64);
+        impl crate::cost_model::CostEstimator for Constant {
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+            fn is_trained(&self) -> bool {
+                false
+            }
+            fn fit(&mut self, _samples: &[([f64; NUM_FEATURES], f64)]) {}
+            fn predict(&self, _features: &[f64; NUM_FEATURES]) -> f64 {
+                self.0
+            }
+        }
+        use crate::cost_model::NUM_FEATURES;
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let opts = TuningOptions::quick();
+        let mut a = TuningSession::new(&def, &hw, &opts)
+            .unwrap()
+            .with_cost_estimator(Box::new(Constant(1.0)));
+        let mut b = TuningSession::new(&def, &hw, &opts)
+            .unwrap()
+            .with_cost_estimator(Box::new(Constant(42.0)));
+        assert_eq!(a.cost_estimator().name(), "constant");
+        assert_eq!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn invalid_cost_model_error_names_the_env_var() {
+        let err = crate::cost_model::CostModelKind::parse("nonsense").unwrap_err();
+        assert_eq!(
+            err,
+            TuningError::InvalidCostModel {
+                value: "nonsense".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("ATIM_COST_MODEL"), "{msg}");
+        assert!(msg.contains("nonsense"), "{msg}");
     }
 
     #[test]

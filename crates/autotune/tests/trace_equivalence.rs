@@ -301,13 +301,23 @@ fn old_tune(
             continue;
         }
 
-        let mut ranked: Vec<(f64, ScheduleConfig)> = verified
+        // Equal scores break on trace identity, mirroring the session's
+        // deterministic ranking tie-break.
+        let mut ranked: Vec<(f64, String, ScheduleConfig)> = verified
             .into_iter()
-            .map(|c| (model.predict(&featurize_config(&c, def, hw)), c))
+            .map(|c| {
+                let score = model.predict(&featurize_config(&c, def, hw));
+                let key = c.to_decision_trace().to_string();
+                (score, key, c)
+            })
             .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
         let budget = options.measure_per_round.min(options.trials - measured);
-        for (_, cand) in ranked.into_iter().take(budget) {
+        for (_, _, cand) in ranked.into_iter().take(budget) {
             match measure(&cand) {
                 Some(latency) => {
                     samples.push((featurize_config(&cand, def, hw), latency));

@@ -31,9 +31,10 @@ use std::sync::{Arc, Mutex};
 use atim_autotune::log::TuneLog;
 use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver, TuningSession};
 use atim_autotune::{
-    CacheEntry, CacheKey, ScheduleCache, ScheduleConfig, SpaceGenerator, Trace, TuningOptions,
-    TuningResult, UpmemSketchGenerator, WarmStartMeasurer,
+    CacheEntry, CacheKey, CostModelKind, ScheduleCache, ScheduleConfig, SpaceGenerator, Trace,
+    TuningOptions, TuningResult, UpmemSketchGenerator, WarmStartMeasurer,
 };
+use atim_model::GbdtModel;
 use atim_sim::{ExecutionReport, UpmemConfig};
 use atim_tir::compute::ComputeDef;
 use atim_tir::error::{Result as TirResult, TirError};
@@ -91,6 +92,9 @@ pub struct SessionBuilder {
     generator: Option<Arc<dyn SpaceGenerator>>,
     cache_path: Option<PathBuf>,
     cache: Option<Arc<Mutex<ScheduleCache>>>,
+    cost_model: Option<CostModelKind>,
+    pretrained: Option<GbdtModel>,
+    pretrained_path: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -162,6 +166,37 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the cost estimator every tuning run of the session ranks
+    /// candidates with: the resident ridge regression (the default) or the
+    /// gradient-boosted trees from `atim-model`.  When not set explicitly,
+    /// the `ATIM_COST_MODEL` environment variable chooses (`build` panics
+    /// loudly on an invalid value, matching the `ATIM_MEASURE_THREADS`
+    /// contract).
+    pub fn cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = Some(kind);
+        self
+    }
+
+    /// Warm-starts every tuning run from a pretrained gradient-boosted
+    /// model (implies [`CostModelKind::Gbdt`]): the search ranks its very
+    /// first round with the transferred model instead of a cold estimator,
+    /// and online per-round updates refine a per-run copy.  Train one with
+    /// the `atim-train` binary on a TuneLog corpus.
+    pub fn pretrained_cost_model(mut self, model: GbdtModel) -> Self {
+        self.pretrained = Some(model);
+        self.cost_model = Some(CostModelKind::Gbdt);
+        self
+    }
+
+    /// Like [`SessionBuilder::pretrained_cost_model`], loading the model
+    /// from a file saved by `atim-train` / [`GbdtModel::save`] at `build`
+    /// time (panicking loudly when the file is unreadable or corrupt).
+    pub fn pretrained_cost_model_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.pretrained_path = Some(path.into());
+        self.cost_model = Some(CostModelKind::Gbdt);
+        self
+    }
+
     /// Builds the session.
     ///
     /// When no cache was configured explicitly, the `ATIM_SCHEDULE_CACHE`
@@ -171,9 +206,31 @@ impl SessionBuilder {
     /// # Panics
     /// Panics when the default simulator backend is constructed while
     /// `ATIM_MEASURE_THREADS` holds an invalid value (zero or non-numeric),
-    /// or when a configured cache file exists but cannot be read or parsed
-    /// — a corrupt cache fails loudly rather than silently re-tuning.
+    /// when no cost model was chosen explicitly and `ATIM_COST_MODEL` holds
+    /// an invalid value, when a configured pretrained model file cannot be
+    /// read or parsed, or when a configured cache file exists but cannot be
+    /// read or parsed — corrupt configuration fails loudly rather than
+    /// silently tuning with something else.
     pub fn build(self) -> Session {
+        let cost_model = match self.cost_model {
+            Some(kind) => kind,
+            None => CostModelKind::from_env()
+                .unwrap_or_else(|e| panic!("{e}"))
+                .unwrap_or_default(),
+        };
+        let pretrained = match (self.pretrained, self.pretrained_path) {
+            (Some(model), _) => Some(Arc::new(model)),
+            (None, Some(path)) => {
+                let model = GbdtModel::load(&path).unwrap_or_else(|e| {
+                    panic!(
+                        "pretrained cost model {} is unreadable: {e}",
+                        path.display()
+                    )
+                });
+                Some(Arc::new(model))
+            }
+            (None, None) => None,
+        };
         let backend = match self.backend {
             Some(backend) => backend,
             None => {
@@ -208,6 +265,8 @@ impl SessionBuilder {
                 .generator
                 .unwrap_or_else(|| Arc::new(UpmemSketchGenerator)),
             cache,
+            cost_model,
+            pretrained,
         }
     }
 }
@@ -222,6 +281,8 @@ pub struct Session {
     backend: Arc<dyn Backend>,
     generator: Arc<dyn SpaceGenerator>,
     cache: Option<Arc<Mutex<ScheduleCache>>>,
+    cost_model: CostModelKind,
+    pretrained: Option<Arc<GbdtModel>>,
 }
 
 impl fmt::Debug for Session {
@@ -281,6 +342,44 @@ impl Session {
     /// The schedule-space generator tuning runs propose candidates from.
     pub fn space_generator(&self) -> &Arc<dyn SpaceGenerator> {
         &self.generator
+    }
+
+    /// The cost estimator kind tuning runs rank candidates with.
+    pub fn cost_model(&self) -> CostModelKind {
+        self.cost_model
+    }
+
+    /// The pretrained gradient-boosted model tuning runs warm-start from,
+    /// if one was configured.
+    pub fn pretrained_cost_model(&self) -> Option<&Arc<GbdtModel>> {
+        self.pretrained.as_ref()
+    }
+
+    /// Builds one run's [`TuningSession`], attaching the selected cost
+    /// estimator (each run boosts a private copy of any pretrained model,
+    /// so concurrent runs never share mutable estimator state).
+    fn tuning_session(
+        &self,
+        def: &ComputeDef,
+        options: &TuningOptions,
+    ) -> Result<TuningSession, TuningError> {
+        let session = TuningSession::with_generator(
+            def,
+            self.hardware(),
+            options,
+            Arc::clone(&self.generator),
+        )?;
+        Ok(match self.cost_model {
+            CostModelKind::Ridge => session,
+            CostModelKind::Gbdt => {
+                let model = self
+                    .pretrained
+                    .as_ref()
+                    .map(|m| (**m).clone())
+                    .unwrap_or_default();
+                session.with_cost_estimator(Box::new(model))
+            }
+        })
     }
 
     /// The attached schedule cache, if any.
@@ -459,12 +558,7 @@ impl Session {
         budget: &Budget,
         observer: &mut dyn TuningObserver,
     ) -> Result<TunedModule, TuningError> {
-        let mut session = TuningSession::with_generator(
-            def,
-            self.hardware(),
-            options,
-            Arc::clone(&self.generator),
-        )?;
+        let mut session = self.tuning_session(def, options)?;
         let mut measurer =
             BackendMeasurer::with_context(self.backend(), def, self.generator.name(), options.seed);
         let result = session.run(&mut measurer, budget, observer);
@@ -488,12 +582,7 @@ impl Session {
         budget: &Budget,
         observer: &mut dyn TuningObserver,
     ) -> Result<TunedModule, TuningError> {
-        let mut session = TuningSession::with_generator(
-            def,
-            self.hardware(),
-            options,
-            Arc::clone(&self.generator),
-        )?;
+        let mut session = self.tuning_session(def, options)?;
         let mut inner =
             BackendMeasurer::with_context(self.backend(), def, self.generator.name(), options.seed);
         let mut measurer = WarmStartMeasurer::new(log, &mut inner);
@@ -789,6 +878,77 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, TuningError::ZeroTrials);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Ridge stays the default estimator; opting into the GBDT changes the
+    /// session's ranking model but tuning stays fixed-seed deterministic.
+    #[test]
+    fn gbdt_cost_model_tunes_deterministically() {
+        assert_eq!(
+            Session::default().cost_model(),
+            CostModelKind::Ridge,
+            "ridge must stay the default"
+        );
+        let def = ComputeDef::mtv("mtv", 96, 64);
+        let options = TuningOptions {
+            trials: 12,
+            population: 12,
+            measure_per_round: 6,
+            ..TuningOptions::default()
+        };
+        let tune = || {
+            let session = Session::builder()
+                .hardware(UpmemConfig::small())
+                .cost_model(CostModelKind::Gbdt)
+                .build();
+            assert_eq!(session.cost_model(), CostModelKind::Gbdt);
+            session.tune(&def, &options).unwrap()
+        };
+        let a = tune();
+        let b = tune();
+        assert_eq!(a.best_config(), b.best_config());
+        assert_eq!(a.history(), b.history(), "histories must be bit-identical");
+        assert_eq!(a.best_latency_s().to_bits(), b.best_latency_s().to_bits());
+    }
+
+    #[test]
+    fn pretrained_cost_model_attaches_and_survives_reuse() {
+        use atim_autotune::CostEstimator;
+        use atim_model::GbdtParams;
+
+        // A tiny pretrained model: any trained ensemble works here.
+        let samples: Vec<([f64; atim_autotune::NUM_FEATURES], f64)> = (0..16)
+            .map(|i| {
+                let mut x = [0.0; atim_autotune::NUM_FEATURES];
+                x[0] = (i % 4) as f64;
+                (x, 1e-3 * (1.0 + x[0]))
+            })
+            .collect();
+        let mut model = GbdtModel::new(GbdtParams::default());
+        model.fit(&samples);
+        assert!(model.is_trained());
+
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .pretrained_cost_model(model)
+            .build();
+        assert_eq!(session.cost_model(), CostModelKind::Gbdt);
+        let trees = session.pretrained_cost_model().unwrap().num_trees();
+
+        // Two runs on different shapes both start from the same pretrained
+        // model: per-run boosting must never mutate the shared copy.
+        let quick = TuningOptions::quick();
+        session
+            .tune(&ComputeDef::mtv("mtv", 512, 512), &quick)
+            .unwrap();
+        session
+            .tune(&ComputeDef::mtv("mtv", 1024, 256), &quick)
+            .unwrap();
+        assert_eq!(
+            session.pretrained_cost_model().unwrap().num_trees(),
+            trees,
+            "runs boost private copies, not the shared pretrained model"
+        );
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! `atim-train` — offline trainer for the gradient-boosted cost model.
+//!
+//! Ingests a directory of tuning logs (the TuneLog corpus an `atim-bench`
+//! sweep leaves behind), holds out every N-th workload/shape group, trains
+//! a GBDT on the rest, and reports held-out ranking quality against the
+//! ridge baseline trained on the same split. Emits the model file (loadable
+//! by `SessionBuilder::pretrained_cost_model_file` or `GbdtModel::load`)
+//! and a JSON metrics report.
+//!
+//! ```text
+//! atim-train --corpus runs/tune_logs --out model.json --metrics metrics.json
+//! ```
+//!
+//! Exits nonzero on corpus/training failure, or when `--min-accuracy` is
+//! given and the held-out GBDT pairwise accuracy lands below it (the CI
+//! regression gate).
+
+use std::process::ExitCode;
+
+use atim_autotune::json::{encode_f64, Json};
+use atim_autotune::{CostEstimator, CostModel};
+use atim_model::{evaluate, Dataset, GbdtModel, GbdtParams, Objective, RankingMetrics};
+use atim_sim::UpmemConfig;
+
+struct Args {
+    corpus: String,
+    out: String,
+    metrics: String,
+    holdout_every: usize,
+    rounds: usize,
+    depth: usize,
+    learning_rate: f64,
+    objective: Objective,
+    k: usize,
+    min_accuracy: Option<f64>,
+    hw: UpmemConfig,
+}
+
+const USAGE: &str = "usage: atim-train --corpus DIR [options]
+
+options:
+  --corpus DIR          directory of tuning logs named {kind}_{shape}_t{trials}.json (required)
+  --out PATH            model file to write (default atim_model.json)
+  --metrics PATH        metrics JSON to write (default atim_train_metrics.json)
+  --holdout N           hold out every N-th workload/shape group (default 4; 0 disables)
+  --rounds N            boosting rounds (default 200)
+  --depth N             maximum tree depth (default 3)
+  --learning-rate F     shrinkage (default 0.1)
+  --objective NAME      squared-log | pairwise-rank (default squared-log)
+  --k N                 k for recall@k (default 8)
+  --min-accuracy F      exit nonzero if held-out GBDT pairwise accuracy < F
+  --hw NAME             machine the logs were tuned on: default | small (default: default)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        corpus: String::new(),
+        out: "atim_model.json".into(),
+        metrics: "atim_train_metrics.json".into(),
+        holdout_every: 4,
+        rounds: 200,
+        depth: 3,
+        learning_rate: 0.1,
+        objective: Objective::SquaredLog,
+        k: 8,
+        min_accuracy: None,
+        hw: UpmemConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--corpus" => args.corpus = value("--corpus")?,
+            "--out" => args.out = value("--out")?,
+            "--metrics" => args.metrics = value("--metrics")?,
+            "--holdout" => {
+                args.holdout_every = value("--holdout")?
+                    .parse()
+                    .map_err(|e| format!("--holdout: {e}"))?;
+            }
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--depth" => {
+                args.depth = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--learning-rate" => {
+                args.learning_rate = value("--learning-rate")?
+                    .parse()
+                    .map_err(|e| format!("--learning-rate: {e}"))?;
+            }
+            "--objective" => {
+                let raw = value("--objective")?;
+                args.objective = Objective::parse(&raw).ok_or_else(|| {
+                    format!("unknown objective {raw:?} (squared-log | pairwise-rank)")
+                })?;
+            }
+            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--min-accuracy" => {
+                args.min_accuracy = Some(
+                    value("--min-accuracy")?
+                        .parse()
+                        .map_err(|e| format!("--min-accuracy: {e}"))?,
+                );
+            }
+            "--hw" => {
+                args.hw = match value("--hw")?.as_str() {
+                    "default" => UpmemConfig::default(),
+                    "small" => UpmemConfig::small(),
+                    other => return Err(format!("unknown --hw {other:?} (default | small)")),
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.corpus.is_empty() {
+        return Err(format!("--corpus is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn metrics_json(m: &RankingMetrics) -> Json {
+    Json::Obj(vec![
+        ("pairwise_accuracy".into(), encode_f64(m.pairwise_accuracy)),
+        (format!("recall_at_{}", m.k), encode_f64(m.recall_at_k)),
+        ("pairs".into(), Json::Int(m.pairs as i64)),
+        ("groups".into(), Json::Int(m.groups as i64)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (data, summary) = match Dataset::load_dir(&args.corpus, &args.hw) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("atim-train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "corpus: {} file(s), {} record(s), {} group(s), {} skipped",
+        summary.files_loaded,
+        summary.records,
+        data.groups.len(),
+        summary.skipped.len()
+    );
+    for skip in &summary.skipped {
+        println!("  skipped {}: {}", skip.path.display(), skip.reason);
+    }
+
+    let (train, holdout) = data.split_holdout(args.holdout_every);
+    let eval_split = if holdout.is_empty() { &train } else { &holdout };
+    println!(
+        "split: {} training sample(s) in {} group(s), {} held-out sample(s) in {} group(s)",
+        train.len(),
+        train.groups.len(),
+        holdout.len(),
+        holdout.groups.len()
+    );
+
+    let mut model = GbdtModel::new(GbdtParams {
+        max_depth: args.depth,
+        learning_rate: args.learning_rate,
+        objective: args.objective,
+        max_trees: args.rounds,
+        ..GbdtParams::default()
+    });
+    model.boost(&train.samples(), Some(&train.group_of), args.rounds);
+    if !model.is_trained() {
+        eprintln!(
+            "atim-train: corpus too small to train ({} sample(s))",
+            train.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut ridge = CostModel::new();
+    CostEstimator::fit(&mut ridge, &train.samples());
+
+    let gbdt_metrics = evaluate(&model, eval_split, args.k);
+    let ridge_metrics = evaluate(&ridge, eval_split, args.k);
+    let split_name = if holdout.is_empty() {
+        "train"
+    } else {
+        "holdout"
+    };
+    println!(
+        "gbdt  ({split_name}): pairwise accuracy {:.4}, recall@{} {:.4}  [{} trees]",
+        gbdt_metrics.pairwise_accuracy,
+        args.k,
+        gbdt_metrics.recall_at_k,
+        model.num_trees()
+    );
+    println!(
+        "ridge ({split_name}): pairwise accuracy {:.4}, recall@{} {:.4}",
+        ridge_metrics.pairwise_accuracy, args.k, ridge_metrics.recall_at_k
+    );
+
+    if let Err(e) = model.save(&args.out) {
+        eprintln!("atim-train: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("model -> {}", args.out);
+
+    let report = Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        (
+            "corpus".into(),
+            Json::Obj(vec![
+                ("dir".into(), Json::Str(args.corpus.clone())),
+                (
+                    "files_loaded".into(),
+                    Json::Int(summary.files_loaded as i64),
+                ),
+                (
+                    "files_skipped".into(),
+                    Json::Int(summary.skipped.len() as i64),
+                ),
+                ("records".into(), Json::Int(summary.records as i64)),
+                ("groups".into(), Json::Int(data.groups.len() as i64)),
+                (
+                    "skipped".into(),
+                    Json::Arr(
+                        summary
+                            .skipped
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("path".into(), Json::Str(s.path.display().to_string())),
+                                    ("reason".into(), Json::Str(s.reason.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "split".into(),
+            Json::Obj(vec![
+                ("holdout_every".into(), Json::Int(args.holdout_every as i64)),
+                ("train_samples".into(), Json::Int(train.len() as i64)),
+                ("holdout_samples".into(), Json::Int(holdout.len() as i64)),
+                ("evaluated_on".into(), Json::Str(split_name.into())),
+            ]),
+        ),
+        (
+            "model".into(),
+            Json::Obj(vec![
+                ("path".into(), Json::Str(args.out.clone())),
+                ("objective".into(), Json::Str(args.objective.name().into())),
+                ("trees".into(), Json::Int(model.num_trees() as i64)),
+            ]),
+        ),
+        ("gbdt".into(), metrics_json(&gbdt_metrics)),
+        ("ridge".into(), metrics_json(&ridge_metrics)),
+    ]);
+    if let Err(e) = std::fs::write(&args.metrics, report.to_string() + "\n") {
+        eprintln!("atim-train: writing {}: {e}", args.metrics);
+        return ExitCode::FAILURE;
+    }
+    println!("metrics -> {}", args.metrics);
+
+    if let Some(floor) = args.min_accuracy {
+        if gbdt_metrics.pairwise_accuracy < floor {
+            eprintln!(
+                "atim-train: held-out pairwise accuracy {:.4} is below the --min-accuracy floor {floor}",
+                gbdt_metrics.pairwise_accuracy
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

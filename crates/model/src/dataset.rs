@@ -1,0 +1,310 @@
+//! The TuneLog training corpus: a directory of tuning logs (v1 and v2)
+//! across workloads and shapes, flattened into `(features, latency, group)`
+//! samples for offline training and held-out ranking evaluation.
+//!
+//! Log files do not record the tensor shape, only the workload name; the
+//! corpus loader recovers the shape from the `atim-bench` filename
+//! convention `{kind}_{d1}x{d2}x…_t{trials}.json` (see
+//! `atim_bench::tune_log_path`). Files that do not match the convention,
+//! fail to parse, or disagree with their filename are **skipped and
+//! reported** in the [`CorpusSummary`], never aborting the load — a single
+//! corrupt log must not take down a corpus-wide training run.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use atim_autotune::log::TuneLog;
+use atim_autotune::{featurize, NUM_FEATURES};
+use atim_sim::UpmemConfig;
+use atim_workloads::{Workload, WorkloadKind};
+
+/// One sample group (= one source log file = one workload/shape search).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusGroup {
+    /// Source log file.
+    pub path: PathBuf,
+    /// Workload kind name (e.g. `"mtv"`).
+    pub workload: String,
+    /// Tensor shape recovered from the filename.
+    pub shape: Vec<i64>,
+    /// Number of samples contributed.
+    pub records: usize,
+}
+
+/// A skipped corpus file and why it was skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedFile {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// What a [`Dataset::load_dir`] call ingested and what it had to skip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusSummary {
+    /// Log files successfully ingested.
+    pub files_loaded: usize,
+    /// Total training records across loaded files.
+    pub records: usize,
+    /// Files skipped (corrupt, unrecognized, mismatched), with reasons.
+    pub skipped: Vec<SkippedFile>,
+}
+
+/// A directory-level failure loading a corpus (individual bad files are
+/// tolerated and land in [`CorpusSummary::skipped`] instead).
+#[derive(Debug)]
+pub enum DatasetError {
+    /// The corpus directory itself could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The corpus directory contained no loadable log file.
+    Empty(PathBuf),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(path, e) => {
+                write!(f, "cannot read corpus directory {}: {e}", path.display())
+            }
+            DatasetError::Empty(path) => {
+                write!(
+                    f,
+                    "corpus directory {} holds no loadable tuning log",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A flattened training corpus: parallel feature/latency/group arrays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Trace feature vectors (see [`atim_autotune::featurize`]).
+    pub features: Vec<[f64; NUM_FEATURES]>,
+    /// Measured latencies in seconds, parallel to `features`.
+    pub latencies: Vec<f64>,
+    /// Group id per sample (index into [`Dataset::groups`]), parallel to
+    /// `features`. Ranking metrics only compare within a group.
+    pub group_of: Vec<usize>,
+    /// Group metadata in id order.
+    pub groups: Vec<CorpusGroup>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the corpus holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The `(features, latency)` pairs the [`atim_autotune::CostEstimator`]
+    /// seam trains on.
+    pub fn samples(&self) -> Vec<([f64; NUM_FEATURES], f64)> {
+        self.features
+            .iter()
+            .zip(&self.latencies)
+            .map(|(x, &y)| (*x, y))
+            .collect()
+    }
+
+    /// Loads every `.json` / `.jsonl` tuning log under `dir` (sorted by
+    /// filename, so sample and group order is deterministic), featurizing
+    /// each history record against `hw`.
+    ///
+    /// Individually corrupt or unrecognized files are tolerated: they are
+    /// skipped and reported in the returned [`CorpusSummary`].
+    ///
+    /// # Errors
+    /// [`DatasetError::Io`] when the directory cannot be read,
+    /// [`DatasetError::Empty`] when nothing in it loads.
+    pub fn load_dir(
+        dir: impl AsRef<Path>,
+        hw: &UpmemConfig,
+    ) -> Result<(Dataset, CorpusSummary), DatasetError> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir).map_err(|e| DatasetError::Io(dir.to_path_buf(), e))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("json") | Some("jsonl")
+                )
+            })
+            .collect();
+        paths.sort();
+
+        let mut data = Dataset::default();
+        let mut summary = CorpusSummary::default();
+        for path in paths {
+            match ingest_file(&path, hw, &mut data) {
+                Ok(records) => {
+                    summary.files_loaded += 1;
+                    summary.records += records;
+                }
+                Err(reason) => summary.skipped.push(SkippedFile {
+                    path: path.clone(),
+                    reason,
+                }),
+            }
+        }
+        if summary.files_loaded == 0 {
+            return Err(DatasetError::Empty(dir.to_path_buf()));
+        }
+        Ok((data, summary))
+    }
+
+    /// Deterministic held-out split by **group**: every `every`-th group
+    /// (in load order) becomes hold-out, the rest train. Splitting whole
+    /// groups keeps evaluation honest about cross-shape transfer — a
+    /// held-out search is entirely unseen at train time.
+    ///
+    /// `every < 2` puts everything in the training half.
+    pub fn split_holdout(&self, every: usize) -> (Dataset, Dataset) {
+        let held = |g: usize| every >= 2 && (g + 1) % every == 0;
+        let mut train = Dataset::default();
+        let mut holdout = Dataset::default();
+        let mut remap: Vec<Option<usize>> = vec![None; self.groups.len()];
+        for i in 0..self.len() {
+            let g = self.group_of[i];
+            let side = if held(g) { &mut holdout } else { &mut train };
+            let new_g = *remap[g].get_or_insert_with(|| {
+                side.groups.push(self.groups[g].clone());
+                side.groups.len() - 1
+            });
+            side.features.push(self.features[i]);
+            side.latencies.push(self.latencies[i]);
+            side.group_of.push(new_g);
+        }
+        (train, holdout)
+    }
+}
+
+/// Parses the bench filename convention `{kind}_{d1}x{d2}x…_t{trials}`.
+///
+/// Returns the workload on success; `None` when the stem does not match.
+pub fn workload_from_filename(path: &Path) -> Option<Workload> {
+    let stem = path.file_stem()?.to_str()?;
+    let mut tokens = stem.split('_');
+    let kind = WorkloadKind::parse(tokens.next()?)?;
+    let shape: Vec<i64> = tokens
+        .next()?
+        .split('x')
+        .map(|d| d.parse::<i64>().ok())
+        .collect::<Option<_>>()?;
+    let trials = tokens.next()?;
+    if !trials.starts_with('t') || tokens.next().is_some() {
+        return None;
+    }
+    let workload = Workload::new(kind, shape);
+    workload.try_compute_def()?;
+    Some(workload)
+}
+
+fn ingest_file(path: &Path, hw: &UpmemConfig, data: &mut Dataset) -> Result<usize, String> {
+    let workload = workload_from_filename(path).ok_or_else(|| {
+        "filename does not match the {kind}_{shape}_t{trials} corpus convention".to_string()
+    })?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let log = TuneLog::from_json_str(&text).map_err(|e| format!("corrupt tuning log: {e}"))?;
+    let def = workload.compute_def();
+    if log.workload != def.name {
+        return Err(format!(
+            "log records workload {:?} but the filename says {:?}",
+            log.workload, def.name
+        ));
+    }
+    let group = data.groups.len();
+    let mut records = 0;
+    for rec in &log.result.history {
+        if !rec.latency_s.is_finite() || rec.latency_s <= 0.0 {
+            continue;
+        }
+        data.features.push(featurize(&rec.trace, &def, hw));
+        data.latencies.push(rec.latency_s);
+        data.group_of.push(group);
+        records += 1;
+    }
+    data.groups.push(CorpusGroup {
+        path: path.to_path_buf(),
+        workload: def.name.clone(),
+        shape: workload.shape.clone(),
+        records,
+    });
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filename_convention_round_trips() {
+        let w = workload_from_filename(Path::new("corpus/mtv_128x256_t24.json")).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Mtv);
+        assert_eq!(w.shape, vec![128, 256]);
+        let w = workload_from_filename(Path::new("mmtv_8x64x64_t24.json")).unwrap();
+        assert_eq!(w.shape, vec![8, 64, 64]);
+        let w = workload_from_filename(Path::new("red_65536_t48.jsonl")).unwrap();
+        assert_eq!(w.shape, vec![65536]);
+    }
+
+    #[test]
+    fn bad_filenames_are_rejected() {
+        for name in [
+            "notes.json",
+            "mtv_128x256.json",       // missing trials token
+            "mtv_128x256_t24_x.json", // trailing token
+            "frob_128x256_t24.json",  // unknown kind
+            "mtv_128_t24.json",       // wrong rank
+            "mtv_128x-4_t24.json",    // non-positive extent
+            "mtv_axb_t24.json",       // non-numeric shape
+        ] {
+            assert!(
+                workload_from_filename(Path::new(name)).is_none(),
+                "{name} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn holdout_split_is_by_whole_group() {
+        let mut data = Dataset::default();
+        for g in 0..5 {
+            data.groups.push(CorpusGroup {
+                path: PathBuf::from(format!("g{g}.json")),
+                workload: "mtv".into(),
+                shape: vec![64, 64],
+                records: 3,
+            });
+            for i in 0..3 {
+                data.features.push([g as f64 + i as f64; NUM_FEATURES]);
+                data.latencies.push(1.0);
+                data.group_of.push(g);
+            }
+        }
+        let (train, holdout) = data.split_holdout(2);
+        // Groups 1 and 3 (0-indexed) are held out.
+        assert_eq!(train.groups.len(), 3);
+        assert_eq!(holdout.groups.len(), 2);
+        assert_eq!(train.len(), 9);
+        assert_eq!(holdout.len(), 6);
+        assert_eq!(holdout.groups[0].path, PathBuf::from("g1.json"));
+        assert_eq!(holdout.groups[1].path, PathBuf::from("g3.json"));
+        // Group ids are re-densified on both sides.
+        assert!(train.group_of.iter().all(|&g| g < train.groups.len()));
+        assert!(holdout.group_of.iter().all(|&g| g < holdout.groups.len()));
+
+        let (all, none) = data.split_holdout(0);
+        assert_eq!(all.len(), data.len());
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,820 @@
+//! A histogram-based gradient-boosted decision-tree regressor over the
+//! autotuner's trace feature vectors.
+//!
+//! The learner is the XGBoost recipe in miniature: each boosting round fits
+//! one regression tree to the gradient/hessian of the objective at the
+//! current ensemble prediction, greedy splits are found over per-feature
+//! histograms (quantile bin edges recomputed per fit), leaf values are the
+//! regularized Newton step `-G / (H + lambda)` scaled by the learning rate,
+//! and rounds accumulate until [`GbdtParams::max_trees`].
+//!
+//! Two objectives are supported:
+//!
+//! * [`Objective::SquaredLog`] — squared error on `ln(latency)`, the default;
+//!   raw ensemble output is a log-latency and [`GbdtModel::predict`] returns
+//!   `exp(raw)` so predictions are latency-like (same convention as the ridge
+//!   [`atim_autotune::CostModel`]).
+//! * [`Objective::PairwiseRank`] — RankNet-style pairwise logistic loss over
+//!   within-group latency orderings; raw output is an arbitrary monotone
+//!   score (lower = faster).
+//!
+//! Training is bit-deterministic: candidate splits are enumerated in fixed
+//! (feature, bin) order, ties keep the first candidate, and no randomness is
+//! consumed. Refitting from scratch on the same samples reproduces the same
+//! model bit for bit.
+
+use std::fmt;
+use std::path::Path;
+
+use atim_autotune::json::{encode_f64, Json, JsonError};
+use atim_autotune::{CostEstimator, NUM_FEATURES};
+
+/// Current model-file format version (see [`GbdtModel::to_json_string`]).
+pub const MODEL_VERSION: i64 = 1;
+
+/// Oldest model-file version [`GbdtModel::from_json_str`] still decodes.
+pub const MIN_MODEL_VERSION: i64 = 1;
+
+/// Training objective for the boosted ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Squared error on `ln(latency)` (regression; the default).
+    #[default]
+    SquaredLog,
+    /// Pairwise logistic ranking loss within sample groups.
+    PairwiseRank,
+}
+
+impl Objective {
+    /// Stable lowercase name, used in model files and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::SquaredLog => "squared-log",
+            Objective::PairwiseRank => "pairwise-rank",
+        }
+    }
+
+    /// Parses a name produced by [`Objective::name`].
+    pub fn parse(raw: &str) -> Option<Objective> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "squared-log" | "squared" => Some(Objective::SquaredLog),
+            "pairwise-rank" | "pairwise" => Some(Objective::PairwiseRank),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hyperparameters of a [`GbdtModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtParams {
+    /// Boosting rounds appended per [`CostEstimator::fit`] call (the online
+    /// per-round update during search).
+    pub trees_per_fit: usize,
+    /// Hard cap on the ensemble size; further fits are no-ops once reached.
+    pub max_trees: usize,
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Shrinkage applied to every leaf value.
+    pub learning_rate: f64,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values (`lambda` in the XGBoost gain).
+    pub lambda: f64,
+    /// Maximum histogram bins per feature.
+    pub max_bins: usize,
+    /// Minimum samples before the model trains at all (mirrors the ridge
+    /// model's warm-up threshold).
+    pub min_fit_samples: usize,
+    /// Training objective.
+    pub objective: Objective,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            trees_per_fit: 4,
+            max_trees: 512,
+            // Shallow trees with gentle shrinkage transfer best across
+            // shapes on TuneLog-sized corpora (hundreds of samples).
+            max_depth: 3,
+            learning_rate: 0.1,
+            min_samples_leaf: 2,
+            lambda: 1.0,
+            max_bins: 64,
+            min_fit_samples: 4,
+            objective: Objective::SquaredLog,
+        }
+    }
+}
+
+/// One node of a regression tree, stored in a flat array.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    /// Split feature index (internal nodes only).
+    feature: usize,
+    /// Split threshold: samples with `x[feature] <= threshold` go left.
+    threshold: f64,
+    /// Index of the left child (internal nodes only).
+    left: usize,
+    /// Index of the right child (internal nodes only).
+    right: usize,
+    /// Leaf value, learning rate already applied (leaves only).
+    value: f64,
+    /// Whether this node is a leaf.
+    leaf: bool,
+}
+
+/// One boosted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64; NUM_FEATURES]) -> f64 {
+        let mut at = 0;
+        loop {
+            let node = &self.nodes[at];
+            if node.leaf {
+                return node.value;
+            }
+            at = if x[node.feature] <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+}
+
+/// Errors from persisting or loading a model file.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Filesystem failure reading or writing the model file.
+    Io(std::io::Error),
+    /// The file is not a valid model document.
+    Parse(JsonError),
+    /// The file's declared version is outside the supported range.
+    UnsupportedVersion(i64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model file I/O error: {e}"),
+            ModelError::Parse(e) => write!(f, "model file parse error: {e}"),
+            ModelError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "model file version {v} is not supported (expected {MIN_MODEL_VERSION}..={MODEL_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<JsonError> for ModelError {
+    fn from(e: JsonError) -> Self {
+        ModelError::Parse(e)
+    }
+}
+
+/// A gradient-boosted ensemble implementing the autotuner's
+/// [`CostEstimator`] seam.
+///
+/// Untrained (fewer than [`GbdtParams::min_fit_samples`] samples seen) the
+/// model predicts the constant `1.0`, exactly like the untrained ridge
+/// model, so the session's deterministic identity tie-break governs early
+/// rounds regardless of estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtModel {
+    params: GbdtParams,
+    base_score: f64,
+    trees: Vec<Tree>,
+    trained: bool,
+}
+
+impl Default for GbdtModel {
+    fn default() -> Self {
+        GbdtModel::new(GbdtParams::default())
+    }
+}
+
+impl GbdtModel {
+    /// An untrained model with the given hyperparameters.
+    pub fn new(params: GbdtParams) -> Self {
+        GbdtModel {
+            params,
+            base_score: 0.0,
+            trees: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// The model's hyperparameters.
+    pub fn params(&self) -> &GbdtParams {
+        &self.params
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Raw ensemble output (a log-latency under [`Objective::SquaredLog`],
+    /// an arbitrary monotone score under [`Objective::PairwiseRank`]).
+    pub fn predict_raw(&self, x: &[f64; NUM_FEATURES]) -> f64 {
+        let mut score = self.base_score;
+        for tree in &self.trees {
+            score += tree.predict(x);
+        }
+        score
+    }
+
+    /// Appends `rounds` boosted trees fit on `samples`
+    /// (`(features, latency_s)` pairs), with optional per-sample group ids
+    /// for the pairwise objective (`None` treats all samples as one group).
+    ///
+    /// Does nothing until [`GbdtParams::min_fit_samples`] samples are
+    /// available, and stops growing at [`GbdtParams::max_trees`].
+    pub fn boost(
+        &mut self,
+        samples: &[([f64; NUM_FEATURES], f64)],
+        groups: Option<&[usize]>,
+        rounds: usize,
+    ) {
+        if samples.len() < self.params.min_fit_samples.max(2) {
+            return;
+        }
+        let targets: Vec<f64> = samples.iter().map(|(_, y)| y.max(1e-12).ln()).collect();
+        if !self.trained {
+            // Freeze the base score at first fit so later online updates
+            // only refine it through trees (keeps persisted ensembles
+            // composable with further boosting).
+            self.base_score = match self.params.objective {
+                Objective::SquaredLog => targets.iter().sum::<f64>() / targets.len() as f64,
+                Objective::PairwiseRank => 0.0,
+            };
+            self.trained = true;
+        }
+
+        // Current ensemble output per sample.
+        let mut scores: Vec<f64> = samples.iter().map(|(x, _)| self.predict_raw(x)).collect();
+
+        // Per-feature histogram bin edges and per-sample bin indices,
+        // computed once per boost call.
+        let bins = Bins::build(samples, self.params.max_bins);
+
+        let mut grad = vec![0.0; samples.len()];
+        let mut hess = vec![0.0; samples.len()];
+        for _ in 0..rounds {
+            if self.trees.len() >= self.params.max_trees {
+                break;
+            }
+            self.gradients(&scores, &targets, groups, &mut grad, &mut hess);
+            let tree = grow_tree(&self.params, &bins, samples, &grad, &hess);
+            for (i, (x, _)) in samples.iter().enumerate() {
+                scores[i] += tree.predict(x);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn gradients(
+        &self,
+        scores: &[f64],
+        targets: &[f64],
+        groups: Option<&[usize]>,
+        grad: &mut [f64],
+        hess: &mut [f64],
+    ) {
+        match self.params.objective {
+            Objective::SquaredLog => {
+                for i in 0..scores.len() {
+                    grad[i] = scores[i] - targets[i];
+                    hess[i] = 1.0;
+                }
+            }
+            Objective::PairwiseRank => {
+                grad.fill(0.0);
+                hess.fill(0.0);
+                let group_of = |i: usize| groups.map_or(0, |g| g[i]);
+                for i in 0..scores.len() {
+                    for j in (i + 1)..scores.len() {
+                        if group_of(i) != group_of(j) || targets[i] == targets[j] {
+                            continue;
+                        }
+                        // `lo` is the faster (better) sample: its score
+                        // should end up below `hi`'s.
+                        let (lo, hi) = if targets[i] < targets[j] {
+                            (i, j)
+                        } else {
+                            (j, i)
+                        };
+                        let rho = sigmoid(scores[lo] - scores[hi]);
+                        grad[lo] += rho;
+                        grad[hi] -= rho;
+                        let h = (rho * (1.0 - rho)).max(1e-9);
+                        hess[lo] += h;
+                        hess[hi] += h;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encodes the model as a versioned single-line JSON document.
+    pub fn to_json_string(&self) -> String {
+        let nodes_json = |tree: &Tree| {
+            Json::Arr(
+                tree.nodes
+                    .iter()
+                    .map(|n| {
+                        Json::Arr(vec![
+                            Json::Int(n.feature as i64),
+                            encode_f64(n.threshold),
+                            Json::Int(n.left as i64),
+                            Json::Int(n.right as i64),
+                            encode_f64(n.value),
+                            Json::Bool(n.leaf),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("version".into(), Json::Int(MODEL_VERSION)),
+            ("num_features".into(), Json::Int(NUM_FEATURES as i64)),
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    (
+                        "trees_per_fit".into(),
+                        Json::Int(self.params.trees_per_fit as i64),
+                    ),
+                    ("max_trees".into(), Json::Int(self.params.max_trees as i64)),
+                    ("max_depth".into(), Json::Int(self.params.max_depth as i64)),
+                    (
+                        "learning_rate".into(),
+                        encode_f64(self.params.learning_rate),
+                    ),
+                    (
+                        "min_samples_leaf".into(),
+                        Json::Int(self.params.min_samples_leaf as i64),
+                    ),
+                    ("lambda".into(), encode_f64(self.params.lambda)),
+                    ("max_bins".into(), Json::Int(self.params.max_bins as i64)),
+                    (
+                        "min_fit_samples".into(),
+                        Json::Int(self.params.min_fit_samples as i64),
+                    ),
+                    (
+                        "objective".into(),
+                        Json::Str(self.params.objective.name().into()),
+                    ),
+                ]),
+            ),
+            ("base_score".into(), encode_f64(self.base_score)),
+            ("trained".into(), Json::Bool(self.trained)),
+            (
+                "trees".into(),
+                Json::Arr(self.trees.iter().map(nodes_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Decodes a model from [`GbdtModel::to_json_string`] output.
+    ///
+    /// # Errors
+    /// [`ModelError::Parse`] on malformed documents,
+    /// [`ModelError::UnsupportedVersion`] outside
+    /// [`MIN_MODEL_VERSION`]..=[`MODEL_VERSION`].
+    pub fn from_json_str(text: &str) -> Result<Self, ModelError> {
+        let doc = Json::parse(text)?;
+        let version = doc.get("version")?.as_i64()?;
+        if !(MIN_MODEL_VERSION..=MODEL_VERSION).contains(&version) {
+            return Err(ModelError::UnsupportedVersion(version));
+        }
+        let nf = doc.get("num_features")?.as_usize()?;
+        if nf != NUM_FEATURES {
+            return Err(ModelError::Parse(JsonError::new(format!(
+                "model was trained on {nf} features, this build uses {NUM_FEATURES}"
+            ))));
+        }
+        let p = doc.get("params")?;
+        let objective_name = p.get("objective")?.as_str()?;
+        let objective = Objective::parse(objective_name).ok_or_else(|| {
+            ModelError::Parse(JsonError::new(format!(
+                "unknown objective {objective_name:?}"
+            )))
+        })?;
+        let params = GbdtParams {
+            trees_per_fit: p.get("trees_per_fit")?.as_usize()?,
+            max_trees: p.get("max_trees")?.as_usize()?,
+            max_depth: p.get("max_depth")?.as_usize()?,
+            learning_rate: p.get("learning_rate")?.as_f64()?,
+            min_samples_leaf: p.get("min_samples_leaf")?.as_usize()?,
+            lambda: p.get("lambda")?.as_f64()?,
+            max_bins: p.get("max_bins")?.as_usize()?,
+            min_fit_samples: p.get("min_fit_samples")?.as_usize()?,
+            objective,
+        };
+        let mut trees = Vec::new();
+        for tree_json in doc.get("trees")?.as_arr()? {
+            let mut nodes = Vec::new();
+            for node_json in tree_json.as_arr()? {
+                let f = node_json.as_arr()?;
+                if f.len() != 6 {
+                    return Err(ModelError::Parse(JsonError::new(
+                        "tree node must have 6 fields",
+                    )));
+                }
+                nodes.push(Node {
+                    feature: f[0].as_usize()?,
+                    threshold: f[1].as_f64()?,
+                    left: f[2].as_usize()?,
+                    right: f[3].as_usize()?,
+                    value: f[4].as_f64()?,
+                    leaf: f[5].as_bool()?,
+                });
+            }
+            // Reject trees whose child indices point outside the node
+            // array; Tree::predict would panic on them.
+            let len = nodes.len();
+            if nodes.is_empty()
+                || nodes.iter().any(|n| {
+                    !n.leaf && (n.left >= len || n.right >= len || n.feature >= NUM_FEATURES)
+                })
+            {
+                return Err(ModelError::Parse(JsonError::new(
+                    "tree has out-of-range child or feature indices",
+                )));
+            }
+            trees.push(Tree { nodes });
+        }
+        Ok(GbdtModel {
+            params,
+            base_score: doc.get("base_score")?.as_f64()?,
+            trained: doc.get("trained")?.as_bool()?,
+            trees,
+        })
+    }
+
+    /// Saves the model to a file.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        std::fs::write(path, self.to_json_string() + "\n").map_err(ModelError::Io)
+    }
+
+    /// Loads a model saved by [`GbdtModel::save`].
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure, otherwise as
+    /// [`GbdtModel::from_json_str`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let text = std::fs::read_to_string(path).map_err(ModelError::Io)?;
+        GbdtModel::from_json_str(&text)
+    }
+}
+
+impl CostEstimator for GbdtModel {
+    fn name(&self) -> &'static str {
+        "gbdt"
+    }
+
+    fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    fn fit(&mut self, samples: &[([f64; NUM_FEATURES], f64)]) {
+        let rounds = self.params.trees_per_fit;
+        self.boost(samples, None, rounds);
+    }
+
+    fn predict(&self, features: &[f64; NUM_FEATURES]) -> f64 {
+        if !self.trained {
+            return 1.0;
+        }
+        self.predict_raw(features).clamp(-50.0, 50.0).exp()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-feature histogram binning shared by every tree grown in one boost
+/// call: quantile bin edges plus the per-sample bin index matrix.
+struct Bins {
+    /// `edges[f]` — ascending split thresholds for feature `f`.
+    edges: Vec<Vec<f64>>,
+    /// `index[i][f]` — bin of sample `i` on feature `f` (edges crossed).
+    index: Vec<[u16; NUM_FEATURES]>,
+}
+
+impl Bins {
+    fn build(samples: &[([f64; NUM_FEATURES], f64)], max_bins: usize) -> Bins {
+        let max_bins = max_bins.max(2);
+        let mut edges = Vec::with_capacity(NUM_FEATURES);
+        for f in 0..NUM_FEATURES {
+            let mut values: Vec<f64> = samples.iter().map(|(x, _)| x[f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            // Candidate thresholds are midpoints between distinct adjacent
+            // values, thinned to at most `max_bins - 1` at even quantile
+            // strides.
+            let gaps = values.len().saturating_sub(1);
+            let keep = gaps.min(max_bins - 1);
+            let mut feature_edges = Vec::with_capacity(keep);
+            for k in 0..keep {
+                // Even stride over the gap list; deterministic integer math.
+                let g = k * gaps / keep + gaps / (2 * keep);
+                feature_edges.push((values[g] + values[g + 1]) / 2.0);
+            }
+            feature_edges.dedup();
+            edges.push(feature_edges);
+        }
+        let index = samples
+            .iter()
+            .map(|(x, _)| {
+                let mut row = [0u16; NUM_FEATURES];
+                for f in 0..NUM_FEATURES {
+                    row[f] = edges[f].iter().filter(|e| x[f] > **e).count() as u16;
+                }
+                row
+            })
+            .collect();
+        Bins { edges, index }
+    }
+}
+
+/// Grows one tree on the given gradients via greedy histogram splits.
+fn grow_tree(
+    params: &GbdtParams,
+    bins: &Bins,
+    samples: &[([f64; NUM_FEATURES], f64)],
+    grad: &[f64],
+    hess: &[f64],
+) -> Tree {
+    let mut nodes = Vec::new();
+    let all: Vec<usize> = (0..samples.len()).collect();
+    build_node(params, bins, grad, hess, &all, 0, &mut nodes);
+    Tree { nodes }
+}
+
+fn leaf_value(params: &GbdtParams, g: f64, h: f64) -> f64 {
+    -g / (h + params.lambda) * params.learning_rate
+}
+
+fn build_node(
+    params: &GbdtParams,
+    bins: &Bins,
+    grad: &[f64],
+    hess: &[f64],
+    members: &[usize],
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let g: f64 = members.iter().map(|&i| grad[i]).sum();
+    let h: f64 = members.iter().map(|&i| hess[i]).sum();
+    let at = nodes.len();
+    nodes.push(Node {
+        feature: 0,
+        threshold: 0.0,
+        left: 0,
+        right: 0,
+        value: leaf_value(params, g, h),
+        leaf: true,
+    });
+    if depth >= params.max_depth || members.len() < 2 * params.min_samples_leaf {
+        return at;
+    }
+
+    // Best split: strictly greater gain wins, so the first (feature, bin)
+    // candidate in enumeration order breaks ties deterministically.
+    let parent_score = g * g / (h + params.lambda);
+    let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+    for f in 0..NUM_FEATURES {
+        let nbins = bins.edges[f].len() + 1;
+        if nbins < 2 {
+            continue;
+        }
+        let mut hist = vec![(0.0f64, 0.0f64, 0usize); nbins];
+        for &i in members {
+            let b = bins.index[i][f] as usize;
+            hist[b].0 += grad[i];
+            hist[b].1 += hess[i];
+            hist[b].2 += 1;
+        }
+        let (mut gl, mut hl, mut nl) = (0.0, 0.0, 0usize);
+        for (b, &(bg, bh, bn)) in hist.iter().enumerate().take(nbins - 1) {
+            gl += bg;
+            hl += bh;
+            nl += bn;
+            let nr = members.len() - nl;
+            if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                continue;
+            }
+            let gr = g - gl;
+            let hr = h - hl;
+            let gain =
+                gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
+            let improves = match best {
+                Some((best_gain, _, _)) => gain > best_gain,
+                None => true,
+            };
+            if gain > 1e-12 && improves {
+                best = Some((gain, f, b));
+            }
+        }
+    }
+    let Some((_, feature, bin)) = best else {
+        return at;
+    };
+
+    let threshold = bins.edges[feature][bin];
+    let (left_members, right_members): (Vec<usize>, Vec<usize>) = members
+        .iter()
+        .partition(|&&i| (bins.index[i][feature] as usize) <= bin);
+    let left = build_node(params, bins, grad, hess, &left_members, depth + 1, nodes);
+    let right = build_node(params, bins, grad, hess, &right_members, depth + 1, nodes);
+    nodes[at].feature = feature;
+    nodes[at].threshold = threshold;
+    nodes[at].left = left;
+    nodes[at].right = right;
+    nodes[at].leaf = false;
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_samples(n: usize) -> Vec<([f64; NUM_FEATURES], f64)> {
+        // Latency depends nonlinearly on two features; the rest are inert.
+        (0..n)
+            .map(|i| {
+                let mut x = [0.0; NUM_FEATURES];
+                x[0] = (i % 7) as f64;
+                x[1] = (i % 3) as f64;
+                x[2] = (i / 5) as f64;
+                let y = (1.0 + x[0] * x[0] + if x[1] > 1.0 { 10.0 } else { 0.0 }) * 1e-4;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untrained_model_predicts_the_constant_one() {
+        let model = GbdtModel::default();
+        assert!(!model.is_trained());
+        assert_eq!(model.predict(&[0.5; NUM_FEATURES]), 1.0);
+    }
+
+    #[test]
+    fn too_few_samples_keep_the_model_untrained() {
+        let mut model = GbdtModel::default();
+        model.fit(&toy_samples(3));
+        assert!(!model.is_trained());
+        assert_eq!(model.num_trees(), 0);
+    }
+
+    #[test]
+    fn boosting_reduces_training_error() {
+        let samples = toy_samples(64);
+        let mut model = GbdtModel::default();
+        let err = |m: &GbdtModel| -> f64 {
+            samples
+                .iter()
+                .map(|(x, y)| (m.predict_raw(x) - y.ln()).powi(2))
+                .sum::<f64>()
+        };
+        model.boost(&samples, None, 1);
+        let after_one = err(&model);
+        model.boost(&samples, None, 40);
+        let after_many = err(&model);
+        assert!(
+            after_many < after_one * 0.1,
+            "boosting must fit the toy function: {after_one} -> {after_many}"
+        );
+    }
+
+    #[test]
+    fn predictions_recover_latency_scale() {
+        let samples = toy_samples(64);
+        let mut model = GbdtModel::default();
+        model.boost(&samples, None, 60);
+        for (x, y) in samples.iter().take(8) {
+            let p = model.predict(x);
+            assert!(
+                (p / y).ln().abs() < 0.7,
+                "predicted {p}, measured {y}: off by more than 2x"
+            );
+        }
+    }
+
+    #[test]
+    fn online_fits_append_trees_and_respect_the_cap() {
+        let mut model = GbdtModel::new(GbdtParams {
+            trees_per_fit: 4,
+            max_trees: 10,
+            ..GbdtParams::default()
+        });
+        let samples = toy_samples(32);
+        model.fit(&samples);
+        assert_eq!(model.num_trees(), 4);
+        let base = model.base_score;
+        model.fit(&samples);
+        assert_eq!(model.num_trees(), 8);
+        assert_eq!(model.base_score.to_bits(), base.to_bits(), "base frozen");
+        model.fit(&samples);
+        model.fit(&samples);
+        assert_eq!(model.num_trees(), 10, "capped at max_trees");
+    }
+
+    #[test]
+    fn retraining_is_bit_deterministic() {
+        let samples = toy_samples(48);
+        let mut a = GbdtModel::default();
+        let mut b = GbdtModel::default();
+        a.boost(&samples, None, 25);
+        b.boost(&samples, None, 25);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        for (x, _) in &samples {
+            assert_eq!(a.predict(x).to_bits(), b.predict(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn pairwise_objective_learns_the_within_group_order() {
+        let samples = toy_samples(60);
+        let groups: Vec<usize> = (0..60).map(|i| i / 15).collect();
+        let mut model = GbdtModel::new(GbdtParams {
+            objective: Objective::PairwiseRank,
+            ..GbdtParams::default()
+        });
+        model.boost(&samples, Some(&groups), 60);
+        // Within each group, faster samples must mostly rank below slower
+        // ones under the raw score.
+        let (mut correct, mut total) = (0, 0);
+        for i in 0..samples.len() {
+            for j in (i + 1)..samples.len() {
+                if groups[i] != groups[j] || samples[i].1 == samples[j].1 {
+                    continue;
+                }
+                total += 1;
+                let score_order =
+                    model.predict_raw(&samples[i].0) < model.predict_raw(&samples[j].0);
+                if score_order == (samples[i].1 < samples[j].1) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct as f64 >= 0.9 * total as f64,
+            "pairwise objective orders the groups: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_exactly() {
+        let samples = toy_samples(40);
+        let mut model = GbdtModel::default();
+        model.boost(&samples, None, 15);
+        let text = model.to_json_string();
+        let back = GbdtModel::from_json_str(&text).expect("round trip");
+        assert_eq!(back, model);
+        for (x, _) in &samples {
+            assert_eq!(model.predict(x).to_bits(), back.predict(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_model_files_are_rejected_loudly() {
+        assert!(matches!(
+            GbdtModel::from_json_str("not json"),
+            Err(ModelError::Parse(_))
+        ));
+        assert!(matches!(
+            GbdtModel::from_json_str(r#"{"version":99}"#),
+            Err(ModelError::UnsupportedVersion(99))
+        ));
+        // Out-of-range child indices must not decode into a panicking tree.
+        let evil = r#"{"version":1,"num_features":10,"params":{"trees_per_fit":4,"max_trees":512,"max_depth":4,"learning_rate":0.15,"min_samples_leaf":2,"lambda":1.0,"max_bins":64,"min_fit_samples":4,"objective":"squared-log"},"base_score":0.0,"trained":true,"trees":[[[0,0.5,7,8,0.0,false]]]}"#;
+        assert!(matches!(
+            GbdtModel::from_json_str(evil),
+            Err(ModelError::Parse(_))
+        ));
+    }
+}

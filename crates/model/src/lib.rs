@@ -1,0 +1,55 @@
+//! # atim-model — a learned cost model over the TuneLog corpus
+//!
+//! The gradient-boosted companion to `atim-autotune`'s resident ridge
+//! regression: an in-tree, dependency-free GBDT regressor
+//! ([`GbdtModel`]) that plugs into the autotuner's
+//! [`atim_autotune::CostEstimator`] seam (`ATIM_COST_MODEL=gbdt`), plus the
+//! offline side of the story:
+//!
+//! * [`dataset`] — ingest a directory of [`atim_autotune::log::TuneLog`]s
+//!   (v1 and v2) across workloads and shapes into grouped
+//!   `(features, latency)` samples, tolerating individually corrupt files.
+//! * [`gbdt`] — the histogram-based boosted-tree learner: squared-error on
+//!   log-latency or pairwise ranking, deterministic retrains, online
+//!   per-round updates during search, versioned JSON persistence.
+//! * [`metrics`] — grouped ranking metrics (pairwise accuracy, recall@k)
+//!   for held-out evaluation against the ridge baseline.
+//!
+//! The `atim-train` binary trains a global model on a corpus and emits the
+//! model file plus a metrics report; `atim-core`'s `SessionBuilder` can
+//! warm-start any session from such a pretrained model so unseen shapes
+//! start from a transferred ranking instead of a cold estimator (the
+//! features are dimensionless log-ratios, so models transfer across
+//! shapes).
+//!
+//! # Example
+//!
+//! ```
+//! use atim_autotune::{CostEstimator, NUM_FEATURES};
+//! use atim_model::{GbdtModel, GbdtParams};
+//!
+//! let samples: Vec<([f64; NUM_FEATURES], f64)> = (0..32)
+//!     .map(|i| {
+//!         let mut x = [0.0; NUM_FEATURES];
+//!         x[0] = (i % 8) as f64;
+//!         (x, 1e-3 * (1.0 + x[0] * x[0]))
+//!     })
+//!     .collect();
+//! let mut model = GbdtModel::new(GbdtParams::default());
+//! model.fit(&samples);
+//! assert!(model.is_trained());
+//!
+//! // Persisted models reload bit-identically.
+//! let reloaded = GbdtModel::from_json_str(&model.to_json_string()).unwrap();
+//! assert_eq!(reloaded.predict(&samples[0].0), model.predict(&samples[0].0));
+//! ```
+
+pub mod dataset;
+pub mod gbdt;
+pub mod metrics;
+
+pub use dataset::{
+    workload_from_filename, CorpusGroup, CorpusSummary, Dataset, DatasetError, SkippedFile,
+};
+pub use gbdt::{GbdtModel, GbdtParams, ModelError, Objective, MIN_MODEL_VERSION, MODEL_VERSION};
+pub use metrics::{evaluate, evaluate_scores, pairwise_accuracy, recall_at_k, RankingMetrics};

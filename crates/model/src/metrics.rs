@@ -1,0 +1,165 @@
+//! Ranking metrics for cost estimators: what the search actually needs from
+//! a model is not calibrated latencies but the right *order* among the
+//! candidates of one workload/shape, so quality is measured per group.
+
+use atim_autotune::CostEstimator;
+
+use crate::dataset::Dataset;
+
+/// Held-out ranking quality of one estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingMetrics {
+    /// Fraction of comparable within-group pairs ordered correctly
+    /// (prediction ties earn half credit); `0.5` is chance.
+    pub pairwise_accuracy: f64,
+    /// Mean per-group overlap between the predicted and the true top-`k`.
+    pub recall_at_k: f64,
+    /// The `k` used for [`RankingMetrics::recall_at_k`].
+    pub k: usize,
+    /// Comparable pairs scored.
+    pub pairs: usize,
+    /// Groups contributing to the recall average.
+    pub groups: usize,
+}
+
+/// Scores within-group pairwise ordering accuracy.
+///
+/// Pairs with equal latency are incomparable and skipped; pairs the model
+/// scores equal earn half credit (a coin flip). Returns `0.5` (chance) when
+/// no pair is comparable.
+pub fn pairwise_accuracy(scores: &[f64], latencies: &[f64], group_of: &[usize]) -> f64 {
+    let mut credit = 0.0;
+    let mut total = 0usize;
+    for i in 0..scores.len() {
+        for j in (i + 1)..scores.len() {
+            if group_of[i] != group_of[j] || latencies[i] == latencies[j] {
+                continue;
+            }
+            total += 1;
+            if scores[i] == scores[j] {
+                credit += 0.5;
+            } else if (scores[i] < scores[j]) == (latencies[i] < latencies[j]) {
+                credit += 1.0;
+            }
+        }
+    }
+    if total == 0 {
+        return 0.5;
+    }
+    credit / total as f64
+}
+
+/// Mean per-group recall@k: how much of each group's true fastest `k` the
+/// model's predicted top-`k` recovers. Groups with fewer than two samples
+/// are skipped; returns `0.0` when no group qualifies.
+pub fn recall_at_k(scores: &[f64], latencies: &[f64], group_of: &[usize], k: usize) -> f64 {
+    let num_groups = group_of.iter().copied().max().map_or(0, |g| g + 1);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for g in 0..num_groups {
+        let members: Vec<usize> = (0..scores.len()).filter(|&i| group_of[i] == g).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let k_eff = k.min(members.len());
+        let top = |key: &dyn Fn(usize) -> f64| -> Vec<usize> {
+            let mut order = members.clone();
+            // Index tie-break keeps the selection deterministic.
+            order.sort_by(|&a, &b| {
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            order.truncate(k_eff);
+            order
+        };
+        let truth = top(&|i| latencies[i]);
+        let predicted = top(&|i| scores[i]);
+        let hits = predicted.iter().filter(|i| truth.contains(i)).count();
+        sum += hits as f64 / k_eff as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        return 0.0;
+    }
+    sum / counted as f64
+}
+
+/// Evaluates an estimator's predictions over a dataset.
+pub fn evaluate(model: &dyn CostEstimator, data: &Dataset, k: usize) -> RankingMetrics {
+    let scores: Vec<f64> = data.features.iter().map(|x| model.predict(x)).collect();
+    evaluate_scores(&scores, data, k)
+}
+
+/// As [`evaluate`], over precomputed scores (lower = predicted faster).
+pub fn evaluate_scores(scores: &[f64], data: &Dataset, k: usize) -> RankingMetrics {
+    let mut pairs = 0usize;
+    for i in 0..data.len() {
+        for j in (i + 1)..data.len() {
+            if data.group_of[i] == data.group_of[j] && data.latencies[i] != data.latencies[j] {
+                pairs += 1;
+            }
+        }
+    }
+    let groups = {
+        let mut sizes = vec![0usize; data.groups.len()];
+        for &g in &data.group_of {
+            sizes[g] += 1;
+        }
+        sizes.iter().filter(|&&n| n >= 2).count()
+    };
+    RankingMetrics {
+        pairwise_accuracy: pairwise_accuracy(scores, &data.latencies, &data.group_of),
+        recall_at_k: recall_at_k(scores, &data.latencies, &data.group_of, k),
+        k,
+        pairs,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_accuracy_scores_order_ties_and_chance() {
+        let lat = [1.0, 2.0, 3.0, 4.0];
+        let groups = [0, 0, 0, 0];
+        assert_eq!(pairwise_accuracy(&[1.0, 2.0, 3.0, 4.0], &lat, &groups), 1.0);
+        assert_eq!(pairwise_accuracy(&[4.0, 3.0, 2.0, 1.0], &lat, &groups), 0.0);
+        // All predictions tied: every pair earns half credit.
+        assert_eq!(pairwise_accuracy(&[7.0; 4], &lat, &groups), 0.5);
+        // No comparable pair at all: chance.
+        assert_eq!(pairwise_accuracy(&[1.0, 2.0], &[5.0, 5.0], &[0, 0]), 0.5);
+        // Cross-group pairs are never compared.
+        assert_eq!(
+            pairwise_accuracy(&[1.0, 9.0], &[1.0, 2.0], &[0, 1]),
+            0.5,
+            "only cross-group pairs exist, so none are comparable"
+        );
+    }
+
+    #[test]
+    fn recall_at_k_measures_top_set_overlap() {
+        let lat = [1.0, 2.0, 3.0, 4.0];
+        let groups = [0; 4];
+        // Perfect ordering: full recall.
+        assert_eq!(recall_at_k(&[1.0, 2.0, 3.0, 4.0], &lat, &groups, 2), 1.0);
+        // Reversed: predicted top-2 misses the true top-2 entirely.
+        assert_eq!(recall_at_k(&[4.0, 3.0, 2.0, 1.0], &lat, &groups, 2), 0.0);
+        // Half overlap.
+        assert_eq!(recall_at_k(&[1.0, 4.0, 2.0, 3.0], &lat, &groups, 2), 0.5);
+        // k larger than the group degenerates to full overlap.
+        assert_eq!(recall_at_k(&[9.0, 8.0, 7.0, 6.0], &lat, &groups, 10), 1.0);
+    }
+
+    #[test]
+    fn recall_averages_over_groups() {
+        let lat = [1.0, 2.0, 1.0, 2.0];
+        let groups = [0, 0, 1, 1];
+        // Group 0 ranked correctly, group 1 reversed, k=1.
+        let r = recall_at_k(&[1.0, 2.0, 5.0, 4.0], &lat, &groups, 1);
+        assert_eq!(r, 0.5);
+    }
+}

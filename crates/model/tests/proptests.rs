@@ -1,0 +1,120 @@
+//! Property tests of the gradient-boosted cost model: training is a pure
+//! function of its inputs (bit-identical retrains), and JSON persistence is
+//! the identity on both the model and its predictions.
+
+use atim_autotune::{CostEstimator, NUM_FEATURES};
+use atim_model::{GbdtModel, GbdtParams, Objective};
+use proptest::prelude::*;
+
+/// Derives a deterministic sample set from raw case inputs: feature values
+/// and latencies spread over several orders of magnitude, with repeated
+/// feature levels so histogram bins actually aggregate.
+fn samples_from(seed: u64, n: usize) -> Vec<([f64; NUM_FEATURES], f64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step: deterministic, dependency-free.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            let mut x = [0.0; NUM_FEATURES];
+            for slot in x.iter_mut() {
+                *slot = (next() % 17) as f64 * 0.25 - 2.0;
+            }
+            let y = (1.0 + (x[0] + 2.0).powi(2) + (x[3] * x[5]).abs())
+                * 10f64.powi((next() % 7) as i32 - 9);
+            (x, y)
+        })
+        .collect()
+}
+
+fn params_from(depth: usize, lr: f64, bins: usize, objective: Objective) -> GbdtParams {
+    GbdtParams {
+        max_depth: depth,
+        learning_rate: lr,
+        max_bins: bins,
+        objective,
+        ..GbdtParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same samples, same params, same round count ⇒ the retrained model
+    /// is bit-identical (serialized form and every prediction).
+    #[test]
+    fn retraining_is_bit_identical(
+        seed in 0u64..u64::MAX,
+        n in 8usize..80,
+        depth in 1usize..5,
+        lr in 0.02f64..0.5,
+        bins in 2usize..48,
+        rounds in 1usize..30,
+        pairwise in 0u8..2,
+    ) {
+        let objective = if pairwise == 1 { Objective::PairwiseRank } else { Objective::SquaredLog };
+        let samples = samples_from(seed, n);
+        let groups: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut a = GbdtModel::new(params_from(depth, lr, bins, objective));
+        let mut b = GbdtModel::new(params_from(depth, lr, bins, objective));
+        a.boost(&samples, Some(&groups), rounds);
+        b.boost(&samples, Some(&groups), rounds);
+        prop_assert_eq!(a.to_json_string(), b.to_json_string());
+        for (x, _) in &samples {
+            prop_assert_eq!(a.predict(x).to_bits(), b.predict(x).to_bits());
+        }
+    }
+
+    /// Save → load → predict is bit-exact for every trained model.
+    #[test]
+    fn persistence_round_trip_preserves_predictions(
+        seed in 0u64..u64::MAX,
+        n in 4usize..60,
+        depth in 1usize..5,
+        lr in 0.02f64..0.5,
+        bins in 2usize..48,
+        rounds in 1usize..25,
+    ) {
+        let samples = samples_from(seed, n);
+        let mut model = GbdtModel::new(params_from(depth, lr, bins, Objective::SquaredLog));
+        model.boost(&samples, None, rounds);
+        let text = model.to_json_string();
+        let back = GbdtModel::from_json_str(&text).expect("round trip decodes");
+        prop_assert_eq!(back.to_json_string(), text);
+        prop_assert_eq!(back.num_trees(), model.num_trees());
+        prop_assert_eq!(back.is_trained(), model.is_trained());
+        // Predictions must survive bit-for-bit, including on points the
+        // model never saw.
+        for probe in samples_from(seed ^ 0xDEAD_BEEF, 16) {
+            prop_assert_eq!(
+                model.predict(&probe.0).to_bits(),
+                back.predict(&probe.0).to_bits()
+            );
+        }
+    }
+
+    /// Online incremental fits (the search path) are themselves
+    /// deterministic: two sessions feeding the same growing sample stream
+    /// hold identical models after every round.
+    #[test]
+    fn incremental_fits_are_deterministic(
+        seed in 0u64..u64::MAX,
+        n in 12usize..48,
+        chunks in 2usize..6,
+    ) {
+        let samples = samples_from(seed, n);
+        let mut a = GbdtModel::default();
+        let mut b = GbdtModel::default();
+        for c in 1..=chunks {
+            let upto = n * c / chunks;
+            a.fit(&samples[..upto]);
+            b.fit(&samples[..upto]);
+            prop_assert_eq!(a.to_json_string(), b.to_json_string());
+        }
+    }
+}

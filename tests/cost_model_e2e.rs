@@ -1,0 +1,98 @@
+//! End-to-end contract of cost-estimator selection: `ATIM_COST_MODEL`
+//! validation at session start, and the GBDT estimator driving every paper
+//! workload through the real simulator with fixed-seed determinism.
+
+use atim_autotune::{CostModelKind, TuningError, COST_MODEL_ENV};
+use atim_core::prelude::*;
+
+/// All environment-variable interaction lives in this single test: tests in
+/// one binary share the process environment, so splitting it across
+/// parallel tests would race.
+#[test]
+fn cost_model_env_is_validated_at_session_start() {
+    // Unset: no override, ridge default.
+    std::env::remove_var(COST_MODEL_ENV);
+    assert_eq!(CostModelKind::from_env().unwrap(), None);
+    assert_eq!(Session::default().cost_model(), CostModelKind::Ridge);
+
+    // Valid values select the estimator (case/space tolerant).
+    for (raw, want) in [
+        ("ridge", CostModelKind::Ridge),
+        ("gbdt", CostModelKind::Gbdt),
+        (" GBDT ", CostModelKind::Gbdt),
+    ] {
+        std::env::set_var(COST_MODEL_ENV, raw);
+        assert_eq!(CostModelKind::from_env().unwrap(), Some(want));
+        assert_eq!(Session::default().cost_model(), want);
+    }
+
+    // An explicit builder choice wins over the environment.
+    std::env::set_var(COST_MODEL_ENV, "gbdt");
+    let session = Session::builder().cost_model(CostModelKind::Ridge).build();
+    assert_eq!(session.cost_model(), CostModelKind::Ridge);
+
+    // Invalid values fail loudly with the typed error, naming the variable
+    // and the accepted values — never a silent fallback.
+    std::env::set_var(COST_MODEL_ENV, "xgboost");
+    let err = CostModelKind::from_env().unwrap_err();
+    assert!(matches!(err, TuningError::InvalidCostModel { ref value } if value == "xgboost"));
+    let msg = err.to_string();
+    assert!(msg.contains(COST_MODEL_ENV), "{msg}");
+    assert!(msg.contains("ridge") && msg.contains("gbdt"), "{msg}");
+
+    // Session construction surfaces the same failure as a panic (the
+    // `ATIM_MEASURE_THREADS` fail-loudly precedent).
+    let panic = std::panic::catch_unwind(Session::default).unwrap_err();
+    let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(text.contains(COST_MODEL_ENV), "{text}");
+
+    std::env::remove_var(COST_MODEL_ENV);
+}
+
+/// The tentpole acceptance bar: with the GBDT estimator selected, every
+/// paper workload tunes end-to-end on the simulator, twice, to bit-identical
+/// fixed-seed results. Selection is explicit (`SessionBuilder::cost_model`,
+/// exactly what `ATIM_COST_MODEL=gbdt` resolves to) so this test cannot race
+/// with the env test above.
+#[test]
+fn gbdt_runs_every_paper_workload_deterministically() {
+    let grid: Vec<Workload> = vec![
+        Workload::new(WorkloadKind::Va, vec![32768]),
+        Workload::new(WorkloadKind::Red, vec![32768]),
+        Workload::new(WorkloadKind::Geva, vec![16384]),
+        Workload::new(WorkloadKind::Mtv, vec![128, 128]),
+        Workload::new(WorkloadKind::Gemv, vec![128, 128]),
+        Workload::new(WorkloadKind::Ttv, vec![8, 64, 64]),
+        Workload::new(WorkloadKind::Mmtv, vec![8, 64, 64]),
+    ];
+    let options = TuningOptions {
+        trials: 10,
+        population: 10,
+        measure_per_round: 5,
+        ..TuningOptions::default()
+    };
+    let session = Session::builder()
+        .hardware(UpmemConfig::small())
+        .cost_model(CostModelKind::Gbdt)
+        .build();
+    for workload in grid {
+        let def = workload.compute_def();
+        let a = session.tune(&def, &options).expect("gbdt tuning runs");
+        let b = session.tune(&def, &options).expect("gbdt tuning reruns");
+        assert!(a.best_latency_s().is_finite());
+        assert!(a.measured() > 0);
+        assert_eq!(
+            a.best_config(),
+            b.best_config(),
+            "{}: gbdt tuning must be fixed-seed deterministic",
+            def.name
+        );
+        assert_eq!(a.history(), b.history(), "{}: histories diverged", def.name);
+        assert_eq!(
+            a.best_latency_s().to_bits(),
+            b.best_latency_s().to_bits(),
+            "{}: latencies diverged",
+            def.name
+        );
+    }
+}
