@@ -54,6 +54,11 @@ pub struct MeasureJob {
     pub seed: u64,
     /// Execution mode; currently always [`EXEC_TIMING`].
     pub exec: String,
+    /// Retry metadata: how many workers this job has already been
+    /// dispatched to and lost (0 for a first dispatch).  A fleet stamps
+    /// this on every requeue so workers and logs can tell a retry from a
+    /// fresh job, and quarantine decisions survive the wire.
+    pub attempt: u32,
     /// The candidate: serialized as sketch + decision list, like every
     /// persisted trace.
     pub trace: Trace,
@@ -97,6 +102,7 @@ impl MeasureJob {
             generator: generator.into(),
             seed,
             exec: EXEC_TIMING.into(),
+            attempt: 0,
             trace,
         }
     }
@@ -116,6 +122,7 @@ impl JsonCodec for MeasureJob {
             // (the same convention as TuneLog and the schedule cache).
             ("seed".into(), Json::Str(self.seed.to_string())),
             ("exec".into(), Json::Str(self.exec.clone())),
+            ("attempt".into(), Json::Int(self.attempt as i64)),
             ("trace".into(), self.trace.to_json()),
         ])
     }
@@ -138,6 +145,13 @@ impl JsonCodec for MeasureJob {
             generator: json.get("generator")?.as_str()?.to_string(),
             seed,
             exec: json.get("exec")?.as_str()?.to_string(),
+            // Tolerant decode: frames from pre-retry-metadata senders
+            // simply carry attempt 0.
+            attempt: json
+                .get("attempt")
+                .and_then(|a| a.as_i64())
+                .unwrap_or(0)
+                .max(0) as u32,
             trace: Trace::from_json(json.get("trace")?)?,
         })
     }
@@ -224,6 +238,28 @@ mod tests {
         let decoded = MeasureJob::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded, original);
         assert_eq!(decoded.exec, EXEC_TIMING);
+    }
+
+    #[test]
+    fn retry_metadata_round_trips_and_defaults_to_zero() {
+        let mut retried = job();
+        retried.attempt = 2;
+        let text = retried.to_json().to_string();
+        let decoded = MeasureJob::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.attempt, 2);
+        assert_eq!(decoded, retried);
+
+        // A frame without the field (pre-retry-metadata sender) decodes
+        // as a first dispatch.
+        let legacy = match job().to_json() {
+            Json::Obj(fields) => {
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != "attempt").collect())
+            }
+            other => panic!("jobs serialize as objects, got {other:?}"),
+        };
+        let decoded = MeasureJob::from_json(&legacy).unwrap();
+        assert_eq!(decoded.attempt, 0);
+        assert_eq!(decoded, job());
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! * `atim-worker --listen HOST:PORT` — serve fleets that attach
 //!   ([`FleetBackend::attach`](atim_core::fleet::FleetBackend::attach)),
 //!   one connection at a time, until killed.
+//!
+//! During long measurements the worker emits heartbeat frames (at the
+//! cadence the fleet's configure frame requests) so a supervising fleet
+//! can tell "still measuring" from "silently hung".  For chaos testing,
+//! `ATIM_FLEET_FAULTS` (see [`FaultPlan`](atim_core::fleet::FaultPlan))
+//! makes the worker die, stall, tear a frame or corrupt its handshake on
+//! a deterministic schedule.
 
 use std::process::ExitCode;
 

@@ -1,0 +1,56 @@
+//! Deterministic, capped exponential backoff for reconnect loops.
+//!
+//! No jitter on purpose: fleet recovery must be reproducible, both for the
+//! bit-identical-to-sequential contract (recovery timing must never feed
+//! back into results) and so the fault-injection tests can pin the exact
+//! schedule.
+
+use std::time::Duration;
+
+/// The delay to sleep before reconnect attempt `attempt` (0-based).
+///
+/// Attempt 0 is immediate ([`Duration::ZERO`]): the first retry after a
+/// fault should not wait, because the most common fleet fault — a worker
+/// process replaced by a supervisor — is ready again instantly.  From
+/// attempt 1 the delay doubles from `base` (`base`, `2*base`, `4*base`, …)
+/// and saturates at `cap`.
+///
+/// The schedule is deterministic (a pure function of its arguments),
+/// monotone non-decreasing in `attempt`, and never exceeds `cap` — all
+/// three properties are pinned by property tests.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration) -> Duration {
+    if attempt == 0 {
+        return Duration::ZERO;
+    }
+    let factor = 1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX);
+    cap.min(base.saturating_mul(factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_immediate_then_doubles_to_the_cap() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(750);
+        assert_eq!(backoff_delay(0, base, cap), Duration::ZERO);
+        assert_eq!(backoff_delay(1, base, cap), Duration::from_millis(100));
+        assert_eq!(backoff_delay(2, base, cap), Duration::from_millis(200));
+        assert_eq!(backoff_delay(3, base, cap), Duration::from_millis(400));
+        assert_eq!(backoff_delay(4, base, cap), cap);
+        assert_eq!(backoff_delay(5, base, cap), cap);
+        assert_eq!(backoff_delay(u32::MAX, base, cap), cap);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let base = Duration::from_secs(u64::MAX / 2);
+        let cap = Duration::from_secs(u64::MAX);
+        // Saturates instead of panicking on shift/multiply overflow.
+        assert_eq!(
+            backoff_delay(200, base, cap),
+            cap.min(base.saturating_mul(u32::MAX))
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Typed fleet errors.
+//!
+//! PR 7's handshake and dispatch paths reported faults as bare `String`s,
+//! which made "this worker runs a different build" indistinguishable from
+//! "the socket died" at every call site.  [`FleetError`] names each failure
+//! class so supervisors can count skew separately from transport faults and
+//! tests can assert on the *kind* of fault, not a message substring.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use atim_wire::WireError;
+
+/// Why a fleet operation (handshake, dispatch, reconnect) failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A frame-layer fault: EOF, torn frame, oversized frame, undecodable
+    /// JSON, socket timeout or I/O error while talking to a worker.
+    Wire(WireError),
+    /// A socket-level fault outside the frame layer (dialing, configuring
+    /// timeouts, accepting a connection).
+    Io(io::Error),
+    /// The worker process could not be spawned or respawned.
+    Spawn(io::Error),
+    /// No worker dialed back within the connect deadline.
+    ConnectTimeout(Duration),
+    /// The worker answered the handshake with something that is not a
+    /// well-formed `ready`/`error` frame.
+    Handshake(String),
+    /// The worker speaks a different fleet protocol version.  Counted as
+    /// version skew; the worker is rejected before it measures anything.
+    ProtocolSkew {
+        /// The protocol version this fleet speaks.
+        expected: u64,
+        /// The version the worker announced.
+        got: u64,
+    },
+    /// The worker runs a different `atim` build.  Counted as version skew;
+    /// mixing builds could mix measurement semantics, so it is rejected.
+    BuildSkew {
+        /// The build version of this fleet.
+        expected: String,
+        /// The build the worker announced.
+        got: String,
+    },
+    /// The worker rebuilt a backend whose fingerprint disagrees with the
+    /// fleet's in-process backend — a different machine configuration.
+    /// Counted as fingerprint skew and rejected.
+    FingerprintSkew {
+        /// The fingerprint of the fleet's in-process backend.
+        expected: String,
+        /// The fingerprint the worker echoed.
+        got: String,
+    },
+    /// The worker reported an error of its own (e.g. it cannot reproduce
+    /// the configure spec).
+    Worker(String),
+    /// A dispatched job blew its end-to-end deadline.
+    JobTimeout(Duration),
+    /// The worker stopped heartbeating mid-measurement: no frame arrived
+    /// within the heartbeat window, long before the job deadline — the
+    /// signature of a silent hang.
+    HeartbeatLost(Duration),
+    /// The worker answered with a report for a different job id.
+    IdMismatch {
+        /// The job id that was dispatched.
+        expected: u64,
+        /// The id the report carried.
+        got: u64,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Wire(e) => write!(f, "wire fault: {e}"),
+            FleetError::Io(e) => write!(f, "socket fault: {e}"),
+            FleetError::Spawn(e) => write!(f, "spawning worker process: {e}"),
+            FleetError::ConnectTimeout(window) => {
+                write!(f, "no worker connected within {window:?}")
+            }
+            FleetError::Handshake(detail) => write!(f, "malformed handshake: {detail}"),
+            FleetError::ProtocolSkew { expected, got } => write!(
+                f,
+                "protocol skew: worker speaks fleet protocol v{got}, this fleet v{expected}"
+            ),
+            FleetError::BuildSkew { expected, got } => write!(
+                f,
+                "build skew: worker runs atim {got}, this fleet {expected} \
+                 — refusing to mix measurements from different builds"
+            ),
+            FleetError::FingerprintSkew { expected, got } => write!(
+                f,
+                "fingerprint skew: worker backend {got} does not match {expected} \
+                 — refusing to mix measurements from different machines"
+            ),
+            FleetError::Worker(message) => write!(f, "worker error: {message}"),
+            FleetError::JobTimeout(deadline) => {
+                write!(f, "job deadline {deadline:?} expired")
+            }
+            FleetError::HeartbeatLost(window) => write!(
+                f,
+                "no heartbeat within {window:?} — worker is silently hung"
+            ),
+            FleetError::IdMismatch { expected, got } => {
+                write!(f, "report id {got} answers a different job than {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Wire(e) => Some(e),
+            FleetError::Io(e) | FleetError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for FleetError {
+    fn from(e: WireError) -> Self {
+        FleetError::Wire(e)
+    }
+}
+
+impl FleetError {
+    /// Whether this fault is version or fingerprint skew (as opposed to a
+    /// transport/protocol fault).
+    pub fn is_skew(&self) -> bool {
+        matches!(
+            self,
+            FleetError::ProtocolSkew { .. }
+                | FleetError::BuildSkew { .. }
+                | FleetError::FingerprintSkew { .. }
+        )
+    }
+}
+
+/// Why a dispatched job came back without an outcome (fleet-internal).
+pub(crate) enum DispatchError {
+    /// The worker is gone or untrustworthy: re-queue the job, mark the
+    /// worker suspect.
+    Dead(FleetError),
+    /// The worker refused this job (it cannot reproduce it): measure it
+    /// in-process, keep the worker.
+    Refused(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_classification_separates_trust_faults_from_transport_faults() {
+        assert!(FleetError::FingerprintSkew {
+            expected: "a".into(),
+            got: "b".into()
+        }
+        .is_skew());
+        assert!(FleetError::BuildSkew {
+            expected: "1".into(),
+            got: "2".into()
+        }
+        .is_skew());
+        assert!(FleetError::ProtocolSkew {
+            expected: 2,
+            got: 3
+        }
+        .is_skew());
+        assert!(!FleetError::Wire(WireError::Closed).is_skew());
+        assert!(!FleetError::JobTimeout(Duration::from_secs(1)).is_skew());
+        assert!(!FleetError::HeartbeatLost(Duration::from_secs(1)).is_skew());
+    }
+
+    #[test]
+    fn messages_name_both_sides_of_a_skew() {
+        let text = FleetError::BuildSkew {
+            expected: "0.9.1".into(),
+            got: "0.9.0".into(),
+        }
+        .to_string();
+        assert!(text.contains("0.9.1") && text.contains("0.9.0"), "{text}");
+    }
+}

@@ -1,0 +1,521 @@
+//! Per-worker lifecycle supervision: typed health states, reconnect with
+//! re-handshake, heartbeat-based hang detection, and the dispatch loop
+//! that feeds jobs to one worker.
+//!
+//! PR 7 retired a worker on its first fault.  A supervisor instead walks
+//! the worker through [`WorkerState`]: a fault marks it `Suspect`, the
+//! next dispatch opportunity runs a bounded reconnect cycle
+//! (`Reconnecting`, capped deterministic exponential backoff, full
+//! re-handshake with fingerprint/version verification), and only an
+//! exhausted cycle retires it for good.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use atim_autotune::{
+    Cancellation, Json, JsonCodec, JsonError, MeasureJob, MeasureOutcome, MeasureReport,
+};
+use atim_wire::{read_frame, write_frame, WireError};
+
+use super::backoff::backoff_delay;
+use super::error::{DispatchError, FleetError};
+use super::{build_version, FleetBackend, PROTOCOL_VERSION};
+
+/// A worker's position in its supervised lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Connected, handshake verified, trusted with jobs.
+    Healthy,
+    /// A fault was observed (EOF, torn frame, timeout, lost heartbeat,
+    /// failed ping); the worker gets a reconnect cycle before its next job.
+    Suspect,
+    /// A reconnect cycle is in progress.
+    Reconnecting,
+    /// Reconnection was exhausted (or disabled); the worker is permanently
+    /// out of the pool.
+    Retired,
+}
+
+/// How a supervisor re-establishes its worker: respawn the child process
+/// (spawned fleets) or redial a fixed address (attached fleets).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReconnectTarget {
+    /// Respawn via the fleet's stored worker command and listener.
+    Spawn,
+    /// Redial `atim-worker --listen` at this address.
+    Attach(SocketAddr),
+}
+
+/// Owns one worker's lifecycle: its connection, its health state, and the
+/// way back to a working connection when it faults.
+pub(crate) struct WorkerSupervisor {
+    pub(crate) index: usize,
+    pub(crate) state: WorkerState,
+    pub(crate) conn: Option<TcpStream>,
+    pub(crate) target: ReconnectTarget,
+}
+
+impl WorkerSupervisor {
+    /// A supervisor holding a verified, live connection.
+    pub(crate) fn healthy(index: usize, target: ReconnectTarget, stream: TcpStream) -> Self {
+        WorkerSupervisor {
+            index,
+            state: WorkerState::Healthy,
+            conn: Some(stream),
+            target,
+        }
+    }
+
+    /// A supervisor whose worker is not (yet) connected; it will run a
+    /// reconnect cycle before its first dispatch.
+    pub(crate) fn suspect(index: usize, target: ReconnectTarget) -> Self {
+        WorkerSupervisor {
+            index,
+            state: WorkerState::Suspect,
+            conn: None,
+            target,
+        }
+    }
+}
+
+/// Shared state of one `measure_jobs` round, seen by every supervisor.
+pub(crate) struct RoundCtx<'a> {
+    /// The full job batch (slot-indexed).
+    pub jobs: &'a [MeasureJob],
+    /// Queue of `(slot, attempt)` pairs still to dispatch.  `attempt`
+    /// counts how many workers this job has already killed.
+    pub pending: &'a Mutex<VecDeque<(usize, u32)>>,
+    /// Slot-indexed outcomes.
+    pub results: &'a Mutex<Vec<Option<MeasureOutcome>>>,
+    /// Slots workers refused (measured in-process afterwards).
+    pub refused: &'a Mutex<Vec<usize>>,
+    /// Slots quarantined after killing too many workers (measured
+    /// in-process afterwards, with bounded retries).
+    pub quarantined: &'a Mutex<Vec<usize>>,
+    /// Cooperative cancellation for the whole round.
+    pub cancel: &'a Cancellation,
+}
+
+/// Outcome of [`FleetBackend::ensure_connected`].
+enum Ensure {
+    /// The existing connection is usable.
+    Ready,
+    /// A fresh connection was just established and re-handshaken.
+    Reconnected,
+    /// No connection could be established; the worker is retired (or the
+    /// round was cancelled mid-cycle).
+    Failed,
+}
+
+impl FleetBackend {
+    /// Sends the versioned configure frame and verifies the worker's
+    /// protocol version, build version and backend fingerprint.  Skew is
+    /// counted in the fleet stats and reported as a typed error — a
+    /// skewed worker is rejected before it measures anything.
+    pub(crate) fn handshake(&self, mut stream: TcpStream) -> Result<TcpStream, FleetError> {
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.options.connect_timeout))
+            .map_err(FleetError::Io)?;
+        stream
+            .set_write_timeout(Some(self.options.connect_timeout))
+            .map_err(FleetError::Io)?;
+        let configure = Json::Obj(vec![
+            ("type".into(), Json::Str("configure".into())),
+            ("proto".into(), Json::Int(PROTOCOL_VERSION as i64)),
+            ("build".into(), Json::Str(build_version().into())),
+            (
+                "heartbeat_ms".into(),
+                Json::Int(self.options.heartbeat_interval.as_millis() as i64),
+            ),
+            ("generator".into(), Json::Str(self.generator.clone())),
+            ("spec".into(), self.spec.to_json()),
+        ]);
+        write_frame(&mut stream, &configure)?;
+        let reply = read_frame(&mut stream)?;
+        match reply.get("type").and_then(|t| t.as_str()) {
+            Ok("ready") => {
+                let proto = reply
+                    .get("proto")
+                    .and_then(|p| p.as_i64())
+                    .unwrap_or(1) // pre-versioning workers never announced one
+                    .max(0) as u64;
+                if proto != PROTOCOL_VERSION {
+                    self.counters.version_skews.fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::ProtocolSkew {
+                        expected: PROTOCOL_VERSION,
+                        got: proto,
+                    });
+                }
+                let build = reply
+                    .get("build")
+                    .and_then(|b| b.as_str())
+                    .map_err(|e| FleetError::Handshake(format!("ready frame: {e}")))?;
+                if build != build_version() {
+                    self.counters.version_skews.fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::BuildSkew {
+                        expected: build_version().to_string(),
+                        got: build.to_string(),
+                    });
+                }
+                let fingerprint = reply
+                    .get("fingerprint")
+                    .and_then(|f| f.as_str())
+                    .map_err(|e| FleetError::Handshake(format!("ready frame: {e}")))?;
+                let expected = self.inner.fingerprint();
+                if fingerprint != expected {
+                    self.counters
+                        .fingerprint_skews
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::FingerprintSkew {
+                        expected,
+                        got: fingerprint.to_string(),
+                    });
+                }
+                Ok(stream)
+            }
+            Ok("error") => Err(FleetError::Worker(
+                reply
+                    .get("message")
+                    .and_then(|m| m.as_str())
+                    .unwrap_or("unspecified worker error")
+                    .to_string(),
+            )),
+            _ => Err(FleetError::Handshake(format!(
+                "unexpected handshake reply: {reply:?}"
+            ))),
+        }
+    }
+
+    /// Records an observed worker death: drops the connection, marks the
+    /// supervisor suspect, decrements the alive count.
+    fn note_death(&self, sup: &mut WorkerSupervisor) {
+        if sup.conn.take().is_some() {
+            self.counters.alive.fetch_sub(1, Ordering::Relaxed);
+        }
+        sup.state = WorkerState::Suspect;
+    }
+
+    /// Permanently retires a worker.
+    fn retire(&self, sup: &mut WorkerSupervisor) {
+        if sup.conn.take().is_some() {
+            self.counters.alive.fetch_sub(1, Ordering::Relaxed);
+        }
+        if sup.state != WorkerState::Retired {
+            sup.state = WorkerState::Retired;
+            self.counters.retired.fetch_add(1, Ordering::Relaxed);
+            eprintln!("atim-fleet: worker {} retired", sup.index);
+        }
+    }
+
+    /// Re-establishes a worker connection (respawn or redial) and re-runs
+    /// the full configure handshake.
+    fn reestablish(&self, sup: &WorkerSupervisor) -> Result<TcpStream, FleetError> {
+        match sup.target {
+            ReconnectTarget::Attach(addr) => {
+                let stream = TcpStream::connect_timeout(&addr, self.options.connect_timeout)
+                    .map_err(FleetError::Io)?;
+                self.handshake(stream)
+            }
+            ReconnectTarget::Spawn => {
+                // Serialize respawns: the shared listener cannot tell two
+                // freshly spawned workers apart, so only one supervisor
+                // spawns-and-accepts at a time (the backoff sleeps happen
+                // outside this lock).
+                let _guard = self.respawn_lock.lock().unwrap();
+                if let Some(mut old) = self.children.lock().unwrap()[sup.index].take() {
+                    // The old process may be stalled rather than dead.
+                    let _ = old.kill();
+                    let _ = old.wait();
+                }
+                let child = self.spawn_child().map_err(FleetError::Spawn)?;
+                self.children.lock().unwrap()[sup.index] = Some(child);
+                let deadline = Instant::now() + self.options.connect_timeout;
+                let stream = self.accept_one(deadline)?;
+                match self.handshake(stream) {
+                    Ok(stream) => Ok(stream),
+                    Err(e) => {
+                        // A worker that failed its handshake must not linger
+                        // and confuse the next accept.
+                        if let Some(mut child) = self.children.lock().unwrap()[sup.index].take() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Makes sure the supervisor holds a verified connection, running a
+    /// bounded reconnect cycle (capped deterministic exponential backoff,
+    /// full re-handshake) when it does not.  An exhausted cycle retires
+    /// the worker.
+    fn ensure_connected(&self, sup: &mut WorkerSupervisor, cancel: &Cancellation) -> Ensure {
+        match sup.state {
+            WorkerState::Healthy if sup.conn.is_some() => return Ensure::Ready,
+            WorkerState::Retired => return Ensure::Failed,
+            _ => {}
+        }
+        if self.options.reconnect_attempts == 0 {
+            self.retire(sup);
+            return Ensure::Failed;
+        }
+        sup.state = WorkerState::Reconnecting;
+        let total = self.options.reconnect_attempts;
+        for attempt in 0..total {
+            let delay = backoff_delay(
+                attempt,
+                self.options.reconnect_backoff,
+                self.options.reconnect_backoff_cap,
+            );
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            if cancel.cancelled() {
+                sup.state = WorkerState::Suspect;
+                return Ensure::Failed;
+            }
+            match self.reestablish(sup) {
+                Ok(stream) => {
+                    sup.conn = Some(stream);
+                    sup.state = WorkerState::Healthy;
+                    self.counters.alive.fetch_add(1, Ordering::Relaxed);
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "atim-fleet: worker {} reconnected and re-handshook \
+                         (attempt {}/{total})",
+                        sup.index,
+                        attempt + 1
+                    );
+                    return Ensure::Reconnected;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "atim-fleet: worker {} reconnect attempt {}/{total} failed: {e}",
+                        sup.index,
+                        attempt + 1
+                    );
+                }
+            }
+        }
+        self.retire(sup);
+        Ensure::Failed
+    }
+
+    /// Verifies a quiet pre-existing connection with a ping/pong exchange
+    /// — the cheap way to notice a worker that died *between* rounds
+    /// before trusting it with a job.
+    fn ping(&self, sup: &mut WorkerSupervisor) -> Result<(), FleetError> {
+        let stream = sup.conn.as_mut().expect("ping requires a connection");
+        let window = self
+            .options
+            .heartbeat_window
+            .max(self.options.heartbeat_interval);
+        stream
+            .set_write_timeout(Some(window))
+            .map_err(FleetError::Io)?;
+        stream
+            .set_read_timeout(Some(window))
+            .map_err(FleetError::Io)?;
+        let nonce = self.ping_seq.fetch_add(1, Ordering::Relaxed) as i64;
+        let ping = Json::Obj(vec![
+            ("type".into(), Json::Str("ping".into())),
+            ("nonce".into(), Json::Int(nonce)),
+        ]);
+        write_frame(stream, &ping)?;
+        let reply = read_frame(stream)?;
+        match reply.get("type").and_then(|t| t.as_str()) {
+            Ok("pong") => {
+                let got = reply.get("nonce").and_then(|n| n.as_i64()).unwrap_or(-1);
+                if got == nonce {
+                    Ok(())
+                } else {
+                    Err(FleetError::Handshake(format!(
+                        "pong nonce {got} does not answer ping {nonce}"
+                    )))
+                }
+            }
+            _ => Err(FleetError::Handshake(format!(
+                "unexpected ping reply: {reply:?}"
+            ))),
+        }
+    }
+
+    /// Sends one job and waits for its report, treating the heartbeat
+    /// window and the job deadline as *separate* failure conditions: a
+    /// worker that stops heartbeating is declared hung long before a
+    /// legitimately slow measurement would blow the job deadline.
+    fn dispatch(
+        &self,
+        sup: &mut WorkerSupervisor,
+        job: &MeasureJob,
+        attempt: u32,
+    ) -> Result<MeasureOutcome, DispatchError> {
+        let stream = sup.conn.as_mut().expect("dispatch requires a connection");
+        let dead = DispatchError::Dead;
+        stream
+            .set_write_timeout(Some(self.options.job_timeout))
+            .map_err(|e| dead(FleetError::Io(e)))?;
+        let mut job = job.clone();
+        job.attempt = attempt;
+        let frame = Json::Obj(vec![
+            ("type".into(), Json::Str("job".into())),
+            ("job".into(), job.to_json()),
+        ]);
+        write_frame(stream, &frame).map_err(|e| dead(e.into()))?;
+        let heartbeats = !self.options.heartbeat_interval.is_zero();
+        let window = if heartbeats {
+            self.options
+                .heartbeat_window
+                .max(self.options.heartbeat_interval)
+        } else {
+            self.options.job_timeout
+        };
+        let start = Instant::now();
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= self.options.job_timeout {
+                return Err(dead(FleetError::JobTimeout(self.options.job_timeout)));
+            }
+            let read_window = window.min(self.options.job_timeout - elapsed);
+            stream
+                .set_read_timeout(Some(read_window))
+                .map_err(|e| dead(FleetError::Io(e)))?;
+            let reply = match read_frame(stream) {
+                Ok(frame) => frame,
+                Err(WireError::TimedOut) => {
+                    let e = if start.elapsed() >= self.options.job_timeout || !heartbeats {
+                        FleetError::JobTimeout(self.options.job_timeout)
+                    } else {
+                        FleetError::HeartbeatLost(window)
+                    };
+                    return Err(dead(e));
+                }
+                Err(e) => return Err(dead(e.into())),
+            };
+            match reply.get("type").and_then(|t| t.as_str()) {
+                Ok("heartbeat") => continue,
+                Ok("report") => {
+                    let report = reply
+                        .get("report")
+                        .and_then(MeasureReport::from_json)
+                        .map_err(|e| dead(WireError::Parse(e).into()))?;
+                    if report.id != job.id {
+                        return Err(dead(FleetError::IdMismatch {
+                            expected: job.id,
+                            got: report.id,
+                        }));
+                    }
+                    return Ok(report.outcome);
+                }
+                Ok("refused") => {
+                    return Err(DispatchError::Refused(
+                        reply
+                            .get("message")
+                            .and_then(|m| m.as_str())
+                            .unwrap_or("unspecified refusal")
+                            .to_string(),
+                    ))
+                }
+                _ => {
+                    return Err(dead(FleetError::Wire(WireError::Parse(JsonError::new(
+                        format!("unexpected worker reply: {reply:?}"),
+                    )))))
+                }
+            }
+        }
+    }
+
+    /// Runs one supervised worker's dispatch loop over the shared queue,
+    /// healing the worker (reconnect + re-handshake) whenever it faults,
+    /// and quarantining jobs that have killed too many workers.
+    pub(crate) fn supervisor_round(&self, sup: &mut WorkerSupervisor, ctx: &RoundCtx<'_>) {
+        // Ping an idle pre-existing connection once per round; a fresh
+        // handshake is already proof of life.
+        let mut needs_ping =
+            !self.options.heartbeat_interval.is_zero() && matches!(sup.state, WorkerState::Healthy);
+        loop {
+            if ctx.cancel.cancelled() {
+                return;
+            }
+            let popped = ctx.pending.lock().unwrap().pop_front();
+            let Some((index, attempt)) = popped else {
+                return;
+            };
+            // Establish (and when asked, verify) the connection before
+            // trusting it with the popped job.
+            loop {
+                match self.ensure_connected(sup, ctx.cancel) {
+                    Ensure::Failed => {
+                        ctx.pending.lock().unwrap().push_front((index, attempt));
+                        return;
+                    }
+                    Ensure::Reconnected => {
+                        needs_ping = false;
+                        break;
+                    }
+                    Ensure::Ready => {
+                        if !needs_ping {
+                            break;
+                        }
+                        needs_ping = false;
+                        match self.ping(sup) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                eprintln!(
+                                    "atim-fleet: worker {} failed its round ping ({e}); \
+                                     reconnecting",
+                                    sup.index
+                                );
+                                self.note_death(sup);
+                            }
+                        }
+                    }
+                }
+            }
+            self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+            let outcome = self.dispatch(sup, &ctx.jobs[index], attempt);
+            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(outcome) => {
+                    ctx.results.lock().unwrap()[index] = Some(outcome);
+                }
+                Err(DispatchError::Refused(message)) => {
+                    eprintln!(
+                        "atim-fleet: worker {} refused job {} ({message}); \
+                         measuring in-process",
+                        sup.index, ctx.jobs[index].id
+                    );
+                    ctx.refused.lock().unwrap().push(index);
+                }
+                Err(DispatchError::Dead(e)) => {
+                    eprintln!(
+                        "atim-fleet: worker {} died ({e}) on job {}",
+                        sup.index, ctx.jobs[index].id
+                    );
+                    self.note_death(sup);
+                    let deaths = attempt + 1;
+                    if deaths >= self.options.poison_threshold.max(1) {
+                        eprintln!(
+                            "atim-fleet: job {} has killed {deaths} workers; \
+                             quarantining it for in-process measurement",
+                            ctx.jobs[index].id
+                        );
+                        ctx.quarantined.lock().unwrap().push(index);
+                        self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        ctx.pending.lock().unwrap().push_front((index, deaths));
+                        self.counters.requeued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Loop on: the next iteration heals this worker (or
+                    // retires it and hands its queue to the survivors).
+                }
+            }
+        }
+    }
+}

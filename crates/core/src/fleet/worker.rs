@@ -1,0 +1,334 @@
+//! The worker side of the fleet protocol: configure handshake, the
+//! job/report loop, heartbeat emission during measurement, and the
+//! fault-injection hooks driven by [`FaultPlan`](super::FaultPlan).
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::Duration;
+
+use atim_autotune::{
+    Json, JsonCodec, MeasureJob, MeasureOutcome, MeasureReport, SpaceGenerator,
+    UpmemSketchGenerator, EXEC_TIMING,
+};
+use atim_wire::{read_frame, write_frame, WireError};
+use atim_workloads::{Workload, WorkloadKind};
+
+use super::faults::{self, FaultAction, FaultPlan};
+use super::spec::BackendSpec;
+use super::{build_version, PROTOCOL_VERSION, WORKER_DELAY_ENV};
+use crate::backend::Backend;
+
+/// Runs the worker side of the fleet protocol over one connection:
+/// configure handshake (protocol + build version + backend fingerprint),
+/// then a job/report loop — with heartbeat frames during long
+/// measurements and ping/pong liveness replies — until the fleet hangs
+/// up.
+///
+/// # Errors
+/// Returns a message for protocol violations, unreproducible configure
+/// requests, and an invalid `ATIM_FLEET_FAULTS` plan; a clean disconnect
+/// (EOF between frames or an explicit shutdown frame) is `Ok`.
+pub fn run_worker(stream: TcpStream) -> Result<(), String> {
+    let plan = faults::active_plan()?;
+    serve_connection(stream, plan)
+}
+
+fn serve_connection(mut stream: TcpStream, plan: &FaultPlan) -> Result<(), String> {
+    stream.set_nodelay(true).ok();
+    let configure = match read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(WireError::Closed) => return Ok(()),
+        Err(e) => return Err(format!("reading configure frame: {e}")),
+    };
+    let refuse = |stream: &mut TcpStream, message: String| -> Result<(), String> {
+        let frame = Json::Obj(vec![
+            ("type".into(), Json::Str("error".into())),
+            ("message".into(), Json::Str(message.clone())),
+        ]);
+        let _ = write_frame(stream, &frame);
+        Err(message)
+    };
+    if configure.get("type").and_then(|t| t.as_str()).ok() != Some("configure") {
+        return refuse(
+            &mut stream,
+            format!("expected a configure frame, got {configure:?}"),
+        );
+    }
+    let proto = configure
+        .get("proto")
+        .and_then(|p| p.as_i64())
+        .unwrap_or(1) // pre-versioning fleets never announced one
+        .max(0) as u64;
+    if proto != PROTOCOL_VERSION {
+        return refuse(
+            &mut stream,
+            format!("fleet speaks protocol v{proto}, this worker v{PROTOCOL_VERSION}"),
+        );
+    }
+    let generator_id = match configure.get("generator").and_then(|g| g.as_str()) {
+        Ok(id) => id.to_string(),
+        Err(e) => return refuse(&mut stream, format!("configure frame: {e}")),
+    };
+    if generator_id != SpaceGenerator::name(&UpmemSketchGenerator) {
+        return refuse(
+            &mut stream,
+            format!("unknown space generator {generator_id:?} (this worker knows \"upmem\")"),
+        );
+    }
+    let generator = UpmemSketchGenerator;
+    let spec = match configure.get("spec").and_then(BackendSpec::from_json) {
+        Ok(spec) => spec,
+        Err(e) => return refuse(&mut stream, format!("configure spec: {e}")),
+    };
+    let heartbeat_ms = configure
+        .get("heartbeat_ms")
+        .and_then(|h| h.as_i64())
+        .unwrap_or(0)
+        .max(0) as u64;
+    let backend = spec.build();
+
+    // Fault injection: the first K handshakes of this process may echo a
+    // corrupted identity, exercising the fleet's skew counters and its
+    // reconnect-to-heal path (the next handshake is clean again).
+    let nth = faults::next_handshake();
+    let mut fingerprint = backend.fingerprint();
+    if plan.skews_fingerprint(nth) {
+        fingerprint.push_str("+skewed");
+    }
+    let build = if plan.skews_build(nth) {
+        "0.0.0-skewed".to_string()
+    } else {
+        build_version().to_string()
+    };
+    let proto_echo = if plan.skews_proto(nth) {
+        PROTOCOL_VERSION + 1
+    } else {
+        PROTOCOL_VERSION
+    };
+    let ready = Json::Obj(vec![
+        ("type".into(), Json::Str("ready".into())),
+        ("proto".into(), Json::Int(proto_echo as i64)),
+        ("build".into(), Json::Str(build)),
+        ("fingerprint".into(), Json::Str(fingerprint)),
+    ]);
+    write_frame(&mut stream, &ready).map_err(|e| format!("sending ready frame: {e}"))?;
+
+    let delay = std::env::var(WORKER_DELAY_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(format!("reading job frame: {e}")),
+        };
+        match frame.get("type").and_then(|t| t.as_str()) {
+            Ok("shutdown") => return Ok(()),
+            Ok("ping") => {
+                let nonce = frame.get("nonce").and_then(|n| n.as_i64()).unwrap_or(0);
+                let pong = Json::Obj(vec![
+                    ("type".into(), Json::Str("pong".into())),
+                    ("nonce".into(), Json::Int(nonce)),
+                ]);
+                write_frame(&mut stream, &pong).map_err(|e| format!("sending pong frame: {e}"))?;
+                continue;
+            }
+            Ok("job") => {}
+            _ => return Err(format!("unexpected fleet frame: {frame:?}")),
+        }
+        let job = match frame.get("job").and_then(MeasureJob::from_json) {
+            Ok(job) => job,
+            Err(e) => return Err(format!("undecodable job frame: {e}")),
+        };
+        let nth_job = faults::next_job();
+        match plan.job_fault(nth_job, job.id) {
+            Some(FaultAction::Die) => {
+                eprintln!(
+                    "atim-worker: fault injection: dying on job {} (job #{nth_job} of this process)",
+                    job.id
+                );
+                std::process::exit(3);
+            }
+            Some(FaultAction::Stall) => {
+                eprintln!(
+                    "atim-worker: fault injection: stalling silently on job {} (job #{nth_job})",
+                    job.id
+                );
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+            Some(FaultAction::TornFrame) => {
+                eprintln!(
+                    "atim-worker: fault injection: writing a torn frame for job {} (job #{nth_job})",
+                    job.id
+                );
+                let _ = write_torn_frame(&mut stream);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err("fault injection: torn frame".into());
+            }
+            None => {}
+        }
+        let reply = match measure_with_heartbeats(
+            &mut stream,
+            &job,
+            backend.as_ref(),
+            &generator,
+            delay,
+            heartbeat_ms,
+        ) {
+            Ok(outcome) => Json::Obj(vec![
+                ("type".into(), Json::Str("report".into())),
+                (
+                    "report".into(),
+                    MeasureReport::new(job.id, outcome).to_json(),
+                ),
+            ]),
+            Err(message) => Json::Obj(vec![
+                ("type".into(), Json::Str("refused".into())),
+                ("id".into(), Json::Int(job.id as i64)),
+                ("message".into(), Json::Str(message)),
+            ]),
+        };
+        write_frame(&mut stream, &reply).map_err(|e| format!("sending report frame: {e}"))?;
+    }
+}
+
+/// Writes a length header that promises far more bytes than follow, then
+/// stops — the canonical torn frame.  The fleet's next read sees
+/// [`WireError::Truncated`] (or a timeout) and starts the recovery path.
+fn write_torn_frame(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(&1024u32.to_be_bytes())?;
+    stream.write_all(b"{\"type\"")?;
+    stream.flush()
+}
+
+/// Measures one job while emitting `heartbeat` frames every
+/// `heartbeat_ms` milliseconds of silence, so the fleet can tell "still
+/// measuring" from "silently hung".  The measurement runs on a scoped
+/// thread; only this thread touches the stream.
+fn measure_with_heartbeats(
+    stream: &mut TcpStream,
+    job: &MeasureJob,
+    backend: &dyn Backend,
+    generator: &dyn SpaceGenerator,
+    delay: Option<Duration>,
+    heartbeat_ms: u64,
+) -> Result<MeasureOutcome, String> {
+    if heartbeat_ms == 0 {
+        return worker_measure(job, backend, generator, delay);
+    }
+    let interval = Duration::from_millis(heartbeat_ms);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        scope.spawn(move || {
+            let _ = tx.send(worker_measure(job, backend, generator, delay));
+        });
+        let mut mute = false;
+        loop {
+            match rx.recv_timeout(interval) {
+                Ok(result) => return result,
+                Err(RecvTimeoutError::Timeout) => {
+                    if mute {
+                        continue;
+                    }
+                    let beat = Json::Obj(vec![
+                        ("type".into(), Json::Str("heartbeat".into())),
+                        ("id".into(), Json::Int(job.id as i64)),
+                    ]);
+                    if write_frame(stream, &beat).is_err() {
+                        // The fleet is gone; let the measurement finish so
+                        // the scoped thread can join, the report write will
+                        // surface the dead socket.
+                        mute = true;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err("measurement thread died before reporting".into())
+                }
+            }
+        }
+    })
+}
+
+/// Measures one job on the worker's rebuilt backend, or explains why it
+/// cannot be reproduced here (the fleet then measures it in-process).
+fn worker_measure(
+    job: &MeasureJob,
+    backend: &dyn Backend,
+    generator: &dyn SpaceGenerator,
+    delay: Option<Duration>,
+) -> Result<MeasureOutcome, String> {
+    if job.exec != EXEC_TIMING {
+        return Err(format!("exec mode {:?} is not supported", job.exec));
+    }
+    let def = WorkloadKind::parse(&job.workload)
+        .map(|kind| Workload::new(kind, job.shape.clone()))
+        .and_then(|w| w.try_compute_def())
+        .ok_or_else(|| {
+            format!(
+                "workload {}{:?} does not resolve to a computation here",
+                job.workload, job.shape
+            )
+        })?;
+    let trace = generator
+        .materialize(&job.trace, &def, backend.hardware())
+        .map_err(|e| format!("trace does not materialize: {e}"))?;
+    if let Some(delay) = delay {
+        std::thread::sleep(delay);
+    }
+    Ok(MeasureOutcome::from_result(backend.measure(&trace, &def)))
+}
+
+/// Dials into a fleet at `addr` and serves jobs until it hangs up — the
+/// `atim-worker --connect` entry point.
+///
+/// # Errors
+/// Returns a message for connection failures and protocol violations.
+pub fn worker_connect(addr: &str) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("connecting to fleet at {addr}: {e}"))?;
+    run_worker(stream)
+}
+
+/// Listens on `addr` and serves fleets one connection at a time — the
+/// `atim-worker --listen` entry point (for
+/// [`FleetBackend::attach`](super::FleetBackend::attach)).  Each
+/// connection re-configures the worker, so one process can serve fleets
+/// with different specs sequentially.
+///
+/// Binding retries `AddrInUse` briefly: a worker restarted on the port of
+/// a just-killed predecessor (the supervised-restart scenario) should win
+/// the race against the old socket draining, not crash-loop.
+///
+/// # Errors
+/// Returns a message when the address cannot be bound.
+pub fn worker_listen(addr: &str) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let listener = loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => break listener,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::AddrInUse
+                    && std::time::Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("binding {addr}: {e}")),
+        }
+    };
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                if let Err(e) = run_worker(stream) {
+                    eprintln!("atim-worker: connection ended with error: {e}");
+                }
+            }
+            Err(e) => eprintln!("atim-worker: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}

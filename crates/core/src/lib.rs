@@ -50,7 +50,10 @@ pub use backend::{AnalyticBackend, Backend, SimBackend};
 pub use compiler::{
     compile_config, compile_schedule, compile_trace, CompileOptions, CompiledModule,
 };
-pub use fleet::{BackendSpec, FleetBackend, FleetOptions, FleetStats};
+pub use fleet::{
+    backoff_delay, BackendSpec, FaultPlan, FleetBackend, FleetError, FleetOptions, FleetStats,
+    WorkerState,
+};
 pub use measure::{default_measure_threads, BackendMeasurer};
 pub use runtime::{ExecutedRun, Runtime};
 pub use session::{Session, SessionBuilder, SessionError};

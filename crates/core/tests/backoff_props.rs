@@ -1,0 +1,72 @@
+//! Property tests of the fleet's reconnect backoff schedule: for any
+//! (base, cap) policy the delays are deterministic, never exceed the cap,
+//! and never shrink as the attempt count grows — the three facts the
+//! supervisor's reconnect loop and `Client::with_retry` both rely on.
+
+use std::time::Duration;
+
+use atim_core::backoff_delay;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backoff_is_deterministic(
+        attempt in 0u32..64,
+        base_ms in 0u64..10_000,
+        cap_ms in 0u64..60_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        let first = backoff_delay(attempt, base, cap);
+        let second = backoff_delay(attempt, base, cap);
+        prop_assert_eq!(first, second, "no jitter, no hidden state");
+    }
+
+    #[test]
+    fn backoff_never_exceeds_the_cap(
+        attempt in 1u32..1024,
+        base_ms in 0u64..10_000,
+        cap_ms in 0u64..60_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        prop_assert!(backoff_delay(attempt, base, cap) <= cap);
+    }
+
+    #[test]
+    fn backoff_starts_immediate_then_never_shrinks(
+        attempts in 1u32..256,
+        base_ms in 1u64..10_000,
+        cap_ms in 1u64..60_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        prop_assert_eq!(backoff_delay(0, base, cap), Duration::ZERO);
+        let mut previous = Duration::ZERO;
+        for attempt in 1..=attempts {
+            let delay = backoff_delay(attempt, base, cap);
+            prop_assert!(
+                delay >= previous,
+                "delay shrank from {:?} to {:?} at attempt {}",
+                previous,
+                delay,
+                attempt
+            );
+            previous = delay;
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap(
+        attempt in 1u32..20,
+        base_ms in 1u64..1_000,
+    ) {
+        // With an unreachable cap the schedule is exactly base * 2^(n-1).
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_secs(u64::MAX / 2);
+        let expected = base * (1u32 << (attempt - 1));
+        prop_assert_eq!(backoff_delay(attempt, base, cap), expected);
+    }
+}

@@ -10,6 +10,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use atim_autotune::JsonCodec;
+use atim_core::fleet::backoff_delay;
 
 use crate::proto::{Progress, Request, Response, StatsReply, TuneReply, TuneRequest};
 use crate::wire::{read_frame, write_frame, WireError};
@@ -24,6 +25,14 @@ pub enum ClientError {
     /// The server answered with a frame that makes no sense here (e.g. a
     /// stats reply to a tune request).
     Protocol(String),
+    /// Every attempt of a [`Client::with_retry`] budget failed with a
+    /// retryable transport error; `last` is the final one.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -32,11 +41,21 @@ impl fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "{e}"),
             ClientError::Server(message) => write!(f, "server error: {message}"),
             ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
@@ -51,11 +70,20 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Bounded retry budget for [`Client::with_retry`].
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    attempts: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+}
+
 /// A client of one `atim-serve` instance.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
@@ -66,6 +94,7 @@ impl Client {
         Client {
             addr,
             timeout: None,
+            retry: None,
         }
     }
 
@@ -84,6 +113,27 @@ impl Client {
     /// is the entire search, so prefer watch mode when using timeouts.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Retries each request up to `attempts` times when it fails with a
+    /// *retryable* transport error (connection refused/reset, EOF, torn
+    /// frame) — the signature of a daemon restarting mid-conversation.
+    /// Between attempts the client sleeps the deterministic capped
+    /// exponential [`backoff_delay`] schedule (base `backoff`, cap
+    /// `8 × backoff`; the first attempt is immediate).  When the budget
+    /// is exhausted, the typed [`ClientError::RetriesExhausted`] reports
+    /// the attempt count and the final error.
+    ///
+    /// Server-side errors, protocol violations and timeouts are *not*
+    /// retried: they mean the server is reachable and answering.
+    /// `shutdown` never retries (a dead server is already shut down).
+    pub fn with_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.retry = Some(RetryPolicy {
+            attempts: attempts.max(1),
+            backoff,
+            backoff_cap: backoff.saturating_mul(8),
+        });
         self
     }
 
@@ -108,6 +158,47 @@ impl Client {
         Response::from_json(&json).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
+    /// Whether an error is worth another connection attempt: transport
+    /// faults that a restarting daemon produces.  Timeouts are excluded
+    /// (the deadline already expresses the caller's patience), as are
+    /// server errors and protocol violations (the server is up and
+    /// answering).
+    fn retryable(e: &ClientError) -> bool {
+        matches!(
+            e,
+            ClientError::Wire(WireError::Closed)
+                | ClientError::Wire(WireError::Truncated)
+                | ClientError::Wire(WireError::Io(_))
+        )
+    }
+
+    /// Runs `call` under the configured retry budget (or once, without
+    /// one).
+    fn with_retries<T>(
+        &self,
+        mut call: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let Some(policy) = self.retry else {
+            return call();
+        };
+        let mut last = None;
+        for attempt in 0..policy.attempts {
+            let delay = backoff_delay(attempt, policy.backoff, policy.backoff_cap);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match call() {
+                Ok(value) => return Ok(value),
+                Err(e) if Self::retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: policy.attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
     /// Tunes (or cache-resolves) a workload, discarding progress frames.
     ///
     /// # Errors
@@ -126,19 +217,21 @@ impl Client {
         request: &TuneRequest,
         mut on_progress: impl FnMut(&Progress),
     ) -> Result<TuneReply, ClientError> {
-        let mut stream = self.request(&Request::Tune(request.clone()))?;
-        loop {
-            match Self::read_response(&mut stream)? {
-                Response::Progress(p) => on_progress(&p),
-                Response::Result(reply) => return Ok(reply),
-                Response::Error(message) => return Err(ClientError::Server(message)),
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "unexpected frame {other:?} to a tune request"
-                    )))
+        self.with_retries(|| {
+            let mut stream = self.request(&Request::Tune(request.clone()))?;
+            loop {
+                match Self::read_response(&mut stream)? {
+                    Response::Progress(p) => on_progress(&p),
+                    Response::Result(reply) => return Ok(reply),
+                    Response::Error(message) => return Err(ClientError::Server(message)),
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "unexpected frame {other:?} to a tune request"
+                        )))
+                    }
                 }
             }
-        }
+        })
     }
 
     /// Fetches the server's counters.
@@ -146,14 +239,16 @@ impl Client {
     /// # Errors
     /// Surfaces transport failures and server-side errors.
     pub fn stats(&self) -> Result<StatsReply, ClientError> {
-        let mut stream = self.request(&Request::Stats)?;
-        match Self::read_response(&mut stream)? {
-            Response::Stats(stats) => Ok(stats),
-            Response::Error(message) => Err(ClientError::Server(message)),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected frame {other:?} to a stats request"
-            ))),
-        }
+        self.with_retries(|| {
+            let mut stream = self.request(&Request::Stats)?;
+            match Self::read_response(&mut stream)? {
+                Response::Stats(stats) => Ok(stats),
+                Response::Error(message) => Err(ClientError::Server(message)),
+                other => Err(ClientError::Protocol(format!(
+                    "unexpected frame {other:?} to a stats request"
+                ))),
+            }
+        })
     }
 
     /// Asks the server to stop (cancelling in-flight searches).

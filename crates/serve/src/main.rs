@@ -92,7 +92,7 @@ fn build_session(args: &Args) -> Result<Session, String> {
         } else {
             BackendSpec::sim(args.hw.clone())
         };
-        let fleet = FleetBackend::spawn(spec, workers, FleetOptions::default())
+        let fleet = FleetBackend::spawn(spec, workers, FleetOptions::from_env())
             .map_err(|e| format!("cannot launch a {workers}-worker fleet: {e}"))?;
         eprintln!(
             "atim-serve: measuring on a fleet of {} worker process(es)",

@@ -251,6 +251,16 @@ pub struct StatsReply {
     pub jobs_in_flight: usize,
     /// Fleet jobs re-queued after their worker died (cumulative).
     pub jobs_requeued: usize,
+    /// Workers that died and successfully re-handshook (cumulative).
+    pub reconnects: usize,
+    /// Workers retired after exhausting their reconnect budget.
+    pub workers_retired: usize,
+    /// Handshakes refused for a backend-fingerprint mismatch.
+    pub fingerprint_skews: usize,
+    /// Handshakes refused for a protocol- or build-version mismatch.
+    pub version_skews: usize,
+    /// Jobs quarantined after killing too many distinct workers.
+    pub jobs_quarantined: usize,
 }
 
 impl JsonCodec for StatsReply {
@@ -268,6 +278,20 @@ impl JsonCodec for StatsReply {
                 Json::Int(self.jobs_in_flight as i64),
             ),
             ("jobs_requeued".into(), Json::Int(self.jobs_requeued as i64)),
+            ("reconnects".into(), Json::Int(self.reconnects as i64)),
+            (
+                "workers_retired".into(),
+                Json::Int(self.workers_retired as i64),
+            ),
+            (
+                "fingerprint_skews".into(),
+                Json::Int(self.fingerprint_skews as i64),
+            ),
+            ("version_skews".into(), Json::Int(self.version_skews as i64)),
+            (
+                "jobs_quarantined".into(),
+                Json::Int(self.jobs_quarantined as i64),
+            ),
         ])
     }
 
@@ -284,6 +308,11 @@ impl JsonCodec for StatsReply {
             workers_alive: fleet("workers_alive"),
             jobs_in_flight: fleet("jobs_in_flight"),
             jobs_requeued: fleet("jobs_requeued"),
+            reconnects: fleet("reconnects"),
+            workers_retired: fleet("workers_retired"),
+            fingerprint_skews: fleet("fingerprint_skews"),
+            version_skews: fleet("version_skews"),
+            jobs_quarantined: fleet("jobs_quarantined"),
         })
     }
 }
@@ -373,6 +402,11 @@ mod tests {
                 workers_alive: 2,
                 jobs_in_flight: 5,
                 jobs_requeued: 1,
+                reconnects: 2,
+                workers_retired: 1,
+                fingerprint_skews: 1,
+                version_skews: 1,
+                jobs_quarantined: 1,
             }),
             Response::Ok,
             Response::Error("no such workload".into()),
@@ -399,6 +433,11 @@ mod tests {
         assert_eq!(decoded.workers_alive, 0);
         assert_eq!(decoded.jobs_in_flight, 0);
         assert_eq!(decoded.jobs_requeued, 0);
+        assert_eq!(decoded.reconnects, 0);
+        assert_eq!(decoded.workers_retired, 0);
+        assert_eq!(decoded.fingerprint_skews, 0);
+        assert_eq!(decoded.version_skews, 0);
+        assert_eq!(decoded.jobs_quarantined, 0);
     }
 
     #[test]

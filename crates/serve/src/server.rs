@@ -158,6 +158,11 @@ impl ServerState {
             workers_alive: fleet.workers_alive,
             jobs_in_flight: fleet.jobs_in_flight,
             jobs_requeued: fleet.jobs_requeued,
+            reconnects: fleet.reconnects,
+            workers_retired: fleet.workers_retired,
+            fingerprint_skews: fleet.fingerprint_skews,
+            version_skews: fleet.version_skews,
+            jobs_quarantined: fleet.jobs_quarantined,
         }
     }
 }

@@ -132,6 +132,11 @@ proptest! {
                 workers_alive: (counts >> 50 & 15) as usize,
                 jobs_in_flight: (counts >> 54 & 15) as usize,
                 jobs_requeued: (counts >> 58 & 15) as usize,
+                reconnects: (counts >> 5 & 15) as usize,
+                workers_retired: (counts >> 15 & 15) as usize,
+                fingerprint_skews: (counts >> 25 & 15) as usize,
+                version_skews: (counts >> 35 & 15) as usize,
+                jobs_quarantined: (counts >> 45 & 15) as usize,
             }),
         ] {
             let bytes = encode_frame(&response.to_json());

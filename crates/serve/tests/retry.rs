@@ -1,0 +1,89 @@
+//! `Client::with_retry` integration: bounded reconnect attempts with the
+//! fleet's deterministic backoff, a typed error when the budget runs
+//! out, and — crucially — *no* retries for answers that prove the server
+//! is alive (which would mask real errors or duplicate work).
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use atim_core::{AnalyticBackend, Session};
+use atim_serve::{serve, Client, ClientError, ServeOptions, TuneRequest};
+use atim_sim::UpmemConfig;
+
+fn session() -> Session {
+    Session::builder()
+        .backend(AnalyticBackend::new(UpmemConfig::small()))
+        .build()
+}
+
+/// Reserves a localhost port by binding and immediately releasing it.
+fn free_port() -> std::net::SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("reserve port")
+        .local_addr()
+        .expect("local addr")
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_error_with_the_attempt_count() {
+    // Nothing listens on the reserved port: every attempt is refused.
+    let client = Client::new(free_port()).with_retry(3, Duration::from_millis(5));
+    match client.stats() {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(
+                matches!(*last, ClientError::Wire(_)),
+                "the final error must be the underlying transport fault, got {last}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn retries_ride_out_a_server_that_starts_late() {
+    let addr = free_port();
+    let server = std::thread::spawn(move || {
+        // The daemon comes up only after the client's first attempts have
+        // already been refused.
+        std::thread::sleep(Duration::from_millis(60));
+        serve(session(), addr.to_string(), ServeOptions::default()).expect("serve")
+    });
+
+    let client = Client::new(addr).with_retry(20, Duration::from_millis(20));
+    let start = Instant::now();
+    let reply = client
+        .tune(&TuneRequest::quick("mtv", vec![96, 64]))
+        .expect("retries must bridge the startup gap");
+    assert!(reply.latency_s > 0.0);
+    assert!(
+        start.elapsed() >= Duration::from_millis(50),
+        "the first attempts must have been refused"
+    );
+    server.join().expect("server thread").shutdown();
+}
+
+#[test]
+fn server_side_errors_are_not_retried() {
+    let handle = serve(session(), "127.0.0.1:0", ServeOptions::default()).expect("serve");
+    let client = Client::new(handle.addr()).with_retry(5, Duration::from_millis(5));
+
+    // An unknown workload is answered with an error frame: the server is
+    // alive, so retrying would just repeat the failure (and quintuple the
+    // request count).
+    match client.tune(&TuneRequest::quick("not-a-workload", vec![64])) {
+        Err(ClientError::Server(message)) => {
+            assert!(
+                message.contains("not-a-workload"),
+                "the server's reason must survive: {message}"
+            );
+        }
+        other => panic!("expected the server error untouched, got {other:?}"),
+    }
+    assert_eq!(
+        handle.stats().requests,
+        1,
+        "a server-side error must consume exactly one attempt"
+    );
+    handle.shutdown();
+}

@@ -42,12 +42,15 @@ proptest! {
         bits in 0u64..u64::MAX,
         seed in 0u64..u64::MAX,
         decisions in 0usize..12,
+        attempt in 0u32..16,
     ) {
-        let job = job_from(bits, seed, decisions);
+        let mut job = job_from(bits, seed, decisions);
+        job.attempt = attempt; // requeue metadata survives the wire too
         let bytes = encode_frame(&job.to_json());
         let (json, used) = decode_frame(&bytes).unwrap();
         prop_assert_eq!(used, bytes.len());
         let decoded = MeasureJob::from_json(&json).unwrap();
+        prop_assert_eq!(decoded.attempt, attempt);
         prop_assert_eq!(&decoded, &job);
         prop_assert_eq!(decoded.seed, seed, "u64 seeds travel as decimal text");
         prop_assert_eq!(decoded.exec, EXEC_TIMING);

@@ -49,6 +49,10 @@ fn reinvoke_options(delay_ms: Option<u64>) -> FleetOptions {
         envs,
         job_timeout: Duration::from_secs(60),
         connect_timeout: Duration::from_secs(30),
+        // Keep reconnect cycles snappy under test.
+        reconnect_backoff: Duration::from_millis(20),
+        reconnect_backoff_cap: Duration::from_millis(100),
+        ..FleetOptions::default()
     }
 }
 
@@ -183,19 +187,40 @@ fn killing_a_worker_mid_round_loses_and_duplicates_nothing() {
     }
 
     let stats = fleet.stats();
-    assert_eq!(stats.workers_alive, 2, "the kill must have been detected");
     assert!(
         stats.jobs_requeued >= 1,
         "the dead worker's in-flight job must have been re-queued, stats: {stats:?}"
     );
+    // Self-healing: the supervisor respawns the killed worker and
+    // re-handshakes, so the fleet ends the run back at full strength.
+    assert!(
+        stats.reconnects >= 1,
+        "the killed worker must have been respawned and re-handshaken, stats: {stats:?}"
+    );
+    assert_eq!(
+        stats.workers_alive, 3,
+        "a healed fleet is back at full strength, stats: {stats:?}"
+    );
 }
 
-/// With every worker dead the fleet degrades to in-process measurement:
-/// the run still completes, still bit-identical to sequential.
+/// With every worker dead and reconnection disabled the fleet degrades to
+/// in-process measurement: the run still completes, still bit-identical
+/// to sequential, and both workers end up retired.
 #[test]
 fn a_fleet_with_all_workers_dead_degrades_to_in_process() {
     let def = ComputeDef::mtv("mtv", 96, 64);
-    let fleet = Arc::new(spawn_fleet(2, None));
+    let fleet = FleetBackend::spawn(
+        BackendSpec::analytic(UpmemConfig::small()),
+        2,
+        FleetOptions {
+            // A zero budget restores the pre-supervision semantics: the
+            // first fault retires the worker instead of respawning it.
+            reconnect_attempts: 0,
+            ..reinvoke_options(None)
+        },
+    )
+    .expect("fleet spawn");
+    let fleet = Arc::new(fleet);
     fleet.kill_worker(0);
     fleet.kill_worker(1);
     let session = Session::builder().backend_arc(fleet.clone()).build();
@@ -205,10 +230,14 @@ fn a_fleet_with_all_workers_dead_degrades_to_in_process() {
     let slow = sequential.tune(&def, &options()).expect("sequential tune");
     assert_eq!(tuned.result().best, slow.result().best);
     assert_eq!(tuned.result().history, slow.result().history);
+    let stats = fleet.stats();
     assert_eq!(
-        fleet.stats().workers_alive,
-        0,
+        stats.workers_alive, 0,
         "both deaths must be detected once dispatch touches the sockets"
+    );
+    assert_eq!(
+        stats.workers_retired, 2,
+        "a zero reconnect budget retires workers on their first fault"
     );
 }
 
