@@ -98,6 +98,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// A stable structural fingerprint of a trace's sketch: FNV-1a over the
+/// sketch tag plus the *ordered decision-site list* (values excluded).
+///
+/// Two traces share a structure hash exactly when they come from the same
+/// sketch family elaborated over the same workload — the property
+/// [`ScheduleCache::lookup_verified`] checks so a generator id that was
+/// reused (or a generator whose site schema changed across versions) can
+/// never silently serve a stale schedule.
+pub fn sketch_structure_hash(trace: &Trace) -> String {
+    let mut canon = String::from(trace.sketch());
+    for (site, _) in trace.decisions() {
+        canon.push('|');
+        canon.push_str(site);
+    }
+    format!("{:016x}", fnv1a(canon.as_bytes()))
+}
+
 /// What a cached schedule was tuned *for*: the four coordinates that must
 /// all match for a stored trace to be valid for a request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -245,6 +262,19 @@ pub enum CacheError {
     Io(std::io::Error),
     /// The file contents are not a valid schedule cache.
     Parse(JsonError),
+    /// A cached entry's generator id matched a lookup but its sketch
+    /// structure did not ([`ScheduleCache::lookup_verified`]): either two
+    /// generators collided on one id, or a generator's site schema changed
+    /// since the entry was tuned.  Serving the entry anyway would replay a
+    /// schedule from the wrong space, so this fails loudly instead.
+    SketchMismatch {
+        /// The colliding cache key (display form).
+        key: String,
+        /// The structure hash the requesting generator elaborates.
+        expected: String,
+        /// The structure hash of the cached trace.
+        found: String,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -252,6 +282,16 @@ impl fmt::Display for CacheError {
         match self {
             CacheError::Io(e) => write!(f, "schedule cache I/O error: {e}"),
             CacheError::Parse(e) => write!(f, "schedule cache parse error: {e}"),
+            CacheError::SketchMismatch {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "schedule cache entry for {key} carries sketch structure {found}, but the \
+                 requesting generator elaborates structure {expected}: generator-id collision \
+                 or a changed sketch schema; refusing to serve the entry"
+            ),
         }
     }
 }
@@ -370,6 +410,36 @@ impl ScheduleCache {
     /// The winning entry for a key, if one is cached.
     pub fn lookup(&self, key: &CacheKey) -> Option<&CacheEntry> {
         self.entries.get(key)
+    }
+
+    /// The winning entry for a key, *verified* against the sketch structure
+    /// the requesting generator elaborates (see [`sketch_structure_hash`]).
+    ///
+    /// # Errors
+    /// [`CacheError::SketchMismatch`] when an entry exists for the key but
+    /// its trace's structure hash differs from `expected_structure` — a
+    /// generator-id collision must fail loudly, never silently replay a
+    /// schedule from the wrong space.
+    pub fn lookup_verified(
+        &self,
+        key: &CacheKey,
+        expected_structure: &str,
+    ) -> Result<Option<&CacheEntry>, CacheError> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(entry) => {
+                let found = sketch_structure_hash(&entry.trace);
+                if found == expected_structure {
+                    Ok(Some(entry))
+                } else {
+                    Err(CacheError::SketchMismatch {
+                        key: key.to_string(),
+                        expected: expected_structure.to_string(),
+                        found,
+                    })
+                }
+            }
+        }
     }
 
     /// Iterates over the winning entries (arbitrary order).
@@ -642,6 +712,73 @@ mod tests {
         lines[0] = "{torn".into();
         let err = ScheduleCache::from_json_lines(&lines.join("\n")).unwrap_err();
         assert!(matches!(err, CacheError::Parse(_)));
+    }
+
+    #[test]
+    fn resident_generators_never_share_cache_entries() {
+        use crate::sketch::{resolve_generator, RESIDENT_GENERATOR_IDS};
+        let def = ComputeDef::mtv("mtv", 512, 512);
+        let hw = UpmemConfig::default();
+        let keys: Vec<CacheKey> = RESIDENT_GENERATOR_IDS
+            .iter()
+            .map(|id| CacheKey::for_machine(&def, &hw, *id))
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "two resident generators share a cache key");
+            }
+        }
+        // Their sketch structures are pairwise distinct too: a swapped
+        // generator id can never be mistaken for the right space.
+        let hashes: Vec<String> = RESIDENT_GENERATOR_IDS
+            .iter()
+            .map(|id| {
+                let g = resolve_generator(id).unwrap();
+                sketch_structure_hash(&g.sketches(&def, &hw)[0])
+            })
+            .collect();
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b, "two resident generators share a sketch structure");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_verified_rejects_structure_mismatches_loudly() {
+        use crate::sketch::{resolve_generator, TILED_SKETCH};
+        let mut cache = ScheduleCache::new();
+        let e = entry("mtv", 8, 2e-3);
+        let expected = sketch_structure_hash(&e.trace);
+        cache.insert(e);
+
+        // Matching structure: served normally; absent key: None.
+        assert!(cache
+            .lookup_verified(&key("mtv"), &expected)
+            .unwrap()
+            .is_some());
+        assert!(cache
+            .lookup_verified(&key("gemv"), &expected)
+            .unwrap()
+            .is_none());
+
+        // Same key, different sketch schema (as if another generator had
+        // reused the id "upmem"): a typed error, not a silent hit.
+        let def = ComputeDef::mtv("mtv", 512, 256);
+        let hw = UpmemConfig::default();
+        let tiled = resolve_generator(TILED_SKETCH).unwrap();
+        let foreign = sketch_structure_hash(&tiled.sketches(&def, &hw)[0]);
+        let err = cache.lookup_verified(&key("mtv"), &foreign).unwrap_err();
+        match &err {
+            CacheError::SketchMismatch {
+                expected, found, ..
+            } => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected SketchMismatch, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("collision"), "{msg}");
     }
 
     #[test]

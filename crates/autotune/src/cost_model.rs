@@ -204,17 +204,40 @@ struct StructuralKnobs {
     use_cache: bool,
 }
 
-/// Walks a materialized trace's instructions, tracking per-register loop
-/// extents, and recovers the parallelism/caching knobs the feature formula
-/// needs.  Decisions-only custom traces yield neutral knobs (everything 1).
+/// One loop of the simulated nest the structural walk maintains.
+struct NestLoop {
+    /// The trace register referring to this loop (`None` for axis loops the
+    /// trace never touched).
+    reg: Option<usize>,
+    extent: i64,
+    binding: Binding,
+}
+
+/// Walks a materialized trace's instructions over a simulated loop nest —
+/// positions, per-level tile extents and bindings included — and recovers
+/// the parallelism/caching knobs the feature formula needs.
+///
+/// Unlike a flat register walk this is *order-aware*: `Reorder` moves
+/// loops, and a caching directive's `cache_elems` is the product of the
+/// trace-managed tile extents nested inside its attach point (the staged
+/// footprint of a multi-level tile chain), not merely the factor of the
+/// last split.  Parallelism knobs are read off the final nest, so a
+/// DPU-bound loop that is split again contributes its final extent.
+/// Decisions-only custom traces yield neutral knobs (everything 1).
 fn structural_knobs(trace: &Trace, def: &ComputeDef) -> StructuralKnobs {
-    let mut extents: Vec<i64> = vec![1; trace.regs().max(1)];
-    let at = |r: usize, extents: &mut Vec<i64>| {
-        if r >= extents.len() {
-            extents.resize(r + 1, 1);
-        }
-        r
-    };
+    let mut nest: Vec<NestLoop> = def
+        .axes
+        .iter()
+        .map(|a| NestLoop {
+            reg: None,
+            extent: a.extent,
+            binding: Binding::None,
+        })
+        .collect();
+    // Which original axis each nest position iterates (for GetLoop).
+    let mut axis_of: Vec<Option<usize>> = (0..def.axes.len()).map(Some).collect();
+    let pos_of = |nest: &[NestLoop], reg: usize| nest.iter().position(|l| l.reg == Some(reg));
+
     let mut k = StructuralKnobs {
         dpus: 1,
         tasklets: 1,
@@ -222,12 +245,12 @@ fn structural_knobs(trace: &Trace, def: &ComputeDef) -> StructuralKnobs {
         reduce_dpus: 1,
         use_cache: false,
     };
-    let mut last_inner = None;
     for inst in trace.insts() {
         match inst {
             Instruction::GetLoop { axis, dst } => {
-                let dst = at(*dst, &mut extents);
-                extents[dst] = def.axes.get(*axis).map(|a| a.extent).unwrap_or(1);
+                if let Some(p) = axis_of.iter().position(|&a| a == Some(*axis)) {
+                    nest[p].reg = Some(*dst);
+                }
             }
             Instruction::Split {
                 lv,
@@ -235,33 +258,91 @@ fn structural_knobs(trace: &Trace, def: &ComputeDef) -> StructuralKnobs {
                 outer,
                 inner,
             } => {
-                let lv = at(*lv, &mut extents);
-                let parent = extents[lv];
-                let f = (*factor).max(1);
-                let outer = at(*outer, &mut extents);
-                extents[outer] = (parent + f - 1) / f;
-                let inner = at(*inner, &mut extents);
-                extents[inner] = f;
-                last_inner = Some(inner);
+                if let Some(p) = pos_of(&nest, *lv) {
+                    let parent = nest[p].extent;
+                    let f = (*factor).max(1);
+                    // Mirrors `Schedule::split`: the outer loop inherits the
+                    // binding, the inner extent is the factor exactly.
+                    nest[p] = NestLoop {
+                        reg: Some(*outer),
+                        extent: (parent + f - 1) / f,
+                        binding: nest[p].binding,
+                    };
+                    nest.insert(
+                        p + 1,
+                        NestLoop {
+                            reg: Some(*inner),
+                            extent: f,
+                            binding: Binding::None,
+                        },
+                    );
+                    let axis = axis_of[p];
+                    axis_of.insert(p + 1, axis);
+                }
             }
             Instruction::Bind { lv, binding } => {
-                let lv = at(*lv, &mut extents);
-                match binding {
-                    Binding::DpuX => k.dpus = k.dpus.saturating_mul(extents[lv].max(1)),
-                    Binding::DpuY => {
-                        k.reduce_dpus = extents[lv].max(1);
-                        k.dpus = k.dpus.saturating_mul(extents[lv].max(1));
+                if let Some(p) = pos_of(&nest, *lv) {
+                    nest[p].binding = *binding;
+                }
+            }
+            Instruction::Reorder { order } => {
+                // Partial permutation: the listed loops are redistributed
+                // over their own (sorted) positions; everything else stays.
+                let slots: Vec<usize> = nest
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.reg.is_some_and(|r| order.contains(&r)))
+                    .map(|(p, _)| p)
+                    .collect();
+                let listed: Vec<usize> = order
+                    .iter()
+                    .copied()
+                    .filter(|&r| nest.iter().any(|l| l.reg == Some(r)))
+                    .collect();
+                if slots.len() == listed.len() {
+                    let mut moved: Vec<(NestLoop, Option<usize>)> = Vec::new();
+                    for &r in &listed {
+                        let p = pos_of(&nest, r).expect("checked membership");
+                        moved.push((
+                            NestLoop {
+                                reg: nest[p].reg,
+                                extent: nest[p].extent,
+                                binding: nest[p].binding,
+                            },
+                            axis_of[p],
+                        ));
                     }
-                    Binding::Tasklet => k.tasklets = extents[lv].max(1),
-                    _ => {}
+                    for (&slot, (l, a)) in slots.iter().zip(moved) {
+                        nest[slot] = l;
+                        axis_of[slot] = a;
+                    }
                 }
             }
-            Instruction::CacheRead { .. } | Instruction::CacheWrite { .. } => {
+            Instruction::CacheRead { at, .. } | Instruction::CacheWrite { at } => {
                 k.use_cache = true;
-                if let Some(inner) = last_inner {
-                    k.cache_elems = extents[inner].max(1);
+                if let Some(p) = pos_of(&nest, *at) {
+                    // Staged footprint: the trace-managed tile extents
+                    // nested inside the attach point (untouched axis loops
+                    // carry no tiling decision and are excluded).
+                    let footprint: i64 = nest[p + 1..]
+                        .iter()
+                        .filter(|l| l.reg.is_some())
+                        .map(|l| l.extent.max(1))
+                        .product();
+                    k.cache_elems = k.cache_elems.max(footprint);
                 }
             }
+            _ => {}
+        }
+    }
+    for l in &nest {
+        match l.binding {
+            Binding::DpuX => k.dpus = k.dpus.saturating_mul(l.extent.max(1)),
+            Binding::DpuY => {
+                k.reduce_dpus = k.reduce_dpus.saturating_mul(l.extent.max(1));
+                k.dpus = k.dpus.saturating_mul(l.extent.max(1));
+            }
+            Binding::Tasklet => k.tasklets = k.tasklets.saturating_mul(l.extent.max(1)),
             _ => {}
         }
     }
@@ -625,5 +706,77 @@ mod tests {
             f[2]
         );
         assert_eq!(f[8], 1.0, "use_cache recovered from CacheRead");
+    }
+
+    #[test]
+    fn structural_fallback_tracks_tile_chains_and_reorder() {
+        use crate::trace::{Instruction, Trace};
+        use atim_tir::schedule::Binding;
+        let def = ComputeDef::mtv("mtv", 64, 128);
+        let hw = UpmemConfig::default();
+        // Two tile chains (i: 16x4x4 over 4 DPUs, k: 16x8), reordered into
+        // [dpu, i_o, k_o, i_i, k_i]; operand staging at two depths.
+        let insts = vec![
+            Instruction::GetLoop { axis: 0, dst: 0 },
+            Instruction::Split {
+                lv: 0,
+                factor: 16,
+                outer: 1,
+                inner: 2,
+            },
+            Instruction::Bind {
+                lv: 1,
+                binding: Binding::DpuX,
+            },
+            Instruction::GetLoop { axis: 1, dst: 3 },
+            Instruction::Split {
+                lv: 3,
+                factor: 8,
+                outer: 4,
+                inner: 5,
+            },
+            Instruction::Split {
+                lv: 2,
+                factor: 4,
+                outer: 6,
+                inner: 7,
+            },
+            Instruction::Reorder {
+                order: vec![1, 6, 4, 7, 5],
+            },
+            // Inside r7 sit r5 only: footprint 8.  Inside r4 sit r7 and
+            // r5: footprint 32.  The feature takes the maximum.
+            Instruction::CacheRead { input: 1, at: 7 },
+            Instruction::CacheRead { input: 0, at: 4 },
+        ];
+        let trace = Trace::new("custom", insts, 8);
+        let f = featurize(&trace, &def, &hw);
+        assert!((f[0] - (4f64).ln()).abs() < 1e-12, "dpus feature: {}", f[0]);
+        assert_eq!(f[1], 0.0, "no tasklet binding");
+        assert!(
+            (f[2] - (32f64).ln()).abs() < 1e-12,
+            "multi-level staging footprint: {}",
+            f[2]
+        );
+        assert_eq!(f[8], 1.0);
+    }
+
+    #[test]
+    fn tiled_generator_traces_featurize_meaningfully() {
+        use crate::generator::SpaceGenerator;
+        use crate::sketch::TiledSketchGenerator;
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let hw = UpmemConfig::default();
+        let gen = TiledSketchGenerator::default();
+        for sketch in gen.sketches(&def, &hw) {
+            // Tiled traces lack the fixed-knob sites, so they must route
+            // through the structural fallback — and still yield finite,
+            // non-degenerate features.
+            assert!(ScheduleConfig::from_trace(&sketch).is_none());
+            let f = featurize(&sketch, &def, &hw);
+            assert!(f.iter().all(|v| v.is_finite()));
+            assert!(f[0] > 0.0, "DPU parallelism must be visible: {f:?}");
+            assert_eq!(f[8], 1.0, "default sketch stages operands: {f:?}");
+        }
     }
 }

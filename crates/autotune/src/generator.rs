@@ -262,16 +262,17 @@ pub fn materialize_upmem(trace: &Trace, def: &ComputeDef) -> Result<Trace> {
 }
 
 /// A [`Schedule`] wrapper that mirrors every applied primitive as a trace
-/// [`Instruction`], mapping [`LoopRef`]s to virtual registers.
-struct SketchRecorder {
-    sch: Schedule,
-    insts: Vec<Instruction>,
-    regs: usize,
+/// [`Instruction`], mapping [`LoopRef`]s to virtual registers.  Shared by
+/// [`record_sketch`] and the rule engine in [`crate::sketch`].
+pub(crate) struct SketchRecorder {
+    pub(crate) sch: Schedule,
+    pub(crate) insts: Vec<Instruction>,
+    pub(crate) regs: usize,
     reg_of: HashMap<LoopRef, usize>,
 }
 
 impl SketchRecorder {
-    fn new(def: &ComputeDef) -> Self {
+    pub(crate) fn new(def: &ComputeDef) -> Self {
         SketchRecorder {
             sch: Schedule::new(def.clone()),
             insts: Vec::new(),
@@ -280,20 +281,20 @@ impl SketchRecorder {
         }
     }
 
-    fn alloc(&mut self, l: LoopRef) -> usize {
+    pub(crate) fn alloc(&mut self, l: LoopRef) -> usize {
         let r = self.regs;
         self.regs += 1;
         self.reg_of.insert(l, r);
         r
     }
 
-    fn reg(&self, l: LoopRef) -> Result<usize> {
+    pub(crate) fn reg(&self, l: LoopRef) -> Result<usize> {
         self.reg_of.get(&l).copied().ok_or_else(|| {
             TirError::InvalidSchedule("sketch recorder referenced an untracked loop".into())
         })
     }
 
-    fn get_loop(&mut self, axis: usize) -> Result<LoopRef> {
+    pub(crate) fn get_loop(&mut self, axis: usize) -> Result<LoopRef> {
         let l = self
             .sch
             .loops_of_axis(axis)
@@ -305,7 +306,7 @@ impl SketchRecorder {
         Ok(l)
     }
 
-    fn split(&mut self, l: LoopRef, factor: i64) -> Result<(LoopRef, LoopRef)> {
+    pub(crate) fn split(&mut self, l: LoopRef, factor: i64) -> Result<(LoopRef, LoopRef)> {
         let lv = self.reg(l)?;
         let (o, i) = self.sch.split(l, factor)?;
         let outer = self.alloc(o);
@@ -319,21 +320,21 @@ impl SketchRecorder {
         Ok((o, i))
     }
 
-    fn bind(&mut self, l: LoopRef, binding: Binding) -> Result<()> {
+    pub(crate) fn bind(&mut self, l: LoopRef, binding: Binding) -> Result<()> {
         let lv = self.reg(l)?;
         self.sch.bind(l, binding)?;
         self.insts.push(Instruction::Bind { lv, binding });
         Ok(())
     }
 
-    fn rfactor(&mut self, l: LoopRef) -> Result<()> {
+    pub(crate) fn rfactor(&mut self, l: LoopRef) -> Result<()> {
         let lv = self.reg(l)?;
         self.sch.rfactor(l)?;
         self.insts.push(Instruction::Rfactor { lv });
         Ok(())
     }
 
-    fn reorder(&mut self, order: &[LoopRef]) -> Result<()> {
+    pub(crate) fn reorder(&mut self, order: &[LoopRef]) -> Result<()> {
         let regs: Vec<usize> = order
             .iter()
             .map(|&l| self.reg(l))
@@ -343,43 +344,43 @@ impl SketchRecorder {
         Ok(())
     }
 
-    fn cache_read(&mut self, input: usize, at: LoopRef) -> Result<()> {
+    pub(crate) fn cache_read(&mut self, input: usize, at: LoopRef) -> Result<()> {
         let reg = self.reg(at)?;
         self.sch.cache_read(input, Attach::At(at))?;
         self.insts.push(Instruction::CacheRead { input, at: reg });
         Ok(())
     }
 
-    fn cache_write(&mut self, at: LoopRef) -> Result<()> {
+    pub(crate) fn cache_write(&mut self, at: LoopRef) -> Result<()> {
         let reg = self.reg(at)?;
         self.sch.cache_write(Attach::At(at))?;
         self.insts.push(Instruction::CacheWrite { at: reg });
         Ok(())
     }
 
-    fn unroll(&mut self, l: LoopRef) -> Result<()> {
+    pub(crate) fn unroll(&mut self, l: LoopRef) -> Result<()> {
         let lv = self.reg(l)?;
         self.sch.unroll(l)?;
         self.insts.push(Instruction::Unroll { lv });
         Ok(())
     }
 
-    fn parallel_host(&mut self, threads: usize) {
+    pub(crate) fn parallel_host(&mut self, threads: usize) {
         self.sch.parallel_host(threads);
         self.insts.push(Instruction::ParallelHost { threads });
     }
 
-    fn set_parallel_transfer(&mut self, enabled: bool) {
+    pub(crate) fn set_parallel_transfer(&mut self, enabled: bool) {
         self.sch.set_parallel_transfer(enabled);
         self.insts.push(Instruction::ParallelTransfer { enabled });
     }
 
-    fn loop_info(&self, l: LoopRef) -> Result<&LoopInfo> {
+    pub(crate) fn loop_info(&self, l: LoopRef) -> Result<&LoopInfo> {
         self.sch.loop_info(l)
     }
 }
 
-fn div_ceil(a: i64, b: i64) -> i64 {
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
     (a + b - 1) / b
 }
 

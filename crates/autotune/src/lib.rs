@@ -97,14 +97,15 @@ pub mod json;
 pub mod log;
 pub mod search;
 pub mod session;
+pub mod sketch;
 pub mod space;
 pub mod trace;
 pub mod tuner;
 pub mod verifier;
 
 pub use cache::{
-    append_entry, machine_fingerprint, CacheEntry, CacheError, CacheKey, ScheduleCache,
-    SCHEDULE_CACHE_ENV,
+    append_entry, machine_fingerprint, sketch_structure_hash, CacheEntry, CacheError, CacheKey,
+    ScheduleCache, SCHEDULE_CACHE_ENV,
 };
 pub use cost_model::{
     featurize, CostEstimator, CostModel, CostModelKind, COST_MODEL_ENV, NUM_FEATURES,
@@ -115,6 +116,10 @@ pub use json::{Json, JsonCodec, JsonError};
 pub use log::{StreamingTuneLog, TuneLog, TuneLogError, TuneLogWriter, WarmStartMeasurer};
 pub use session::{
     validate_options, Budget, NullObserver, StopReason, TuningError, TuningObserver, TuningSession,
+};
+pub use sketch::{
+    generator_from_env, resolve_generator, HardwareNativeGenerator, TiledSketchGenerator,
+    HW_NATIVE_SKETCH, RESIDENT_GENERATOR_IDS, SPACE_GENERATOR_ENV, TILED_SKETCH,
 };
 pub use space::ScheduleConfig;
 #[allow(deprecated)]

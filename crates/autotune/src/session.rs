@@ -60,6 +60,13 @@ pub enum TuningError {
         /// The rejected estimator name.
         value: String,
     },
+    /// An unknown space-generator id (typically from
+    /// `ATIM_SPACE_GENERATOR`): the session would silently search the
+    /// wrong schedule space.
+    InvalidSpaceGenerator {
+        /// The rejected generator id.
+        value: String,
+    },
 }
 
 impl fmt::Display for TuningError {
@@ -86,6 +93,12 @@ impl fmt::Display for TuningError {
                 f,
                 "invalid cost model {value:?}: {} must be \"ridge\" or \"gbdt\"",
                 crate::cost_model::COST_MODEL_ENV
+            ),
+            TuningError::InvalidSpaceGenerator { value } => write!(
+                f,
+                "invalid space generator {value:?}: {} must be one of {:?}",
+                crate::sketch::SPACE_GENERATOR_ENV,
+                crate::sketch::RESIDENT_GENERATOR_IDS
             ),
         }
     }

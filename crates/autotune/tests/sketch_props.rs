@@ -1,0 +1,209 @@
+//! Property tests of the sketch-rule generators (`tiled`, `hw-native`):
+//!
+//! 1. **Replay identity** — every trace a rule-built generator samples
+//!    re-materializes bit-identically (same instruction stream, same
+//!    registers), its decisions-only twin (the form tuning logs persist)
+//!    recovers the identical full trace, and the verifier reaches the same
+//!    verdict on both.
+//! 2. **Operator validity** — decision mutation and crossover on
+//!    variable-length decision lists (different workloads, different tiling
+//!    depths, even corrupted decision values) always yield traces the
+//!    owning generator can materialize, and materialization is idempotent.
+
+use atim_autotune::{
+    verify_trace, Decision, HardwareNativeGenerator, SpaceGenerator, TiledSketchGenerator, Trace,
+};
+use atim_sim::UpmemConfig;
+use atim_tir::compute::ComputeDef;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A pool of small-but-shape-diverse workloads: the classic paper kernels
+/// plus the three sketch-space workloads (batched GEMM, the fused
+/// attention block, int8 GEMV), with deliberately awkward extents mixed in.
+fn def_from(idx: usize) -> ComputeDef {
+    match idx % 9 {
+        0 => ComputeDef::va("va", 4096),
+        1 => ComputeDef::red("red", 1024),
+        2 => ComputeDef::mtv("mtv", 96, 112),
+        3 => ComputeDef::mmtv("mmtv", 4, 32, 64),
+        4 => ComputeDef::gemv("gemv_odd", 97, 103, 1.5),
+        5 => ComputeDef::bgemm("bgemm", 4, 16, 16, 32),
+        6 => ComputeDef::attn("attn", 8, 32, 64),
+        7 => ComputeDef::qgemv("qgemv", 128, 160),
+        _ => ComputeDef::ttv("ttv", 4, 48, 32),
+    }
+}
+
+/// One of the rule-built resident generators; `native` selects the
+/// hardware-native space, otherwise a tiled space of depth `levels`.
+fn generator_from(native: bool, levels: usize) -> Box<dyn SpaceGenerator> {
+    if native {
+        Box::new(HardwareNativeGenerator::default())
+    } else {
+        Box::new(TiledSketchGenerator::new(levels))
+    }
+}
+
+/// The decisions-only twin of a trace — what a `TuneLog` or cache entry
+/// stores.
+fn thin(trace: &Trace) -> Trace {
+    Trace::from_decisions(
+        trace.sketch().to_string(),
+        trace
+            .decisions()
+            .map(|(s, d)| (s.to_string(), d))
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sampled traces replay bit-identically through `materialize`, their
+    /// decisions-only twins recover the full instruction stream, and
+    /// `verify_trace` agrees on the original and the replay.
+    #[test]
+    fn sampled_traces_replay_bit_identically(
+        seed in 0u64..u64::MAX,
+        def_idx in 0usize..9,
+        levels in 0usize..4,
+        native_bit in 0u8..2,
+        rfactor_bit in 0u8..2,
+    ) {
+        let (native, rfactor) = (native_bit == 1, rfactor_bit == 1);
+        let def = def_from(def_idx);
+        let hw = UpmemConfig::default();
+        let gen = generator_from(native, levels);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = gen.sample(&mut rng, &def, &hw, rfactor && def.has_reduce());
+        prop_assert!(t.is_materialized(), "sample must be materialized");
+        prop_assert!(t.decisions().count() > 0, "sample records no decisions");
+
+        let again = gen.materialize(&t, &def, &hw).unwrap();
+        prop_assert_eq!(again.insts(), t.insts(), "instruction streams diverge");
+        prop_assert_eq!(again.regs(), t.regs());
+        prop_assert_eq!(&again, &t);
+
+        let full = gen.materialize(&thin(&t), &def, &hw).unwrap();
+        prop_assert_eq!(full.insts(), t.insts(), "decisions-only twin diverges");
+        prop_assert_eq!(full.regs(), t.regs());
+
+        prop_assert_eq!(
+            verify_trace(&t, &def, &hw).is_ok(),
+            verify_trace(&again, &def, &hw).is_ok(),
+            "verifier verdict changed across replay"
+        );
+    }
+
+    /// Chains of mutations stay in-family: every link is materialized,
+    /// carries the same sketch tag and the same decision-site list (a pure
+    /// function of the workload), and replays bit-identically.
+    #[test]
+    fn mutation_chains_always_yield_valid_traces(
+        seed in 0u64..u64::MAX,
+        def_idx in 0usize..9,
+        levels in 0usize..4,
+        native_bit in 0u8..2,
+        steps in 1usize..6,
+    ) {
+        let native = native_bit == 1;
+        let def = def_from(def_idx);
+        let hw = UpmemConfig::default();
+        let gen = generator_from(native, levels);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = gen.sample(&mut rng, &def, &hw, false);
+        let sites: Vec<String> = base.decisions().map(|(s, _)| s.to_string()).collect();
+
+        let mut current = base;
+        for step in 0..steps {
+            current = gen.mutate(&mut rng, &def, &hw, &current);
+            prop_assert_eq!(current.sketch(), gen.name(), "step {} left the family", step);
+            prop_assert!(current.is_materialized(), "step {} not materialized", step);
+            let now: Vec<String> = current.decisions().map(|(s, _)| s.to_string()).collect();
+            prop_assert_eq!(&now, &sites, "step {} changed the site list", step);
+            let again = gen.materialize(&current, &def, &hw).unwrap();
+            prop_assert_eq!(again.insts(), current.insts(), "step {} does not replay", step);
+        }
+    }
+
+    /// Crossover between decision lists of *different lengths* — parents
+    /// sampled from tiled spaces of different depths share the `tiled` tag
+    /// but not the site list — always yields a trace the deeper space can
+    /// materialize, bit-identically.
+    #[test]
+    fn crossover_of_variable_length_lists_yields_valid_traces(
+        seed in 0u64..u64::MAX,
+        def_idx in 0usize..9,
+        levels_a in 0usize..4,
+        levels_b in 0usize..4,
+    ) {
+        let def = def_from(def_idx);
+        let hw = UpmemConfig::default();
+        let gen_a = TiledSketchGenerator::new(levels_a);
+        let gen_b = TiledSketchGenerator::new(levels_b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gen_a.sample(&mut rng, &def, &hw, false);
+        let b = gen_b.sample(&mut rng, &def, &hw, def.has_reduce());
+
+        let child = gen_a.crossover(&mut rng, &def, &hw, &a, &b);
+        prop_assert_eq!(child.sketch(), gen_a.name());
+        prop_assert!(child.is_materialized(), "crossover child not materialized");
+        let again = gen_a.materialize(&child, &def, &hw).unwrap();
+        prop_assert_eq!(again.insts(), child.insts(), "crossover child does not replay");
+        // The child's sites are gen_a's sites — crossover never smuggles
+        // foreign sites in or drops native ones.
+        let child_sites: Vec<String> = child.decisions().map(|(s, _)| s.to_string()).collect();
+        let a_sites: Vec<String> = a.decisions().map(|(s, _)| s.to_string()).collect();
+        prop_assert_eq!(child_sites, a_sites);
+    }
+
+    /// Corrupted decision values (arbitrary integers written over a valid
+    /// trace, as a hand-edited log or a buggy client could produce) never
+    /// break materialization: values are clamped at their use sites, the
+    /// recorded decisions are preserved verbatim, and materialization is
+    /// idempotent.
+    #[test]
+    fn corrupted_decision_values_still_materialize_idempotently(
+        seed in 0u64..u64::MAX,
+        def_idx in 0usize..9,
+        levels in 0usize..4,
+        native_bit in 0u8..2,
+        noise in 0u64..u64::MAX,
+    ) {
+        let native = native_bit == 1;
+        let def = def_from(def_idx);
+        let hw = UpmemConfig::default();
+        let gen = generator_from(native, levels);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = gen.sample(&mut rng, &def, &hw, false);
+
+        let corrupted: Vec<(String, Decision)> = base
+            .decisions()
+            .enumerate()
+            .map(|(i, (s, d))| {
+                let bits = noise.rotate_left(11 * i as u32);
+                let value = match d {
+                    Decision::Int(_) => Decision::Int((bits % 100_000) as i64 - 50_000),
+                    Decision::Bool(_) => Decision::Bool(bits % 2 == 0),
+                };
+                (s.to_string(), value)
+            })
+            .collect();
+        let forged = Trace::from_decisions(base.sketch().to_string(), corrupted);
+
+        let once = gen.materialize(&forged, &def, &hw).unwrap();
+        prop_assert!(once.is_materialized());
+        // Decisions survive verbatim — clamping happens at use sites only.
+        let forged_pairs: Vec<(String, Decision)> =
+            forged.decisions().map(|(s, d)| (s.to_string(), d)).collect();
+        let once_pairs: Vec<(String, Decision)> =
+            once.decisions().map(|(s, d)| (s.to_string(), d)).collect();
+        prop_assert_eq!(&once_pairs, &forged_pairs);
+
+        let twice = gen.materialize(&once, &def, &hw).unwrap();
+        prop_assert_eq!(twice.insts(), once.insts(), "materialization not idempotent");
+        prop_assert_eq!(twice.regs(), once.regs());
+    }
+}

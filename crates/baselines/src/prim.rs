@@ -39,13 +39,29 @@ pub fn prim_default(workload: &Workload, hw: &UpmemConfig) -> ScheduleConfig {
         WorkloadKind::Va | WorkloadKind::Geva => (vec![shape[0].min(total)], 1),
         // RED: per-DPU partial reduction, host final reduction.
         WorkloadKind::Red => (vec![], default_red_dpus(shape[0], total)),
-        // MTV/GEMV: 1-D tiling over rows only.
-        WorkloadKind::Mtv | WorkloadKind::Gemv => (vec![shape[0].min(512.min(total))], 1),
+        // MTV/GEMV (and its int8 variant): 1-D tiling over rows only.
+        WorkloadKind::Mtv | WorkloadKind::Gemv | WorkloadKind::Qgemv => {
+            (vec![shape[0].min(512.min(total))], 1)
+        }
         // TTV: flatten the outer spatial dimensions over DPUs.
         WorkloadKind::Ttv | WorkloadKind::Mmtv => {
             let d0 = shape[0].min(total);
             let d1 = shape[1].min((total / d0).max(1));
             (vec![d0, d1], 1)
+        }
+        // ATTN's spatial axes are batch and head dim (shape[0], shape[2]).
+        // The head dim is split at most in half: a fully-split dim leaves
+        // one 4-byte output element per DPU, below the 8-byte DMA grain.
+        WorkloadKind::Attn => {
+            let d0 = shape[0].min(total);
+            let d1 = (shape[2] / 2).max(1).min((total / d0).max(1));
+            (vec![d0, d1], 1)
+        }
+        // BGEMM: distribute batch first, then rows; columns stay per-DPU.
+        WorkloadKind::Bgemm => {
+            let d0 = shape[0].min(total);
+            let d1 = shape[1].min((total / d0).max(1));
+            (vec![d0, d1, 1], 1)
         }
     };
     ScheduleConfig {
@@ -53,7 +69,9 @@ pub fn prim_default(workload: &Workload, hw: &UpmemConfig) -> ScheduleConfig {
         reduce_dpus,
         tasklets: PRIM_TASKLETS,
         cache_elems: PRIM_CACHE_ELEMS,
-        use_cache: true,
+        // ATTN streams K/V: caching all three operands of the fused block
+        // (one holding a full sequence span per tile) overflows WRAM.
+        use_cache: workload.kind != WorkloadKind::Attn,
         unroll: false,
         host_threads: 1,
         parallel_transfer: true,
@@ -107,13 +125,27 @@ fn with_dpus(base: &ScheduleConfig, workload: &Workload, dpus: i64) -> ScheduleC
     let shape = &workload.shape;
     match workload.kind {
         WorkloadKind::Red => cfg.reduce_dpus = dpus.min(shape[0]),
-        WorkloadKind::Va | WorkloadKind::Geva | WorkloadKind::Mtv | WorkloadKind::Gemv => {
+        WorkloadKind::Va
+        | WorkloadKind::Geva
+        | WorkloadKind::Mtv
+        | WorkloadKind::Gemv
+        | WorkloadKind::Qgemv => {
             cfg.spatial_dpus = vec![dpus.min(shape[0])];
         }
         WorkloadKind::Ttv | WorkloadKind::Mmtv => {
             let d0 = shape[0].min(dpus);
             let d1 = (dpus / d0).max(1).min(shape[1]);
             cfg.spatial_dpus = vec![d0, d1];
+        }
+        WorkloadKind::Attn => {
+            let d0 = shape[0].min(dpus);
+            let d1 = (dpus / d0).max(1).min((shape[2] / 2).max(1));
+            cfg.spatial_dpus = vec![d0, d1];
+        }
+        WorkloadKind::Bgemm => {
+            let d0 = shape[0].min(dpus);
+            let d1 = (dpus / d0).max(1).min(shape[1]);
+            cfg.spatial_dpus = vec![d0, d1, 1];
         }
     }
     cfg

@@ -1,0 +1,182 @@
+//! Sketch-space comparison — tunes each workload under every **resident
+//! schedule-space generator** (`upmem`, `tiled`, `hw-native`) at an equal
+//! trial budget and reports the tuned end-to-end latency of each space,
+//! normalized to the fixed-knob UPMEM sketch.
+//!
+//! By default the 4 MB preset of MTV, MMTV and the three sketch-space
+//! workloads (batched GEMM, the fused attention block, int8 GEMV) is
+//! swept; `ATIM_FULL=1` adds the 64 MB presets.
+//!
+//! Knobs:
+//!
+//! * `ATIM_SKETCH_WORKLOADS` — comma-separated workload kinds to sweep
+//!   (e.g. `bgemm` for the CI smoke); unknown names fail loudly.
+//! * `ATIM_TRIALS` / `ATIM_FULL` / `ATIM_TUNE_LOG` — the usual harness
+//!   knobs (per-generator sweeps log under generator-suffixed names).
+//! * `ATIM_SKETCH_OUT` — snapshot path (default
+//!   `BENCH_sketch_spaces.json`).
+//! * `ATIM_SKETCH_BASELINE=<path>` — compares tuned latencies against a
+//!   committed baseline (`crates/bench/baselines/sketch_spaces_baseline
+//!   .json` in CI) and **exits non-zero when any (workload, generator)
+//!   row regresses by more than 1.25×** at the same trial budget — the
+//!   simulator is deterministic, so a real schedule-quality regression is
+//!   the only thing that can trip this.
+
+use atim_autotune::Json;
+use atim_bench::{atim_tuned, full_from_env, session_for_generator, time_trace, trials_from_env};
+use atim_core::prelude::*;
+use atim_workloads::ops::presets_for;
+
+fn selected_kinds() -> Vec<WorkloadKind> {
+    match std::env::var("ATIM_SKETCH_WORKLOADS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|token| {
+                let token = token.trim();
+                WorkloadKind::parse(token).unwrap_or_else(|| {
+                    panic!("ATIM_SKETCH_WORKLOADS: unknown workload kind {token:?}")
+                })
+            })
+            .collect(),
+        Err(_) => vec![
+            WorkloadKind::Mtv,
+            WorkloadKind::Mmtv,
+            WorkloadKind::Bgemm,
+            WorkloadKind::Attn,
+            WorkloadKind::Qgemv,
+        ],
+    }
+}
+
+fn main() {
+    let trials = trials_from_env();
+    let labels: &[&str] = if full_from_env() {
+        &["4MB", "64MB"]
+    } else {
+        &["4MB"]
+    };
+    let mut rows = Vec::new();
+    for kind in selected_kinds() {
+        for (label, workload) in presets_for(kind)
+            .into_iter()
+            .filter(|(l, _)| labels.contains(&l.as_str()))
+        {
+            println!(
+                "# sketch spaces — {} ({label}, t{trials})",
+                workload.label()
+            );
+            println!("generator,total_ms,vs_upmem");
+            let mut upmem_ms = f64::NAN;
+            for &generator in &RESIDENT_GENERATOR_IDS {
+                let session = session_for_generator(generator);
+                let tuned = atim_tuned(&session, &workload, trials);
+                let report =
+                    time_trace(&session, &workload, tuned.best_trace()).unwrap_or_default();
+                let total_ms = report.total_ms();
+                if generator == "upmem" {
+                    upmem_ms = total_ms;
+                }
+                println!("{generator},{total_ms:.4},{:.3}", total_ms / upmem_ms);
+                rows.push(Json::Obj(vec![
+                    ("workload".into(), Json::Str(workload.label())),
+                    ("generator".into(), Json::Str(generator.into())),
+                    ("trials".into(), Json::Int(trials as i64)),
+                    ("total_ms".into(), Json::Float(total_ms)),
+                ]));
+            }
+            println!();
+        }
+    }
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("sketch_spaces".into())),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out =
+        std::env::var("ATIM_SKETCH_OUT").unwrap_or_else(|_| "BENCH_sketch_spaces.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write snapshot");
+    eprintln!("# wrote {out}");
+
+    if let Ok(baseline_path) = std::env::var("ATIM_SKETCH_BASELINE") {
+        let regressions = check_against_baseline(&doc, &baseline_path);
+        if regressions > 0 {
+            eprintln!("# {regressions} tuned-latency regression(s) vs {baseline_path}");
+            std::process::exit(1);
+        }
+        eprintln!("# tuned latencies within 1.25x of baseline {baseline_path}");
+    }
+}
+
+/// `(workload, generator, trials) → total_ms` rows of a snapshot document.
+fn row_metrics(doc: &Json) -> Vec<(String, String, i64, f64)> {
+    let mut out = Vec::new();
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_arr().map(<[Json]>::to_vec));
+    for row in rows.ok().into_iter().flatten() {
+        let workload = row
+            .get("workload")
+            .and_then(|w| w.as_str().map(String::from));
+        let generator = row
+            .get("generator")
+            .and_then(|g| g.as_str().map(String::from));
+        let trials = row.get("trials").and_then(|t| t.as_i64());
+        let total_ms = row.get("total_ms").and_then(|v| v.as_f64());
+        if let (Ok(workload), Ok(generator), Ok(trials), Ok(total_ms)) =
+            (workload, generator, trials, total_ms)
+        {
+            out.push((workload, generator, trials, total_ms));
+        }
+    }
+    out
+}
+
+/// Compares tuned latencies against a committed baseline at the same trial
+/// budget; returns the number of regressions.  A missing or unreadable
+/// baseline only warns, but a baseline with **zero comparable rows**
+/// (schema drift, or a sweep run at a different budget) counts as a
+/// failure rather than a silent pass.
+fn check_against_baseline(doc: &Json, baseline_path: &str) -> usize {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("# warning: cannot read baseline {baseline_path}: {err}");
+            return 0;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("# warning: cannot parse baseline {baseline_path}: {err}");
+            return 0;
+        }
+    };
+    let base = row_metrics(&baseline);
+    let mut regressions = 0;
+    let mut compared = 0;
+    for (workload, generator, trials, now_ms) in row_metrics(doc) {
+        let Some((_, _, _, base_ms)) = base
+            .iter()
+            .find(|(w, g, t, _)| *w == workload && *g == generator && *t == trials)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = now_ms / base_ms.max(1e-12);
+        eprintln!(
+            "# {workload}/{generator} t{trials}: {now_ms:.3} ms vs baseline \
+             {base_ms:.3} ms ({ratio:.2}x)"
+        );
+        if ratio > 1.25 {
+            eprintln!("# FAIL: {workload}/{generator} tuned latency regressed ({ratio:.2}x)");
+            regressions += 1;
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "# FAIL: no rows comparable against {baseline_path} — schema or \
+             trial-budget drift would otherwise pass silently"
+        );
+        regressions += 1;
+    }
+    regressions
+}

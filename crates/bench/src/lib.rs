@@ -16,6 +16,7 @@
 //! | `fig13_breakdown`    | Fig. 13 (DPU cycle breakdown under the ablation) |
 //! | `fig14_search`       | Fig. 14 (balanced search convergence) |
 //! | `fig15_tuning_cost`  | Fig. 15 (per-iteration tuning cost) |
+//! | `sketch_spaces`      | Schedule-space comparison: every resident generator × workload (incl. batched GEMM / attention / int8) |
 //!
 //! The library part provides the shared measurement helpers: running every
 //! baseline configuration and ATiM's autotuned configuration through the
@@ -89,6 +90,35 @@ pub fn session() -> Session {
     }
 }
 
+/// A harness session tuning from one **explicit** resident schedule space
+/// (`"upmem"`, `"tiled"`, `"hw-native"`), used by the generator-comparison
+/// sweeps.  Like [`session`], an `ATIM_FLEET_WORKERS`-sized fleet measures
+/// when requested — its workers are configured for the same generator, so
+/// the sweep's jobs stay fleet-remotable.
+///
+/// # Panics
+/// Panics on an unknown generator id, and on fleet-launch failure like
+/// [`session`].
+pub fn session_for_generator(id: &str) -> Session {
+    let generator = resolve_generator(id).unwrap_or_else(|| {
+        panic!("unknown space generator {id:?}; known ids: {RESIDENT_GENERATOR_IDS:?}")
+    });
+    let builder = match atim_core::fleet::workers_from_env() {
+        Some(workers) => {
+            let mut options = FleetOptions::from_env();
+            options.space_generator = Some(id.to_string());
+            let fleet =
+                FleetBackend::spawn(BackendSpec::sim(UpmemConfig::default()), workers, options)
+                    .unwrap_or_else(|e| {
+                        panic!("failed to launch the measurement fleet for {id:?}: {e}")
+                    });
+            Session::builder().backend(fleet)
+        }
+        None => Session::builder().hardware(UpmemConfig::default()),
+    };
+    builder.space_generator_arc(generator).build()
+}
+
 /// Number of autotuning trials used by the harnesses.
 pub fn trials_from_env() -> usize {
     std::env::var("ATIM_TRIALS")
@@ -122,10 +152,24 @@ pub fn select_sizes(all: Vec<(String, Workload)>) -> Vec<(String, Workload)> {
 /// `[16,512,256]` and `[64,128,256]` MMTVs) would collide under it and
 /// silently replay each other's searches.
 pub fn tune_log_path(workload: &Workload, trials: usize) -> Option<PathBuf> {
+    tune_log_path_for(workload, trials, "upmem")
+}
+
+/// [`tune_log_path`] keyed additionally on the schedule-space generator:
+/// the default `"upmem"` space keeps the legacy
+/// `{kind}_{shape}_t{trials}.json` name (existing corpora stay valid),
+/// while other generators append their id so a generator-comparison sweep
+/// never replays a different space's search as its own.
+pub fn tune_log_path_for(workload: &Workload, trials: usize, generator: &str) -> Option<PathBuf> {
     let dir = std::env::var(TUNE_LOG_ENV).ok()?;
     let shape: Vec<String> = workload.shape.iter().map(|d| d.to_string()).collect();
+    let suffix = if generator == "upmem" {
+        String::new()
+    } else {
+        format!("_{generator}")
+    };
     Some(PathBuf::from(dir).join(format!(
-        "{}_{}_t{trials}.json",
+        "{}_{}_t{trials}{suffix}.json",
         workload.kind,
         shape.join("x")
     )))
@@ -240,7 +284,7 @@ pub fn atim_tuned(session: &Session, workload: &Workload, trials: usize) -> Tune
         measure_per_round: (trials / 4).clamp(4, 16),
         ..TuningOptions::default()
     };
-    let log_path = tune_log_path(workload, trials);
+    let log_path = tune_log_path_for(workload, trials, session.space_generator().name());
     let mut resume: Option<TuneLog> = None;
     if let Some(path) = &log_path {
         if let Ok(log) = TuneLog::load(path) {

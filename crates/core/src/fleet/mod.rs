@@ -208,6 +208,12 @@ pub struct FleetOptions {
     /// Extra environment variables for spawned workers, with the same
     /// `{addr}` substitution in values.
     pub envs: Vec<(String, String)>,
+    /// The space-generator id jobs are routed to workers under (announced
+    /// in the configure handshake; jobs carrying any other id fall back
+    /// to in-process measurement).  Must name a resident generator —
+    /// workers rebuild it from the id alone.  `None` follows
+    /// `ATIM_SPACE_GENERATOR`, defaulting to the UPMEM sketch.
+    pub space_generator: Option<String>,
 }
 
 impl Default for FleetOptions {
@@ -226,6 +232,7 @@ impl Default for FleetOptions {
             lenient_attach: false,
             command: None,
             envs: Vec::new(),
+            space_generator: None,
         }
     }
 }
@@ -508,10 +515,25 @@ impl FleetBackend {
     }
 
     fn empty(spec: BackendSpec, options: FleetOptions) -> Self {
+        let generator = match &options.space_generator {
+            Some(id) => {
+                assert!(
+                    atim_autotune::resolve_generator(id).is_some(),
+                    "fleet space generator {id:?} is not a resident generator \
+                     (workers rebuild it from the id alone); known ids: {:?}",
+                    atim_autotune::RESIDENT_GENERATOR_IDS
+                );
+                id.clone()
+            }
+            None => atim_autotune::generator_from_env()
+                .unwrap_or_else(|e| panic!("{e}"))
+                .map(|g| g.name().to_string())
+                .unwrap_or_else(|| SpaceGenerator::name(&UpmemSketchGenerator).to_string()),
+        };
         FleetBackend {
             inner: spec.build(),
             spec,
-            generator: SpaceGenerator::name(&UpmemSketchGenerator).to_string(),
+            generator,
             options,
             supervisors: Mutex::new(Vec::new()),
             children: Mutex::new(Vec::new()),

@@ -8,8 +8,8 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::time::Duration;
 
 use atim_autotune::{
-    Json, JsonCodec, MeasureJob, MeasureOutcome, MeasureReport, SpaceGenerator,
-    UpmemSketchGenerator, EXEC_TIMING,
+    resolve_generator, Json, JsonCodec, MeasureJob, MeasureOutcome, MeasureReport, SpaceGenerator,
+    EXEC_TIMING, RESIDENT_GENERATOR_IDS,
 };
 use atim_wire::{read_frame, write_frame, WireError};
 use atim_workloads::{Workload, WorkloadKind};
@@ -70,13 +70,15 @@ fn serve_connection(mut stream: TcpStream, plan: &FaultPlan) -> Result<(), Strin
         Ok(id) => id.to_string(),
         Err(e) => return refuse(&mut stream, format!("configure frame: {e}")),
     };
-    if generator_id != SpaceGenerator::name(&UpmemSketchGenerator) {
+    let Some(generator) = resolve_generator(&generator_id) else {
         return refuse(
             &mut stream,
-            format!("unknown space generator {generator_id:?} (this worker knows \"upmem\")"),
+            format!(
+                "unknown space generator {generator_id:?} \
+                 (this worker knows {RESIDENT_GENERATOR_IDS:?})"
+            ),
         );
-    }
-    let generator = UpmemSketchGenerator;
+    };
     let spec = match configure.get("spec").and_then(BackendSpec::from_json) {
         Ok(spec) => spec,
         Err(e) => return refuse(&mut stream, format!("configure spec: {e}")),
@@ -176,7 +178,7 @@ fn serve_connection(mut stream: TcpStream, plan: &FaultPlan) -> Result<(), Strin
             &mut stream,
             &job,
             backend.as_ref(),
-            &generator,
+            generator.as_ref(),
             delay,
             heartbeat_ms,
         ) {

@@ -69,7 +69,9 @@ pub mod prelude {
     pub use atim_autotune::log::TuneLog;
     pub use atim_autotune::session::{Budget, NullObserver, TuningError, TuningObserver};
     pub use atim_autotune::{
-        ScheduleConfig, SpaceGenerator, Trace, TuningOptions, UpmemSketchGenerator,
+        resolve_generator, HardwareNativeGenerator, ScheduleConfig, SpaceGenerator,
+        TiledSketchGenerator, Trace, TuningOptions, UpmemSketchGenerator, RESIDENT_GENERATOR_IDS,
+        SPACE_GENERATOR_ENV,
     };
     pub use atim_passes::OptLevel;
     pub use atim_sim::{SimMode, UpmemConfig};

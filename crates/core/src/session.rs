@@ -201,16 +201,21 @@ impl SessionBuilder {
     ///
     /// When no cache was configured explicitly, the `ATIM_SCHEDULE_CACHE`
     /// environment variable names the cache file to attach (the "ship the
-    /// cache with your program" mode).
+    /// cache with your program" mode).  When no space generator was
+    /// configured explicitly, the `ATIM_SPACE_GENERATOR` environment
+    /// variable selects one of the resident generators (`upmem`, `tiled`,
+    /// `hw-native`); unset keeps the UPMEM sketch default.
     ///
     /// # Panics
     /// Panics when the default simulator backend is constructed while
     /// `ATIM_MEASURE_THREADS` holds an invalid value (zero or non-numeric),
     /// when no cost model was chosen explicitly and `ATIM_COST_MODEL` holds
-    /// an invalid value, when a configured pretrained model file cannot be
-    /// read or parsed, or when a configured cache file exists but cannot be
-    /// read or parsed — corrupt configuration fails loudly rather than
-    /// silently tuning with something else.
+    /// an invalid value, when no space generator was chosen explicitly and
+    /// `ATIM_SPACE_GENERATOR` holds an unknown id, when a configured
+    /// pretrained model file cannot be read or parsed, or when a configured
+    /// cache file exists but cannot be read or parsed — corrupt
+    /// configuration fails loudly rather than silently tuning with
+    /// something else.
     pub fn build(self) -> Session {
         let cost_model = match self.cost_model {
             Some(kind) => kind,
@@ -259,11 +264,15 @@ impl SessionBuilder {
                 })
                 .map(|c| Arc::new(Mutex::new(c))),
         };
+        let generator = match self.generator {
+            Some(generator) => generator,
+            None => atim_autotune::generator_from_env()
+                .unwrap_or_else(|e| panic!("{e}"))
+                .unwrap_or_else(|| Arc::new(UpmemSketchGenerator)),
+        };
         Session {
             backend,
-            generator: self
-                .generator
-                .unwrap_or_else(|| Arc::new(UpmemSketchGenerator)),
+            generator,
             cache,
             cost_model,
             pretrained,
@@ -402,14 +411,35 @@ impl Session {
     /// when no cache is attached, the key misses, or the cached trace no
     /// longer materializes for `def` (a stale entry is a miss, not an
     /// error).
+    ///
+    /// Hits are structure-verified: an entry whose generator id matches
+    /// but whose trace carries a different decision-site skeleton than
+    /// this session's generator produces for `def` (a generator-id
+    /// collision, or an entry written by an incompatible generator
+    /// version) is reported on stderr and treated as a miss, never
+    /// silently re-materialized.
     pub fn cached(&self, def: &ComputeDef) -> Option<TunedModule> {
         let cache = self.cache.as_ref()?;
         let key = self.cache_key(def);
-        let entry = cache
-            .lock()
-            .expect("schedule cache poisoned")
-            .lookup(&key)?
-            .clone();
+        let expected = self
+            .generator
+            .sketches(def, self.hardware())
+            .first()
+            .map(atim_autotune::sketch_structure_hash);
+        let entry = {
+            let cache = cache.lock().expect("schedule cache poisoned");
+            let entry = match &expected {
+                Some(expected) => match cache.lookup_verified(&key, expected) {
+                    Ok(entry) => entry,
+                    Err(e) => {
+                        eprintln!("atim: schedule cache entry rejected: {e}");
+                        None
+                    }
+                },
+                None => cache.lookup(&key),
+            };
+            entry?.clone()
+        };
         let trace = self
             .generator
             .materialize(&entry.trace, def, self.hardware())
@@ -878,6 +908,86 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, TuningError::ZeroTrials);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A session on the tiled sketch generator tunes, records its win
+    /// under the `"tiled"` cache coordinate, and a fresh session on the
+    /// same generator resolves it without measuring — while the upmem
+    /// generator's coordinate stays a miss (no cross-generator leakage).
+    #[test]
+    fn tiled_generator_sessions_cache_under_their_own_key() {
+        use atim_autotune::TiledSketchGenerator;
+        let path = std::env::temp_dir().join("atim_session_tiled_cache_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let options = TuningOptions::quick();
+
+        let tuned = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .space_generator(TiledSketchGenerator::default())
+            .schedule_cache(&path)
+            .build()
+            .tune(&def, &options)
+            .unwrap();
+        assert!(tuned.measured() > 0);
+
+        let fresh = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .space_generator(TiledSketchGenerator::default())
+            .schedule_cache(&path)
+            .build();
+        assert_eq!(fresh.cache_key(&def).generator, "tiled");
+        let hit = fresh.cached(&def).expect("tuned key must hit");
+        assert_eq!(hit.measured(), 0, "cache hits must not measure");
+        assert_eq!(hit.best_latency_s(), tuned.best_latency_s());
+
+        // The default (upmem) generator occupies a different slot.
+        let upmem = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .schedule_cache(&path)
+            .build();
+        assert!(upmem.cached(&def).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// An entry whose generator id matches but whose trace carries a
+    /// foreign decision-site skeleton (a generator-id collision) is
+    /// rejected by the structure-verified lookup: a miss, never a silent
+    /// re-materialization of the wrong space's trace.
+    #[test]
+    fn cached_rejects_structure_collisions_under_a_matching_id() {
+        use atim_autotune::TiledSketchGenerator;
+        let def = ComputeDef::mtv("mtv", 1024, 1024);
+        let session = Session::builder()
+            .backend(AnalyticBackend::new(UpmemConfig::default()))
+            .space_generator(TiledSketchGenerator::default())
+            .schedule_cache_shared(Arc::new(Mutex::new(ScheduleCache::new())))
+            .build();
+
+        // Forge a collision: the tiled session's key, an upmem-skeleton
+        // trace (as if a foreign generator had claimed the id "tiled").
+        let foreign = UpmemSketchGenerator
+            .sketches(&def, session.hardware())
+            .into_iter()
+            .next()
+            .unwrap();
+        let entry = CacheEntry {
+            key: session.cache_key(&def),
+            trace: foreign,
+            latency_s: 1e-3,
+            seed: 0,
+        };
+        session
+            .schedule_cache()
+            .unwrap()
+            .lock()
+            .unwrap()
+            .record(entry)
+            .unwrap();
+        assert!(
+            session.cached(&def).is_none(),
+            "a colliding skeleton must be a loud miss, not a hit"
+        );
     }
 
     /// Ridge stays the default estimator; opting into the GBDT changes the

@@ -190,18 +190,32 @@ impl Dataset {
 
 /// Parses the bench filename convention `{kind}_{d1}x{d2}x…_t{trials}`.
 ///
+/// The stem is anchored from the **right** — the last token is the trial
+/// count, the one before it the shape, and everything leading is the kind
+/// name — so every [`WorkloadKind`] ingests under the convention (batched
+/// GEMM, attention and quantized kinds included), even if a future kind
+/// name itself contains `_`.
+///
+/// Generator-comparison sweeps suffix the stem with a non-default
+/// space-generator id (`mtv_64x64_t24_tiled`); the suffix is stripped
+/// before parsing, so those logs train the corpus too.
+///
 /// Returns the workload on success; `None` when the stem does not match.
 pub fn workload_from_filename(path: &Path) -> Option<Workload> {
     let stem = path.file_stem()?.to_str()?;
-    let mut tokens = stem.split('_');
-    let kind = WorkloadKind::parse(tokens.next()?)?;
-    let shape: Vec<i64> = tokens
-        .next()?
+    let stem = atim_autotune::RESIDENT_GENERATOR_IDS
+        .iter()
+        .find_map(|id| stem.strip_suffix(&format!("_{id}")))
+        .unwrap_or(stem);
+    let (rest, trials) = stem.rsplit_once('_')?;
+    let (kind, shape) = rest.rsplit_once('_')?;
+    let kind = WorkloadKind::parse(kind)?;
+    let shape: Vec<i64> = shape
         .split('x')
         .map(|d| d.parse::<i64>().ok())
         .collect::<Option<_>>()?;
-    let trials = tokens.next()?;
-    if !trials.starts_with('t') || tokens.next().is_some() {
+    let trials = trials.strip_prefix('t')?;
+    if trials.is_empty() || trials.parse::<u64>().is_err() {
         return None;
     }
     let workload = Workload::new(kind, shape);
@@ -255,6 +269,37 @@ mod tests {
         assert_eq!(w.shape, vec![8, 64, 64]);
         let w = workload_from_filename(Path::new("red_65536_t48.jsonl")).unwrap();
         assert_eq!(w.shape, vec![65536]);
+    }
+
+    /// The sketch-space workload kinds (batched GEMM, the attention block,
+    /// the int8 GEMV) ingest under the same convention instead of landing
+    /// in [`CorpusSummary::skipped`].
+    #[test]
+    fn new_workload_kinds_parse_from_filenames() {
+        let w = workload_from_filename(Path::new("bgemm_8x64x64x32_t24.json")).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Bgemm);
+        assert_eq!(w.shape, vec![8, 64, 64, 32]);
+        let w = workload_from_filename(Path::new("attn_16x256x64_t24.json")).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Attn);
+        assert_eq!(w.shape, vec![16, 256, 64]);
+        let w = workload_from_filename(Path::new("qgemv_1024x1024_t48.jsonl")).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Qgemv);
+        assert_eq!(w.shape, vec![1024, 1024]);
+        // Wrong ranks for the new kinds are still rejected.
+        assert!(workload_from_filename(Path::new("bgemm_64x64_t24.json")).is_none());
+        assert!(workload_from_filename(Path::new("attn_16x256_t24.json")).is_none());
+    }
+
+    /// Logs from non-default generator sweeps carry a generator-id suffix;
+    /// the workload coordinates still parse (the corpus trains on them).
+    #[test]
+    fn generator_suffixed_filenames_parse() {
+        let w = workload_from_filename(Path::new("mtv_128x256_t24_tiled.json")).unwrap();
+        assert_eq!((w.kind, w.shape), (WorkloadKind::Mtv, vec![128, 256]));
+        let w = workload_from_filename(Path::new("bgemm_8x64x64x32_t24_hw-native.json")).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Bgemm);
+        // An unknown trailing token is still rejected.
+        assert!(workload_from_filename(Path::new("mtv_128x256_t24_frob.json")).is_none());
     }
 
     #[test]

@@ -384,6 +384,72 @@ impl ComputeDef {
             term: AccessExpr::input(0).mul(AccessExpr::input(1)),
         }
     }
+
+    /// Batched matrix-matrix product: `C(b,i,j) = Σ_k A(b,i,k)·B(b,k,j)`.
+    ///
+    /// The workload the transformer MLP blocks batch over attention heads;
+    /// unlike MMTV both operands are full matrices per batch element.
+    pub fn bgemm(name: &str, b: i64, m: i64, n: i64, k: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![
+                AxisDef::new("b", b, AxisKind::Spatial),
+                AxisDef::new("i", m, AxisKind::Spatial),
+                AxisDef::new("j", n, AxisKind::Spatial),
+                AxisDef::new("k", k, AxisKind::Reduce),
+            ],
+            inputs: vec![
+                TensorDecl::new("A", vec![0, 1, 3]).constant(),
+                TensorDecl::new("B", vec![0, 3, 2]),
+            ],
+            output: TensorDecl::new("C", vec![0, 1, 2]),
+            term: AccessExpr::input(0).mul(AccessExpr::input(1)),
+        }
+    }
+
+    /// Fused single-query attention block: `O(b,d) = Σ_j Σ_e Q(b,e)·K(b,j,e)·V(b,j,d)`.
+    ///
+    /// The full score + weighted-sum decode step (without softmax, which is
+    /// host post-processing), going beyond the GPT-J MMTV slice: two
+    /// reduction axes (`j` over the sequence, `e` over the head dimension)
+    /// and three inputs with distinct access patterns.
+    pub fn attn(name: &str, b: i64, seq: i64, dim: i64) -> Self {
+        ComputeDef {
+            name: name.into(),
+            axes: vec![
+                AxisDef::new("b", b, AxisKind::Spatial),
+                AxisDef::new("d", dim, AxisKind::Spatial),
+                AxisDef::new("j", seq, AxisKind::Reduce),
+                AxisDef::new("e", dim, AxisKind::Reduce),
+            ],
+            inputs: vec![
+                TensorDecl::new("Q", vec![0, 3]),
+                TensorDecl::new("K", vec![0, 2, 3]).constant(),
+                TensorDecl::new("V", vec![0, 2, 1]).constant(),
+            ],
+            output: TensorDecl::new("O", vec![0, 1]),
+            term: AccessExpr::input(0)
+                .mul(AccessExpr::input(1))
+                .mul(AccessExpr::input(2)),
+        }
+    }
+
+    /// Quantized int8 matrix-times-vector: MTV with 1-byte operands and a
+    /// 32-bit accumulator, the memory-bound shape quantized inference
+    /// serves.  The evaluator loads integer-typed buffers in the integer
+    /// domain (fractional storage truncates), so feed whole-number data —
+    /// `atim_workloads::data::generate_inputs` does this automatically.
+    /// Saturation is not emulated; beyond numerics, the dtype drives the
+    /// byte accounting — MRAM tiles, WRAM footprints and DMA alignment all
+    /// see 1-byte elements.
+    pub fn qgemv(name: &str, m: i64, k: i64) -> Self {
+        let mut def = Self::mtv(name, m, k);
+        for input in &mut def.inputs {
+            input.dtype = DType::I8;
+        }
+        def.output.dtype = DType::I32;
+        def
+    }
 }
 
 fn strides_for(shape: &[i64]) -> Vec<i64> {
@@ -483,5 +549,66 @@ mod tests {
         assert_eq!(def.output_len(), 6);
         assert_eq!(def.total_flops(), 2 * 3 * 8 * 2);
         assert!(def.total_bytes() > 0);
+    }
+
+    #[test]
+    fn bgemm_reference() {
+        let (b, m, n, k) = (2usize, 3usize, 4usize, 5usize);
+        let def = ComputeDef::bgemm("bgemm", b as i64, m as i64, n as i64, k as i64);
+        let a = iota(b * m * k);
+        let bb = iota(b * k * n);
+        let out = def.reference(&[a.clone(), bb.clone()]);
+        for bi in 0..b {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a[(bi * m + i) * k + kk] * bb[(bi * k + kk) * n + j];
+                    }
+                    let got = out[(bi * m + i) * n + j];
+                    assert!((got - acc).abs() < 1e-3, "({bi},{i},{j}): {got} vs {acc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attn_reference() {
+        let (b, seq, dim) = (2usize, 3usize, 4usize);
+        let def = ComputeDef::attn("attn", b as i64, seq as i64, dim as i64);
+        let q = iota(b * dim);
+        let k = iota(b * seq * dim);
+        let v = iota(b * seq * dim);
+        let out = def.reference(&[q.clone(), k.clone(), v.clone()]);
+        assert_eq!(out.len(), b * dim);
+        for bi in 0..b {
+            for d in 0..dim {
+                let mut acc = 0.0;
+                for j in 0..seq {
+                    for e in 0..dim {
+                        acc += q[bi * dim + e]
+                            * k[(bi * seq + j) * dim + e]
+                            * v[(bi * seq + j) * dim + d];
+                    }
+                }
+                let got = out[bi * dim + d];
+                assert!((got - acc).abs() < 1e-2, "({bi},{d}): {got} vs {acc}");
+            }
+        }
+        assert_eq!(def.reduce_axes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn qgemv_dtypes_and_reference() {
+        let def = ComputeDef::qgemv("qgemv", 4, 6);
+        assert!(def.inputs.iter().all(|t| t.dtype == DType::I8));
+        assert_eq!(def.output.dtype, DType::I32);
+        // One byte per input element, four per output element.
+        assert_eq!(def.total_bytes(), 4 * 6 + 6 + 4 * 4);
+        // Numerics follow the f32 oracle of plain MTV.
+        let a = iota(24);
+        let b = iota(6);
+        let plain = ComputeDef::mtv("mtv", 4, 6).reference(&[a.clone(), b.clone()]);
+        assert_eq!(def.reference(&[a, b]), plain);
     }
 }

@@ -12,6 +12,8 @@ pub enum DType {
     /// 32-bit IEEE-754 float (the evaluation's default element type).
     #[default]
     F32,
+    /// 8-bit signed integer (quantized workloads; DMA-efficient, 1 B/elem).
+    I8,
     /// 32-bit signed integer.
     I32,
     /// 64-bit signed integer (used for index arithmetic).
@@ -32,7 +34,7 @@ impl DType {
         match self {
             DType::F32 | DType::I32 => 4,
             DType::I64 => 8,
-            DType::Bool => 1,
+            DType::I8 | DType::Bool => 1,
         }
     }
 
@@ -51,6 +53,7 @@ impl fmt::Display for DType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             DType::F32 => "f32",
+            DType::I8 => "i8",
             DType::I32 => "i32",
             DType::I64 => "i64",
             DType::Bool => "bool",
@@ -66,6 +69,7 @@ mod tests {
     #[test]
     fn sizes() {
         assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I8.bytes(), 1);
         assert_eq!(DType::I32.bytes(), 4);
         assert_eq!(DType::I64.bytes(), 8);
         assert_eq!(DType::Bool.bytes(), 1);

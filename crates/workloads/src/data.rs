@@ -4,13 +4,22 @@ use atim_tir::compute::ComputeDef;
 
 /// Generates deterministic pseudo-random inputs for a computation.
 ///
-/// Values are small integers mapped to floats so that reductions over
+/// Float tensors get small multiples of 0.25 so that reductions over
 /// millions of elements stay well inside `f32` precision and comparisons can
-/// use tight tolerances.
+/// use tight tolerances.  Integer-typed tensors (e.g. the i8 operands of
+/// `qgemv`) get whole numbers in `[-8, 7]` — exactly representable in both
+/// the integer evaluation path and the f32 reference, so the two agree
+/// bit-for-bit instead of diverging on fractional values an int8 buffer
+/// cannot hold.
 pub fn generate_inputs(def: &ComputeDef, seed: u64) -> Vec<Vec<f32>> {
     (0..def.inputs.len())
         .map(|t| {
             let n = def.input_len(t);
+            let scale = if def.inputs[t].dtype.is_float() {
+                0.25
+            } else {
+                1.0
+            };
             let mut state = seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(t as u64 + 1);
@@ -21,7 +30,7 @@ pub fn generate_inputs(def: &ComputeDef, seed: u64) -> Vec<Vec<f32>> {
                     state ^= state << 25;
                     state ^= state >> 27;
                     let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
-                    ((v >> 60) as i64 - 8) as f32 * 0.25
+                    ((v >> 60) as i64 - 8) as f32 * scale
                 })
                 .collect()
         })

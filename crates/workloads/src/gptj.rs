@@ -98,6 +98,40 @@ pub fn mha_workload(model: GptJModel, batch: i64, tokens: i64) -> Workload {
     Workload::new(WorkloadKind::Mmtv, vec![batch * model.heads(), tokens, 256])
 }
 
+/// Per-head dimension (`hidden / heads`); 256 for both paper models.
+pub fn head_dim(model: GptJModel) -> i64 {
+    model.hidden() / model.heads()
+}
+
+/// The **fused attention block** of one decode step as a single
+/// [`WorkloadKind::Attn`] workload: per (batch × head) lane, the query
+/// attends over `tokens` cached keys and aggregates the values —
+/// `O(b,d) = Σ_j Σ_e Q(b,e) K(b,j,e) V(b,j,d)` with shape
+/// `(batch × heads, tokens, head_dim)`.  This is the whole MHA inner
+/// block the [`mha_workload`] MMTV only covers the score half of.
+pub fn attention_block_workload(model: GptJModel, batch: i64, tokens: i64) -> Workload {
+    Workload::new(
+        WorkloadKind::Attn,
+        vec![batch * model.heads(), tokens, head_dim(model)],
+    )
+}
+
+/// The prefill-phase attention score computation as a batched GEMM
+/// (`Q Kᵀ` per head over a whole token window): shape
+/// `(batch × heads, tokens, tokens, head_dim)`.
+pub fn prefill_scores_workload(model: GptJModel, batch: i64, tokens: i64) -> Workload {
+    Workload::new(
+        WorkloadKind::Bgemm,
+        vec![batch * model.heads(), tokens, tokens, head_dim(model)],
+    )
+}
+
+/// The int8-quantized form of one FC layer (weight-quantized inference):
+/// the same `M × K` matrix-vector product with 1-byte operands.
+pub fn quantized_fc_workload(layer: &FcLayer) -> Workload {
+    Workload::new(WorkloadKind::Qgemv, vec![layer.m, layer.k])
+}
+
 /// Batch sizes evaluated in Fig. 10.
 pub const BATCH_SIZES: [i64; 3] = [1, 4, 16];
 
@@ -135,6 +169,23 @@ mod tests {
         let w = mha_workload(GptJModel::B30, 16, 512);
         assert_eq!(w.shape, vec![448, 512, 256]);
         assert_eq!(w.kind, WorkloadKind::Mmtv);
+    }
+
+    #[test]
+    fn attention_block_and_prefill_shapes() {
+        assert_eq!(head_dim(GptJModel::B6), 256);
+        assert_eq!(head_dim(GptJModel::B30), 256);
+        let w = attention_block_workload(GptJModel::B6, 4, 128);
+        assert_eq!(w.kind, WorkloadKind::Attn);
+        assert_eq!(w.shape, vec![64, 128, 256]);
+        assert!(w.try_compute_def().is_some());
+        let w = prefill_scores_workload(GptJModel::B6, 1, 64);
+        assert_eq!(w.kind, WorkloadKind::Bgemm);
+        assert_eq!(w.shape, vec![16, 64, 64, 256]);
+        assert!(w.try_compute_def().is_some());
+        let q = quantized_fc_workload(&fc_layers(GptJModel::B6)[0]);
+        assert_eq!(q.kind, WorkloadKind::Qgemv);
+        assert_eq!(q.shape, vec![4096, 4096]);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use atim_tir::compute::ComputeDef;
 
-/// The seven tensor-algebra operations evaluated in §6 of the paper.
+/// The seven tensor-algebra operations evaluated in §6 of the paper, plus
+/// the extension workloads opened up by the sketch-rule schedule spaces:
+/// batched GEMM, the fused attention block and quantized int8 GEMV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Vector addition `C(i) = A(i) + B(i)`.
@@ -19,11 +21,19 @@ pub enum WorkloadKind {
     Geva,
     /// General matrix-vector product `C(i) = c·Σ_k A(i,k) B(k)`.
     Gemv,
+    /// Batched matrix-matrix product `C(b,i,j) = Σ_k A(b,i,k) B(b,k,j)`.
+    Bgemm,
+    /// Fused single-query attention block
+    /// `O(b,d) = Σ_j Σ_e Q(b,e) K(b,j,e) V(b,j,d)`.
+    Attn,
+    /// Quantized int8 matrix-times-vector (1-byte operands, i32 output).
+    Qgemv,
 }
 
 impl WorkloadKind {
-    /// All benchmark kinds in the order the paper lists them.
-    pub const ALL: [WorkloadKind; 7] = [
+    /// All benchmark kinds: the paper's seven in the order it lists them,
+    /// then the extension workloads.
+    pub const ALL: [WorkloadKind; 10] = [
         WorkloadKind::Va,
         WorkloadKind::Red,
         WorkloadKind::Mtv,
@@ -31,6 +41,9 @@ impl WorkloadKind {
         WorkloadKind::Mmtv,
         WorkloadKind::Geva,
         WorkloadKind::Gemv,
+        WorkloadKind::Bgemm,
+        WorkloadKind::Attn,
+        WorkloadKind::Qgemv,
     ];
 
     /// Canonical lowercase name.
@@ -43,6 +56,9 @@ impl WorkloadKind {
             WorkloadKind::Mmtv => "mmtv",
             WorkloadKind::Geva => "geva",
             WorkloadKind::Gemv => "gemv",
+            WorkloadKind::Bgemm => "bgemm",
+            WorkloadKind::Attn => "attn",
+            WorkloadKind::Qgemv => "qgemv",
         }
     }
 
@@ -58,12 +74,13 @@ impl WorkloadKind {
     }
 
     /// The number of shape extents the operation takes: 1 for the vector
-    /// ops, 2 for MTV/GEMV, 3 for TTV/MMTV.
+    /// ops, 2 for MTV/GEMV/QGEMV, 3 for TTV/MMTV/ATTN, 4 for BGEMM.
     pub fn rank(self) -> usize {
         match self {
             WorkloadKind::Va | WorkloadKind::Red | WorkloadKind::Geva => 1,
-            WorkloadKind::Mtv | WorkloadKind::Gemv => 2,
-            WorkloadKind::Ttv | WorkloadKind::Mmtv => 3,
+            WorkloadKind::Mtv | WorkloadKind::Gemv | WorkloadKind::Qgemv => 2,
+            WorkloadKind::Ttv | WorkloadKind::Mmtv | WorkloadKind::Attn => 3,
+            WorkloadKind::Bgemm => 4,
         }
     }
 }
@@ -104,6 +121,9 @@ impl Workload {
             WorkloadKind::Gemv => ComputeDef::gemv("gemv", s[0], s[1], 2.0),
             WorkloadKind::Ttv => ComputeDef::ttv("ttv", s[0], s[1], s[2]),
             WorkloadKind::Mmtv => ComputeDef::mmtv("mmtv", s[0], s[1], s[2]),
+            WorkloadKind::Bgemm => ComputeDef::bgemm("bgemm", s[0], s[1], s[2], s[3]),
+            WorkloadKind::Attn => ComputeDef::attn("attn", s[0], s[1], s[2]),
+            WorkloadKind::Qgemv => ComputeDef::qgemv("qgemv", s[0], s[1]),
         }
     }
 
@@ -120,9 +140,18 @@ impl Workload {
 
     /// Size of the main input tensor in bytes (the "Size (MB)" column of
     /// Table 3 refers to the dominant tensor).
+    ///
+    /// For the paper's seven kinds the dominant tensor covers every shape
+    /// extent at 4 B/elem.  BGEMM's dominant tensor is `A(b,i,k)` (the `n`
+    /// extent is absent), ATTN's is `K(b,j,e)` (all extents, like MMTV),
+    /// and QGEMV stores 1-byte elements.
     pub fn main_tensor_bytes(&self) -> usize {
-        let elems: i64 = self.shape.iter().product();
-        elems as usize * 4
+        let s = &self.shape;
+        match self.kind {
+            WorkloadKind::Bgemm => (s[0] * s[1] * s[3]) as usize * 4,
+            WorkloadKind::Qgemv => s.iter().product::<i64>() as usize,
+            _ => s.iter().product::<i64>() as usize * 4,
+        }
     }
 
     /// Human-readable label, e.g. `mtv-64MB`.
@@ -203,6 +232,25 @@ pub const SIZE_PRESETS: &[(WorkloadKind, &[SizePreset])] = &[
             ("512MB", &[512, 512, 512]),
         ],
     ),
+    (
+        WorkloadKind::Bgemm,
+        &[
+            ("4MB", &[16, 256, 256, 256]),
+            ("64MB", &[64, 512, 512, 512]),
+        ],
+    ),
+    (
+        WorkloadKind::Attn,
+        &[("4MB", &[64, 512, 32]), ("64MB", &[256, 1024, 64])],
+    ),
+    (
+        WorkloadKind::Qgemv,
+        &[
+            ("4MB", &[2048, 2048]),
+            ("64MB", &[8192, 8192]),
+            ("256MB", &[16384, 16384]),
+        ],
+    ),
 ];
 
 /// Returns the preset workloads for one kind.
@@ -228,6 +276,12 @@ pub fn small_presets(kind: WorkloadKind) -> Vec<Workload> {
             let shape: Vec<i64> = match w.shape.len() {
                 1 => vec![(w.shape[0] / 64).max(64)],
                 2 => vec![(w.shape[0] / 8).max(16), (w.shape[1] / 8).max(16)],
+                4 => vec![
+                    (w.shape[0] / 4).max(2),
+                    (w.shape[1] / 4).max(8),
+                    (w.shape[2] / 4).max(8),
+                    (w.shape[3] / 4).max(8),
+                ],
                 _ => vec![
                     (w.shape[0] / 4).max(4),
                     (w.shape[1] / 4).max(8),
@@ -283,6 +337,19 @@ mod tests {
         }
         assert_eq!(WorkloadKind::parse("conv2d"), None);
         assert_eq!(WorkloadKind::parse("MTV"), None, "names are lowercase");
+    }
+
+    #[test]
+    fn extension_kinds_size_presets() {
+        let bgemm = presets_for(WorkloadKind::Bgemm);
+        assert_eq!(bgemm[1].0, "64MB");
+        assert_eq!(bgemm[1].1.main_tensor_bytes(), 64 * 1024 * 1024);
+        let attn = presets_for(WorkloadKind::Attn);
+        assert_eq!(attn[0].1.main_tensor_bytes(), 4 * 1024 * 1024);
+        let qgemv = presets_for(WorkloadKind::Qgemv);
+        // int8 elements: a 8192x8192 main tensor is 64 MB, not 256 MB.
+        assert_eq!(qgemv[1].1.main_tensor_bytes(), 64 * 1024 * 1024);
+        assert_eq!(qgemv[1].1.label(), "qgemv-64MB");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   `atim-worker` processes.  The output is bit-identical to the
 //!   in-process run (that is the fleet's contract), so diffing this
 //!   example's stdout across fleet sizes is a regression test.
+//! * `ATIM_SPACE_GENERATOR` — the schedule space to search (`upmem`,
+//!   `tiled`, `hw-native`); fleet workers are configured with the same
+//!   space automatically.
 
 use atim_autotune::JsonCodec;
 use atim_baselines::cpu::cpu_latency;
@@ -102,7 +105,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..TuningOptions::default()
             },
         )?;
-        let atim_ms = total_ms(&session, &workload, &tuned.best_config()).unwrap_or(f64::NAN);
+        // Time the winning trace directly — works in every schedule space
+        // (tiled/hw-native traces have no fixed-knob view).
+        let atim_ms = session
+            .compile(tuned.best_trace(), &def)
+            .ok()
+            .and_then(|module| session.time(&module).ok())
+            .map(|r| r.total_ms())
+            .unwrap_or(f64::NAN);
 
         // Autotuned CPU roofline.
         let cpu_ms = cpu_latency(&workload, session.hardware()).time_s * 1e3;

@@ -78,7 +78,8 @@ fn shape_for(kind: WorkloadKind) -> Vec<i64> {
     match kind.rank() {
         1 => vec![1 << 20],
         2 => vec![1024, 512],
-        _ => vec![32, 64, 512],
+        3 => vec![32, 64, 512],
+        _ => vec![8, 32, 64, 128],
     }
 }
 
